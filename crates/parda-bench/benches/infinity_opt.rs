@@ -1,0 +1,55 @@
+//! Ablation **D2** (time axis): Algorithm 4's space-optimized infinity
+//! processing vs plain Algorithm 3 re-insertion.
+//!
+//! The optimization avoids inserting stream elements into the tree/table,
+//! trading insertions for a running counter. On workloads with heavy
+//! cross-chunk sharing the plain variant pays O(stream) extra tree
+//! insertions per rank; this bench quantifies that on the full parallel
+//! analyzer. (The space axis is measured by the `ablation_space` binary.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parda_core::{parallel, PardaConfig};
+use parda_trace::gen::{ReuseProfile, StackDistGen};
+use parda_trace::{AddressStream, Trace};
+use parda_tree::SplayTree;
+use std::hint::black_box;
+
+/// Heavy cross-chunk sharing: a modest footprint reused at distances well
+/// beyond the chunk size, so most distinct elements travel the cascade.
+fn shared_trace(n: u64) -> Trace {
+    StackDistGen::new(n, n / 25, ReuseProfile::geometric(5_000.0), 9).take_trace(n as usize)
+}
+
+fn bench_infinity_processing(c: &mut Criterion) {
+    let n = 200_000u64;
+    let trace = shared_trace(n);
+    let mut group = c.benchmark_group("infinity_opt");
+    group.throughput(Throughput::Elements(n));
+    group.sample_size(10);
+    for ranks in [4usize, 16] {
+        let optimized = PardaConfig {
+            ranks,
+            bound: None,
+            space_optimized: true,
+        };
+        let plain = PardaConfig {
+            ranks,
+            bound: None,
+            space_optimized: false,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("optimized", ranks),
+            &optimized,
+            |b, cfg| {
+                b.iter(|| black_box(parallel::parda_threads::<SplayTree>(trace.as_slice(), cfg)))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("plain", ranks), &plain, |b, cfg| {
+            b.iter(|| black_box(parallel::parda_threads::<SplayTree>(trace.as_slice(), cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_infinity_processing);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation **D1**: which search structure should back the analyzer?
+//!
+//! The paper follows Sugumar & Abraham in using a splay tree; Olken's
+//! original used an AVL tree; the naïve stack is the O(N·M) strawman that
+//! motivates trees at all. Criterion compares all four on a
+//! locality-heavy trace (where splay trees shine — recently accessed
+//! timestamps stay near the root) and on a uniform trace (where strict
+//! balance wins).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parda_core::seq::{analyze_naive, analyze_sequential};
+use parda_trace::gen::{ReuseProfile, StackDistGen};
+use parda_trace::{AddressStream, Trace};
+use parda_tree::{AvlTree, SplayTree, Treap, VectorTree};
+use std::hint::black_box;
+
+fn local_trace(n: u64) -> Trace {
+    StackDistGen::new(n, n / 50, ReuseProfile::geometric(8.0), 1).take_trace(n as usize)
+}
+
+fn uniform_trace(n: u64) -> Trace {
+    parda_trace::gen::UniformGen::new(n / 50, 0, 2).take_trace(n as usize)
+}
+
+fn bench_structures(c: &mut Criterion) {
+    let n = 100_000u64;
+    for (label, trace) in [("local", local_trace(n)), ("uniform", uniform_trace(n))] {
+        let mut group = c.benchmark_group(format!("structures/{label}"));
+        group.throughput(Throughput::Elements(n));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("splay", n), &trace, |b, t| {
+            b.iter(|| black_box(analyze_sequential::<SplayTree>(t.as_slice(), None)))
+        });
+        group.bench_with_input(BenchmarkId::new("avl", n), &trace, |b, t| {
+            b.iter(|| black_box(analyze_sequential::<AvlTree>(t.as_slice(), None)))
+        });
+        group.bench_with_input(BenchmarkId::new("treap", n), &trace, |b, t| {
+            b.iter(|| black_box(analyze_sequential::<Treap>(t.as_slice(), None)))
+        });
+        group.bench_with_input(BenchmarkId::new("vector", n), &trace, |b, t| {
+            b.iter(|| black_box(analyze_sequential::<VectorTree>(t.as_slice(), None)))
+        });
+        group.finish();
+    }
+
+    // The naïve stack is quadratic: bench a much smaller slice so the suite
+    // stays fast, with the same per-element throughput scale for contrast.
+    let small = local_trace(5_000);
+    let mut group = c.benchmark_group("structures/naive");
+    group.throughput(Throughput::Elements(small.len() as u64));
+    group.sample_size(10);
+    group.bench_function("naive-stack-5k", |b| {
+        b.iter(|| black_box(analyze_naive(small.as_slice())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_structures);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Ablation **D2**: the space impact of Algorithm 4 (space-optimized local
+//! infinity processing).
+//!
+//! The paper proves that with the optimization the final aggregate state is
+//! O(M) while the plain algorithm grows to O(np·M). This binary measures
+//! the aggregate number of live tree nodes across all ranks after the
+//! cascade, with the optimization on and off, across rank counts.
+//!
+//! Run with: `cargo run --release -p parda-bench --bin ablation_space -- [--refs N] [--json]`
+
+use parda_bench::{BenchArgs, Report};
+use parda_core::{Engine, MissSink};
+use parda_trace::gen::{ReuseProfile, StackDistGen};
+use parda_trace::{chunk_slice, AddressStream};
+use parda_tree::SplayTree;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    ranks: usize,
+    live_optimized: usize,
+    live_plain: usize,
+    m: usize,
+}
+
+/// Run the cascade manually so the per-rank engines stay inspectable.
+fn aggregate_live(trace: &[u64], np: usize, optimized: bool) -> usize {
+    let chunks = chunk_slice(trace, np);
+    let mut engines: Vec<Engine<SplayTree>> = Vec::new();
+    let mut own_infs: Vec<Vec<u64>> = Vec::new();
+    let mut start = 0u64;
+    for chunk in &chunks {
+        let mut engine: Engine<SplayTree> = Engine::new(None);
+        let mut inf = Vec::new();
+        engine.process_chunk(chunk, start, MissSink::Forward(&mut inf));
+        start += chunk.len() as u64;
+        engines.push(engine);
+        own_infs.push(inf);
+    }
+    let starts: Vec<u64> = chunks
+        .iter()
+        .scan(0u64, |acc, c| {
+            let s = *acc;
+            *acc += c.len() as u64;
+            Some(s)
+        })
+        .collect();
+
+    let mut stream: Vec<u64> = Vec::new();
+    for p in (1..np).rev() {
+        let mut survivors = Vec::new();
+        if optimized {
+            engines[p].process_infinities(&stream, &mut survivors);
+        } else {
+            let ts = starts[p] + chunks[p].len() as u64;
+            engines[p].process_infinities_unoptimized(&stream, ts, &mut survivors);
+        }
+        let mut fwd = own_infs[p].clone();
+        fwd.extend_from_slice(&survivors);
+        stream = fwd;
+    }
+    let mut survivors = Vec::new();
+    if optimized {
+        engines[0].process_infinities(&stream, &mut survivors);
+    } else {
+        let ts = starts[0] + chunks[0].len() as u64;
+        engines[0].process_infinities_unoptimized(&stream, ts, &mut survivors);
+    }
+    engines.iter().map(|e| e.live()).sum()
+}
+
+fn main() {
+    let args = BenchArgs::parse(200_000, 8);
+    // A workload with heavy cross-chunk sharing maximizes replica blowup:
+    // uniform reuse over a footprint much smaller than the chunk size.
+    let m = 10_000u64;
+    let trace = StackDistGen::new(args.refs, m, ReuseProfile::geometric(2_000.0), args.seed)
+        .take_trace(args.refs as usize);
+
+    println!(
+        "Ablation D2 (Algorithm 4 space optimization): N={} M={m}",
+        trace.len()
+    );
+    let report = Report::new(&["ranks", "live_opt", "live_plain", "plain/opt"], args.json);
+    let mut out = std::io::stdout();
+    report.print_header(&mut out);
+
+    for np in [2usize, 4, 8, 16, 32] {
+        let live_optimized = aggregate_live(trace.as_slice(), np, true);
+        let live_plain = aggregate_live(trace.as_slice(), np, false);
+        let row = Row {
+            ranks: np,
+            live_optimized,
+            live_plain,
+            m: m as usize,
+        };
+        report.print_row(
+            &mut out,
+            &[
+                np.to_string(),
+                live_optimized.to_string(),
+                live_plain.to_string(),
+                format!("{:.2}", live_plain as f64 / live_optimized as f64),
+            ],
+            &row,
+        );
+    }
+    println!(
+        "\nexpected shape (paper §IV-C): optimized stays ≈ M = {m} regardless of ranks; \
+         plain grows toward np·M as every rank retains replicas of shared elements."
+    );
+}

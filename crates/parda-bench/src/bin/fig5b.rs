@@ -1,0 +1,93 @@
+//! Regenerates the paper's **Figure 5(b)**: slowdown factor per benchmark
+//! as the processor count varies (paper: 8 → 64) with the cache bound and
+//! pipe fixed (paper: 512 Kw, 64 Mw).
+//!
+//! Run with: `cargo run --release -p parda-bench --bin fig5b -- [--refs N] [--json]`
+
+use parda_bench::report::line_chart;
+use parda_bench::{build_workload, time, BenchArgs, Report};
+use parda_core::{parallel, PardaConfig};
+use parda_trace::spec::SPEC2006;
+use parda_tree::SplayTree;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    benchmark: &'static str,
+    slowdowns: Vec<(usize, f64)>,
+    speedup_1_to_max: f64,
+}
+
+fn main() {
+    let args = BenchArgs::parse(500_000, 8);
+    let rank_counts = [1usize, 2, 4, 8];
+    let bound = 256u64; // ≙ the paper's fixed 512 Kw
+
+    println!(
+        "Figure 5(b) reproduction: refs/bench={} bound={bound}w ranks={:?} (paper: 8..64 procs)",
+        args.refs, rank_counts
+    );
+
+    let headers: Vec<String> = std::iter::once("benchmark".to_string())
+        .chain(rank_counts.iter().map(|p| format!("x@p{p}")))
+        .chain(std::iter::once("speedup".to_string()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let report = Report::new(&header_refs, args.json);
+    let mut out = std::io::stdout();
+    report.print_header(&mut out);
+
+    let mut all_rows: Vec<Vec<f64>> = Vec::new();
+    for bench in &SPEC2006 {
+        let w = build_workload(bench, args.refs, args.seed);
+        let mut row = Row {
+            benchmark: bench.name,
+            slowdowns: Vec::new(),
+            speedup_1_to_max: 0.0,
+        };
+        let mut cells = vec![bench.name.to_string()];
+        let mut times = Vec::new();
+        for &ranks in &rank_counts {
+            let mut config = PardaConfig::with_ranks(ranks);
+            config.bound = Some(bound);
+            let (_, secs) =
+                time(|| parallel::parda_threads::<SplayTree>(w.trace.as_slice(), &config));
+            times.push(secs);
+            let x = w.slowdown(secs);
+            row.slowdowns.push((ranks, x));
+            cells.push(format!("{x:.1}"));
+        }
+        row.speedup_1_to_max = times[0] / times[times.len() - 1];
+        cells.push(format!("{:.2}", row.speedup_1_to_max));
+        all_rows.push(row.slowdowns.iter().map(|&(_, x)| x).collect());
+        report.print_row(&mut out, &cells, &row);
+    }
+    let x_labels: Vec<String> = rank_counts.iter().map(|p| format!("p{p}")).collect();
+    let agg = |f: &dyn Fn(&[f64]) -> f64| -> Vec<f64> {
+        (0..rank_counts.len())
+            .map(|i| f(&all_rows.iter().map(|r| r[i]).collect::<Vec<_>>()))
+            .collect()
+    };
+    let geo = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    let minf = |v: &[f64]| v.iter().cloned().fold(f64::MAX, f64::min);
+    let maxf = |v: &[f64]| v.iter().cloned().fold(f64::MIN, f64::max);
+    println!(
+        "\n{}",
+        line_chart(
+            "slowdown vs processors across the suite (cf. paper Figure 5b)",
+            &x_labels,
+            &[
+                ("geo-mean".to_string(), agg(&geo)),
+                ("min".to_string(), agg(&minf)),
+                ("max".to_string(), agg(&maxf)),
+            ],
+            12,
+        )
+    );
+    println!(
+        "\nshape check vs paper Fig. 5(b): the paper reports an average ~3.5x speedup from \
+         8→64 procs with diminishing returns; with {} hardware thread(s) here the wall-clock \
+         speedup column is hardware-gated — the algorithmic work split is what is exercised.",
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    );
+}

@@ -1,0 +1,103 @@
+//! Regenerates the paper's **Table IV**: per-benchmark trace parameters
+//! (M, N) and the cost of each pipeline stage — trace generation ("Pin"),
+//! pipe transfer, sequential tree-based analysis (Olken81), and Parda —
+//! as absolute seconds and as slowdown factors against the scaled
+//! uninstrumented baseline. The paper's slowdown factors are printed
+//! alongside for the shape comparison.
+//!
+//! Run with: `cargo run --release -p parda-bench --bin table4 -- [--refs N] [--ranks P] [--json]`
+
+use parda_bench::{build_workload, pipe_transfer_secs, time, BenchArgs, BenchTimings, Report};
+use parda_core::{parallel, PardaConfig};
+use parda_trace::spec::SPEC2006;
+use parda_tree::SplayTree;
+
+fn main() {
+    let args = BenchArgs::parse(1_000_000, 8);
+    // Paper setup: 64 Mw pipe, 2 Mw cache bound, 64 processors over traces
+    // of ~10^10 refs. Scaled by the same N ratio: 64 Kw pipe, bound =
+    // refs-proportional equivalent of 2 Mw (≈ M/5 for mcf-like ratios); we
+    // use a fixed fraction of the scaled footprint ceiling, 4096 words.
+    let pipe_words = 64 * 1024;
+    let bound = 4_096u64;
+    let mut config = PardaConfig::with_ranks(args.ranks);
+    config.bound = Some(bound);
+
+    println!(
+        "Table IV reproduction: refs/bench={} ranks={} bound={}w pipe={}w",
+        args.refs, args.ranks, bound, pipe_words
+    );
+    println!("(paper: 64 procs, 2Mw bound, 64Mw pipe, full SPEC traces)\n");
+
+    let report = Report::new(
+        &[
+            "benchmark", "M", "N", "gen_s", "pipe_s", "olken_s", "parda_s", "olken_x", "parda_x",
+            "paper_ox", "paper_px",
+        ],
+        args.json,
+    );
+    let mut out = std::io::stdout();
+    report.print_header(&mut out);
+
+    let mut olken_ratios = Vec::new();
+    let mut parda_ratios = Vec::new();
+    for bench in &SPEC2006 {
+        let w = build_workload(bench, args.refs, args.seed);
+        let pipe_secs = pipe_transfer_secs(&w.trace, pipe_words);
+        let (seq_hist, olken_secs) = time(|| {
+            parda_core::seq::analyze_sequential::<SplayTree>(w.trace.as_slice(), None)
+        });
+        let (par_hist, parda_secs) =
+            time(|| parallel::parda_threads::<SplayTree>(w.trace.as_slice(), &config));
+        assert_eq!(seq_hist.total(), par_hist.total());
+
+        let timings = BenchTimings {
+            name: bench.name,
+            n: w.trace.len() as u64,
+            m: w.trace.distinct() as u64,
+            orig_secs: w.orig_scaled_secs,
+            gen_secs: w.gen_secs,
+            pipe_secs,
+            olken_secs,
+            parda_secs,
+            olken_slowdown: w.slowdown(olken_secs),
+            parda_slowdown: w.slowdown(parda_secs),
+            paper_olken_slowdown: bench.olken_slowdown(),
+            paper_parda_slowdown: bench.parda_slowdown(),
+        };
+        olken_ratios.push(timings.olken_slowdown);
+        parda_ratios.push(timings.parda_slowdown);
+        report.print_row(
+            &mut out,
+            &[
+                timings.name.to_string(),
+                timings.m.to_string(),
+                timings.n.to_string(),
+                format!("{:.3}", timings.gen_secs),
+                format!("{:.3}", timings.pipe_secs),
+                format!("{:.3}", timings.olken_secs),
+                format!("{:.3}", timings.parda_secs),
+                format!("{:.1}", timings.olken_slowdown),
+                format!("{:.1}", timings.parda_slowdown),
+                format!("{:.1}", timings.paper_olken_slowdown),
+                format!("{:.1}", timings.paper_parda_slowdown),
+            ],
+            &timings,
+        );
+    }
+
+    let geo = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    println!(
+        "\ngeometric-mean slowdowns: olken {:.1}x, parda {:.1}x (paper averages: 28.5x parda; \
+         hundreds-to-thousands olken)",
+        geo(&olken_ratios),
+        geo(&parda_ratios)
+    );
+    println!(
+        "shape check: on a multi-core host parda beats olken on every row (the paper's \
+         13-53x vs hundreds-to-thousands); with {} hardware thread(s) the ranks time-share \
+         and parda ~ olken — the parallel decomposition itself is validated by the \
+         equal-histogram property tests and the D2 space ablation.",
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    );
+}

@@ -1,0 +1,89 @@
+//! Experiment harness for the PARDA reproduction.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §5); this library holds the shared machinery:
+//!
+//! * [`workload`] — building scaled SPEC traces and accounting for the
+//!   trace-generation ("Pin") and pipe-transfer overheads the paper reports
+//!   alongside analysis time;
+//! * [`report`] — aligned text tables plus JSON-lines output so
+//!   EXPERIMENTS.md entries are reproducible verbatim.
+//!
+//! ## Reading slowdown factors
+//!
+//! The paper reports every cost as a *slowdown factor*: time divided by the
+//! uninstrumented runtime of the benchmark (`Orig` in Table IV). Our traces
+//! are scaled down by `n_scaled / n_paper`, so the comparable baseline is
+//! `orig_secs · n_scaled / n_paper` — the time the original program would
+//! have spent issuing that many references. All slowdowns printed by the
+//! harness use this scaled baseline, making them directly comparable to the
+//! paper's factors.
+
+pub mod report;
+pub mod workload;
+
+pub use report::{format_row, Report};
+pub use workload::{build_workload, pipe_transfer_secs, BenchTimings, Workload};
+
+use std::time::Instant;
+
+/// Time a closure, returning `(result, seconds)`.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+/// Parse `--key value` style overrides from a binary's argv, with defaults.
+/// (The experiment binaries share a tiny flag surface: `--refs`, `--ranks`,
+/// `--seed`, `--json`.)
+pub struct BenchArgs {
+    /// References per benchmark trace.
+    pub refs: u64,
+    /// Ranks for the parallel analyzer.
+    pub ranks: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Also emit JSON lines.
+    pub json: bool,
+}
+
+impl BenchArgs {
+    /// Parse from `std::env::args`, applying the given defaults.
+    pub fn parse(default_refs: u64, default_ranks: usize) -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let get = |key: &str| -> Option<String> {
+            argv.iter()
+                .position(|a| a == key)
+                .and_then(|i| argv.get(i + 1).cloned())
+        };
+        Self {
+            refs: get("--refs")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default_refs),
+            ranks: get("--ranks")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default_ranks),
+            seed: get("--seed").and_then(|v| v.parse().ok()).unwrap_or(42),
+            json: argv.iter().any(|a| a == "--json"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_measures_something() {
+        let (value, secs) = time(|| {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(value > 0);
+        assert!(secs >= 0.0);
+    }
+}

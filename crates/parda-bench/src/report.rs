@@ -1,0 +1,187 @@
+//! Text/JSON reporting for the experiment binaries.
+
+use serde::Serialize;
+use std::io::Write;
+
+/// A simple aligned-column report writer that can mirror rows as JSON
+/// lines (for machine consumption by EXPERIMENTS.md tooling).
+pub struct Report {
+    headers: Vec<String>,
+    widths: Vec<usize>,
+    json: bool,
+}
+
+impl Report {
+    /// Start a report with the given column headers; widths are derived
+    /// from the headers (min 8 columns wide).
+    pub fn new(headers: &[&str], json: bool) -> Self {
+        let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+        let widths = headers.iter().map(|h| h.len().max(10)).collect();
+        Self {
+            headers,
+            widths,
+            json,
+        }
+    }
+
+    /// Print the header row.
+    pub fn print_header(&self, out: &mut dyn Write) {
+        let mut line = String::new();
+        for (h, w) in self.headers.iter().zip(&self.widths) {
+            line.push_str(&format!("{h:>w$} ", w = w));
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+    }
+
+    /// Print one row of already-formatted cells (and a JSON mirror of any
+    /// serializable record when JSON mode is on).
+    pub fn print_row<S: Serialize>(&self, out: &mut dyn Write, cells: &[String], record: &S) {
+        let mut line = String::new();
+        for (c, w) in cells.iter().zip(&self.widths) {
+            line.push_str(&format!("{c:>w$} ", w = w));
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        if self.json {
+            if let Ok(json) = serde_json::to_string(record) {
+                let _ = writeln!(out, "#json {json}");
+            }
+        }
+    }
+}
+
+/// Format a float with 2 decimals (the paper's table style).
+pub fn format_row(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Render a terminal line chart: one column group per x category, one mark
+/// character per series — the figure binaries print these alongside the raw
+/// tables so the paper's figure *shapes* are visible at a glance.
+pub fn line_chart(
+    title: &str,
+    x_labels: &[String],
+    series: &[(String, Vec<f64>)],
+    height: usize,
+) -> String {
+    assert!(height >= 2);
+    assert!(!x_labels.is_empty());
+    assert!(series.iter().all(|(_, ys)| ys.len() == x_labels.len()));
+    const MARKS: &[u8] = b"*o+x#@%&";
+
+    let values: Vec<f64> = series.iter().flat_map(|(_, ys)| ys.iter().copied()).collect();
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-9);
+
+    let col_width = x_labels.iter().map(|l| l.len()).max().unwrap_or(1).max(6) + 1;
+    let mut grid = vec![vec![b' '; col_width * x_labels.len()]; height];
+    for (s, (_, ys)) in series.iter().enumerate() {
+        let mark = MARKS[s % MARKS.len()];
+        for (x, &y) in ys.iter().enumerate() {
+            let row = ((max - y) / span * (height - 1) as f64).round() as usize;
+            let col = x * col_width + col_width / 2;
+            let cell = &mut grid[row.min(height - 1)][col];
+            // Overlapping series at the same point: show a generic marker.
+            *cell = if *cell == b' ' { mark } else { b'=' };
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        let y = max - span * i as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y:>9.1} |"));
+        out.push_str(String::from_utf8_lossy(row).trim_end());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>9} +", ""));
+    out.push_str(&"-".repeat(col_width * x_labels.len()));
+    out.push('\n');
+    out.push_str(&format!("{:>10}", ""));
+    for label in x_labels {
+        out.push_str(&format!("{label:^col_width$}"));
+    }
+    out.push('\n');
+    for (s, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>10}{} = {}\n",
+            "",
+            MARKS[s % MARKS.len()] as char,
+            name
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_aligned_rows() {
+        let mut buf = Vec::new();
+        let r = Report::new(&["name", "value"], false);
+        r.print_header(&mut buf);
+        r.print_row(&mut buf, &["mcf".into(), "1.23".into()], &serde_json::json!({}));
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("name"));
+        assert!(text.contains("mcf"));
+        assert!(!text.contains("#json"));
+    }
+
+    #[test]
+    fn json_mode_mirrors_rows() {
+        let mut buf = Vec::new();
+        let r = Report::new(&["a"], true);
+        r.print_row(&mut buf, &["x".into()], &serde_json::json!({"a": 1}));
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("#json {\"a\":1}"));
+    }
+
+    #[test]
+    fn format_row_two_decimals() {
+        assert_eq!(format_row(1.234), "1.23");
+        assert_eq!(format_row(100.0), "100.00");
+    }
+
+    #[test]
+    fn line_chart_places_extremes_on_edge_rows() {
+        let chart = line_chart(
+            "test",
+            &["a".into(), "b".into(), "c".into()],
+            &[("s1".into(), vec![1.0, 5.0, 3.0])],
+            5,
+        );
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines[0], "test");
+        // Max (5.0) on the top data row, min (1.0) on the bottom data row.
+        assert!(lines[1].contains('*'), "top row: {chart}");
+        assert!(lines[5].contains('*'), "bottom row: {chart}");
+        assert!(chart.contains("* = s1"));
+        assert!(chart.contains("a"));
+    }
+
+    #[test]
+    fn line_chart_marks_overlap() {
+        let chart = line_chart(
+            "t",
+            &["x".into()],
+            &[("a".into(), vec![2.0]), ("b".into(), vec![2.0])],
+            3,
+        );
+        assert!(chart.contains('='), "overlap marker missing: {chart}");
+    }
+
+    #[test]
+    fn line_chart_handles_flat_series() {
+        let chart = line_chart(
+            "flat",
+            &["x".into(), "y".into()],
+            &[("a".into(), vec![7.0, 7.0])],
+            4,
+        );
+        assert!(chart.contains('*'));
+    }
+}

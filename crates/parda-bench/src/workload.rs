@@ -1,0 +1,111 @@
+//! Workload construction and overhead accounting for the experiments.
+
+use crate::time;
+use parda_comm::pipe;
+use parda_trace::spec::SpecBenchmark;
+use parda_trace::{AddressStream, Trace};
+use serde::Serialize;
+
+/// A materialized, scaled benchmark workload plus the costs of producing it.
+pub struct Workload {
+    /// The benchmark this models.
+    pub bench: &'static SpecBenchmark,
+    /// The scaled trace.
+    pub trace: Trace,
+    /// Time to generate the trace — our analogue of the paper's Pin
+    /// instrumentation overhead (trace *production* cost).
+    pub gen_secs: f64,
+    /// The uninstrumented-runtime baseline for slowdown factors:
+    /// `orig_secs · n_scaled / n_paper`.
+    pub orig_scaled_secs: f64,
+}
+
+impl Workload {
+    /// Slowdown factor of a measured time against the scaled baseline.
+    pub fn slowdown(&self, secs: f64) -> f64 {
+        secs / self.orig_scaled_secs
+    }
+}
+
+/// Generate the scaled trace for `bench` and record the generation cost.
+pub fn build_workload(bench: &'static SpecBenchmark, refs: u64, seed: u64) -> Workload {
+    let (trace, gen_secs) = time(|| bench.generator(refs, seed).take_trace(refs as usize));
+    let orig_scaled_secs = bench.orig_secs * refs as f64 / bench.n_paper as f64;
+    Workload {
+        bench,
+        trace,
+        gen_secs,
+        orig_scaled_secs,
+    }
+}
+
+/// Measure shipping the trace through a bounded pipe (the paper's `Pipe`
+/// column): producer thread writes, consumer drains, wall time reported.
+pub fn pipe_transfer_secs(trace: &Trace, pipe_words: usize) -> f64 {
+    let addrs = trace.as_slice().to_vec();
+    let n = addrs.len();
+    let (result, secs) = time(move || {
+        let (mut writer, mut reader) = pipe(pipe_words, parda_comm::pipe::DEFAULT_BATCH);
+        let producer = std::thread::spawn(move || {
+            writer.write_all(&addrs);
+        });
+        let mut buf = Vec::with_capacity(n);
+        reader.fill(&mut buf, n + 1);
+        producer.join().expect("producer thread");
+        buf.len()
+    });
+    assert_eq!(result, n, "pipe must deliver the whole trace");
+    secs
+}
+
+/// One row of timing results for a benchmark (Table IV shape).
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchTimings {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Scaled trace length.
+    pub n: u64,
+    /// Scaled distinct addresses.
+    pub m: u64,
+    /// Scaled uninstrumented baseline, seconds.
+    pub orig_secs: f64,
+    /// Trace generation time ("Pin"), seconds.
+    pub gen_secs: f64,
+    /// Pipe transfer time, seconds.
+    pub pipe_secs: f64,
+    /// Sequential tree-based analysis time (Olken81), seconds.
+    pub olken_secs: f64,
+    /// Parda parallel analysis time, seconds.
+    pub parda_secs: f64,
+    /// Measured sequential slowdown factor.
+    pub olken_slowdown: f64,
+    /// Measured Parda slowdown factor.
+    pub parda_slowdown: f64,
+    /// Paper's sequential slowdown factor (for the comparison column).
+    pub paper_olken_slowdown: f64,
+    /// Paper's Parda slowdown factor.
+    pub paper_parda_slowdown: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parda_trace::spec::SPEC2006;
+
+    #[test]
+    fn build_workload_scales_correctly() {
+        let w = build_workload(&SPEC2006[3], 10_000, 1); // mcf
+        assert_eq!(w.trace.len(), 10_000);
+        let expect_m = SPEC2006[3].scaled(10_000).m;
+        assert_eq!(w.trace.distinct() as u64, expect_m);
+        assert!(w.orig_scaled_secs > 0.0);
+        assert!(w.slowdown(w.orig_scaled_secs) > 0.99);
+    }
+
+    #[test]
+    fn pipe_transfer_delivers_everything() {
+        let trace: Trace = (0..50_000u64).collect();
+        let secs = pipe_transfer_secs(&trace, 1 << 14);
+        assert!(secs > 0.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Fully associative LRU cache with O(1) accesses.
+
+use crate::CacheStats;
+use parda_hash::RobinHoodMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Entry {
+    addr: u64,
+    prev: u32,
+    next: u32,
+}
+
+/// Fully associative LRU cache over 64-bit line addresses.
+///
+/// Backed by a [`RobinHoodMap`] for lookup and an arena-based intrusive
+/// doubly-linked list for recency order, so `access` is O(1) — important
+/// because the test suite replays multi-million-reference traces against it.
+///
+/// # Examples
+///
+/// ```
+/// use parda_cachesim::LruCache;
+///
+/// let mut cache = LruCache::new(2);
+/// assert!(!cache.access(1)); // miss (cold)
+/// assert!(!cache.access(2)); // miss (cold)
+/// assert!(cache.access(1));  // hit
+/// assert!(!cache.access(3)); // miss, evicts 2 (LRU)
+/// assert!(!cache.access(2)); // miss again
+/// ```
+#[derive(Clone, Debug)]
+pub struct LruCache {
+    capacity: usize,
+    map: RobinHoodMap<u64, u32>,
+    entries: Vec<Entry>,
+    free: Vec<u32>,
+    head: u32, // most recently used
+    tail: u32, // least recently used
+    stats: CacheStats,
+}
+
+impl LruCache {
+    /// Create a cache holding `capacity` lines. Panics on zero capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            capacity,
+            map: RobinHoodMap::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Configured capacity in lines.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lines currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Accumulated hit/miss counts.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let Entry { prev, next, .. } = self.entries[idx as usize];
+        if prev != NIL {
+            self.entries[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.entries[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        self.entries[idx as usize].prev = NIL;
+        self.entries[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.entries[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Access one line address; returns `true` on hit. Misses insert the
+    /// line, evicting the LRU line if the cache is full.
+    pub fn access(&mut self, addr: u64) -> bool {
+        if let Some(&idx) = self.map.get(addr) {
+            self.unlink(idx);
+            self.push_front(idx);
+            self.stats.record(true);
+            return true;
+        }
+        self.stats.record(false);
+        if self.map.len() == self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            let victim_addr = self.entries[victim as usize].addr;
+            self.unlink(victim);
+            self.map.remove(victim_addr);
+            self.free.push(victim);
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.entries[idx as usize] = Entry {
+                    addr,
+                    prev: NIL,
+                    next: NIL,
+                };
+                idx
+            }
+            None => {
+                self.entries.push(Entry {
+                    addr,
+                    prev: NIL,
+                    next: NIL,
+                });
+                (self.entries.len() - 1) as u32
+            }
+        };
+        self.map.insert(addr, idx);
+        self.push_front(idx);
+        false
+    }
+
+    /// `true` if `addr` is resident (no recency update, no stats).
+    pub fn contains(&self, addr: u64) -> bool {
+        self.map.contains_key(addr)
+    }
+
+    /// Replay a whole trace, returning the final stats.
+    pub fn run_trace(&mut self, addrs: &[u64]) -> CacheStats {
+        for &a in addrs {
+            self.access(a);
+        }
+        self.stats
+    }
+
+    /// Resident lines from most to least recently used (diagnostics/tests).
+    pub fn recency_order(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(self.entries[cur as usize].addr);
+            cur = self.entries[cur as usize].next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_hit_miss_sequence() {
+        let mut c = LruCache::new(2);
+        assert!(!c.access(1));
+        assert!(!c.access(2));
+        assert!(c.access(1));
+        assert!(!c.access(3)); // evicts 2
+        assert!(!c.access(2)); // 2 was evicted
+        assert!(c.access(3));
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 4);
+    }
+
+    #[test]
+    fn recency_order_tracks_accesses() {
+        let mut c = LruCache::new(3);
+        for a in [1u64, 2, 3] {
+            c.access(a);
+        }
+        assert_eq!(c.recency_order(), vec![3, 2, 1]);
+        c.access(1);
+        assert_eq!(c.recency_order(), vec![1, 3, 2]);
+        c.access(4);
+        assert_eq!(c.recency_order(), vec![4, 1, 3], "2 must be the victim");
+    }
+
+    #[test]
+    fn capacity_one_only_hits_immediate_reuse() {
+        let mut c = LruCache::new(1);
+        assert!(!c.access(1));
+        assert!(c.access(1));
+        assert!(!c.access(2));
+        assert!(!c.access(1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn cyclic_sweep_of_capacity_plus_one_never_hits() {
+        // The classic LRU pathology.
+        let mut c = LruCache::new(4);
+        for i in 0..100u64 {
+            assert!(!c.access(i % 5), "reference {i} must miss");
+        }
+    }
+
+    #[test]
+    fn len_never_exceeds_capacity() {
+        let mut c = LruCache::new(8);
+        for i in 0..1000u64 {
+            c.access(i % 37);
+            assert!(c.len() <= 8);
+        }
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn contains_does_not_touch_recency() {
+        let mut c = LruCache::new(2);
+        c.access(1);
+        c.access(2);
+        assert!(c.contains(1));
+        c.access(3); // victim must still be 1 (contains didn't refresh it)
+        assert!(!c.contains(1));
+        assert!(c.contains(2));
+    }
+
+    /// Reference model: Vec-based LRU.
+    fn naive_lru(capacity: usize, trace: &[u64]) -> (u64, u64) {
+        let mut stack: Vec<u64> = Vec::new();
+        let (mut hits, mut misses) = (0, 0);
+        for &a in trace {
+            if let Some(pos) = stack.iter().position(|&x| x == a) {
+                stack.remove(pos);
+                stack.insert(0, a);
+                hits += 1;
+            } else {
+                if stack.len() == capacity {
+                    stack.pop();
+                }
+                stack.insert(0, a);
+                misses += 1;
+            }
+        }
+        (hits, misses)
+    }
+
+    proptest! {
+        #[test]
+        fn matches_naive_model(
+            capacity in 1usize..16,
+            trace in proptest::collection::vec(0u64..32, 0..500),
+        ) {
+            let mut c = LruCache::new(capacity);
+            let stats = c.run_trace(&trace);
+            let (hits, misses) = naive_lru(capacity, &trace);
+            prop_assert_eq!(stats.hits, hits);
+            prop_assert_eq!(stats.misses, misses);
+        }
+    }
+}

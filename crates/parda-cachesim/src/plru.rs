@@ -1,0 +1,231 @@
+//! Tree-based pseudo-LRU (PLRU) cache.
+//!
+//! Real hardware rarely implements true LRU beyond a few ways; the common
+//! substitute is tree-PLRU: a binary tree of direction bits per set,
+//! flipped away from the accessed way on every touch, walked "toward the
+//! cold side" to choose a victim. The paper grounds reuse distance in "the
+//! LRU replacement policy or its variants" — this simulator quantifies how
+//! far the variant strays from the model: identical at 2 ways (tested),
+//! increasingly approximate at higher associativity.
+
+use crate::CacheStats;
+
+/// One tree-PLRU set of `ways` lines (`ways` a power of two).
+#[derive(Clone, Debug)]
+struct PlruSet {
+    /// Resident block numbers, `u64::MAX` = invalid.
+    lines: Vec<u64>,
+    /// Direction bits of the complete binary tree, heap-indexed from 1;
+    /// `false` = the "older" side is the left child.
+    bits: Vec<bool>,
+}
+
+impl PlruSet {
+    fn new(ways: usize) -> Self {
+        Self {
+            lines: vec![u64::MAX; ways],
+            bits: vec![false; ways.max(2)],
+        }
+    }
+
+    /// Flip the path bits to point *away* from `way`.
+    fn touch(&mut self, way: usize) {
+        let ways = self.lines.len();
+        let mut node = 1usize;
+        let mut lo = 0usize;
+        let mut hi = ways;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if way < mid {
+                self.bits[node] = true; // cold side is now the right half
+                hi = mid;
+                node *= 2;
+            } else {
+                self.bits[node] = false;
+                lo = mid;
+                node = node * 2 + 1;
+            }
+        }
+    }
+
+    /// Walk the direction bits to the pseudo-LRU victim way.
+    /// `bits[node] == true` means the cold (victim) side is the right half.
+    fn victim(&self) -> usize {
+        let ways = self.lines.len();
+        let mut node = 1usize;
+        let mut lo = 0usize;
+        let mut hi = ways;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.bits[node] {
+                lo = mid;
+                node = node * 2 + 1;
+            } else {
+                hi = mid;
+                node *= 2;
+            }
+        }
+        lo
+    }
+
+    fn access(&mut self, block: u64) -> bool {
+        if let Some(way) = self.lines.iter().position(|&b| b == block) {
+            self.touch(way);
+            return true;
+        }
+        // Prefer an invalid way before evicting.
+        let way = self
+            .lines
+            .iter()
+            .position(|&b| b == u64::MAX)
+            .unwrap_or_else(|| self.victim());
+        self.lines[way] = block;
+        self.touch(way);
+        false
+    }
+}
+
+/// Set-associative cache with tree-PLRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use parda_cachesim::PlruCache;
+///
+/// let mut cache = PlruCache::new(4, 4, 6); // 4 sets × 4 ways × 64 B
+/// assert!(!cache.access(0x000));
+/// assert!(cache.access(0x001)); // same line
+/// ```
+#[derive(Clone, Debug)]
+pub struct PlruCache {
+    sets: Vec<PlruSet>,
+    block_bits: u32,
+    set_mask: u64,
+    stats: CacheStats,
+}
+
+impl PlruCache {
+    /// `num_sets` sets (power of two) × `ways` ways (power of two) of
+    /// `1 << block_bits`-byte lines.
+    pub fn new(num_sets: usize, ways: usize, block_bits: u32) -> Self {
+        assert!(num_sets > 0 && num_sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0 && ways.is_power_of_two(), "tree-PLRU needs power-of-two ways");
+        assert!(block_bits < 32);
+        Self {
+            sets: vec![PlruSet::new(ways); num_sets],
+            block_bits,
+            set_mask: (num_sets - 1) as u64,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets.len() * self.sets[0].lines.len()
+    }
+
+    /// Accumulated hit/miss counts.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Access one byte address; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let block = addr >> self.block_bits;
+        let set = (block & self.set_mask) as usize;
+        let hit = self.sets[set].access(block);
+        self.stats.record(hit);
+        hit
+    }
+
+    /// Replay a whole trace, returning the final stats.
+    pub fn run_trace(&mut self, addrs: &[u64]) -> CacheStats {
+        for &a in addrs {
+            self.access(a);
+        }
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SetAssociativeCache;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn two_way_plru_equals_true_lru() {
+        // With 2 ways the PLRU tree is a single bit — exactly LRU.
+        let mut plru = PlruCache::new(8, 2, 0);
+        let mut lru = SetAssociativeCache::new(8, 2, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50_000 {
+            let a = rng.gen_range(0u64..64);
+            assert_eq!(plru.access(a), lru.access(a));
+        }
+        assert_eq!(plru.stats().hits, lru.stats().hits);
+    }
+
+    #[test]
+    fn repeated_access_always_hits() {
+        let mut c = PlruCache::new(1, 8, 0);
+        c.access(5);
+        for _ in 0..100 {
+            assert!(c.access(5));
+        }
+    }
+
+    #[test]
+    fn fills_invalid_ways_before_evicting() {
+        let mut c = PlruCache::new(1, 4, 0);
+        for a in 0..4u64 {
+            assert!(!c.access(a));
+        }
+        // All four must still be resident: no eviction happened during fill.
+        for a in 0..4u64 {
+            assert!(c.access(a), "line {a} was evicted during fill");
+        }
+    }
+
+    #[test]
+    fn plru_approximates_lru_miss_ratio() {
+        // On random traffic the PLRU miss ratio should track true LRU
+        // within a few percent.
+        let mut rng = StdRng::seed_from_u64(9);
+        let trace: Vec<u64> = (0..200_000).map(|_| rng.gen_range(0u64..2_000) << 6).collect();
+        let mut plru = PlruCache::new(64, 8, 6);
+        let mut lru = SetAssociativeCache::new(64, 8, 6);
+        let plru_mr = plru.run_trace(&trace).miss_ratio();
+        let lru_mr = lru.run_trace(&trace).miss_ratio();
+        assert!(
+            (plru_mr - lru_mr).abs() < 0.03,
+            "plru {plru_mr} vs lru {lru_mr}"
+        );
+    }
+
+    #[test]
+    fn plru_diverges_from_lru_on_adversarial_pattern() {
+        // Sanity check that this is genuinely a different policy: over
+        // random traffic in one 4-way set, PLRU must disagree with true LRU
+        // on at least one access.
+        let mut plru = PlruCache::new(1, 4, 0);
+        let mut lru = SetAssociativeCache::new(1, 4, 0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut diverged = false;
+        for _ in 0..10_000 {
+            let a = rng.gen_range(0u64..6);
+            if plru.access(a) != lru.access(a) {
+                diverged = true;
+                break;
+            }
+        }
+        assert!(diverged, "4-way PLRU never deviated from LRU in 10k accesses");
+    }
+
+    #[test]
+    fn geometry() {
+        let c = PlruCache::new(16, 8, 6);
+        assert_eq!(c.capacity_lines(), 128);
+    }
+}

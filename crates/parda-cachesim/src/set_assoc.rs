@@ -1,0 +1,171 @@
+//! Set-associative LRU cache.
+//!
+//! Reuse distance models a *fully associative* cache; real caches are
+//! set-associative and add conflict misses on top. This simulator lets
+//! tests and examples quantify that gap (e.g. the `mrc_cache_model`
+//! example compares the reuse-distance MRC against 2-/8-way simulations).
+
+use crate::CacheStats;
+
+/// Set-associative LRU cache with configurable geometry.
+///
+/// Addresses are byte addresses; `block_bits` selects the line size
+/// (`1 << block_bits` bytes), and the block index is split into set index
+/// and tag. Within a set, replacement is true LRU.
+///
+/// # Examples
+///
+/// ```
+/// use parda_cachesim::SetAssociativeCache;
+///
+/// // 4 sets × 2 ways of 64-byte lines = 512 B.
+/// let mut cache = SetAssociativeCache::new(4, 2, 6);
+/// assert!(!cache.access(0x000));
+/// assert!(cache.access(0x03f)); // same 64-byte line
+/// assert!(!cache.access(0x040)); // next line
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssociativeCache {
+    sets: Vec<Vec<u64>>, // per set: block numbers, index 0 = MRU
+    ways: usize,
+    block_bits: u32,
+    set_mask: u64,
+    stats: CacheStats,
+}
+
+impl SetAssociativeCache {
+    /// Create a cache with `num_sets` sets (power of two), `ways` lines per
+    /// set, and `1 << block_bits`-byte lines.
+    pub fn new(num_sets: usize, ways: usize, block_bits: u32) -> Self {
+        assert!(num_sets > 0 && num_sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0, "need at least one way");
+        assert!(block_bits < 32, "block size out of range");
+        Self {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            block_bits,
+            set_mask: (num_sets - 1) as u64,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// A fully associative cache of `lines` lines with the given block size
+    /// (single set).
+    pub fn fully_associative(lines: usize, block_bits: u32) -> Self {
+        let mut cache = Self::new(1, lines, block_bits);
+        cache.sets[0].reserve(lines);
+        cache
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_lines() << self.block_bits
+    }
+
+    /// Accumulated hit/miss counts.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Access one byte address; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let block = addr >> self.block_bits;
+        let set_idx = (block & self.set_mask) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&b| b == block) {
+            set[..=pos].rotate_right(1);
+            self.stats.record(true);
+            return true;
+        }
+        self.stats.record(false);
+        if set.len() == self.ways {
+            set.pop();
+        }
+        set.insert(0, block);
+        false
+    }
+
+    /// Replay a whole trace, returning the final stats.
+    pub fn run_trace(&mut self, addrs: &[u64]) -> CacheStats {
+        for &a in addrs {
+            self.access(a);
+        }
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LruCache;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn same_line_accesses_hit() {
+        let mut c = SetAssociativeCache::new(4, 2, 6);
+        assert!(!c.access(0x100));
+        assert!(c.access(0x101));
+        assert!(c.access(0x13f));
+        assert!(!c.access(0x140));
+    }
+
+    #[test]
+    fn conflict_misses_within_one_set() {
+        // Direct-mapped, 4 sets of 64-byte lines: addresses 0x000 and 0x100
+        // map to set 0 and evict each other.
+        let mut c = SetAssociativeCache::new(4, 1, 6);
+        assert!(!c.access(0x000));
+        assert!(!c.access(0x100));
+        assert!(!c.access(0x000), "conflict miss expected");
+        // A 2-way cache with the same total size avoids the conflict.
+        let mut c2 = SetAssociativeCache::new(2, 2, 6);
+        assert!(!c2.access(0x000));
+        assert!(!c2.access(0x100));
+        // 0x000: block 0 → set 0; 0x100: block 4 → set 0. Both fit in 2 ways.
+        assert!(c2.access(0x000), "2-way must retain both");
+    }
+
+    #[test]
+    fn fully_associative_matches_lru_cache() {
+        // With block_bits = 0 and one set, the simulator degenerates to the
+        // O(1) LruCache semantics: cross-validate the two implementations.
+        let mut sa = SetAssociativeCache::fully_associative(16, 0);
+        let mut lru = LruCache::new(16);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20_000 {
+            let a = rng.gen_range(0u64..64);
+            assert_eq!(sa.access(a), lru.access(a));
+        }
+        assert_eq!(sa.stats().hits, lru.stats().hits);
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let c = SetAssociativeCache::new(64, 8, 6);
+        assert_eq!(c.capacity_lines(), 512);
+        assert_eq!(c.capacity_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn higher_associativity_never_increases_misses_on_scan() {
+        // Sequential scan through 2× the cache: misses are compulsory for
+        // every new line regardless of associativity, but on re-scan the
+        // direct-mapped cache keeps missing lines that an associative one
+        // with identical size also misses (LRU sweep). Just verify both run
+        // and the fully associative result matches theory: all misses.
+        let lines = 64u64;
+        let mut full = SetAssociativeCache::fully_associative(lines as usize, 6);
+        for _ in 0..3 {
+            for b in 0..(2 * lines) {
+                full.access(b << 6);
+            }
+        }
+        assert_eq!(full.stats().hits, 0, "sweep of 2×capacity never hits in LRU");
+    }
+}

@@ -1,0 +1,152 @@
+//! Minimal argument parsing: positional values plus `--key value` and
+//! `--flag` switches.
+
+use std::collections::{HashMap, HashSet};
+
+/// Parsed command-line arguments.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+    switches: HashSet<String>,
+}
+
+impl Args {
+    /// Parse raw tokens. `--key value` becomes an option, a trailing `--key`
+    /// (or one followed by another `--…` token) becomes a boolean switch.
+    pub fn parse(tokens: &[String]) -> Result<Self, String> {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            if let Some(key) = tok.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("bare `--` is not supported".into());
+                }
+                match tokens.get(i + 1) {
+                    Some(value) if !value.starts_with("--") => {
+                        if args.options.insert(key.to_string(), value.clone()).is_some() {
+                            return Err(format!("duplicate option --{key}"));
+                        }
+                        i += 2;
+                    }
+                    _ => {
+                        args.switches.insert(key.to_string());
+                        i += 1;
+                    }
+                }
+            } else {
+                args.positional.push(tok.clone());
+                i += 1;
+            }
+        }
+        Ok(args)
+    }
+
+    /// Positional argument at `idx`.
+    pub fn positional(&self, idx: usize) -> Option<&str> {
+        self.positional.get(idx).map(String::as_str)
+    }
+
+    /// Required positional argument with a descriptive error.
+    pub fn require_positional(&self, idx: usize, what: &str) -> Result<&str, String> {
+        self.positional(idx)
+            .ok_or_else(|| format!("missing required argument: {what}"))
+    }
+
+    /// String option value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Boolean switch presence.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.contains(key)
+    }
+
+    /// Parse an option as `T`, with a default when absent.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|e| format!("invalid value for --{key}: {e}")),
+        }
+    }
+
+    /// Parse an optional option as `Option<T>`.
+    pub fn get_optional<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|e| format!("invalid value for --{key}: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn positional_and_options_mix() {
+        let a = parse(&["file.trc", "extra", "--ranks", "8", "--verbose"]);
+        assert_eq!(a.positional(0), Some("file.trc"));
+        assert_eq!(a.positional(1), Some("extra"));
+        assert_eq!(a.get("ranks"), Some("8"));
+        assert!(a.has("verbose"));
+        assert!(!a.has("quiet"));
+    }
+
+    #[test]
+    fn option_greedily_consumes_next_token() {
+        // Documented semantics: `--flag value` is an option even if the
+        // caller meant a switch; switches must come last or before another
+        // `--` token.
+        let a = parse(&["--verbose", "extra"]);
+        assert_eq!(a.get("verbose"), Some("extra"));
+        assert!(!a.has("verbose"));
+    }
+
+    #[test]
+    fn switch_followed_by_option() {
+        let a = parse(&["--fast", "--bound", "1024"]);
+        assert!(a.has("fast"));
+        assert_eq!(a.get("bound"), Some("1024"));
+    }
+
+    #[test]
+    fn get_parsed_with_default() {
+        let a = parse(&["--n", "42"]);
+        assert_eq!(a.get_parsed("n", 0u64).unwrap(), 42);
+        assert_eq!(a.get_parsed("missing", 7u64).unwrap(), 7);
+        assert!(a.get_parsed::<u64>("n", 0).is_ok());
+        let bad = parse(&["--n", "xyz"]);
+        assert!(bad.get_parsed::<u64>("n", 0).is_err());
+    }
+
+    #[test]
+    fn duplicate_option_rejected() {
+        let tokens: Vec<String> = ["--a", "1", "--a", "2"].iter().map(|s| s.to_string()).collect();
+        assert!(Args::parse(&tokens).is_err());
+    }
+
+    #[test]
+    fn require_positional_errors_nicely() {
+        let a = parse(&[]);
+        let err = a.require_positional(0, "trace file").unwrap_err();
+        assert!(err.contains("trace file"));
+    }
+}

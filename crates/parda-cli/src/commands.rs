@@ -1,0 +1,299 @@
+//! Subcommand implementations.
+
+use crate::Args;
+use parda_core::phased::{self, Reduction};
+use parda_core::sampled::{self, SampleRate};
+use parda_core::{analyze_sequential_kind, parda_kind, seq, PardaConfig};
+use parda_pinsim::collect_trace;
+use parda_trace::gen::{CyclicGen, SequentialGen, UniformGen, ZipfGen};
+use parda_trace::io::{load_trace, save_trace, Encoding};
+use parda_trace::spec::{SpecBenchmark, SPEC2006};
+use parda_trace::{AddressStream, SliceStream, Trace};
+use parda_tree::TreeKind;
+use std::io::Write;
+use std::time::Instant;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage: parda <command> [options]
+
+commands:
+  gen      generate a trace
+             --spec <name> --refs <n> [--seed <s>]      SPEC CPU2006 model
+             --pattern <cyclic|uniform|zipf|sequential> --footprint <m> --refs <n>
+             --kernel <matmul|matmul-blocked|stencil|chase|join|triad|mergesort> --size <n>
+             --out <file> [--encoding <raw|delta>]
+  analyze  analyze a trace file
+             <file> [--engine <parda|seq|naive|phased|sampled>] [--ranks <p>]
+             [--bound <B>] [--tree <splay|avl|treap|vector>] [--json]
+             [--line-bits <b>]  (fold addresses to 2^b-byte lines first)
+             phased:  [--chunk <C>] [--renumber]
+             sampled: [--rate <k>]   (spatial sampling at rate 2^-k)
+  mrc      print the miss ratio curve of a trace
+             <file> [--capacities <c1,c2,...>]
+  stats    print trace statistics (N, M, address span)
+             <file>
+  compare  run every engine over a trace, verify agreement, report timings
+             <file> [--ranks <p>] [--naive-limit <n>]
+  spec     print the paper's Table IV benchmark table
+  help     show this message";
+
+fn io_err(e: impl std::fmt::Display) -> String {
+    e.to_string()
+}
+
+/// `parda gen`: produce a trace from a SPEC model, a pattern generator, or
+/// a pinsim kernel.
+pub fn gen(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let path = args
+        .get("out")
+        .ok_or("missing --out <file>")?
+        .to_string();
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    let refs: u64 = args.get_parsed("refs", 1_000_000)?;
+    let encoding = match args.get("encoding").unwrap_or("delta") {
+        "raw" => Encoding::Raw,
+        "delta" => Encoding::DeltaVarint,
+        other => return Err(format!("unknown encoding `{other}`")),
+    };
+
+    let trace: Trace = if let Some(name) = args.get("spec") {
+        let bench = SpecBenchmark::by_name(name)
+            .ok_or_else(|| format!("unknown SPEC benchmark `{name}` (see `parda spec`)"))?;
+        bench.generator(refs, seed).take_trace(refs as usize)
+    } else if let Some(pattern) = args.get("pattern") {
+        let m: u64 = args.get_parsed("footprint", 1_024)?;
+        match pattern {
+            "cyclic" => CyclicGen::new(m, 0).take_trace(refs as usize),
+            "uniform" => UniformGen::new(m, 0, seed).take_trace(refs as usize),
+            "zipf" => {
+                let theta: f64 = args.get_parsed("theta", 0.99)?;
+                ZipfGen::new(m as usize, theta, 0, seed).take_trace(refs as usize)
+            }
+            "sequential" => SequentialGen::new(0, 8).take_trace(refs as usize),
+            other => return Err(format!("unknown pattern `{other}`")),
+        }
+    } else if let Some(kernel) = args.get("kernel") {
+        let size: usize = args.get_parsed("size", 64)?;
+        match kernel {
+            "matmul" => collect_trace(parda_pinsim::MatMul::naive(size)),
+            "matmul-blocked" => {
+                let block: usize = args.get_parsed("block", (size / 4).max(1))?;
+                collect_trace(parda_pinsim::MatMul::blocked(size, block))
+            }
+            "stencil" => {
+                let iters: usize = args.get_parsed("iters", 4)?;
+                collect_trace(parda_pinsim::Stencil2D::new(size, iters))
+            }
+            "chase" => collect_trace(parda_pinsim::PointerChase::new(size, refs, seed)),
+            "join" => collect_trace(parda_pinsim::HashJoin::new(size, size * 4, seed)),
+            "triad" => {
+                let iters: usize = args.get_parsed("iters", 4)?;
+                collect_trace(parda_pinsim::StreamTriad::new(size, iters))
+            }
+            "mergesort" => collect_trace(parda_pinsim::MergeSortScan::new(size, seed)),
+            other => return Err(format!("unknown kernel `{other}`")),
+        }
+    } else {
+        return Err("gen needs one of --spec, --pattern, or --kernel".into());
+    };
+
+    save_trace(&path, &trace, encoding).map_err(io_err)?;
+    writeln!(out, "wrote {} references to {path}", trace.len()).map_err(io_err)?;
+    Ok(())
+}
+
+fn parse_tree(args: &Args) -> Result<TreeKind, String> {
+    args.get("tree").unwrap_or("splay").parse()
+}
+
+/// `parda analyze`: run an analyzer over a trace file and print the binned
+/// histogram and timing.
+pub fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let engine = args.get("engine").unwrap_or("parda");
+    if !matches!(engine, "parda" | "seq" | "naive" | "phased" | "sampled") {
+        return Err(format!(
+            "unknown engine `{engine}` (parda|seq|naive|phased|sampled)"
+        ));
+    }
+    let path = args.require_positional(0, "trace file")?;
+    let tree = parse_tree(args)?;
+    let bound: Option<u64> = args.get_optional("bound")?;
+    let ranks: usize = args.get_parsed("ranks", 4)?;
+
+    let mut trace = load_trace(path).map_err(io_err)?;
+    let line_bits: u32 = args.get_parsed("line-bits", 0)?;
+    if line_bits > 0 {
+        trace = parda_trace::xform::to_lines(&trace, line_bits);
+    }
+    let start = Instant::now();
+    let hist = match engine {
+        "seq" => analyze_sequential_kind(trace.as_slice(), tree, bound),
+        "naive" => seq::analyze_naive(trace.as_slice()),
+        "phased" => {
+            let chunk: usize = args.get_parsed("chunk", 65_536)?;
+            let reduction = if args.has("renumber") {
+                Reduction::RenumberRanks
+            } else {
+                Reduction::ShipToRankZero
+            };
+            let mut config = PardaConfig::with_ranks(ranks);
+            config.bound = bound;
+            phased::parda_phased_with::<parda_tree::SplayTree, _>(
+                SliceStream::new(trace.as_slice()),
+                chunk,
+                &config,
+                reduction,
+            )
+        }
+        "sampled" => {
+            let rate: u32 = args.get_parsed("rate", 3)?;
+            sampled::analyze_sampled::<parda_tree::SplayTree>(
+                trace.as_slice(),
+                SampleRate::one_in_pow2(rate),
+            )
+        }
+        _ => {
+            let mut config = PardaConfig::with_ranks(ranks);
+            config.bound = bound;
+            parda_kind(trace.as_slice(), tree, &config)
+        }
+    };
+    let elapsed = start.elapsed();
+
+    if args.has("json") {
+        let json = serde_json::to_string(&hist).map_err(io_err)?;
+        writeln!(out, "{json}").map_err(io_err)?;
+    } else {
+        writeln!(
+            out,
+            "engine={engine} tree={} ranks={} bound={} time={:.3}s",
+            tree.name(),
+            if engine == "parda" { ranks } else { 1 },
+            bound.map_or("none".into(), |b| b.to_string()),
+            elapsed.as_secs_f64()
+        )
+        .map_err(io_err)?;
+        writeln!(
+            out,
+            "total={} finite={} inf={} mean_finite={:.1}",
+            hist.total(),
+            hist.finite_total(),
+            hist.infinite(),
+            hist.mean_finite_distance().unwrap_or(0.0)
+        )
+        .map_err(io_err)?;
+        write!(out, "{}", hist.to_binned().render()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// `parda mrc`: miss ratio curve at pow-2 capacities (or a custom list).
+pub fn mrc(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let path = args.require_positional(0, "trace file")?;
+    let trace = load_trace(path).map_err(io_err)?;
+    let hist = analyze_sequential_kind(trace.as_slice(), TreeKind::Splay, None);
+    let curve = match args.get("capacities") {
+        Some(list) => {
+            let caps: Result<Vec<u64>, _> = list.split(',').map(str::parse).collect();
+            hist.miss_ratio_curve(&caps.map_err(|e| format!("bad capacity list: {e}"))?)
+        }
+        None => hist.miss_ratio_curve_pow2(),
+    };
+    writeln!(out, "{:>12} {:>10}", "capacity", "miss_ratio").map_err(io_err)?;
+    for (c, mr) in curve {
+        writeln!(out, "{c:>12} {mr:>10.4}").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// `parda stats`: N, M, and address span of a trace file.
+pub fn stats(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let path = args.require_positional(0, "trace file")?;
+    let trace = load_trace(path).map_err(io_err)?;
+    writeln!(out, "{}", trace.stats()).map_err(io_err)?;
+    Ok(())
+}
+
+/// `parda compare`: run every exact engine over a trace, check that they
+/// produce identical histograms, and report per-engine timings.
+pub fn compare(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let path = args.require_positional(0, "trace file")?;
+    let ranks: usize = args.get_parsed("ranks", 4)?;
+    let naive_limit: usize = args.get_parsed("naive-limit", 50_000)?;
+    let trace = load_trace(path).map_err(io_err)?;
+
+    let mut results: Vec<(String, f64, parda_hist::ReuseHistogram)> = Vec::new();
+    let mut run = |name: String, f: &mut dyn FnMut() -> parda_hist::ReuseHistogram| {
+        let start = Instant::now();
+        let hist = f();
+        results.push((name, start.elapsed().as_secs_f64(), hist));
+    };
+
+    for kind in TreeKind::ALL {
+        run(format!("seq/{}", kind.name()), &mut || {
+            analyze_sequential_kind(trace.as_slice(), kind, None)
+        });
+    }
+    let config = PardaConfig::with_ranks(ranks);
+    run(format!("parda-threads/p{ranks}"), &mut || {
+        parda_kind(trace.as_slice(), TreeKind::Splay, &config)
+    });
+    run(format!("parda-msg/p{ranks}"), &mut || {
+        parda_core::parallel::parda_msg::<parda_tree::SplayTree>(trace.as_slice(), &config)
+    });
+    run(format!("phased/p{ranks}"), &mut || {
+        phased::parda_phased::<parda_tree::SplayTree, _>(
+            SliceStream::new(trace.as_slice()),
+            65_536,
+            &config,
+        )
+    });
+    if trace.len() <= naive_limit {
+        run("naive-stack".to_string(), &mut || {
+            seq::analyze_naive(trace.as_slice())
+        });
+    }
+
+    let reference = results[0].2.clone();
+    writeln!(out, "{:<22} {:>10} {:>10}", "engine", "time_s", "agrees").map_err(io_err)?;
+    let mut all_agree = true;
+    for (name, secs, hist) in &results {
+        let agrees = *hist == reference;
+        all_agree &= agrees;
+        writeln!(out, "{name:<22} {secs:>10.3} {:>10}", if agrees { "yes" } else { "NO" })
+            .map_err(io_err)?;
+    }
+    if all_agree {
+        writeln!(out, "all engines agree on {} references", trace.len()).map_err(io_err)?;
+        Ok(())
+    } else {
+        Err("engine disagreement detected".into())
+    }
+}
+
+/// `parda spec`: the paper's Table IV parameters and slowdown factors.
+pub fn spec(_args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    writeln!(
+        out,
+        "{:<12} {:>12} {:>16} {:>8} {:>10} {:>10} {:>8} {:>8}",
+        "benchmark", "M", "N", "orig_s", "olken_s", "parda_s", "olken_x", "parda_x"
+    )
+    .map_err(io_err)?;
+    for b in &SPEC2006 {
+        writeln!(
+            out,
+            "{:<12} {:>12} {:>16} {:>8.2} {:>10.2} {:>10.2} {:>8.1} {:>8.1}",
+            b.name,
+            b.m_paper,
+            b.n_paper,
+            b.orig_secs,
+            b.olken_secs,
+            b.parda_secs,
+            b.olken_slowdown(),
+            b.parda_slowdown()
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,214 @@
+//! Implementation of the `parda` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `parda gen` — generate synthetic traces (SPEC models, patterns, or
+//!   pinsim kernels) into the binary trace format;
+//! * `parda analyze` — run any analyzer (sequential / naive / parallel /
+//!   bounded) over a trace file and print the binned histogram;
+//! * `parda mrc` — print the miss-ratio curve;
+//! * `parda stats` — print trace shape statistics (N, M, span);
+//! * `parda spec` — print the paper's Table IV benchmark parameters;
+//! * `parda compare` — run every engine, verify agreement, report timings.
+//!
+//! Argument parsing is hand-rolled ([`Args`]) to keep the dependency
+//! surface at the workspace's approved set.
+
+pub mod args;
+pub mod commands;
+
+pub use args::Args;
+
+/// Entry point shared by the binary and the integration tests. Returns the
+/// process exit code.
+pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> i32 {
+    match run_inner(argv, out) {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            1
+        }
+    }
+}
+
+fn run_inner(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), String> {
+    let Some(command) = argv.first() else {
+        return Err(format!("no subcommand given\n\n{}", commands::USAGE));
+    };
+    let args = Args::parse(&argv[1..])?;
+    match command.as_str() {
+        "gen" => commands::gen(&args, out),
+        "analyze" => commands::analyze(&args, out),
+        "mrc" => commands::mrc(&args, out),
+        "stats" => commands::stats(&args, out),
+        "spec" => commands::spec(&args, out),
+        "compare" => commands::compare(&args, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{}", commands::USAGE).map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown subcommand `{other}`\n\n{}", commands::USAGE)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(argv: &[&str]) -> (i32, String) {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        let code = run(&argv, &mut buf);
+        (code, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn no_subcommand_is_an_error() {
+        let (code, out) = run_to_string(&[]);
+        assert_eq!(code, 1);
+        assert!(out.contains("usage"), "got: {out}");
+    }
+
+    #[test]
+    fn unknown_subcommand_is_an_error() {
+        let (code, out) = run_to_string(&["frobnicate"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, out) = run_to_string(&["help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("analyze"));
+        assert!(out.contains("gen"));
+    }
+
+    #[test]
+    fn spec_lists_all_benchmarks() {
+        let (code, out) = run_to_string(&["spec"]);
+        assert_eq!(code, 0);
+        for name in ["perlbench", "mcf", "lbm", "sphinx3"] {
+            assert!(out.contains(name), "missing {name}: {out}");
+        }
+    }
+
+    #[test]
+    fn gen_analyze_round_trip() {
+        let dir = std::env::temp_dir().join("parda-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trc");
+        let path_str = path.to_str().unwrap();
+
+        let (code, out) = run_to_string(&[
+            "gen", "--spec", "gcc", "--refs", "20000", "--seed", "3", "--out", path_str,
+        ]);
+        assert_eq!(code, 0, "gen failed: {out}");
+        assert!(out.contains("20000"));
+
+        let (code, out) = run_to_string(&["stats", path_str]);
+        assert_eq!(code, 0);
+        assert!(out.contains("N=20000"), "got: {out}");
+
+        let (code, out) = run_to_string(&["analyze", path_str, "--ranks", "3"]);
+        assert_eq!(code, 0, "analyze failed: {out}");
+        assert!(out.contains("total"), "got: {out}");
+        assert!(out.contains("inf"), "got: {out}");
+
+        let (code, seq_out) = run_to_string(&["analyze", path_str, "--engine", "seq"]);
+        assert_eq!(code, 0, "seq analyze failed: {seq_out}");
+
+        let (code, out) = run_to_string(&["mrc", path_str]);
+        assert_eq!(code, 0);
+        assert!(out.contains("capacity"), "got: {out}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn gen_pattern_and_kernel_sources() {
+        let dir = std::env::temp_dir().join("parda-cli-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p1 = dir.join("cyc.trc");
+        let (code, _) = run_to_string(&[
+            "gen", "--pattern", "cyclic", "--footprint", "64", "--refs", "1000",
+            "--out", p1.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0);
+
+        let p2 = dir.join("mm.trc");
+        let (code, _) = run_to_string(&[
+            "gen", "--kernel", "matmul", "--size", "8", "--out", p2.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0);
+
+        let (code, out) = run_to_string(&["stats", p2.to_str().unwrap()]);
+        assert_eq!(code, 0);
+        assert!(out.contains("N=1536"), "3*8^3 refs: {out}"); // 3·n³
+        std::fs::remove_file(&p1).unwrap();
+        std::fs::remove_file(&p2).unwrap();
+    }
+
+    #[test]
+    fn phased_sampled_and_vector_engines() {
+        let dir = std::env::temp_dir().join("parda-cli-test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.trc");
+        let p = path.to_str().unwrap();
+        let (code, _) = run_to_string(&[
+            "gen", "--pattern", "zipf", "--footprint", "500", "--refs", "30000", "--out", p,
+        ]);
+        assert_eq!(code, 0);
+
+        // All exact engines agree on the total line.
+        let mut totals = Vec::new();
+        for extra in [
+            vec!["--engine", "seq", "--tree", "vector"],
+            vec!["--engine", "phased", "--chunk", "1000", "--ranks", "3"],
+            vec!["--engine", "phased", "--chunk", "1000", "--ranks", "3", "--renumber"],
+            vec!["--engine", "parda", "--ranks", "2", "--tree", "avl"],
+        ] {
+            let mut argv = vec!["analyze", p];
+            argv.extend(extra.iter().copied());
+            let (code, out) = run_to_string(&argv);
+            assert_eq!(code, 0, "{argv:?}: {out}");
+            let total_line = out
+                .lines()
+                .find(|l| l.starts_with("total="))
+                .unwrap_or_else(|| panic!("no total in {out}"))
+                .to_string();
+            totals.push(total_line);
+        }
+        assert!(totals.windows(2).all(|w| w[0] == w[1]), "engines disagree: {totals:?}");
+
+        // The sampled engine runs and reports an estimate.
+        let (code, out) = run_to_string(&["analyze", p, "--engine", "sampled", "--rate", "2"]);
+        assert_eq!(code, 0, "sampled failed: {out}");
+        assert!(out.contains("total="));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn analyze_rejects_bad_engine() {
+        let (code, out) = run_to_string(&["analyze", "/nonexistent", "--engine", "warp"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("error"), "got: {out}");
+    }
+
+    #[test]
+    fn compare_verifies_engine_agreement() {
+        let dir = std::env::temp_dir().join("parda-cli-test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.trc");
+        let p = path.to_str().unwrap();
+        let (code, _) = run_to_string(&[
+            "gen", "--spec", "soplex", "--refs", "20000", "--out", p,
+        ]);
+        assert_eq!(code, 0);
+        let (code, out) = run_to_string(&["compare", p, "--ranks", "3"]);
+        assert_eq!(code, 0, "compare failed: {out}");
+        assert!(out.contains("all engines agree"), "got: {out}");
+        for engine in ["seq/splay", "seq/vector", "parda-msg/p3", "phased/p3", "naive-stack"] {
+            assert!(out.contains(engine), "missing {engine}: {out}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,8 @@
+//! `parda` — reuse distance analysis from the command line.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    std::process::exit(parda_cli::run(&argv, &mut lock));
+}

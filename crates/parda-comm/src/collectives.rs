@@ -1,0 +1,159 @@
+//! Collective operations over a rank world.
+//!
+//! The paper's algorithms use three collectives: scatter (rank 0
+//! distributing chunks, Figure 3), gather-to-one (Algorithm 6's state
+//! reduction), and `reduce_sum` over histograms (Algorithm 3's finale).
+//! These helpers implement them over the point-to-point layer with the
+//! usual root-centric semantics; each is a drop-in for its MPI namesake at
+//! the small scales Parda needs (the histogram reduction is a single
+//! message per rank — tree-structured reductions would only matter at
+//! thousands of ranks).
+
+use crate::RankCtx;
+
+impl<M: Send> RankCtx<M> {
+    /// Broadcast from `root`: the root's `value` is delivered to every
+    /// rank (including the root, which gets its own value back).
+    ///
+    /// `value` is only read on the root; other ranks may pass any
+    /// placeholder (it is returned unchanged on the root).
+    pub fn broadcast(&mut self, root: usize, value: M) -> M
+    where
+        M: Clone,
+    {
+        assert!(root < self.np(), "root {root} out of range");
+        if self.rank() == root {
+            for dest in 0..self.np() {
+                if dest != root {
+                    self.send(dest, value.clone());
+                }
+            }
+            value
+        } else {
+            self.recv_from(root)
+        }
+    }
+
+    /// Gather to `root`: returns `Some(values)` ordered by rank on the
+    /// root, `None` elsewhere.
+    pub fn gather(&mut self, root: usize, value: M) -> Option<Vec<M>> {
+        assert!(root < self.np(), "root {root} out of range");
+        if self.rank() == root {
+            let mut out: Vec<Option<M>> = (0..self.np()).map(|_| None).collect();
+            out[root] = Some(value);
+            for src in (0..self.np()).filter(|&s| s != root) {
+                let received = self.recv_from(src);
+                out[src] = Some(received);
+            }
+            Some(out.into_iter().map(|v| v.expect("all gathered")).collect())
+        } else {
+            self.send(root, value);
+            None
+        }
+    }
+
+    /// Reduce to `root` with a binary fold (applied in rank order, starting
+    /// from rank 0's value): returns `Some(folded)` on the root, `None`
+    /// elsewhere. This is the paper's `reduce_sum` when `fold` merges
+    /// histograms.
+    pub fn reduce<F>(&mut self, root: usize, value: M, mut fold: F) -> Option<M>
+    where
+        F: FnMut(M, M) -> M,
+    {
+        let gathered = self.gather(root, value)?;
+        let mut iter = gathered.into_iter();
+        let first = iter.next().expect("np >= 1");
+        Some(iter.fold(first, &mut fold))
+    }
+
+    /// Scatter from `root`: rank `i` receives `values[i]`. `values` is only
+    /// read on the root (pass an empty Vec elsewhere). Panics on the root
+    /// if `values.len() != np`.
+    pub fn scatter(&mut self, root: usize, values: Vec<M>) -> M {
+        assert!(root < self.np(), "root {root} out of range");
+        if self.rank() == root {
+            assert_eq!(values.len(), self.np(), "scatter needs one value per rank");
+            let mut mine = None;
+            for (dest, value) in values.into_iter().enumerate() {
+                if dest == root {
+                    mine = Some(value);
+                } else {
+                    self.send(dest, value);
+                }
+            }
+            mine.expect("root's own slice present")
+        } else {
+            self.recv_from(root)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::World;
+
+    #[test]
+    fn broadcast_delivers_to_all() {
+        let results = World::run::<u64, _, _>(5, |mut ctx| {
+            let value = if ctx.rank() == 2 { 99 } else { 0 };
+            ctx.broadcast(2, value)
+        });
+        assert_eq!(results, vec![99; 5]);
+    }
+
+    #[test]
+    fn gather_orders_by_rank() {
+        let results = World::run::<u64, _, _>(4, |mut ctx| {
+            ctx.gather(0, ctx.rank() as u64 * 10)
+        });
+        assert_eq!(results[0], Some(vec![0, 10, 20, 30]));
+        assert!(results[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn gather_to_nonzero_root() {
+        let results = World::run::<u64, _, _>(3, |mut ctx| ctx.gather(2, ctx.rank() as u64));
+        assert_eq!(results[2], Some(vec![0, 1, 2]));
+        assert_eq!(results[0], None);
+    }
+
+    #[test]
+    fn reduce_folds_in_rank_order() {
+        // Use a non-commutative fold to pin the order: string concat via
+        // digit packing.
+        let results = World::run::<u64, _, _>(4, |mut ctx| {
+            ctx.reduce(0, ctx.rank() as u64 + 1, |a, b| a * 10 + b)
+        });
+        assert_eq!(results[0], Some(1234));
+    }
+
+    #[test]
+    fn scatter_distributes_slices() {
+        let results = World::run::<Vec<u64>, _, _>(3, |mut ctx| {
+            let values = if ctx.rank() == 0 {
+                vec![vec![0, 0], vec![1], vec![2, 2, 2]]
+            } else {
+                Vec::new()
+            };
+            ctx.scatter(0, values).len()
+        });
+        assert_eq!(results, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn collectives_compose() {
+        // scatter → local work → reduce: a miniature Parda phase.
+        let results = World::run::<u64, _, _>(4, |mut ctx| {
+            let chunks = if ctx.rank() == 0 {
+                vec![1u64, 2, 3, 4]
+            } else {
+                Vec::new()
+            };
+            // Scatter wants Vec<M> with M=u64 here.
+            let mine = ctx.scatter(0, chunks);
+            let local = mine * mine;
+            ctx.reduce(0, local, |a, b| a + b).unwrap_or(0)
+        });
+        assert_eq!(results[0], 1 + 4 + 9 + 16);
+    }
+}

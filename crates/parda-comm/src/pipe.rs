@@ -1,0 +1,219 @@
+//! The bounded pipe between trace producer and analyzer.
+//!
+//! In the paper's framework (Figure 3), a Pin-instrumented benchmark writes
+//! the address trace into a Linux pipe of fixed size (64 Mw in the
+//! evaluation) read by MPI rank 0. The two essential behaviours are
+//! back-pressure (the producer blocks when the analyzer falls behind) and
+//! batching (addresses move in blocks, not one syscall each). This module
+//! reproduces both with a bounded channel of address batches.
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+use parda_trace::{Addr, AddressStream};
+
+/// Default batch size in addresses (words).
+pub const DEFAULT_BATCH: usize = 4096;
+
+/// Writing half of a [`pipe`]. Dropping it closes the pipe; the reader then
+/// drains remaining batches and reports end-of-stream.
+pub struct PipeWriter {
+    tx: Sender<Vec<Addr>>,
+    buf: Vec<Addr>,
+    batch: usize,
+}
+
+impl PipeWriter {
+    /// Append one address, flushing a full batch (blocking if the pipe is
+    /// at capacity — this is the producer back-pressure).
+    pub fn write(&mut self, addr: Addr) {
+        self.buf.push(addr);
+        if self.buf.len() >= self.batch {
+            self.flush();
+        }
+    }
+
+    /// Append a slice of addresses.
+    pub fn write_all(&mut self, addrs: &[Addr]) {
+        for &a in addrs {
+            self.write(a);
+        }
+    }
+
+    /// Push any buffered addresses into the pipe.
+    pub fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch));
+        // A closed receiver means the analyzer is gone; drop the data like a
+        // real pipe would raise EPIPE. Writers detect it via `is_closed`.
+        let _ = self.tx.send(batch);
+    }
+
+}
+
+impl Drop for PipeWriter {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Reading half of a [`pipe`]; an [`AddressStream`] over the incoming
+/// batches.
+pub struct PipeReader {
+    rx: Receiver<Vec<Addr>>,
+    current: Vec<Addr>,
+    pos: usize,
+}
+
+impl AddressStream for PipeReader {
+    fn next_addr(&mut self) -> Option<Addr> {
+        loop {
+            if self.pos < self.current.len() {
+                let a = self.current[self.pos];
+                self.pos += 1;
+                return Some(a);
+            }
+            match self.rx.recv() {
+                Ok(batch) => {
+                    self.current = batch;
+                    self.pos = 0;
+                }
+                Err(_) => return None, // writer dropped: end of stream
+            }
+        }
+    }
+
+    fn fill(&mut self, buf: &mut Vec<Addr>, n: usize) -> usize {
+        let mut produced = 0;
+        while produced < n {
+            if self.pos < self.current.len() {
+                let take = (n - produced).min(self.current.len() - self.pos);
+                buf.extend_from_slice(&self.current[self.pos..self.pos + take]);
+                self.pos += take;
+                produced += take;
+            } else {
+                match self.rx.recv() {
+                    Ok(batch) => {
+                        self.current = batch;
+                        self.pos = 0;
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        produced
+    }
+}
+
+/// Create a bounded pipe holding at most `capacity_words` addresses
+/// (rounded up to whole batches of `batch` addresses).
+///
+/// # Examples
+///
+/// ```
+/// use parda_comm::pipe;
+/// use parda_trace::AddressStream;
+///
+/// let (mut writer, mut reader) = pipe(1024, 16);
+/// std::thread::spawn(move || {
+///     for a in 0..100u64 {
+///         writer.write(a);
+///     }
+/// });
+/// let trace = reader.take_trace(1_000);
+/// assert_eq!(trace.len(), 100);
+/// ```
+pub fn pipe(capacity_words: usize, batch: usize) -> (PipeWriter, PipeReader) {
+    assert!(batch > 0, "batch size must be positive");
+    let slots = capacity_words.div_ceil(batch).max(1);
+    let (tx, rx) = bounded(slots);
+    (
+        PipeWriter {
+            tx,
+            buf: Vec::with_capacity(batch),
+            batch,
+        },
+        PipeReader {
+            rx,
+            current: Vec::new(),
+            pos: 0,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_written_addresses_arrive_in_order() {
+        let (mut w, mut r) = pipe(1 << 16, 64);
+        let producer = std::thread::spawn(move || {
+            for a in 0..10_000u64 {
+                w.write(a);
+            }
+        });
+        let trace = r.take_trace(20_000);
+        producer.join().unwrap();
+        assert_eq!(trace.len(), 10_000);
+        assert!(trace.as_slice().iter().enumerate().all(|(i, &a)| a == i as u64));
+    }
+
+    #[test]
+    fn partial_batch_flushes_on_drop() {
+        let (mut w, mut r) = pipe(1024, 4096);
+        w.write_all(&[1, 2, 3]);
+        drop(w);
+        assert_eq!(r.next_addr(), Some(1));
+        assert_eq!(r.next_addr(), Some(2));
+        assert_eq!(r.next_addr(), Some(3));
+        assert_eq!(r.next_addr(), None);
+    }
+
+    #[test]
+    fn bounded_pipe_applies_backpressure() {
+        // A tiny pipe (2 batches of 2 words) must block the producer until
+        // the consumer drains — verify the producer has NOT finished early.
+        let (mut w, mut r) = pipe(4, 2);
+        let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let done2 = done.clone();
+        let producer = std::thread::spawn(move || {
+            for a in 0..1000u64 {
+                w.write(a);
+            }
+            done2.store(true, std::sync::atomic::Ordering::SeqCst);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(
+            !done.load(std::sync::atomic::Ordering::SeqCst),
+            "producer should be blocked by the full pipe"
+        );
+        let trace = r.take_trace(2000);
+        producer.join().unwrap();
+        assert_eq!(trace.len(), 1000);
+    }
+
+    #[test]
+    fn fill_spans_batches() {
+        let (mut w, mut r) = pipe(1 << 12, 8);
+        std::thread::spawn(move || {
+            for a in 0..100u64 {
+                w.write(a);
+            }
+        });
+        let mut buf = Vec::new();
+        assert_eq!(r.fill(&mut buf, 30), 30);
+        assert_eq!(buf.len(), 30);
+        assert_eq!(r.fill(&mut buf, 1000), 70);
+        assert_eq!(buf, (0..100u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reader_survives_writer_dropping_midstream() {
+        let (mut w, mut r) = pipe(64, 4);
+        w.write_all(&[9, 8, 7, 6, 5]);
+        drop(w);
+        let t = r.take_trace(100);
+        assert_eq!(t.as_slice(), &[9, 8, 7, 6, 5]);
+    }
+}

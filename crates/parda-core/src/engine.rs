@@ -1,0 +1,439 @@
+//! The per-rank analysis engine: paper Algorithms 1 (tree-based sequential),
+//! 4 (space-optimized local-infinity processing) and 7 (bounded analysis)
+//! unified over one state struct.
+//!
+//! An [`Engine`] owns the three data structures the paper threads through
+//! its pseudocode — the timestamp tree `T`, the last-access table `H`, and
+//! the histogram `hist` — plus the two counters of the optimized/bounded
+//! variants: `l` (local infinities forwarded, Algorithm 7) and `count`
+//! (incoming infinities seen, Algorithm 4). The sequential, parallel, and
+//! multi-phase analyzers are all thin drivers over this type.
+
+use parda_hash::LastAccessTable;
+use parda_hist::ReuseHistogram;
+use parda_trace::Addr;
+use parda_tree::ReuseTree;
+
+/// What to do with a reference that misses the last-access table.
+#[derive(Debug)]
+pub enum MissSink<'a> {
+    /// Count it as an infinite distance immediately. This is rank 0's
+    /// behaviour (its local infinities are authoritative global infinities)
+    /// and the behaviour of the standalone sequential analyzer.
+    Infinite,
+    /// Append it to a local-infinities queue to be forwarded to the left
+    /// neighbour (subject to the bound `l < B` in bounded mode).
+    Forward(&'a mut Vec<Addr>),
+}
+
+/// Reuse-distance analysis state for one rank (or the whole trace when run
+/// sequentially).
+///
+/// # Examples
+///
+/// Running paper Algorithm 1 over the Table I trace:
+///
+/// ```
+/// use parda_core::{Engine, MissSink};
+/// use parda_tree::SplayTree;
+///
+/// let trace: Vec<u64> = "dacbccgefa".bytes().map(u64::from).collect();
+/// let mut engine: Engine<SplayTree> = Engine::new(None);
+/// engine.process_chunk(&trace, 0, MissSink::Infinite);
+///
+/// let hist = engine.into_histogram();
+/// assert_eq!(hist.infinite(), 7);
+/// assert_eq!(hist.count(0), 1); // the c→c reuse at time 5
+/// assert_eq!(hist.count(1), 1); // c at time 4 over b
+/// assert_eq!(hist.count(5), 1); // a at time 9
+/// ```
+#[derive(Clone, Debug)]
+pub struct Engine<T: ReuseTree> {
+    tree: T,
+    table: LastAccessTable,
+    hist: ReuseHistogram,
+    /// `B`: cap on tree/table size and on forwarded infinities
+    /// (paper Algorithm 7). `None` = unbounded (full accuracy).
+    bound: Option<u64>,
+    /// `l`: local infinities forwarded so far.
+    forwarded: u64,
+    /// `count`: incoming local infinities processed so far (Algorithm 4).
+    stream_count: u64,
+}
+
+impl<T: ReuseTree + Default> Engine<T> {
+    /// Create an engine with the given cache bound (`None` = unbounded).
+    pub fn new(bound: Option<u64>) -> Self {
+        assert!(bound != Some(0), "a zero bound would admit no state at all");
+        Self {
+            tree: T::default(),
+            table: LastAccessTable::new(),
+            hist: ReuseHistogram::new(),
+            bound,
+            forwarded: 0,
+            stream_count: 0,
+        }
+    }
+}
+
+impl<T: ReuseTree> Engine<T> {
+    /// The configured bound, if any.
+    pub fn bound(&self) -> Option<u64> {
+        self.bound
+    }
+
+    /// Number of live elements tracked (`|H|` = `|T|`).
+    pub fn live(&self) -> usize {
+        debug_assert_eq!(self.table.len(), self.tree.len());
+        self.table.len()
+    }
+
+    /// Local infinities forwarded so far (`l`).
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Incoming infinities processed so far (`count`).
+    pub fn stream_count(&self) -> u64 {
+        self.stream_count
+    }
+
+    /// Read access to the histogram accumulated so far.
+    pub fn histogram(&self) -> &ReuseHistogram {
+        &self.hist
+    }
+
+    /// Consume the engine, returning its histogram.
+    pub fn into_histogram(self) -> ReuseHistogram {
+        self.hist
+    }
+
+    /// Process a contiguous chunk of the trace whose first reference has
+    /// global index `start_ts` (Algorithm 1 body, with the Algorithm 7
+    /// bound when configured).
+    ///
+    /// Misses go to `miss_sink`; in bounded mode, only the first `B` misses
+    /// are forwarded — the rest are provably at distance ≥ B and recorded
+    /// as infinite (capacity misses).
+    pub fn process_chunk(&mut self, chunk: &[Addr], start_ts: u64, miss_sink: MissSink<'_>) {
+        let mut sink = miss_sink;
+        for (i, &z) in chunk.iter().enumerate() {
+            let ts = start_ts + i as u64;
+            // One hash probe per reference: the upsert returns the previous
+            // timestamp, which is all Algorithm 1 needs (`H(z)` then
+            // `H(z) ← t` in the paper).
+            if let Some(t0) = self.table.record(z, ts) {
+                let (d, _) = self
+                    .tree
+                    .distance_and_remove(t0)
+                    .expect("table and tree are kept in sync");
+                self.hist.record_finite(d);
+            } else {
+                let forward_ok = match self.bound {
+                    Some(b) => self.forwarded < b,
+                    None => true,
+                };
+                match (&mut sink, forward_ok) {
+                    (MissSink::Forward(out), true) => {
+                        out.push(z);
+                        self.forwarded += 1;
+                    }
+                    _ => self.hist.record_infinite(),
+                }
+                // LRU eviction keeps |H| ≤ B: the leftmost (oldest) tree
+                // node is the victim (paper `find_oldest`). `z` is already
+                // in the table (not yet in the tree), hence the `> b`.
+                if let Some(b) = self.bound {
+                    if self.table.len() as u64 > b {
+                        let (old_ts, old_addr) =
+                            self.tree.oldest().expect("bounded full tree is non-empty");
+                        self.tree.remove(old_ts);
+                        self.table.forget(old_addr);
+                    }
+                }
+            }
+            self.tree.insert(ts, z);
+        }
+    }
+
+    /// Space-optimized processing of a neighbour's local-infinities sequence
+    /// (paper Algorithm 4).
+    ///
+    /// Hits measure their distance as `tree_distance + count` — `count`
+    /// accounts for the distinct elements of the incoming stream that are
+    /// deliberately *not* stored — and then delete the node (Property 4.3:
+    /// the stream never repeats an element, so the node is dead weight).
+    /// Misses are forwarded to `out` (bounded by `l < B` in bounded mode).
+    pub fn process_infinities(&mut self, incoming: &[Addr], out: &mut Vec<Addr>) {
+        for &z in incoming {
+            if let Some(t0) = self.table.last_access(z) {
+                let (d, _) = self
+                    .tree
+                    .distance_and_remove(t0)
+                    .expect("table and tree are kept in sync");
+                self.hist.record_finite(d + self.stream_count);
+                self.table.forget(z);
+            } else {
+                let forward_ok = match self.bound {
+                    Some(b) => self.forwarded < b,
+                    None => true,
+                };
+                if forward_ok {
+                    out.push(z);
+                    self.forwarded += 1;
+                } else {
+                    self.hist.record_infinite();
+                }
+            }
+            self.stream_count += 1;
+        }
+    }
+
+    /// Non-optimized infinity processing (plain Algorithm 3): run the
+    /// incoming sequence through the regular reference path, continuing
+    /// from `start_ts`, inserting every element into `T`/`H`.
+    ///
+    /// Functionally equivalent to [`Engine::process_infinities`] for the
+    /// final histogram but keeps replicas alive — aggregate space grows to
+    /// O(np·M). Retained for the D2 space-optimization ablation.
+    pub fn process_infinities_unoptimized(
+        &mut self,
+        incoming: &[Addr],
+        start_ts: u64,
+        out: &mut Vec<Addr>,
+    ) {
+        self.process_chunk(incoming, start_ts, MissSink::Forward(out));
+    }
+
+    /// Record `n` surviving local infinities as authoritative global
+    /// infinities (rank 0 in Algorithm 3).
+    pub fn record_global_infinities(&mut self, n: u64) {
+        self.hist.record_infinite_n(n);
+    }
+
+    /// Export the live `(timestamp, addr)` state in timestamp order and
+    /// clear the engine's tree/table (phase reduction, Algorithm 6 sender
+    /// side). The histogram and counters are retained.
+    pub fn export_state(&mut self) -> Vec<(u64, Addr)> {
+        let pairs = self.tree.to_sorted_vec();
+        self.tree.clear();
+        self.table.clear();
+        pairs
+    }
+
+    /// Import live state pairs (Algorithm 6 receiver side).
+    ///
+    /// In unbounded mode the space-optimized cascade guarantees addresses
+    /// are disjoint across ranks (every stale replica is deleted when the
+    /// infinity stream hits it), so duplicates indicate a bug and are
+    /// asserted against in debug builds. In bounded mode a replica can
+    /// survive — a first touch beyond the forwarding bound `l ≥ B` is
+    /// counted locally and never travels left to delete the older copy —
+    /// so duplicates are resolved by keeping the newest timestamp (the true
+    /// last access).
+    pub fn import_state(&mut self, pairs: &[(u64, Addr)]) {
+        for &(ts, addr) in pairs {
+            if let Some(prev) = self.table.last_access(addr) {
+                debug_assert!(
+                    self.bound.is_some(),
+                    "duplicate address {addr:#x} during unbounded state merge"
+                );
+                if prev >= ts {
+                    continue;
+                }
+                self.tree.remove(prev);
+                self.table.forget(addr);
+            }
+            self.tree.insert(ts, addr);
+            self.table.record(addr, ts);
+        }
+    }
+
+    /// Reset the per-phase Algorithm 4/7 counters (`count`, `l`). Called at
+    /// phase boundaries by the multi-phase driver.
+    pub fn reset_phase_counters(&mut self) {
+        self.stream_count = 0;
+        self.forwarded = 0;
+    }
+
+    /// Merge another engine's histogram into this one (`reduce_sum`).
+    pub fn merge_histogram(&mut self, other: &ReuseHistogram) {
+        self.hist.merge(other);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parda_tree::{AvlTree, SplayTree, Treap};
+
+    fn labels(s: &str) -> Vec<Addr> {
+        s.bytes().map(u64::from).collect()
+    }
+
+    fn run_table1<T: ReuseTree + Default>() -> ReuseHistogram {
+        let mut engine: Engine<T> = Engine::new(None);
+        engine.process_chunk(&labels("dacbccgefa"), 0, MissSink::Infinite);
+        engine.into_histogram()
+    }
+
+    #[test]
+    fn table1_distances_all_trees() {
+        for hist in [
+            run_table1::<SplayTree>(),
+            run_table1::<AvlTree>(),
+            run_table1::<Treap>(),
+        ] {
+            assert_eq!(hist.total(), 10);
+            assert_eq!(hist.infinite(), 7);
+            assert_eq!(hist.count(0), 1);
+            assert_eq!(hist.count(1), 1);
+            assert_eq!(hist.count(5), 1);
+        }
+    }
+
+    #[test]
+    fn forward_sink_collects_first_touches_in_order() {
+        let mut engine: Engine<SplayTree> = Engine::new(None);
+        let mut inf = Vec::new();
+        engine.process_chunk(&labels("dacbccgef"), 0, MissSink::Forward(&mut inf));
+        // Property 4.2: one entry per distinct element, in first-touch order.
+        assert_eq!(inf, labels("dacbgef"));
+        assert_eq!(engine.histogram().infinite(), 0);
+        assert_eq!(engine.histogram().total(), 2); // the two c reuses
+    }
+
+    #[test]
+    fn bounded_engine_caps_live_state() {
+        let mut engine: Engine<SplayTree> = Engine::new(Some(4));
+        let trace: Vec<Addr> = (0..100).collect();
+        engine.process_chunk(&trace, 0, MissSink::Infinite);
+        assert_eq!(engine.live(), 4);
+        assert_eq!(engine.histogram().infinite(), 100);
+    }
+
+    #[test]
+    fn bounded_forwarding_stops_at_b() {
+        let mut engine: Engine<SplayTree> = Engine::new(Some(3));
+        let mut inf = Vec::new();
+        let trace: Vec<Addr> = (0..10).collect();
+        engine.process_chunk(&trace, 0, MissSink::Forward(&mut inf));
+        assert_eq!(inf, vec![0, 1, 2], "only the first B misses forward");
+        assert_eq!(engine.histogram().infinite(), 7);
+        assert_eq!(engine.forwarded(), 3);
+    }
+
+    #[test]
+    fn bounded_distances_below_bound_stay_exact() {
+        // 8-element cyclic trace with bound 16: all reuse distances are 7,
+        // well under the bound — must match unbounded exactly.
+        let mut cyc = Vec::new();
+        for lap in 0..10u64 {
+            let _ = lap;
+            cyc.extend(0..8u64);
+        }
+        let mut bounded: Engine<SplayTree> = Engine::new(Some(16));
+        bounded.process_chunk(&cyc, 0, MissSink::Infinite);
+        let mut full: Engine<SplayTree> = Engine::new(None);
+        full.process_chunk(&cyc, 0, MissSink::Infinite);
+        assert_eq!(bounded.into_histogram(), full.into_histogram());
+    }
+
+    #[test]
+    fn bounded_lumps_large_distances_into_infinite() {
+        // Cyclic sweep of 8 with bound 4: every reuse has distance 7 ≥ B.
+        let mut cyc = Vec::new();
+        for _ in 0..5 {
+            cyc.extend(0..8u64);
+        }
+        let mut engine: Engine<SplayTree> = Engine::new(Some(4));
+        engine.process_chunk(&cyc, 0, MissSink::Infinite);
+        let hist = engine.into_histogram();
+        assert_eq!(hist.infinite(), 40, "every reference must be ∞ under B=4");
+        assert_eq!(hist.finite_total(), 0);
+    }
+
+    #[test]
+    fn process_infinities_table2_right_chunk() {
+        // Table II: trace split as `dacbccg | efafbc` — wait, the paper's
+        // split is at reference 6/7 of the 13-long trace; model the left
+        // rank processing right-chunk infinities. Left chunk `d a c b c c`,
+        // right chunk `g e f a f b c` produces local infinities g e f a b c
+        // with global distances for a=5, b=5, c=5 (Table II).
+        let mut left: Engine<SplayTree> = Engine::new(None);
+        left.process_chunk(&labels("dacbcc"), 0, MissSink::Infinite);
+
+        let mut right: Engine<SplayTree> = Engine::new(None);
+        let mut right_inf = Vec::new();
+        right.process_chunk(&labels("gefafbc"), 6, MissSink::Forward(&mut right_inf));
+        assert_eq!(right_inf, labels("gefabc"));
+
+        let mut survivors = Vec::new();
+        left.process_infinities(&right_inf, &mut survivors);
+        assert_eq!(survivors, labels("gef"), "d-a-c-b seen on the left except d");
+
+        let hist = left.histogram();
+        // a, b, c all measure global distance 5 per Table II.
+        assert_eq!(hist.count(5), 3);
+    }
+
+    #[test]
+    fn stream_count_offsets_later_hits() {
+        // Left chunk sees {a, b}. Incoming stream: [x, y, a]. x and y are
+        // unknown (forwarded), so a's distance must include them: tree
+        // distance (b after a = 1) + count (2) = 3.
+        let mut left: Engine<SplayTree> = Engine::new(None);
+        left.process_chunk(&[b'a' as u64, b'b' as u64], 0, MissSink::Infinite);
+        let mut out = Vec::new();
+        left.process_infinities(&[b'x' as u64, b'y' as u64, b'a' as u64], &mut out);
+        assert_eq!(out, labels("xy"));
+        assert_eq!(left.histogram().count(3), 1);
+        assert_eq!(left.stream_count(), 3);
+        assert_eq!(left.live(), 1, "a's node must be deleted after the hit");
+    }
+
+    #[test]
+    fn export_import_round_trips_state() {
+        let mut a: Engine<SplayTree> = Engine::new(None);
+        a.process_chunk(&labels("dacb"), 0, MissSink::Infinite);
+        let state = a.export_state();
+        assert_eq!(a.live(), 0);
+        assert_eq!(state.len(), 4);
+        assert!(state.windows(2).all(|w| w[0].0 < w[1].0), "ts-ordered");
+
+        let mut b: Engine<AvlTree> = Engine::new(None);
+        b.import_state(&state);
+        assert_eq!(b.live(), 4);
+        // Continuing the trace on the importing engine gives the right
+        // distances: `a` was at ts 1 with c, b after it → distance 2.
+        b.process_chunk(&labels("a"), 4, MissSink::Infinite);
+        assert_eq!(b.histogram().count(2), 1);
+    }
+
+    #[test]
+    fn unoptimized_infinity_processing_matches_optimized_histogram() {
+        let left_chunk = labels("dacbcc");
+        let incoming = labels("gefabc");
+
+        let mut opt: Engine<SplayTree> = Engine::new(None);
+        opt.process_chunk(&left_chunk, 0, MissSink::Infinite);
+        let mut opt_out = Vec::new();
+        opt.process_infinities(&incoming, &mut opt_out);
+
+        let mut plain: Engine<SplayTree> = Engine::new(None);
+        plain.process_chunk(&left_chunk, 0, MissSink::Infinite);
+        let mut plain_out = Vec::new();
+        plain.process_infinities_unoptimized(&incoming, 6, &mut plain_out);
+
+        assert_eq!(opt_out, plain_out);
+        assert_eq!(opt.histogram(), plain.histogram());
+        // The whole point of Algorithm 4: optimized keeps less state.
+        assert!(opt.live() < plain.live());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bound")]
+    fn zero_bound_is_rejected() {
+        let _: Engine<SplayTree> = Engine::new(Some(0));
+    }
+}

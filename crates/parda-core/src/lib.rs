@@ -1,0 +1,96 @@
+//! PARDA: fast parallel reuse distance analysis.
+//!
+//! This crate implements every algorithm of the paper:
+//!
+//! | Paper artifact | Here |
+//! |---|---|
+//! | Algorithm 1 — tree-based sequential analysis (Olken) | [`seq::analyze_sequential`], [`Engine::process_chunk`] |
+//! | Algorithm 2 — tree distance query | `parda_tree::ReuseTree::distance` |
+//! | Algorithm 3 — the Parda parallel algorithm | [`parallel::parda_msg`], [`parallel::parda_threads`] |
+//! | Algorithm 4 — space-optimized infinity processing | [`Engine::process_infinities`] |
+//! | Algorithms 5–6 — multi-phase streaming analysis | [`phased::parda_phased`] |
+//! | Algorithm 7 — bounded (cache-capped) analysis | `bound` option on every engine |
+//! | §III-A — naïve stack algorithm | [`seq::analyze_naive`] |
+//! | §IV-D rank-renaming enhancement | [`phased::Reduction::RenumberRanks`] |
+//! | §VII object-level applications | [`object::analyze_by_region`] |
+//! | §VII sampling combination | [`sampled::analyze_sampled`] |
+//! | §I cache sharing & partitioning | [`shared::analyze_corun`], [`shared::optimal_partition`] |
+//! | §VII phase detection | [`window::detect_phases`] |
+//!
+//! # Quick start
+//!
+//! ```
+//! use parda_core::{parallel, PardaConfig};
+//! use parda_trace::gen::{ReuseProfile, StackDistGen};
+//! use parda_trace::AddressStream;
+//!
+//! // A synthetic trace: 100k references over 5k addresses.
+//! let trace = StackDistGen::new(100_000, 5_000, ReuseProfile::geometric(16.0), 7)
+//!     .take_trace(100_000);
+//!
+//! let config = PardaConfig::with_ranks(4);
+//! let hist = parallel::parda_threads::<parda_tree::SplayTree>(trace.as_slice(), &config);
+//!
+//! assert_eq!(hist.total(), 100_000);
+//! assert_eq!(hist.infinite(), 5_000); // one cold miss per distinct address
+//! // Predicted miss ratio of a 1k-line LRU cache:
+//! let mr = hist.miss_ratio(1_000);
+//! assert!(mr < 1.0);
+//! ```
+
+pub mod engine;
+pub mod object;
+pub mod parallel;
+pub mod phased;
+pub mod sampled;
+pub mod seq;
+pub mod shared;
+pub mod window;
+
+pub use engine::{Engine, MissSink};
+pub use parallel::PardaConfig;
+
+use parda_hist::ReuseHistogram;
+use parda_trace::Addr;
+use parda_tree::TreeKind;
+
+/// Run the sequential tree-based analyzer with a runtime-selected tree.
+pub fn analyze_sequential_kind(trace: &[Addr], kind: TreeKind, bound: Option<u64>) -> ReuseHistogram {
+    match kind {
+        TreeKind::Splay => seq::analyze_sequential::<parda_tree::SplayTree>(trace, bound),
+        TreeKind::Avl => seq::analyze_sequential::<parda_tree::AvlTree>(trace, bound),
+        TreeKind::Treap => seq::analyze_sequential::<parda_tree::Treap>(trace, bound),
+        TreeKind::Vector => seq::analyze_sequential::<parda_tree::VectorTree>(trace, bound),
+    }
+}
+
+/// Run the Parda parallel analyzer (thread-cascade flavour) with a
+/// runtime-selected tree.
+pub fn parda_kind(trace: &[Addr], kind: TreeKind, config: &PardaConfig) -> ReuseHistogram {
+    match kind {
+        TreeKind::Splay => parallel::parda_threads::<parda_tree::SplayTree>(trace, config),
+        TreeKind::Avl => parallel::parda_threads::<parda_tree::AvlTree>(trace, config),
+        TreeKind::Treap => parallel::parda_threads::<parda_tree::Treap>(trace, config),
+        TreeKind::Vector => parallel::parda_threads::<parda_tree::VectorTree>(trace, config),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_dispatchers_agree() {
+        let trace: Vec<Addr> = (0..500).map(|i| (i * 7) % 97).collect();
+        let splay = analyze_sequential_kind(&trace, TreeKind::Splay, None);
+        let avl = analyze_sequential_kind(&trace, TreeKind::Avl, None);
+        let treap = analyze_sequential_kind(&trace, TreeKind::Treap, None);
+        let vector = analyze_sequential_kind(&trace, TreeKind::Vector, None);
+        assert_eq!(splay, avl);
+        assert_eq!(splay, treap);
+        assert_eq!(splay, vector);
+
+        let cfg = PardaConfig::with_ranks(3);
+        assert_eq!(parda_kind(&trace, TreeKind::Avl, &cfg), splay);
+    }
+}

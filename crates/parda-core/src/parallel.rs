@@ -1,0 +1,445 @@
+//! The Parda parallel algorithm (paper Algorithm 3, Section IV).
+//!
+//! The trace is split into `np` contiguous chunks; each rank analyzes its
+//! chunk with the sequential engine, collecting *local infinities* — first
+//! touches within the chunk — in trace order. Infinity lists cascade
+//! leftward rank by rank: hits resolve against the left rank's tree
+//! (space-optimized per Algorithm 4), misses are forwarded again, and
+//! whatever reaches rank 0 unresolved is a global (compulsory) miss.
+//!
+//! Two drivers produce identical histograms:
+//!
+//! * [`parda_msg`] — the faithful message-passing formulation: one thread
+//!   per rank over [`parda_comm::World`], with the exact send/receive
+//!   rounds of Algorithm 3 (rank `p` performs `np − p` rounds).
+//! * [`parda_threads`] — a shared-memory formulation: chunks are analyzed
+//!   in parallel (rayon), then the cascade is folded sequentially. Same
+//!   operation order per engine, lower overhead; used by the benchmarks.
+
+use crate::engine::{Engine, MissSink};
+use parda_hist::ReuseHistogram;
+use parda_trace::{chunk_slice, Addr};
+use parda_tree::ReuseTree;
+use rayon::prelude::*;
+
+/// Configuration for the parallel analyzers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PardaConfig {
+    /// Number of ranks (`np`). Chunks are split as evenly as possible.
+    pub ranks: usize,
+    /// Optional cache bound `B` (Algorithm 7): distances ≥ B collapse to ∞
+    /// and per-rank state is capped at B entries.
+    pub bound: Option<u64>,
+    /// Use the space-optimized infinity processing (Algorithm 4). Disabling
+    /// it reproduces plain Algorithm 3 (replicas retained; O(np·M)
+    /// aggregate space) — kept for the D2 ablation.
+    pub space_optimized: bool,
+}
+
+impl Default for PardaConfig {
+    fn default() -> Self {
+        Self {
+            ranks: std::thread::available_parallelism().map_or(4, |p| p.get()),
+            bound: None,
+            space_optimized: true,
+        }
+    }
+}
+
+impl PardaConfig {
+    /// Config with `ranks` ranks, unbounded, space-optimized.
+    pub fn with_ranks(ranks: usize) -> Self {
+        Self {
+            ranks,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style bound setter.
+    pub fn bounded(mut self, bound: u64) -> Self {
+        self.bound = Some(bound);
+        self
+    }
+}
+
+/// Global reference index at which each chunk starts.
+fn chunk_starts(chunks: &[&[Addr]]) -> Vec<u64> {
+    let mut starts = Vec::with_capacity(chunks.len());
+    let mut acc = 0u64;
+    for c in chunks {
+        starts.push(acc);
+        acc += c.len() as u64;
+    }
+    starts
+}
+
+/// Message-passing Parda: the literal Algorithm 3 over a thread-backed
+/// rank world.
+///
+/// Rank `p` processes its chunk, then loops `np − p − 1` more rounds, each
+/// receiving its right neighbour's local infinities, resolving them, and
+/// forwarding the survivors left. Rank 0 counts survivors as global
+/// infinities. The final `reduce_sum` merges per-rank histograms.
+pub fn parda_msg<T: ReuseTree + Default>(trace: &[Addr], config: &PardaConfig) -> ReuseHistogram {
+    let np = config.ranks.max(1);
+    if np == 1 {
+        return crate::seq::analyze_sequential::<T>(trace, config.bound);
+    }
+    let chunks = chunk_slice(trace, np);
+    let starts = chunk_starts(&chunks);
+
+    let hists = parda_comm::World::run::<Vec<Addr>, ReuseHistogram, _>(np, |mut ctx| {
+        let p = ctx.rank();
+        let mut engine: Engine<T> = Engine::new(config.bound);
+        // `next_ts` only matters for the unoptimized variant, which keeps
+        // inserting stream elements with fresh local timestamps.
+        let mut next_ts = starts[p] + chunks[p].len() as u64;
+
+        // Round 0: own chunk.
+        if p == 0 {
+            engine.process_chunk(chunks[0], starts[0], MissSink::Infinite);
+        } else {
+            let mut local_inf = Vec::new();
+            engine.process_chunk(chunks[p], starts[p], MissSink::Forward(&mut local_inf));
+            ctx.send(p - 1, local_inf);
+        }
+
+        // Rounds 1..np-p: absorb the right neighbour's infinity stream.
+        for _ in 1..(np - p) {
+            let incoming = ctx.recv_from(p + 1);
+            let mut survivors = Vec::new();
+            if config.space_optimized {
+                engine.process_infinities(&incoming, &mut survivors);
+            } else {
+                engine.process_infinities_unoptimized(&incoming, next_ts, &mut survivors);
+                next_ts += incoming.len() as u64;
+            }
+            if p == 0 {
+                engine.record_global_infinities(survivors.len() as u64);
+            } else {
+                ctx.send(p - 1, survivors);
+            }
+        }
+        engine.into_histogram()
+    });
+
+    let mut total = ReuseHistogram::new();
+    for h in &hists {
+        total.merge(h);
+    }
+    total
+}
+
+/// Shared-memory Parda: chunk analysis fans out over rayon, the infinity
+/// cascade folds right-to-left on the caller thread.
+///
+/// Produces a histogram identical to [`parda_msg`] (property-tested): the
+/// sequence of operations applied to each rank's engine is the same, only
+/// the transport differs.
+pub fn parda_threads<T: ReuseTree + Default + Send>(
+    trace: &[Addr],
+    config: &PardaConfig,
+) -> ReuseHistogram {
+    let np = config.ranks.max(1);
+    if np == 1 {
+        return crate::seq::analyze_sequential::<T>(trace, config.bound);
+    }
+    let chunks = chunk_slice(trace, np);
+    let starts = chunk_starts(&chunks);
+
+    // Phase 1 (parallel): per-chunk analysis.
+    let mut per_rank: Vec<(Engine<T>, Vec<Addr>)> = chunks
+        .par_iter()
+        .zip(starts.par_iter())
+        .map(|(chunk, &start)| {
+            let mut engine: Engine<T> = Engine::new(config.bound);
+            let mut local_inf = Vec::new();
+            engine.process_chunk(chunk, start, MissSink::Forward(&mut local_inf));
+            (engine, local_inf)
+        })
+        .collect();
+
+    // Phase 2 (cascade): rank p-1 absorbs everything rank p would have sent
+    // over all Algorithm 3 rounds: its own local infinities followed by the
+    // survivors of what it absorbed from its right.
+    let mut stream: Vec<Addr> = Vec::new();
+    for p in (1..np).rev() {
+        let (engine, own_inf) = &mut per_rank[p];
+        let mut next_ts = starts[p] + chunks[p].len() as u64;
+        let mut survivors = Vec::new();
+        if config.space_optimized {
+            engine.process_infinities(&stream, &mut survivors);
+        } else {
+            engine.process_infinities_unoptimized(&stream, next_ts, &mut survivors);
+            next_ts += stream.len() as u64;
+            let _ = next_ts;
+        }
+        let mut forwarded = std::mem::take(own_inf);
+        forwarded.extend_from_slice(&survivors);
+        stream = forwarded;
+    }
+
+    // Rank 0: its own local infinities and all unresolved survivors are
+    // authoritative global infinities.
+    let (engine0, own0) = &mut per_rank[0];
+    engine0.record_global_infinities(own0.len() as u64);
+    let mut survivors = Vec::new();
+    if config.space_optimized {
+        engine0.process_infinities(&stream, &mut survivors);
+    } else {
+        let next_ts = starts[0] + chunks[0].len() as u64;
+        engine0.process_infinities_unoptimized(&stream, next_ts, &mut survivors);
+    }
+    engine0.record_global_infinities(survivors.len() as u64);
+
+    let mut total = ReuseHistogram::new();
+    for (engine, _) in &per_rank {
+        total.merge(engine.histogram());
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::analyze_sequential;
+    use parda_tree::{AvlTree, SplayTree};
+    use proptest::prelude::*;
+
+    fn labels(s: &str) -> Vec<Addr> {
+        s.bytes().map(u64::from).collect()
+    }
+
+    /// Paper Table II trace: two chunks, local vs global distances.
+    #[test]
+    fn table2_local_vs_global() {
+        let trace = labels("dacbccgefafbc");
+        assert_eq!(trace.len(), 13);
+        let seq = analyze_sequential::<SplayTree>(&trace, None);
+        // Global distances per Table II: ∞×7 at first touches, then
+        // 1 (c@4), 0 (c@5), 5 (a@9), 1 (f@10), 5 (b@11), 5 (c@12).
+        assert_eq!(seq.infinite(), 7);
+        assert_eq!(seq.count(0), 1);
+        assert_eq!(seq.count(1), 2);
+        assert_eq!(seq.count(5), 3);
+
+        for np in [2, 3, 4] {
+            let cfg = PardaConfig::with_ranks(np);
+            assert_eq!(parda_msg::<SplayTree>(&trace, &cfg), seq, "np={np}");
+            assert_eq!(parda_threads::<SplayTree>(&trace, &cfg), seq, "np={np}");
+        }
+    }
+
+    /// Paper Table III + Figure 2: the three-processor space-optimized
+    /// walkthrough, asserting the intermediate states shown in the figure.
+    #[test]
+    fn table3_figure2_walkthrough() {
+        let trace = labels("dacbccgefafbcmtmacfbdcac");
+        assert_eq!(trace.len(), 24);
+        let chunks = chunk_slice(&trace, 3);
+
+        // -- chunk processing (Figure 2 top row) --
+        let mut e0: Engine<SplayTree> = Engine::new(None);
+        let mut inf0 = Vec::new();
+        e0.process_chunk(chunks[0], 0, MissSink::Forward(&mut inf0));
+        assert_eq!(inf0, labels("dacbge"), "Figure 2(a) local infinities");
+
+        let mut e1: Engine<SplayTree> = Engine::new(None);
+        let mut inf1 = Vec::new();
+        e1.process_chunk(chunks[1], 8, MissSink::Forward(&mut inf1));
+        assert_eq!(inf1, labels("fabcmt"), "Figure 2(b) local infinities");
+
+        let mut e2: Engine<SplayTree> = Engine::new(None);
+        let mut inf2 = Vec::new();
+        e2.process_chunk(chunks[2], 16, MissSink::Forward(&mut inf2));
+        assert_eq!(inf2, labels("acfbd"), "Figure 2(c) local infinities");
+        // Figure 2(c) tree: {17:? ...} — the full p=2 tree holds its six
+        // live elements keyed by last access: 18:f 19:b 20:d 22:a 23:c.
+        assert_eq!(
+            e2.histogram().finite_counts().iter().sum::<u64>(),
+            3,
+            "p=2 has three intra-chunk reuses (c@21? a@22? c@23)"
+        );
+
+        // -- p=1 absorbs p=2's infinities (Figure 2(e)) --
+        let mut out1 = Vec::new();
+        e1.process_infinities(&inf2, &mut out1);
+        assert_eq!(out1, labels("d"), "only d survives p=1");
+        assert_eq!(e1.stream_count(), 5, "Figure 2(e) count=5");
+        assert_eq!(
+            e1_state(&e1),
+            vec![(14, b't' as u64), (15, b'm' as u64)],
+            "Figure 2(e) tree holds 14:t and 15:m"
+        );
+
+        // -- p=0 absorbs p=1's round-0 list (Figure 2(d)) --
+        let mut out0 = Vec::new();
+        e0.process_infinities(&inf1, &mut out0);
+        assert_eq!(out0, labels("fmt"), "Figure 2(d) local_infinities = f m t");
+        assert_eq!(e0.stream_count(), 6, "Figure 2(d) count=6");
+        assert_eq!(
+            e0_state(&e0),
+            vec![(0, b'd' as u64), (6, b'g' as u64), (7, b'e' as u64)],
+            "Figure 2(d) tree holds 0:d, 6:g, 7:e"
+        );
+
+        // -- p=0 absorbs p=1's round-1 survivors (Figure 2(f)) --
+        let mut out0b = Vec::new();
+        e0.process_infinities(&out1, &mut out0b);
+        assert!(out0b.is_empty(), "d resolves at p=0");
+        assert_eq!(e0.stream_count(), 7, "Figure 2(f) count=7");
+        assert_eq!(
+            e0_state(&e0),
+            vec![(6, b'g' as u64), (7, b'e' as u64)],
+            "Figure 2(f) tree holds 6:g and 7:e"
+        );
+
+        // -- full parallel result equals sequential --
+        let seq = analyze_sequential::<SplayTree>(&trace, None);
+        for np in [2, 3, 5, 8] {
+            let cfg = PardaConfig::with_ranks(np);
+            assert_eq!(parda_msg::<SplayTree>(&trace, &cfg), seq, "np={np}");
+            assert_eq!(parda_threads::<SplayTree>(&trace, &cfg), seq, "np={np}");
+        }
+
+        fn e0_state(e: &Engine<SplayTree>) -> Vec<(u64, u64)> {
+            e.clone().export_state()
+        }
+        fn e1_state(e: &Engine<SplayTree>) -> Vec<(u64, u64)> {
+            e.clone().export_state()
+        }
+    }
+
+    #[test]
+    fn more_ranks_than_references() {
+        let trace = labels("aba");
+        let cfg = PardaConfig::with_ranks(16);
+        let seq = analyze_sequential::<SplayTree>(&trace, None);
+        assert_eq!(parda_msg::<SplayTree>(&trace, &cfg), seq);
+        assert_eq!(parda_threads::<SplayTree>(&trace, &cfg), seq);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let cfg = PardaConfig::with_ranks(4);
+        assert_eq!(parda_msg::<SplayTree>(&[], &cfg).total(), 0);
+        assert_eq!(parda_threads::<SplayTree>(&[], &cfg).total(), 0);
+    }
+
+    #[test]
+    fn single_rank_degenerates_to_sequential() {
+        let trace: Vec<Addr> = (0..200).map(|i| (i * 3) % 37).collect();
+        let cfg = PardaConfig::with_ranks(1);
+        let seq = analyze_sequential::<SplayTree>(&trace, None);
+        assert_eq!(parda_msg::<SplayTree>(&trace, &cfg), seq);
+        assert_eq!(parda_threads::<SplayTree>(&trace, &cfg), seq);
+    }
+
+    #[test]
+    fn unoptimized_variant_matches() {
+        let trace: Vec<Addr> = (0..500).map(|i| (i * 17) % 83).collect();
+        let seq = analyze_sequential::<SplayTree>(&trace, None);
+        let cfg = PardaConfig {
+            ranks: 4,
+            bound: None,
+            space_optimized: false,
+        };
+        assert_eq!(parda_msg::<SplayTree>(&trace, &cfg), seq);
+        assert_eq!(parda_threads::<SplayTree>(&trace, &cfg), seq);
+    }
+
+    /// Bounded-analysis contract (paper Section V): distances below the
+    /// bound are exact; everything at or above the bound may be reported
+    /// either exactly or as ∞ (it is a miss for every cache ≤ B either
+    /// way). Bounded *parallel* can resolve some d ≥ B exactly that bounded
+    /// *sequential* lumps into ∞ — so the comparison is per-bucket below B
+    /// against the unbounded ground truth, not histogram equality.
+    fn assert_bounded_contract(bounded: &ReuseHistogram, full: &ReuseHistogram, bound: u64) {
+        assert_eq!(bounded.total(), full.total(), "mass must be conserved");
+        for d in 0..bound {
+            assert_eq!(bounded.count(d), full.count(d), "bucket {d} under bound {bound}");
+        }
+        for cap in [1, bound / 2, bound] {
+            if cap >= 1 {
+                assert_eq!(
+                    bounded.miss_count(cap),
+                    full.miss_count(cap),
+                    "miss count at capacity {cap} (bound {bound})"
+                );
+            }
+        }
+        assert!(bounded.infinite() >= full.infinite());
+    }
+
+    use parda_hist::ReuseHistogram;
+
+    #[test]
+    fn bounded_parallel_honours_the_bound_contract() {
+        let trace: Vec<Addr> = (0..2_000).map(|i| (i * 31) % 257).collect();
+        let full = analyze_sequential::<SplayTree>(&trace, None);
+        for bound in [8u64, 64, 512] {
+            for np in [2, 4, 7] {
+                let cfg = PardaConfig {
+                    ranks: np,
+                    bound: Some(bound),
+                    space_optimized: true,
+                };
+                let threads = parda_threads::<SplayTree>(&trace, &cfg);
+                assert_bounded_contract(&threads, &full, bound);
+                // Both parallel drivers apply the identical per-rank
+                // operation sequence, so they agree exactly.
+                assert_eq!(parda_msg::<SplayTree>(&trace, &cfg), threads, "np={np} bound={bound}");
+            }
+        }
+    }
+
+    proptest! {
+        /// Core correctness theorem (paper Section IV-B): Parda equals the
+        /// sequential analysis for every trace and rank count.
+        #[test]
+        fn parallel_equals_sequential(
+            trace in proptest::collection::vec(0u64..48, 0..400),
+            np in 1usize..9,
+        ) {
+            let seq = analyze_sequential::<SplayTree>(&trace, None);
+            let cfg = PardaConfig::with_ranks(np);
+            prop_assert_eq!(parda_threads::<SplayTree>(&trace, &cfg), seq.clone());
+            prop_assert_eq!(parda_msg::<AvlTree>(&trace, &cfg), seq);
+        }
+
+        /// Bounded Parda honours the Algorithm 7 contract for every trace,
+        /// rank count, and bound: exact below B, mass-conserving, and
+        /// miss-count-exact for every cache capacity ≤ B.
+        #[test]
+        fn bounded_parallel_contract_prop(
+            trace in proptest::collection::vec(0u64..48, 0..300),
+            np in 1usize..6,
+            bound in 1u64..32,
+        ) {
+            let full = analyze_sequential::<SplayTree>(&trace, None);
+            let cfg = PardaConfig { ranks: np, bound: Some(bound), space_optimized: true };
+            let bounded = parda_threads::<SplayTree>(&trace, &cfg);
+            prop_assert_eq!(bounded.total(), full.total());
+            for d in 0..bound {
+                prop_assert_eq!(bounded.count(d), full.count(d), "bucket {}", d);
+            }
+            for cap in 1..=bound {
+                prop_assert_eq!(bounded.miss_count(cap), full.miss_count(cap), "capacity {}", cap);
+            }
+        }
+
+        /// The space-optimization flag never changes the histogram.
+        #[test]
+        fn space_optimization_is_transparent(
+            trace in proptest::collection::vec(0u64..32, 0..300),
+            np in 2usize..6,
+        ) {
+            let on = PardaConfig { ranks: np, bound: None, space_optimized: true };
+            let off = PardaConfig { ranks: np, bound: None, space_optimized: false };
+            prop_assert_eq!(
+                parda_threads::<SplayTree>(&trace, &on),
+                parda_threads::<SplayTree>(&trace, &off)
+            );
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Multi-phase streaming Parda (paper Algorithms 5 and 6, Section IV-D).
+//!
+//! Real traces arrive as unbounded streams (the paper pipes them straight
+//! out of Pin), so the whole-trace chunking of Algorithm 3 cannot be
+//! applied up front. The phase-based algorithm reads `np · C` references per
+//! phase, runs one Parda pass over them, and then *reduces the analysis
+//! state*: every rank ships its live `(address, timestamp)` entries to the
+//! highest rank, which merges them (no duplicate checks needed in unbounded
+//! mode — the space-optimized cascade already deleted stale replicas). The
+//! rank holding the global state answers global infinities authoritatively
+//! in the next phase.
+//!
+//! Two reduction strategies, selectable via [`Reduction`]:
+//!
+//! * [`Reduction::ShipToRankZero`] — the basic Algorithm 6: merge on rank
+//!   `np−1`, then transfer the merged state back to rank 0.
+//! * [`Reduction::RenumberRanks`] — the paper's enhancement: "we can
+//!   reassign processor ids in the reverse order therefore processor np−1
+//!   becomes the processor 0 at next phase" — the merged state never moves;
+//!   all algorithm roles are played by *virtual* ranks whose mapping to
+//!   physical ranks reverses each phase.
+//!
+//! Both produce identical histograms (property-tested); the renumbering
+//! variant saves one O(M) state transfer per phase.
+
+use crate::engine::{Engine, MissSink};
+use crate::parallel::PardaConfig;
+use parda_hist::ReuseHistogram;
+use parda_trace::{chunk_slice, Addr, AddressStream};
+use parda_tree::ReuseTree;
+use parking_lot::Mutex;
+
+/// Messages exchanged by the phased driver.
+enum PhasedMsg {
+    /// A chunk of the current phase starting at the given global index.
+    Chunk { start_ts: u64, data: Vec<Addr> },
+    /// A local-infinities sequence (cascade round).
+    Infinities(Vec<Addr>),
+    /// Live `(timestamp, addr)` state for the phase reduction.
+    State(Vec<(u64, Addr)>),
+    /// End of input: no further phases.
+    Done,
+}
+
+/// How per-rank state is reduced at each phase boundary (Algorithm 6).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Reduction {
+    /// Merge on rank `np−1`, then ship the merged state to rank 0.
+    #[default]
+    ShipToRankZero,
+    /// Merge on virtual rank `np−1` and reverse the virtual rank order, so
+    /// the merging rank *becomes* virtual rank 0 — no state transfer.
+    RenumberRanks,
+}
+
+/// Streaming Parda: analyze `source` in phases of `np · phase_chunk`
+/// references (paper Algorithm 5), using the default
+/// [`Reduction::ShipToRankZero`] strategy.
+///
+/// Returns the complete reuse-distance histogram; exact equality with the
+/// offline analyzers is property-tested.
+///
+/// # Examples
+///
+/// ```
+/// use parda_core::{phased, PardaConfig};
+/// use parda_trace::SliceStream;
+///
+/// let trace: Vec<u64> = (0..1000u64).map(|i| i % 50).collect();
+/// let hist = phased::parda_phased::<parda_tree::SplayTree, _>(
+///     SliceStream::new(&trace),
+///     64, // C: references per rank per phase
+///     &PardaConfig::with_ranks(4),
+/// );
+/// assert_eq!(hist.total(), 1000);
+/// assert_eq!(hist.infinite(), 50);
+/// ```
+pub fn parda_phased<T, S>(source: S, phase_chunk: usize, config: &PardaConfig) -> ReuseHistogram
+where
+    T: ReuseTree + Default,
+    S: AddressStream + Send,
+{
+    parda_phased_with::<T, S>(source, phase_chunk, config, Reduction::ShipToRankZero)
+}
+
+/// Streaming Parda with an explicit reduction strategy.
+pub fn parda_phased_with<T, S>(
+    source: S,
+    phase_chunk: usize,
+    config: &PardaConfig,
+    reduction: Reduction,
+) -> ReuseHistogram
+where
+    T: ReuseTree + Default,
+    S: AddressStream + Send,
+{
+    assert!(phase_chunk > 0, "phase chunk size must be positive");
+    let np = config.ranks.max(1);
+    if np == 1 {
+        return phased_single_rank::<T, S>(source, config.bound);
+    }
+
+    // Physical rank 0 owns the input stream (it is attached to the pipe in
+    // the paper's framework; virtual ranks rotate around it).
+    let source = Mutex::new(Some(source));
+
+    let hists = parda_comm::World::run::<PhasedMsg, ReuseHistogram, _>(np, |mut ctx| {
+        let p = ctx.rank();
+        let mut engine: Engine<T> = Engine::new(config.bound);
+        let mut my_source = if p == 0 {
+            Some(source.lock().take().expect("rank 0 takes the source once"))
+        } else {
+            None
+        };
+        let mut phase_base: u64 = 0;
+        let mut read_buf: Vec<Addr> = Vec::new();
+        // Virtual-rank mapping parity: when `reversed`, virtual rank v is
+        // played by physical rank np-1-v.
+        let mut reversed = false;
+        let phys = |v: usize, reversed: bool| if reversed { np - 1 - v } else { v };
+
+        loop {
+            // --- distribution (paper Figure 3: the pipe-attached process
+            //     reads and scatters; chunk i goes to *virtual* rank i) ---
+            let (chunk, start_ts) = if p == 0 {
+                let src = my_source.as_mut().expect("rank 0 has the source");
+                read_buf.clear();
+                let got = src.fill(&mut read_buf, np * phase_chunk);
+                if got == 0 {
+                    for dest in 1..np {
+                        ctx.send(dest, PhasedMsg::Done);
+                    }
+                    break;
+                }
+                let chunks = chunk_slice(&read_buf, np);
+                let mut acc = phase_base;
+                let mut mine = None;
+                for (v, c) in chunks.iter().enumerate() {
+                    let dest = phys(v, reversed);
+                    if dest == 0 {
+                        mine = Some((c.to_vec(), acc));
+                    } else {
+                        ctx.send(
+                            dest,
+                            PhasedMsg::Chunk {
+                                start_ts: acc,
+                                data: c.to_vec(),
+                            },
+                        );
+                    }
+                    acc += c.len() as u64;
+                }
+                phase_base = acc;
+                mine.expect("some virtual rank maps to physical 0")
+            } else {
+                match ctx.recv_from(0) {
+                    PhasedMsg::Done => break,
+                    PhasedMsg::Chunk { start_ts, data } => (data, start_ts),
+                    _ => unreachable!("rank 0 only sends chunks or Done here"),
+                }
+            };
+
+            // This phase's virtual rank for this physical rank.
+            let v = if reversed { np - 1 - p } else { p };
+
+            // --- one Parda pass over the phase (Algorithm 3 rounds, in
+            //     virtual-rank space) ---
+            if v == 0 {
+                // Virtual rank 0 analyzes on top of the accumulated global
+                // state: its local infinities are authoritative.
+                engine.process_chunk(&chunk, start_ts, MissSink::Infinite);
+            } else {
+                let mut local_inf = Vec::new();
+                engine.process_chunk(&chunk, start_ts, MissSink::Forward(&mut local_inf));
+                ctx.send(phys(v - 1, reversed), PhasedMsg::Infinities(local_inf));
+            }
+            for _ in 1..(np - v) {
+                let incoming = match ctx.recv_from(phys(v + 1, reversed)) {
+                    PhasedMsg::Infinities(list) => list,
+                    _ => unreachable!("cascade rounds only carry infinity lists"),
+                };
+                let mut survivors = Vec::new();
+                engine.process_infinities(&incoming, &mut survivors);
+                if v == 0 {
+                    engine.record_global_infinities(survivors.len() as u64);
+                } else {
+                    ctx.send(phys(v - 1, reversed), PhasedMsg::Infinities(survivors));
+                }
+            }
+
+            // --- state reduction onto virtual rank np-1 (Algorithm 6) ---
+            let merger = phys(np - 1, reversed);
+            if v != np - 1 {
+                ctx.send(merger, PhasedMsg::State(engine.export_state()));
+            } else {
+                for src_v in 0..np - 1 {
+                    match ctx.recv_from(phys(src_v, reversed)) {
+                        PhasedMsg::State(pairs) => engine.import_state(&pairs),
+                        _ => unreachable!("reduction expects state messages"),
+                    }
+                }
+            }
+            match reduction {
+                Reduction::ShipToRankZero => {
+                    // Transfer the merged state back to (virtual = physical)
+                    // rank 0.
+                    if v == np - 1 {
+                        ctx.send(phys(0, reversed), PhasedMsg::State(engine.export_state()));
+                    }
+                    if v == 0 {
+                        match ctx.recv_from(merger) {
+                            PhasedMsg::State(pairs) => engine.import_state(&pairs),
+                            _ => unreachable!("the merger ships the merged state"),
+                        }
+                    }
+                }
+                Reduction::RenumberRanks => {
+                    // The merger keeps the state and becomes virtual rank 0:
+                    // reverse the virtual order (np-1 ↦ 0).
+                    reversed = !reversed;
+                }
+            }
+            engine.reset_phase_counters();
+        }
+        engine.into_histogram()
+    });
+
+    let mut total = ReuseHistogram::new();
+    for h in &hists {
+        total.merge(h);
+    }
+    total
+}
+
+/// Degenerate single-rank streaming: plain incremental Algorithm 1 over
+/// batches.
+fn phased_single_rank<T: ReuseTree + Default, S: AddressStream>(
+    mut source: S,
+    bound: Option<u64>,
+) -> ReuseHistogram {
+    let mut analyzer: crate::seq::SequentialAnalyzer<T> = crate::seq::SequentialAnalyzer::new(bound);
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        if source.fill(&mut buf, 1 << 16) == 0 {
+            break;
+        }
+        analyzer.process_all(&buf);
+    }
+    analyzer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::analyze_sequential;
+    use parda_trace::SliceStream;
+    use parda_tree::SplayTree;
+    use proptest::prelude::*;
+
+    #[test]
+    fn phased_matches_offline_on_small_trace() {
+        let trace: Vec<Addr> = "dacbccgefafbcmtmacfbdcac".bytes().map(u64::from).collect();
+        let seq = analyze_sequential::<SplayTree>(&trace, None);
+        for np in [1usize, 2, 3, 4] {
+            for chunk in [1usize, 2, 4, 100] {
+                for reduction in [Reduction::ShipToRankZero, Reduction::RenumberRanks] {
+                    let hist = parda_phased_with::<SplayTree, _>(
+                        SliceStream::new(&trace),
+                        chunk,
+                        &PardaConfig::with_ranks(np),
+                        reduction,
+                    );
+                    assert_eq!(hist, seq, "np={np} chunk={chunk} {reduction:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phase_boundary_splitting_reuse_pairs() {
+        // Reuse pairs straddling phase boundaries exercise the global-state
+        // carry: [0..k] then the same block again in the next phase.
+        let mut trace: Vec<Addr> = (0..32).collect();
+        trace.extend(0..32u64);
+        let seq = analyze_sequential::<SplayTree>(&trace, None);
+        for reduction in [Reduction::ShipToRankZero, Reduction::RenumberRanks] {
+            let hist = parda_phased_with::<SplayTree, _>(
+                SliceStream::new(&trace),
+                8, // np*C = 32: the second lap lands entirely in phase 2
+                &PardaConfig::with_ranks(4),
+                reduction,
+            );
+            assert_eq!(hist, seq, "{reduction:?}");
+            assert_eq!(hist.count(31), 32, "each element reused at distance 31");
+        }
+    }
+
+    #[test]
+    fn renumbering_survives_many_phases() {
+        // Odd numbers of phases leave the virtual order reversed; even
+        // numbers restore it. Run enough phases to exercise both parities
+        // with state resident on both ends.
+        let trace: Vec<Addr> = (0..3_000).map(|i| i % 100).collect();
+        let seq = analyze_sequential::<SplayTree>(&trace, None);
+        for chunk in [10usize, 17, 100] {
+            let hist = parda_phased_with::<SplayTree, _>(
+                SliceStream::new(&trace),
+                chunk,
+                &PardaConfig::with_ranks(3),
+                Reduction::RenumberRanks,
+            );
+            assert_eq!(hist, seq, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        for reduction in [Reduction::ShipToRankZero, Reduction::RenumberRanks] {
+            let hist = parda_phased_with::<SplayTree, _>(
+                SliceStream::new(&[]),
+                16,
+                &PardaConfig::with_ranks(3),
+                reduction,
+            );
+            assert_eq!(hist.total(), 0, "{reduction:?}");
+        }
+    }
+
+    #[test]
+    fn ragged_final_phase() {
+        // 100 refs with np*C = 48: two full phases + one ragged (4 refs).
+        let trace: Vec<Addr> = (0..100).map(|i| i % 10).collect();
+        let seq = analyze_sequential::<SplayTree>(&trace, None);
+        for reduction in [Reduction::ShipToRankZero, Reduction::RenumberRanks] {
+            let hist = parda_phased_with::<SplayTree, _>(
+                SliceStream::new(&trace),
+                16,
+                &PardaConfig::with_ranks(3),
+                reduction,
+            );
+            assert_eq!(hist, seq, "{reduction:?}");
+        }
+    }
+
+    #[test]
+    fn bounded_phased_respects_contract() {
+        let trace: Vec<Addr> = (0..1_000).map(|i| (i * 13) % 101).collect();
+        let full = analyze_sequential::<SplayTree>(&trace, None);
+        let cfg = PardaConfig {
+            ranks: 3,
+            bound: Some(16),
+            space_optimized: true,
+        };
+        for reduction in [Reduction::ShipToRankZero, Reduction::RenumberRanks] {
+            let hist =
+                parda_phased_with::<SplayTree, _>(SliceStream::new(&trace), 32, &cfg, reduction);
+            assert_eq!(hist.total(), full.total(), "{reduction:?}");
+            for d in 0..16u64 {
+                assert_eq!(hist.count(d), full.count(d), "{reduction:?} bucket {d}");
+            }
+            for cap in 1..=16u64 {
+                assert_eq!(
+                    hist.miss_count(cap),
+                    full.miss_count(cap),
+                    "{reduction:?} capacity {cap}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        /// Streaming = offline, for every trace, rank count, phase size,
+        /// and reduction strategy.
+        #[test]
+        fn phased_equals_offline(
+            trace in proptest::collection::vec(0u64..32, 0..250),
+            np in 1usize..5,
+            chunk in 1usize..40,
+            renumber in any::<bool>(),
+        ) {
+            let seq = analyze_sequential::<SplayTree>(&trace, None);
+            let reduction = if renumber { Reduction::RenumberRanks } else { Reduction::ShipToRankZero };
+            let hist = parda_phased_with::<SplayTree, _>(
+                SliceStream::new(&trace),
+                chunk,
+                &PardaConfig::with_ranks(np),
+                reduction,
+            );
+            prop_assert_eq!(hist, seq);
+        }
+    }
+}

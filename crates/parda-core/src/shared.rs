@@ -1,0 +1,247 @@
+//! Shared-cache analysis: co-running programs and cache partitioning.
+//!
+//! The paper motivates online reuse-distance analysis with "cache sharing
+//! and partitioning" (Petoumenos et al.; Lu et al.). Two primitives cover
+//! those applications:
+//!
+//! * [`analyze_corun`] — interleave the traces of co-running programs into
+//!   one shared reference stream (each program in its own address space)
+//!   and attribute the shared-cache reuse distances back per program. This
+//!   answers "what does sharing do to each program?" — distances inflate
+//!   because the co-runners' distinct addresses intervene.
+//! * [`optimal_partition`] — given per-program *solo* miss-ratio curves,
+//!   find the way-partition of a shared cache that minimizes total misses
+//!   (dynamic program over allocations, the Soft-OLP/UCP decision).
+
+use crate::seq::analyze_with;
+use parda_hist::ReuseHistogram;
+use parda_trace::Addr;
+use parda_tree::ReuseTree;
+
+/// Result of [`analyze_corun`].
+#[derive(Clone, Debug)]
+pub struct CorunAnalysis {
+    /// Shared-stream histogram per program (distances measured over the
+    /// interleaved trace).
+    pub per_program: Vec<ReuseHistogram>,
+    /// The combined shared-stream histogram.
+    pub combined: ReuseHistogram,
+}
+
+/// Interleave program traces round-robin with the given per-program burst
+/// weights (program `i` issues `weights[i]` references per round, matching
+/// relative issue rates). Address spaces are disambiguated by tagging the
+/// top byte with the program index, mirroring distinct processes.
+pub fn interleave(traces: &[&[Addr]], weights: &[usize]) -> Vec<Addr> {
+    assert_eq!(traces.len(), weights.len(), "one weight per trace");
+    assert!(traces.len() < 256, "tag byte limits co-runners to 255");
+    assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
+    let total: usize = traces.iter().map(|t| t.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; traces.len()];
+    while out.len() < total {
+        let mut progressed = false;
+        for (i, trace) in traces.iter().enumerate() {
+            for _ in 0..weights[i] {
+                if cursors[i] < trace.len() {
+                    out.push(tag(trace[cursors[i]], i));
+                    cursors[i] += 1;
+                    progressed = true;
+                }
+            }
+        }
+        debug_assert!(progressed, "round made no progress");
+    }
+    out
+}
+
+#[inline]
+fn tag(addr: Addr, program: usize) -> Addr {
+    (addr & 0x00ff_ffff_ffff_ffff) | ((program as u64 + 1) << 56)
+}
+
+#[inline]
+fn program_of(tagged: Addr) -> usize {
+    (tagged >> 56) as usize - 1
+}
+
+/// Analyze co-running programs sharing one cache: interleave, run one
+/// reuse-distance pass over the shared stream, and split the histogram by
+/// issuing program.
+pub fn analyze_corun<T: ReuseTree + Default>(
+    traces: &[&[Addr]],
+    weights: &[usize],
+) -> CorunAnalysis {
+    let shared = interleave(traces, weights);
+    let mut per_program = vec![ReuseHistogram::new(); traces.len()];
+    let combined = analyze_with::<T, _>(&shared, |_, addr, distance| {
+        per_program[program_of(addr)].record(distance);
+    });
+    CorunAnalysis {
+        per_program,
+        combined,
+    }
+}
+
+/// Optimal static partition of `capacity` cache lines among programs with
+/// the given solo MRCs, at `granularity`-line steps. Every program receives
+/// at least one granule. Returns `(allocation, total_misses)`.
+///
+/// Dynamic program over programs × granules: O(k · (C/g)²).
+pub fn optimal_partition(
+    histograms: &[&ReuseHistogram],
+    capacity: u64,
+    granularity: u64,
+) -> (Vec<u64>, u64) {
+    let k = histograms.len();
+    assert!(k > 0, "need at least one program");
+    assert!(granularity > 0 && capacity >= granularity * k as u64, "capacity too small");
+    let granules = (capacity / granularity) as usize;
+
+    // dp[i][g] = min total misses using programs 0..=i over g granules,
+    // each program ≥ 1 granule.
+    const INF: u64 = u64::MAX;
+    let miss = |i: usize, g: usize| histograms[i].miss_count(g as u64 * granularity);
+    let mut dp = vec![vec![INF; granules + 1]; k];
+    let mut choice = vec![vec![0usize; granules + 1]; k];
+    for g in 1..=granules {
+        dp[0][g] = miss(0, g);
+        choice[0][g] = g;
+    }
+    for i in 1..k {
+        for g in (i + 1)..=granules {
+            for own in 1..=(g - i) {
+                let rest = dp[i - 1][g - own];
+                if rest == INF {
+                    continue;
+                }
+                let total = rest.saturating_add(miss(i, own));
+                if total < dp[i][g] {
+                    dp[i][g] = total;
+                    choice[i][g] = own;
+                }
+            }
+        }
+    }
+    // Backtrack.
+    let mut alloc = vec![0u64; k];
+    let mut g = granules;
+    for i in (0..k).rev() {
+        let own = choice[i][g];
+        alloc[i] = own as u64 * granularity;
+        g -= own;
+    }
+    (alloc, dp[k - 1][granules])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::analyze_sequential;
+    use parda_tree::SplayTree;
+
+    #[test]
+    fn interleave_respects_weights_and_order() {
+        let a = [1u64, 2, 3, 4];
+        let b = [10u64, 20];
+        let mixed = interleave(&[&a, &b], &[2, 1]);
+        assert_eq!(mixed.len(), 6);
+        // Round 1: a a b, round 2: a a b... with tags stripped:
+        let untagged: Vec<u64> = mixed.iter().map(|&x| x & 0xffff).collect();
+        assert_eq!(untagged, vec![1, 2, 10, 3, 4, 20]);
+        // Tags place the streams in distinct address spaces.
+        assert_ne!(mixed[0] >> 56, mixed[2] >> 56);
+    }
+
+    #[test]
+    fn interleave_drains_unequal_lengths() {
+        let a = [1u64];
+        let b = [10u64, 20, 30, 40];
+        let mixed = interleave(&[&a, &b], &[1, 1]);
+        assert_eq!(mixed.len(), 5);
+    }
+
+    #[test]
+    fn corun_inflates_reuse_distances() {
+        // Solo: a tight loop over 8 addresses → distances ≤ 7.
+        // Co-run with a streaming partner: distances inflate past 8.
+        let loop8: Vec<u64> = (0..400).map(|i| i % 8).collect();
+        let stream: Vec<u64> = (0..400).map(|i| 1000 + i).collect();
+        let solo = analyze_sequential::<SplayTree>(&loop8, None);
+        assert_eq!(solo.max_distance(), Some(7));
+
+        let corun = analyze_corun::<SplayTree>(&[&loop8, &stream], &[1, 1]);
+        assert_eq!(corun.per_program[0].total(), 400);
+        assert!(
+            corun.per_program[0].max_distance().unwrap() > 7,
+            "sharing must inflate the loop's distances"
+        );
+        // Combined = sum of parts.
+        let mut sum = corun.per_program[0].clone();
+        sum.merge(&corun.per_program[1]);
+        assert_eq!(sum, corun.combined);
+    }
+
+    #[test]
+    fn corun_weights_shift_interference() {
+        // The more slowly the streaming partner issues, the less it inflates
+        // the loop's distances.
+        let loop8: Vec<u64> = (0..800).map(|i| i % 8).collect();
+        let stream: Vec<u64> = (0..800).map(|i| 1000 + i).collect();
+        let fast = analyze_corun::<SplayTree>(&[&loop8, &stream], &[1, 4]);
+        let slow = analyze_corun::<SplayTree>(&[&loop8, &stream], &[4, 1]);
+        let fast_mean = fast.per_program[0].mean_finite_distance().unwrap();
+        let slow_mean = slow.per_program[0].mean_finite_distance().unwrap();
+        assert!(
+            slow_mean < fast_mean,
+            "slower partner must interfere less: {slow_mean} vs {fast_mean}"
+        );
+    }
+
+    #[test]
+    fn optimal_partition_prefers_the_cacheable_program() {
+        // Program A: loop over 64 lines (cliff at 64). Program B: loop over
+        // 1024 lines (cliff at 1024). With 1088 lines total, the optimum
+        // gives each exactly its working set.
+        let a_trace: Vec<u64> = (0..6400).map(|i| i % 64).collect();
+        let b_trace: Vec<u64> = (0..10240).map(|i| 5000 + i % 1024).collect();
+        let ha = analyze_sequential::<SplayTree>(&a_trace, None);
+        let hb = analyze_sequential::<SplayTree>(&b_trace, None);
+        let (alloc, misses) = optimal_partition(&[&ha, &hb], 1088, 64);
+        assert_eq!(alloc, vec![64, 1024]);
+        assert_eq!(misses, 64 + 1024, "only cold misses remain");
+    }
+
+    #[test]
+    fn optimal_partition_matches_exhaustive_for_two() {
+        let a_trace: Vec<u64> = (0..3000).map(|i| i % 37).collect();
+        let b_trace: Vec<u64> = (0..3000).map(|i| 500 + (i * 7) % 211).collect();
+        let ha = analyze_sequential::<SplayTree>(&a_trace, None);
+        let hb = analyze_sequential::<SplayTree>(&b_trace, None);
+        let capacity = 256u64;
+        let gran = 16u64;
+        let (_, dp_misses) = optimal_partition(&[&ha, &hb], capacity, gran);
+        let mut best = u64::MAX;
+        let mut c = gran;
+        while c < capacity {
+            best = best.min(ha.miss_count(c) + hb.miss_count(capacity - c));
+            c += gran;
+        }
+        assert_eq!(dp_misses, best);
+    }
+
+    #[test]
+    fn three_way_partition_allocates_everything() {
+        let t: Vec<Vec<u64>> = (0..3)
+            .map(|p| (0..2000u64).map(|i| p * 10_000 + i % (50 * (p + 1))).collect())
+            .collect();
+        let hists: Vec<ReuseHistogram> = t
+            .iter()
+            .map(|tr| analyze_sequential::<SplayTree>(tr, None))
+            .collect();
+        let refs: Vec<&ReuseHistogram> = hists.iter().collect();
+        let (alloc, _) = optimal_partition(&refs, 512, 32);
+        assert_eq!(alloc.iter().sum::<u64>(), 512);
+        assert!(alloc.iter().all(|&a| a >= 32));
+    }
+}

@@ -1,0 +1,150 @@
+//! Windowed analysis and locality-phase detection.
+//!
+//! Shen, Zhong & Ding (ASPLOS'04, cited in the paper's §VII) detect program
+//! phases from reuse-distance signatures: when the distance distribution of
+//! the current execution window stops resembling the previous window's, a
+//! phase boundary is declared. This module reproduces the primitive on top
+//! of [`crate::seq::analyze_with`]:
+//!
+//! * [`windowed_histograms`] — one log₂-binned histogram per fixed-size
+//!   window of the trace (distances still measured globally);
+//! * [`detect_phases`] — boundaries where the normalized L1 distance
+//!   between consecutive window signatures exceeds a threshold.
+
+use crate::seq::analyze_with;
+use parda_hist::{BinnedHistogram, Distance};
+use parda_trace::Addr;
+use parda_tree::ReuseTree;
+
+/// Per-window binned reuse-distance signatures.
+#[derive(Clone, Debug)]
+pub struct WindowedAnalysis {
+    /// Window length in references.
+    pub window: usize,
+    /// One signature per window, in trace order (the last may be partial).
+    pub signatures: Vec<BinnedHistogram>,
+}
+
+/// Compute one binned histogram per `window` references.
+///
+/// Distances are measured over the whole trace (a reuse that spans windows
+/// is attributed to the window of its *second* access, with its true
+/// distance) — windowing only buckets the observations.
+pub fn windowed_histograms<T: ReuseTree + Default>(
+    trace: &[Addr],
+    window: usize,
+) -> WindowedAnalysis {
+    assert!(window > 0, "window must be positive");
+    let num_windows = trace.len().div_ceil(window);
+    let mut signatures = vec![BinnedHistogram::new(); num_windows.max(1)];
+    if trace.is_empty() {
+        signatures.clear();
+    }
+    analyze_with::<T, _>(trace, |i, _, distance| {
+        signatures[i / window].record(distance);
+    });
+    WindowedAnalysis { window, signatures }
+}
+
+/// Normalized L1 distance between two signatures, in `[0, 2]`
+/// (0 = identical shape, 2 = disjoint support).
+pub fn signature_distance(a: &BinnedHistogram, b: &BinnedHistogram) -> f64 {
+    if a.total() == 0 || b.total() == 0 {
+        return if a.total() == b.total() { 0.0 } else { 2.0 };
+    }
+    let bins = a.num_bins().max(b.num_bins());
+    let mut l1 = 0.0;
+    for idx in 0..bins {
+        let pa = a.bin(idx) as f64 / a.total() as f64;
+        let pb = b.bin(idx) as f64 / b.total() as f64;
+        l1 += (pa - pb).abs();
+    }
+    l1 += (a.infinite() as f64 / a.total() as f64 - b.infinite() as f64 / b.total() as f64).abs();
+    l1
+}
+
+/// Detect phase boundaries: reference indices where the signature of window
+/// `w` differs from window `w-1` by more than `threshold` (normalized L1;
+/// 0.5 is a reasonable default).
+pub fn detect_phases(analysis: &WindowedAnalysis, threshold: f64) -> Vec<usize> {
+    analysis
+        .signatures
+        .windows(2)
+        .enumerate()
+        .filter(|(_, pair)| signature_distance(&pair[0], &pair[1]) > threshold)
+        .map(|(w, _)| (w + 1) * analysis.window)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parda_tree::SplayTree;
+
+    #[test]
+    fn windows_partition_the_trace() {
+        let trace: Vec<Addr> = (0..1000).map(|i| i % 50).collect();
+        let analysis = windowed_histograms::<SplayTree>(&trace, 256);
+        assert_eq!(analysis.signatures.len(), 4);
+        let total: u64 = analysis.signatures.iter().map(|s| s.total()).sum();
+        assert_eq!(total, 1000);
+        assert_eq!(analysis.signatures[3].total(), 1000 - 3 * 256);
+    }
+
+    #[test]
+    fn empty_trace_has_no_windows() {
+        let analysis = windowed_histograms::<SplayTree>(&[], 64);
+        assert!(analysis.signatures.is_empty());
+        assert!(detect_phases(&analysis, 0.5).is_empty());
+    }
+
+    #[test]
+    fn signature_distance_properties() {
+        let mut a = BinnedHistogram::new();
+        a.record_n(Distance::Finite(1), 10);
+        assert_eq!(signature_distance(&a, &a), 0.0);
+
+        let mut b = BinnedHistogram::new();
+        b.record_n(Distance::Finite(1024), 10);
+        let d = signature_distance(&a, &b);
+        assert!((d - 2.0).abs() < 1e-12, "disjoint supports: {d}");
+
+        // Scale invariance: shape matters, not mass.
+        let mut a2 = BinnedHistogram::new();
+        a2.record_n(Distance::Finite(1), 1000);
+        assert!(signature_distance(&a, &a2) < 1e-12);
+    }
+
+    #[test]
+    fn steady_workload_has_no_phase_boundaries() {
+        let trace: Vec<Addr> = (0..8000).map(|i| i % 64).collect();
+        let analysis = windowed_histograms::<SplayTree>(&trace, 1000);
+        let boundaries = detect_phases(&analysis, 0.5);
+        // Window 0 contains the cold misses; from window 1 on the signature
+        // is constant. At most the 0→1 transition may fire.
+        assert!(
+            boundaries.iter().all(|&b| b <= 1000),
+            "spurious boundaries: {boundaries:?}"
+        );
+    }
+
+    #[test]
+    fn phase_transition_is_detected_at_the_right_place() {
+        // Phase 1: tight loop over 8 addresses (distances ≤ 7).
+        // Phase 2 (starting at ref 4000): sweep over 2048 addresses
+        // (distances ≥ 2047 after warmup) — a gross signature change.
+        let mut trace: Vec<Addr> = (0..4000).map(|i| i % 8).collect();
+        trace.extend((0..4000).map(|i| 1000 + i % 2048));
+        let analysis = windowed_histograms::<SplayTree>(&trace, 500);
+        let boundaries = detect_phases(&analysis, 0.5);
+        assert!(
+            boundaries.contains(&4000),
+            "expected a boundary at 4000, got {boundaries:?}"
+        );
+        // No boundaries deep inside phase 1.
+        assert!(
+            !boundaries.iter().any(|&b| (1000..4000).contains(&b)),
+            "phase 1 must be stable: {boundaries:?}"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Hashing substrate for PARDA.
+//!
+//! The reference PARDA implementation uses the GLib hash table to map each
+//! data address to the timestamp of its most recent access. This crate is the
+//! self-contained Rust equivalent:
+//!
+//! * [`FxHasher`] — a fast multiply-based hasher in the style of the hasher
+//!   used by rustc, well suited to small integer keys such as word-granular
+//!   memory addresses.
+//! * [`RobinHoodMap`] — an open-addressing hash map with Robin Hood probing
+//!   and backward-shift deletion, the workhorse table used on the analysis
+//!   hot path.
+//! * [`LastAccessTable`] — the address → last-access-timestamp table used by
+//!   every reuse-distance engine in `parda-core`.
+//!
+//! The map is deliberately specialised: keys must implement [`FixedKey`]
+//! (a cheap, infallible 64-bit projection used for hashing), which lets the
+//! table store hashes implicitly and keep probe loops branch-light.
+
+pub mod fx;
+pub mod map;
+pub mod table;
+
+pub use fx::{fx_hash_u64, FxBuildHasher, FxHasher};
+pub use map::{FixedKey, RobinHoodMap};
+pub use table::LastAccessTable;
+
+/// Convenience alias: a `std` HashMap using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Convenience alias: a `std` HashSet using [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;

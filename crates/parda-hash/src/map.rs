@@ -1,0 +1,443 @@
+//! Robin Hood open-addressing hash map with backward-shift deletion.
+//!
+//! This is the stand-in for the GLib hash table used by the original PARDA C
+//! code. The design choices follow the access pattern of reuse-distance
+//! analysis:
+//!
+//! * every trace reference performs `get` + (`insert` or overwrite), so probe
+//!   sequences must be short and cache-friendly — Robin Hood probing bounds
+//!   the variance of probe lengths;
+//! * the bounded algorithm (paper Algorithm 7) deletes evicted victims, so
+//!   deletion must not poison the table — backward-shift deletion leaves no
+//!   tombstones and keeps probe distances tight;
+//! * keys are word-granular addresses, hashed with one multiply via
+//!   [`crate::fx_hash_u64`].
+
+use crate::fx::fx_hash_u64;
+
+/// Keys storable in a [`RobinHoodMap`]: cheaply projectable to 64 bits.
+///
+/// The projection must be injective over the keys actually inserted (it is
+/// the identity for the integer types below), because the map compares keys
+/// with `Eq` after hashing the projection.
+pub trait FixedKey: Copy + Eq {
+    /// Project the key to the 64-bit value that is hashed.
+    fn as_u64(self) -> u64;
+}
+
+impl FixedKey for u64 {
+    #[inline]
+    fn as_u64(self) -> u64 {
+        self
+    }
+}
+
+impl FixedKey for u32 {
+    #[inline]
+    fn as_u64(self) -> u64 {
+        self as u64
+    }
+}
+
+impl FixedKey for usize {
+    #[inline]
+    fn as_u64(self) -> u64 {
+        self as u64
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    /// Probe distance from the home bucket, plus one. Zero marks an empty
+    /// slot, which lets `Option`-free occupancy checks stay in one word.
+    dib: u32,
+}
+
+/// Open-addressing hash map with Robin Hood probing.
+///
+/// Capacity is always a power of two; the table resizes at 87.5% load.
+///
+/// # Examples
+///
+/// ```
+/// use parda_hash::RobinHoodMap;
+///
+/// let mut map: RobinHoodMap<u64, u64> = RobinHoodMap::new();
+/// map.insert(0x1000, 7);
+/// assert_eq!(map.get(0x1000), Some(&7));
+/// assert_eq!(map.remove(0x1000), Some(7));
+/// assert!(map.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct RobinHoodMap<K, V> {
+    slots: Vec<Option<Slot<K, V>>>,
+    mask: usize,
+    len: usize,
+}
+
+impl<K: FixedKey, V> Default for RobinHoodMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: FixedKey, V> RobinHoodMap<K, V> {
+    const MIN_CAPACITY: usize = 8;
+
+    /// Create an empty map with a small initial capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::MIN_CAPACITY)
+    }
+
+    /// Create an empty map able to hold at least `capacity` entries without
+    /// resizing.
+    pub fn with_capacity(capacity: usize) -> Self {
+        // Head-room for the 7/8 load factor, then round up to a power of two.
+        let wanted = capacity.max(Self::MIN_CAPACITY) * 8 / 7 + 1;
+        let cap = wanted.next_power_of_two();
+        let mut slots = Vec::new();
+        slots.resize_with(cap, || None);
+        Self {
+            slots,
+            mask: cap - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of entries in the map.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the map holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current slot count (diagnostic; not the number of entries).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Remove all entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.len = 0;
+    }
+
+    #[inline]
+    fn home(&self, key: K) -> usize {
+        (fx_hash_u64(key.as_u64()) as usize) & self.mask
+    }
+
+    /// Look up `key`, returning a reference to its value.
+    #[inline]
+    pub fn get(&self, key: K) -> Option<&V> {
+        let mut idx = self.home(key);
+        let mut dib: u32 = 1;
+        loop {
+            match &self.slots[idx] {
+                None => return None,
+                Some(slot) => {
+                    if slot.key == key {
+                        return Some(&slot.value);
+                    }
+                    // Robin Hood invariant: if this resident is closer to its
+                    // home than we are to ours, the key cannot be further on.
+                    if slot.dib < dib {
+                        return None;
+                    }
+                }
+            }
+            idx = (idx + 1) & self.mask;
+            dib += 1;
+        }
+    }
+
+    /// Look up `key`, returning a mutable reference to its value.
+    #[inline]
+    pub fn get_mut(&mut self, key: K) -> Option<&mut V> {
+        let mut idx = self.home(key);
+        let mut dib: u32 = 1;
+        loop {
+            match &self.slots[idx] {
+                None => return None,
+                Some(slot) => {
+                    if slot.key == key {
+                        // Re-borrow mutably; the borrow checker cannot see
+                        // through the loop otherwise.
+                        return self.slots[idx].as_mut().map(|s| &mut s.value);
+                    }
+                    if slot.dib < dib {
+                        return None;
+                    }
+                }
+            }
+            idx = (idx + 1) & self.mask;
+            dib += 1;
+        }
+    }
+
+    /// `true` if `key` is present.
+    #[inline]
+    pub fn contains_key(&self, key: K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Insert `key → value`; returns the previous value if the key was
+    /// already present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        if (self.len + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mut idx = self.home(key);
+        let mut incoming = Slot { key, value, dib: 1 };
+        loop {
+            match &mut self.slots[idx] {
+                empty @ None => {
+                    *empty = Some(incoming);
+                    self.len += 1;
+                    return None;
+                }
+                Some(resident) => {
+                    if resident.key == incoming.key {
+                        return Some(std::mem::replace(&mut resident.value, incoming.value));
+                    }
+                    if resident.dib < incoming.dib {
+                        // Rob from the rich: displace the resident that is
+                        // closer to home and keep probing with it.
+                        std::mem::swap(resident, &mut incoming);
+                    }
+                }
+            }
+            idx = (idx + 1) & self.mask;
+            incoming.dib += 1;
+        }
+    }
+
+    /// Remove `key`, returning its value if present. Uses backward-shift
+    /// deletion: subsequent displaced entries slide one slot back toward
+    /// their home buckets, so no tombstones are needed.
+    pub fn remove(&mut self, key: K) -> Option<V> {
+        let mut idx = self.home(key);
+        let mut dib: u32 = 1;
+        loop {
+            match &self.slots[idx] {
+                None => return None,
+                Some(slot) => {
+                    if slot.key == key {
+                        break;
+                    }
+                    if slot.dib < dib {
+                        return None;
+                    }
+                }
+            }
+            idx = (idx + 1) & self.mask;
+            dib += 1;
+        }
+        let removed = self.slots[idx].take().expect("found slot is occupied");
+        self.len -= 1;
+        // Backward shift: pull each follower with dib > 1 one slot closer.
+        let mut hole = idx;
+        loop {
+            let next = (hole + 1) & self.mask;
+            match &self.slots[next] {
+                Some(slot) if slot.dib > 1 => {
+                    let mut moved = self.slots[next].take().expect("checked occupied");
+                    moved.dib -= 1;
+                    self.slots[hole] = Some(moved);
+                    hole = next;
+                }
+                _ => break,
+            }
+        }
+        Some(removed.value)
+    }
+
+    /// Iterate over `(key, &value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &V)> + '_ {
+        self.slots
+            .iter()
+            .filter_map(|slot| slot.as_ref().map(|s| (s.key, &s.value)))
+    }
+
+    /// Drain all entries, leaving the map empty but allocated.
+    pub fn drain(&mut self) -> impl Iterator<Item = (K, V)> + '_ {
+        self.len = 0;
+        self.slots
+            .iter_mut()
+            .filter_map(|slot| slot.take().map(|s| (s.key, s.value)))
+    }
+
+    /// Longest probe distance currently present (diagnostic for tests and
+    /// benchmarks; 0 for an empty map).
+    pub fn max_probe_distance(&self) -> u32 {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|s| s.dib)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let mut old = Vec::new();
+        old.resize_with(new_cap, || None);
+        std::mem::swap(&mut self.slots, &mut old);
+        self.mask = new_cap - 1;
+        self.len = 0;
+        for slot in old.into_iter().flatten() {
+            self.insert(slot.key, slot.value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut map = RobinHoodMap::new();
+        for i in 0u64..1_000 {
+            assert_eq!(map.insert(i, i * 3), None);
+        }
+        for i in 0u64..1_000 {
+            assert_eq!(map.get(i), Some(&(i * 3)));
+        }
+        assert_eq!(map.len(), 1_000);
+        assert_eq!(map.get(1_000), None);
+    }
+
+    #[test]
+    fn insert_overwrites_and_returns_old() {
+        let mut map = RobinHoodMap::new();
+        assert_eq!(map.insert(42u64, 1), None);
+        assert_eq!(map.insert(42u64, 2), Some(1));
+        assert_eq!(map.get(42), Some(&2));
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn remove_returns_value_and_shrinks_len() {
+        let mut map = RobinHoodMap::new();
+        for i in 0u64..100 {
+            map.insert(i, i);
+        }
+        for i in (0u64..100).step_by(2) {
+            assert_eq!(map.remove(i), Some(i));
+        }
+        assert_eq!(map.len(), 50);
+        for i in 0u64..100 {
+            let expect = (i % 2 == 1).then_some(i);
+            assert_eq!(map.get(i).copied(), expect, "key {i}");
+        }
+        assert_eq!(map.remove(0), None, "double remove yields None");
+    }
+
+    #[test]
+    fn backward_shift_preserves_chains() {
+        // Force long chains by inserting many keys, then delete from the
+        // middle of chains and verify every survivor is still reachable.
+        let mut map = RobinHoodMap::with_capacity(8);
+        let keys: Vec<u64> = (0..500).map(|i| i * 0x10).collect();
+        for &k in &keys {
+            map.insert(k, k + 1);
+        }
+        for &k in keys.iter().step_by(3) {
+            assert_eq!(map.remove(k), Some(k + 1));
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            if i % 3 == 0 {
+                assert_eq!(map.get(k), None);
+            } else {
+                assert_eq!(map.get(k), Some(&(k + 1)));
+            }
+        }
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut map = RobinHoodMap::new();
+        map.insert(7u64, 10u64);
+        *map.get_mut(7).unwrap() += 5;
+        assert_eq!(map.get(7), Some(&15));
+        assert_eq!(map.get_mut(8), None);
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut map = RobinHoodMap::new();
+        for i in 0u64..1_000 {
+            map.insert(i, i);
+        }
+        let cap = map.capacity();
+        map.clear();
+        assert!(map.is_empty());
+        assert_eq!(map.capacity(), cap);
+        map.insert(3u64, 4);
+        assert_eq!(map.get(3), Some(&4));
+    }
+
+    #[test]
+    fn iter_and_drain_visit_everything() {
+        let mut map = RobinHoodMap::new();
+        for i in 0u64..64 {
+            map.insert(i, i * 2);
+        }
+        let mut seen: Vec<u64> = map.iter().map(|(k, _)| k).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..64).collect::<Vec<_>>());
+
+        let drained: HashMap<u64, u64> = map.drain().collect();
+        assert_eq!(drained.len(), 64);
+        assert!(map.is_empty());
+        assert_eq!(map.get(1), None);
+    }
+
+    #[test]
+    fn probe_distances_stay_bounded_at_load() {
+        let mut map = RobinHoodMap::with_capacity(16);
+        for i in 0u64..100_000 {
+            map.insert(i.wrapping_mul(0x9e3779b97f4a7c15), i);
+        }
+        // Robin Hood at 7/8 load keeps worst-case probes small in practice.
+        assert!(
+            map.max_probe_distance() < 64,
+            "max probe distance {} is pathological",
+            map.max_probe_distance()
+        );
+    }
+
+    proptest! {
+        /// The map must behave exactly like std::HashMap under an arbitrary
+        /// interleaving of inserts and removes over a small key universe
+        /// (small so that collisions between operations are common).
+        #[test]
+        fn behaves_like_std_hashmap(ops in proptest::collection::vec((any::<bool>(), 0u64..64, any::<u32>()), 0..400)) {
+            let mut ours: RobinHoodMap<u64, u32> = RobinHoodMap::new();
+            let mut reference: HashMap<u64, u32> = HashMap::new();
+            for (is_insert, key, value) in ops {
+                if is_insert {
+                    prop_assert_eq!(ours.insert(key, value), reference.insert(key, value));
+                } else {
+                    prop_assert_eq!(ours.remove(key), reference.remove(&key));
+                }
+                prop_assert_eq!(ours.len(), reference.len());
+            }
+            for (key, value) in &reference {
+                prop_assert_eq!(ours.get(*key), Some(value));
+            }
+        }
+    }
+}

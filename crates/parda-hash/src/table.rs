@@ -1,0 +1,148 @@
+//! The address → last-access-timestamp table (`H` in the paper's
+//! Algorithms 1, 3, 4 and 7).
+
+use crate::map::RobinHoodMap;
+
+/// The hash table `H` of the PARDA algorithms: maps a data address to the
+/// timestamp of its most recent access.
+///
+/// A thin domain wrapper over [`RobinHoodMap`] so the analysis engines in
+/// `parda-core` read like the paper's pseudocode (`H(z)`, `H(z) ← t`,
+/// `H(z) ← ∅`).
+///
+/// # Examples
+///
+/// ```
+/// use parda_hash::LastAccessTable;
+///
+/// let mut table = LastAccessTable::new();
+/// assert_eq!(table.last_access(0x40), None);       // H(z) = ∅
+/// table.record(0x40, 9);                           // H(z) ← 9
+/// assert_eq!(table.last_access(0x40), Some(9));
+/// assert_eq!(table.forget(0x40), Some(9));         // H(z) ← ∅
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LastAccessTable {
+    map: RobinHoodMap<u64, u64>,
+}
+
+impl LastAccessTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self {
+            map: RobinHoodMap::new(),
+        }
+    }
+
+    /// Create an empty table sized for `capacity` distinct addresses.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            map: RobinHoodMap::with_capacity(capacity),
+        }
+    }
+
+    /// `H(z)`: timestamp of the most recent access to `addr`, if any.
+    #[inline]
+    pub fn last_access(&self, addr: u64) -> Option<u64> {
+        self.map.get(addr).copied()
+    }
+
+    /// `H(z) ← t`: record that `addr` was accessed at time `timestamp`.
+    /// Returns the previous timestamp if the address was known.
+    #[inline]
+    pub fn record(&mut self, addr: u64, timestamp: u64) -> Option<u64> {
+        self.map.insert(addr, timestamp)
+    }
+
+    /// `H(z) ← ∅`: remove `addr` from the table (bounded-analysis eviction
+    /// and the space-optimized infinity processing both need this).
+    #[inline]
+    pub fn forget(&mut self, addr: u64) -> Option<u64> {
+        self.map.remove(addr)
+    }
+
+    /// Number of distinct addresses currently tracked (`|H|` in Algorithm 7).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if no address is tracked.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Remove every entry, keeping allocations for reuse across phases.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Iterate over `(addr, timestamp)` pairs in unspecified order — used by
+    /// the multi-phase reduction (paper Algorithm 6), which ships the whole
+    /// table to the merging rank.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.map.iter().map(|(k, v)| (k, *v))
+    }
+
+    /// Drain all `(addr, timestamp)` pairs.
+    pub fn drain(&mut self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.map.drain()
+    }
+}
+
+impl FromIterator<(u64, u64)> for LastAccessTable {
+    fn from_iter<I: IntoIterator<Item = (u64, u64)>>(iter: I) -> Self {
+        let mut table = Self::new();
+        for (addr, ts) in iter {
+            table.record(addr, ts);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_lookup() {
+        let mut t = LastAccessTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.record(10, 0), None);
+        assert_eq!(t.record(10, 5), Some(0));
+        assert_eq!(t.last_access(10), Some(5));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn forget_removes() {
+        let mut t = LastAccessTable::new();
+        t.record(1, 1);
+        t.record(2, 2);
+        assert_eq!(t.forget(1), Some(1));
+        assert_eq!(t.forget(1), None);
+        assert_eq!(t.last_access(1), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn from_iter_takes_last_write() {
+        let t: LastAccessTable = vec![(1u64, 1u64), (2, 2), (1, 9)].into_iter().collect();
+        assert_eq!(t.last_access(1), Some(9));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn drain_empties_table() {
+        let mut t = LastAccessTable::new();
+        for i in 0..10u64 {
+            t.record(i, i + 100);
+        }
+        let mut pairs: Vec<_> = t.drain().collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs.len(), 10);
+        assert_eq!(pairs[0], (0, 100));
+        assert!(t.is_empty());
+    }
+}

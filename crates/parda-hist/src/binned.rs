@@ -1,0 +1,198 @@
+//! Log₂-binned reuse-distance summaries for compact reporting.
+
+use crate::Distance;
+use serde::{Deserialize, Serialize};
+
+/// Histogram with logarithmic buckets.
+///
+/// Bucket `0` holds distance 0; bucket `b ≥ 1` holds distances in
+/// `[2^(b-1), 2^b)`. A separate bucket counts infinite distances. This is
+/// the presentation format used by most reuse-distance tooling (and by our
+/// CLI's `report` output): exact histograms over millions of distances are
+/// unreadable, but the pow-2 shape shows working-set knees directly.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinnedHistogram {
+    bins: Vec<u64>,
+    infinite: u64,
+    total: u64,
+}
+
+impl BinnedHistogram {
+    /// Create an empty binned histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index for finite distance `d`.
+    #[inline]
+    pub fn bin_index(d: u64) -> usize {
+        if d == 0 {
+            0
+        } else {
+            64 - d.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive-exclusive distance range `[lo, hi)` covered by bucket `idx`.
+    pub fn bin_range(idx: usize) -> (u64, u64) {
+        if idx == 0 {
+            (0, 1)
+        } else {
+            (1 << (idx - 1), 1 << idx)
+        }
+    }
+
+    /// Record one reference.
+    #[inline]
+    pub fn record(&mut self, distance: Distance) {
+        self.record_n(distance, 1);
+    }
+
+    /// Record `n` references at the same distance.
+    pub fn record_n(&mut self, distance: Distance, n: u64) {
+        match distance {
+            Distance::Finite(d) => {
+                let idx = Self::bin_index(d);
+                if idx >= self.bins.len() {
+                    self.bins.resize(idx + 1, 0);
+                }
+                self.bins[idx] += n;
+            }
+            Distance::Infinite => self.infinite += n,
+        }
+        self.total += n;
+    }
+
+    /// Count in bucket `idx`.
+    pub fn bin(&self, idx: usize) -> u64 {
+        self.bins.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Count of infinite distances.
+    pub fn infinite(&self) -> u64 {
+        self.infinite
+    }
+
+    /// Total references recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of buckets with data (the highest occupied bucket + 1).
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Merge another binned histogram into this one.
+    pub fn merge(&mut self, other: &BinnedHistogram) {
+        if other.bins.len() > self.bins.len() {
+            self.bins.resize(other.bins.len(), 0);
+        }
+        for (dst, &src) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *dst += src;
+        }
+        self.infinite += other.infinite;
+        self.total += other.total;
+    }
+
+    /// Render a fixed-width ASCII table of the bins, one row per occupied
+    /// bucket — the CLI's `report` body.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let width = 40usize;
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(self.infinite);
+        let bar = |count: u64| {
+            if max == 0 {
+                String::new()
+            } else {
+                "#".repeat(((count as u128 * width as u128) / max as u128) as usize)
+            }
+        };
+        let _ = writeln!(out, "{:>16} {:>12}  distribution", "distance", "count");
+        for (idx, &count) in self.bins.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let (lo, hi) = Self::bin_range(idx);
+            let label = if lo + 1 == hi {
+                format!("{lo}")
+            } else {
+                format!("{lo}..{}", hi - 1)
+            };
+            let _ = writeln!(out, "{label:>16} {count:>12}  {}", bar(count));
+        }
+        if self.infinite > 0 {
+            let _ = writeln!(out, "{:>16} {:>12}  {}", "inf", self.infinite, bar(self.infinite));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_index_boundaries() {
+        assert_eq!(BinnedHistogram::bin_index(0), 0);
+        assert_eq!(BinnedHistogram::bin_index(1), 1);
+        assert_eq!(BinnedHistogram::bin_index(2), 2);
+        assert_eq!(BinnedHistogram::bin_index(3), 2);
+        assert_eq!(BinnedHistogram::bin_index(4), 3);
+        assert_eq!(BinnedHistogram::bin_index(7), 3);
+        assert_eq!(BinnedHistogram::bin_index(8), 4);
+        assert_eq!(BinnedHistogram::bin_index(1023), 10);
+        assert_eq!(BinnedHistogram::bin_index(1024), 11);
+    }
+
+    #[test]
+    fn bin_range_inverts_bin_index() {
+        for idx in 0..20usize {
+            let (lo, hi) = BinnedHistogram::bin_range(idx);
+            assert_eq!(BinnedHistogram::bin_index(lo), idx);
+            assert_eq!(BinnedHistogram::bin_index(hi - 1), idx);
+            if idx > 0 {
+                assert_eq!(BinnedHistogram::bin_index(lo - 1), idx - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_totals() {
+        let mut b = BinnedHistogram::new();
+        b.record(Distance::Finite(0));
+        b.record(Distance::Finite(5)); // bucket 3 (4..8)
+        b.record(Distance::Finite(6)); // bucket 3
+        b.record(Distance::Infinite);
+        assert_eq!(b.total(), 4);
+        assert_eq!(b.bin(0), 1);
+        assert_eq!(b.bin(3), 2);
+        assert_eq!(b.infinite(), 1);
+    }
+
+    #[test]
+    fn merge_sums_buckets() {
+        let mut a = BinnedHistogram::new();
+        a.record_n(Distance::Finite(2), 3);
+        let mut b = BinnedHistogram::new();
+        b.record_n(Distance::Finite(3), 4);
+        b.record_n(Distance::Infinite, 2);
+        a.merge(&b);
+        assert_eq!(a.bin(2), 7, "distances 2 and 3 share bucket 2");
+        assert_eq!(a.infinite(), 2);
+        assert_eq!(a.total(), 9);
+    }
+
+    #[test]
+    fn render_mentions_occupied_buckets_only() {
+        let mut b = BinnedHistogram::new();
+        b.record_n(Distance::Finite(0), 10);
+        b.record_n(Distance::Finite(100), 5);
+        b.record_n(Distance::Infinite, 1);
+        let text = b.render();
+        assert!(text.contains("64..127"), "got:\n{text}");
+        assert!(text.contains("inf"));
+        assert!(!text.contains("1..1\n"), "empty buckets must be skipped");
+    }
+}

@@ -1,0 +1,237 @@
+//! Multi-level cache hierarchy modelling from a reuse-distance histogram.
+//!
+//! The paper's opening observation — "the memory wall problem has been
+//! alleviated by a multi-level processor cache design" — is where one
+//! histogram pays off most: for an inclusive hierarchy of fully associative
+//! LRU levels, a reference with reuse distance `d` hits in the first level
+//! with capacity `> d`. Per-level hit counts and the average memory access
+//! time (AMAT) therefore read directly off the histogram, no further
+//! simulation needed.
+
+use crate::ReuseHistogram;
+
+/// One cache level: capacity in lines and access latency in cycles.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CacheLevel {
+    /// Capacity in lines.
+    pub capacity: u64,
+    /// Hit latency in cycles.
+    pub latency: f64,
+}
+
+/// An inclusive LRU cache hierarchy (capacities strictly increasing).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheHierarchy {
+    levels: Vec<CacheLevel>,
+    /// Latency of a miss in the last level (memory access), cycles.
+    pub memory_latency: f64,
+}
+
+/// Per-level outcome of [`CacheHierarchy::analyze`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct LevelStats {
+    /// The level's configuration.
+    pub level: CacheLevel,
+    /// References that hit first in this level.
+    pub hits: u64,
+    /// References that missed this and all faster levels.
+    pub misses: u64,
+}
+
+/// Full hierarchy outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HierarchyStats {
+    /// Per-level stats, fastest first.
+    pub levels: Vec<LevelStats>,
+    /// References served by memory.
+    pub memory_accesses: u64,
+    /// Average memory access time in cycles.
+    pub amat: f64,
+}
+
+impl CacheHierarchy {
+    /// Build a hierarchy; panics unless capacities strictly increase.
+    pub fn new(levels: Vec<CacheLevel>, memory_latency: f64) -> Self {
+        assert!(!levels.is_empty(), "hierarchy needs at least one level");
+        assert!(
+            levels.windows(2).all(|w| w[0].capacity < w[1].capacity),
+            "capacities must strictly increase"
+        );
+        assert!(levels.iter().all(|l| l.capacity > 0 && l.latency >= 0.0));
+        Self {
+            levels,
+            memory_latency,
+        }
+    }
+
+    /// A typical three-level geometry (in lines): 512 / 8 K / 128 K with
+    /// 4 / 12 / 40-cycle latencies and 200-cycle memory.
+    pub fn typical_l1_l2_l3() -> Self {
+        Self::new(
+            vec![
+                CacheLevel {
+                    capacity: 512,
+                    latency: 4.0,
+                },
+                CacheLevel {
+                    capacity: 8 * 1024,
+                    latency: 12.0,
+                },
+                CacheLevel {
+                    capacity: 128 * 1024,
+                    latency: 40.0,
+                },
+            ],
+            200.0,
+        )
+    }
+
+    /// The configured levels, fastest first.
+    pub fn levels(&self) -> &[CacheLevel] {
+        &self.levels
+    }
+
+    /// Attribute every reference of `hist` to the level that serves it and
+    /// compute AMAT.
+    pub fn analyze(&self, hist: &ReuseHistogram) -> HierarchyStats {
+        let total = hist.total();
+        let mut levels = Vec::with_capacity(self.levels.len());
+        let mut served_so_far = 0u64;
+        let mut weighted = 0.0f64;
+        for &level in &self.levels {
+            let cumulative_hits = hist.hit_count(level.capacity);
+            let hits = cumulative_hits - served_so_far;
+            let misses = total - cumulative_hits;
+            weighted += hits as f64 * level.latency;
+            levels.push(LevelStats {
+                level,
+                hits,
+                misses,
+            });
+            served_so_far = cumulative_hits;
+        }
+        let memory_accesses = total - served_so_far;
+        weighted += memory_accesses as f64 * self.memory_latency;
+        HierarchyStats {
+            levels,
+            memory_accesses,
+            amat: if total == 0 { 0.0 } else { weighted / total as f64 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Distance;
+
+    fn hist_with(distances: &[(u64, u64)], cold: u64) -> ReuseHistogram {
+        let mut h = ReuseHistogram::new();
+        for &(d, n) in distances {
+            for _ in 0..n {
+                h.record(Distance::Finite(d));
+            }
+        }
+        h.record_infinite_n(cold);
+        h
+    }
+
+    fn two_level() -> CacheHierarchy {
+        CacheHierarchy::new(
+            vec![
+                CacheLevel {
+                    capacity: 10,
+                    latency: 1.0,
+                },
+                CacheLevel {
+                    capacity: 100,
+                    latency: 10.0,
+                },
+            ],
+            100.0,
+        )
+    }
+
+    #[test]
+    fn references_are_attributed_to_first_fitting_level() {
+        // d=5 → L1; d=50 → L2; d=500 and ∞ → memory.
+        let hist = hist_with(&[(5, 4), (50, 3), (500, 2)], 1);
+        let stats = two_level().analyze(&hist);
+        assert_eq!(stats.levels[0].hits, 4);
+        assert_eq!(stats.levels[1].hits, 3);
+        assert_eq!(stats.memory_accesses, 3);
+        assert_eq!(stats.levels[0].misses, 6);
+        assert_eq!(stats.levels[1].misses, 3);
+        let expect = (4.0 * 1.0 + 3.0 * 10.0 + 3.0 * 100.0) / 10.0;
+        assert!((stats.amat - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_hits_in_l1_gives_l1_latency() {
+        let hist = hist_with(&[(0, 100)], 0);
+        let stats = two_level().analyze(&hist);
+        assert!((stats.amat - 1.0).abs() < 1e-12);
+        assert_eq!(stats.memory_accesses, 0);
+    }
+
+    #[test]
+    fn cold_only_trace_pays_memory_latency() {
+        let hist = hist_with(&[], 50);
+        let stats = two_level().analyze(&hist);
+        assert!((stats.amat - 100.0).abs() < 1e-12);
+        assert_eq!(stats.levels[0].hits, 0);
+    }
+
+    #[test]
+    fn empty_histogram_amat_is_zero() {
+        let stats = two_level().analyze(&ReuseHistogram::new());
+        assert_eq!(stats.amat, 0.0);
+        assert_eq!(stats.memory_accesses, 0);
+    }
+
+    #[test]
+    fn larger_l2_never_hurts_amat() {
+        let hist = hist_with(&[(5, 10), (50, 10), (5_000, 10)], 5);
+        let small = two_level().analyze(&hist).amat;
+        let big = CacheHierarchy::new(
+            vec![
+                CacheLevel {
+                    capacity: 10,
+                    latency: 1.0,
+                },
+                CacheLevel {
+                    capacity: 10_000,
+                    latency: 10.0,
+                },
+            ],
+            100.0,
+        )
+        .analyze(&hist)
+        .amat;
+        assert!(big <= small, "big {big} vs small {small}");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn non_increasing_capacities_rejected() {
+        CacheHierarchy::new(
+            vec![
+                CacheLevel {
+                    capacity: 100,
+                    latency: 1.0,
+                },
+                CacheLevel {
+                    capacity: 100,
+                    latency: 10.0,
+                },
+            ],
+            100.0,
+        );
+    }
+
+    #[test]
+    fn typical_geometry_is_valid() {
+        let h = CacheHierarchy::typical_l1_l2_l3();
+        assert_eq!(h.levels().len(), 3);
+    }
+}

@@ -1,0 +1,116 @@
+//! Reuse-distance histograms and the locality metrics derived from them.
+//!
+//! Every analysis engine in this workspace produces a [`ReuseHistogram`]:
+//! the count of references at each exact reuse distance plus a dedicated
+//! bucket for infinite distances (cold / compulsory misses). From the
+//! histogram one derives the quantities the paper motivates reuse-distance
+//! analysis with:
+//!
+//! * cache hit/miss counts for any fully associative LRU cache size
+//!   ([`ReuseHistogram::miss_count`]),
+//! * whole miss-ratio curves ([`ReuseHistogram::miss_ratio_curve`]),
+//! * log₂-binned summaries for compact reporting ([`BinnedHistogram`]),
+//! * multi-level hierarchy attribution and AMAT ([`CacheHierarchy`]).
+//!
+//! Histograms form a commutative monoid under [`ReuseHistogram::merge`] —
+//! this is the `reduce_sum` of paper Algorithm 3.
+
+mod binned;
+pub mod hierarchy;
+mod histogram;
+
+pub use binned::BinnedHistogram;
+pub use hierarchy::{CacheHierarchy, CacheLevel, HierarchyStats, LevelStats};
+pub use histogram::ReuseHistogram;
+
+use serde::{Deserialize, Serialize};
+
+/// A reuse distance: the number of *distinct* addresses referenced between
+/// two successive accesses to the same address, or [`Distance::Infinite`]
+/// for a first touch.
+///
+/// Distances are zero-based, matching the paper's Table I (an immediate
+/// re-reference has distance 0). Consequently a fully associative LRU cache
+/// of size `C` hits exactly the references with `d < C`; the paper's prose
+/// writes this bound as `d ≤ N` with one-based stack positions in mind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Distance {
+    /// A re-reference with the given number of intervening distinct
+    /// addresses.
+    Finite(u64),
+    /// A first touch (compulsory miss); also produced by the bounded
+    /// analyzer for every reference beyond the cache bound.
+    Infinite,
+}
+
+impl Distance {
+    /// The finite value, if any.
+    #[inline]
+    pub fn finite(self) -> Option<u64> {
+        match self {
+            Distance::Finite(d) => Some(d),
+            Distance::Infinite => None,
+        }
+    }
+
+    /// `true` for [`Distance::Infinite`].
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        matches!(self, Distance::Infinite)
+    }
+
+    /// Would this reference hit in a fully associative LRU cache holding
+    /// `capacity` lines?
+    #[inline]
+    pub fn hits_in(self, capacity: u64) -> bool {
+        match self {
+            Distance::Finite(d) => d < capacity,
+            Distance::Infinite => false,
+        }
+    }
+}
+
+impl From<Option<u64>> for Distance {
+    fn from(value: Option<u64>) -> Self {
+        match value {
+            Some(d) => Distance::Finite(d),
+            None => Distance::Infinite,
+        }
+    }
+}
+
+impl std::fmt::Display for Distance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Distance::Finite(d) => write!(f, "{d}"),
+            Distance::Infinite => write!(f, "inf"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_in_uses_strict_bound() {
+        assert!(Distance::Finite(0).hits_in(1));
+        assert!(!Distance::Finite(1).hits_in(1));
+        assert!(Distance::Finite(7).hits_in(8));
+        assert!(!Distance::Infinite.hits_in(u64::MAX));
+    }
+
+    #[test]
+    fn conversion_from_option() {
+        assert_eq!(Distance::from(Some(3)), Distance::Finite(3));
+        assert_eq!(Distance::from(None), Distance::Infinite);
+        assert_eq!(Distance::Finite(3).finite(), Some(3));
+        assert_eq!(Distance::Infinite.finite(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Distance::Finite(42).to_string(), "42");
+        assert_eq!(Distance::Infinite.to_string(), "inf");
+    }
+}

@@ -1,0 +1,160 @@
+//! The tracing front-end: a stand-in for Pin.
+//!
+//! The paper's framework (Figure 3) runs each SPEC benchmark under Pin,
+//! which emits every memory reference into a Linux pipe feeding the
+//! analyzer. Pin and the SPEC binaries are unavailable here, so this crate
+//! provides *synthetic instrumented programs*: small kernels with
+//! well-understood memory behaviour whose data accesses are emitted through
+//! the same [`TraceSink`] interface an instrumentation tool would use.
+//!
+//! * [`programs`] — the kernel zoo: dense matrix multiply (naïve and
+//!   blocked), a 2-D stencil, pointer chasing over a shuffled cycle, a hash
+//!   join, a streaming triad, and a merge-sort access pattern.
+//! * [`Instrumented`] — wraps a sink and counts references, standing in for
+//!   the instrumentation layer itself.
+//! * [`run_through_pipe`] — executes a program on a producer thread writing
+//!   into a bounded [`parda_comm::pipe()`], returning the reader end exactly
+//!   like the paper's pipe between Pin and MPI rank 0.
+
+pub mod programs;
+
+pub use programs::{
+    BfsTraversal, Fft, HashJoin, MatMul, MergeSortScan, PointerChase, Stencil2D, StreamTriad,
+    SyntheticProgram,
+};
+
+use parda_comm::{pipe, PipeReader};
+use parda_trace::{Addr, Trace};
+
+/// Receiver of an instrumented program's memory references.
+pub trait TraceSink {
+    /// Called once per data memory reference, in program order.
+    fn emit(&mut self, addr: Addr);
+}
+
+/// Collects references into an in-memory [`Trace`].
+#[derive(Default)]
+pub struct VecSink {
+    addrs: Vec<Addr>,
+}
+
+impl VecSink {
+    /// Create an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume into a [`Trace`].
+    pub fn into_trace(self) -> Trace {
+        Trace::from_vec(self.addrs)
+    }
+}
+
+impl TraceSink for VecSink {
+    fn emit(&mut self, addr: Addr) {
+        self.addrs.push(addr);
+    }
+}
+
+impl TraceSink for parda_comm::PipeWriter {
+    fn emit(&mut self, addr: Addr) {
+        self.write(addr);
+    }
+}
+
+/// The instrumentation layer: forwards references to an inner sink while
+/// counting them (Pin's dynamic reference counter).
+pub struct Instrumented<S: TraceSink> {
+    inner: S,
+    count: u64,
+}
+
+impl<S: TraceSink> Instrumented<S> {
+    /// Wrap a sink.
+    pub fn new(inner: S) -> Self {
+        Self { inner, count: 0 }
+    }
+
+    /// References seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Unwrap, returning `(inner_sink, reference_count)`.
+    pub fn into_inner(self) -> (S, u64) {
+        (self.inner, self.count)
+    }
+}
+
+impl<S: TraceSink> TraceSink for Instrumented<S> {
+    fn emit(&mut self, addr: Addr) {
+        self.count += 1;
+        self.inner.emit(addr);
+    }
+}
+
+/// Run a program to completion, collecting its full trace in memory.
+pub fn collect_trace<P: SyntheticProgram>(mut program: P) -> Trace {
+    let mut sink = VecSink::new();
+    program.run(&mut sink);
+    sink.into_trace()
+}
+
+/// Execute `program` on a freshly spawned producer thread, streaming its
+/// references through a bounded pipe of `pipe_words` addresses — the
+/// paper's Pin → pipe → analyzer topology. The returned reader is an
+/// [`parda_trace::AddressStream`] suitable for the multi-phase analyzer.
+pub fn run_through_pipe<P>(program: P, pipe_words: usize) -> PipeReader
+where
+    P: SyntheticProgram + Send + 'static,
+{
+    let (mut writer, reader) = pipe(pipe_words, parda_comm::pipe::DEFAULT_BATCH);
+    std::thread::spawn(move || {
+        let mut program = program;
+        let mut instrumented = Instrumented::new(&mut writer as &mut dyn TraceSink);
+        program.run(&mut instrumented);
+    });
+    reader
+}
+
+impl TraceSink for &mut dyn TraceSink {
+    fn emit(&mut self, addr: Addr) {
+        (**self).emit(addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parda_trace::AddressStream;
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut sink = VecSink::new();
+        for a in [3u64, 1, 2] {
+            sink.emit(a);
+        }
+        assert_eq!(sink.into_trace().as_slice(), &[3, 1, 2]);
+    }
+
+    #[test]
+    fn instrumented_counts_references() {
+        let mut inst = Instrumented::new(VecSink::new());
+        for a in 0..100u64 {
+            inst.emit(a);
+        }
+        assert_eq!(inst.count(), 100);
+        let (sink, n) = inst.into_inner();
+        assert_eq!(n, 100);
+        assert_eq!(sink.into_trace().len(), 100);
+    }
+
+    #[test]
+    fn pipe_topology_delivers_whole_trace() {
+        let program = StreamTriad::new(1_000, 2);
+        let direct = collect_trace(program.clone());
+        let mut reader = run_through_pipe(program, 1 << 12);
+        let piped = reader.take_trace(direct.len() + 1);
+        assert_eq!(piped, direct, "pipe must not reorder or drop references");
+    }
+}

@@ -1,0 +1,186 @@
+//! Walker alias method: O(1) sampling from arbitrary discrete distributions.
+//!
+//! Used for Zipf address popularity ([`crate::gen::ZipfGen`]) and for the
+//! empirical distance mixtures of the SPEC workload models, where millions
+//! of samples per trace make inverse-CDF binary search (O(log n)) or naive
+//! scans (O(n)) measurable.
+
+use rand::Rng;
+
+/// Pre-processed discrete distribution supporting O(1) sampling.
+///
+/// # Examples
+///
+/// ```
+/// use parda_trace::alias::AliasTable;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let table = AliasTable::new(&[0.5, 0.25, 0.25]);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let sample = table.sample(&mut rng);
+/// assert!(sample < 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    /// Acceptance threshold per bucket, scaled to u64 for branch-cheap
+    /// comparison.
+    prob: Vec<u64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build a table from non-negative weights (not necessarily normalized).
+    ///
+    /// Panics if `weights` is empty, contains a negative/NaN value, or sums
+    /// to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        assert!(
+            weights.len() <= u32::MAX as usize,
+            "alias table limited to u32::MAX entries"
+        );
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0 && w.is_finite(), "weight must be finite and ≥ 0, got {w}");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        let n = weights.len();
+        // Scaled probabilities: mean 1.0.
+        let scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        let mut residual = scaled.clone();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        let mut prob = vec![0u64; n];
+        let mut alias = vec![0u32; n];
+        let to_u64 = |p: f64| (p.clamp(0.0, 1.0) * u64::MAX as f64) as u64;
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked non-empty");
+            let l = *large.last().expect("checked non-empty");
+            prob[s as usize] = to_u64(residual[s as usize]);
+            alias[s as usize] = l;
+            residual[l as usize] -= 1.0 - residual[s as usize];
+            if residual[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers are numerically ~1.0: accept unconditionally.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = u64::MAX;
+            alias[i as usize] = i;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` if the table is empty (cannot happen post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let bucket = rng.gen_range(0..self.prob.len());
+        if rng.gen::<u64>() <= self.prob[bucket] {
+            bucket
+        } else {
+            self.alias[bucket] as usize
+        }
+    }
+}
+
+/// Zipf(θ) weights over ranks `1..=n`: weight(k) = 1 / k^θ.
+pub fn zipf_weights(n: usize, theta: f64) -> Vec<f64> {
+    assert!(n > 0);
+    assert!(theta >= 0.0 && theta.is_finite());
+    (1..=n).map(|k| (k as f64).powf(-theta)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical(table: &AliasTable, samples: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; table.len()];
+        for _ in 0..samples {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / samples as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let table = AliasTable::new(&[1.0; 8]);
+        let freqs = empirical(&table, 80_000, 7);
+        for (i, f) in freqs.iter().enumerate() {
+            assert!((f - 0.125).abs() < 0.01, "bucket {i}: {f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_frequencies() {
+        let table = AliasTable::new(&[8.0, 4.0, 2.0, 1.0, 1.0]);
+        let freqs = empirical(&table, 160_000, 11);
+        let expect = [0.5, 0.25, 0.125, 0.0625, 0.0625];
+        for (i, (&f, &e)) in freqs.iter().zip(expect.iter()).enumerate() {
+            assert!((f - e).abs() < 0.01, "bucket {i}: got {f}, want {e}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_bucket_is_never_drawn() {
+        let table = AliasTable::new(&[1.0, 0.0, 1.0]);
+        let freqs = empirical(&table, 50_000, 3);
+        assert_eq!(freqs[1], 0.0, "zero-weight outcome drawn");
+    }
+
+    #[test]
+    fn single_outcome_always_drawn() {
+        let table = AliasTable::new(&[42.0]);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zipf_weights_shape() {
+        let w = zipf_weights(4, 1.0);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+        assert!((w[3] - 0.25).abs() < 1e-12);
+        // theta = 0 degenerates to uniform.
+        assert_eq!(zipf_weights(3, 0.0), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_weights_panic() {
+        AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn all_zero_weights_panic() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+}

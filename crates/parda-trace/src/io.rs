@@ -1,0 +1,263 @@
+//! Binary trace file format.
+//!
+//! The paper streams traces through a pipe rather than storing them ("traces
+//! stored for offline analysis can easily contain 100 billion references"),
+//! but a file format is still needed for reproducible experiments and the
+//! CLI. Layout:
+//!
+//! ```text
+//! magic   8 bytes  "PARDATRC"
+//! version u32 LE   currently 1
+//! encoding u32 LE  0 = raw u64 LE addresses, 1 = zig-zag delta varint
+//! count   u64 LE   number of references
+//! payload ...
+//! ```
+//!
+//! The varint-delta encoding exploits spatial locality: consecutive
+//! addresses in real traces are near each other, so deltas are small and
+//! most references cost 1–2 bytes instead of 8.
+
+use crate::{Addr, Trace};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"PARDATRC";
+const VERSION: u32 = 1;
+
+/// Payload encoding selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Encoding {
+    /// Fixed-width little-endian u64 per address.
+    Raw,
+    /// Zig-zag delta + LEB128 varint per address.
+    DeltaVarint,
+}
+
+impl Encoding {
+    fn to_u32(self) -> u32 {
+        match self {
+            Encoding::Raw => 0,
+            Encoding::DeltaVarint => 1,
+        }
+    }
+
+    fn from_u32(v: u32) -> io::Result<Self> {
+        match v {
+            0 => Ok(Encoding::Raw),
+            1 => Ok(Encoding::DeltaVarint),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown trace encoding {other}"),
+            )),
+        }
+    }
+}
+
+#[inline]
+fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn write_varint<W: Write>(mut w: W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(mut r: R) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        if shift >= 64 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "varint overflow"));
+        }
+        v |= ((byte[0] & 0x7f) as u64) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Serialize a trace to a writer.
+pub fn write_trace<W: Write>(w: W, trace: &Trace, encoding: Encoding) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&encoding.to_u32().to_le_bytes())?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    match encoding {
+        Encoding::Raw => {
+            for &a in trace.as_slice() {
+                w.write_all(&a.to_le_bytes())?;
+            }
+        }
+        Encoding::DeltaVarint => {
+            let mut prev: Addr = 0;
+            for &a in trace.as_slice() {
+                let delta = a.wrapping_sub(prev) as i64;
+                write_varint(&mut w, zigzag_encode(delta))?;
+                prev = a;
+            }
+        }
+    }
+    w.flush()
+}
+
+/// Deserialize a trace from a reader.
+pub fn read_trace<R: Read>(r: R) -> io::Result<Trace> {
+    let mut r = BufReader::new(r);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+    }
+    let mut word = [0u8; 4];
+    r.read_exact(&mut word)?;
+    let version = u32::from_le_bytes(word);
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {version}"),
+        ));
+    }
+    r.read_exact(&mut word)?;
+    let encoding = Encoding::from_u32(u32::from_le_bytes(word))?;
+    let mut qword = [0u8; 8];
+    r.read_exact(&mut qword)?;
+    let count = u64::from_le_bytes(qword) as usize;
+
+    let mut addrs = Vec::with_capacity(count);
+    match encoding {
+        Encoding::Raw => {
+            for _ in 0..count {
+                r.read_exact(&mut qword)?;
+                addrs.push(u64::from_le_bytes(qword));
+            }
+        }
+        Encoding::DeltaVarint => {
+            let mut prev: Addr = 0;
+            for _ in 0..count {
+                let delta = zigzag_decode(read_varint(&mut r)?);
+                prev = prev.wrapping_add(delta as u64);
+                addrs.push(prev);
+            }
+        }
+    }
+    Ok(Trace::from_vec(addrs))
+}
+
+/// Write a trace to a file path.
+pub fn save_trace<P: AsRef<Path>>(path: P, trace: &Trace, encoding: Encoding) -> io::Result<()> {
+    write_trace(std::fs::File::create(path)?, trace, encoding)
+}
+
+/// Read a trace from a file path.
+pub fn load_trace<P: AsRef<Path>>(path: P) -> io::Result<Trace> {
+    read_trace(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(trace: &Trace, encoding: Encoding) -> Trace {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, trace, encoding).unwrap();
+        read_trace(buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let t = Trace::from_vec(vec![0, u64::MAX, 42, 42, 7]);
+        assert_eq!(round_trip(&t, Encoding::Raw), t);
+    }
+
+    #[test]
+    fn delta_round_trip_with_wraparound() {
+        let t = Trace::from_vec(vec![u64::MAX, 0, 1 << 63, 3]);
+        assert_eq!(round_trip(&t, Encoding::DeltaVarint), t);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = Trace::new();
+        assert_eq!(round_trip(&t, Encoding::Raw), t);
+        assert_eq!(round_trip(&t, Encoding::DeltaVarint), t);
+    }
+
+    #[test]
+    fn delta_is_smaller_for_local_traces() {
+        let t: Trace = (0..10_000u64).map(|i| 0x1000_0000 + i * 8).collect();
+        let mut raw = Vec::new();
+        let mut delta = Vec::new();
+        write_trace(&mut raw, &t, Encoding::Raw).unwrap();
+        write_trace(&mut delta, &t, Encoding::DeltaVarint).unwrap();
+        assert!(
+            delta.len() * 4 < raw.len(),
+            "delta {} vs raw {}",
+            delta.len(),
+            raw.len()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &Trace::from_vec(vec![1]), Encoding::Raw).unwrap();
+        let mut bad_magic = buf.clone();
+        bad_magic[0] = b'X';
+        assert!(read_trace(bad_magic.as_slice()).is_err());
+        let mut bad_version = buf.clone();
+        bad_version[8] = 99;
+        assert!(read_trace(bad_version.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_errors() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &Trace::from_vec(vec![1, 2, 3]), Encoding::Raw).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn zigzag_is_involutive_on_edges() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 1234567, -7654321] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn save_and_load_via_path() {
+        let dir = std::env::temp_dir().join("parda-trace-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trc");
+        let t: Trace = (0..100u64).map(|i| i * 3).collect();
+        save_trace(&path, &t, Encoding::DeltaVarint).unwrap();
+        assert_eq!(load_trace(&path).unwrap(), t);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    proptest! {
+        #[test]
+        fn any_trace_round_trips_both_encodings(addrs in proptest::collection::vec(any::<u64>(), 0..300)) {
+            let t = Trace::from_vec(addrs);
+            prop_assert_eq!(round_trip(&t, Encoding::Raw), t.clone());
+            prop_assert_eq!(round_trip(&t, Encoding::DeltaVarint), t);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Memory reference traces: the input side of reuse-distance analysis.
+//!
+//! The original PARDA consumes address traces produced by Pin-instrumented
+//! SPEC CPU2006 binaries. Those binaries and their inputs are proprietary,
+//! so this crate supplies the synthetic equivalent (see DESIGN.md §2):
+//!
+//! * [`Trace`] — an in-memory address sequence with summary statistics;
+//! * [`AddressStream`] — the pull interface connecting generators, files,
+//!   and the streaming (multi-phase) analyzer;
+//! * [`gen`] — composable synthetic generators, including the model-driven
+//!   [`gen::StackDistGen`] that produces traces with a *prescribed* reuse
+//!   distance profile;
+//! * [`spec`] — per-benchmark workload models carrying the paper's Table IV
+//!   parameters (M, N, original runtime) plus a locality profile, scaled to
+//!   laptop-size traces;
+//! * [`io`] — a compact binary trace format (raw or delta-varint encoded);
+//! * [`LruStack`] — an O(log M) indexable LRU stack (Fenwick-backed) used
+//!   by the generators to realize target distance distributions.
+
+pub mod alias;
+pub mod gen;
+pub mod io;
+pub mod lru_stack;
+pub mod spec;
+pub mod stats;
+pub mod xform;
+
+pub use parda_tree::fenwick::{self, Fenwick};
+pub use lru_stack::LruStack;
+pub use stats::TraceStats;
+
+/// A data address (word-granular in the paper's experiments).
+pub type Addr = u64;
+
+/// An in-memory data reference trace (`Ψ` in the paper's notation).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    addrs: Vec<Addr>,
+}
+
+impl Trace {
+    /// Create an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap an address vector.
+    pub fn from_vec(addrs: Vec<Addr>) -> Self {
+        Self { addrs }
+    }
+
+    /// Trace built from ASCII labels, for paper-example tests:
+    /// `Trace::from_labels("dacbccgefa")`.
+    pub fn from_labels(labels: &str) -> Self {
+        Self {
+            addrs: labels.bytes().map(|b| b as Addr).collect(),
+        }
+    }
+
+    /// Number of references (`N`).
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// `true` for an empty trace.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Number of distinct addresses (`M`). O(N) with a hash set.
+    pub fn distinct(&self) -> usize {
+        let mut set = parda_hash::FxHashSet::default();
+        set.extend(self.addrs.iter().copied());
+        set.len()
+    }
+
+    /// The raw address slice.
+    pub fn as_slice(&self) -> &[Addr] {
+        &self.addrs
+    }
+
+    /// Consume into the underlying vector.
+    pub fn into_vec(self) -> Vec<Addr> {
+        self.addrs
+    }
+
+    /// Append one reference.
+    pub fn push(&mut self, addr: Addr) {
+        self.addrs.push(addr);
+    }
+
+    /// Split into `p` contiguous chunks as evenly as possible (the paper's
+    /// chunking: rank `i` gets references `[offsets[i], offsets[i+1])`).
+    /// Every chunk is non-empty when `p ≤ len`; trailing chunks may be empty
+    /// otherwise.
+    pub fn chunks(&self, p: usize) -> Vec<&[Addr]> {
+        chunk_slice(&self.addrs, p)
+    }
+
+    /// Summary statistics (N, M, address span).
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::compute(&self.addrs)
+    }
+}
+
+impl FromIterator<Addr> for Trace {
+    fn from_iter<I: IntoIterator<Item = Addr>>(iter: I) -> Self {
+        Self {
+            addrs: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Trace {
+    type Output = Addr;
+
+    fn index(&self, idx: usize) -> &Addr {
+        &self.addrs[idx]
+    }
+}
+
+/// Split any slice into `p` contiguous, maximally even chunks.
+///
+/// The first `len % p` chunks carry one extra element, so sizes differ by at
+/// most one — the load-balance property Parda's chunk assignment relies on.
+pub fn chunk_slice<T>(slice: &[T], p: usize) -> Vec<&[T]> {
+    assert!(p > 0, "cannot split into zero chunks");
+    let base = slice.len() / p;
+    let extra = slice.len() % p;
+    let mut out = Vec::with_capacity(p);
+    let mut start = 0;
+    for i in 0..p {
+        let size = base + usize::from(i < extra);
+        out.push(&slice[start..start + size]);
+        start += size;
+    }
+    debug_assert_eq!(start, slice.len());
+    out
+}
+
+/// A pull-based source of addresses: the interface between trace producers
+/// (generators, files, pinsim programs) and consumers (analyzers, pipes).
+///
+/// `None` marks the end of the stream. Implementations should be cheap per
+/// call; batch consumers use [`AddressStream::fill`].
+pub trait AddressStream {
+    /// Produce the next address, or `None` at end of stream.
+    fn next_addr(&mut self) -> Option<Addr>;
+
+    /// Append up to `n` addresses to `buf`; returns how many were produced
+    /// (less than `n` only at end of stream).
+    fn fill(&mut self, buf: &mut Vec<Addr>, n: usize) -> usize {
+        let mut produced = 0;
+        while produced < n {
+            match self.next_addr() {
+                Some(a) => {
+                    buf.push(a);
+                    produced += 1;
+                }
+                None => break,
+            }
+        }
+        produced
+    }
+
+    /// Collect up to `n` addresses into a [`Trace`].
+    fn take_trace(&mut self, n: usize) -> Trace
+    where
+        Self: Sized,
+    {
+        // Cap the eager reservation: callers may pass "effectively all"
+        // bounds far larger than the stream will produce.
+        let mut buf = Vec::with_capacity(n.min(1 << 20));
+        self.fill(&mut buf, n);
+        Trace::from_vec(buf)
+    }
+}
+
+/// Stream over a borrowed slice (used to replay in-memory traces).
+pub struct SliceStream<'a> {
+    slice: &'a [Addr],
+    pos: usize,
+}
+
+impl<'a> SliceStream<'a> {
+    /// Stream the given addresses once, in order.
+    pub fn new(slice: &'a [Addr]) -> Self {
+        Self { slice, pos: 0 }
+    }
+}
+
+impl AddressStream for SliceStream<'_> {
+    fn next_addr(&mut self) -> Option<Addr> {
+        let a = self.slice.get(self.pos).copied();
+        self.pos += a.is_some() as usize;
+        a
+    }
+
+    fn fill(&mut self, buf: &mut Vec<Addr>, n: usize) -> usize {
+        let take = n.min(self.slice.len() - self.pos);
+        buf.extend_from_slice(&self.slice[self.pos..self.pos + take]);
+        self.pos += take;
+        take
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_labels_matches_bytes() {
+        let t = Trace::from_labels("dacb");
+        assert_eq!(t.as_slice(), &[b'd' as u64, b'a' as u64, b'c' as u64, b'b' as u64]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.distinct(), 4);
+    }
+
+    #[test]
+    fn table1_trace_has_n10_m7() {
+        let t = Trace::from_labels("dacbccgefa");
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.distinct(), 7);
+    }
+
+    #[test]
+    fn chunks_are_even_and_cover() {
+        let t: Trace = (0..10u64).collect();
+        let chunks = t.chunks(3);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), 4);
+        assert_eq!(chunks[1].len(), 3);
+        assert_eq!(chunks[2].len(), 3);
+        let flat: Vec<u64> = chunks.concat();
+        assert_eq!(flat, t.into_vec());
+    }
+
+    #[test]
+    fn chunks_with_more_parts_than_items() {
+        let t: Trace = (0..2u64).collect();
+        let chunks = t.chunks(5);
+        assert_eq!(chunks.iter().map(|c| c.len()).collect::<Vec<_>>(), vec![1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn slice_stream_yields_all_then_none() {
+        let data = [1u64, 2, 3];
+        let mut s = SliceStream::new(&data);
+        assert_eq!(s.next_addr(), Some(1));
+        let mut buf = Vec::new();
+        assert_eq!(s.fill(&mut buf, 10), 2);
+        assert_eq!(buf, vec![2, 3]);
+        assert_eq!(s.next_addr(), None);
+        assert_eq!(s.fill(&mut buf, 10), 0);
+    }
+
+    #[test]
+    fn take_trace_caps_at_stream_end() {
+        let data = [7u64; 5];
+        let mut s = SliceStream::new(&data);
+        let t = s.take_trace(100);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.distinct(), 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Summary statistics over traces.
+
+use crate::Addr;
+use parda_hash::FxHashSet;
+use serde::{Deserialize, Serialize};
+
+/// Basic shape parameters of a trace: the `N` and `M` of the paper's
+/// complexity analysis plus the address span.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total references (`N`).
+    pub n: u64,
+    /// Distinct addresses (`M`).
+    pub m: u64,
+    /// Smallest address referenced (0 for an empty trace).
+    pub min_addr: Addr,
+    /// Largest address referenced (0 for an empty trace).
+    pub max_addr: Addr,
+}
+
+impl TraceStats {
+    /// Compute statistics in one pass.
+    pub fn compute(addrs: &[Addr]) -> Self {
+        if addrs.is_empty() {
+            return Self::default();
+        }
+        let mut set = FxHashSet::default();
+        let mut min_addr = Addr::MAX;
+        let mut max_addr = Addr::MIN;
+        for &a in addrs {
+            set.insert(a);
+            min_addr = min_addr.min(a);
+            max_addr = max_addr.max(a);
+        }
+        Self {
+            n: addrs.len() as u64,
+            m: set.len() as u64,
+            min_addr,
+            max_addr,
+        }
+    }
+
+    /// M/N: the footprint ratio used to scale the SPEC models.
+    pub fn footprint_ratio(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m as f64 / self.n as f64
+        }
+    }
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "N={} M={} span=[{:#x}, {:#x}]",
+            self.n, self.m, self.min_addr, self.max_addr
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let s = TraceStats::compute(&[]);
+        assert_eq!(s, TraceStats::default());
+        assert_eq!(s.footprint_ratio(), 0.0);
+    }
+
+    #[test]
+    fn computes_n_m_and_span() {
+        let s = TraceStats::compute(&[5, 1, 5, 9, 1]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.m, 3);
+        assert_eq!(s.min_addr, 1);
+        assert_eq!(s.max_addr, 9);
+        assert!((s.footprint_ratio() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = TraceStats::compute(&[16]);
+        assert_eq!(s.to_string(), "N=1 M=1 span=[0x10, 0x10]");
+    }
+}

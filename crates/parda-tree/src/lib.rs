@@ -1,0 +1,273 @@
+//! Ordered search structures for reuse-distance analysis.
+//!
+//! The tree-based sequential algorithm (paper Section III-B, Olken 1981)
+//! keeps one node per *currently live* data element, keyed by the timestamp
+//! of its most recent access, with subtree sizes maintained at every node.
+//! The reuse distance of a reference whose previous access happened at time
+//! `t` is then the number of nodes with timestamp `> t` — an order-statistics
+//! rank query (paper Algorithm 2).
+//!
+//! This crate provides the abstract interface ([`ReuseTree`]) plus four
+//! interchangeable implementations:
+//!
+//! * [`SplayTree`] — the structure used by the original PARDA C code
+//!   (following Sugumar & Abraham's observation that splay trees have
+//!   excellent locality for stack-distance workloads);
+//! * [`AvlTree`] — Olken's original balanced-tree formulation;
+//! * [`Treap`] — a randomized alternative with priorities derived
+//!   deterministically from the key hash;
+//! * [`NaiveStack`] — the O(M)-per-access move-to-front list of the naïve
+//!   algorithm (paper Section III-A), kept as the correctness baseline.
+//!
+//! All tree nodes store `(timestamp, addr)`; the address payload is needed by
+//! the bounded algorithm's LRU eviction (paper Algorithm 7, `find_oldest`)
+//! and by the multi-phase state reduction (Algorithm 6).
+
+pub mod avl;
+pub mod fenwick;
+pub mod naive;
+pub mod splay;
+pub mod treap;
+pub mod vector;
+
+pub use avl::AvlTree;
+pub use fenwick::Fenwick;
+pub use naive::NaiveStack;
+pub use splay::SplayTree;
+pub use treap::Treap;
+pub use vector::VectorTree;
+
+/// Sentinel index for "no node" in the arena-based trees.
+pub(crate) const NIL: u32 = u32::MAX;
+
+/// The ordered-set interface required by the reuse-distance engines.
+///
+/// Keys are access timestamps (strictly increasing during forward analysis;
+/// arbitrary during the multi-phase merge). Each key carries the address
+/// that was accessed at that time.
+pub trait ReuseTree {
+    /// Insert a `(timestamp, addr)` pair. Timestamps must be unique;
+    /// inserting a duplicate timestamp is a logic error and may panic.
+    fn insert(&mut self, timestamp: u64, addr: u64);
+
+    /// Number of live nodes with timestamp strictly greater than `timestamp`
+    /// (paper Algorithm 2). The queried timestamp itself does not count.
+    ///
+    /// Takes `&mut self` because self-adjusting implementations (splay)
+    /// restructure on access.
+    fn distance(&mut self, timestamp: u64) -> u64;
+
+    /// Remove the node with exactly `timestamp`, returning its address.
+    fn remove(&mut self, timestamp: u64) -> Option<u64>;
+
+    /// Fused hot-path operation: `distance(timestamp)` followed by
+    /// `remove(timestamp)`. Returns `(distance, addr)`.
+    ///
+    /// This is what Algorithm 1's body performs per hit; implementations can
+    /// do it in a single descent.
+    fn distance_and_remove(&mut self, timestamp: u64) -> Option<(u64, u64)> {
+        let d = self.distance(timestamp);
+        self.remove(timestamp).map(|addr| (d, addr))
+    }
+
+    /// The node with the smallest timestamp, as `(timestamp, addr)` — the
+    /// LRU victim for bounded analysis (`find_oldest` in Algorithm 7).
+    fn oldest(&self) -> Option<(u64, u64)>;
+
+    /// Number of live nodes.
+    fn len(&self) -> usize;
+
+    /// `true` if the structure holds no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove every node, retaining allocations.
+    fn clear(&mut self);
+
+    /// Append all `(timestamp, addr)` pairs in increasing timestamp order.
+    /// Used by the multi-phase reduction, which ships per-rank tree state.
+    fn collect_in_order(&self, out: &mut Vec<(u64, u64)>);
+
+    /// Convenience wrapper around [`Self::collect_in_order`].
+    fn to_sorted_vec(&self) -> Vec<(u64, u64)> {
+        let mut v = Vec::with_capacity(self.len());
+        self.collect_in_order(&mut v);
+        v
+    }
+}
+
+/// Which tree implementation a generic engine should use. Handy for CLI
+/// flags and the structure-ablation benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TreeKind {
+    /// Self-adjusting splay tree (paper default).
+    Splay,
+    /// Height-balanced AVL tree (Olken 1981).
+    Avl,
+    /// Randomized treap with hash-derived priorities.
+    Treap,
+    /// Fenwick-backed time vector (Bennett & Kruskal 1975).
+    Vector,
+}
+
+impl TreeKind {
+    /// All supported kinds, for sweeps.
+    pub const ALL: [TreeKind; 4] = [
+        TreeKind::Splay,
+        TreeKind::Avl,
+        TreeKind::Treap,
+        TreeKind::Vector,
+    ];
+
+    /// Stable lowercase name (CLI/reporting).
+    pub fn name(self) -> &'static str {
+        match self {
+            TreeKind::Splay => "splay",
+            TreeKind::Avl => "avl",
+            TreeKind::Treap => "treap",
+            TreeKind::Vector => "vector",
+        }
+    }
+}
+
+impl std::str::FromStr for TreeKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "splay" => Ok(TreeKind::Splay),
+            "avl" => Ok(TreeKind::Avl),
+            "treap" => Ok(TreeKind::Treap),
+            "vector" => Ok(TreeKind::Vector),
+            other => Err(format!(
+                "unknown tree kind `{other}` (expected splay|avl|treap|vector)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod conformance {
+    //! Shared black-box conformance suite run against every [`ReuseTree`].
+
+    use super::ReuseTree;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    /// Reference model: a sorted map from timestamp to address.
+    #[derive(Default)]
+    pub struct Model {
+        map: BTreeMap<u64, u64>,
+    }
+
+    impl Model {
+        pub fn insert(&mut self, ts: u64, addr: u64) {
+            assert!(self.map.insert(ts, addr).is_none(), "duplicate ts {ts}");
+        }
+
+        pub fn distance(&self, ts: u64) -> u64 {
+            self.map.range(ts + 1..).count() as u64
+        }
+
+        pub fn remove(&mut self, ts: u64) -> Option<u64> {
+            self.map.remove(&ts)
+        }
+
+        pub fn oldest(&self) -> Option<(u64, u64)> {
+            self.map.iter().next().map(|(&k, &v)| (k, v))
+        }
+
+        pub fn len(&self) -> usize {
+            self.map.len()
+        }
+
+        pub fn sorted(&self) -> Vec<(u64, u64)> {
+            self.map.iter().map(|(&k, &v)| (k, v)).collect()
+        }
+    }
+
+    /// One random operation against both model and implementation.
+    #[derive(Clone, Debug)]
+    pub enum Op {
+        Insert(u64, u64),
+        Distance(u64),
+        Remove(u64),
+        DistanceAndRemove(u64),
+        Oldest,
+    }
+
+    pub fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..128, any::<u64>()).prop_map(|(ts, a)| Op::Insert(ts, a)),
+            (0u64..128).prop_map(Op::Distance),
+            (0u64..128).prop_map(Op::Remove),
+            (0u64..128).prop_map(Op::DistanceAndRemove),
+            Just(Op::Oldest),
+        ]
+    }
+
+    /// Drive an arbitrary op sequence, asserting agreement with the model.
+    pub fn run_ops<T: ReuseTree>(tree: &mut T, ops: Vec<Op>) {
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::Insert(ts, addr) => {
+                    if model.map.contains_key(&ts) {
+                        continue; // duplicate timestamps are excluded by contract
+                    }
+                    model.insert(ts, addr);
+                    tree.insert(ts, addr);
+                }
+                Op::Distance(ts) => {
+                    assert_eq!(tree.distance(ts), model.distance(ts), "distance({ts})");
+                }
+                Op::Remove(ts) => {
+                    assert_eq!(tree.remove(ts), model.remove(ts), "remove({ts})");
+                }
+                Op::DistanceAndRemove(ts) => {
+                    let expect = model.remove(ts).map(|addr| (model.distance(ts), addr));
+                    assert_eq!(tree.distance_and_remove(ts), expect, "distance_and_remove({ts})");
+                }
+                Op::Oldest => {
+                    assert_eq!(tree.oldest(), model.oldest(), "oldest");
+                }
+            }
+            assert_eq!(tree.len(), model.len(), "len after op");
+            assert_eq!(tree.to_sorted_vec(), model.sorted(), "in-order contents");
+        }
+    }
+
+    /// Deterministic smoke sequence exercising all operations.
+    pub fn smoke<T: ReuseTree>(tree: &mut T) {
+        assert!(tree.is_empty());
+        assert_eq!(tree.oldest(), None);
+        assert_eq!(tree.remove(3), None);
+        assert_eq!(tree.distance(0), 0);
+
+        for ts in 0..100u64 {
+            tree.insert(ts, ts * 10);
+        }
+        assert_eq!(tree.len(), 100);
+        assert_eq!(tree.distance(49), 50);
+        assert_eq!(tree.distance(0), 99);
+        assert_eq!(tree.distance(99), 0);
+        assert_eq!(tree.oldest(), Some((0, 0)));
+
+        assert_eq!(tree.remove(0), Some(0));
+        assert_eq!(tree.oldest(), Some((1, 10)));
+        assert_eq!(tree.distance_and_remove(50), Some((49, 500)));
+        assert_eq!(tree.distance(49), 49);
+        assert_eq!(tree.len(), 98);
+
+        // Re-insert in the middle (multi-phase merge does this).
+        tree.insert(50, 777);
+        assert_eq!(tree.distance(49), 50);
+        assert_eq!(tree.remove(50), Some(777));
+
+        tree.clear();
+        assert!(tree.is_empty());
+        tree.insert(5, 55);
+        assert_eq!(tree.to_sorted_vec(), vec![(5, 55)]);
+    }
+}

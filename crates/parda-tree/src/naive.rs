@@ -1,0 +1,146 @@
+//! The naïve stack of the paper's Section III-A.
+//!
+//! An ordered move-to-front list simulating an infinite, fully associative
+//! LRU cache: the reuse distance of a reference is the depth at which its
+//! address is found (∞ for a first touch). O(M) per access, O(N·M) per
+//! trace — kept as the obviously-correct baseline every other engine is
+//! validated against, and as the slow comparator in the Table IV context
+//! (the paper's "several orders of magnitude" motivation).
+
+/// Move-to-front LRU stack over addresses.
+///
+/// # Examples
+///
+/// ```
+/// use parda_tree::NaiveStack;
+///
+/// let mut stack = NaiveStack::new();
+/// assert_eq!(stack.access(10), None);     // first touch: infinite distance
+/// assert_eq!(stack.access(20), None);
+/// assert_eq!(stack.access(10), Some(1));  // one distinct element in between
+/// assert_eq!(stack.access(10), Some(0));  // immediate reuse
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct NaiveStack {
+    /// Index 0 is the top of the stack (most recently used).
+    entries: Vec<u64>,
+}
+
+impl NaiveStack {
+    /// Create an empty stack.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Create an empty stack with room for `capacity` distinct addresses.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Process one reference: return its reuse distance (`None` = ∞, a cold
+    /// first touch) and move the address to the top of the stack.
+    pub fn access(&mut self, addr: u64) -> Option<u64> {
+        match self.entries.iter().position(|&a| a == addr) {
+            Some(pos) => {
+                // The distance is the number of *distinct* addresses accessed
+                // since the previous reference — exactly the stack depth.
+                self.entries[..=pos].rotate_right(1);
+                debug_assert_eq!(self.entries[0], addr);
+                Some(pos as u64)
+            }
+            None => {
+                self.entries.insert(0, addr);
+                None
+            }
+        }
+    }
+
+    /// Peek at the reuse distance `addr` *would* have, without updating.
+    pub fn peek(&self, addr: u64) -> Option<u64> {
+        self.entries.iter().position(|&a| a == addr).map(|p| p as u64)
+    }
+
+    /// Number of distinct addresses seen so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no reference has been processed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop all state, retaining the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The stack from most to least recently used (diagnostic).
+    pub fn as_slice(&self) -> &[u64] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_trace_distances() {
+        // Paper Table I: trace `d a c b c c g e f a` has distances
+        // ∞ ∞ ∞ ∞ 1 0 ∞ ∞ ∞ 5.
+        let trace = [b'd', b'a', b'c', b'b', b'c', b'c', b'g', b'e', b'f', b'a'];
+        let expected = [
+            None,
+            None,
+            None,
+            None,
+            Some(1),
+            Some(0),
+            None,
+            None,
+            None,
+            Some(5),
+        ];
+        let mut stack = NaiveStack::new();
+        for (i, (&a, &want)) in trace.iter().zip(expected.iter()).enumerate() {
+            assert_eq!(stack.access(a as u64), want, "reference {i}");
+        }
+        assert_eq!(stack.len(), 7, "Table I has M = 7 distinct elements");
+    }
+
+    #[test]
+    fn mru_order_is_maintained() {
+        let mut stack = NaiveStack::new();
+        for a in [1u64, 2, 3] {
+            stack.access(a);
+        }
+        assert_eq!(stack.as_slice(), &[3, 2, 1]);
+        stack.access(1);
+        assert_eq!(stack.as_slice(), &[1, 3, 2]);
+    }
+
+    #[test]
+    fn peek_does_not_mutate() {
+        let mut stack = NaiveStack::new();
+        stack.access(1);
+        stack.access(2);
+        assert_eq!(stack.peek(1), Some(1));
+        assert_eq!(stack.peek(1), Some(1), "peek must be idempotent");
+        assert_eq!(stack.peek(9), None);
+        assert_eq!(stack.as_slice(), &[2, 1]);
+    }
+
+    #[test]
+    fn clear_resets_history() {
+        let mut stack = NaiveStack::new();
+        stack.access(5);
+        stack.clear();
+        assert!(stack.is_empty());
+        assert_eq!(stack.access(5), None, "post-clear access is a cold miss");
+    }
+}

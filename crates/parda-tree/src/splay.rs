@@ -1,0 +1,511 @@
+//! Size-augmented splay tree — the structure used by the reference PARDA
+//! implementation.
+//!
+//! Sugumar & Abraham observed that self-adjusting trees perform well for
+//! stack-distance processing because trace locality maps directly onto tree
+//! locality: recently referenced timestamps sit near the root. Every node
+//! maintains the size of its subtree, so the rank query of paper Algorithm 2
+//! (count of timestamps greater than `t`) is answered along a single root-to-
+//! node path.
+//!
+//! Nodes live in an index-based arena (`Vec<Node>` + free list): no
+//! per-node allocation, 32-bit links halve pointer traffic, and `clear`
+//! reuses the buffer across analysis phases.
+
+use crate::{ReuseTree, NIL};
+
+#[derive(Clone, Debug)]
+struct Node {
+    ts: u64,
+    addr: u64,
+    left: u32,
+    right: u32,
+    parent: u32,
+    /// Number of nodes in the subtree rooted here (including this node).
+    size: u32,
+}
+
+/// Self-adjusting binary search tree keyed by timestamp with subtree sizes.
+///
+/// # Examples
+///
+/// ```
+/// use parda_tree::{ReuseTree, SplayTree};
+///
+/// let mut tree = SplayTree::new();
+/// for (ts, addr) in [(0, 100), (1, 200), (2, 300)] {
+///     tree.insert(ts, addr);
+/// }
+/// // Two elements were accessed after time 0:
+/// assert_eq!(tree.distance(0), 2);
+/// assert_eq!(tree.oldest(), Some((0, 100)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SplayTree {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+    len: usize,
+}
+
+impl Default for SplayTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SplayTree {
+    /// Create an empty tree.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+        }
+    }
+
+    /// Create an empty tree with room for `capacity` nodes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn size(&self, n: u32) -> u32 {
+        if n == NIL {
+            0
+        } else {
+            self.nodes[n as usize].size
+        }
+    }
+
+    #[inline]
+    fn update(&mut self, n: u32) {
+        let left = self.nodes[n as usize].left;
+        let right = self.nodes[n as usize].right;
+        self.nodes[n as usize].size = 1 + self.size(left) + self.size(right);
+    }
+
+    fn alloc(&mut self, ts: u64, addr: u64, parent: u32) -> u32 {
+        let node = Node {
+            ts,
+            addr,
+            left: NIL,
+            right: NIL,
+            parent,
+            size: 1,
+        };
+        match self.free.pop() {
+            Some(idx) => {
+                self.nodes[idx as usize] = node;
+                idx
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Rotate `x` above its parent, maintaining sizes and parent links.
+    fn rotate(&mut self, x: u32) {
+        let p = self.nodes[x as usize].parent;
+        debug_assert_ne!(p, NIL, "rotate requires a parent");
+        let g = self.nodes[p as usize].parent;
+        let x_is_left = self.nodes[p as usize].left == x;
+
+        // Move x's inner child across to p.
+        let inner = if x_is_left {
+            let inner = self.nodes[x as usize].right;
+            self.nodes[p as usize].left = inner;
+            self.nodes[x as usize].right = p;
+            inner
+        } else {
+            let inner = self.nodes[x as usize].left;
+            self.nodes[p as usize].right = inner;
+            self.nodes[x as usize].left = p;
+            inner
+        };
+        if inner != NIL {
+            self.nodes[inner as usize].parent = p;
+        }
+        self.nodes[p as usize].parent = x;
+        self.nodes[x as usize].parent = g;
+        if g == NIL {
+            self.root = x;
+        } else if self.nodes[g as usize].left == p {
+            self.nodes[g as usize].left = x;
+        } else {
+            self.nodes[g as usize].right = x;
+        }
+        self.update(p);
+        self.update(x);
+    }
+
+    /// Splay `x` to the root with the standard zig / zig-zig / zig-zag steps.
+    fn splay(&mut self, x: u32) {
+        loop {
+            let p = self.nodes[x as usize].parent;
+            if p == NIL {
+                break;
+            }
+            let g = self.nodes[p as usize].parent;
+            if g == NIL {
+                self.rotate(x); // zig
+            } else {
+                let x_left = self.nodes[p as usize].left == x;
+                let p_left = self.nodes[g as usize].left == p;
+                if x_left == p_left {
+                    self.rotate(p); // zig-zig: rotate parent first
+                    self.rotate(x);
+                } else {
+                    self.rotate(x); // zig-zag: rotate x twice
+                    self.rotate(x);
+                }
+            }
+        }
+    }
+
+    /// Find the arena index of the node with timestamp `ts` without
+    /// restructuring. Also reports the last node on the search path so the
+    /// caller can splay it (keeping the amortized bound on misses).
+    fn find(&self, ts: u64) -> (u32, u32) {
+        let mut cur = self.root;
+        let mut last = NIL;
+        while cur != NIL {
+            last = cur;
+            let node = &self.nodes[cur as usize];
+            cur = match ts.cmp(&node.ts) {
+                std::cmp::Ordering::Less => node.left,
+                std::cmp::Ordering::Greater => node.right,
+                std::cmp::Ordering::Equal => return (cur, last),
+            };
+        }
+        (NIL, last)
+    }
+
+    /// Remove the current root, joining its subtrees.
+    fn remove_root(&mut self) -> (u64, u64) {
+        let old = self.root;
+        debug_assert_ne!(old, NIL);
+        let Node {
+            ts, addr, left, right, ..
+        } = self.nodes[old as usize];
+        if left != NIL {
+            self.nodes[left as usize].parent = NIL;
+        }
+        if right != NIL {
+            self.nodes[right as usize].parent = NIL;
+        }
+        if left == NIL {
+            self.root = right;
+        } else {
+            // Splay the maximum of the left subtree to its root, then hang
+            // the right subtree off it.
+            let mut max = left;
+            while self.nodes[max as usize].right != NIL {
+                max = self.nodes[max as usize].right;
+            }
+            self.root = left;
+            self.splay(max);
+            debug_assert_eq!(self.root, max);
+            self.nodes[max as usize].right = right;
+            if right != NIL {
+                self.nodes[right as usize].parent = max;
+            }
+            self.update(max);
+        }
+        self.free.push(old);
+        self.len -= 1;
+        (ts, addr)
+    }
+
+    /// Structural self-check for tests: BST order, sizes, parent links.
+    #[doc(hidden)]
+    pub fn validate(&self) {
+        fn walk(tree: &SplayTree, n: u32, lo: Option<u64>, hi: Option<u64>) -> u32 {
+            if n == NIL {
+                return 0;
+            }
+            let node = &tree.nodes[n as usize];
+            if let Some(lo) = lo {
+                assert!(node.ts > lo, "BST order violated");
+            }
+            if let Some(hi) = hi {
+                assert!(node.ts < hi, "BST order violated");
+            }
+            for child in [node.left, node.right] {
+                if child != NIL {
+                    assert_eq!(tree.nodes[child as usize].parent, n, "parent link broken");
+                }
+            }
+            let ls = walk(tree, node.left, lo, Some(node.ts));
+            let rs = walk(tree, node.right, Some(node.ts), hi);
+            assert_eq!(node.size, 1 + ls + rs, "size augmentation stale");
+            node.size
+        }
+        if self.root != NIL {
+            assert_eq!(self.nodes[self.root as usize].parent, NIL);
+        }
+        let total = walk(self, self.root, None, None);
+        assert_eq!(total as usize, self.len, "len out of sync");
+    }
+}
+
+impl ReuseTree for SplayTree {
+    fn insert(&mut self, timestamp: u64, addr: u64) {
+        if self.root == NIL {
+            self.root = self.alloc(timestamp, addr, NIL);
+            self.len = 1;
+            return;
+        }
+        let mut cur = self.root;
+        loop {
+            let node_ts = self.nodes[cur as usize].ts;
+            match timestamp.cmp(&node_ts) {
+                std::cmp::Ordering::Less => {
+                    let left = self.nodes[cur as usize].left;
+                    if left == NIL {
+                        let new = self.alloc(timestamp, addr, cur);
+                        self.nodes[cur as usize].left = new;
+                        self.len += 1;
+                        // Splaying the new node to the root refreshes the
+                        // sizes of every (stale) ancestor on the way up.
+                        self.splay(new);
+                        return;
+                    }
+                    cur = left;
+                }
+                std::cmp::Ordering::Greater => {
+                    let right = self.nodes[cur as usize].right;
+                    if right == NIL {
+                        let new = self.alloc(timestamp, addr, cur);
+                        self.nodes[cur as usize].right = new;
+                        self.len += 1;
+                        self.splay(new);
+                        return;
+                    }
+                    cur = right;
+                }
+                std::cmp::Ordering::Equal => {
+                    panic!("duplicate timestamp {timestamp} inserted into SplayTree");
+                }
+            }
+        }
+    }
+
+    fn distance(&mut self, timestamp: u64) -> u64 {
+        // Walk of paper Algorithm 2: accumulate right-subtree sizes on every
+        // left turn, then splay the last touched node to pay for the path.
+        let mut cur = self.root;
+        let mut last = NIL;
+        let mut d: u64 = 0;
+        while cur != NIL {
+            last = cur;
+            let node = &self.nodes[cur as usize];
+            match timestamp.cmp(&node.ts) {
+                std::cmp::Ordering::Greater => cur = node.right,
+                std::cmp::Ordering::Less => {
+                    d += 1 + self.size(node.right) as u64;
+                    cur = node.left;
+                }
+                std::cmp::Ordering::Equal => {
+                    d += self.size(node.right) as u64;
+                    self.splay(cur);
+                    return d;
+                }
+            }
+        }
+        if last != NIL {
+            self.splay(last);
+        }
+        d
+    }
+
+    fn remove(&mut self, timestamp: u64) -> Option<u64> {
+        let (found, last) = self.find(timestamp);
+        if found == NIL {
+            if last != NIL {
+                self.splay(last);
+            }
+            return None;
+        }
+        self.splay(found);
+        let (_, addr) = self.remove_root();
+        Some(addr)
+    }
+
+    fn distance_and_remove(&mut self, timestamp: u64) -> Option<(u64, u64)> {
+        let (found, last) = self.find(timestamp);
+        if found == NIL {
+            if last != NIL {
+                self.splay(last);
+            }
+            return None;
+        }
+        self.splay(found);
+        let d = self.size(self.nodes[found as usize].right) as u64;
+        let (_, addr) = self.remove_root();
+        Some((d, addr))
+    }
+
+    fn oldest(&self) -> Option<(u64, u64)> {
+        if self.root == NIL {
+            return None;
+        }
+        let mut cur = self.root;
+        while self.nodes[cur as usize].left != NIL {
+            cur = self.nodes[cur as usize].left;
+        }
+        let node = &self.nodes[cur as usize];
+        Some((node.ts, node.addr))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.root = NIL;
+        self.len = 0;
+    }
+
+    fn collect_in_order(&self, out: &mut Vec<(u64, u64)>) {
+        // Iterative in-order traversal; recursion depth on a splay tree can
+        // reach O(n) in adversarial shapes.
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while cur != NIL || !stack.is_empty() {
+            while cur != NIL {
+                stack.push(cur);
+                cur = self.nodes[cur as usize].left;
+            }
+            let n = stack.pop().expect("stack non-empty");
+            let node = &self.nodes[n as usize];
+            out.push((node.ts, node.addr));
+            cur = node.right;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance::{self, op_strategy};
+    use proptest::prelude::*;
+
+    #[test]
+    fn smoke() {
+        conformance::smoke(&mut SplayTree::new());
+    }
+
+    #[test]
+    fn validates_after_mixed_workload() {
+        let mut tree = SplayTree::new();
+        for ts in 0..500u64 {
+            tree.insert(ts, ts ^ 0xff);
+            if ts % 3 == 0 && ts > 10 {
+                tree.remove(ts - 7);
+            }
+            if ts % 97 == 0 {
+                tree.validate();
+            }
+        }
+        tree.validate();
+    }
+
+    #[test]
+    fn figure1_distance_for_a_at_time_9() {
+        // Paper Figure 1 / Table I: trace `d a c b c c g e f a`; at time 9
+        // the tree holds {0:d, 1:a, 3:b, 5:c, 6:g, 7:e, 8:f} and the reuse
+        // distance of the second `a` (previous access at ts 1) is 5.
+        let mut tree = SplayTree::new();
+        for (ts, addr) in [(0, b'd'), (1, b'a'), (3, b'b'), (5, b'c'), (6, b'g'), (7, b'e'), (8, b'f')]
+        {
+            tree.insert(ts, addr as u64);
+        }
+        assert_eq!(tree.distance(1), 5);
+
+        // Processing the reference deletes ts 1 and re-inserts at ts 9,
+        // yielding Figure 1(b)'s node set.
+        assert_eq!(tree.remove(1), Some(b'a' as u64));
+        tree.insert(9, b'a' as u64);
+        tree.validate();
+        let contents = tree.to_sorted_vec();
+        assert_eq!(
+            contents,
+            vec![
+                (0, b'd' as u64),
+                (3, b'b' as u64),
+                (5, b'c' as u64),
+                (6, b'g' as u64),
+                (7, b'e' as u64),
+                (8, b'f' as u64),
+                (9, b'a' as u64),
+            ]
+        );
+    }
+
+    #[test]
+    fn splay_moves_accessed_node_to_root() {
+        let mut tree = SplayTree::new();
+        for ts in 0..64u64 {
+            tree.insert(ts, ts);
+        }
+        tree.distance(13);
+        assert_eq!(tree.nodes[tree.root as usize].ts, 13);
+        tree.validate();
+    }
+
+    #[test]
+    fn sequential_inserts_make_distance_zero_for_latest() {
+        let mut tree = SplayTree::new();
+        for ts in 0..1000u64 {
+            tree.insert(ts, ts);
+            assert_eq!(tree.distance(ts), 0);
+        }
+    }
+
+    #[test]
+    fn remove_missing_returns_none_and_keeps_state() {
+        let mut tree = SplayTree::new();
+        tree.insert(10, 1);
+        tree.insert(20, 2);
+        assert_eq!(tree.remove(15), None);
+        assert_eq!(tree.len(), 2);
+        tree.validate();
+    }
+
+    #[test]
+    fn free_list_reuses_slots() {
+        let mut tree = SplayTree::new();
+        for ts in 0..100u64 {
+            tree.insert(ts, ts);
+        }
+        for ts in 0..50u64 {
+            tree.remove(ts);
+        }
+        let arena = tree.nodes.len();
+        for ts in 100..150u64 {
+            tree.insert(ts, ts);
+        }
+        assert_eq!(tree.nodes.len(), arena, "freed slots must be reused");
+        tree.validate();
+    }
+
+    proptest! {
+        #[test]
+        fn conforms_to_model(ops in proptest::collection::vec(op_strategy(), 0..300)) {
+            let mut tree = SplayTree::new();
+            conformance::run_ops(&mut tree, ops);
+            tree.validate();
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Miss-ratio-curve modelling: how well does the reuse-distance MRC (a
+//! fully associative model) predict realistic set-associative caches?
+//!
+//! This is the classic application from the paper's introduction: one
+//! analysis pass substitutes for a simulation per cache size. We tile a
+//! matrix multiply, derive its MRC, and compare the prediction against
+//! direct simulations of fully associative, 8-way, and direct-mapped
+//! caches at each size.
+//!
+//! Run with: `cargo run --release --example mrc_cache_model`
+
+use parda::cachesim::SetAssociativeCache;
+use parda::pinsim::{collect_trace, MatMul};
+use parda::prelude::*;
+
+fn simulate(trace: &Trace, num_sets: usize, ways: usize) -> f64 {
+    // Word-granular lines (block_bits = 0) to match the analysis exactly.
+    let mut cache = SetAssociativeCache::new(num_sets, ways, 0);
+    cache.run_trace(trace.as_slice()).miss_ratio()
+}
+
+fn report(name: &str, trace: &Trace) {
+    let hist = analyze_sequential::<SplayTree>(trace.as_slice(), None);
+    println!("\n== {name}: N={} M={} ==", trace.len(), trace.distinct());
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "lines", "MRC(pred)", "full-assoc", "8-way", "direct"
+    );
+    for lines in [64usize, 256, 1024, 4096] {
+        let predicted = hist.miss_ratio(lines as u64);
+        let full = simulate(trace, 1, lines);
+        let eight_way = simulate(trace, lines / 8, 8);
+        let direct = simulate(trace, lines, 1);
+        println!(
+            "{lines:>8} {predicted:>12.4} {full:>12.4} {eight_way:>12.4} {direct:>12.4}"
+        );
+        // The MRC *is* the fully associative simulation.
+        assert!((predicted - full).abs() < 1e-12, "MRC must match LRU exactly");
+    }
+}
+
+fn main() {
+    let naive = collect_trace(MatMul::naive(48));
+    let blocked = collect_trace(MatMul::blocked(48, 8));
+    report("matmul 48x48 (naive ijk)", &naive);
+    report("matmul 48x48 (8x8 tiles)", &blocked);
+
+    println!(
+        "\nReading the tables: the fully associative column equals the MRC \
+         prediction exactly (asserted); set-associative caches add conflict \
+         misses on top, largest for the direct-mapped column. Tiling shifts \
+         the MRC knee from ~3·n (one matrix row set) down to ~3·tile²."
+    );
+}

@@ -1,0 +1,65 @@
+//! Object-level locality analysis — the data-layout application from the
+//! paper's Section VII (Zhong et al.'s array regrouping, Lu et al.'s
+//! object-level cache partitioning).
+//!
+//! The three matrices of `C = A·B` have radically different reuse
+//! behaviour under the naive i-j-k loop: A is scanned row-wise with tight
+//! reuse, B column-wise with n²-scale distances, C is register-like. One
+//! reuse-distance pass, split per object, exposes this — the signal a
+//! layout optimizer (or an object-level cache partitioner) needs.
+//!
+//! Run with: `cargo run --release --example object_locality`
+
+use parda::core::object::{analyze_by_region, RegionMap};
+use parda::pinsim::{collect_trace, MatMul};
+use parda::prelude::*;
+
+fn report(title: &str, trace: &Trace, n: u64) {
+    // MatMul's address layout (word granular): A at 0x1000_0000,
+    // B at 0x2000_0000, C at 0x3000_0000, each n×n×8 bytes.
+    let bytes = n * n * 8;
+    let mut map = RegionMap::new();
+    let a = map.add_region("A", 0x1000_0000, 0x1000_0000 + bytes);
+    let b = map.add_region("B", 0x2000_0000, 0x2000_0000 + bytes);
+    let c = map.add_region("C", 0x3000_0000, 0x3000_0000 + bytes);
+
+    let analysis = analyze_by_region::<SplayTree>(trace.as_slice(), &map);
+    assert_eq!(analysis.unmapped.total(), 0, "all accesses map to A/B/C");
+
+    println!("\n== {title} (n = {n}) ==");
+    println!(
+        "{:>7} {:>10} {:>12} {:>12} {:>12}",
+        "object", "refs", "mean_dist", "p90_dist", "miss@n-lines"
+    );
+    for (id, name) in [(a, "A"), (b, "B"), (c, "C")] {
+        let h = &analysis.per_region[id];
+        println!(
+            "{name:>7} {:>10} {:>12.1} {:>12} {:>12}",
+            h.total(),
+            h.mean_finite_distance().unwrap_or(0.0),
+            h.finite_distance_quantile(0.9).unwrap_or(0),
+            h.miss_count(n),
+        );
+    }
+    // Consistency: per-object histograms sum to the global one.
+    let mut sum = analysis.per_region[a].clone();
+    sum.merge(&analysis.per_region[b]);
+    sum.merge(&analysis.per_region[c]);
+    assert_eq!(sum, analysis.total);
+}
+
+fn main() {
+    let n = 32u64;
+    let naive = collect_trace(MatMul::naive(n as usize));
+    let blocked = collect_trace(MatMul::blocked(n as usize, 8));
+    report("naive i-j-k", &naive, n);
+    report("8x8 tiled", &blocked, n);
+
+    println!(
+        "\nReading the tables: under the naive loop, B's 90th-percentile reuse \
+         distance sits near n² (column-major re-walks of a row-major array) \
+         while A and C stay small — B is the regrouping/partitioning target. \
+         Tiling pulls B's distances down by an order of magnitude, which is \
+         exactly why it helps every cache level at once."
+    );
+}

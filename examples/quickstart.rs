@@ -1,0 +1,62 @@
+//! Quickstart: generate a synthetic trace, analyze it in parallel, and
+//! read off cache behaviour.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use parda::prelude::*;
+
+fn main() {
+    // 1. Build a workload: 500k references over 20k distinct addresses with
+    //    strong temporal locality (geometric reuse distances, mean 32).
+    let n = 500_000;
+    let m = 20_000;
+    let trace = StackDistGen::new(n, m, ReuseProfile::geometric(32.0), 7).take_trace(n as usize);
+    println!("trace: {}", trace.stats());
+
+    // 2. Parallel reuse distance analysis (PARDA, Algorithm 3) on 4 ranks.
+    let config = PardaConfig::with_ranks(4);
+    let start = std::time::Instant::now();
+    let hist = parda_threads::<SplayTree>(trace.as_slice(), &config);
+    println!(
+        "parda (4 ranks): {} references analyzed in {:.1} ms",
+        hist.total(),
+        start.elapsed().as_secs_f64() * 1e3
+    );
+
+    // 3. The histogram answers cache questions for *every* LRU size at once.
+    println!("\nreuse distance histogram (log2 bins):");
+    print!("{}", hist.to_binned().render());
+
+    println!("miss ratio curve:");
+    for (capacity, miss_ratio) in hist.miss_ratio_curve(&[64, 256, 1024, 4096, 16384, 65536]) {
+        println!("  {capacity:>6}-line LRU cache -> {:.1}% misses", miss_ratio * 100.0);
+    }
+
+    // 4. Model a whole cache hierarchy from the same histogram: per-level
+    //    hit attribution and average memory access time.
+    let hierarchy = CacheHierarchy::typical_l1_l2_l3();
+    let stats = hierarchy.analyze(&hist);
+    println!("\nthree-level hierarchy attribution:");
+    for (name, level) in ["L1", "L2", "L3"].iter().zip(&stats.levels) {
+        println!(
+            "  {name} ({} lines): {:5.1}% of references",
+            level.level.capacity,
+            100.0 * level.hits as f64 / hist.total() as f64
+        );
+    }
+    println!(
+        "  memory: {:5.1}%  ->  AMAT = {:.2} cycles",
+        100.0 * stats.memory_accesses as f64 / hist.total() as f64,
+        stats.amat
+    );
+
+    // 5. Cross-check one point against a real LRU simulation.
+    let mut cache = LruCache::new(1024);
+    let stats = cache.run_trace(trace.as_slice());
+    assert_eq!(stats.hits, hist.hit_count(1024));
+    println!(
+        "\nvalidated: 1024-line LRU simulation reports {} hits — histogram predicts {}",
+        stats.hits,
+        hist.hit_count(1024)
+    );
+}

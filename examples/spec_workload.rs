@@ -1,0 +1,46 @@
+//! Sweep the SPEC CPU2006 workload models (the paper's Table IV
+//! benchmarks, scaled) and report each one's locality profile: footprint,
+//! mean reuse distance, and predicted miss ratios at three cache sizes.
+//!
+//! Run with: `cargo run --release --example spec_workload [refs-per-benchmark]`
+
+use parda::prelude::*;
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+
+    // Cache sizes are footprint-relative (M/8, M/2, 2M): the scaled traces
+    // have footprints from tens to thousands of addresses, so absolute
+    // capacities would either always fit or never fit.
+    println!(
+        "{:<12} {:>9} {:>9} {:>11} {:>9} {:>9} {:>9}",
+        "benchmark", "N", "M", "mean_dist", "mr@M/8", "mr@M/2", "mr@2M"
+    );
+    let config = PardaConfig::with_ranks(4);
+    for bench in &SPEC2006 {
+        let trace = bench.generator(n, 1).take_trace(n as usize);
+        let hist = parda_threads::<SplayTree>(trace.as_slice(), &config);
+        let m = hist.infinite(); // first touches = distinct addresses
+        println!(
+            "{:<12} {:>9} {:>9} {:>11.1} {:>9.3} {:>9.3} {:>9.3}",
+            bench.name,
+            hist.total(),
+            m,
+            hist.mean_finite_distance().unwrap_or(0.0),
+            hist.miss_ratio((m / 8).max(1)),
+            hist.miss_ratio((m / 2).max(1)),
+            hist.miss_ratio(2 * m),
+        );
+    }
+    println!(
+        "\nEach row is a scaled stand-in for the paper's trace: the M/N ratio \
+         matches Table IV and the distance mixture matches the benchmark's \
+         locality class (see parda_trace::spec). Streaming workloads (milc, \
+         lbm) stay near their cold-miss floor only once the cache covers the \
+         footprint (mr@M/2 still high); small-footprint and blocked ones \
+         (povray, namd, dealII) drop at a fraction of the footprint."
+    );
+}

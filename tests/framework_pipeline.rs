@@ -1,0 +1,74 @@
+//! Integration test for the paper's Figure 3 framework: an instrumented
+//! program streams through a pipe into the multi-phase parallel analyzer,
+//! and the result matches offline analysis of the same program.
+
+use parda::pinsim::{collect_trace, run_through_pipe, HashJoin, MatMul, StreamTriad};
+use parda::prelude::*;
+
+fn end_to_end<P>(program: P, ranks: usize, phase_chunk: usize)
+where
+    P: parda::pinsim::SyntheticProgram + Clone + Send + 'static,
+{
+    let offline_trace = collect_trace(program.clone());
+    let offline = analyze_sequential::<SplayTree>(offline_trace.as_slice(), None);
+
+    let reader = run_through_pipe(program, 16 * 1024);
+    let online = parda_phased::<SplayTree, _>(reader, phase_chunk, &PardaConfig::with_ranks(ranks));
+
+    assert_eq!(online, offline);
+}
+
+#[test]
+fn matmul_through_the_full_framework() {
+    end_to_end(MatMul::naive(12), 4, 512);
+}
+
+#[test]
+fn blocked_matmul_through_the_full_framework() {
+    end_to_end(MatMul::blocked(12, 4), 3, 333);
+}
+
+#[test]
+fn hash_join_through_the_full_framework() {
+    end_to_end(HashJoin::new(500, 2_000, 7), 2, 1_000);
+}
+
+#[test]
+fn stream_triad_with_tiny_phases() {
+    // Tiny phases stress the state-reduction path: many phases, each
+    // carrying the global state forward.
+    end_to_end(StreamTriad::new(200, 3), 4, 50);
+}
+
+#[test]
+fn pipe_backpressure_does_not_deadlock_analysis() {
+    // A pipe much smaller than the trace forces the producer to block on
+    // the analyzer repeatedly.
+    let program = StreamTriad::new(2_000, 4);
+    let offline_trace = collect_trace(program.clone());
+    let offline = analyze_sequential::<SplayTree>(offline_trace.as_slice(), None);
+    let reader = run_through_pipe(program, 256);
+    let online = parda_phased::<SplayTree, _>(reader, 128, &PardaConfig::with_ranks(3));
+    assert_eq!(online, offline);
+}
+
+#[test]
+fn bounded_online_analysis_matches_bounded_contract() {
+    let program = MatMul::naive(10);
+    let trace = collect_trace(program.clone());
+    let full = analyze_sequential::<SplayTree>(trace.as_slice(), None);
+
+    let bound = 64u64;
+    let mut config = PardaConfig::with_ranks(3);
+    config.bound = Some(bound);
+    let reader = run_through_pipe(program, 4_096);
+    let bounded = parda_phased::<SplayTree, _>(reader, 256, &config);
+
+    assert_eq!(bounded.total(), full.total());
+    for d in 0..bound {
+        assert_eq!(bounded.count(d), full.count(d), "bucket {d}");
+    }
+    for cap in [1u64, 8, 32, 64] {
+        assert_eq!(bounded.miss_count(cap), full.miss_count(cap), "capacity {cap}");
+    }
+}
