@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full test suite.
+#
+#   ./ci.sh          # everything (fmt + clippy + build + tests)
+#   ./ci.sh --quick  # skip the release build, run debug tests only
+#
+# Mirrors what reviewers run before merging; all steps must pass.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+if cargo clippy --version >/dev/null 2>&1; then
+    step "cargo clippy -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "clippy not installed; skipping lint step" >&2
+fi
+
+if [[ $quick -eq 0 ]]; then
+    step "cargo build --release"
+    cargo build --release
+fi
+
+step "cargo test (tier-1)"
+cargo test -q
+
+step "cargo test --workspace"
+cargo test --workspace -q
+
+echo
+echo "ci: all checks passed"

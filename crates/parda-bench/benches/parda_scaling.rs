@@ -47,7 +47,12 @@ fn bench_bound_sweep(c: &mut Criterion) {
     // Unbounded reference point.
     let config = PardaConfig::with_ranks(4);
     group.bench_function("unbounded", |b| {
-        b.iter(|| black_box(parallel::parda_threads::<SplayTree>(trace.as_slice(), &config)))
+        b.iter(|| {
+            black_box(parallel::parda_threads::<SplayTree>(
+                trace.as_slice(),
+                &config,
+            ))
+        })
     });
     group.finish();
 }
@@ -81,7 +86,12 @@ fn bench_transport(c: &mut Criterion) {
     group.throughput(Throughput::Elements(n));
     group.sample_size(10);
     group.bench_function("threads-cascade", |b| {
-        b.iter(|| black_box(parallel::parda_threads::<SplayTree>(trace.as_slice(), &config)))
+        b.iter(|| {
+            black_box(parallel::parda_threads::<SplayTree>(
+                trace.as_slice(),
+                &config,
+            ))
+        })
     });
     group.bench_function("message-passing", |b| {
         b.iter(|| black_box(parallel::parda_msg::<SplayTree>(trace.as_slice(), &config)))

@@ -1,0 +1,86 @@
+//! Trace format throughput: v1 sequential decode vs v2 parallel frame
+//! decode, and streamed analysis (decode overlapping the phased analyzer)
+//! vs load-then-analyze.
+//!
+//! Acceptance targets: v2 parallel decode at least 2x v1 sequential decode
+//! on a 10M-reference zipf trace with 4+ threads, and streamed analyze
+//! beating load-then-analyze end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use parda_core::phased::parda_phased;
+use parda_core::{parallel, PardaConfig};
+use parda_trace::gen::ZipfGen;
+use parda_trace::io::{load_trace, save_trace, save_trace_v2, Encoding};
+use parda_trace::stream::FramedStream;
+use parda_trace::{AddressStream, SliceStream, Trace};
+use parda_tree::SplayTree;
+use std::hint::black_box;
+use std::path::PathBuf;
+
+const RANKS: usize = 4;
+const PHASE_CHUNK: usize = 1 << 19;
+
+fn zipf_trace(n: u64) -> Trace {
+    ZipfGen::new(1 << 20, 0.99, 0x1000_0000, 7).take_trace(n as usize)
+}
+
+fn bench_trace_io(c: &mut Criterion) {
+    // Full scale only when actually measuring; `cargo test` smoke-runs each
+    // body once and should stay quick.
+    let n: u64 = if c.measuring() { 10_000_000 } else { 500_000 };
+    let trace = zipf_trace(n);
+
+    let dir = std::env::temp_dir().join("parda-trace-io-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let v1: PathBuf = dir.join("zipf.v1.trc");
+    let v2: PathBuf = dir.join("zipf.v2.trc");
+    save_trace(&v1, &trace, Encoding::DeltaVarint).unwrap();
+    save_trace_v2(&v2, &trace, Encoding::DeltaVarint).unwrap();
+    drop(trace);
+
+    let mut group = c.benchmark_group("trace_io");
+    group.throughput(Throughput::Elements(n));
+    group.sample_size(10);
+
+    group.bench_function("v1-sequential-decode", |b| {
+        b.iter(|| black_box(load_trace(&v1).unwrap().len()))
+    });
+    group.bench_function("v2-parallel-decode", |b| {
+        b.iter(|| black_box(load_trace(&v2).unwrap().len()))
+    });
+    // Load-then-analyze with the same phased engine: the direct control
+    // for the streamed row — the only difference is whether the full trace
+    // is materialized before analysis or decoded concurrently with it.
+    group.bench_function("v2-load-then-analyze", |b| {
+        b.iter(|| {
+            let t = load_trace(&v2).unwrap();
+            let config = PardaConfig::with_ranks(RANKS);
+            black_box(
+                parda_phased::<SplayTree, _>(SliceStream::new(t.as_slice()), PHASE_CHUNK, &config)
+                    .total(),
+            )
+        })
+    });
+    // Context row: the one-shot chunked engine over the loaded trace.
+    group.bench_function("v2-load-then-analyze-threads", |b| {
+        b.iter(|| {
+            let t = load_trace(&v2).unwrap();
+            let config = PardaConfig::with_ranks(RANKS);
+            black_box(parallel::parda_threads::<SplayTree>(t.as_slice(), &config).total())
+        })
+    });
+    group.bench_function("v2-streamed-analyze", |b| {
+        b.iter(|| {
+            let stream = FramedStream::open(&v2).unwrap();
+            let config = PardaConfig::with_ranks(RANKS);
+            black_box(parda_phased::<SplayTree, _>(stream, PHASE_CHUNK, &config).total())
+        })
+    });
+    group.finish();
+
+    std::fs::remove_file(&v1).unwrap();
+    std::fs::remove_file(&v2).unwrap();
+}
+
+criterion_group!(benches, bench_trace_io);
+criterion_main!(benches);

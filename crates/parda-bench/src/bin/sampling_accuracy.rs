@@ -43,8 +43,7 @@ fn main() {
         let trace = bench
             .generator(args.refs, args.seed)
             .take_trace(args.refs as usize);
-        let (exact, exact_secs) =
-            time(|| analyze_sequential::<SplayTree>(trace.as_slice(), None));
+        let (exact, exact_secs) = time(|| analyze_sequential::<SplayTree>(trace.as_slice(), None));
         let capacities: Vec<u64> = (0..)
             .map(|i| 1u64 << i)
             .take_while(|&c| c <= exact.max_distance().unwrap_or(1) * 2)

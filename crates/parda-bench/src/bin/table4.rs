@@ -31,8 +31,17 @@ fn main() {
 
     let report = Report::new(
         &[
-            "benchmark", "M", "N", "gen_s", "pipe_s", "olken_s", "parda_s", "olken_x", "parda_x",
-            "paper_ox", "paper_px",
+            "benchmark",
+            "M",
+            "N",
+            "gen_s",
+            "pipe_s",
+            "olken_s",
+            "parda_s",
+            "olken_x",
+            "parda_x",
+            "paper_ox",
+            "paper_px",
         ],
         args.json,
     );
@@ -44,9 +53,8 @@ fn main() {
     for bench in &SPEC2006 {
         let w = build_workload(bench, args.refs, args.seed);
         let pipe_secs = pipe_transfer_secs(&w.trace, pipe_words);
-        let (seq_hist, olken_secs) = time(|| {
-            parda_core::seq::analyze_sequential::<SplayTree>(w.trace.as_slice(), None)
-        });
+        let (seq_hist, olken_secs) =
+            time(|| parda_core::seq::analyze_sequential::<SplayTree>(w.trace.as_slice(), None));
         let (par_hist, parda_secs) =
             time(|| parallel::parda_threads::<SplayTree>(w.trace.as_slice(), &config));
         assert_eq!(seq_hist.total(), par_hist.total());

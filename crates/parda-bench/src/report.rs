@@ -69,7 +69,10 @@ pub fn line_chart(
     assert!(series.iter().all(|(_, ys)| ys.len() == x_labels.len()));
     const MARKS: &[u8] = b"*o+x#@%&";
 
-    let values: Vec<f64> = series.iter().flat_map(|(_, ys)| ys.iter().copied()).collect();
+    let values: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .collect();
     let max = values.iter().cloned().fold(f64::MIN, f64::max);
     let min = values.iter().cloned().fold(f64::MAX, f64::min);
     let span = (max - min).max(1e-9);
@@ -124,7 +127,11 @@ mod tests {
         let mut buf = Vec::new();
         let r = Report::new(&["name", "value"], false);
         r.print_header(&mut buf);
-        r.print_row(&mut buf, &["mcf".into(), "1.23".into()], &serde_json::json!({}));
+        r.print_row(
+            &mut buf,
+            &["mcf".into(), "1.23".into()],
+            &serde_json::json!({}),
+        );
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("name"));
         assert!(text.contains("mcf"));

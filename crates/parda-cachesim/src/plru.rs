@@ -108,8 +108,14 @@ impl PlruCache {
     /// `num_sets` sets (power of two) × `ways` ways (power of two) of
     /// `1 << block_bits`-byte lines.
     pub fn new(num_sets: usize, ways: usize, block_bits: u32) -> Self {
-        assert!(num_sets > 0 && num_sets.is_power_of_two(), "sets must be a power of two");
-        assert!(ways > 0 && ways.is_power_of_two(), "tree-PLRU needs power-of-two ways");
+        assert!(
+            num_sets > 0 && num_sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
+        assert!(
+            ways > 0 && ways.is_power_of_two(),
+            "tree-PLRU needs power-of-two ways"
+        );
         assert!(block_bits < 32);
         Self {
             sets: vec![PlruSet::new(ways); num_sets],
@@ -193,7 +199,9 @@ mod tests {
         // On random traffic the PLRU miss ratio should track true LRU
         // within a few percent.
         let mut rng = StdRng::seed_from_u64(9);
-        let trace: Vec<u64> = (0..200_000).map(|_| rng.gen_range(0u64..2_000) << 6).collect();
+        let trace: Vec<u64> = (0..200_000)
+            .map(|_| rng.gen_range(0u64..2_000) << 6)
+            .collect();
         let mut plru = PlruCache::new(64, 8, 6);
         let mut lru = SetAssociativeCache::new(64, 8, 6);
         let plru_mr = plru.run_trace(&trace).miss_ratio();
@@ -220,7 +228,10 @@ mod tests {
                 break;
             }
         }
-        assert!(diverged, "4-way PLRU never deviated from LRU in 10k accesses");
+        assert!(
+            diverged,
+            "4-way PLRU never deviated from LRU in 10k accesses"
+        );
     }
 
     #[test]

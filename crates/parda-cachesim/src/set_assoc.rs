@@ -37,7 +37,10 @@ impl SetAssociativeCache {
     /// Create a cache with `num_sets` sets (power of two), `ways` lines per
     /// set, and `1 << block_bits`-byte lines.
     pub fn new(num_sets: usize, ways: usize, block_bits: u32) -> Self {
-        assert!(num_sets > 0 && num_sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            num_sets > 0 && num_sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
         assert!(ways > 0, "need at least one way");
         assert!(block_bits < 32, "block size out of range");
         Self {
@@ -166,6 +169,10 @@ mod tests {
                 full.access(b << 6);
             }
         }
-        assert_eq!(full.stats().hits, 0, "sweep of 2×capacity never hits in LRU");
+        assert_eq!(
+            full.stats().hits,
+            0,
+            "sweep of 2×capacity never hits in LRU"
+        );
     }
 }

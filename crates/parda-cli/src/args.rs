@@ -25,7 +25,11 @@ impl Args {
                 }
                 match tokens.get(i + 1) {
                     Some(value) if !value.starts_with("--") => {
-                        if args.options.insert(key.to_string(), value.clone()).is_some() {
+                        if args
+                            .options
+                            .insert(key.to_string(), value.clone())
+                            .is_some()
+                        {
                             return Err(format!("duplicate option --{key}"));
                         }
                         i += 2;
@@ -139,7 +143,10 @@ mod tests {
 
     #[test]
     fn duplicate_option_rejected() {
-        let tokens: Vec<String> = ["--a", "1", "--a", "2"].iter().map(|s| s.to_string()).collect();
+        let tokens: Vec<String> = ["--a", "1", "--a", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert!(Args::parse(&tokens).is_err());
     }
 

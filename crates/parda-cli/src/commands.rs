@@ -6,8 +6,9 @@ use parda_core::sampled::{self, SampleRate};
 use parda_core::{analyze_sequential_kind, parda_kind, seq, PardaConfig};
 use parda_pinsim::collect_trace;
 use parda_trace::gen::{CyclicGen, SequentialGen, UniformGen, ZipfGen};
-use parda_trace::io::{load_trace, save_trace, Encoding};
+use parda_trace::io::{load_trace, peek_version, save_trace, save_trace_v2, Encoding};
 use parda_trace::spec::{SpecBenchmark, SPEC2006};
+use parda_trace::stream::FramedStream;
 use parda_trace::{AddressStream, SliceStream, Trace};
 use parda_tree::TreeKind;
 use std::io::Write;
@@ -22,15 +23,18 @@ commands:
              --spec <name> --refs <n> [--seed <s>]      SPEC CPU2006 model
              --pattern <cyclic|uniform|zipf|sequential> --footprint <m> --refs <n>
              --kernel <matmul|matmul-blocked|stencil|chase|join|triad|mergesort> --size <n>
-             --out <file> [--encoding <raw|delta>]
+             --out <file> [--encoding <raw|delta>] [--format <v1|v2>]
+             (v2 is the default: block-framed with a seekable index)
   analyze  analyze a trace file
              <file> [--engine <parda|seq|naive|phased|sampled>] [--ranks <p>]
              [--bound <B>] [--tree <splay|avl|treap|vector>] [--json]
              [--line-bits <b>]  (fold addresses to 2^b-byte lines first)
+             [--stream]  (decode v2 frames concurrently with analysis;
+                          automatic for v2 files with the default engine)
              phased:  [--chunk <C>] [--renumber]
              sampled: [--rate <k>]   (spatial sampling at rate 2^-k)
   mrc      print the miss ratio curve of a trace
-             <file> [--capacities <c1,c2,...>]
+             <file> [--capacities <c1,c2,...>] [--stream]
   stats    print trace statistics (N, M, address span)
              <file>
   compare  run every engine over a trace, verify agreement, report timings
@@ -45,10 +49,7 @@ fn io_err(e: impl std::fmt::Display) -> String {
 /// `parda gen`: produce a trace from a SPEC model, a pattern generator, or
 /// a pinsim kernel.
 pub fn gen(args: &Args, out: &mut dyn Write) -> Result<(), String> {
-    let path = args
-        .get("out")
-        .ok_or("missing --out <file>")?
-        .to_string();
+    let path = args.get("out").ok_or("missing --out <file>")?.to_string();
     let seed: u64 = args.get_parsed("seed", 42)?;
     let refs: u64 = args.get_parsed("refs", 1_000_000)?;
     let encoding = match args.get("encoding").unwrap_or("delta") {
@@ -98,8 +99,13 @@ pub fn gen(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         return Err("gen needs one of --spec, --pattern, or --kernel".into());
     };
 
-    save_trace(&path, &trace, encoding).map_err(io_err)?;
-    writeln!(out, "wrote {} references to {path}", trace.len()).map_err(io_err)?;
+    let format = args.get("format").unwrap_or("v2");
+    match format {
+        "v2" => save_trace_v2(&path, &trace, encoding).map_err(io_err)?,
+        "v1" => save_trace(&path, &trace, encoding).map_err(io_err)?,
+        other => return Err(format!("unknown format `{other}` (v1|v2)")),
+    }
+    writeln!(out, "wrote {} references to {path} ({format})", trace.len()).map_err(io_err)?;
     Ok(())
 }
 
@@ -120,43 +126,82 @@ pub fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let tree = parse_tree(args)?;
     let bound: Option<u64> = args.get_optional("bound")?;
     let ranks: usize = args.get_parsed("ranks", 4)?;
-
-    let mut trace = load_trace(path).map_err(io_err)?;
     let line_bits: u32 = args.get_parsed("line-bits", 0)?;
-    if line_bits > 0 {
-        trace = parda_trace::xform::to_lines(&trace, line_bits);
+
+    // Streamed analysis: decode v2 frames on background threads while the
+    // phased analyzer consumes them. Explicit with --stream; automatic for
+    // v2 files when the engine is left at its default (or is `phased`) —
+    // the phased engine is exact, so the histogram is identical either way.
+    let requested_stream = args.has("stream");
+    if requested_stream {
+        if !matches!(engine, "parda" | "phased") {
+            return Err(format!(
+                "--stream runs the phased engine and cannot honor --engine {engine}"
+            ));
+        }
+        if line_bits > 0 {
+            return Err("--stream cannot be combined with --line-bits".into());
+        }
     }
-    let start = Instant::now();
-    let hist = match engine {
-        "seq" => analyze_sequential_kind(trace.as_slice(), tree, bound),
-        "naive" => seq::analyze_naive(trace.as_slice()),
-        "phased" => {
-            let chunk: usize = args.get_parsed("chunk", 65_536)?;
-            let reduction = if args.has("renumber") {
-                Reduction::RenumberRanks
-            } else {
-                Reduction::ShipToRankZero
-            };
-            let mut config = PardaConfig::with_ranks(ranks);
-            config.bound = bound;
-            phased::parda_phased_with::<parda_tree::SplayTree, _>(
-                SliceStream::new(trace.as_slice()),
-                chunk,
-                &config,
-                reduction,
-            )
+    let version = peek_version(path).map_err(io_err)?;
+    let use_stream = requested_stream
+        || (version == 2 && line_bits == 0 && (engine == "phased" || args.get("engine").is_none()));
+
+    let chunk: usize = args.get_parsed("chunk", 65_536)?;
+    let reduction = if args.has("renumber") {
+        Reduction::RenumberRanks
+    } else {
+        Reduction::ShipToRankZero
+    };
+
+    let engine_label;
+    let start;
+    let hist = if use_stream {
+        let mut config = PardaConfig::with_ranks(ranks);
+        config.bound = bound;
+        start = Instant::now();
+        let stream = FramedStream::open(path).map_err(io_err)?;
+        let errors = stream.error_handle();
+        let hist = phased::parda_phased_with::<parda_tree::SplayTree, _>(
+            stream, chunk, &config, reduction,
+        );
+        if let Some(e) = errors.take() {
+            return Err(io_err(e));
         }
-        "sampled" => {
-            let rate: u32 = args.get_parsed("rate", 3)?;
-            sampled::analyze_sampled::<parda_tree::SplayTree>(
-                trace.as_slice(),
-                SampleRate::one_in_pow2(rate),
-            )
+        engine_label = "phased-stream".to_string();
+        hist
+    } else {
+        let mut trace = load_trace(path).map_err(io_err)?;
+        if line_bits > 0 {
+            trace = parda_trace::xform::to_lines(&trace, line_bits);
         }
-        _ => {
-            let mut config = PardaConfig::with_ranks(ranks);
-            config.bound = bound;
-            parda_kind(trace.as_slice(), tree, &config)
+        engine_label = engine.to_string();
+        start = Instant::now();
+        match engine {
+            "seq" => analyze_sequential_kind(trace.as_slice(), tree, bound),
+            "naive" => seq::analyze_naive(trace.as_slice()),
+            "phased" => {
+                let mut config = PardaConfig::with_ranks(ranks);
+                config.bound = bound;
+                phased::parda_phased_with::<parda_tree::SplayTree, _>(
+                    SliceStream::new(trace.as_slice()),
+                    chunk,
+                    &config,
+                    reduction,
+                )
+            }
+            "sampled" => {
+                let rate: u32 = args.get_parsed("rate", 3)?;
+                sampled::analyze_sampled::<parda_tree::SplayTree>(
+                    trace.as_slice(),
+                    SampleRate::one_in_pow2(rate),
+                )
+            }
+            _ => {
+                let mut config = PardaConfig::with_ranks(ranks);
+                config.bound = bound;
+                parda_kind(trace.as_slice(), tree, &config)
+            }
         }
     };
     let elapsed = start.elapsed();
@@ -167,9 +212,13 @@ pub fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     } else {
         writeln!(
             out,
-            "engine={engine} tree={} ranks={} bound={} time={:.3}s",
+            "engine={engine_label} tree={} ranks={} bound={} time={:.3}s",
             tree.name(),
-            if engine == "parda" { ranks } else { 1 },
+            if matches!(engine_label.as_str(), "parda" | "phased" | "phased-stream") {
+                ranks
+            } else {
+                1
+            },
             bound.map_or("none".into(), |b| b.to_string()),
             elapsed.as_secs_f64()
         )
@@ -191,8 +240,22 @@ pub fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 /// `parda mrc`: miss ratio curve at pow-2 capacities (or a custom list).
 pub fn mrc(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let path = args.require_positional(0, "trace file")?;
-    let trace = load_trace(path).map_err(io_err)?;
-    let hist = analyze_sequential_kind(trace.as_slice(), TreeKind::Splay, None);
+    // v2 files stream through the phased engine (exact, same histogram as
+    // the sequential analyzer); v1 files use the legacy load-then-analyze.
+    let hist = if args.has("stream") || peek_version(path).map_err(io_err)? == 2 {
+        let ranks: usize = args.get_parsed("ranks", 4)?;
+        let stream = FramedStream::open(path).map_err(io_err)?;
+        let errors = stream.error_handle();
+        let config = PardaConfig::with_ranks(ranks);
+        let hist = phased::parda_phased::<parda_tree::SplayTree, _>(stream, 65_536, &config);
+        if let Some(e) = errors.take() {
+            return Err(io_err(e));
+        }
+        hist
+    } else {
+        let trace = load_trace(path).map_err(io_err)?;
+        analyze_sequential_kind(trace.as_slice(), TreeKind::Splay, None)
+    };
     let curve = match args.get("capacities") {
         Some(list) => {
             let caps: Result<Vec<u64>, _> = list.split(',').map(str::parse).collect();
@@ -261,8 +324,12 @@ pub fn compare(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     for (name, secs, hist) in &results {
         let agrees = *hist == reference;
         all_agree &= agrees;
-        writeln!(out, "{name:<22} {secs:>10.3} {:>10}", if agrees { "yes" } else { "NO" })
-            .map_err(io_err)?;
+        writeln!(
+            out,
+            "{name:<22} {secs:>10.3} {:>10}",
+            if agrees { "yes" } else { "NO" }
+        )
+        .map_err(io_err)?;
     }
     if all_agree {
         writeln!(out, "all engines agree on {} references", trace.len()).map_err(io_err)?;

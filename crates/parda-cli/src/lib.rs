@@ -43,10 +43,11 @@ fn run_inner(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), String
         "stats" => commands::stats(&args, out),
         "spec" => commands::spec(&args, out),
         "compare" => commands::compare(&args, out),
-        "help" | "--help" | "-h" => {
-            writeln!(out, "{}", commands::USAGE).map_err(|e| e.to_string())
-        }
-        other => Err(format!("unknown subcommand `{other}`\n\n{}", commands::USAGE)),
+        "help" | "--help" | "-h" => writeln!(out, "{}", commands::USAGE).map_err(|e| e.to_string()),
+        other => Err(format!(
+            "unknown subcommand `{other}`\n\n{}",
+            commands::USAGE
+        )),
     }
 }
 
@@ -129,14 +130,27 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let p1 = dir.join("cyc.trc");
         let (code, _) = run_to_string(&[
-            "gen", "--pattern", "cyclic", "--footprint", "64", "--refs", "1000",
-            "--out", p1.to_str().unwrap(),
+            "gen",
+            "--pattern",
+            "cyclic",
+            "--footprint",
+            "64",
+            "--refs",
+            "1000",
+            "--out",
+            p1.to_str().unwrap(),
         ]);
         assert_eq!(code, 0);
 
         let p2 = dir.join("mm.trc");
         let (code, _) = run_to_string(&[
-            "gen", "--kernel", "matmul", "--size", "8", "--out", p2.to_str().unwrap(),
+            "gen",
+            "--kernel",
+            "matmul",
+            "--size",
+            "8",
+            "--out",
+            p2.to_str().unwrap(),
         ]);
         assert_eq!(code, 0);
 
@@ -154,7 +168,15 @@ mod tests {
         let path = dir.join("w.trc");
         let p = path.to_str().unwrap();
         let (code, _) = run_to_string(&[
-            "gen", "--pattern", "zipf", "--footprint", "500", "--refs", "30000", "--out", p,
+            "gen",
+            "--pattern",
+            "zipf",
+            "--footprint",
+            "500",
+            "--refs",
+            "30000",
+            "--out",
+            p,
         ]);
         assert_eq!(code, 0);
 
@@ -163,7 +185,15 @@ mod tests {
         for extra in [
             vec!["--engine", "seq", "--tree", "vector"],
             vec!["--engine", "phased", "--chunk", "1000", "--ranks", "3"],
-            vec!["--engine", "phased", "--chunk", "1000", "--ranks", "3", "--renumber"],
+            vec![
+                "--engine",
+                "phased",
+                "--chunk",
+                "1000",
+                "--ranks",
+                "3",
+                "--renumber",
+            ],
             vec!["--engine", "parda", "--ranks", "2", "--tree", "avl"],
         ] {
             let mut argv = vec!["analyze", p];
@@ -177,7 +207,10 @@ mod tests {
                 .to_string();
             totals.push(total_line);
         }
-        assert!(totals.windows(2).all(|w| w[0] == w[1]), "engines disagree: {totals:?}");
+        assert!(
+            totals.windows(2).all(|w| w[0] == w[1]),
+            "engines disagree: {totals:?}"
+        );
 
         // The sampled engine runs and reports an estimate.
         let (code, out) = run_to_string(&["analyze", p, "--engine", "sampled", "--rate", "2"]);
@@ -199,14 +232,18 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("c.trc");
         let p = path.to_str().unwrap();
-        let (code, _) = run_to_string(&[
-            "gen", "--spec", "soplex", "--refs", "20000", "--out", p,
-        ]);
+        let (code, _) = run_to_string(&["gen", "--spec", "soplex", "--refs", "20000", "--out", p]);
         assert_eq!(code, 0);
         let (code, out) = run_to_string(&["compare", p, "--ranks", "3"]);
         assert_eq!(code, 0, "compare failed: {out}");
         assert!(out.contains("all engines agree"), "got: {out}");
-        for engine in ["seq/splay", "seq/vector", "parda-msg/p3", "phased/p3", "naive-stack"] {
+        for engine in [
+            "seq/splay",
+            "seq/vector",
+            "parda-msg/p3",
+            "phased/p3",
+            "naive-stack",
+        ] {
             assert!(out.contains(engine), "missing {engine}: {out}");
         }
         std::fs::remove_file(&path).unwrap();

@@ -103,9 +103,7 @@ mod tests {
 
     #[test]
     fn gather_orders_by_rank() {
-        let results = World::run::<u64, _, _>(4, |mut ctx| {
-            ctx.gather(0, ctx.rank() as u64 * 10)
-        });
+        let results = World::run::<u64, _, _>(4, |mut ctx| ctx.gather(0, ctx.rank() as u64 * 10));
         assert_eq!(results[0], Some(vec![0, 10, 20, 30]));
         assert!(results[1..].iter().all(Option::is_none));
     }

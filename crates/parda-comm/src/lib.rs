@@ -172,8 +172,7 @@ impl World {
         // Run each rank under catch_unwind so a panic flips the shared flag
         // (waking peers blocked in recv) before propagating at join time.
         let guarded = |ctx: RankCtx<M>, failed: &AtomicBool| {
-            let result =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx)));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx)));
             if result.is_err() {
                 failed.store(true, Ordering::Relaxed);
             }

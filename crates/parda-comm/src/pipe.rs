@@ -48,7 +48,6 @@ impl PipeWriter {
         // real pipe would raise EPIPE. Writers detect it via `is_closed`.
         let _ = self.tx.send(batch);
     }
-
 }
 
 impl Drop for PipeWriter {
@@ -156,7 +155,11 @@ mod tests {
         let trace = r.take_trace(20_000);
         producer.join().unwrap();
         assert_eq!(trace.len(), 10_000);
-        assert!(trace.as_slice().iter().enumerate().all(|(i, &a)| a == i as u64));
+        assert!(trace
+            .as_slice()
+            .iter()
+            .enumerate()
+            .all(|(i, &a)| a == i as u64));
     }
 
     #[test]

@@ -370,7 +370,11 @@ mod tests {
 
         let mut survivors = Vec::new();
         left.process_infinities(&right_inf, &mut survivors);
-        assert_eq!(survivors, labels("gef"), "d-a-c-b seen on the left except d");
+        assert_eq!(
+            survivors,
+            labels("gef"),
+            "d-a-c-b seen on the left except d"
+        );
 
         let hist = left.histogram();
         // a, b, c all measure global distance 5 per Table II.

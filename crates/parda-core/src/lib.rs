@@ -55,7 +55,11 @@ use parda_trace::Addr;
 use parda_tree::TreeKind;
 
 /// Run the sequential tree-based analyzer with a runtime-selected tree.
-pub fn analyze_sequential_kind(trace: &[Addr], kind: TreeKind, bound: Option<u64>) -> ReuseHistogram {
+pub fn analyze_sequential_kind(
+    trace: &[Addr],
+    kind: TreeKind,
+    bound: Option<u64>,
+) -> ReuseHistogram {
     match kind {
         TreeKind::Splay => seq::analyze_sequential::<parda_tree::SplayTree>(trace, bound),
         TreeKind::Avl => seq::analyze_sequential::<parda_tree::AvlTree>(trace, bound),

@@ -65,10 +65,7 @@ impl RegionMap {
     pub fn add_region(&mut self, name: &str, start: Addr, end: Addr) -> RegionId {
         assert!(start < end, "empty region {name}");
         assert!(
-            !self
-                .regions
-                .iter()
-                .any(|r| start < r.end && r.start < end),
+            !self.regions.iter().any(|r| start < r.end && r.start < end),
             "region {name} [{start:#x},{end:#x}) overlaps an existing region"
         );
         let id = self.regions.len();
@@ -238,7 +235,11 @@ mod tests {
         let mut map = RegionMap::new();
         let obj = map.add_region("obj", 10, 30);
         let analysis = analyze_by_region::<SplayTree>(&trace, &map);
-        assert_eq!(analysis.per_region[obj].count(3), 1, "a reused over x,20,98");
+        assert_eq!(
+            analysis.per_region[obj].count(3),
+            1,
+            "a reused over x,20,98"
+        );
         assert_eq!(analysis.per_region[obj].infinite(), 2);
         assert_eq!(analysis.unmapped.infinite(), 2);
     }

@@ -357,7 +357,11 @@ mod tests {
     fn assert_bounded_contract(bounded: &ReuseHistogram, full: &ReuseHistogram, bound: u64) {
         assert_eq!(bounded.total(), full.total(), "mass must be conserved");
         for d in 0..bound {
-            assert_eq!(bounded.count(d), full.count(d), "bucket {d} under bound {bound}");
+            assert_eq!(
+                bounded.count(d),
+                full.count(d),
+                "bucket {d} under bound {bound}"
+            );
         }
         for cap in [1, bound / 2, bound] {
             if cap >= 1 {
@@ -388,7 +392,11 @@ mod tests {
                 assert_bounded_contract(&threads, &full, bound);
                 // Both parallel drivers apply the identical per-rank
                 // operation sequence, so they agree exactly.
-                assert_eq!(parda_msg::<SplayTree>(&trace, &cfg), threads, "np={np} bound={bound}");
+                assert_eq!(
+                    parda_msg::<SplayTree>(&trace, &cfg),
+                    threads,
+                    "np={np} bound={bound}"
+                );
             }
         }
     }

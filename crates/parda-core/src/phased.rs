@@ -33,7 +33,14 @@ use parking_lot::Mutex;
 /// Messages exchanged by the phased driver.
 enum PhasedMsg {
     /// A chunk of the current phase starting at the given global index.
-    Chunk { start_ts: u64, data: Vec<Addr> },
+    /// `last` is set when the source ran dry filling this phase, letting
+    /// every rank skip the final state reduction (the merged tree would
+    /// only be consulted by a phase that never comes).
+    Chunk {
+        start_ts: u64,
+        data: Vec<Addr>,
+        last: bool,
+    },
     /// A local-infinities sequence (cascade round).
     Infinities(Vec<Addr>),
     /// Live `(timestamp, addr)` state for the phase reduction.
@@ -122,7 +129,7 @@ where
         loop {
             // --- distribution (paper Figure 3: the pipe-attached process
             //     reads and scatters; chunk i goes to *virtual* rank i) ---
-            let (chunk, start_ts) = if p == 0 {
+            let (chunk, start_ts, last_phase) = if p == 0 {
                 let src = my_source.as_mut().expect("rank 0 has the source");
                 read_buf.clear();
                 let got = src.fill(&mut read_buf, np * phase_chunk);
@@ -132,19 +139,24 @@ where
                     }
                     break;
                 }
+                // A short read means the source is exhausted: this phase is
+                // the last one (an exactly-full read can't tell, and then
+                // the reduction below runs once more than needed).
+                let last = got < np * phase_chunk;
                 let chunks = chunk_slice(&read_buf, np);
                 let mut acc = phase_base;
                 let mut mine = None;
                 for (v, c) in chunks.iter().enumerate() {
                     let dest = phys(v, reversed);
                     if dest == 0 {
-                        mine = Some((c.to_vec(), acc));
+                        mine = Some((c.to_vec(), acc, last));
                     } else {
                         ctx.send(
                             dest,
                             PhasedMsg::Chunk {
                                 start_ts: acc,
                                 data: c.to_vec(),
+                                last,
                             },
                         );
                     }
@@ -155,7 +167,11 @@ where
             } else {
                 match ctx.recv_from(0) {
                     PhasedMsg::Done => break,
-                    PhasedMsg::Chunk { start_ts, data } => (data, start_ts),
+                    PhasedMsg::Chunk {
+                        start_ts,
+                        data,
+                        last,
+                    } => (data, start_ts, last),
                     _ => unreachable!("rank 0 only sends chunks or Done here"),
                 }
             };
@@ -189,35 +205,41 @@ where
             }
 
             // --- state reduction onto virtual rank np-1 (Algorithm 6) ---
-            let merger = phys(np - 1, reversed);
-            if v != np - 1 {
-                ctx.send(merger, PhasedMsg::State(engine.export_state()));
-            } else {
-                for src_v in 0..np - 1 {
-                    match ctx.recv_from(phys(src_v, reversed)) {
-                        PhasedMsg::State(pairs) => engine.import_state(&pairs),
-                        _ => unreachable!("reduction expects state messages"),
-                    }
-                }
-            }
-            match reduction {
-                Reduction::ShipToRankZero => {
-                    // Transfer the merged state back to (virtual = physical)
-                    // rank 0.
-                    if v == np - 1 {
-                        ctx.send(phys(0, reversed), PhasedMsg::State(engine.export_state()));
-                    }
-                    if v == 0 {
-                        match ctx.recv_from(merger) {
+            // The merged state exists solely to answer the *next* phase's
+            // global infinities, so the last phase skips the reduction
+            // entirely — on big traces that saves merging O(M) live
+            // entries into a tree nobody will query.
+            if !last_phase {
+                let merger = phys(np - 1, reversed);
+                if v != np - 1 {
+                    ctx.send(merger, PhasedMsg::State(engine.export_state()));
+                } else {
+                    for src_v in 0..np - 1 {
+                        match ctx.recv_from(phys(src_v, reversed)) {
                             PhasedMsg::State(pairs) => engine.import_state(&pairs),
-                            _ => unreachable!("the merger ships the merged state"),
+                            _ => unreachable!("reduction expects state messages"),
                         }
                     }
                 }
-                Reduction::RenumberRanks => {
-                    // The merger keeps the state and becomes virtual rank 0:
-                    // reverse the virtual order (np-1 ↦ 0).
-                    reversed = !reversed;
+                match reduction {
+                    Reduction::ShipToRankZero => {
+                        // Transfer the merged state back to (virtual =
+                        // physical) rank 0.
+                        if v == np - 1 {
+                            ctx.send(phys(0, reversed), PhasedMsg::State(engine.export_state()));
+                        }
+                        if v == 0 {
+                            match ctx.recv_from(merger) {
+                                PhasedMsg::State(pairs) => engine.import_state(&pairs),
+                                _ => unreachable!("the merger ships the merged state"),
+                            }
+                        }
+                    }
+                    Reduction::RenumberRanks => {
+                        // The merger keeps the state and becomes virtual
+                        // rank 0: reverse the virtual order (np-1 ↦ 0).
+                        reversed = !reversed;
+                    }
                 }
             }
             engine.reset_phase_counters();
@@ -238,7 +260,8 @@ fn phased_single_rank<T: ReuseTree + Default, S: AddressStream>(
     mut source: S,
     bound: Option<u64>,
 ) -> ReuseHistogram {
-    let mut analyzer: crate::seq::SequentialAnalyzer<T> = crate::seq::SequentialAnalyzer::new(bound);
+    let mut analyzer: crate::seq::SequentialAnalyzer<T> =
+        crate::seq::SequentialAnalyzer::new(bound);
     let mut buf = Vec::new();
     loop {
         buf.clear();

@@ -56,7 +56,11 @@ impl SampleRate {
 
 /// Filter a trace down to its monitored references.
 pub fn sample_filter(trace: &[Addr], rate: SampleRate) -> Vec<Addr> {
-    trace.iter().copied().filter(|&a| rate.monitors(a)).collect()
+    trace
+        .iter()
+        .copied()
+        .filter(|&a| rate.monitors(a))
+        .collect()
 }
 
 /// Approximate whole-trace reuse distance analysis by spatial sampling.
@@ -82,10 +86,7 @@ pub fn sample_filter(trace: &[Addr], rate: SampleRate) -> Vec<Addr> {
 /// let err = (approx.miss_ratio(1024) - exact.miss_ratio(1024)).abs();
 /// assert!(err < 0.06, "MRC error {err}");
 /// ```
-pub fn analyze_sampled<T: ReuseTree + Default>(
-    trace: &[Addr],
-    rate: SampleRate,
-) -> ReuseHistogram {
+pub fn analyze_sampled<T: ReuseTree + Default>(trace: &[Addr], rate: SampleRate) -> ReuseHistogram {
     let scale = rate.inverse();
     let sampled = sample_filter(trace, rate);
     let mut estimate = ReuseHistogram::new();

@@ -191,7 +191,9 @@ mod tests {
             assert_eq!(full.count(d), bounded.count(d), "distance {d}");
         }
         // Everything at d ≥ 64 is lumped into ∞.
-        let lumped: u64 = (64..=full.max_distance().unwrap_or(0)).map(|d| full.count(d)).sum();
+        let lumped: u64 = (64..=full.max_distance().unwrap_or(0))
+            .map(|d| full.count(d))
+            .sum();
         assert_eq!(bounded.infinite(), full.infinite() + lumped);
         assert_eq!(bounded.total(), full.total());
     }

@@ -95,7 +95,10 @@ pub fn optimal_partition(
 ) -> (Vec<u64>, u64) {
     let k = histograms.len();
     assert!(k > 0, "need at least one program");
-    assert!(granularity > 0 && capacity >= granularity * k as u64, "capacity too small");
+    assert!(
+        granularity > 0 && capacity >= granularity * k as u64,
+        "capacity too small"
+    );
     let granules = (capacity / granularity) as usize;
 
     // dp[i][g] = min total misses using programs 0..=i over g granules,
@@ -233,7 +236,11 @@ mod tests {
     #[test]
     fn three_way_partition_allocates_everything() {
         let t: Vec<Vec<u64>> = (0..3)
-            .map(|p| (0..2000u64).map(|i| p * 10_000 + i % (50 * (p + 1))).collect())
+            .map(|p| {
+                (0..2000u64)
+                    .map(|i| p * 10_000 + i % (50 * (p + 1)))
+                    .collect()
+            })
             .collect();
         let hists: Vec<ReuseHistogram> = t
             .iter()

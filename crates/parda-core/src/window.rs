@@ -12,7 +12,7 @@
 //!   between consecutive window signatures exceeds a threshold.
 
 use crate::seq::analyze_with;
-use parda_hist::{BinnedHistogram, Distance};
+use parda_hist::BinnedHistogram;
 use parda_trace::Addr;
 use parda_tree::ReuseTree;
 
@@ -79,6 +79,7 @@ pub fn detect_phases(analysis: &WindowedAnalysis, threshold: f64) -> Vec<usize> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parda_hist::Distance;
     use parda_tree::SplayTree;
 
     #[test]

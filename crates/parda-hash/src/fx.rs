@@ -121,7 +121,9 @@ mod tests {
         // are constant. The output's low bits must still vary.
         // 1000 keys into 2^16 buckets: an ideal hash keeps ~992 distinct
         // (birthday bound), so 950 leaves slack without accepting clustering.
-        let low_bits: HashSet<u64> = (0u64..1_000).map(|i| fx_hash_u64(i << 3) & 0xffff).collect();
+        let low_bits: HashSet<u64> = (0u64..1_000)
+            .map(|i| fx_hash_u64(i << 3) & 0xffff)
+            .collect();
         assert!(
             low_bits.len() > 950,
             "low 16 output bits too clustered: {} distinct",

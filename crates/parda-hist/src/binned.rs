@@ -101,7 +101,13 @@ impl BinnedHistogram {
         use std::fmt::Write as _;
         let mut out = String::new();
         let width = 40usize;
-        let max = self.bins.iter().copied().max().unwrap_or(0).max(self.infinite);
+        let max = self
+            .bins
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(self.infinite);
         let bar = |count: u64| {
             if max == 0 {
                 String::new()
@@ -123,7 +129,13 @@ impl BinnedHistogram {
             let _ = writeln!(out, "{label:>16} {count:>12}  {}", bar(count));
         }
         if self.infinite > 0 {
-            let _ = writeln!(out, "{:>16} {:>12}  {}", "inf", self.infinite, bar(self.infinite));
+            let _ = writeln!(
+                out,
+                "{:>16} {:>12}  {}",
+                "inf",
+                self.infinite,
+                bar(self.infinite)
+            );
         }
         out
     }

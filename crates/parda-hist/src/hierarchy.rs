@@ -115,7 +115,11 @@ impl CacheHierarchy {
         HierarchyStats {
             levels,
             memory_accesses,
-            amat: if total == 0 { 0.0 } else { weighted / total as f64 },
+            amat: if total == 0 {
+                0.0
+            } else {
+                weighted / total as f64
+            },
         }
     }
 }

@@ -357,7 +357,10 @@ mod tests {
         let hist = table1_histogram();
         let curve = hist.miss_ratio_curve_pow2();
         for pair in curve.windows(2) {
-            assert!(pair[1].1 <= pair[0].1, "MRC must be non-increasing: {curve:?}");
+            assert!(
+                pair[1].1 <= pair[0].1,
+                "MRC must be non-increasing: {curve:?}"
+            );
         }
         // Cold misses bound the asymptote.
         let last = curve.last().unwrap().1;

@@ -53,7 +53,10 @@ impl MatMul {
 
     /// Tiled with `block × block` tiles (`block` must divide `n`).
     pub fn blocked(n: usize, block: usize) -> Self {
-        assert!(n > 0 && block > 0 && n.is_multiple_of(block), "block must divide n");
+        assert!(
+            n > 0 && block > 0 && n.is_multiple_of(block),
+            "block must divide n"
+        );
         Self {
             n,
             block: Some(block),
@@ -375,7 +378,10 @@ pub struct Fft {
 impl Fft {
     /// FFT over `n` points (power of two, ≥ 2).
     pub fn new(n: usize) -> Self {
-        assert!(n >= 2 && n.is_power_of_two(), "FFT size must be a power of two");
+        assert!(
+            n >= 2 && n.is_power_of_two(),
+            "FFT size must be a power of two"
+        );
         Self { n }
     }
 }
@@ -403,7 +409,7 @@ impl SyntheticProgram for Fft {
         let n = self.n;
         let bits = n.trailing_zeros();
         let at = |i: usize| REGION_A + (i as Addr) * 2 * WORD; // complex = 2 words
-        // Bit-reversal permutation.
+                                                               // Bit-reversal permutation.
         for i in 0..n {
             let j = ((i as u64).reverse_bits() >> (64 - bits)) as usize;
             if j > i {
@@ -628,7 +634,10 @@ mod tests {
         let hist = analyze_sequential::<SplayTree>(trace.as_slice(), None);
         // Butterfly strides double per stage: both short and ~n-scale
         // distances must be present.
-        assert!(hist.count(0) > 0 || hist.count(1) > 0, "short reuse missing");
+        assert!(
+            hist.count(0) > 0 || hist.count(1) > 0,
+            "short reuse missing"
+        );
         assert!(
             (128..=512).any(|d| hist.count(d) > 0),
             "long-stride reuse missing"

@@ -42,7 +42,10 @@ impl AliasTable {
         let total: f64 = weights
             .iter()
             .map(|&w| {
-                assert!(w >= 0.0 && w.is_finite(), "weight must be finite and ≥ 0, got {w}");
+                assert!(
+                    w >= 0.0 && w.is_finite(),
+                    "weight must be finite and ≥ 0, got {w}"
+                );
                 w
             })
             .sum();

@@ -183,7 +183,10 @@ impl MarkovGen {
     pub fn new(states: Vec<(Addr, u64)>, transitions: Vec<Vec<f64>>, seed: u64) -> Self {
         let k = states.len();
         assert!(k > 0, "need at least one state");
-        assert!(states.iter().all(|&(_, m)| m > 0), "working sets must be non-empty");
+        assert!(
+            states.iter().all(|&(_, m)| m > 0),
+            "working sets must be non-empty"
+        );
         assert_eq!(transitions.len(), k, "square transition matrix required");
         let mut flat = Vec::with_capacity(k * k);
         for row in &transitions {
@@ -282,7 +285,10 @@ pub struct ReuseProfile {
 impl ReuseProfile {
     /// A profile with the given components.
     pub fn new(components: Vec<DistanceComponent>) -> Self {
-        assert!(!components.is_empty(), "profile needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "profile needs at least one component"
+        );
         assert!(
             components.iter().any(|c| c.weight > 0.0),
             "profile needs positive total weight"
@@ -506,7 +512,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "stochastic")]
     fn markov_gen_rejects_bad_matrix() {
-        MarkovGen::new(vec![(0, 8), (100, 8)], vec![vec![0.5, 0.4], vec![0.5, 0.5]], 1);
+        MarkovGen::new(
+            vec![(0, 8), (100, 8)],
+            vec![vec![0.5, 0.4], vec![0.5, 0.5]],
+            1,
+        );
     }
 
     #[test]
@@ -528,7 +538,10 @@ mod tests {
             },
             DistanceComponent {
                 weight: 0.3,
-                kind: ComponentKind::Pareto { scale: 10.0, shape: 1.2 },
+                kind: ComponentKind::Pareto {
+                    scale: 10.0,
+                    shape: 1.2,
+                },
             },
         ]);
         let a = StackDistGen::new(2000, 200, profile.clone(), 77).take_trace(2000);

@@ -1,28 +1,77 @@
-//! Binary trace file format.
+//! Binary trace file formats.
 //!
 //! The paper streams traces through a pipe rather than storing them ("traces
 //! stored for offline analysis can easily contain 100 billion references"),
 //! but a file format is still needed for reproducible experiments and the
-//! CLI. Layout:
+//! CLI. Both versions share a 24-byte header:
 //!
 //! ```text
 //! magic   8 bytes  "PARDATRC"
-//! version u32 LE   currently 1
+//! version u32 LE   1 or 2
 //! encoding u32 LE  0 = raw u64 LE addresses, 1 = zig-zag delta varint
 //! count   u64 LE   number of references
-//! payload ...
 //! ```
 //!
-//! The varint-delta encoding exploits spatial locality: consecutive
-//! addresses in real traces are near each other, so deltas are small and
-//! most references cost 1–2 bytes instead of 8.
+//! **Version 1** follows the header with one flat payload: either `count`
+//! little-endian u64 words, or a single delta-varint stream. The
+//! varint-delta encoding exploits spatial locality: consecutive addresses in
+//! real traces are near each other, so deltas are small and most references
+//! cost 1–2 bytes instead of 8.
+//!
+//! **Version 2** splits the payload into independently decodable *frames* of
+//! [`FRAME_REFS`] references. Each frame starts with an inline header
+//! (`count` u32 LE, `payload_len` u32 LE) and, for the delta encoding,
+//! resets the delta baseline to zero — so any frame can be decoded knowing
+//! only its bytes. A seekable index closes the file:
+//!
+//! ```text
+//! frames  count u32 | payload_len u32 | payload ...   (repeated)
+//! index   offset u64 | count u32 | len u32            (one entry per frame)
+//! nframes u64 LE
+//! magic   8 bytes  "PARDAIDX"
+//! ```
+//!
+//! The footer is found by reading the last 16 bytes, which makes two fast
+//! paths possible: [`decode_trace`] decodes all frames of an in-memory v2
+//! image in parallel, and [`crate::stream::FramedStream`] decodes frames on
+//! background threads while an analyzer consumes earlier ones.
 
 use crate::{Addr, Trace};
+use rayon::prelude::*;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"PARDATRC";
 const VERSION: u32 = 1;
+const VERSION_V2: u32 = 2;
+const FOOTER_MAGIC: &[u8; 8] = b"PARDAIDX";
+
+/// References per v2 frame: big enough that per-frame overhead (8-byte
+/// header, one absolute-address varint) vanishes, small enough that a 10M
+/// reference trace still fans out over ~150 frames.
+pub const FRAME_REFS: usize = 65_536;
+
+/// Fixed file header: magic + version + encoding + count.
+const HEADER_LEN: u64 = 24;
+/// Inline v2 frame header: count u32 + payload_len u32.
+pub(crate) const FRAME_HEADER_LEN: u64 = 8;
+/// Footer index entry: offset u64 + count u32 + len u32.
+const INDEX_ENTRY_LEN: u64 = 16;
+/// Cap for `Vec::with_capacity` from untrusted header counts.
+const PREALLOC_CAP: usize = 1 << 22;
+
+pub(crate) fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// A payload cut off mid-value is corrupt data, not a clean end-of-stream.
+pub(crate) fn eof_is_corruption(e: io::Error, what: &str) -> io::Error {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        invalid(format!("truncated {what}"))
+    } else {
+        e
+    }
+}
 
 /// Payload encoding selector.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,10 +94,7 @@ impl Encoding {
         match v {
             0 => Ok(Encoding::Raw),
             1 => Ok(Encoding::DeltaVarint),
-            other => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unknown trace encoding {other}"),
-            )),
+            other => Err(invalid(format!("unknown trace encoding {other}"))),
         }
     }
 }
@@ -74,24 +120,74 @@ fn write_varint<W: Write>(mut w: W, mut v: u64) -> io::Result<()> {
     }
 }
 
+#[inline]
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read one LEB128 varint. A u64 needs at most 10 bytes and the 10th byte
+/// can only contribute the top bit, so anything longer or larger is
+/// rejected as `InvalidData` rather than silently truncated; EOF inside a
+/// value is reported as `InvalidData` too.
 fn read_varint<R: Read>(mut r: R) -> io::Result<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
         let mut byte = [0u8; 1];
-        r.read_exact(&mut byte)?;
-        if shift >= 64 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "varint overflow"));
+        r.read_exact(&mut byte).map_err(|e| {
+            if shift > 0 {
+                eof_is_corruption(e, "varint")
+            } else {
+                e
+            }
+        })?;
+        let b = byte[0];
+        if shift == 63 && (b & 0x7f) > 1 {
+            return Err(invalid("varint overflows 64 bits"));
         }
-        v |= ((byte[0] & 0x7f) as u64) << shift;
-        if byte[0] & 0x80 == 0 {
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
             return Ok(v);
         }
         shift += 7;
+        if shift > 63 {
+            return Err(invalid("varint longer than 10 bytes"));
+        }
     }
 }
 
-/// Serialize a trace to a writer.
+/// Slice-based varint decode for the in-memory frame paths; same
+/// validation as [`read_varint`], without per-byte reader dispatch.
+#[inline]
+fn decode_varint_slice(buf: &[u8], pos: &mut usize) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*pos).ok_or_else(|| invalid("truncated varint"))?;
+        *pos += 1;
+        if shift == 63 && (b & 0x7f) > 1 {
+            return Err(invalid("varint overflows 64 bits"));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(invalid("varint longer than 10 bytes"));
+        }
+    }
+}
+
+/// Serialize a trace to a writer in format v1.
 pub fn write_trace<W: Write>(w: W, trace: &Trace, encoding: Encoding) -> io::Result<()> {
     let mut w = BufWriter::new(w);
     w.write_all(MAGIC)?;
@@ -116,57 +212,469 @@ pub fn write_trace<W: Write>(w: W, trace: &Trace, encoding: Encoding) -> io::Res
     w.flush()
 }
 
-/// Deserialize a trace from a reader.
-pub fn read_trace<R: Read>(r: R) -> io::Result<Trace> {
-    let mut r = BufReader::new(r);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
-    }
-    let mut word = [0u8; 4];
-    r.read_exact(&mut word)?;
-    let version = u32::from_le_bytes(word);
-    if version != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported trace version {version}"),
-        ));
-    }
-    r.read_exact(&mut word)?;
-    let encoding = Encoding::from_u32(u32::from_le_bytes(word))?;
-    let mut qword = [0u8; 8];
-    r.read_exact(&mut qword)?;
-    let count = u64::from_le_bytes(qword) as usize;
-
-    let mut addrs = Vec::with_capacity(count);
+/// Encode one frame's payload; the delta baseline resets to zero so frames
+/// decode independently (the first reference costs one absolute varint).
+fn encode_frame(addrs: &[Addr], encoding: Encoding, out: &mut Vec<u8>) {
     match encoding {
         Encoding::Raw => {
-            for _ in 0..count {
-                r.read_exact(&mut qword)?;
-                addrs.push(u64::from_le_bytes(qword));
+            out.reserve(addrs.len() * 8);
+            for &a in addrs {
+                out.extend_from_slice(&a.to_le_bytes());
             }
         }
         Encoding::DeltaVarint => {
             let mut prev: Addr = 0;
-            for _ in 0..count {
-                let delta = zigzag_decode(read_varint(&mut r)?);
+            for &a in addrs {
+                let delta = a.wrapping_sub(prev) as i64;
+                push_varint(out, zigzag_encode(delta));
+                prev = a;
+            }
+        }
+    }
+}
+
+/// Decode one frame's payload into an exactly-sized output slice.
+pub(crate) fn decode_frame_into(
+    payload: &[u8],
+    encoding: Encoding,
+    out: &mut [Addr],
+) -> io::Result<()> {
+    match encoding {
+        Encoding::Raw => {
+            if payload.len() != out.len() * 8 {
+                return Err(invalid("raw frame length does not match its count"));
+            }
+            for (slot, bytes) in out.iter_mut().zip(payload.chunks_exact(8)) {
+                *slot = u64::from_le_bytes(bytes.try_into().unwrap());
+            }
+        }
+        Encoding::DeltaVarint => {
+            let mut pos = 0usize;
+            let mut prev: Addr = 0;
+            for slot in out.iter_mut() {
+                let delta = zigzag_decode(decode_varint_slice(payload, &mut pos)?);
                 prev = prev.wrapping_add(delta as u64);
-                addrs.push(prev);
+                *slot = prev;
+            }
+            if pos != payload.len() {
+                return Err(invalid("trailing bytes in frame payload"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Location and size of one v2 frame, as recorded in the footer index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct FrameIndexEntry {
+    /// File offset of the frame's inline header.
+    pub offset: u64,
+    /// References in the frame.
+    pub count: u32,
+    /// Encoded payload bytes (excluding the inline header).
+    pub len: u32,
+}
+
+/// Parsed 24-byte file header.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TraceHeader {
+    pub version: u32,
+    pub encoding: Encoding,
+    pub count: u64,
+}
+
+pub(crate) fn parse_header(bytes: &[u8]) -> io::Result<TraceHeader> {
+    if bytes.len() < HEADER_LEN as usize {
+        return Err(invalid("trace shorter than its header"));
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(invalid("bad trace magic"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != VERSION && version != VERSION_V2 {
+        return Err(invalid(format!("unsupported trace version {version}")));
+    }
+    let encoding = Encoding::from_u32(u32::from_le_bytes(bytes[12..16].try_into().unwrap()))?;
+    let count = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    Ok(TraceHeader {
+        version,
+        encoding,
+        count,
+    })
+}
+
+/// Check an index against the header: contiguous frames starting right
+/// after the file header, per-frame count/len consistent with the
+/// encoding, non-empty frames, counts summing to the header count. Returns
+/// the payload end offset (= index start).
+pub(crate) fn validate_index(entries: &[FrameIndexEntry], header: &TraceHeader) -> io::Result<u64> {
+    let mut expect_offset = HEADER_LEN;
+    let mut total: u64 = 0;
+    for e in entries {
+        if e.offset != expect_offset {
+            return Err(invalid("frame index offsets are not contiguous"));
+        }
+        if e.count == 0 {
+            return Err(invalid("empty frame in index"));
+        }
+        match header.encoding {
+            Encoding::Raw => {
+                if u64::from(e.len) != u64::from(e.count) * 8 {
+                    return Err(invalid("raw frame length does not match its count"));
+                }
+            }
+            Encoding::DeltaVarint => {
+                // Every reference costs at least one byte, which also
+                // bounds total allocation by the file size.
+                if u64::from(e.count) > u64::from(e.len) {
+                    return Err(invalid("delta frame shorter than its count"));
+                }
+            }
+        }
+        total += u64::from(e.count);
+        expect_offset += FRAME_HEADER_LEN + u64::from(e.len);
+    }
+    if total != header.count {
+        return Err(invalid(format!(
+            "frame counts sum to {total} but header says {}",
+            header.count
+        )));
+    }
+    Ok(expect_offset)
+}
+
+/// Parse and validate the footer index of an in-memory v2 image.
+pub(crate) fn parse_footer(bytes: &[u8], header: &TraceHeader) -> io::Result<Vec<FrameIndexEntry>> {
+    let min = HEADER_LEN + 8 + 8;
+    if (bytes.len() as u64) < min {
+        return Err(invalid("v2 trace shorter than its footer"));
+    }
+    if &bytes[bytes.len() - 8..] != FOOTER_MAGIC {
+        return Err(invalid("bad trace index magic"));
+    }
+    let nframes = u64::from_le_bytes(bytes[bytes.len() - 16..bytes.len() - 8].try_into().unwrap());
+    let index_bytes = nframes
+        .checked_mul(INDEX_ENTRY_LEN)
+        .ok_or_else(|| invalid("frame index overflow"))?;
+    let index_start = (bytes.len() as u64)
+        .checked_sub(16 + index_bytes)
+        .filter(|&s| s >= HEADER_LEN)
+        .ok_or_else(|| invalid("frame index larger than file"))?;
+    let mut entries = Vec::with_capacity(nframes as usize);
+    let mut at = index_start as usize;
+    for _ in 0..nframes {
+        entries.push(FrameIndexEntry {
+            offset: u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()),
+            count: u32::from_le_bytes(bytes[at + 8..at + 12].try_into().unwrap()),
+            len: u32::from_le_bytes(bytes[at + 12..at + 16].try_into().unwrap()),
+        });
+        at += INDEX_ENTRY_LEN as usize;
+    }
+    let payload_end = validate_index(&entries, header)?;
+    if payload_end != index_start {
+        return Err(invalid("frame payload does not end at the index"));
+    }
+    Ok(entries)
+}
+
+/// Read and validate a v2 file's header plus footer index via seeks,
+/// leaving the file positioned at the first frame. This is how
+/// [`crate::stream::FramedStream`] learns the frame layout without reading
+/// the payload.
+pub(crate) fn read_header_and_index(
+    f: &mut std::fs::File,
+) -> io::Result<(TraceHeader, Vec<FrameIndexEntry>)> {
+    use std::io::{Seek, SeekFrom};
+    let mut header_bytes = [0u8; HEADER_LEN as usize];
+    f.seek(SeekFrom::Start(0))?;
+    f.read_exact(&mut header_bytes)
+        .map_err(|e| eof_is_corruption(e, "trace header"))?;
+    let header = parse_header(&header_bytes)?;
+    if header.version != VERSION_V2 {
+        return Err(invalid(
+            "streaming requires a v2 framed trace (regenerate with `gen --format v2`)",
+        ));
+    }
+    let file_len = f.seek(SeekFrom::End(0))?;
+    if file_len < HEADER_LEN + 16 {
+        return Err(invalid("v2 trace shorter than its footer"));
+    }
+    let mut tail = [0u8; 16];
+    f.seek(SeekFrom::End(-16))?;
+    f.read_exact(&mut tail)?;
+    if &tail[8..] != FOOTER_MAGIC {
+        return Err(invalid("bad trace index magic"));
+    }
+    let nframes = u64::from_le_bytes(tail[..8].try_into().unwrap());
+    let index_bytes = nframes
+        .checked_mul(INDEX_ENTRY_LEN)
+        .ok_or_else(|| invalid("frame index overflow"))?;
+    let index_start = file_len
+        .checked_sub(16 + index_bytes)
+        .filter(|&s| s >= HEADER_LEN)
+        .ok_or_else(|| invalid("frame index larger than file"))?;
+    f.seek(SeekFrom::Start(index_start))?;
+    let mut raw = vec![0u8; index_bytes as usize];
+    f.read_exact(&mut raw)
+        .map_err(|e| eof_is_corruption(e, "frame index"))?;
+    let mut entries = Vec::with_capacity(nframes as usize);
+    for chunk in raw.chunks_exact(INDEX_ENTRY_LEN as usize) {
+        entries.push(FrameIndexEntry {
+            offset: u64::from_le_bytes(chunk[..8].try_into().unwrap()),
+            count: u32::from_le_bytes(chunk[8..12].try_into().unwrap()),
+            len: u32::from_le_bytes(chunk[12..16].try_into().unwrap()),
+        });
+    }
+    let payload_end = validate_index(&entries, &header)?;
+    if payload_end != index_start {
+        return Err(invalid("frame payload does not end at the index"));
+    }
+    f.seek(SeekFrom::Start(HEADER_LEN))?;
+    Ok((header, entries))
+}
+
+/// Serialize a trace in format v2 with the default [`FRAME_REFS`] framing.
+pub fn write_trace_v2<W: Write>(w: W, trace: &Trace, encoding: Encoding) -> io::Result<()> {
+    write_trace_v2_framed(w, trace, encoding, FRAME_REFS)
+}
+
+/// Serialize in format v2 with an explicit frame size (tests use tiny
+/// frames to exercise multi-frame paths cheaply). Frames are encoded in
+/// parallel — they are independent by construction — then written in order.
+pub fn write_trace_v2_framed<W: Write>(
+    w: W,
+    trace: &Trace,
+    encoding: Encoding,
+    frame_refs: usize,
+) -> io::Result<()> {
+    assert!(frame_refs > 0, "frame size must be positive");
+    let mut w = BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION_V2.to_le_bytes())?;
+    w.write_all(&encoding.to_u32().to_le_bytes())?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+
+    let chunks: Vec<&[Addr]> = trace.as_slice().chunks(frame_refs).collect();
+    let frames: Vec<Vec<u8>> = chunks
+        .par_iter()
+        .map(|chunk| {
+            let mut buf = Vec::new();
+            encode_frame(chunk, encoding, &mut buf);
+            buf
+        })
+        .collect();
+
+    let mut entries: Vec<FrameIndexEntry> = Vec::with_capacity(frames.len());
+    let mut offset = HEADER_LEN;
+    for (chunk, payload) in chunks.iter().zip(&frames) {
+        let len =
+            u32::try_from(payload.len()).map_err(|_| invalid("frame payload exceeds u32 bytes"))?;
+        w.write_all(&(chunk.len() as u32).to_le_bytes())?;
+        w.write_all(&len.to_le_bytes())?;
+        w.write_all(payload)?;
+        entries.push(FrameIndexEntry {
+            offset,
+            count: chunk.len() as u32,
+            len,
+        });
+        offset += FRAME_HEADER_LEN + u64::from(len);
+    }
+    for e in &entries {
+        w.write_all(&e.offset.to_le_bytes())?;
+        w.write_all(&e.count.to_le_bytes())?;
+        w.write_all(&e.len.to_le_bytes())?;
+    }
+    w.write_all(&(entries.len() as u64).to_le_bytes())?;
+    w.write_all(FOOTER_MAGIC)?;
+    w.flush()
+}
+
+/// Deserialize a trace from a reader; handles v1 and (sequentially) v2.
+pub fn read_trace<R: Read>(r: R) -> io::Result<Trace> {
+    let mut r = BufReader::new(r);
+    let mut header_bytes = [0u8; HEADER_LEN as usize];
+    r.read_exact(&mut header_bytes)?;
+    let header = parse_header(&header_bytes)?;
+    let count = header.count as usize;
+
+    let mut addrs = Vec::with_capacity(count.min(PREALLOC_CAP));
+    if header.version == VERSION_V2 {
+        read_v2_frames_sequential(&mut r, &header, &mut addrs)?;
+    } else {
+        match header.encoding {
+            Encoding::Raw => {
+                // Bulk path: read whole 8-byte words in large chunks rather
+                // than one read_exact per reference.
+                const CHUNK_REFS: usize = 1 << 16;
+                let mut buf = vec![0u8; 8 * count.min(CHUNK_REFS)];
+                let mut remaining = count;
+                while remaining > 0 {
+                    let take = remaining.min(CHUNK_REFS);
+                    let bytes = &mut buf[..8 * take];
+                    r.read_exact(bytes)
+                        .map_err(|e| eof_is_corruption(e, "raw payload"))?;
+                    addrs.extend(
+                        bytes
+                            .chunks_exact(8)
+                            .map(|b| u64::from_le_bytes(b.try_into().unwrap())),
+                    );
+                    remaining -= take;
+                }
+            }
+            Encoding::DeltaVarint => {
+                let mut prev: Addr = 0;
+                for _ in 0..count {
+                    let delta = zigzag_decode(
+                        read_varint(&mut r).map_err(|e| eof_is_corruption(e, "delta payload"))?,
+                    );
+                    prev = prev.wrapping_add(delta as u64);
+                    addrs.push(prev);
+                }
             }
         }
     }
     Ok(Trace::from_vec(addrs))
 }
 
-/// Write a trace to a file path.
+/// Sequential v2 path for non-seekable readers (pipes): walk the inline
+/// frame headers, then read the footer and check it matches what was seen.
+fn read_v2_frames_sequential<R: Read>(
+    r: &mut R,
+    header: &TraceHeader,
+    addrs: &mut Vec<Addr>,
+) -> io::Result<()> {
+    let count = header.count as usize;
+    let mut seen: Vec<FrameIndexEntry> = Vec::new();
+    let mut offset = HEADER_LEN;
+    let mut payload = Vec::new();
+    while addrs.len() < count {
+        let mut fh = [0u8; FRAME_HEADER_LEN as usize];
+        r.read_exact(&mut fh)
+            .map_err(|e| eof_is_corruption(e, "frame header"))?;
+        let fcount = u32::from_le_bytes(fh[..4].try_into().unwrap());
+        let flen = u32::from_le_bytes(fh[4..].try_into().unwrap());
+        if fcount == 0 {
+            return Err(invalid("empty frame in v2 trace"));
+        }
+        if addrs.len() + fcount as usize > count {
+            return Err(invalid("frame counts exceed header count"));
+        }
+        payload.resize(flen as usize, 0);
+        r.read_exact(&mut payload)
+            .map_err(|e| eof_is_corruption(e, "frame payload"))?;
+        let start = addrs.len();
+        addrs.resize(start + fcount as usize, 0);
+        decode_frame_into(&payload, header.encoding, &mut addrs[start..])?;
+        seen.push(FrameIndexEntry {
+            offset,
+            count: fcount,
+            len: flen,
+        });
+        offset += FRAME_HEADER_LEN + u64::from(flen);
+    }
+
+    // Footer: one index entry per frame seen, then nframes, then magic.
+    let mut footer = vec![0u8; seen.len() * INDEX_ENTRY_LEN as usize + 16];
+    r.read_exact(&mut footer)
+        .map_err(|e| eof_is_corruption(e, "frame index"))?;
+    for (i, e) in seen.iter().enumerate() {
+        let at = i * INDEX_ENTRY_LEN as usize;
+        let entry = FrameIndexEntry {
+            offset: u64::from_le_bytes(footer[at..at + 8].try_into().unwrap()),
+            count: u32::from_le_bytes(footer[at + 8..at + 12].try_into().unwrap()),
+            len: u32::from_le_bytes(footer[at + 12..at + 16].try_into().unwrap()),
+        };
+        if entry != *e {
+            return Err(invalid("frame index disagrees with frame headers"));
+        }
+    }
+    let tail = &footer[seen.len() * INDEX_ENTRY_LEN as usize..];
+    let nframes = u64::from_le_bytes(tail[..8].try_into().unwrap());
+    if nframes != seen.len() as u64 {
+        return Err(invalid("frame index count disagrees with frames read"));
+    }
+    if &tail[8..] != FOOTER_MAGIC {
+        return Err(invalid("bad trace index magic"));
+    }
+    Ok(())
+}
+
+/// Decode a complete in-memory trace image (either version). For v2 the
+/// frames are decoded in parallel: each frame gets a disjoint slice of the
+/// preallocated output, sized from the validated footer index.
+pub fn decode_trace(bytes: &[u8]) -> io::Result<Trace> {
+    let header = parse_header(bytes)?;
+    if header.version != VERSION_V2 {
+        // v1 has no frame structure; decode the flat payload sequentially
+        // (still slice-based, so no per-byte reader overhead).
+        return read_trace(bytes);
+    }
+    let entries = parse_footer(bytes, &header)?;
+    let count = header.count as usize;
+    let mut out = vec![0u64; count];
+
+    let mut slices: Vec<&mut [Addr]> = Vec::with_capacity(entries.len());
+    let mut rest = out.as_mut_slice();
+    for e in &entries {
+        let (head, tail) = rest.split_at_mut(e.count as usize);
+        slices.push(head);
+        rest = tail;
+    }
+
+    let jobs: Vec<(FrameIndexEntry, &mut [Addr])> = entries.iter().copied().zip(slices).collect();
+    let results: Vec<io::Result<()>> = jobs
+        .into_par_iter()
+        .map(|(e, slice)| {
+            let at = e.offset as usize;
+            let fh = &bytes[at..at + FRAME_HEADER_LEN as usize];
+            let fcount = u32::from_le_bytes(fh[..4].try_into().unwrap());
+            let flen = u32::from_le_bytes(fh[4..].try_into().unwrap());
+            if fcount != e.count || flen != e.len {
+                return Err(invalid("frame header disagrees with index"));
+            }
+            let payload = &bytes[at + FRAME_HEADER_LEN as usize
+                ..at + (FRAME_HEADER_LEN + u64::from(flen)) as usize];
+            decode_frame_into(payload, header.encoding, slice)
+        })
+        .collect();
+    for r in results {
+        r?;
+    }
+    Ok(Trace::from_vec(out))
+}
+
+/// Write a trace to a file path in format v1.
 pub fn save_trace<P: AsRef<Path>>(path: P, trace: &Trace, encoding: Encoding) -> io::Result<()> {
     write_trace(std::fs::File::create(path)?, trace, encoding)
 }
 
-/// Read a trace from a file path.
+/// Write a trace to a file path in format v2 (framed).
+pub fn save_trace_v2<P: AsRef<Path>>(path: P, trace: &Trace, encoding: Encoding) -> io::Result<()> {
+    write_trace_v2(std::fs::File::create(path)?, trace, encoding)
+}
+
+/// Read the format version of a trace file from its header.
+pub fn peek_version<P: AsRef<Path>>(path: P) -> io::Result<u32> {
+    let mut f = std::fs::File::open(path)?;
+    let mut head = [0u8; 12];
+    f.read_exact(&mut head)
+        .map_err(|e| eof_is_corruption(e, "trace header"))?;
+    if &head[..8] != MAGIC {
+        return Err(invalid("bad trace magic"));
+    }
+    Ok(u32::from_le_bytes(head[8..12].try_into().unwrap()))
+}
+
+/// Read a trace from a file path. v2 files are read whole and decoded with
+/// [`decode_trace`]'s parallel frame path; v1 files go through the legacy
+/// streaming reader.
 pub fn load_trace<P: AsRef<Path>>(path: P) -> io::Result<Trace> {
-    read_trace(std::fs::File::open(path)?)
+    let path = path.as_ref();
+    if peek_version(path)? == VERSION_V2 {
+        decode_trace(&std::fs::read(path)?)
+    } else {
+        read_trace(std::fs::File::open(path)?)
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +686,18 @@ mod tests {
         let mut buf = Vec::new();
         write_trace(&mut buf, trace, encoding).unwrap();
         read_trace(buf.as_slice()).unwrap()
+    }
+
+    fn round_trip_v2(trace: &Trace, encoding: Encoding, frame_refs: usize) -> Trace {
+        let mut buf = Vec::new();
+        write_trace_v2_framed(&mut buf, trace, encoding, frame_refs).unwrap();
+        let parallel = decode_trace(&buf).unwrap();
+        let sequential = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(
+            parallel, sequential,
+            "parallel and sequential v2 decode differ"
+        );
+        parallel
     }
 
     #[test]
@@ -235,6 +755,38 @@ mod tests {
     }
 
     #[test]
+    fn overlong_varint_is_invalid_data() {
+        // Header for a 1-reference delta trace followed by eleven
+        // continuation bytes: a valid u64 varint never exceeds ten.
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &Trace::new(), Encoding::DeltaVarint).unwrap();
+        buf[16..24].copy_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&[0x80; 11]);
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Ten bytes whose final byte carries more than the one allowed bit
+        // would overflow 64 bits.
+        let mut overflow = Vec::new();
+        write_trace(&mut overflow, &Trace::new(), Encoding::DeltaVarint).unwrap();
+        overflow[16..24].copy_from_slice(&1u64.to_le_bytes());
+        overflow.extend_from_slice(&[0x80; 9]);
+        overflow.push(0x02);
+        let err = read_trace(overflow.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_varint_is_invalid_data_not_eof() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &Trace::new(), Encoding::DeltaVarint).unwrap();
+        buf[16..24].copy_from_slice(&1u64.to_le_bytes());
+        buf.push(0x80); // continuation bit set, then EOF
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
     fn zigzag_is_involutive_on_edges() {
         for v in [0i64, 1, -1, i64::MAX, i64::MIN, 1234567, -7654321] {
             assert_eq!(zigzag_decode(zigzag_encode(v)), v);
@@ -252,12 +804,90 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
     }
 
+    #[test]
+    fn v2_round_trips_across_frame_shapes() {
+        for encoding in [Encoding::Raw, Encoding::DeltaVarint] {
+            // Empty trace: zero frames, footer only.
+            let empty = Trace::new();
+            assert_eq!(round_trip_v2(&empty, encoding, 8), empty);
+            // Single partial frame.
+            let small = Trace::from_vec(vec![9, 9, u64::MAX, 0]);
+            assert_eq!(round_trip_v2(&small, encoding, 8), small);
+            // Exactly one full frame.
+            let exact: Trace = (0..8u64).collect();
+            assert_eq!(round_trip_v2(&exact, encoding, 8), exact);
+            // Many frames plus a partial tail straddling the boundary.
+            let big: Trace = (0..1000u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+            assert_eq!(round_trip_v2(&big, encoding, 8), big);
+        }
+    }
+
+    #[test]
+    fn v2_default_framing_straddles_frame_boundary() {
+        let n = FRAME_REFS + FRAME_REFS / 2;
+        let t: Trace = (0..n as u64).map(|i| 0x4000_0000 + i * 16).collect();
+        let mut buf = Vec::new();
+        write_trace_v2(&mut buf, &t, Encoding::DeltaVarint).unwrap();
+        assert_eq!(decode_trace(&buf).unwrap(), t);
+    }
+
+    #[test]
+    fn v2_save_load_via_path_uses_parallel_decode() {
+        let dir = std::env::temp_dir().join("parda-trace-io-test-v2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t2.trc");
+        let t: Trace = (0..5000u64).map(|i| i * 7 % 1024).collect();
+        save_trace_v2(&path, &t, Encoding::DeltaVarint).unwrap();
+        assert_eq!(peek_version(&path).unwrap(), 2);
+        assert_eq!(load_trace(&path).unwrap(), t);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v2_corruption_is_detected() {
+        let t: Trace = (0..100u64).collect();
+        let mut buf = Vec::new();
+        write_trace_v2_framed(&mut buf, &t, Encoding::DeltaVarint, 16).unwrap();
+
+        let mut bad_footer = buf.clone();
+        let n = bad_footer.len();
+        bad_footer[n - 1] = b'!';
+        assert!(decode_trace(&bad_footer).is_err());
+
+        let mut truncated = buf.clone();
+        truncated.truncate(truncated.len() - 20);
+        assert!(decode_trace(&truncated).is_err());
+
+        // Header count disagreeing with the frame counts.
+        let mut miscounted = buf.clone();
+        miscounted[16..24].copy_from_slice(&99u64.to_le_bytes());
+        assert!(decode_trace(&miscounted).is_err());
+        assert!(read_trace(miscounted.as_slice()).is_err());
+    }
+
     proptest! {
         #[test]
         fn any_trace_round_trips_both_encodings(addrs in proptest::collection::vec(any::<u64>(), 0..300)) {
             let t = Trace::from_vec(addrs);
             prop_assert_eq!(round_trip(&t, Encoding::Raw), t.clone());
             prop_assert_eq!(round_trip(&t, Encoding::DeltaVarint), t);
+        }
+
+        /// v2 (any frame size) and v1 agree with each other and the source,
+        /// covering empty traces, single frames, and frame-straddling tails.
+        #[test]
+        fn v2_matches_v1_and_memory(
+            addrs in proptest::collection::vec(any::<u64>(), 0..300),
+            frame_refs in 1usize..70,
+        ) {
+            let t = Trace::from_vec(addrs);
+            for encoding in [Encoding::Raw, Encoding::DeltaVarint] {
+                let via_v1 = round_trip(&t, encoding);
+                let via_v2 = round_trip_v2(&t, encoding, frame_refs);
+                prop_assert_eq!(&via_v1, &t);
+                prop_assert_eq!(&via_v2, &t);
+                prop_assert_eq!(via_v1, via_v2);
+            }
         }
     }
 }

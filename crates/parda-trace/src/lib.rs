@@ -13,7 +13,10 @@
 //! * [`spec`] — per-benchmark workload models carrying the paper's Table IV
 //!   parameters (M, N, original runtime) plus a locality profile, scaled to
 //!   laptop-size traces;
-//! * [`io`] — a compact binary trace format (raw or delta-varint encoded);
+//! * [`io`] — compact binary trace formats: flat v1 (raw or delta-varint)
+//!   and block-framed v2 with a seekable index and parallel frame decode;
+//! * [`stream`] — [`stream::FramedStream`], an [`AddressStream`] that
+//!   decodes v2 frames on background threads while the analyzer runs;
 //! * [`LruStack`] — an O(log M) indexable LRU stack (Fenwick-backed) used
 //!   by the generators to realize target distance distributions.
 
@@ -23,10 +26,11 @@ pub mod io;
 pub mod lru_stack;
 pub mod spec;
 pub mod stats;
+pub mod stream;
 pub mod xform;
 
-pub use parda_tree::fenwick::{self, Fenwick};
 pub use lru_stack::LruStack;
+pub use parda_tree::fenwick::{self, Fenwick};
 pub use stats::TraceStats;
 
 /// A data address (word-granular in the paper's experiments).
@@ -211,7 +215,10 @@ mod tests {
     #[test]
     fn from_labels_matches_bytes() {
         let t = Trace::from_labels("dacb");
-        assert_eq!(t.as_slice(), &[b'd' as u64, b'a' as u64, b'c' as u64, b'b' as u64]);
+        assert_eq!(
+            t.as_slice(),
+            &[b'd' as u64, b'a' as u64, b'c' as u64, b'b' as u64]
+        );
         assert_eq!(t.len(), 4);
         assert_eq!(t.distinct(), 4);
     }
@@ -239,7 +246,10 @@ mod tests {
     fn chunks_with_more_parts_than_items() {
         let t: Trace = (0..2u64).collect();
         let chunks = t.chunks(5);
-        assert_eq!(chunks.iter().map(|c| c.len()).collect::<Vec<_>>(), vec![1, 1, 0, 0, 0]);
+        assert_eq!(
+            chunks.iter().map(|c| c.len()).collect::<Vec<_>>(),
+            vec![1, 1, 0, 0, 0]
+        );
     }
 
     #[test]

@@ -95,7 +95,11 @@ impl LruStack {
     /// Touch the element at `depth`, moving it to the top. Returns its
     /// address. Panics if `depth >= len()`.
     pub fn access_depth(&mut self, depth: usize) -> Addr {
-        assert!(depth < self.live, "depth {depth} out of range (len {})", self.live);
+        assert!(
+            depth < self.live,
+            "depth {depth} out of range (len {})",
+            self.live
+        );
         let rank = (self.live - depth) as u64;
         let slot = self.fenwick.select(rank).expect("rank within total");
         let addr = self.slots[slot];

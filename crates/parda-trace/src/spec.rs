@@ -86,7 +86,10 @@ impl LocalityClass {
                 },
                 DistanceComponent {
                     weight: 0.10,
-                    kind: ComponentKind::Uniform { lo: m / 2, hi: m - 1 },
+                    kind: ComponentKind::Uniform {
+                        lo: m / 2,
+                        hi: m - 1,
+                    },
                 },
             ]),
             LocalityClass::Mixed => ReuseProfile::new(vec![
@@ -211,21 +214,171 @@ macro_rules! bench {
 
 /// The 15 benchmarks of the paper's Table IV, with its measured values.
 pub static SPEC2006: [SpecBenchmark; 15] = [
-    bench!("perlbench", 23_857_981, 11_194_845_654, 5.93, 106.43, 180.71, 7624.85, 243.42, Mixed),
-    bench!("bzip2", 11_425_324, 8_311_245_775, 5.41, 59.13, 86.88, 6939.13, 180.91, Blocked),
-    bench!("gcc", 4_530_518, 1_328_074_710, 1.34, 25.99, 30.53, 475.50, 67.25, Mixed),
-    bench!("mcf", 55_675_001, 9_552_209_709, 19.49, 85.09, 153.69, 5898.61, 268.29, PointerChasing),
-    bench!("milc", 12_081_037, 13_232_307_302, 17.11, 105.44, 185.09, 9746.86, 365.60, Streaming),
-    bench!("namd", 7_204_133, 22_067_031_445, 15.87, 152.11, 282.85, 7936.16, 431.55, Blocked),
-    bench!("gobmk", 3_758_950, 7_149_796_931, 6.83, 80.65, 108.50, 2798.21, 186.21, Mixed),
-    bench!("dealII", 31_386_407, 66_801_413_934, 39.59, 522.24, 674.06, 20542.37, 1250.43, Blocked),
-    bench!("soplex", 18_858_173, 3_432_521_697, 3.87, 32.25, 52.24, 187.19, 102.59, Mixed),
-    bench!("povray", 616_821, 15_871_518_510, 12.69, 133.96, 238.53, 7503.35, 307.91, SmallFootprint),
-    bench!("calculix", 10_366_947, 2_511_568_698, 2.18, 24.45, 42.18, 1771.96, 78.74, Blocked),
-    bench!("libquantum", 570_074, 1_700_539_806, 2.43, 13.56, 26.93, 715.78, 58.81, SmallFootprint),
-    bench!("lbm", 53_628_988, 48_739_982_166, 43.47, 339.75, 674.09, 26858.27, 1211.35, Streaming),
-    bench!("astar", 48_641_983, 54_587_054_078, 59.29, 468.92, 776.14, 23275.32, 1107.70, PointerChasing),
-    bench!("sphinx3", 8_625_694, 12_284_649_018, 12.24, 91.44, 174.105, 15331.22, 290.51, Mixed),
+    bench!(
+        "perlbench",
+        23_857_981,
+        11_194_845_654,
+        5.93,
+        106.43,
+        180.71,
+        7624.85,
+        243.42,
+        Mixed
+    ),
+    bench!(
+        "bzip2",
+        11_425_324,
+        8_311_245_775,
+        5.41,
+        59.13,
+        86.88,
+        6939.13,
+        180.91,
+        Blocked
+    ),
+    bench!(
+        "gcc",
+        4_530_518,
+        1_328_074_710,
+        1.34,
+        25.99,
+        30.53,
+        475.50,
+        67.25,
+        Mixed
+    ),
+    bench!(
+        "mcf",
+        55_675_001,
+        9_552_209_709,
+        19.49,
+        85.09,
+        153.69,
+        5898.61,
+        268.29,
+        PointerChasing
+    ),
+    bench!(
+        "milc",
+        12_081_037,
+        13_232_307_302,
+        17.11,
+        105.44,
+        185.09,
+        9746.86,
+        365.60,
+        Streaming
+    ),
+    bench!(
+        "namd",
+        7_204_133,
+        22_067_031_445,
+        15.87,
+        152.11,
+        282.85,
+        7936.16,
+        431.55,
+        Blocked
+    ),
+    bench!(
+        "gobmk",
+        3_758_950,
+        7_149_796_931,
+        6.83,
+        80.65,
+        108.50,
+        2798.21,
+        186.21,
+        Mixed
+    ),
+    bench!(
+        "dealII",
+        31_386_407,
+        66_801_413_934,
+        39.59,
+        522.24,
+        674.06,
+        20542.37,
+        1250.43,
+        Blocked
+    ),
+    bench!(
+        "soplex",
+        18_858_173,
+        3_432_521_697,
+        3.87,
+        32.25,
+        52.24,
+        187.19,
+        102.59,
+        Mixed
+    ),
+    bench!(
+        "povray",
+        616_821,
+        15_871_518_510,
+        12.69,
+        133.96,
+        238.53,
+        7503.35,
+        307.91,
+        SmallFootprint
+    ),
+    bench!(
+        "calculix",
+        10_366_947,
+        2_511_568_698,
+        2.18,
+        24.45,
+        42.18,
+        1771.96,
+        78.74,
+        Blocked
+    ),
+    bench!(
+        "libquantum",
+        570_074,
+        1_700_539_806,
+        2.43,
+        13.56,
+        26.93,
+        715.78,
+        58.81,
+        SmallFootprint
+    ),
+    bench!(
+        "lbm",
+        53_628_988,
+        48_739_982_166,
+        43.47,
+        339.75,
+        674.09,
+        26858.27,
+        1211.35,
+        Streaming
+    ),
+    bench!(
+        "astar",
+        48_641_983,
+        54_587_054_078,
+        59.29,
+        468.92,
+        776.14,
+        23275.32,
+        1107.70,
+        PointerChasing
+    ),
+    bench!(
+        "sphinx3",
+        8_625_694,
+        12_284_649_018,
+        12.24,
+        91.44,
+        174.105,
+        15331.22,
+        290.51,
+        Mixed
+    ),
 ];
 
 #[cfg(test)]

@@ -33,12 +33,7 @@ pub fn filter_range(trace: &Trace, start: Addr, end: Addr) -> Trace {
 /// `parda_core::sampled`; exposed for comparison experiments).
 pub fn decimate(trace: &Trace, k: usize) -> Trace {
     assert!(k > 0);
-    trace
-        .as_slice()
-        .iter()
-        .copied()
-        .step_by(k)
-        .collect()
+    trace.as_slice().iter().copied().step_by(k).collect()
 }
 
 /// Concatenate traces back to back (e.g. repeated program runs).
@@ -95,8 +90,8 @@ mod tests {
     fn line_granularity_shrinks_distances() {
         use crate::{AddressStream, SliceStream};
         let _ = SliceStream::new(&[]); // silence unused import if cfg changes
-        // A sequential byte scan: word-granular distances are ∞ (no reuse),
-        // line-granular shows 7 repeats per 64-byte line at distance 0.
+                                       // A sequential byte scan: word-granular distances are ∞ (no reuse),
+                                       // line-granular shows 7 repeats per 64-byte line at distance 0.
         let t: Trace = (0..512u64).step_by(8).collect();
         assert_eq!(t.distinct(), 64);
         let lines = to_lines(&t, 6);

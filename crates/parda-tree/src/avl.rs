@@ -350,7 +350,11 @@ mod tests {
         }
         // A perfectly balanced tree of 4096 nodes has height 13; AVL
         // guarantees ≤ 1.44 log2(n) ≈ 17.
-        assert!(tree.height(tree.root) <= 17, "height {}", tree.height(tree.root));
+        assert!(
+            tree.height(tree.root) <= 17,
+            "height {}",
+            tree.height(tree.root)
+        );
         tree.validate();
     }
 
@@ -389,7 +393,10 @@ mod tests {
         assert_eq!(tree.remove(50), Some(51));
         tree.validate();
         assert_eq!(
-            tree.to_sorted_vec().iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            tree.to_sorted_vec()
+                .iter()
+                .map(|&(t, _)| t)
+                .collect::<Vec<_>>(),
             vec![20, 30, 40, 60, 70, 80]
         );
     }

@@ -227,7 +227,11 @@ pub(crate) mod conformance {
                 }
                 Op::DistanceAndRemove(ts) => {
                     let expect = model.remove(ts).map(|addr| (model.distance(ts), addr));
-                    assert_eq!(tree.distance_and_remove(ts), expect, "distance_and_remove({ts})");
+                    assert_eq!(
+                        tree.distance_and_remove(ts),
+                        expect,
+                        "distance_and_remove({ts})"
+                    );
                 }
                 Op::Oldest => {
                     assert_eq!(tree.oldest(), model.oldest(), "oldest");

@@ -61,7 +61,10 @@ impl NaiveStack {
 
     /// Peek at the reuse distance `addr` *would* have, without updating.
     pub fn peek(&self, addr: u64) -> Option<u64> {
-        self.entries.iter().position(|&a| a == addr).map(|p| p as u64)
+        self.entries
+            .iter()
+            .position(|&a| a == addr)
+            .map(|p| p as u64)
     }
 
     /// Number of distinct addresses seen so far.

@@ -194,7 +194,11 @@ impl SplayTree {
         let old = self.root;
         debug_assert_ne!(old, NIL);
         let Node {
-            ts, addr, left, right, ..
+            ts,
+            addr,
+            left,
+            right,
+            ..
         } = self.nodes[old as usize];
         if left != NIL {
             self.nodes[left as usize].parent = NIL;
@@ -427,8 +431,15 @@ mod tests {
         // the tree holds {0:d, 1:a, 3:b, 5:c, 6:g, 7:e, 8:f} and the reuse
         // distance of the second `a` (previous access at ts 1) is 5.
         let mut tree = SplayTree::new();
-        for (ts, addr) in [(0, b'd'), (1, b'a'), (3, b'b'), (5, b'c'), (6, b'g'), (7, b'e'), (8, b'f')]
-        {
+        for (ts, addr) in [
+            (0, b'd'),
+            (1, b'a'),
+            (3, b'b'),
+            (5, b'c'),
+            (6, b'g'),
+            (7, b'e'),
+            (8, b'f'),
+        ] {
             tree.insert(ts, addr as u64);
         }
         assert_eq!(tree.distance(1), 5);

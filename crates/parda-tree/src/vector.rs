@@ -111,7 +111,9 @@ impl VectorTree {
     /// Structural self-check for tests: ts order, fenwick/live agreement.
     #[doc(hidden)]
     pub fn validate(&self) {
-        assert!(self.slots[..self.used].windows(2).all(|w| w[0].ts < w[1].ts));
+        assert!(self.slots[..self.used]
+            .windows(2)
+            .all(|w| w[0].ts < w[1].ts));
         let live = self.slots[..self.used]
             .iter()
             .filter(|s| s.addr != EMPTY_ADDR)

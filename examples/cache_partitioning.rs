@@ -43,7 +43,10 @@ fn main() {
 
     // Sweep every partition point and pick the predicted optimum.
     let mut best = (granularity, u64::MAX);
-    println!("\n{:>8} {:>12} {:>12} {:>12}", "A lines", "A misses", "B misses", "total");
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>12}",
+        "A lines", "A misses", "B misses", "total"
+    );
     let mut c_a = granularity;
     while c_a < shared_capacity {
         let ma = hist_a.miss_count(c_a);
@@ -69,10 +72,9 @@ fn main() {
         let mut cache = LruCache::new(lines as usize);
         cache.run_trace(trace.as_slice()).misses
     };
-    let sim_best =
-        simulate(&trace_a, best_a) + simulate(&trace_b, shared_capacity - best_a);
-    let sim_even = simulate(&trace_a, shared_capacity / 2)
-        + simulate(&trace_b, shared_capacity / 2);
+    let sim_best = simulate(&trace_a, best_a) + simulate(&trace_b, shared_capacity - best_a);
+    let sim_even =
+        simulate(&trace_a, shared_capacity / 2) + simulate(&trace_b, shared_capacity / 2);
     assert_eq!(sim_best, best_total, "MRC prediction must match simulation");
     println!(
         "simulated: optimal partition {sim_best} misses vs even split {sim_even} \

@@ -31,11 +31,12 @@ fn report(name: &str, trace: &Trace) {
         let full = simulate(trace, 1, lines);
         let eight_way = simulate(trace, lines / 8, 8);
         let direct = simulate(trace, lines, 1);
-        println!(
-            "{lines:>8} {predicted:>12.4} {full:>12.4} {eight_way:>12.4} {direct:>12.4}"
-        );
+        println!("{lines:>8} {predicted:>12.4} {full:>12.4} {eight_way:>12.4} {direct:>12.4}");
         // The MRC *is* the fully associative simulation.
-        assert!((predicted - full).abs() < 1e-12, "MRC must match LRU exactly");
+        assert!(
+            (predicted - full).abs() < 1e-12,
+            "MRC must match LRU exactly"
+        );
     }
 }
 

@@ -29,7 +29,10 @@ fn main() {
 
     println!("miss ratio curve:");
     for (capacity, miss_ratio) in hist.miss_ratio_curve(&[64, 256, 1024, 4096, 16384, 65536]) {
-        println!("  {capacity:>6}-line LRU cache -> {:.1}% misses", miss_ratio * 100.0);
+        println!(
+            "  {capacity:>6}-line LRU cache -> {:.1}% misses",
+            miss_ratio * 100.0
+        );
     }
 
     // 4. Model a whole cache hierarchy from the same histogram: per-level

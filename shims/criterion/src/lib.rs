@@ -1,0 +1,321 @@
+//! Offline stand-in for `criterion`'s benchmark harness.
+//!
+//! Mirrors the API the workspace's benches use (`criterion_group!`,
+//! `criterion_main!`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput`, `BenchmarkId`) with two modes, chosen
+//! the same way cargo drives real criterion:
+//!
+//! - `cargo bench` passes `--bench`: every benchmark runs a warmup plus
+//!   `sample_size` timed samples and reports the median (and throughput
+//!   when configured).
+//! - `cargo test` passes no flag: each benchmark body runs once as a smoke
+//!   test, so the tier-1 suite stays fast while still catching panics.
+//!
+//! A positional argument filters benchmarks by substring, like libtest.
+
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Smoke,
+    Measure,
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for groups benchmarking one function).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Smoke;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg == "--bench" {
+                mode = Mode::Measure;
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Self { mode, filter }
+    }
+}
+
+impl Criterion {
+    /// `true` under `cargo bench` (timed samples), `false` in the smoke
+    /// runs `cargo test` performs. Benches use this to pick workload sizes:
+    /// full-scale when measuring, small when smoke-testing.
+    pub fn measuring(&self) -> bool {
+        self.mode == Mode::Measure
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self.mode, &self.filter, name, None, 20, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure under `group/name`.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{name}", self.name);
+        run_benchmark(
+            self.criterion.mode,
+            &self.criterion.filter,
+            &full,
+            self.throughput,
+            self.sample_size,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Benchmark a closure that borrows a prepared input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.text);
+        run_benchmark(
+            self.criterion.mode,
+            &self.criterion.filter,
+            &full,
+            self.throughput,
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (report separation in real criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the workload.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run the benchmarked routine: once in smoke mode, warmup + timed
+    /// samples in measure mode.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::Smoke => {
+                std::hint::black_box(f());
+            }
+            Mode::Measure => {
+                std::hint::black_box(f()); // warmup
+                for _ in 0..self.sample_size {
+                    let start = Instant::now();
+                    std::hint::black_box(f());
+                    self.samples.push(start.elapsed());
+                }
+            }
+        }
+    }
+}
+
+fn run_benchmark<F>(
+    mode: Mode,
+    filter: &Option<String>,
+    full_name: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !full_name.contains(pat.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        mode,
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if mode == Mode::Smoke {
+        return;
+    }
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{full_name:<48} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let rate = throughput.map(|t| {
+        let secs = median.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => format!("{:>10.2} Melem/s", n as f64 / secs / 1e6),
+            Throughput::Bytes(n) => format!("{:>10.2} MiB/s", n as f64 / secs / (1 << 20) as f64),
+        }
+    });
+    println!(
+        "{full_name:<48} median {:>12} {}",
+        format_duration(median),
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Define a benchmark group function invoking each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("decode", 8).text, "decode/8");
+        assert_eq!(BenchmarkId::from_parameter(64).text, "64");
+    }
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut criterion = Criterion {
+            mode: Mode::Smoke,
+            filter: None,
+        };
+        let mut group = criterion.benchmark_group("g");
+        let mut runs = 0;
+        group.bench_function("once", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut criterion = Criterion {
+            mode: Mode::Measure,
+            filter: None,
+        };
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(5).throughput(Throughput::Elements(10));
+        let mut runs = 0;
+        group.bench_function("timed", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 6, "warmup + 5 samples");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut criterion = Criterion {
+            mode: Mode::Smoke,
+            filter: Some("other".to_string()),
+        };
+        let mut group = criterion.benchmark_group("g");
+        let mut runs = 0;
+        group.bench_function("skipped", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 0);
+    }
+}

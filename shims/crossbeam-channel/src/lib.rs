@@ -1,0 +1,149 @@
+//! Offline stand-in for `crossbeam-channel`, backed by `std::sync::mpsc`.
+//!
+//! Crossbeam exposes one `Sender` type for bounded and unbounded channels;
+//! std splits them into `Sender`/`SyncSender`, so the shim's [`Sender`]
+//! wraps both behind crossbeam's unified blocking-send semantics: a send on
+//! a full bounded channel blocks (producer back-pressure), a send on a
+//! disconnected channel returns [`SendError`].
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+enum Tx<T> {
+    Unbounded(mpsc::Sender<T>),
+    Bounded(mpsc::SyncSender<T>),
+}
+
+impl<T> Clone for Tx<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Tx::Unbounded(tx) => Tx::Unbounded(tx.clone()),
+            Tx::Bounded(tx) => Tx::Bounded(tx.clone()),
+        }
+    }
+}
+
+/// Sending half of a channel. Cloneable; blocks on a full bounded channel.
+pub struct Sender<T>(Tx<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Self(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send a message, blocking while a bounded channel is full. Errors only
+    /// when every receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        match &self.0 {
+            Tx::Unbounded(tx) => tx.send(msg),
+            Tx::Bounded(tx) => tx.send(msg),
+        }
+    }
+}
+
+/// Receiving half of a channel.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives or every sender is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv()
+    }
+
+    /// Blocking receive with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.0.recv_timeout(timeout)
+    }
+
+    /// Blocking iterator over incoming messages; ends when senders drop.
+    pub fn iter(&self) -> mpsc::Iter<'_, T> {
+        self.0.iter()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = mpsc::IntoIter<T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+/// Channel with unlimited buffering: sends never block.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(Tx::Unbounded(tx)), Receiver(rx))
+}
+
+/// Channel buffering at most `cap` messages; sends block when full
+/// (`cap == 0` is a rendezvous channel, as in crossbeam).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (Sender(Tx::Bounded(tx)), Receiver(rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_delivers_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_blocks_when_full() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = std::thread::spawn(move || {
+            tx.send(3).unwrap(); // must block until a recv frees a slot
+            3
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!t.is_finished(), "send should still be blocked");
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(t.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn recv_timeout_distinguishes_timeout_from_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn cloned_senders_share_the_channel() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.iter().count(), 2);
+    }
+}

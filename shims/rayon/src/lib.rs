@@ -1,0 +1,253 @@
+//! Offline stand-in for `rayon`'s parallel iterators.
+//!
+//! Implements the slice of the rayon API this workspace uses — `par_iter`,
+//! `into_par_iter`, `zip`, `map`, `for_each`, `collect` — with real
+//! parallelism: work is split into contiguous chunks, one per worker, and
+//! executed on `std::thread::scope` threads. Order is preserved, so
+//! `collect` matches rayon's indexed semantics. Worker count follows
+//! `RAYON_NUM_THREADS` when set, else `std::thread::available_parallelism`.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Number of worker threads to use for `n` items.
+fn workers_for(n: usize) -> usize {
+    let configured = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    configured.min(n).max(1)
+}
+
+/// Map `f` over `items` on a scoped thread pool, preserving order.
+fn execute<T, O, F>(items: Vec<T>, f: &F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    let n = items.len();
+    let workers = workers_for(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous chunk per worker: sizes differ by at most one.
+    let base = n / workers;
+    let extra = n % workers;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut iter = items.into_iter();
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        chunks.push(iter.by_ref().take(size).collect());
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("rayon-shim worker panicked"));
+        }
+        out
+    })
+}
+
+/// An eager indexed parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair up with another parallel iterator of the same length, like
+    /// rayon's indexed `zip` (truncates to the shorter side).
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Lazily apply `f` to every item; runs when consumed.
+    pub fn map<O, F>(self, f: F) -> ParMap<T, F>
+    where
+        O: Send,
+        F: Fn(T) -> O + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        execute(self.items, &|item| f(item));
+    }
+
+    /// Collect the items (order-preserving).
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        C::from(self.items)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A mapped parallel iterator; executes on `collect`/`for_each`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> ParMap<T, F>
+where
+    T: Send,
+    F: Sync,
+{
+    /// Execute the map in parallel and collect results in order.
+    pub fn collect<O, C>(self) -> C
+    where
+        O: Send,
+        F: Fn(T) -> O,
+        C: From<Vec<O>>,
+    {
+        C::from(execute(self.items, &self.f))
+    }
+
+    /// Execute the map in parallel, discarding results.
+    pub fn for_each<O>(self)
+    where
+        O: Send,
+        F: Fn(T) -> O,
+    {
+        execute(self.items, &self.f);
+    }
+}
+
+/// Conversion into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+
+    /// Convert into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+/// Borrowing conversion: `par_iter()` over `&Vec<T>` / `&[T]`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a shared reference).
+    type Item: Send;
+
+    /// Parallel iterator over shared references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<T: Send> ParIter<T> {
+    /// Index-stamped items (shim-internal helper; rayon calls this
+    /// `enumerate`, kept distinct to avoid implying the full indexed API).
+    pub fn enumerate_shim(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_pairs_in_order() {
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = (100..200).collect();
+        let sums: Vec<u32> = a.par_iter().zip(b.par_iter()).map(|(x, y)| x + y).collect();
+        assert!(sums.iter().all(|&s| s == sums[0] + (s - sums[0])));
+        assert_eq!(sums[0], 100);
+        assert_eq!(sums[99], 99 + 199);
+    }
+
+    #[test]
+    fn for_each_sees_every_item() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let total = AtomicU64::new(0);
+        let v: Vec<u64> = (1..=1000).collect();
+        v.into_par_iter().for_each(|x| {
+            total.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 500_500);
+    }
+
+    #[test]
+    fn disjoint_mut_slices_can_be_filled_in_parallel() {
+        let mut out = vec![0u64; 100];
+        let parts: Vec<&mut [u64]> = out.chunks_mut(10).collect();
+        parts
+            .into_par_iter()
+            .enumerate_shim()
+            .for_each(|(i, part)| part.fill(i as u64));
+        for (i, chunk) in out.chunks(10).enumerate() {
+            assert!(chunk.iter().all(|&v| v == i as u64));
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Offline stand-in for `serde_derive`, written without `syn`/`quote`.
+//!
+//! The macros hand-parse the item's `TokenStream` (attributes, visibility,
+//! `struct`/`enum`, named fields or unit/newtype variants) and emit the
+//! trait impl as source text. This covers exactly the shapes the workspace
+//! derives on: non-generic structs with named fields, and enums mixing unit
+//! and single-field tuple variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    let mut out = String::new();
+    match &item.shape {
+        Shape::Struct(fields) => {
+            let mut pairs = String::new();
+            for f in fields {
+                write!(
+                    pairs,
+                    "({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})),"
+                )
+                .unwrap();
+            }
+            write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         ::serde::Value::Object(vec![{pairs}])\
+                     }}\
+                 }}",
+                name = item.name
+            )
+            .unwrap();
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                if v.has_payload {
+                    write!(
+                        arms,
+                        "{name}::{v}(x) => ::serde::Value::Object(vec![\
+                             ({v:?}.to_string(), ::serde::Serialize::to_value(x)),\
+                         ]),",
+                        name = item.name,
+                        v = v.name
+                    )
+                    .unwrap();
+                } else {
+                    write!(
+                        arms,
+                        "{name}::{v} => ::serde::Value::Str({v:?}.to_string()),",
+                        name = item.name,
+                        v = v.name
+                    )
+                    .unwrap();
+                }
+            }
+            write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}",
+                name = item.name
+            )
+            .unwrap();
+        }
+    }
+    out.parse().expect("serde_derive shim emitted invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    let mut out = String::new();
+    match &item.shape {
+        Shape::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                write!(
+                    inits,
+                    "{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?,"
+                )
+                .unwrap();
+            }
+            write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\
+                     }}\
+                 }}",
+                name = item.name
+            )
+            .unwrap();
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                if v.has_payload {
+                    write!(
+                        arms,
+                        "::serde::Value::Object(fields) \
+                             if fields.len() == 1 && fields[0].0 == {v:?} => \
+                             ::std::result::Result::Ok({name}::{v}(\
+                                 ::serde::Deserialize::from_value(&fields[0].1)?)),",
+                        name = item.name,
+                        v = v.name
+                    )
+                    .unwrap();
+                } else {
+                    write!(
+                        arms,
+                        "::serde::Value::Str(s) if s == {v:?} => \
+                             ::std::result::Result::Ok({name}::{v}),",
+                        name = item.name,
+                        v = v.name
+                    )
+                    .unwrap();
+                }
+            }
+            write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\
+                         match v {{\
+                             {arms}\
+                             _ => ::std::result::Result::Err(\
+                                 ::serde::Error::custom(\
+                                     concat!(\"unknown variant for \", {name:?}))),\
+                         }}\
+                     }}\
+                 }}",
+                name = item.name
+            )
+            .unwrap();
+        }
+    }
+    out.parse().expect("serde_derive shim emitted invalid Rust")
+}
+
+struct Variant {
+    name: String,
+    has_payload: bool,
+}
+
+enum Shape {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Item {
+        let toks: Vec<TokenTree> = input.into_iter().collect();
+        let mut i = 0;
+        skip_attrs_and_vis(&toks, &mut i);
+        let kind = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected struct/enum, got {other}"),
+        };
+        i += 1;
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected item name, got {other}"),
+        };
+        i += 1;
+        if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            panic!("serde_derive shim: generic types are not supported (item `{name}`)");
+        }
+        let body = match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => {
+                panic!("serde_derive shim: only brace-bodied items are supported, got {other}")
+            }
+        };
+        let shape = match kind.as_str() {
+            "struct" => Shape::Struct(parse_named_fields(body)),
+            "enum" => Shape::Enum(parse_variants(body)),
+            other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+        };
+        Item { name, shape }
+    }
+}
+
+/// Advance past `#[...]` attributes (incl. doc comments) and `pub`
+/// visibility, with or without a `(crate)`-style restriction.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    toks.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, got {other}"),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:` after field, got {other}"),
+        }
+        // Skip the type: commas inside `(...)`/`[...]` are hidden in groups,
+        // so only angle brackets need explicit depth tracking.
+        let mut angle_depth = 0usize;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, got {other}"),
+        };
+        i += 1;
+        let mut has_payload = false;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    has_payload = true;
+                    if g.stream()
+                        .into_iter()
+                        .any(|t| matches!(&t, TokenTree::Punct(p) if p.as_char() == ','))
+                    {
+                        panic!(
+                            "serde_derive shim: variant `{name}` has multiple fields; \
+                             only newtype variants are supported"
+                        );
+                    }
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!("serde_derive shim: struct variants are not supported (`{name}`)")
+                }
+                _ => {}
+            }
+        }
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(other) => {
+                panic!("serde_derive shim: expected `,` after variant, got {other}")
+            }
+        }
+        variants.push(Variant { name, has_payload });
+    }
+    variants
+}

@@ -56,8 +56,8 @@ pub use parda_tree as tree;
 /// The most common imports in one place.
 pub mod prelude {
     pub use parda_cachesim::{CacheStats, LruCache, PlruCache, SetAssociativeCache};
-    pub use parda_core::parallel::{parda_msg, parda_threads};
     pub use parda_core::object::{analyze_by_region, RegionAnalysis, RegionMap};
+    pub use parda_core::parallel::{parda_msg, parda_threads};
     pub use parda_core::phased::{parda_phased, parda_phased_with, Reduction};
     pub use parda_core::sampled::{analyze_sampled, SampleRate};
     pub use parda_core::seq::{analyze_naive, analyze_sequential, SequentialAnalyzer};

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_space-0acd62f845c7ecdd.d: crates/parda-bench/src/bin/ablation_space.rs
+
+/root/repo/target/debug/deps/ablation_space-0acd62f845c7ecdd: crates/parda-bench/src/bin/ablation_space.rs
+
+crates/parda-bench/src/bin/ablation_space.rs:

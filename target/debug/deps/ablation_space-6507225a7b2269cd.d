@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_space-6507225a7b2269cd.d: crates/parda-bench/src/bin/ablation_space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_space-6507225a7b2269cd.rmeta: crates/parda-bench/src/bin/ablation_space.rs Cargo.toml
+
+crates/parda-bench/src/bin/ablation_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_space-91c514f5ae0fe155.d: crates/parda-bench/src/bin/ablation_space.rs
+
+/root/repo/target/debug/deps/ablation_space-91c514f5ae0fe155: crates/parda-bench/src/bin/ablation_space.rs
+
+crates/parda-bench/src/bin/ablation_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_space-b4010e86cf2d50ea.d: crates/parda-bench/src/bin/ablation_space.rs
+
+/root/repo/target/debug/deps/ablation_space-b4010e86cf2d50ea: crates/parda-bench/src/bin/ablation_space.rs
+
+crates/parda-bench/src/bin/ablation_space.rs:

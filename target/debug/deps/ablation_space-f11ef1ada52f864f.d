@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_space-f11ef1ada52f864f.d: crates/parda-bench/src/bin/ablation_space.rs
+
+/root/repo/target/debug/deps/ablation_space-f11ef1ada52f864f: crates/parda-bench/src/bin/ablation_space.rs
+
+crates/parda-bench/src/bin/ablation_space.rs:

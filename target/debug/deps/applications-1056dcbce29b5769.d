@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/applications-1056dcbce29b5769.d: tests/applications.rs
+
+/root/repo/target/debug/deps/applications-1056dcbce29b5769: tests/applications.rs
+
+tests/applications.rs:

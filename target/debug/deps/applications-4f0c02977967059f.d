@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/applications-4f0c02977967059f.d: tests/applications.rs
+
+/root/repo/target/debug/deps/applications-4f0c02977967059f: tests/applications.rs
+
+tests/applications.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/applications-bb6ba4e488438ced.d: tests/applications.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapplications-bb6ba4e488438ced.rmeta: tests/applications.rs Cargo.toml
+
+tests/applications.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

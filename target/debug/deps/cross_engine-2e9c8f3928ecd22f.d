@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_engine-2e9c8f3928ecd22f.d: tests/cross_engine.rs
+
+/root/repo/target/debug/deps/cross_engine-2e9c8f3928ecd22f: tests/cross_engine.rs
+
+tests/cross_engine.rs:

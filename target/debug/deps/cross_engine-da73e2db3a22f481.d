@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_engine-da73e2db3a22f481.d: tests/cross_engine.rs
+
+/root/repo/target/debug/deps/cross_engine-da73e2db3a22f481: tests/cross_engine.rs
+
+tests/cross_engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam_channel-05f7d23164115482.d: shims/crossbeam-channel/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam_channel-05f7d23164115482.rmeta: shims/crossbeam-channel/src/lib.rs Cargo.toml
+
+shims/crossbeam-channel/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-5274f8dba0224064.d: crates/parda-bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-5274f8dba0224064: crates/parda-bench/src/bin/fig4.rs
+
+crates/parda-bench/src/bin/fig4.rs:

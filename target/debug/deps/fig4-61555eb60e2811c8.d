@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-61555eb60e2811c8.d: crates/parda-bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-61555eb60e2811c8: crates/parda-bench/src/bin/fig4.rs
+
+crates/parda-bench/src/bin/fig4.rs:

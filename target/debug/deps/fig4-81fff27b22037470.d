@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-81fff27b22037470.d: crates/parda-bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-81fff27b22037470: crates/parda-bench/src/bin/fig4.rs
+
+crates/parda-bench/src/bin/fig4.rs:

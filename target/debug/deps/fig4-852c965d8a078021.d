@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-852c965d8a078021.d: crates/parda-bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-852c965d8a078021: crates/parda-bench/src/bin/fig4.rs
+
+crates/parda-bench/src/bin/fig4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4-de51599d5750d6c5.d: crates/parda-bench/src/bin/fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4-de51599d5750d6c5.rmeta: crates/parda-bench/src/bin/fig4.rs Cargo.toml
+
+crates/parda-bench/src/bin/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4-e9c8d7e3cc29b921.d: crates/parda-bench/src/bin/fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4-e9c8d7e3cc29b921.rmeta: crates/parda-bench/src/bin/fig4.rs Cargo.toml
+
+crates/parda-bench/src/bin/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

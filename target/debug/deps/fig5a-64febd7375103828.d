@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a-64febd7375103828.d: crates/parda-bench/src/bin/fig5a.rs
+
+/root/repo/target/debug/deps/fig5a-64febd7375103828: crates/parda-bench/src/bin/fig5a.rs
+
+crates/parda-bench/src/bin/fig5a.rs:

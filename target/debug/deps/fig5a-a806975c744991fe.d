@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a-a806975c744991fe.d: crates/parda-bench/src/bin/fig5a.rs
+
+/root/repo/target/debug/deps/fig5a-a806975c744991fe: crates/parda-bench/src/bin/fig5a.rs
+
+crates/parda-bench/src/bin/fig5a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a-cde948fc98e46940.d: crates/parda-bench/src/bin/fig5a.rs
+
+/root/repo/target/debug/deps/fig5a-cde948fc98e46940: crates/parda-bench/src/bin/fig5a.rs
+
+crates/parda-bench/src/bin/fig5a.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5a-e2b14f13d08ff455.d: crates/parda-bench/src/bin/fig5a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5a-e2b14f13d08ff455.rmeta: crates/parda-bench/src/bin/fig5a.rs Cargo.toml
+
+crates/parda-bench/src/bin/fig5a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

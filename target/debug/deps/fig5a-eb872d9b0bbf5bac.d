@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a-eb872d9b0bbf5bac.d: crates/parda-bench/src/bin/fig5a.rs
+
+/root/repo/target/debug/deps/fig5a-eb872d9b0bbf5bac: crates/parda-bench/src/bin/fig5a.rs
+
+crates/parda-bench/src/bin/fig5a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b-4c805613ebc1bfb0.d: crates/parda-bench/src/bin/fig5b.rs
+
+/root/repo/target/debug/deps/fig5b-4c805613ebc1bfb0: crates/parda-bench/src/bin/fig5b.rs
+
+crates/parda-bench/src/bin/fig5b.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5b-5f0b02c7c3ea9468.d: crates/parda-bench/src/bin/fig5b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5b-5f0b02c7c3ea9468.rmeta: crates/parda-bench/src/bin/fig5b.rs Cargo.toml
+
+crates/parda-bench/src/bin/fig5b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

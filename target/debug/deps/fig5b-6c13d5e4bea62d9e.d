@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b-6c13d5e4bea62d9e.d: crates/parda-bench/src/bin/fig5b.rs
+
+/root/repo/target/debug/deps/fig5b-6c13d5e4bea62d9e: crates/parda-bench/src/bin/fig5b.rs
+
+crates/parda-bench/src/bin/fig5b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b-ab5dde374a953a31.d: crates/parda-bench/src/bin/fig5b.rs
+
+/root/repo/target/debug/deps/fig5b-ab5dde374a953a31: crates/parda-bench/src/bin/fig5b.rs
+
+crates/parda-bench/src/bin/fig5b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b-b49e653fb3d0634d.d: crates/parda-bench/src/bin/fig5b.rs
+
+/root/repo/target/debug/deps/fig5b-b49e653fb3d0634d: crates/parda-bench/src/bin/fig5b.rs
+
+crates/parda-bench/src/bin/fig5b.rs:

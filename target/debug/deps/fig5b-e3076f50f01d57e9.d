@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5b-e3076f50f01d57e9.d: crates/parda-bench/src/bin/fig5b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5b-e3076f50f01d57e9.rmeta: crates/parda-bench/src/bin/fig5b.rs Cargo.toml
+
+crates/parda-bench/src/bin/fig5b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/framework_pipeline-294543c03493018f.d: tests/framework_pipeline.rs
+
+/root/repo/target/debug/deps/framework_pipeline-294543c03493018f: tests/framework_pipeline.rs
+
+tests/framework_pipeline.rs:

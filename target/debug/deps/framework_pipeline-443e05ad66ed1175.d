@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/framework_pipeline-443e05ad66ed1175.d: tests/framework_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libframework_pipeline-443e05ad66ed1175.rmeta: tests/framework_pipeline.rs Cargo.toml
+
+tests/framework_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/framework_pipeline-c0d72969ccab3710.d: tests/framework_pipeline.rs
+
+/root/repo/target/debug/deps/framework_pipeline-c0d72969ccab3710: tests/framework_pipeline.rs
+
+tests/framework_pipeline.rs:

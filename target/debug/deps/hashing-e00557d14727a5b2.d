@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hashing-e00557d14727a5b2.d: crates/parda-bench/benches/hashing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhashing-e00557d14727a5b2.rmeta: crates/parda-bench/benches/hashing.rs Cargo.toml
+
+crates/parda-bench/benches/hashing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/infinity_opt-f73707168f2095a0.d: crates/parda-bench/benches/infinity_opt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinfinity_opt-f73707168f2095a0.rmeta: crates/parda-bench/benches/infinity_opt.rs Cargo.toml
+
+crates/parda-bench/benches/infinity_opt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

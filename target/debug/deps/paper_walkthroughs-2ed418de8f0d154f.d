@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_walkthroughs-2ed418de8f0d154f.d: tests/paper_walkthroughs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_walkthroughs-2ed418de8f0d154f.rmeta: tests/paper_walkthroughs.rs Cargo.toml
+
+tests/paper_walkthroughs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

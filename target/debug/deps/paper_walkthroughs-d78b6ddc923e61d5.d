@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_walkthroughs-d78b6ddc923e61d5.d: tests/paper_walkthroughs.rs
+
+/root/repo/target/debug/deps/paper_walkthroughs-d78b6ddc923e61d5: tests/paper_walkthroughs.rs
+
+tests/paper_walkthroughs.rs:

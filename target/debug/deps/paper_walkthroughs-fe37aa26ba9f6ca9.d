@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_walkthroughs-fe37aa26ba9f6ca9.d: tests/paper_walkthroughs.rs
+
+/root/repo/target/debug/deps/paper_walkthroughs-fe37aa26ba9f6ca9: tests/paper_walkthroughs.rs
+
+tests/paper_walkthroughs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parda-0c2a1c26e67cbf27.d: src/lib.rs
+
+/root/repo/target/debug/deps/parda-0c2a1c26e67cbf27: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parda-23e0778228989450.d: crates/parda-cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparda-23e0778228989450.rmeta: crates/parda-cli/src/main.rs Cargo.toml
+
+crates/parda-cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

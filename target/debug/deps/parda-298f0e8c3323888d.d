@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parda-298f0e8c3323888d.d: crates/parda-cli/src/main.rs
+
+/root/repo/target/debug/deps/parda-298f0e8c3323888d: crates/parda-cli/src/main.rs
+
+crates/parda-cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parda-3fc4fde5d134f200.d: src/lib.rs
+
+/root/repo/target/debug/deps/parda-3fc4fde5d134f200: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parda-541b403eff93cc91.d: crates/parda-cli/src/main.rs
+
+/root/repo/target/debug/deps/parda-541b403eff93cc91: crates/parda-cli/src/main.rs
+
+crates/parda-cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parda-55afeab9c8267c77.d: src/lib.rs
+
+/root/repo/target/debug/deps/libparda-55afeab9c8267c77.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libparda-55afeab9c8267c77.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parda-69bbc94651650be5.d: crates/parda-cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparda-69bbc94651650be5.rmeta: crates/parda-cli/src/main.rs Cargo.toml
+
+crates/parda-cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parda-84bba4c923189809.d: crates/parda-cli/src/main.rs
+
+/root/repo/target/debug/deps/parda-84bba4c923189809: crates/parda-cli/src/main.rs
+
+crates/parda-cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parda-a91f189a2809ab8b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libparda-a91f189a2809ab8b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libparda-a91f189a2809ab8b.rmeta: src/lib.rs
+
+src/lib.rs:

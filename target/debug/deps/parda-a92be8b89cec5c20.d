@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parda-a92be8b89cec5c20.d: src/lib.rs
+
+/root/repo/target/debug/deps/libparda-a92be8b89cec5c20.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libparda-a92be8b89cec5c20.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parda-c493203a0aa45a1e.d: crates/parda-cli/src/main.rs
+
+/root/repo/target/debug/deps/parda-c493203a0aa45a1e: crates/parda-cli/src/main.rs
+
+crates/parda-cli/src/main.rs:

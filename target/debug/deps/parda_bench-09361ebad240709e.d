@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parda_bench-09361ebad240709e.d: crates/parda-bench/src/lib.rs crates/parda-bench/src/report.rs crates/parda-bench/src/workload.rs
+
+/root/repo/target/debug/deps/libparda_bench-09361ebad240709e.rlib: crates/parda-bench/src/lib.rs crates/parda-bench/src/report.rs crates/parda-bench/src/workload.rs
+
+/root/repo/target/debug/deps/libparda_bench-09361ebad240709e.rmeta: crates/parda-bench/src/lib.rs crates/parda-bench/src/report.rs crates/parda-bench/src/workload.rs
+
+crates/parda-bench/src/lib.rs:
+crates/parda-bench/src/report.rs:
+crates/parda-bench/src/workload.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parda_bench-80e84dbdefd37b23.d: crates/parda-bench/src/lib.rs crates/parda-bench/src/report.rs crates/parda-bench/src/workload.rs
+
+/root/repo/target/debug/deps/parda_bench-80e84dbdefd37b23: crates/parda-bench/src/lib.rs crates/parda-bench/src/report.rs crates/parda-bench/src/workload.rs
+
+crates/parda-bench/src/lib.rs:
+crates/parda-bench/src/report.rs:
+crates/parda-bench/src/workload.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parda_bench-a9fd849180a02cfa.d: crates/parda-bench/src/lib.rs crates/parda-bench/src/report.rs crates/parda-bench/src/workload.rs
+
+/root/repo/target/debug/deps/parda_bench-a9fd849180a02cfa: crates/parda-bench/src/lib.rs crates/parda-bench/src/report.rs crates/parda-bench/src/workload.rs
+
+crates/parda-bench/src/lib.rs:
+crates/parda-bench/src/report.rs:
+crates/parda-bench/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parda_bench-c03af9aa788bdc8b.d: crates/parda-bench/src/lib.rs crates/parda-bench/src/report.rs crates/parda-bench/src/workload.rs
+
+/root/repo/target/debug/deps/libparda_bench-c03af9aa788bdc8b.rlib: crates/parda-bench/src/lib.rs crates/parda-bench/src/report.rs crates/parda-bench/src/workload.rs
+
+/root/repo/target/debug/deps/libparda_bench-c03af9aa788bdc8b.rmeta: crates/parda-bench/src/lib.rs crates/parda-bench/src/report.rs crates/parda-bench/src/workload.rs
+
+crates/parda-bench/src/lib.rs:
+crates/parda-bench/src/report.rs:
+crates/parda-bench/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parda_bench-d2f402e602bad84d.d: crates/parda-bench/src/lib.rs crates/parda-bench/src/report.rs crates/parda-bench/src/workload.rs
+
+/root/repo/target/debug/deps/libparda_bench-d2f402e602bad84d.rlib: crates/parda-bench/src/lib.rs crates/parda-bench/src/report.rs crates/parda-bench/src/workload.rs
+
+/root/repo/target/debug/deps/libparda_bench-d2f402e602bad84d.rmeta: crates/parda-bench/src/lib.rs crates/parda-bench/src/report.rs crates/parda-bench/src/workload.rs
+
+crates/parda-bench/src/lib.rs:
+crates/parda-bench/src/report.rs:
+crates/parda-bench/src/workload.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/parda_cachesim-4bb0381d24b24bca.d: crates/parda-cachesim/src/lib.rs crates/parda-cachesim/src/lru.rs crates/parda-cachesim/src/plru.rs crates/parda-cachesim/src/set_assoc.rs
+
+/root/repo/target/debug/deps/libparda_cachesim-4bb0381d24b24bca.rlib: crates/parda-cachesim/src/lib.rs crates/parda-cachesim/src/lru.rs crates/parda-cachesim/src/plru.rs crates/parda-cachesim/src/set_assoc.rs
+
+/root/repo/target/debug/deps/libparda_cachesim-4bb0381d24b24bca.rmeta: crates/parda-cachesim/src/lib.rs crates/parda-cachesim/src/lru.rs crates/parda-cachesim/src/plru.rs crates/parda-cachesim/src/set_assoc.rs
+
+crates/parda-cachesim/src/lib.rs:
+crates/parda-cachesim/src/lru.rs:
+crates/parda-cachesim/src/plru.rs:
+crates/parda-cachesim/src/set_assoc.rs:

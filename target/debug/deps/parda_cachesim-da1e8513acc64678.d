@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/parda_cachesim-da1e8513acc64678.d: crates/parda-cachesim/src/lib.rs crates/parda-cachesim/src/lru.rs crates/parda-cachesim/src/plru.rs crates/parda-cachesim/src/set_assoc.rs
+
+/root/repo/target/debug/deps/parda_cachesim-da1e8513acc64678: crates/parda-cachesim/src/lib.rs crates/parda-cachesim/src/lru.rs crates/parda-cachesim/src/plru.rs crates/parda-cachesim/src/set_assoc.rs
+
+crates/parda-cachesim/src/lib.rs:
+crates/parda-cachesim/src/lru.rs:
+crates/parda-cachesim/src/plru.rs:
+crates/parda-cachesim/src/set_assoc.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/parda_cachesim-f293ea0a42ac3975.d: crates/parda-cachesim/src/lib.rs crates/parda-cachesim/src/lru.rs crates/parda-cachesim/src/plru.rs crates/parda-cachesim/src/set_assoc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparda_cachesim-f293ea0a42ac3975.rmeta: crates/parda-cachesim/src/lib.rs crates/parda-cachesim/src/lru.rs crates/parda-cachesim/src/plru.rs crates/parda-cachesim/src/set_assoc.rs Cargo.toml
+
+crates/parda-cachesim/src/lib.rs:
+crates/parda-cachesim/src/lru.rs:
+crates/parda-cachesim/src/plru.rs:
+crates/parda-cachesim/src/set_assoc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parda_cli-303a5b3f91c8feca.d: crates/parda-cli/src/lib.rs crates/parda-cli/src/args.rs crates/parda-cli/src/commands.rs
+
+/root/repo/target/debug/deps/parda_cli-303a5b3f91c8feca: crates/parda-cli/src/lib.rs crates/parda-cli/src/args.rs crates/parda-cli/src/commands.rs
+
+crates/parda-cli/src/lib.rs:
+crates/parda-cli/src/args.rs:
+crates/parda-cli/src/commands.rs:

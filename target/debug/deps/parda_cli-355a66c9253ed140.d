@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parda_cli-355a66c9253ed140.d: crates/parda-cli/src/lib.rs crates/parda-cli/src/args.rs crates/parda-cli/src/commands.rs
+
+/root/repo/target/debug/deps/parda_cli-355a66c9253ed140: crates/parda-cli/src/lib.rs crates/parda-cli/src/args.rs crates/parda-cli/src/commands.rs
+
+crates/parda-cli/src/lib.rs:
+crates/parda-cli/src/args.rs:
+crates/parda-cli/src/commands.rs:

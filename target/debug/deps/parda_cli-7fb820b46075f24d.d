@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/parda_cli-7fb820b46075f24d.d: crates/parda-cli/src/lib.rs crates/parda-cli/src/args.rs crates/parda-cli/src/commands.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparda_cli-7fb820b46075f24d.rmeta: crates/parda-cli/src/lib.rs crates/parda-cli/src/args.rs crates/parda-cli/src/commands.rs Cargo.toml
+
+crates/parda-cli/src/lib.rs:
+crates/parda-cli/src/args.rs:
+crates/parda-cli/src/commands.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parda_cli-9904758a2de03abb.d: crates/parda-cli/src/lib.rs crates/parda-cli/src/args.rs crates/parda-cli/src/commands.rs
+
+/root/repo/target/debug/deps/libparda_cli-9904758a2de03abb.rlib: crates/parda-cli/src/lib.rs crates/parda-cli/src/args.rs crates/parda-cli/src/commands.rs
+
+/root/repo/target/debug/deps/libparda_cli-9904758a2de03abb.rmeta: crates/parda-cli/src/lib.rs crates/parda-cli/src/args.rs crates/parda-cli/src/commands.rs
+
+crates/parda-cli/src/lib.rs:
+crates/parda-cli/src/args.rs:
+crates/parda-cli/src/commands.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parda_cli-b8250eeaa4b6fc6b.d: crates/parda-cli/src/lib.rs crates/parda-cli/src/args.rs crates/parda-cli/src/commands.rs
+
+/root/repo/target/debug/deps/libparda_cli-b8250eeaa4b6fc6b.rlib: crates/parda-cli/src/lib.rs crates/parda-cli/src/args.rs crates/parda-cli/src/commands.rs
+
+/root/repo/target/debug/deps/libparda_cli-b8250eeaa4b6fc6b.rmeta: crates/parda-cli/src/lib.rs crates/parda-cli/src/args.rs crates/parda-cli/src/commands.rs
+
+crates/parda-cli/src/lib.rs:
+crates/parda-cli/src/args.rs:
+crates/parda-cli/src/commands.rs:

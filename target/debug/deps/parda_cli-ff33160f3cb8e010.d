@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/parda_cli-ff33160f3cb8e010.d: crates/parda-cli/src/lib.rs crates/parda-cli/src/args.rs crates/parda-cli/src/commands.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparda_cli-ff33160f3cb8e010.rmeta: crates/parda-cli/src/lib.rs crates/parda-cli/src/args.rs crates/parda-cli/src/commands.rs Cargo.toml
+
+crates/parda-cli/src/lib.rs:
+crates/parda-cli/src/args.rs:
+crates/parda-cli/src/commands.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parda_comm-49bf4c45b746764e.d: crates/parda-comm/src/lib.rs crates/parda-comm/src/collectives.rs crates/parda-comm/src/pipe.rs
+
+/root/repo/target/debug/deps/parda_comm-49bf4c45b746764e: crates/parda-comm/src/lib.rs crates/parda-comm/src/collectives.rs crates/parda-comm/src/pipe.rs
+
+crates/parda-comm/src/lib.rs:
+crates/parda-comm/src/collectives.rs:
+crates/parda-comm/src/pipe.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/parda_comm-6ce43cd40b2bcd48.d: crates/parda-comm/src/lib.rs crates/parda-comm/src/collectives.rs crates/parda-comm/src/pipe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparda_comm-6ce43cd40b2bcd48.rmeta: crates/parda-comm/src/lib.rs crates/parda-comm/src/collectives.rs crates/parda-comm/src/pipe.rs Cargo.toml
+
+crates/parda-comm/src/lib.rs:
+crates/parda-comm/src/collectives.rs:
+crates/parda-comm/src/pipe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

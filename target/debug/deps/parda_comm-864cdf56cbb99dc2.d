@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parda_comm-864cdf56cbb99dc2.d: crates/parda-comm/src/lib.rs crates/parda-comm/src/collectives.rs crates/parda-comm/src/pipe.rs
+
+/root/repo/target/debug/deps/libparda_comm-864cdf56cbb99dc2.rlib: crates/parda-comm/src/lib.rs crates/parda-comm/src/collectives.rs crates/parda-comm/src/pipe.rs
+
+/root/repo/target/debug/deps/libparda_comm-864cdf56cbb99dc2.rmeta: crates/parda-comm/src/lib.rs crates/parda-comm/src/collectives.rs crates/parda-comm/src/pipe.rs
+
+crates/parda-comm/src/lib.rs:
+crates/parda-comm/src/collectives.rs:
+crates/parda-comm/src/pipe.rs:

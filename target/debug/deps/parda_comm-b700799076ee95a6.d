@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parda_comm-b700799076ee95a6.d: crates/parda-comm/src/lib.rs crates/parda-comm/src/collectives.rs crates/parda-comm/src/pipe.rs
+
+/root/repo/target/debug/deps/parda_comm-b700799076ee95a6: crates/parda-comm/src/lib.rs crates/parda-comm/src/collectives.rs crates/parda-comm/src/pipe.rs
+
+crates/parda-comm/src/lib.rs:
+crates/parda-comm/src/collectives.rs:
+crates/parda-comm/src/pipe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parda_comm-e63f59117976db03.d: crates/parda-comm/src/lib.rs crates/parda-comm/src/collectives.rs crates/parda-comm/src/pipe.rs
+
+/root/repo/target/debug/deps/libparda_comm-e63f59117976db03.rlib: crates/parda-comm/src/lib.rs crates/parda-comm/src/collectives.rs crates/parda-comm/src/pipe.rs
+
+/root/repo/target/debug/deps/libparda_comm-e63f59117976db03.rmeta: crates/parda-comm/src/lib.rs crates/parda-comm/src/collectives.rs crates/parda-comm/src/pipe.rs
+
+crates/parda-comm/src/lib.rs:
+crates/parda-comm/src/collectives.rs:
+crates/parda-comm/src/pipe.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/parda_core-3c32bb35632cc33e.d: crates/parda-core/src/lib.rs crates/parda-core/src/engine.rs crates/parda-core/src/object.rs crates/parda-core/src/parallel.rs crates/parda-core/src/phased.rs crates/parda-core/src/sampled.rs crates/parda-core/src/seq.rs crates/parda-core/src/shared.rs crates/parda-core/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparda_core-3c32bb35632cc33e.rmeta: crates/parda-core/src/lib.rs crates/parda-core/src/engine.rs crates/parda-core/src/object.rs crates/parda-core/src/parallel.rs crates/parda-core/src/phased.rs crates/parda-core/src/sampled.rs crates/parda-core/src/seq.rs crates/parda-core/src/shared.rs crates/parda-core/src/window.rs Cargo.toml
+
+crates/parda-core/src/lib.rs:
+crates/parda-core/src/engine.rs:
+crates/parda-core/src/object.rs:
+crates/parda-core/src/parallel.rs:
+crates/parda-core/src/phased.rs:
+crates/parda-core/src/sampled.rs:
+crates/parda-core/src/seq.rs:
+crates/parda-core/src/shared.rs:
+crates/parda-core/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

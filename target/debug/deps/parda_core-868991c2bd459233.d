@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/parda_core-868991c2bd459233.d: crates/parda-core/src/lib.rs crates/parda-core/src/engine.rs crates/parda-core/src/object.rs crates/parda-core/src/parallel.rs crates/parda-core/src/phased.rs crates/parda-core/src/sampled.rs crates/parda-core/src/seq.rs crates/parda-core/src/shared.rs crates/parda-core/src/window.rs
+
+/root/repo/target/debug/deps/parda_core-868991c2bd459233: crates/parda-core/src/lib.rs crates/parda-core/src/engine.rs crates/parda-core/src/object.rs crates/parda-core/src/parallel.rs crates/parda-core/src/phased.rs crates/parda-core/src/sampled.rs crates/parda-core/src/seq.rs crates/parda-core/src/shared.rs crates/parda-core/src/window.rs
+
+crates/parda-core/src/lib.rs:
+crates/parda-core/src/engine.rs:
+crates/parda-core/src/object.rs:
+crates/parda-core/src/parallel.rs:
+crates/parda-core/src/phased.rs:
+crates/parda-core/src/sampled.rs:
+crates/parda-core/src/seq.rs:
+crates/parda-core/src/shared.rs:
+crates/parda-core/src/window.rs:

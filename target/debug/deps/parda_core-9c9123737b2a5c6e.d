@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/parda_core-9c9123737b2a5c6e.d: crates/parda-core/src/lib.rs crates/parda-core/src/engine.rs crates/parda-core/src/object.rs crates/parda-core/src/parallel.rs crates/parda-core/src/phased.rs crates/parda-core/src/sampled.rs crates/parda-core/src/seq.rs crates/parda-core/src/shared.rs crates/parda-core/src/window.rs
+
+/root/repo/target/debug/deps/libparda_core-9c9123737b2a5c6e.rlib: crates/parda-core/src/lib.rs crates/parda-core/src/engine.rs crates/parda-core/src/object.rs crates/parda-core/src/parallel.rs crates/parda-core/src/phased.rs crates/parda-core/src/sampled.rs crates/parda-core/src/seq.rs crates/parda-core/src/shared.rs crates/parda-core/src/window.rs
+
+/root/repo/target/debug/deps/libparda_core-9c9123737b2a5c6e.rmeta: crates/parda-core/src/lib.rs crates/parda-core/src/engine.rs crates/parda-core/src/object.rs crates/parda-core/src/parallel.rs crates/parda-core/src/phased.rs crates/parda-core/src/sampled.rs crates/parda-core/src/seq.rs crates/parda-core/src/shared.rs crates/parda-core/src/window.rs
+
+crates/parda-core/src/lib.rs:
+crates/parda-core/src/engine.rs:
+crates/parda-core/src/object.rs:
+crates/parda-core/src/parallel.rs:
+crates/parda-core/src/phased.rs:
+crates/parda-core/src/sampled.rs:
+crates/parda-core/src/seq.rs:
+crates/parda-core/src/shared.rs:
+crates/parda-core/src/window.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/parda_hash-4093660285300229.d: crates/parda-hash/src/lib.rs crates/parda-hash/src/fx.rs crates/parda-hash/src/map.rs crates/parda-hash/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparda_hash-4093660285300229.rmeta: crates/parda-hash/src/lib.rs crates/parda-hash/src/fx.rs crates/parda-hash/src/map.rs crates/parda-hash/src/table.rs Cargo.toml
+
+crates/parda-hash/src/lib.rs:
+crates/parda-hash/src/fx.rs:
+crates/parda-hash/src/map.rs:
+crates/parda-hash/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

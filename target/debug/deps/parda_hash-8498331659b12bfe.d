@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/parda_hash-8498331659b12bfe.d: crates/parda-hash/src/lib.rs crates/parda-hash/src/fx.rs crates/parda-hash/src/map.rs crates/parda-hash/src/table.rs
+
+/root/repo/target/debug/deps/parda_hash-8498331659b12bfe: crates/parda-hash/src/lib.rs crates/parda-hash/src/fx.rs crates/parda-hash/src/map.rs crates/parda-hash/src/table.rs
+
+crates/parda-hash/src/lib.rs:
+crates/parda-hash/src/fx.rs:
+crates/parda-hash/src/map.rs:
+crates/parda-hash/src/table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/parda_hash-ed26fb9a72da7efe.d: crates/parda-hash/src/lib.rs crates/parda-hash/src/fx.rs crates/parda-hash/src/map.rs crates/parda-hash/src/table.rs
+
+/root/repo/target/debug/deps/libparda_hash-ed26fb9a72da7efe.rlib: crates/parda-hash/src/lib.rs crates/parda-hash/src/fx.rs crates/parda-hash/src/map.rs crates/parda-hash/src/table.rs
+
+/root/repo/target/debug/deps/libparda_hash-ed26fb9a72da7efe.rmeta: crates/parda-hash/src/lib.rs crates/parda-hash/src/fx.rs crates/parda-hash/src/map.rs crates/parda-hash/src/table.rs
+
+crates/parda-hash/src/lib.rs:
+crates/parda-hash/src/fx.rs:
+crates/parda-hash/src/map.rs:
+crates/parda-hash/src/table.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/parda_hist-1f46230be770958b.d: crates/parda-hist/src/lib.rs crates/parda-hist/src/binned.rs crates/parda-hist/src/hierarchy.rs crates/parda-hist/src/histogram.rs
+
+/root/repo/target/debug/deps/parda_hist-1f46230be770958b: crates/parda-hist/src/lib.rs crates/parda-hist/src/binned.rs crates/parda-hist/src/hierarchy.rs crates/parda-hist/src/histogram.rs
+
+crates/parda-hist/src/lib.rs:
+crates/parda-hist/src/binned.rs:
+crates/parda-hist/src/hierarchy.rs:
+crates/parda-hist/src/histogram.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/parda_hist-38069e6e44608514.d: crates/parda-hist/src/lib.rs crates/parda-hist/src/binned.rs crates/parda-hist/src/hierarchy.rs crates/parda-hist/src/histogram.rs
+
+/root/repo/target/debug/deps/libparda_hist-38069e6e44608514.rlib: crates/parda-hist/src/lib.rs crates/parda-hist/src/binned.rs crates/parda-hist/src/hierarchy.rs crates/parda-hist/src/histogram.rs
+
+/root/repo/target/debug/deps/libparda_hist-38069e6e44608514.rmeta: crates/parda-hist/src/lib.rs crates/parda-hist/src/binned.rs crates/parda-hist/src/hierarchy.rs crates/parda-hist/src/histogram.rs
+
+crates/parda-hist/src/lib.rs:
+crates/parda-hist/src/binned.rs:
+crates/parda-hist/src/hierarchy.rs:
+crates/parda-hist/src/histogram.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/parda_hist-5df64ee6b8d95ad5.d: crates/parda-hist/src/lib.rs crates/parda-hist/src/binned.rs crates/parda-hist/src/hierarchy.rs crates/parda-hist/src/histogram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparda_hist-5df64ee6b8d95ad5.rmeta: crates/parda-hist/src/lib.rs crates/parda-hist/src/binned.rs crates/parda-hist/src/hierarchy.rs crates/parda-hist/src/histogram.rs Cargo.toml
+
+crates/parda-hist/src/lib.rs:
+crates/parda-hist/src/binned.rs:
+crates/parda-hist/src/hierarchy.rs:
+crates/parda-hist/src/histogram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/parda_hist-e28af207985aef61.d: crates/parda-hist/src/lib.rs crates/parda-hist/src/binned.rs crates/parda-hist/src/hierarchy.rs crates/parda-hist/src/histogram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparda_hist-e28af207985aef61.rmeta: crates/parda-hist/src/lib.rs crates/parda-hist/src/binned.rs crates/parda-hist/src/hierarchy.rs crates/parda-hist/src/histogram.rs Cargo.toml
+
+crates/parda-hist/src/lib.rs:
+crates/parda-hist/src/binned.rs:
+crates/parda-hist/src/hierarchy.rs:
+crates/parda-hist/src/histogram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/parda_pinsim-1d1f2e4b7a89507c.d: crates/parda-pinsim/src/lib.rs crates/parda-pinsim/src/programs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparda_pinsim-1d1f2e4b7a89507c.rmeta: crates/parda-pinsim/src/lib.rs crates/parda-pinsim/src/programs.rs Cargo.toml
+
+crates/parda-pinsim/src/lib.rs:
+crates/parda-pinsim/src/programs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/parda_pinsim-1eae95df492715b4.d: crates/parda-pinsim/src/lib.rs crates/parda-pinsim/src/programs.rs
+
+/root/repo/target/debug/deps/parda_pinsim-1eae95df492715b4: crates/parda-pinsim/src/lib.rs crates/parda-pinsim/src/programs.rs
+
+crates/parda-pinsim/src/lib.rs:
+crates/parda-pinsim/src/programs.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/parda_pinsim-53cc40351e412ea2.d: crates/parda-pinsim/src/lib.rs crates/parda-pinsim/src/programs.rs
+
+/root/repo/target/debug/deps/libparda_pinsim-53cc40351e412ea2.rlib: crates/parda-pinsim/src/lib.rs crates/parda-pinsim/src/programs.rs
+
+/root/repo/target/debug/deps/libparda_pinsim-53cc40351e412ea2.rmeta: crates/parda-pinsim/src/lib.rs crates/parda-pinsim/src/programs.rs
+
+crates/parda-pinsim/src/lib.rs:
+crates/parda-pinsim/src/programs.rs:

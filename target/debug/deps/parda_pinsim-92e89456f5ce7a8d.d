@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/parda_pinsim-92e89456f5ce7a8d.d: crates/parda-pinsim/src/lib.rs crates/parda-pinsim/src/programs.rs
+
+/root/repo/target/debug/deps/libparda_pinsim-92e89456f5ce7a8d.rlib: crates/parda-pinsim/src/lib.rs crates/parda-pinsim/src/programs.rs
+
+/root/repo/target/debug/deps/libparda_pinsim-92e89456f5ce7a8d.rmeta: crates/parda-pinsim/src/lib.rs crates/parda-pinsim/src/programs.rs
+
+crates/parda-pinsim/src/lib.rs:
+crates/parda-pinsim/src/programs.rs:

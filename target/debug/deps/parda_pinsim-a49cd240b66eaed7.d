@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/parda_pinsim-a49cd240b66eaed7.d: crates/parda-pinsim/src/lib.rs crates/parda-pinsim/src/programs.rs
+
+/root/repo/target/debug/deps/libparda_pinsim-a49cd240b66eaed7.rlib: crates/parda-pinsim/src/lib.rs crates/parda-pinsim/src/programs.rs
+
+/root/repo/target/debug/deps/libparda_pinsim-a49cd240b66eaed7.rmeta: crates/parda-pinsim/src/lib.rs crates/parda-pinsim/src/programs.rs
+
+crates/parda-pinsim/src/lib.rs:
+crates/parda-pinsim/src/programs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parda_scaling-34c1ecafdd4c901a.d: crates/parda-bench/benches/parda_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparda_scaling-34c1ecafdd4c901a.rmeta: crates/parda-bench/benches/parda_scaling.rs Cargo.toml
+
+crates/parda-bench/benches/parda_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

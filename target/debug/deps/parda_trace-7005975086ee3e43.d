@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/parda_trace-7005975086ee3e43.d: crates/parda-trace/src/lib.rs crates/parda-trace/src/alias.rs crates/parda-trace/src/gen.rs crates/parda-trace/src/io.rs crates/parda-trace/src/lru_stack.rs crates/parda-trace/src/spec.rs crates/parda-trace/src/stats.rs crates/parda-trace/src/xform.rs
+
+/root/repo/target/debug/deps/parda_trace-7005975086ee3e43: crates/parda-trace/src/lib.rs crates/parda-trace/src/alias.rs crates/parda-trace/src/gen.rs crates/parda-trace/src/io.rs crates/parda-trace/src/lru_stack.rs crates/parda-trace/src/spec.rs crates/parda-trace/src/stats.rs crates/parda-trace/src/xform.rs
+
+crates/parda-trace/src/lib.rs:
+crates/parda-trace/src/alias.rs:
+crates/parda-trace/src/gen.rs:
+crates/parda-trace/src/io.rs:
+crates/parda-trace/src/lru_stack.rs:
+crates/parda-trace/src/spec.rs:
+crates/parda-trace/src/stats.rs:
+crates/parda-trace/src/xform.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/parda_trace-781a18fe59349bb9.d: crates/parda-trace/src/lib.rs crates/parda-trace/src/alias.rs crates/parda-trace/src/gen.rs crates/parda-trace/src/io.rs crates/parda-trace/src/lru_stack.rs crates/parda-trace/src/spec.rs crates/parda-trace/src/stats.rs crates/parda-trace/src/stream.rs crates/parda-trace/src/xform.rs
+
+/root/repo/target/debug/deps/libparda_trace-781a18fe59349bb9.rlib: crates/parda-trace/src/lib.rs crates/parda-trace/src/alias.rs crates/parda-trace/src/gen.rs crates/parda-trace/src/io.rs crates/parda-trace/src/lru_stack.rs crates/parda-trace/src/spec.rs crates/parda-trace/src/stats.rs crates/parda-trace/src/stream.rs crates/parda-trace/src/xform.rs
+
+/root/repo/target/debug/deps/libparda_trace-781a18fe59349bb9.rmeta: crates/parda-trace/src/lib.rs crates/parda-trace/src/alias.rs crates/parda-trace/src/gen.rs crates/parda-trace/src/io.rs crates/parda-trace/src/lru_stack.rs crates/parda-trace/src/spec.rs crates/parda-trace/src/stats.rs crates/parda-trace/src/stream.rs crates/parda-trace/src/xform.rs
+
+crates/parda-trace/src/lib.rs:
+crates/parda-trace/src/alias.rs:
+crates/parda-trace/src/gen.rs:
+crates/parda-trace/src/io.rs:
+crates/parda-trace/src/lru_stack.rs:
+crates/parda-trace/src/spec.rs:
+crates/parda-trace/src/stats.rs:
+crates/parda-trace/src/stream.rs:
+crates/parda-trace/src/xform.rs:

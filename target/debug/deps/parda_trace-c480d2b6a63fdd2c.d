@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/parda_trace-c480d2b6a63fdd2c.d: crates/parda-trace/src/lib.rs crates/parda-trace/src/alias.rs crates/parda-trace/src/gen.rs crates/parda-trace/src/io.rs crates/parda-trace/src/lru_stack.rs crates/parda-trace/src/spec.rs crates/parda-trace/src/stats.rs crates/parda-trace/src/stream.rs crates/parda-trace/src/xform.rs
+
+/root/repo/target/debug/deps/parda_trace-c480d2b6a63fdd2c: crates/parda-trace/src/lib.rs crates/parda-trace/src/alias.rs crates/parda-trace/src/gen.rs crates/parda-trace/src/io.rs crates/parda-trace/src/lru_stack.rs crates/parda-trace/src/spec.rs crates/parda-trace/src/stats.rs crates/parda-trace/src/stream.rs crates/parda-trace/src/xform.rs
+
+crates/parda-trace/src/lib.rs:
+crates/parda-trace/src/alias.rs:
+crates/parda-trace/src/gen.rs:
+crates/parda-trace/src/io.rs:
+crates/parda-trace/src/lru_stack.rs:
+crates/parda-trace/src/spec.rs:
+crates/parda-trace/src/stats.rs:
+crates/parda-trace/src/stream.rs:
+crates/parda-trace/src/xform.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/parda_trace-d685e046a1719578.d: crates/parda-trace/src/lib.rs crates/parda-trace/src/alias.rs crates/parda-trace/src/gen.rs crates/parda-trace/src/io.rs crates/parda-trace/src/lru_stack.rs crates/parda-trace/src/spec.rs crates/parda-trace/src/stats.rs crates/parda-trace/src/stream.rs crates/parda-trace/src/xform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparda_trace-d685e046a1719578.rmeta: crates/parda-trace/src/lib.rs crates/parda-trace/src/alias.rs crates/parda-trace/src/gen.rs crates/parda-trace/src/io.rs crates/parda-trace/src/lru_stack.rs crates/parda-trace/src/spec.rs crates/parda-trace/src/stats.rs crates/parda-trace/src/stream.rs crates/parda-trace/src/xform.rs Cargo.toml
+
+crates/parda-trace/src/lib.rs:
+crates/parda-trace/src/alias.rs:
+crates/parda-trace/src/gen.rs:
+crates/parda-trace/src/io.rs:
+crates/parda-trace/src/lru_stack.rs:
+crates/parda-trace/src/spec.rs:
+crates/parda-trace/src/stats.rs:
+crates/parda-trace/src/stream.rs:
+crates/parda-trace/src/xform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/parda_tree-b3da6f800717634e.d: crates/parda-tree/src/lib.rs crates/parda-tree/src/avl.rs crates/parda-tree/src/fenwick.rs crates/parda-tree/src/naive.rs crates/parda-tree/src/splay.rs crates/parda-tree/src/treap.rs crates/parda-tree/src/vector.rs
+
+/root/repo/target/debug/deps/parda_tree-b3da6f800717634e: crates/parda-tree/src/lib.rs crates/parda-tree/src/avl.rs crates/parda-tree/src/fenwick.rs crates/parda-tree/src/naive.rs crates/parda-tree/src/splay.rs crates/parda-tree/src/treap.rs crates/parda-tree/src/vector.rs
+
+crates/parda-tree/src/lib.rs:
+crates/parda-tree/src/avl.rs:
+crates/parda-tree/src/fenwick.rs:
+crates/parda-tree/src/naive.rs:
+crates/parda-tree/src/splay.rs:
+crates/parda-tree/src/treap.rs:
+crates/parda-tree/src/vector.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/parda_tree-b7ae42b39706d9bb.d: crates/parda-tree/src/lib.rs crates/parda-tree/src/avl.rs crates/parda-tree/src/fenwick.rs crates/parda-tree/src/naive.rs crates/parda-tree/src/splay.rs crates/parda-tree/src/treap.rs crates/parda-tree/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparda_tree-b7ae42b39706d9bb.rmeta: crates/parda-tree/src/lib.rs crates/parda-tree/src/avl.rs crates/parda-tree/src/fenwick.rs crates/parda-tree/src/naive.rs crates/parda-tree/src/splay.rs crates/parda-tree/src/treap.rs crates/parda-tree/src/vector.rs Cargo.toml
+
+crates/parda-tree/src/lib.rs:
+crates/parda-tree/src/avl.rs:
+crates/parda-tree/src/fenwick.rs:
+crates/parda-tree/src/naive.rs:
+crates/parda-tree/src/splay.rs:
+crates/parda-tree/src/treap.rs:
+crates/parda-tree/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/parda_tree-cda62e1bcd73af71.d: crates/parda-tree/src/lib.rs crates/parda-tree/src/avl.rs crates/parda-tree/src/fenwick.rs crates/parda-tree/src/naive.rs crates/parda-tree/src/splay.rs crates/parda-tree/src/treap.rs crates/parda-tree/src/vector.rs
+
+/root/repo/target/debug/deps/libparda_tree-cda62e1bcd73af71.rlib: crates/parda-tree/src/lib.rs crates/parda-tree/src/avl.rs crates/parda-tree/src/fenwick.rs crates/parda-tree/src/naive.rs crates/parda-tree/src/splay.rs crates/parda-tree/src/treap.rs crates/parda-tree/src/vector.rs
+
+/root/repo/target/debug/deps/libparda_tree-cda62e1bcd73af71.rmeta: crates/parda-tree/src/lib.rs crates/parda-tree/src/avl.rs crates/parda-tree/src/fenwick.rs crates/parda-tree/src/naive.rs crates/parda-tree/src/splay.rs crates/parda-tree/src/treap.rs crates/parda-tree/src/vector.rs
+
+crates/parda-tree/src/lib.rs:
+crates/parda-tree/src/avl.rs:
+crates/parda-tree/src/fenwick.rs:
+crates/parda-tree/src/naive.rs:
+crates/parda-tree/src/splay.rs:
+crates/parda-tree/src/treap.rs:
+crates/parda-tree/src/vector.rs:

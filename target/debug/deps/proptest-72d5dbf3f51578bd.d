@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-72d5dbf3f51578bd.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-72d5dbf3f51578bd.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-72d5dbf3f51578bd.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

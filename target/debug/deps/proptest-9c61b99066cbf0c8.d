@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-9c61b99066cbf0c8.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-9c61b99066cbf0c8: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

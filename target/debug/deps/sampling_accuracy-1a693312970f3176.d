@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sampling_accuracy-1a693312970f3176.d: crates/parda-bench/src/bin/sampling_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsampling_accuracy-1a693312970f3176.rmeta: crates/parda-bench/src/bin/sampling_accuracy.rs Cargo.toml
+
+crates/parda-bench/src/bin/sampling_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sampling_accuracy-8df8d9ec82190035.d: crates/parda-bench/src/bin/sampling_accuracy.rs
+
+/root/repo/target/debug/deps/sampling_accuracy-8df8d9ec82190035: crates/parda-bench/src/bin/sampling_accuracy.rs
+
+crates/parda-bench/src/bin/sampling_accuracy.rs:

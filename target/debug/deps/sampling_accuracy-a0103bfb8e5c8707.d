@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sampling_accuracy-a0103bfb8e5c8707.d: crates/parda-bench/src/bin/sampling_accuracy.rs
+
+/root/repo/target/debug/deps/sampling_accuracy-a0103bfb8e5c8707: crates/parda-bench/src/bin/sampling_accuracy.rs
+
+crates/parda-bench/src/bin/sampling_accuracy.rs:

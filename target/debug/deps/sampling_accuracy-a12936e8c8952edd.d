@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sampling_accuracy-a12936e8c8952edd.d: crates/parda-bench/src/bin/sampling_accuracy.rs
+
+/root/repo/target/debug/deps/sampling_accuracy-a12936e8c8952edd: crates/parda-bench/src/bin/sampling_accuracy.rs
+
+crates/parda-bench/src/bin/sampling_accuracy.rs:

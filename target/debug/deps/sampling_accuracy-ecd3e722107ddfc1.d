@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sampling_accuracy-ecd3e722107ddfc1.d: crates/parda-bench/src/bin/sampling_accuracy.rs
+
+/root/repo/target/debug/deps/sampling_accuracy-ecd3e722107ddfc1: crates/parda-bench/src/bin/sampling_accuracy.rs
+
+crates/parda-bench/src/bin/sampling_accuracy.rs:

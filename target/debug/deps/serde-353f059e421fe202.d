@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-353f059e421fe202.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-353f059e421fe202.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-353f059e421fe202.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-6db7fcafe18a3157.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-6db7fcafe18a3157: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

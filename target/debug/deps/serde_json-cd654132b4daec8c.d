@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-cd654132b4daec8c.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-cd654132b4daec8c.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-cd654132b4daec8c.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stream-7ee14f3a4e73ec1d.d: crates/parda-cli/tests/stream.rs
+
+/root/repo/target/debug/deps/stream-7ee14f3a4e73ec1d: crates/parda-cli/tests/stream.rs
+
+crates/parda-cli/tests/stream.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stream-9d1689aa7fccf02c.d: crates/parda-cli/tests/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstream-9d1689aa7fccf02c.rmeta: crates/parda-cli/tests/stream.rs Cargo.toml
+
+crates/parda-cli/tests/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

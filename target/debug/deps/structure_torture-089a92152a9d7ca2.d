@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/structure_torture-089a92152a9d7ca2.d: tests/structure_torture.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstructure_torture-089a92152a9d7ca2.rmeta: tests/structure_torture.rs Cargo.toml
+
+tests/structure_torture.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/structure_torture-66a012f2f056e02b.d: tests/structure_torture.rs
+
+/root/repo/target/debug/deps/structure_torture-66a012f2f056e02b: tests/structure_torture.rs
+
+tests/structure_torture.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/structure_torture-7a3eac7ecf257948.d: tests/structure_torture.rs
+
+/root/repo/target/debug/deps/structure_torture-7a3eac7ecf257948: tests/structure_torture.rs
+
+tests/structure_torture.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/structures-30e73ed422e1576d.d: crates/parda-bench/benches/structures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstructures-30e73ed422e1576d.rmeta: crates/parda-bench/benches/structures.rs Cargo.toml
+
+crates/parda-bench/benches/structures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

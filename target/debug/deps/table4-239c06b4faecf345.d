@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-239c06b4faecf345.d: crates/parda-bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-239c06b4faecf345: crates/parda-bench/src/bin/table4.rs
+
+crates/parda-bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-925d6be82f3112fa.d: crates/parda-bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-925d6be82f3112fa: crates/parda-bench/src/bin/table4.rs
+
+crates/parda-bench/src/bin/table4.rs:

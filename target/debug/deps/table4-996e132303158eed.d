@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-996e132303158eed.d: crates/parda-bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-996e132303158eed: crates/parda-bench/src/bin/table4.rs
+
+crates/parda-bench/src/bin/table4.rs:

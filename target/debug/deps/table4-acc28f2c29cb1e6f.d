@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4-acc28f2c29cb1e6f.d: crates/parda-bench/src/bin/table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4-acc28f2c29cb1e6f.rmeta: crates/parda-bench/src/bin/table4.rs Cargo.toml
+
+crates/parda-bench/src/bin/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

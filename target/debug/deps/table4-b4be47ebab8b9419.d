@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4-b4be47ebab8b9419.d: crates/parda-bench/src/bin/table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4-b4be47ebab8b9419.rmeta: crates/parda-bench/src/bin/table4.rs Cargo.toml
+
+crates/parda-bench/src/bin/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-d5121554dab27635.d: crates/parda-bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-d5121554dab27635: crates/parda-bench/src/bin/table4.rs
+
+crates/parda-bench/src/bin/table4.rs:

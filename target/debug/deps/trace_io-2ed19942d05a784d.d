@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_io-2ed19942d05a784d.d: crates/parda-bench/benches/trace_io.rs
+
+/root/repo/target/debug/deps/trace_io-2ed19942d05a784d: crates/parda-bench/benches/trace_io.rs
+
+crates/parda-bench/benches/trace_io.rs:

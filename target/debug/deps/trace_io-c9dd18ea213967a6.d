@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_io-c9dd18ea213967a6.d: crates/parda-bench/benches/trace_io.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_io-c9dd18ea213967a6.rmeta: crates/parda-bench/benches/trace_io.rs Cargo.toml
+
+crates/parda-bench/benches/trace_io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

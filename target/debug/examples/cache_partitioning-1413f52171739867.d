@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_partitioning-1413f52171739867.d: examples/cache_partitioning.rs
+
+/root/repo/target/debug/examples/cache_partitioning-1413f52171739867: examples/cache_partitioning.rs
+
+examples/cache_partitioning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_partitioning-97bf7c553f4931db.d: examples/cache_partitioning.rs
+
+/root/repo/target/debug/examples/cache_partitioning-97bf7c553f4931db: examples/cache_partitioning.rs
+
+examples/cache_partitioning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cache_partitioning-cca56d86afbf44e8.d: examples/cache_partitioning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcache_partitioning-cca56d86afbf44e8.rmeta: examples/cache_partitioning.rs Cargo.toml
+
+examples/cache_partitioning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

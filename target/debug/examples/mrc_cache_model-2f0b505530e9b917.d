@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mrc_cache_model-2f0b505530e9b917.d: examples/mrc_cache_model.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmrc_cache_model-2f0b505530e9b917.rmeta: examples/mrc_cache_model.rs Cargo.toml
+
+examples/mrc_cache_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mrc_cache_model-7eecd79586bdb8e4.d: examples/mrc_cache_model.rs
+
+/root/repo/target/debug/examples/mrc_cache_model-7eecd79586bdb8e4: examples/mrc_cache_model.rs
+
+examples/mrc_cache_model.rs:

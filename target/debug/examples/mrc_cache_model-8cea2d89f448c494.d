@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mrc_cache_model-8cea2d89f448c494.d: examples/mrc_cache_model.rs
+
+/root/repo/target/debug/examples/mrc_cache_model-8cea2d89f448c494: examples/mrc_cache_model.rs
+
+examples/mrc_cache_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/object_locality-1a71746bcf401fa7.d: examples/object_locality.rs
+
+/root/repo/target/debug/examples/object_locality-1a71746bcf401fa7: examples/object_locality.rs
+
+examples/object_locality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/object_locality-b95046159bea61a1.d: examples/object_locality.rs Cargo.toml
+
+/root/repo/target/debug/examples/libobject_locality-b95046159bea61a1.rmeta: examples/object_locality.rs Cargo.toml
+
+examples/object_locality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/object_locality-eddb295802970532.d: examples/object_locality.rs
+
+/root/repo/target/debug/examples/object_locality-eddb295802970532: examples/object_locality.rs
+
+examples/object_locality.rs:

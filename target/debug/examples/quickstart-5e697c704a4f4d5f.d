@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5e697c704a4f4d5f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5e697c704a4f4d5f: examples/quickstart.rs
+
+examples/quickstart.rs:

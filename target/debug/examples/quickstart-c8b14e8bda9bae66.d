@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c8b14e8bda9bae66.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c8b14e8bda9bae66: examples/quickstart.rs
+
+examples/quickstart.rs:

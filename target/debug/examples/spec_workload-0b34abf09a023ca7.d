@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spec_workload-0b34abf09a023ca7.d: examples/spec_workload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspec_workload-0b34abf09a023ca7.rmeta: examples/spec_workload.rs Cargo.toml
+
+examples/spec_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spec_workload-4ac5d773335c211a.d: examples/spec_workload.rs
+
+/root/repo/target/debug/examples/spec_workload-4ac5d773335c211a: examples/spec_workload.rs
+
+examples/spec_workload.rs:

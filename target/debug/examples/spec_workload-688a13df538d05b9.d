@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spec_workload-688a13df538d05b9.d: examples/spec_workload.rs
+
+/root/repo/target/debug/examples/spec_workload-688a13df538d05b9: examples/spec_workload.rs
+
+examples/spec_workload.rs:

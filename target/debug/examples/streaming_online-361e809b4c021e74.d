@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming_online-361e809b4c021e74.d: examples/streaming_online.rs
+
+/root/repo/target/debug/examples/streaming_online-361e809b4c021e74: examples/streaming_online.rs
+
+examples/streaming_online.rs:

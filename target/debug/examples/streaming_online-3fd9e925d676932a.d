@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming_online-3fd9e925d676932a.d: examples/streaming_online.rs
+
+/root/repo/target/debug/examples/streaming_online-3fd9e925d676932a: examples/streaming_online.rs
+
+examples/streaming_online.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/streaming_online-93e8d1a9946ab616.d: examples/streaming_online.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstreaming_online-93e8d1a9946ab616.rmeta: examples/streaming_online.rs Cargo.toml
+
+examples/streaming_online.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

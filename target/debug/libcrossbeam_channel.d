@@ -1,0 +1,1 @@
+/root/repo/target/debug/libcrossbeam_channel.rlib: /root/repo/shims/crossbeam-channel/src/lib.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_space-67fd38590b41769d.d: crates/parda-bench/src/bin/ablation_space.rs
+
+/root/repo/target/release/deps/ablation_space-67fd38590b41769d: crates/parda-bench/src/bin/ablation_space.rs
+
+crates/parda-bench/src/bin/ablation_space.rs:

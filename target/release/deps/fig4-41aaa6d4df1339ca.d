@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-41aaa6d4df1339ca.d: crates/parda-bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-41aaa6d4df1339ca: crates/parda-bench/src/bin/fig4.rs
+
+crates/parda-bench/src/bin/fig4.rs:

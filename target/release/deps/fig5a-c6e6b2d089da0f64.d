@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5a-c6e6b2d089da0f64.d: crates/parda-bench/src/bin/fig5a.rs
+
+/root/repo/target/release/deps/fig5a-c6e6b2d089da0f64: crates/parda-bench/src/bin/fig5a.rs
+
+crates/parda-bench/src/bin/fig5a.rs:

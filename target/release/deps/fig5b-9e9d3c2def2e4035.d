@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5b-9e9d3c2def2e4035.d: crates/parda-bench/src/bin/fig5b.rs
+
+/root/repo/target/release/deps/fig5b-9e9d3c2def2e4035: crates/parda-bench/src/bin/fig5b.rs
+
+crates/parda-bench/src/bin/fig5b.rs:

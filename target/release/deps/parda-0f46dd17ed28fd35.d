@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parda-0f46dd17ed28fd35.d: src/lib.rs
+
+/root/repo/target/release/deps/libparda-0f46dd17ed28fd35.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libparda-0f46dd17ed28fd35.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parda-727219e947707390.d: crates/parda-cli/src/main.rs
+
+/root/repo/target/release/deps/parda-727219e947707390: crates/parda-cli/src/main.rs
+
+crates/parda-cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parda-e2ec6b02478892f2.d: src/lib.rs
+
+/root/repo/target/release/deps/libparda-e2ec6b02478892f2.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libparda-e2ec6b02478892f2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parda_bench-0cc0a855219f9dc2.d: crates/parda-bench/src/lib.rs crates/parda-bench/src/report.rs crates/parda-bench/src/workload.rs
+
+/root/repo/target/release/deps/libparda_bench-0cc0a855219f9dc2.rlib: crates/parda-bench/src/lib.rs crates/parda-bench/src/report.rs crates/parda-bench/src/workload.rs
+
+/root/repo/target/release/deps/libparda_bench-0cc0a855219f9dc2.rmeta: crates/parda-bench/src/lib.rs crates/parda-bench/src/report.rs crates/parda-bench/src/workload.rs
+
+crates/parda-bench/src/lib.rs:
+crates/parda-bench/src/report.rs:
+crates/parda-bench/src/workload.rs:

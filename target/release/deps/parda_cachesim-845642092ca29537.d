@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/parda_cachesim-845642092ca29537.d: crates/parda-cachesim/src/lib.rs crates/parda-cachesim/src/lru.rs crates/parda-cachesim/src/plru.rs crates/parda-cachesim/src/set_assoc.rs
+
+/root/repo/target/release/deps/libparda_cachesim-845642092ca29537.rlib: crates/parda-cachesim/src/lib.rs crates/parda-cachesim/src/lru.rs crates/parda-cachesim/src/plru.rs crates/parda-cachesim/src/set_assoc.rs
+
+/root/repo/target/release/deps/libparda_cachesim-845642092ca29537.rmeta: crates/parda-cachesim/src/lib.rs crates/parda-cachesim/src/lru.rs crates/parda-cachesim/src/plru.rs crates/parda-cachesim/src/set_assoc.rs
+
+crates/parda-cachesim/src/lib.rs:
+crates/parda-cachesim/src/lru.rs:
+crates/parda-cachesim/src/plru.rs:
+crates/parda-cachesim/src/set_assoc.rs:

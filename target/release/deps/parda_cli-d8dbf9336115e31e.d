@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parda_cli-d8dbf9336115e31e.d: crates/parda-cli/src/lib.rs crates/parda-cli/src/args.rs crates/parda-cli/src/commands.rs
+
+/root/repo/target/release/deps/libparda_cli-d8dbf9336115e31e.rlib: crates/parda-cli/src/lib.rs crates/parda-cli/src/args.rs crates/parda-cli/src/commands.rs
+
+/root/repo/target/release/deps/libparda_cli-d8dbf9336115e31e.rmeta: crates/parda-cli/src/lib.rs crates/parda-cli/src/args.rs crates/parda-cli/src/commands.rs
+
+crates/parda-cli/src/lib.rs:
+crates/parda-cli/src/args.rs:
+crates/parda-cli/src/commands.rs:

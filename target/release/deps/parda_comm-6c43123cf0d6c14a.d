@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parda_comm-6c43123cf0d6c14a.d: crates/parda-comm/src/lib.rs crates/parda-comm/src/collectives.rs crates/parda-comm/src/pipe.rs
+
+/root/repo/target/release/deps/libparda_comm-6c43123cf0d6c14a.rlib: crates/parda-comm/src/lib.rs crates/parda-comm/src/collectives.rs crates/parda-comm/src/pipe.rs
+
+/root/repo/target/release/deps/libparda_comm-6c43123cf0d6c14a.rmeta: crates/parda-comm/src/lib.rs crates/parda-comm/src/collectives.rs crates/parda-comm/src/pipe.rs
+
+crates/parda-comm/src/lib.rs:
+crates/parda-comm/src/collectives.rs:
+crates/parda-comm/src/pipe.rs:

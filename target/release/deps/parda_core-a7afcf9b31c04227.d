@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/parda_core-a7afcf9b31c04227.d: crates/parda-core/src/lib.rs crates/parda-core/src/engine.rs crates/parda-core/src/object.rs crates/parda-core/src/parallel.rs crates/parda-core/src/phased.rs crates/parda-core/src/sampled.rs crates/parda-core/src/seq.rs crates/parda-core/src/shared.rs crates/parda-core/src/window.rs
+
+/root/repo/target/release/deps/libparda_core-a7afcf9b31c04227.rlib: crates/parda-core/src/lib.rs crates/parda-core/src/engine.rs crates/parda-core/src/object.rs crates/parda-core/src/parallel.rs crates/parda-core/src/phased.rs crates/parda-core/src/sampled.rs crates/parda-core/src/seq.rs crates/parda-core/src/shared.rs crates/parda-core/src/window.rs
+
+/root/repo/target/release/deps/libparda_core-a7afcf9b31c04227.rmeta: crates/parda-core/src/lib.rs crates/parda-core/src/engine.rs crates/parda-core/src/object.rs crates/parda-core/src/parallel.rs crates/parda-core/src/phased.rs crates/parda-core/src/sampled.rs crates/parda-core/src/seq.rs crates/parda-core/src/shared.rs crates/parda-core/src/window.rs
+
+crates/parda-core/src/lib.rs:
+crates/parda-core/src/engine.rs:
+crates/parda-core/src/object.rs:
+crates/parda-core/src/parallel.rs:
+crates/parda-core/src/phased.rs:
+crates/parda-core/src/sampled.rs:
+crates/parda-core/src/seq.rs:
+crates/parda-core/src/shared.rs:
+crates/parda-core/src/window.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/parda_hash-702640eba0b73236.d: crates/parda-hash/src/lib.rs crates/parda-hash/src/fx.rs crates/parda-hash/src/map.rs crates/parda-hash/src/table.rs
+
+/root/repo/target/release/deps/libparda_hash-702640eba0b73236.rlib: crates/parda-hash/src/lib.rs crates/parda-hash/src/fx.rs crates/parda-hash/src/map.rs crates/parda-hash/src/table.rs
+
+/root/repo/target/release/deps/libparda_hash-702640eba0b73236.rmeta: crates/parda-hash/src/lib.rs crates/parda-hash/src/fx.rs crates/parda-hash/src/map.rs crates/parda-hash/src/table.rs
+
+crates/parda-hash/src/lib.rs:
+crates/parda-hash/src/fx.rs:
+crates/parda-hash/src/map.rs:
+crates/parda-hash/src/table.rs:

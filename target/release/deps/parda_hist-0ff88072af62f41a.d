@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/parda_hist-0ff88072af62f41a.d: crates/parda-hist/src/lib.rs crates/parda-hist/src/binned.rs crates/parda-hist/src/hierarchy.rs crates/parda-hist/src/histogram.rs
+
+/root/repo/target/release/deps/libparda_hist-0ff88072af62f41a.rlib: crates/parda-hist/src/lib.rs crates/parda-hist/src/binned.rs crates/parda-hist/src/hierarchy.rs crates/parda-hist/src/histogram.rs
+
+/root/repo/target/release/deps/libparda_hist-0ff88072af62f41a.rmeta: crates/parda-hist/src/lib.rs crates/parda-hist/src/binned.rs crates/parda-hist/src/hierarchy.rs crates/parda-hist/src/histogram.rs
+
+crates/parda-hist/src/lib.rs:
+crates/parda-hist/src/binned.rs:
+crates/parda-hist/src/hierarchy.rs:
+crates/parda-hist/src/histogram.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/parda_pinsim-371bf5e3ec334c2b.d: crates/parda-pinsim/src/lib.rs crates/parda-pinsim/src/programs.rs
+
+/root/repo/target/release/deps/libparda_pinsim-371bf5e3ec334c2b.rlib: crates/parda-pinsim/src/lib.rs crates/parda-pinsim/src/programs.rs
+
+/root/repo/target/release/deps/libparda_pinsim-371bf5e3ec334c2b.rmeta: crates/parda-pinsim/src/lib.rs crates/parda-pinsim/src/programs.rs
+
+crates/parda-pinsim/src/lib.rs:
+crates/parda-pinsim/src/programs.rs:

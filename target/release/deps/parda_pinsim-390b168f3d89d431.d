@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/parda_pinsim-390b168f3d89d431.d: crates/parda-pinsim/src/lib.rs crates/parda-pinsim/src/programs.rs
+
+/root/repo/target/release/deps/libparda_pinsim-390b168f3d89d431.rlib: crates/parda-pinsim/src/lib.rs crates/parda-pinsim/src/programs.rs
+
+/root/repo/target/release/deps/libparda_pinsim-390b168f3d89d431.rmeta: crates/parda-pinsim/src/lib.rs crates/parda-pinsim/src/programs.rs
+
+crates/parda-pinsim/src/lib.rs:
+crates/parda-pinsim/src/programs.rs:

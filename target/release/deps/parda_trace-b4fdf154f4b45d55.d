@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/parda_trace-b4fdf154f4b45d55.d: crates/parda-trace/src/lib.rs crates/parda-trace/src/alias.rs crates/parda-trace/src/gen.rs crates/parda-trace/src/io.rs crates/parda-trace/src/lru_stack.rs crates/parda-trace/src/spec.rs crates/parda-trace/src/stats.rs crates/parda-trace/src/xform.rs
+
+/root/repo/target/release/deps/libparda_trace-b4fdf154f4b45d55.rlib: crates/parda-trace/src/lib.rs crates/parda-trace/src/alias.rs crates/parda-trace/src/gen.rs crates/parda-trace/src/io.rs crates/parda-trace/src/lru_stack.rs crates/parda-trace/src/spec.rs crates/parda-trace/src/stats.rs crates/parda-trace/src/xform.rs
+
+/root/repo/target/release/deps/libparda_trace-b4fdf154f4b45d55.rmeta: crates/parda-trace/src/lib.rs crates/parda-trace/src/alias.rs crates/parda-trace/src/gen.rs crates/parda-trace/src/io.rs crates/parda-trace/src/lru_stack.rs crates/parda-trace/src/spec.rs crates/parda-trace/src/stats.rs crates/parda-trace/src/xform.rs
+
+crates/parda-trace/src/lib.rs:
+crates/parda-trace/src/alias.rs:
+crates/parda-trace/src/gen.rs:
+crates/parda-trace/src/io.rs:
+crates/parda-trace/src/lru_stack.rs:
+crates/parda-trace/src/spec.rs:
+crates/parda-trace/src/stats.rs:
+crates/parda-trace/src/xform.rs:

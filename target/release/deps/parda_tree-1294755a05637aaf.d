@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/parda_tree-1294755a05637aaf.d: crates/parda-tree/src/lib.rs crates/parda-tree/src/avl.rs crates/parda-tree/src/fenwick.rs crates/parda-tree/src/naive.rs crates/parda-tree/src/splay.rs crates/parda-tree/src/treap.rs crates/parda-tree/src/vector.rs
+
+/root/repo/target/release/deps/libparda_tree-1294755a05637aaf.rlib: crates/parda-tree/src/lib.rs crates/parda-tree/src/avl.rs crates/parda-tree/src/fenwick.rs crates/parda-tree/src/naive.rs crates/parda-tree/src/splay.rs crates/parda-tree/src/treap.rs crates/parda-tree/src/vector.rs
+
+/root/repo/target/release/deps/libparda_tree-1294755a05637aaf.rmeta: crates/parda-tree/src/lib.rs crates/parda-tree/src/avl.rs crates/parda-tree/src/fenwick.rs crates/parda-tree/src/naive.rs crates/parda-tree/src/splay.rs crates/parda-tree/src/treap.rs crates/parda-tree/src/vector.rs
+
+crates/parda-tree/src/lib.rs:
+crates/parda-tree/src/avl.rs:
+crates/parda-tree/src/fenwick.rs:
+crates/parda-tree/src/naive.rs:
+crates/parda-tree/src/splay.rs:
+crates/parda-tree/src/treap.rs:
+crates/parda-tree/src/vector.rs:

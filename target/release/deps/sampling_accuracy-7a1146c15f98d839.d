@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sampling_accuracy-7a1146c15f98d839.d: crates/parda-bench/src/bin/sampling_accuracy.rs
+
+/root/repo/target/release/deps/sampling_accuracy-7a1146c15f98d839: crates/parda-bench/src/bin/sampling_accuracy.rs
+
+crates/parda-bench/src/bin/sampling_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scratch_timing-ce9205491dda6bd8.d: crates/parda-bench/tests/scratch_timing.rs
+
+/root/repo/target/release/deps/scratch_timing-ce9205491dda6bd8: crates/parda-bench/tests/scratch_timing.rs
+
+crates/parda-bench/tests/scratch_timing.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-d4baf288e548e10e.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-d4baf288e548e10e.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-d4baf288e548e10e.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-f24cb39a048f637b.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-f24cb39a048f637b.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-f24cb39a048f637b.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-6984605baf30ea03.d: crates/parda-bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-6984605baf30ea03: crates/parda-bench/src/bin/table4.rs
+
+crates/parda-bench/src/bin/table4.rs:

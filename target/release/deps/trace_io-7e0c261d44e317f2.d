@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_io-7e0c261d44e317f2.d: crates/parda-bench/benches/trace_io.rs
+
+/root/repo/target/release/deps/trace_io-7e0c261d44e317f2: crates/parda-bench/benches/trace_io.rs
+
+crates/parda-bench/benches/trace_io.rs:

@@ -95,9 +95,7 @@ fn phase_detection_across_kernel_switch() {
     let boundaries = detect_phases(&analysis, 0.6);
     // A boundary within one window of the kernel switch.
     assert!(
-        boundaries
-            .iter()
-            .any(|&b| b.abs_diff(boundary) <= window),
+        boundaries.iter().any(|&b| b.abs_diff(boundary) <= window),
         "kernel switch at {boundary} not detected: {boundaries:?}"
     );
 }

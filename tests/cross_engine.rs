@@ -119,7 +119,10 @@ fn mrc_from_histogram_is_monotone_and_anchored() {
     let trace = spec_trace("astar", 30_000, 4);
     let hist = analyze_sequential::<SplayTree>(trace.as_slice(), None);
     let curve = hist.miss_ratio_curve_pow2();
-    assert!(curve.windows(2).all(|w| w[1].1 <= w[0].1), "MRC must not increase");
+    assert!(
+        curve.windows(2).all(|w| w[1].1 <= w[0].1),
+        "MRC must not increase"
+    );
     let cold = hist.infinite() as f64 / hist.total() as f64;
     let last = curve.last().unwrap().1;
     assert!(

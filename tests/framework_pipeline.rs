@@ -69,6 +69,10 @@ fn bounded_online_analysis_matches_bounded_contract() {
         assert_eq!(bounded.count(d), full.count(d), "bucket {d}");
     }
     for cap in [1u64, 8, 32, 64] {
-        assert_eq!(bounded.miss_count(cap), full.miss_count(cap), "capacity {cap}");
+        assert_eq!(
+            bounded.miss_count(cap),
+            full.miss_count(cap),
+            "capacity {cap}"
+        );
     }
 }
