@@ -23,6 +23,9 @@ else
     echo "clippy not installed; skipping lint step" >&2
 fi
 
+step "cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 if [[ $quick -eq 0 ]]; then
     step "cargo build --release"
     cargo build --release
@@ -33,6 +36,18 @@ cargo test -q
 
 step "cargo test --workspace"
 cargo test --workspace -q
+
+step "--stats=json smoke (analyze a v2 trace, output must be valid JSON)"
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run -q -p parda-cli --bin parda -- \
+    gen --pattern zipf --footprint 2000 --refs 100000 --out "$smoke_dir/smoke.trc"
+cargo run -q -p parda-cli --bin parda -- \
+    analyze "$smoke_dir/smoke.trc" --engine msg --ranks 8 --stats=json \
+    | python3 -m json.tool > /dev/null
+cargo run -q -p parda-cli --bin parda -- \
+    analyze "$smoke_dir/smoke.trc" --stream --stats=json \
+    | python3 -m json.tool > /dev/null
 
 echo
 echo "ci: all checks passed"

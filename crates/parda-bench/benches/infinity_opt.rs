@@ -27,16 +27,8 @@ fn bench_infinity_processing(c: &mut Criterion) {
     group.throughput(Throughput::Elements(n));
     group.sample_size(10);
     for ranks in [4usize, 16] {
-        let optimized = PardaConfig {
-            ranks,
-            bound: None,
-            space_optimized: true,
-        };
-        let plain = PardaConfig {
-            ranks,
-            bound: None,
-            space_optimized: false,
-        };
+        let optimized = PardaConfig::with_ranks(ranks).space_optimized(true);
+        let plain = PardaConfig::with_ranks(ranks).space_optimized(false);
         group.bench_with_input(
             BenchmarkId::new("optimized", ranks),
             &optimized,

@@ -10,9 +10,8 @@
 
 use parda_bench::report::line_chart;
 use parda_bench::{build_workload, time, BenchArgs, Report};
-use parda_core::{parallel, PardaConfig};
+use parda_core::Analysis;
 use parda_trace::spec::SpecBenchmark;
-use parda_tree::SplayTree;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -21,6 +20,10 @@ struct Point {
     ranks: usize,
     parda_secs: f64,
     slowdown: f64,
+    chunk_ms: f64,
+    cascade_ms: f64,
+    infinities_forwarded: u64,
+    stats: parda_core::Report,
 }
 
 fn main() {
@@ -44,7 +47,18 @@ fn main() {
         rank_counts
     );
 
-    let report = Report::new(&["bound_w", "ranks", "parda_s", "slowdown_x"], args.json);
+    let report = Report::new(
+        &[
+            "bound_w",
+            "ranks",
+            "parda_s",
+            "slowdown_x",
+            "chunk_ms",
+            "cascade_ms",
+            "fwd_inf",
+        ],
+        args.json,
+    );
     let mut out = std::io::stdout();
     report.print_header(&mut out);
 
@@ -52,15 +66,20 @@ fn main() {
     for &bound in &bounds {
         let mut ys = Vec::new();
         for &ranks in &rank_counts {
-            let mut config = PardaConfig::with_ranks(ranks);
-            config.bound = Some(bound);
-            let (_, secs) =
-                time(|| parallel::parda_threads::<SplayTree>(w.trace.as_slice(), &config));
+            // Default mode is the parda-threads driver; stats(true) yields
+            // the per-rank breakdown the paper's Fig. 4 discussion is about.
+            let analysis = Analysis::new().ranks(ranks).bound(bound).stats(true);
+            let ((_, stats), secs) = time(|| analysis.run(w.trace.as_slice()));
+            let stats = stats.expect("stats were requested");
             let point = Point {
                 bound_words: bound,
                 ranks,
                 parda_secs: secs,
                 slowdown: w.slowdown(secs),
+                chunk_ms: stats.total_chunk_ns() as f64 / 1e6,
+                cascade_ms: stats.total_cascade_ns() as f64 / 1e6,
+                infinities_forwarded: stats.total_infinities_forwarded(),
+                stats,
             };
             ys.push(point.slowdown);
             report.print_row(
@@ -70,6 +89,9 @@ fn main() {
                     ranks.to_string(),
                     format!("{:.3}", point.parda_secs),
                     format!("{:.1}", point.slowdown),
+                    format!("{:.1}", point.chunk_ms),
+                    format!("{:.1}", point.cascade_ms),
+                    point.infinities_forwarded.to_string(),
                 ],
                 &point,
             );

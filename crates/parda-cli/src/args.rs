@@ -47,6 +47,65 @@ impl Args {
         Ok(args)
     }
 
+    /// Parse raw tokens against a list of known boolean switches.
+    ///
+    /// Unlike [`Args::parse`], this form is not greedy-ambiguous:
+    ///
+    /// * `--key=value` is always an option — including for known switches,
+    ///   which is how `--stats=json` selects a format while bare `--stats`
+    ///   stays a switch;
+    /// * a known switch never consumes the next token (`--stream file.trc`
+    ///   leaves `file.trc` positional);
+    /// * any other `--key` *must* be followed by a value token; a dangling
+    ///   option (`--bound` at the end) or a flag-shaped value
+    ///   (`--bound --ranks`) is an error instead of silently becoming a
+    ///   switch.
+    pub fn parse_with_switches(tokens: &[String], switches: &[&str]) -> Result<Self, String> {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            if let Some(key) = tok.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("bare `--` is not supported".into());
+                }
+                if let Some((k, v)) = key.split_once('=') {
+                    if k.is_empty() {
+                        return Err(format!("malformed option `{tok}`"));
+                    }
+                    if args.options.insert(k.to_string(), v.to_string()).is_some() {
+                        return Err(format!("duplicate option --{k}"));
+                    }
+                    i += 1;
+                } else if switches.contains(&key) {
+                    args.switches.insert(key.to_string());
+                    i += 1;
+                } else {
+                    match tokens.get(i + 1) {
+                        Some(value) if !value.starts_with("--") => {
+                            if args
+                                .options
+                                .insert(key.to_string(), value.clone())
+                                .is_some()
+                            {
+                                return Err(format!("duplicate option --{key}"));
+                            }
+                            i += 2;
+                        }
+                        Some(flag) => {
+                            return Err(format!("option --{key} requires a value, got `{flag}`"))
+                        }
+                        None => return Err(format!("option --{key} requires a value")),
+                    }
+                }
+            } else {
+                args.positional.push(tok.clone());
+                i += 1;
+            }
+        }
+        Ok(args)
+    }
+
     /// Positional argument at `idx`.
     pub fn positional(&self, idx: usize) -> Option<&str> {
         self.positional.get(idx).map(String::as_str)
@@ -155,5 +214,49 @@ mod tests {
         let a = parse(&[]);
         let err = a.require_positional(0, "trace file").unwrap_err();
         assert!(err.contains("trace file"));
+    }
+
+    fn parse_sw(tokens: &[&str], switches: &[&str]) -> Result<Args, String> {
+        Args::parse_with_switches(
+            &tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            switches,
+        )
+    }
+
+    #[test]
+    fn switches_never_consume_values() {
+        let a = parse_sw(&["--stream", "file.trc", "--ranks", "8"], &["stream"]).unwrap();
+        assert!(a.has("stream"));
+        assert_eq!(a.positional(0), Some("file.trc"));
+        assert_eq!(a.get("ranks"), Some("8"));
+    }
+
+    #[test]
+    fn key_equals_value_forms() {
+        let a = parse_sw(&["--stats=json", "--ranks=4", "t.trc"], &["stats"]).unwrap();
+        assert_eq!(a.get("stats"), Some("json"));
+        assert!(!a.has("stats"), "--stats=json is an option, not a switch");
+        assert_eq!(a.get("ranks"), Some("4"));
+        assert_eq!(a.positional(0), Some("t.trc"));
+
+        let bare = parse_sw(&["--stats"], &["stats"]).unwrap();
+        assert!(bare.has("stats"));
+        assert_eq!(bare.get("stats"), None);
+    }
+
+    #[test]
+    fn dangling_and_flag_shaped_values_rejected() {
+        let err = parse_sw(&["--bound"], &["stats"]).unwrap_err();
+        assert!(err.contains("--bound requires a value"), "{err}");
+        let err = parse_sw(&["--bound", "--ranks", "4"], &["stats"]).unwrap_err();
+        assert!(err.contains("--bound requires a value"), "{err}");
+        let err = parse_sw(&["--=x"], &[]).unwrap_err();
+        assert!(err.contains("malformed"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_options_rejected_in_switch_mode() {
+        assert!(parse_sw(&["--ranks", "1", "--ranks=2"], &[]).is_err());
+        assert!(parse_sw(&["--stats=json", "--stats=pretty"], &["stats"]).is_err());
     }
 }

@@ -1,18 +1,22 @@
 //! Subcommand implementations.
 
 use crate::Args;
-use parda_core::phased::{self, Reduction};
-use parda_core::sampled::{self, SampleRate};
-use parda_core::{analyze_sequential_kind, parda_kind, seq, PardaConfig};
+use parda_core::phased::Reduction;
+use parda_core::{Analysis, Mode, Report};
 use parda_pinsim::collect_trace;
 use parda_trace::gen::{CyclicGen, SequentialGen, UniformGen, ZipfGen};
 use parda_trace::io::{load_trace, peek_version, save_trace, save_trace_v2, Encoding};
 use parda_trace::spec::{SpecBenchmark, SPEC2006};
 use parda_trace::stream::FramedStream;
-use parda_trace::{AddressStream, SliceStream, Trace};
+use parda_trace::{AddressStream, Trace};
 use parda_tree::TreeKind;
 use std::io::Write;
 use std::time::Instant;
+
+/// Boolean switches the CLI recognizes: these never consume the next token
+/// (`--stream file.trc` keeps `file.trc` positional), while `--stats=json`
+/// still selects a format via the `--key=value` form.
+pub const SWITCHES: &[&str] = &["json", "stream", "renumber", "stats"];
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -26,15 +30,18 @@ commands:
              --out <file> [--encoding <raw|delta>] [--format <v1|v2>]
              (v2 is the default: block-framed with a seekable index)
   analyze  analyze a trace file
-             <file> [--engine <parda|seq|naive|phased|sampled>] [--ranks <p>]
+             <file> [--engine <parda|msg|seq|naive|phased|sampled>] [--ranks <p>]
              [--bound <B>] [--tree <splay|avl|treap|vector>] [--json]
              [--line-bits <b>]  (fold addresses to 2^b-byte lines first)
              [--stream]  (decode v2 frames concurrently with analysis;
                           automatic for v2 files with the default engine)
+             [--stats[=json|pretty]]  (per-rank timing breakdown; with
+                          --stats=json the output is one JSON object
+                          holding the histogram and the stats report)
              phased:  [--chunk <C>] [--renumber]
              sampled: [--rate <k>]   (spatial sampling at rate 2^-k)
   mrc      print the miss ratio curve of a trace
-             <file> [--capacities <c1,c2,...>] [--stream]
+             <file> [--capacities <c1,c2,...>] [--stream] [--stats[=json|pretty]]
   stats    print trace statistics (N, M, address span)
              <file>
   compare  run every engine over a trace, verify agreement, report timings
@@ -113,13 +120,49 @@ fn parse_tree(args: &Args) -> Result<TreeKind, String> {
     args.get("tree").unwrap_or("splay").parse()
 }
 
+/// How `--stats` output should be rendered.
+enum StatsFormat {
+    Off,
+    Pretty,
+    Json,
+}
+
+fn stats_format(args: &Args) -> Result<StatsFormat, String> {
+    if let Some(fmt) = args.get("stats") {
+        match fmt {
+            "json" => Ok(StatsFormat::Json),
+            "pretty" => Ok(StatsFormat::Pretty),
+            other => Err(format!("unknown --stats format `{other}` (json|pretty)")),
+        }
+    } else if args.has("stats") {
+        Ok(StatsFormat::Pretty)
+    } else {
+        Ok(StatsFormat::Off)
+    }
+}
+
+/// Emit the histogram and report as one JSON object, so the whole stdout of
+/// a `--stats=json` run parses as a single document.
+fn write_stats_json(
+    hist: &parda_hist::ReuseHistogram,
+    report: &Report,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let hist_json = serde_json::to_string(hist).map_err(io_err)?;
+    let report_json = serde_json::to_string(report).map_err(io_err)?;
+    writeln!(out, "{{\"histogram\":{hist_json},\"stats\":{report_json}}}").map_err(io_err)
+}
+
 /// `parda analyze`: run an analyzer over a trace file and print the binned
 /// histogram and timing.
 pub fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let engine = args.get("engine").unwrap_or("parda");
-    if !matches!(engine, "parda" | "seq" | "naive" | "phased" | "sampled") {
+    if !matches!(
+        engine,
+        "parda" | "msg" | "seq" | "naive" | "phased" | "sampled"
+    ) {
         return Err(format!(
-            "unknown engine `{engine}` (parda|seq|naive|phased|sampled)"
+            "unknown engine `{engine}` (parda|msg|seq|naive|phased|sampled)"
         ));
     }
     let path = args.require_positional(0, "trace file")?;
@@ -127,6 +170,7 @@ pub fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let bound: Option<u64> = args.get_optional("bound")?;
     let ranks: usize = args.get_parsed("ranks", 4)?;
     let line_bits: u32 = args.get_parsed("line-bits", 0)?;
+    let stats_fmt = stats_format(args)?;
 
     // Streamed analysis: decode v2 frames on background threads while the
     // phased analyzer consumes them. Explicit with --stream; automatic for
@@ -154,73 +198,57 @@ pub fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         Reduction::ShipToRankZero
     };
 
-    let engine_label;
-    let start;
-    let hist = if use_stream {
-        let mut config = PardaConfig::with_ranks(ranks);
-        config.bound = bound;
-        start = Instant::now();
+    let builder = Analysis::new()
+        .tree(tree)
+        .ranks(ranks)
+        .bound(bound)
+        .stats(true);
+    let (hist, report) = if use_stream {
+        let builder = builder.mode(Mode::Phased { chunk, reduction });
         let stream = FramedStream::open(path).map_err(io_err)?;
         let errors = stream.error_handle();
-        let hist = phased::parda_phased_with::<parda_tree::SplayTree, _>(
-            stream, chunk, &config, reduction,
-        );
+        let counters = stream.stats_handle();
+        let (hist, report) = builder.run_stream(stream);
         if let Some(e) = errors.take() {
             return Err(io_err(e));
         }
-        engine_label = "phased-stream".to_string();
-        hist
+        let mut report = report.expect("stats were requested");
+        report.stream = Some(counters.snapshot());
+        (hist, report)
     } else {
         let mut trace = load_trace(path).map_err(io_err)?;
         if line_bits > 0 {
             trace = parda_trace::xform::to_lines(&trace, line_bits);
         }
-        engine_label = engine.to_string();
-        start = Instant::now();
-        match engine {
-            "seq" => analyze_sequential_kind(trace.as_slice(), tree, bound),
-            "naive" => seq::analyze_naive(trace.as_slice()),
-            "phased" => {
-                let mut config = PardaConfig::with_ranks(ranks);
-                config.bound = bound;
-                phased::parda_phased_with::<parda_tree::SplayTree, _>(
-                    SliceStream::new(trace.as_slice()),
-                    chunk,
-                    &config,
-                    reduction,
-                )
-            }
-            "sampled" => {
-                let rate: u32 = args.get_parsed("rate", 3)?;
-                sampled::analyze_sampled::<parda_tree::SplayTree>(
-                    trace.as_slice(),
-                    SampleRate::one_in_pow2(rate),
-                )
-            }
-            _ => {
-                let mut config = PardaConfig::with_ranks(ranks);
-                config.bound = bound;
-                parda_kind(trace.as_slice(), tree, &config)
-            }
-        }
+        let mode = match engine {
+            "seq" => Mode::Seq,
+            "naive" => Mode::Naive,
+            "msg" => Mode::Msg,
+            "phased" => Mode::Phased { chunk, reduction },
+            "sampled" => Mode::Sampled {
+                rate_log2: args.get_parsed("rate", 3)?,
+            },
+            _ => Mode::Threads,
+        };
+        let (hist, report) = builder.mode(mode).run(trace.as_slice());
+        (hist, report.expect("stats were requested"))
     };
-    let elapsed = start.elapsed();
 
+    if matches!(stats_fmt, StatsFormat::Json) {
+        return write_stats_json(&hist, &report, out);
+    }
     if args.has("json") {
         let json = serde_json::to_string(&hist).map_err(io_err)?;
         writeln!(out, "{json}").map_err(io_err)?;
     } else {
         writeln!(
             out,
-            "engine={engine_label} tree={} ranks={} bound={} time={:.3}s",
+            "engine={} tree={} ranks={} bound={} time={:.3}s",
+            report.mode,
             tree.name(),
-            if matches!(engine_label.as_str(), "parda" | "phased" | "phased-stream") {
-                ranks
-            } else {
-                1
-            },
+            report.ranks,
             bound.map_or("none".into(), |b| b.to_string()),
-            elapsed.as_secs_f64()
+            report.total_ns as f64 / 1e9
         )
         .map_err(io_err)?;
         writeln!(
@@ -234,28 +262,41 @@ pub fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         .map_err(io_err)?;
         write!(out, "{}", hist.to_binned().render()).map_err(io_err)?;
     }
+    if matches!(stats_fmt, StatsFormat::Pretty) {
+        write!(out, "{}", report.render_pretty()).map_err(io_err)?;
+    }
     Ok(())
 }
 
 /// `parda mrc`: miss ratio curve at pow-2 capacities (or a custom list).
 pub fn mrc(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let path = args.require_positional(0, "trace file")?;
+    let stats_fmt = stats_format(args)?;
     // v2 files stream through the phased engine (exact, same histogram as
     // the sequential analyzer); v1 files use the legacy load-then-analyze.
-    let hist = if args.has("stream") || peek_version(path).map_err(io_err)? == 2 {
+    let (hist, report) = if args.has("stream") || peek_version(path).map_err(io_err)? == 2 {
         let ranks: usize = args.get_parsed("ranks", 4)?;
         let stream = FramedStream::open(path).map_err(io_err)?;
         let errors = stream.error_handle();
-        let config = PardaConfig::with_ranks(ranks);
-        let hist = phased::parda_phased::<parda_tree::SplayTree, _>(stream, 65_536, &config);
+        let counters = stream.stats_handle();
+        let (hist, report) = Analysis::new().ranks(ranks).stats(true).run_stream(stream);
         if let Some(e) = errors.take() {
             return Err(io_err(e));
         }
-        hist
+        let mut report = report.expect("stats were requested");
+        report.stream = Some(counters.snapshot());
+        (hist, report)
     } else {
         let trace = load_trace(path).map_err(io_err)?;
-        analyze_sequential_kind(trace.as_slice(), TreeKind::Splay, None)
+        let (hist, report) = Analysis::new()
+            .mode(Mode::Seq)
+            .stats(true)
+            .run(trace.as_slice());
+        (hist, report.expect("stats were requested"))
     };
+    if matches!(stats_fmt, StatsFormat::Json) {
+        return write_stats_json(&hist, &report, out);
+    }
     let curve = match args.get("capacities") {
         Some(list) => {
             let caps: Result<Vec<u64>, _> = list.split(',').map(str::parse).collect();
@@ -266,6 +307,9 @@ pub fn mrc(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     writeln!(out, "{:>12} {:>10}", "capacity", "miss_ratio").map_err(io_err)?;
     for (c, mr) in curve {
         writeln!(out, "{c:>12} {mr:>10.4}").map_err(io_err)?;
+    }
+    if matches!(stats_fmt, StatsFormat::Pretty) {
+        write!(out, "{}", report.render_pretty()).map_err(io_err)?;
     }
     Ok(())
 }
@@ -293,28 +337,34 @@ pub fn compare(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         results.push((name, start.elapsed().as_secs_f64(), hist));
     };
 
+    let base = Analysis::new().ranks(ranks);
     for kind in TreeKind::ALL {
         run(format!("seq/{}", kind.name()), &mut || {
-            analyze_sequential_kind(trace.as_slice(), kind, None)
+            base.clone()
+                .tree(kind)
+                .mode(Mode::Seq)
+                .run(trace.as_slice())
+                .0
         });
     }
-    let config = PardaConfig::with_ranks(ranks);
     run(format!("parda-threads/p{ranks}"), &mut || {
-        parda_kind(trace.as_slice(), TreeKind::Splay, &config)
+        base.clone().mode(Mode::Threads).run(trace.as_slice()).0
     });
     run(format!("parda-msg/p{ranks}"), &mut || {
-        parda_core::parallel::parda_msg::<parda_tree::SplayTree>(trace.as_slice(), &config)
+        base.clone().mode(Mode::Msg).run(trace.as_slice()).0
     });
     run(format!("phased/p{ranks}"), &mut || {
-        phased::parda_phased::<parda_tree::SplayTree, _>(
-            SliceStream::new(trace.as_slice()),
-            65_536,
-            &config,
-        )
+        base.clone()
+            .mode(Mode::Phased {
+                chunk: 65_536,
+                reduction: Reduction::ShipToRankZero,
+            })
+            .run(trace.as_slice())
+            .0
     });
     if trace.len() <= naive_limit {
         run("naive-stack".to_string(), &mut || {
-            seq::analyze_naive(trace.as_slice())
+            base.clone().mode(Mode::Naive).run(trace.as_slice()).0
         });
     }
 

@@ -35,7 +35,7 @@ fn run_inner(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), String
     let Some(command) = argv.first() else {
         return Err(format!("no subcommand given\n\n{}", commands::USAGE));
     };
-    let args = Args::parse(&argv[1..])?;
+    let args = Args::parse_with_switches(&argv[1..], commands::SWITCHES)?;
     match command.as_str() {
         "gen" => commands::gen(&args, out),
         "analyze" => commands::analyze(&args, out),
@@ -216,6 +216,83 @@ mod tests {
         let (code, out) = run_to_string(&["analyze", p, "--engine", "sampled", "--rate", "2"]);
         assert_eq!(code, 0, "sampled failed: {out}");
         assert!(out.contains("total="));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stats_json_is_one_document_accounting_for_every_reference() {
+        use serde_json::Value;
+
+        fn u64_of(v: &Value) -> u64 {
+            match v {
+                Value::U64(x) => *x,
+                Value::I64(x) => u64::try_from(*x).unwrap(),
+                other => panic!("expected integer, got {other:?}"),
+            }
+        }
+
+        let dir = std::env::temp_dir().join("parda-cli-test5");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.trc");
+        let p = path.to_str().unwrap();
+        let (code, _) = run_to_string(&[
+            "gen",
+            "--pattern",
+            "zipf",
+            "--footprint",
+            "400",
+            "--refs",
+            "24000",
+            "--out",
+            p,
+        ]);
+        assert_eq!(code, 0);
+
+        let (code, out) =
+            run_to_string(&["analyze", p, "--engine=msg", "--ranks=8", "--stats=json"]);
+        assert_eq!(code, 0, "{out}");
+        let doc: Value =
+            serde_json::from_str(out.trim()).expect("--stats=json stdout is one JSON document");
+        let hist_infinite = u64_of(doc.field("histogram").unwrap().field("infinite").unwrap());
+        let stats = doc.field("stats").unwrap();
+        assert_eq!(
+            stats.field("mode").unwrap(),
+            &Value::Str("parda-msg".into())
+        );
+        let Value::Array(per_rank) = stats.field("per_rank").unwrap() else {
+            panic!("per_rank is not an array");
+        };
+        assert_eq!(per_rank.len(), 8);
+
+        // Every reference lands in exactly one rank's chunk.
+        let total_refs: u64 = per_rank
+            .iter()
+            .map(|rm| u64_of(rm.field("refs").unwrap()))
+            .sum();
+        assert_eq!(total_refs, 24000);
+
+        // Cold misses only surface on rank 0 (all other ranks forward their
+        // unresolved infinities leftward), so rank 0's count must equal the
+        // histogram's infinity bucket.
+        let rank0 = &per_rank[0];
+        assert_eq!(u64_of(rank0.field("rank").unwrap()), 0);
+        let cold = u64_of(rank0.field("engine").unwrap().field("cold_misses").unwrap());
+        assert_eq!(cold, hist_infinite);
+
+        // The headline per-rank timing fields are all present.
+        for rm in per_rank {
+            rm.field("chunk_ns").unwrap();
+            rm.field("cascade_ns").unwrap();
+            rm.field("infinities_forwarded").unwrap();
+        }
+
+        // Streamed analysis attaches decoder-pipeline counters.
+        let (code, out) = run_to_string(&["analyze", p, "--stream", "--stats=json"]);
+        assert_eq!(code, 0, "{out}");
+        let doc: Value = serde_json::from_str(out.trim()).unwrap();
+        let stream = doc.field("stats").unwrap().field("stream").unwrap();
+        assert_eq!(u64_of(stream.field("refs_decoded").unwrap()), 24000);
+        assert!(u64_of(stream.field("frames_decoded").unwrap()) > 0);
         std::fs::remove_file(&path).unwrap();
     }
 

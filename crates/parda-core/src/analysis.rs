@@ -1,0 +1,523 @@
+//! The unified analysis entry point: [`Analysis`].
+//!
+//! Every engine in this crate — sequential (Algorithm 1), naïve stack
+//! (§III-A), parallel (Algorithm 3), streaming multi-phase (Algorithms 5–6),
+//! and sampling (§VII) — is reachable through one builder, with runtime tree
+//! selection and an optional observability [`Report`]:
+//!
+//! ```
+//! use parda_core::{Analysis, Mode};
+//! use parda_tree::TreeKind;
+//!
+//! let trace: Vec<u64> = (0..1000u64).map(|i| i % 50).collect();
+//! let (hist, report) = Analysis::new()
+//!     .tree(TreeKind::Splay)
+//!     .ranks(4)
+//!     .mode(Mode::Threads)
+//!     .stats(true)
+//!     .run(&trace);
+//! assert_eq!(hist.total(), 1000);
+//! let report = report.unwrap();
+//! assert_eq!(report.total_rank_refs(), 1000);
+//! assert_eq!(report.per_rank.len(), 4);
+//! ```
+//!
+//! The legacy free functions ([`crate::seq::analyze_sequential`],
+//! [`crate::parallel::parda_threads`], …) remain the low-level API; this
+//! builder is a front door that picks the engine, threads the configuration
+//! through, and aggregates the per-rank metrics into a [`Report`]. The
+//! histograms are bit-identical to the direct calls (property-tested).
+
+use crate::parallel::PardaConfig;
+use crate::phased::Reduction;
+use crate::sampled::SampleRate;
+use parda_hist::ReuseHistogram;
+use parda_obs::{EngineMetrics, PhasedMetrics, RankMetrics, Report, Stopwatch, StreamMetrics};
+use parda_trace::{Addr, AddressStream, SliceStream};
+use parda_tree::TreeKind;
+
+/// Monomorphize a block over the runtime-selected [`TreeKind`]: binds the
+/// concrete tree type to `$T` inside `$body`.
+macro_rules! dispatch_tree {
+    ($kind:expr, $T:ident, $body:block) => {
+        match $kind {
+            TreeKind::Splay => {
+                type $T = parda_tree::SplayTree;
+                $body
+            }
+            TreeKind::Avl => {
+                type $T = parda_tree::AvlTree;
+                $body
+            }
+            TreeKind::Treap => {
+                type $T = parda_tree::Treap;
+                $body
+            }
+            TreeKind::Vector => {
+                type $T = parda_tree::VectorTree;
+                $body
+            }
+        }
+    };
+}
+
+/// Which engine [`Analysis::run`] drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Algorithm 1: sequential tree-based analysis.
+    Seq,
+    /// §III-A: the O(N·M) naïve stack baseline (ignores tree/ranks/bound).
+    Naive,
+    /// Algorithm 3 via the shared-memory driver
+    /// ([`crate::parallel::parda_threads`]).
+    Threads,
+    /// Algorithm 3 via the literal message-passing driver
+    /// ([`crate::parallel::parda_msg`]).
+    Msg,
+    /// Algorithms 5–6: streaming multi-phase analysis.
+    Phased {
+        /// References per rank per phase (`C`).
+        chunk: usize,
+        /// State-reduction strategy (Algorithm 6 or the renumbering
+        /// enhancement).
+        reduction: Reduction,
+    },
+    /// §VII: spatial-sampling approximation at rate `2^-rate_log2`.
+    Sampled {
+        /// Sampling rate exponent `k` (rate `2^-k`; 0 is exact).
+        rate_log2: u32,
+    },
+}
+
+impl Mode {
+    /// Stable label used in reports and CLI output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mode::Seq => "seq",
+            Mode::Naive => "naive",
+            Mode::Threads => "parda-threads",
+            Mode::Msg => "parda-msg",
+            Mode::Phased { .. } => "phased",
+            Mode::Sampled { .. } => "sampled",
+        }
+    }
+
+    /// Streaming chunk size with the [`Mode::Phased`] default for other
+    /// modes.
+    fn phase_chunk(&self) -> usize {
+        match self {
+            Mode::Phased { chunk, .. } => *chunk,
+            _ => 65_536,
+        }
+    }
+
+    fn reduction(&self) -> Reduction {
+        match self {
+            Mode::Phased { reduction, .. } => *reduction,
+            _ => Reduction::ShipToRankZero,
+        }
+    }
+}
+
+impl Default for Mode {
+    /// The paper's headline configuration: parallel Parda over threads.
+    fn default() -> Self {
+        Mode::Threads
+    }
+}
+
+/// Builder for a reuse-distance analysis run.
+///
+/// Construct with [`Analysis::new`], chain configuration, finish with
+/// [`Analysis::run`] (an in-memory trace) or [`Analysis::run_stream`] (an
+/// [`AddressStream`], driven by the streaming engine). Both return the
+/// histogram plus `Some(Report)` when [`Analysis::stats`] was enabled.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    tree: TreeKind,
+    mode: Mode,
+    ranks: Option<usize>,
+    bound: Option<u64>,
+    space_optimized: bool,
+    stats: bool,
+}
+
+impl Default for Analysis {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Analysis {
+    /// A default analysis: splay tree, [`Mode::Threads`], hardware rank
+    /// count, unbounded, space-optimized, no stats.
+    pub fn new() -> Self {
+        Self {
+            tree: TreeKind::Splay,
+            mode: Mode::default(),
+            ranks: None,
+            bound: None,
+            space_optimized: true,
+            stats: false,
+        }
+    }
+
+    /// Select the balanced-tree implementation (Algorithm 2 substrate).
+    pub fn tree(mut self, tree: TreeKind) -> Self {
+        self.tree = tree;
+        self
+    }
+
+    /// Select the engine.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Number of ranks `np` for the parallel/streaming engines. Defaults to
+    /// the hardware parallelism.
+    pub fn ranks(mut self, ranks: usize) -> Self {
+        self.ranks = Some(ranks);
+        self
+    }
+
+    /// Cache bound `B` (Algorithm 7). Accepts `u64` or `Option<u64>`.
+    pub fn bound(mut self, bound: impl Into<Option<u64>>) -> Self {
+        self.bound = bound.into();
+        self
+    }
+
+    /// Toggle the Algorithm 4 space optimization (on by default; turning it
+    /// off reproduces plain Algorithm 3 for the ablation).
+    pub fn space_optimized(mut self, on: bool) -> Self {
+        self.space_optimized = on;
+        self
+    }
+
+    /// Collect an observability [`Report`] (per-rank timing breakdown,
+    /// cascade/stream counters).
+    pub fn stats(mut self, on: bool) -> Self {
+        self.stats = on;
+        self
+    }
+
+    /// The [`PardaConfig`] this builder resolves to.
+    pub fn config(&self) -> PardaConfig {
+        let mut config = PardaConfig::default();
+        if let Some(ranks) = self.ranks {
+            config.ranks = ranks;
+        }
+        config.bound = self.bound;
+        config.space_optimized = self.space_optimized;
+        config
+    }
+
+    /// Ranks actually used: 1 for the sequential engines, `np` otherwise.
+    fn effective_ranks(&self, config: &PardaConfig) -> usize {
+        match self.mode {
+            Mode::Seq | Mode::Naive | Mode::Sampled { .. } => 1,
+            _ => config.ranks.max(1),
+        }
+    }
+
+    /// Analyze an in-memory trace.
+    pub fn run(&self, trace: &[Addr]) -> (ReuseHistogram, Option<Report>) {
+        let config = self.config();
+        let sw = Stopwatch::start();
+        let (hist, per_rank, phased) =
+            dispatch_tree!(self.tree, T, { self.run_typed::<T>(trace, &config) });
+        self.finish(hist, per_rank, phased, None, trace.len() as u64, sw.ns())
+    }
+
+    /// Analyze an address stream with the streaming multi-phase engine
+    /// (the only engine that does not need the whole trace in memory).
+    ///
+    /// [`Mode::Phased`] supplies the phase chunk size and reduction
+    /// strategy; any other mode streams with the defaults (`C = 65536`,
+    /// ship-to-rank-zero) and is reported as `phased-stream`.
+    pub fn run_stream<S>(&self, source: S) -> (ReuseHistogram, Option<Report>)
+    where
+        S: AddressStream + Send,
+    {
+        let config = self.config();
+        let sw = Stopwatch::start();
+        let (hist, per_rank, phased) = dispatch_tree!(self.tree, T, {
+            crate::phased::parda_phased_with_stats::<T, S>(
+                source,
+                self.mode.phase_chunk(),
+                &config,
+                self.mode.reduction(),
+            )
+        });
+        let refs = per_rank.iter().map(|r| r.refs).sum();
+        let total_ns = sw.ns();
+        if !self.stats {
+            return (hist, None);
+        }
+        let report = Report {
+            mode: "phased-stream".into(),
+            tree: self.tree.name().into(),
+            ranks: config.ranks.max(1),
+            bound: self.bound,
+            trace_refs: refs,
+            total_ns,
+            per_rank,
+            stream: None,
+            phased: Some(phased),
+        };
+        (hist, Some(report))
+    }
+
+    /// One engine run with a concrete tree type.
+    fn run_typed<T: parda_tree::ReuseTree + Default + Send>(
+        &self,
+        trace: &[Addr],
+        config: &PardaConfig,
+    ) -> (ReuseHistogram, Vec<RankMetrics>, Option<PhasedMetrics>) {
+        match self.mode {
+            Mode::Seq => {
+                let (hist, rm) = crate::seq::analyze_sequential_with_stats::<T>(trace, self.bound);
+                (hist, vec![rm], None)
+            }
+            Mode::Naive => {
+                let sw = Stopwatch::start();
+                let hist = crate::seq::analyze_naive(trace);
+                let rm = untimed_rank_metrics(trace.len() as u64, &hist, sw.ns());
+                (hist, vec![rm], None)
+            }
+            Mode::Threads => {
+                let (hist, ranks) = crate::parallel::parda_threads_with_stats::<T>(trace, config);
+                (hist, ranks, None)
+            }
+            Mode::Msg => {
+                let (hist, ranks) = crate::parallel::parda_msg_with_stats::<T>(trace, config);
+                (hist, ranks, None)
+            }
+            Mode::Phased { chunk, reduction } => {
+                let (hist, ranks, phased) = crate::phased::parda_phased_with_stats::<T, _>(
+                    SliceStream::new(trace),
+                    chunk,
+                    config,
+                    reduction,
+                );
+                (hist, ranks, Some(phased))
+            }
+            Mode::Sampled { rate_log2 } => {
+                let sw = Stopwatch::start();
+                let hist =
+                    crate::sampled::analyze_sampled::<T>(trace, SampleRate::one_in_pow2(rate_log2));
+                let rm = untimed_rank_metrics(trace.len() as u64, &hist, sw.ns());
+                (hist, vec![rm], None)
+            }
+        }
+    }
+
+    fn finish(
+        &self,
+        hist: ReuseHistogram,
+        per_rank: Vec<RankMetrics>,
+        phased: Option<PhasedMetrics>,
+        stream: Option<StreamMetrics>,
+        trace_refs: u64,
+        total_ns: u64,
+    ) -> (ReuseHistogram, Option<Report>) {
+        if !self.stats {
+            return (hist, None);
+        }
+        let config = self.config();
+        let report = Report {
+            mode: self.mode.name().into(),
+            tree: self.tree.name().into(),
+            ranks: self.effective_ranks(&config),
+            bound: self.bound,
+            trace_refs,
+            total_ns,
+            per_rank,
+            stream,
+            phased,
+        };
+        (hist, Some(report))
+    }
+}
+
+/// Rank metrics for the engines without internal instrumentation (naïve
+/// stack, sampling estimator): the whole run is one rank-0 "chunk", and the
+/// operation counts are reconstructed from the histogram.
+fn untimed_rank_metrics(refs: u64, hist: &ReuseHistogram, ns: u64) -> RankMetrics {
+    RankMetrics {
+        rank: 0,
+        refs,
+        chunk_ns: ns,
+        engine: EngineMetrics {
+            refs,
+            finite_hits: hist.finite_total(),
+            cold_misses: hist.infinite(),
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{analyze_naive, analyze_sequential};
+    use parda_tree::SplayTree;
+    use proptest::prelude::*;
+
+    #[test]
+    fn builder_defaults_run() {
+        let trace: Vec<Addr> = (0..500).map(|i| (i * 7) % 61).collect();
+        let (hist, report) = Analysis::new().run(&trace);
+        assert_eq!(hist, analyze_sequential::<SplayTree>(&trace, None));
+        assert!(report.is_none(), "stats are opt-in");
+    }
+
+    #[test]
+    fn report_refs_partition_the_trace() {
+        let trace: Vec<Addr> = (0..1000).map(|i| (i * 13) % 97).collect();
+        let (hist, report) = Analysis::new()
+            .ranks(8)
+            .mode(Mode::Msg)
+            .stats(true)
+            .run(&trace);
+        let report = report.unwrap();
+        assert_eq!(report.per_rank.len(), 8);
+        assert_eq!(report.total_rank_refs(), 1000);
+        assert_eq!(report.mode, "parda-msg");
+        // Rank 0 owns every global infinity: its cold misses are exactly
+        // the histogram's ∞ count.
+        assert_eq!(report.per_rank[0].engine.cold_misses, hist.infinite());
+        for rm in &report.per_rank[1..] {
+            assert_eq!(
+                rm.engine.cold_misses, 0,
+                "rank {} forwards, never records",
+                rm.rank
+            );
+        }
+    }
+
+    #[test]
+    fn threads_and_msg_agree_on_forwarded_totals() {
+        let trace: Vec<Addr> = (0..2000).map(|i| (i * 31) % 257).collect();
+        let (h1, r1) = Analysis::new()
+            .ranks(4)
+            .mode(Mode::Threads)
+            .stats(true)
+            .run(&trace);
+        let (h2, r2) = Analysis::new()
+            .ranks(4)
+            .mode(Mode::Msg)
+            .stats(true)
+            .run(&trace);
+        assert_eq!(h1, h2);
+        let (r1, r2) = (r1.unwrap(), r2.unwrap());
+        assert_eq!(
+            r1.total_infinities_forwarded(),
+            r2.total_infinities_forwarded(),
+            "same cascade traffic regardless of transport"
+        );
+        for (a, b) in r1.per_rank.iter().zip(&r2.per_rank) {
+            assert_eq!(a.engine.finite_hits, b.engine.finite_hits);
+            assert_eq!(a.engine.cold_misses, b.engine.cold_misses);
+            assert_eq!(a.infinities_forwarded, b.infinities_forwarded);
+        }
+    }
+
+    #[test]
+    fn phased_mode_reports_phase_metrics() {
+        // 620 refs with np·C = 150: four full phases plus a ragged fifth,
+        // whose short read marks it as last (skipping the final reduction).
+        let trace: Vec<Addr> = (0..620).map(|i| i % 40).collect();
+        let (hist, report) = Analysis::new()
+            .ranks(3)
+            .mode(Mode::Phased {
+                chunk: 50,
+                reduction: Reduction::RenumberRanks,
+            })
+            .stats(true)
+            .run(&trace);
+        assert_eq!(hist, analyze_sequential::<SplayTree>(&trace, None));
+        let report = report.unwrap();
+        assert_eq!(report.total_rank_refs(), 620);
+        let phased = report.phased.expect("phased mode sets phase metrics");
+        assert_eq!(phased.phases, 5, "ceil(620 / 150) = 5 phases");
+        assert_eq!(phased.phase_reduction_ns.len(), 5);
+        assert_eq!(
+            *phased.phase_reduction_ns.last().unwrap(),
+            0,
+            "the last phase skips the reduction"
+        );
+    }
+
+    #[test]
+    fn run_stream_matches_run() {
+        let trace: Vec<Addr> = (0..1500).map(|i| (i * 11) % 113).collect();
+        let builder = Analysis::new().ranks(4).stats(true);
+        let (h1, _) = builder.run(&trace);
+        let (h2, report) = builder.run_stream(SliceStream::new(&trace));
+        assert_eq!(h1, h2);
+        let report = report.unwrap();
+        assert_eq!(report.mode, "phased-stream");
+        assert_eq!(report.trace_refs, 1500);
+    }
+
+    #[test]
+    fn naive_and_sampled_report_single_rank() {
+        let trace: Vec<Addr> = (0..300).map(|i| i % 20).collect();
+        let (hist, report) = Analysis::new().mode(Mode::Naive).stats(true).run(&trace);
+        assert_eq!(hist, analyze_naive(&trace));
+        let report = report.unwrap();
+        assert_eq!(report.ranks, 1);
+        assert_eq!(report.per_rank.len(), 1);
+        assert_eq!(report.per_rank[0].engine.finite_hits, hist.finite_total());
+
+        let (exact, report) = Analysis::new()
+            .mode(Mode::Sampled { rate_log2: 0 })
+            .stats(true)
+            .run(&trace);
+        assert_eq!(exact, analyze_naive(&trace), "rate 2^-0 is exact");
+        assert_eq!(report.unwrap().mode, "sampled");
+    }
+
+    proptest! {
+        /// The builder is bit-identical to the legacy entry points for
+        /// every mode, trace, tree, rank count, and bound.
+        #[test]
+        fn builder_matches_legacy_entry_points(
+            trace in proptest::collection::vec(0u64..48, 0..300),
+            np in 1usize..6,
+            bound_raw in 0u64..32,
+            chunk in 1usize..40,
+        ) {
+            // 0 means unbounded (the shim proptest has no option strategy).
+            let bound = (bound_raw >= 4).then_some(bound_raw);
+            let config = PardaConfig { ranks: np, bound, space_optimized: true };
+            let base = Analysis::new().ranks(np).bound(bound);
+
+            prop_assert_eq!(
+                base.clone().mode(Mode::Seq).run(&trace).0,
+                analyze_sequential::<SplayTree>(&trace, bound)
+            );
+            prop_assert_eq!(
+                base.clone().mode(Mode::Threads).run(&trace).0,
+                crate::parallel::parda_threads::<SplayTree>(&trace, &config)
+            );
+            prop_assert_eq!(
+                base.clone().mode(Mode::Msg).run(&trace).0,
+                crate::parallel::parda_msg::<SplayTree>(&trace, &config)
+            );
+            let reduction = Reduction::ShipToRankZero;
+            prop_assert_eq!(
+                base.clone().mode(Mode::Phased { chunk, reduction }).run(&trace).0,
+                crate::phased::parda_phased_with::<SplayTree, _>(
+                    SliceStream::new(&trace), chunk, &config, reduction,
+                )
+            );
+            prop_assert_eq!(
+                base.mode(Mode::Naive).run(&trace).0,
+                analyze_naive(&trace)
+            );
+        }
+    }
+}

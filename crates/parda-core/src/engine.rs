@@ -11,6 +11,7 @@
 
 use parda_hash::LastAccessTable;
 use parda_hist::ReuseHistogram;
+use parda_obs::EngineMetrics;
 use parda_trace::Addr;
 use parda_tree::ReuseTree;
 
@@ -59,6 +60,8 @@ pub struct Engine<T: ReuseTree> {
     forwarded: u64,
     /// `count`: incoming local infinities processed so far (Algorithm 4).
     stream_count: u64,
+    /// Cumulative operation counters (never reset at phase boundaries).
+    metrics: EngineMetrics,
 }
 
 impl<T: ReuseTree + Default> Engine<T> {
@@ -72,6 +75,7 @@ impl<T: ReuseTree + Default> Engine<T> {
             bound,
             forwarded: 0,
             stream_count: 0,
+            metrics: EngineMetrics::default(),
         }
     }
 }
@@ -103,6 +107,13 @@ impl<T: ReuseTree> Engine<T> {
         &self.hist
     }
 
+    /// Cumulative operation counters (tree ops, live-set high-water mark,
+    /// cascade hit/forward tallies). Unlike [`Engine::forwarded`] and
+    /// [`Engine::stream_count`], these survive phase-counter resets.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
     /// Consume the engine, returning its histogram.
     pub fn into_histogram(self) -> ReuseHistogram {
         self.hist
@@ -117,6 +128,7 @@ impl<T: ReuseTree> Engine<T> {
     /// as infinite (capacity misses).
     pub fn process_chunk(&mut self, chunk: &[Addr], start_ts: u64, miss_sink: MissSink<'_>) {
         let mut sink = miss_sink;
+        self.metrics.refs += chunk.len() as u64;
         for (i, &z) in chunk.iter().enumerate() {
             let ts = start_ts + i as u64;
             // One hash probe per reference: the upsert returns the previous
@@ -128,6 +140,8 @@ impl<T: ReuseTree> Engine<T> {
                     .distance_and_remove(t0)
                     .expect("table and tree are kept in sync");
                 self.hist.record_finite(d);
+                self.metrics.finite_hits += 1;
+                self.metrics.tree_ops += 1;
             } else {
                 let forward_ok = match self.bound {
                     Some(b) => self.forwarded < b,
@@ -137,8 +151,12 @@ impl<T: ReuseTree> Engine<T> {
                     (MissSink::Forward(out), true) => {
                         out.push(z);
                         self.forwarded += 1;
+                        self.metrics.forwarded += 1;
                     }
-                    _ => self.hist.record_infinite(),
+                    _ => {
+                        self.hist.record_infinite();
+                        self.metrics.cold_misses += 1;
+                    }
                 }
                 // LRU eviction keeps |H| ≤ B: the leftmost (oldest) tree
                 // node is the victim (paper `find_oldest`). `z` is already
@@ -149,10 +167,16 @@ impl<T: ReuseTree> Engine<T> {
                             self.tree.oldest().expect("bounded full tree is non-empty");
                         self.tree.remove(old_ts);
                         self.table.forget(old_addr);
+                        self.metrics.tree_ops += 1;
                     }
                 }
             }
             self.tree.insert(ts, z);
+            self.metrics.tree_ops += 1;
+            let live = self.table.len() as u64;
+            if live > self.metrics.live_hwm {
+                self.metrics.live_hwm = live;
+            }
         }
     }
 
@@ -165,6 +189,7 @@ impl<T: ReuseTree> Engine<T> {
     /// the stream never repeats an element, so the node is dead weight).
     /// Misses are forwarded to `out` (bounded by `l < B` in bounded mode).
     pub fn process_infinities(&mut self, incoming: &[Addr], out: &mut Vec<Addr>) {
+        self.metrics.stream_refs += incoming.len() as u64;
         for &z in incoming {
             if let Some(t0) = self.table.last_access(z) {
                 let (d, _) = self
@@ -173,6 +198,8 @@ impl<T: ReuseTree> Engine<T> {
                     .expect("table and tree are kept in sync");
                 self.hist.record_finite(d + self.stream_count);
                 self.table.forget(z);
+                self.metrics.stream_hits += 1;
+                self.metrics.tree_ops += 1;
             } else {
                 let forward_ok = match self.bound {
                     Some(b) => self.forwarded < b,
@@ -181,8 +208,10 @@ impl<T: ReuseTree> Engine<T> {
                 if forward_ok {
                     out.push(z);
                     self.forwarded += 1;
+                    self.metrics.forwarded += 1;
                 } else {
                     self.hist.record_infinite();
+                    self.metrics.cold_misses += 1;
                 }
             }
             self.stream_count += 1;
@@ -203,18 +232,30 @@ impl<T: ReuseTree> Engine<T> {
         out: &mut Vec<Addr>,
     ) {
         self.process_chunk(incoming, start_ts, MissSink::Forward(out));
+        // Account the stream under `stream_refs`, like the optimized path,
+        // so `Σ per-rank refs == trace length` holds in every mode.
+        self.metrics.refs -= incoming.len() as u64;
+        self.metrics.stream_refs += incoming.len() as u64;
     }
 
     /// Record `n` surviving local infinities as authoritative global
     /// infinities (rank 0 in Algorithm 3).
     pub fn record_global_infinities(&mut self, n: u64) {
         self.hist.record_infinite_n(n);
+        self.metrics.cold_misses += n;
+    }
+
+    /// Read the live `(timestamp, addr)` state in timestamp order without
+    /// disturbing the engine — an inspection accessor (used by tests and
+    /// debugging tooling).
+    pub fn export_state(&self) -> Vec<(u64, Addr)> {
+        self.tree.to_sorted_vec()
     }
 
     /// Export the live `(timestamp, addr)` state in timestamp order and
     /// clear the engine's tree/table (phase reduction, Algorithm 6 sender
     /// side). The histogram and counters are retained.
-    pub fn export_state(&mut self) -> Vec<(u64, Addr)> {
+    pub fn drain_state(&mut self) -> Vec<(u64, Addr)> {
         let pairs = self.tree.to_sorted_vec();
         self.tree.clear();
         self.table.clear();
@@ -243,9 +284,15 @@ impl<T: ReuseTree> Engine<T> {
                 }
                 self.tree.remove(prev);
                 self.table.forget(addr);
+                self.metrics.tree_ops += 1;
             }
             self.tree.insert(ts, addr);
             self.table.record(addr, ts);
+            self.metrics.tree_ops += 1;
+        }
+        let live = self.table.len() as u64;
+        if live > self.metrics.live_hwm {
+            self.metrics.live_hwm = live;
         }
     }
 
@@ -400,7 +447,11 @@ mod tests {
     fn export_import_round_trips_state() {
         let mut a: Engine<SplayTree> = Engine::new(None);
         a.process_chunk(&labels("dacb"), 0, MissSink::Infinite);
-        let state = a.export_state();
+        // Read-only export leaves the engine untouched…
+        assert_eq!(a.export_state().len(), 4);
+        assert_eq!(a.live(), 4);
+        // …while drain_state hands the pairs over and clears.
+        let state = a.drain_state();
         assert_eq!(a.live(), 0);
         assert_eq!(state.len(), 4);
         assert!(state.windows(2).all(|w| w[0].0 < w[1].0), "ts-ordered");
@@ -439,5 +490,74 @@ mod tests {
     #[should_panic(expected = "zero bound")]
     fn zero_bound_is_rejected() {
         let _: Engine<SplayTree> = Engine::new(Some(0));
+    }
+
+    #[test]
+    fn metrics_count_chunk_operations_exactly() {
+        // Table I trace: 10 refs, 7 first touches, 3 reuses.
+        let mut engine: Engine<SplayTree> = Engine::new(None);
+        engine.process_chunk(&labels("dacbccgefa"), 0, MissSink::Infinite);
+        let m = engine.metrics();
+        assert_eq!(m.refs, 10);
+        assert_eq!(m.finite_hits, 3);
+        assert_eq!(m.cold_misses, 7);
+        assert_eq!(m.forwarded, 0);
+        assert_eq!(m.stream_refs, 0);
+        // One insert per reference plus one distance query per reuse.
+        assert_eq!(m.tree_ops, 10 + 3);
+        // All 7 distinct addresses live at once at the end.
+        assert_eq!(m.live_hwm, 7);
+    }
+
+    #[test]
+    fn metrics_count_cascade_operations_exactly() {
+        // Left chunk `dacbcc` then the Table II incoming stream `gefabc`:
+        // 3 stream hits (a, b, c), 3 forwards (g, e, f).
+        let mut left: Engine<SplayTree> = Engine::new(None);
+        left.process_chunk(&labels("dacbcc"), 0, MissSink::Infinite);
+        let mut out = Vec::new();
+        left.process_infinities(&labels("gefabc"), &mut out);
+        let m = left.metrics();
+        assert_eq!(m.stream_refs, 6);
+        assert_eq!(m.stream_hits, 3);
+        assert_eq!(m.forwarded, 3);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn metrics_forwarded_survives_phase_reset() {
+        let mut engine: Engine<SplayTree> = Engine::new(None);
+        let mut out = Vec::new();
+        engine.process_chunk(&labels("abc"), 0, MissSink::Forward(&mut out));
+        engine.reset_phase_counters();
+        assert_eq!(engine.forwarded(), 0, "phase counter resets");
+        assert_eq!(engine.metrics().forwarded, 3, "metrics are cumulative");
+    }
+
+    #[test]
+    fn metrics_live_hwm_tracks_bounded_cap() {
+        let mut engine: Engine<SplayTree> = Engine::new(Some(4));
+        let trace: Vec<Addr> = (0..100).collect();
+        engine.process_chunk(&trace, 0, MissSink::Infinite);
+        // The bound caps the live set; the high-water mark can overshoot by
+        // at most one (the new entry is recorded before the eviction).
+        assert!(engine.metrics().live_hwm <= 5);
+        assert_eq!(engine.metrics().cold_misses, 100);
+    }
+
+    #[test]
+    fn unoptimized_stream_accounting_matches_optimized() {
+        let mut opt: Engine<SplayTree> = Engine::new(None);
+        opt.process_chunk(&labels("dacbcc"), 0, MissSink::Infinite);
+        let mut o1 = Vec::new();
+        opt.process_infinities(&labels("gefabc"), &mut o1);
+
+        let mut plain: Engine<SplayTree> = Engine::new(None);
+        plain.process_chunk(&labels("dacbcc"), 0, MissSink::Infinite);
+        let mut o2 = Vec::new();
+        plain.process_infinities_unoptimized(&labels("gefabc"), 6, &mut o2);
+
+        assert_eq!(opt.metrics().refs, plain.metrics().refs);
+        assert_eq!(opt.metrics().stream_refs, plain.metrics().stream_refs);
     }
 }

@@ -19,8 +19,11 @@
 //!
 //! # Quick start
 //!
+//! Every engine is reachable through the [`Analysis`] builder, which also
+//! produces the per-rank observability [`Report`] on request:
+//!
 //! ```
-//! use parda_core::{parallel, PardaConfig};
+//! use parda_core::{Analysis, Mode};
 //! use parda_trace::gen::{ReuseProfile, StackDistGen};
 //! use parda_trace::AddressStream;
 //!
@@ -28,16 +31,22 @@
 //! let trace = StackDistGen::new(100_000, 5_000, ReuseProfile::geometric(16.0), 7)
 //!     .take_trace(100_000);
 //!
-//! let config = PardaConfig::with_ranks(4);
-//! let hist = parallel::parda_threads::<parda_tree::SplayTree>(trace.as_slice(), &config);
+//! let (hist, report) = Analysis::new()
+//!     .ranks(4)
+//!     .mode(Mode::Threads)
+//!     .stats(true)
+//!     .run(trace.as_slice());
 //!
 //! assert_eq!(hist.total(), 100_000);
 //! assert_eq!(hist.infinite(), 5_000); // one cold miss per distinct address
 //! // Predicted miss ratio of a 1k-line LRU cache:
 //! let mr = hist.miss_ratio(1_000);
 //! assert!(mr < 1.0);
+//! // The report's per-rank chunk references partition the trace.
+//! assert_eq!(report.unwrap().total_rank_refs(), 100_000);
 //! ```
 
+pub mod analysis;
 pub mod engine;
 pub mod object;
 pub mod parallel;
@@ -47,36 +56,45 @@ pub mod seq;
 pub mod shared;
 pub mod window;
 
+pub use analysis::{Analysis, Mode};
 pub use engine::{Engine, MissSink};
 pub use parallel::PardaConfig;
+pub use parda_obs::Report;
 
 use parda_hist::ReuseHistogram;
 use parda_trace::Addr;
 use parda_tree::TreeKind;
 
 /// Run the sequential tree-based analyzer with a runtime-selected tree.
+///
+/// Thin wrapper over [`Analysis`] (`.mode(Mode::Seq)`), kept for callers
+/// that don't need the builder.
 pub fn analyze_sequential_kind(
     trace: &[Addr],
     kind: TreeKind,
     bound: Option<u64>,
 ) -> ReuseHistogram {
-    match kind {
-        TreeKind::Splay => seq::analyze_sequential::<parda_tree::SplayTree>(trace, bound),
-        TreeKind::Avl => seq::analyze_sequential::<parda_tree::AvlTree>(trace, bound),
-        TreeKind::Treap => seq::analyze_sequential::<parda_tree::Treap>(trace, bound),
-        TreeKind::Vector => seq::analyze_sequential::<parda_tree::VectorTree>(trace, bound),
-    }
+    Analysis::new()
+        .tree(kind)
+        .mode(Mode::Seq)
+        .bound(bound)
+        .run(trace)
+        .0
 }
 
 /// Run the Parda parallel analyzer (thread-cascade flavour) with a
 /// runtime-selected tree.
+///
+/// Thin wrapper over [`Analysis`] (`.mode(Mode::Threads)`).
 pub fn parda_kind(trace: &[Addr], kind: TreeKind, config: &PardaConfig) -> ReuseHistogram {
-    match kind {
-        TreeKind::Splay => parallel::parda_threads::<parda_tree::SplayTree>(trace, config),
-        TreeKind::Avl => parallel::parda_threads::<parda_tree::AvlTree>(trace, config),
-        TreeKind::Treap => parallel::parda_threads::<parda_tree::Treap>(trace, config),
-        TreeKind::Vector => parallel::parda_threads::<parda_tree::VectorTree>(trace, config),
-    }
+    Analysis::new()
+        .tree(kind)
+        .mode(Mode::Threads)
+        .ranks(config.ranks)
+        .bound(config.bound)
+        .space_optimized(config.space_optimized)
+        .run(trace)
+        .0
 }
 
 #[cfg(test)]

@@ -18,12 +18,18 @@
 
 use crate::engine::{Engine, MissSink};
 use parda_hist::ReuseHistogram;
+use parda_obs::{RankMetrics, Stopwatch};
 use parda_trace::{chunk_slice, Addr};
 use parda_tree::ReuseTree;
 use rayon::prelude::*;
 
 /// Configuration for the parallel analyzers.
+///
+/// Construct via [`PardaConfig::default`] / [`PardaConfig::with_ranks`] and
+/// the builder-style setters; the struct is `#[non_exhaustive]` so new
+/// knobs can be added without breaking downstream crates.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct PardaConfig {
     /// Number of ranks (`np`). Chunks are split as evenly as possible.
     pub ranks: usize,
@@ -60,6 +66,18 @@ impl PardaConfig {
         self.bound = Some(bound);
         self
     }
+
+    /// Builder-style rank setter.
+    pub fn ranks(mut self, ranks: usize) -> Self {
+        self.ranks = ranks;
+        self
+    }
+
+    /// Builder-style toggle for the Algorithm 4 space optimization.
+    pub fn space_optimized(mut self, on: bool) -> Self {
+        self.space_optimized = on;
+        self
+    }
 }
 
 /// Global reference index at which each chunk starts.
@@ -81,53 +99,82 @@ fn chunk_starts(chunks: &[&[Addr]]) -> Vec<u64> {
 /// forwarding the survivors left. Rank 0 counts survivors as global
 /// infinities. The final `reduce_sum` merges per-rank histograms.
 pub fn parda_msg<T: ReuseTree + Default>(trace: &[Addr], config: &PardaConfig) -> ReuseHistogram {
+    parda_msg_with_stats::<T>(trace, config).0
+}
+
+/// [`parda_msg`] with the per-rank observability breakdown: chunk-analysis
+/// time, per-round cascade time and infinity-list lengths — the live
+/// counterpart of the paper's Figure 4 bars.
+pub fn parda_msg_with_stats<T: ReuseTree + Default>(
+    trace: &[Addr],
+    config: &PardaConfig,
+) -> (ReuseHistogram, Vec<RankMetrics>) {
     let np = config.ranks.max(1);
     if np == 1 {
-        return crate::seq::analyze_sequential::<T>(trace, config.bound);
+        let (hist, rank) = crate::seq::analyze_sequential_with_stats::<T>(trace, config.bound);
+        return (hist, vec![rank]);
     }
     let chunks = chunk_slice(trace, np);
     let starts = chunk_starts(&chunks);
 
-    let hists = parda_comm::World::run::<Vec<Addr>, ReuseHistogram, _>(np, |mut ctx| {
-        let p = ctx.rank();
-        let mut engine: Engine<T> = Engine::new(config.bound);
-        // `next_ts` only matters for the unoptimized variant, which keeps
-        // inserting stream elements with fresh local timestamps.
-        let mut next_ts = starts[p] + chunks[p].len() as u64;
+    let results =
+        parda_comm::World::run::<Vec<Addr>, (ReuseHistogram, RankMetrics), _>(np, |mut ctx| {
+            let p = ctx.rank();
+            let mut engine: Engine<T> = Engine::new(config.bound);
+            // `next_ts` only matters for the unoptimized variant, which keeps
+            // inserting stream elements with fresh local timestamps.
+            let mut next_ts = starts[p] + chunks[p].len() as u64;
+            let mut rm = RankMetrics {
+                rank: p,
+                refs: chunks[p].len() as u64,
+                ..Default::default()
+            };
 
-        // Round 0: own chunk.
-        if p == 0 {
-            engine.process_chunk(chunks[0], starts[0], MissSink::Infinite);
-        } else {
-            let mut local_inf = Vec::new();
-            engine.process_chunk(chunks[p], starts[p], MissSink::Forward(&mut local_inf));
-            ctx.send(p - 1, local_inf);
-        }
-
-        // Rounds 1..np-p: absorb the right neighbour's infinity stream.
-        for _ in 1..(np - p) {
-            let incoming = ctx.recv_from(p + 1);
-            let mut survivors = Vec::new();
-            if config.space_optimized {
-                engine.process_infinities(&incoming, &mut survivors);
-            } else {
-                engine.process_infinities_unoptimized(&incoming, next_ts, &mut survivors);
-                next_ts += incoming.len() as u64;
-            }
+            // Round 0: own chunk.
+            let sw = Stopwatch::start();
             if p == 0 {
-                engine.record_global_infinities(survivors.len() as u64);
+                engine.process_chunk(chunks[0], starts[0], MissSink::Infinite);
+                rm.chunk_ns = sw.ns();
             } else {
-                ctx.send(p - 1, survivors);
+                let mut local_inf = Vec::new();
+                engine.process_chunk(chunks[p], starts[p], MissSink::Forward(&mut local_inf));
+                rm.chunk_ns = sw.ns();
+                rm.infinities_forwarded += local_inf.len() as u64;
+                ctx.send(p - 1, local_inf);
             }
-        }
-        engine.into_histogram()
-    });
+
+            // Rounds 1..np-p: absorb the right neighbour's infinity stream.
+            for _ in 1..(np - p) {
+                let incoming = ctx.recv_from(p + 1);
+                rm.cascade_rounds += 1;
+                rm.round_infinity_lens.push(incoming.len() as u64);
+                let sw = Stopwatch::start();
+                let mut survivors = Vec::new();
+                if config.space_optimized {
+                    engine.process_infinities(&incoming, &mut survivors);
+                } else {
+                    engine.process_infinities_unoptimized(&incoming, next_ts, &mut survivors);
+                    next_ts += incoming.len() as u64;
+                }
+                if p == 0 {
+                    engine.record_global_infinities(survivors.len() as u64);
+                } else {
+                    rm.infinities_forwarded += survivors.len() as u64;
+                    ctx.send(p - 1, survivors);
+                }
+                rm.cascade_ns += sw.ns();
+            }
+            rm.engine = engine.metrics().clone();
+            (engine.into_histogram(), rm)
+        });
 
     let mut total = ReuseHistogram::new();
-    for h in &hists {
-        total.merge(h);
+    let mut ranks = Vec::with_capacity(np);
+    for (h, rm) in results {
+        total.merge(&h);
+        ranks.push(rm);
     }
-    total
+    (total, ranks)
 }
 
 /// Shared-memory Parda: chunk analysis fans out over rayon, the infinity
@@ -140,22 +187,46 @@ pub fn parda_threads<T: ReuseTree + Default + Send>(
     trace: &[Addr],
     config: &PardaConfig,
 ) -> ReuseHistogram {
+    parda_threads_with_stats::<T>(trace, config).0
+}
+
+/// [`parda_threads`] with the per-rank observability breakdown.
+///
+/// Rank `p`'s single cascade fold here corresponds to all `np − p − 1`
+/// Algorithm 3 rounds concatenated, so `cascade_rounds` is at most 1 and
+/// `round_infinity_lens` holds the folded stream length; total
+/// `infinities_forwarded` matches [`parda_msg_with_stats`] exactly.
+pub fn parda_threads_with_stats<T: ReuseTree + Default + Send>(
+    trace: &[Addr],
+    config: &PardaConfig,
+) -> (ReuseHistogram, Vec<RankMetrics>) {
     let np = config.ranks.max(1);
     if np == 1 {
-        return crate::seq::analyze_sequential::<T>(trace, config.bound);
+        let (hist, rank) = crate::seq::analyze_sequential_with_stats::<T>(trace, config.bound);
+        return (hist, vec![rank]);
     }
     let chunks = chunk_slice(trace, np);
     let starts = chunk_starts(&chunks);
 
     // Phase 1 (parallel): per-chunk analysis.
-    let mut per_rank: Vec<(Engine<T>, Vec<Addr>)> = chunks
+    let mut per_rank: Vec<(Engine<T>, Vec<Addr>, u64)> = chunks
         .par_iter()
         .zip(starts.par_iter())
         .map(|(chunk, &start)| {
+            let sw = Stopwatch::start();
             let mut engine: Engine<T> = Engine::new(config.bound);
             let mut local_inf = Vec::new();
             engine.process_chunk(chunk, start, MissSink::Forward(&mut local_inf));
-            (engine, local_inf)
+            (engine, local_inf, sw.ns())
+        })
+        .collect();
+
+    let mut metrics: Vec<RankMetrics> = (0..np)
+        .map(|p| RankMetrics {
+            rank: p,
+            refs: chunks[p].len() as u64,
+            chunk_ns: per_rank[p].2,
+            ..Default::default()
         })
         .collect();
 
@@ -164,8 +235,13 @@ pub fn parda_threads<T: ReuseTree + Default + Send>(
     // survivors of what it absorbed from its right.
     let mut stream: Vec<Addr> = Vec::new();
     for p in (1..np).rev() {
-        let (engine, own_inf) = &mut per_rank[p];
+        let (engine, own_inf, _) = &mut per_rank[p];
         let mut next_ts = starts[p] + chunks[p].len() as u64;
+        if !stream.is_empty() {
+            metrics[p].cascade_rounds = 1;
+            metrics[p].round_infinity_lens.push(stream.len() as u64);
+        }
+        let sw = Stopwatch::start();
         let mut survivors = Vec::new();
         if config.space_optimized {
             engine.process_infinities(&stream, &mut survivors);
@@ -174,15 +250,22 @@ pub fn parda_threads<T: ReuseTree + Default + Send>(
             next_ts += stream.len() as u64;
             let _ = next_ts;
         }
+        metrics[p].cascade_ns = sw.ns();
         let mut forwarded = std::mem::take(own_inf);
         forwarded.extend_from_slice(&survivors);
+        metrics[p].infinities_forwarded = forwarded.len() as u64;
         stream = forwarded;
     }
 
     // Rank 0: its own local infinities and all unresolved survivors are
     // authoritative global infinities.
-    let (engine0, own0) = &mut per_rank[0];
+    let (engine0, own0, _) = &mut per_rank[0];
     engine0.record_global_infinities(own0.len() as u64);
+    if !stream.is_empty() {
+        metrics[0].cascade_rounds = 1;
+        metrics[0].round_infinity_lens.push(stream.len() as u64);
+    }
+    let sw = Stopwatch::start();
     let mut survivors = Vec::new();
     if config.space_optimized {
         engine0.process_infinities(&stream, &mut survivors);
@@ -191,12 +274,14 @@ pub fn parda_threads<T: ReuseTree + Default + Send>(
         engine0.process_infinities_unoptimized(&stream, next_ts, &mut survivors);
     }
     engine0.record_global_infinities(survivors.len() as u64);
+    metrics[0].cascade_ns = sw.ns();
 
     let mut total = ReuseHistogram::new();
-    for (engine, _) in &per_rank {
+    for (p, (engine, _, _)) in per_rank.iter().enumerate() {
+        metrics[p].engine = engine.metrics().clone();
         total.merge(engine.histogram());
     }
-    total
+    (total, metrics)
 }
 
 #[cfg(test)]
@@ -303,10 +388,10 @@ mod tests {
         }
 
         fn e0_state(e: &Engine<SplayTree>) -> Vec<(u64, u64)> {
-            e.clone().export_state()
+            e.export_state()
         }
         fn e1_state(e: &Engine<SplayTree>) -> Vec<(u64, u64)> {
-            e.clone().export_state()
+            e.export_state()
         }
     }
 

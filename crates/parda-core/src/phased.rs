@@ -26,6 +26,7 @@
 use crate::engine::{Engine, MissSink};
 use crate::parallel::PardaConfig;
 use parda_hist::ReuseHistogram;
+use parda_obs::{PhasedMetrics, RankMetrics, Stopwatch};
 use parda_trace::{chunk_slice, Addr, AddressStream};
 use parda_tree::ReuseTree;
 use parking_lot::Mutex;
@@ -101,6 +102,24 @@ where
     T: ReuseTree + Default,
     S: AddressStream + Send,
 {
+    parda_phased_with_stats::<T, S>(source, phase_chunk, config, reduction).0
+}
+
+/// [`parda_phased_with`] plus the observability breakdown: per-rank chunk
+/// and cascade timings accumulated over all phases, and a [`PhasedMetrics`]
+/// whose `phase_reduction_ns[k]` is the slowest rank's reduction time in
+/// phase `k` (the critical-path cost the paper's renumbering enhancement
+/// attacks).
+pub fn parda_phased_with_stats<T, S>(
+    source: S,
+    phase_chunk: usize,
+    config: &PardaConfig,
+    reduction: Reduction,
+) -> (ReuseHistogram, Vec<RankMetrics>, PhasedMetrics)
+where
+    T: ReuseTree + Default,
+    S: AddressStream + Send,
+{
     assert!(phase_chunk > 0, "phase chunk size must be positive");
     let np = config.ranks.max(1);
     if np == 1 {
@@ -111,166 +130,212 @@ where
     // the paper's framework; virtual ranks rotate around it).
     let source = Mutex::new(Some(source));
 
-    let hists = parda_comm::World::run::<PhasedMsg, ReuseHistogram, _>(np, |mut ctx| {
-        let p = ctx.rank();
-        let mut engine: Engine<T> = Engine::new(config.bound);
-        let mut my_source = if p == 0 {
-            Some(source.lock().take().expect("rank 0 takes the source once"))
-        } else {
-            None
-        };
-        let mut phase_base: u64 = 0;
-        let mut read_buf: Vec<Addr> = Vec::new();
-        // Virtual-rank mapping parity: when `reversed`, virtual rank v is
-        // played by physical rank np-1-v.
-        let mut reversed = false;
-        let phys = |v: usize, reversed: bool| if reversed { np - 1 - v } else { v };
-
-        loop {
-            // --- distribution (paper Figure 3: the pipe-attached process
-            //     reads and scatters; chunk i goes to *virtual* rank i) ---
-            let (chunk, start_ts, last_phase) = if p == 0 {
-                let src = my_source.as_mut().expect("rank 0 has the source");
-                read_buf.clear();
-                let got = src.fill(&mut read_buf, np * phase_chunk);
-                if got == 0 {
-                    for dest in 1..np {
-                        ctx.send(dest, PhasedMsg::Done);
-                    }
-                    break;
-                }
-                // A short read means the source is exhausted: this phase is
-                // the last one (an exactly-full read can't tell, and then
-                // the reduction below runs once more than needed).
-                let last = got < np * phase_chunk;
-                let chunks = chunk_slice(&read_buf, np);
-                let mut acc = phase_base;
-                let mut mine = None;
-                for (v, c) in chunks.iter().enumerate() {
-                    let dest = phys(v, reversed);
-                    if dest == 0 {
-                        mine = Some((c.to_vec(), acc, last));
-                    } else {
-                        ctx.send(
-                            dest,
-                            PhasedMsg::Chunk {
-                                start_ts: acc,
-                                data: c.to_vec(),
-                                last,
-                            },
-                        );
-                    }
-                    acc += c.len() as u64;
-                }
-                phase_base = acc;
-                mine.expect("some virtual rank maps to physical 0")
-            } else {
-                match ctx.recv_from(0) {
-                    PhasedMsg::Done => break,
-                    PhasedMsg::Chunk {
-                        start_ts,
-                        data,
-                        last,
-                    } => (data, start_ts, last),
-                    _ => unreachable!("rank 0 only sends chunks or Done here"),
-                }
+    let results = parda_comm::World::run::<PhasedMsg, (ReuseHistogram, RankMetrics, Vec<u64>), _>(
+        np,
+        |mut ctx| {
+            let p = ctx.rank();
+            let mut engine: Engine<T> = Engine::new(config.bound);
+            let mut rm = RankMetrics {
+                rank: p,
+                ..Default::default()
             };
-
-            // This phase's virtual rank for this physical rank.
-            let v = if reversed { np - 1 - p } else { p };
-
-            // --- one Parda pass over the phase (Algorithm 3 rounds, in
-            //     virtual-rank space) ---
-            if v == 0 {
-                // Virtual rank 0 analyzes on top of the accumulated global
-                // state: its local infinities are authoritative.
-                engine.process_chunk(&chunk, start_ts, MissSink::Infinite);
+            // Per-phase reduction time on this rank; the driver folds these
+            // element-wise (max across ranks) into [`PhasedMetrics`].
+            let mut phase_red: Vec<u64> = Vec::new();
+            let mut my_source = if p == 0 {
+                Some(source.lock().take().expect("rank 0 takes the source once"))
             } else {
-                let mut local_inf = Vec::new();
-                engine.process_chunk(&chunk, start_ts, MissSink::Forward(&mut local_inf));
-                ctx.send(phys(v - 1, reversed), PhasedMsg::Infinities(local_inf));
-            }
-            for _ in 1..(np - v) {
-                let incoming = match ctx.recv_from(phys(v + 1, reversed)) {
-                    PhasedMsg::Infinities(list) => list,
-                    _ => unreachable!("cascade rounds only carry infinity lists"),
-                };
-                let mut survivors = Vec::new();
-                engine.process_infinities(&incoming, &mut survivors);
-                if v == 0 {
-                    engine.record_global_infinities(survivors.len() as u64);
-                } else {
-                    ctx.send(phys(v - 1, reversed), PhasedMsg::Infinities(survivors));
-                }
-            }
+                None
+            };
+            let mut phase_base: u64 = 0;
+            let mut read_buf: Vec<Addr> = Vec::new();
+            // Virtual-rank mapping parity: when `reversed`, virtual rank v is
+            // played by physical rank np-1-v.
+            let mut reversed = false;
+            let phys = |v: usize, reversed: bool| if reversed { np - 1 - v } else { v };
 
-            // --- state reduction onto virtual rank np-1 (Algorithm 6) ---
-            // The merged state exists solely to answer the *next* phase's
-            // global infinities, so the last phase skips the reduction
-            // entirely — on big traces that saves merging O(M) live
-            // entries into a tree nobody will query.
-            if !last_phase {
-                let merger = phys(np - 1, reversed);
-                if v != np - 1 {
-                    ctx.send(merger, PhasedMsg::State(engine.export_state()));
-                } else {
-                    for src_v in 0..np - 1 {
-                        match ctx.recv_from(phys(src_v, reversed)) {
-                            PhasedMsg::State(pairs) => engine.import_state(&pairs),
-                            _ => unreachable!("reduction expects state messages"),
+            loop {
+                // --- distribution (paper Figure 3: the pipe-attached process
+                //     reads and scatters; chunk i goes to *virtual* rank i) ---
+                let (chunk, start_ts, last_phase) = if p == 0 {
+                    let src = my_source.as_mut().expect("rank 0 has the source");
+                    read_buf.clear();
+                    let got = src.fill(&mut read_buf, np * phase_chunk);
+                    if got == 0 {
+                        for dest in 1..np {
+                            ctx.send(dest, PhasedMsg::Done);
                         }
+                        break;
                     }
-                }
-                match reduction {
-                    Reduction::ShipToRankZero => {
-                        // Transfer the merged state back to (virtual =
-                        // physical) rank 0.
-                        if v == np - 1 {
-                            ctx.send(phys(0, reversed), PhasedMsg::State(engine.export_state()));
+                    // A short read means the source is exhausted: this phase is
+                    // the last one (an exactly-full read can't tell, and then
+                    // the reduction below runs once more than needed).
+                    let last = got < np * phase_chunk;
+                    let chunks = chunk_slice(&read_buf, np);
+                    let mut acc = phase_base;
+                    let mut mine = None;
+                    for (v, c) in chunks.iter().enumerate() {
+                        let dest = phys(v, reversed);
+                        if dest == 0 {
+                            mine = Some((c.to_vec(), acc, last));
+                        } else {
+                            ctx.send(
+                                dest,
+                                PhasedMsg::Chunk {
+                                    start_ts: acc,
+                                    data: c.to_vec(),
+                                    last,
+                                },
+                            );
                         }
-                        if v == 0 {
-                            match ctx.recv_from(merger) {
+                        acc += c.len() as u64;
+                    }
+                    phase_base = acc;
+                    mine.expect("some virtual rank maps to physical 0")
+                } else {
+                    match ctx.recv_from(0) {
+                        PhasedMsg::Done => break,
+                        PhasedMsg::Chunk {
+                            start_ts,
+                            data,
+                            last,
+                        } => (data, start_ts, last),
+                        _ => unreachable!("rank 0 only sends chunks or Done here"),
+                    }
+                };
+
+                // This phase's virtual rank for this physical rank.
+                let v = if reversed { np - 1 - p } else { p };
+                rm.refs += chunk.len() as u64;
+
+                // --- one Parda pass over the phase (Algorithm 3 rounds, in
+                //     virtual-rank space) ---
+                let sw = Stopwatch::start();
+                if v == 0 {
+                    // Virtual rank 0 analyzes on top of the accumulated global
+                    // state: its local infinities are authoritative.
+                    engine.process_chunk(&chunk, start_ts, MissSink::Infinite);
+                    rm.chunk_ns += sw.ns();
+                } else {
+                    let mut local_inf = Vec::new();
+                    engine.process_chunk(&chunk, start_ts, MissSink::Forward(&mut local_inf));
+                    rm.chunk_ns += sw.ns();
+                    rm.infinities_forwarded += local_inf.len() as u64;
+                    ctx.send(phys(v - 1, reversed), PhasedMsg::Infinities(local_inf));
+                }
+                for _ in 1..(np - v) {
+                    let incoming = match ctx.recv_from(phys(v + 1, reversed)) {
+                        PhasedMsg::Infinities(list) => list,
+                        _ => unreachable!("cascade rounds only carry infinity lists"),
+                    };
+                    rm.cascade_rounds += 1;
+                    rm.round_infinity_lens.push(incoming.len() as u64);
+                    let sw = Stopwatch::start();
+                    let mut survivors = Vec::new();
+                    engine.process_infinities(&incoming, &mut survivors);
+                    if v == 0 {
+                        engine.record_global_infinities(survivors.len() as u64);
+                    } else {
+                        rm.infinities_forwarded += survivors.len() as u64;
+                        ctx.send(phys(v - 1, reversed), PhasedMsg::Infinities(survivors));
+                    }
+                    rm.cascade_ns += sw.ns();
+                }
+
+                // --- state reduction onto virtual rank np-1 (Algorithm 6) ---
+                // The merged state exists solely to answer the *next* phase's
+                // global infinities, so the last phase skips the reduction
+                // entirely — on big traces that saves merging O(M) live
+                // entries into a tree nobody will query.
+                let red_ns = if !last_phase {
+                    let sw = Stopwatch::start();
+                    let merger = phys(np - 1, reversed);
+                    if v != np - 1 {
+                        ctx.send(merger, PhasedMsg::State(engine.drain_state()));
+                    } else {
+                        for src_v in 0..np - 1 {
+                            match ctx.recv_from(phys(src_v, reversed)) {
                                 PhasedMsg::State(pairs) => engine.import_state(&pairs),
-                                _ => unreachable!("the merger ships the merged state"),
+                                _ => unreachable!("reduction expects state messages"),
                             }
                         }
                     }
-                    Reduction::RenumberRanks => {
-                        // The merger keeps the state and becomes virtual
-                        // rank 0: reverse the virtual order (np-1 ↦ 0).
-                        reversed = !reversed;
+                    match reduction {
+                        Reduction::ShipToRankZero => {
+                            // Transfer the merged state back to (virtual =
+                            // physical) rank 0.
+                            if v == np - 1 {
+                                ctx.send(phys(0, reversed), PhasedMsg::State(engine.drain_state()));
+                            }
+                            if v == 0 {
+                                match ctx.recv_from(merger) {
+                                    PhasedMsg::State(pairs) => engine.import_state(&pairs),
+                                    _ => unreachable!("the merger ships the merged state"),
+                                }
+                            }
+                        }
+                        Reduction::RenumberRanks => {
+                            // The merger keeps the state and becomes virtual
+                            // rank 0: reverse the virtual order (np-1 ↦ 0).
+                            reversed = !reversed;
+                        }
                     }
-                }
+                    sw.ns()
+                } else {
+                    0
+                };
+                rm.reduction_ns += red_ns;
+                phase_red.push(red_ns);
+                engine.reset_phase_counters();
             }
-            engine.reset_phase_counters();
-        }
-        engine.into_histogram()
-    });
+            rm.engine = engine.metrics().clone();
+            (engine.into_histogram(), rm, phase_red)
+        },
+    );
 
     let mut total = ReuseHistogram::new();
-    for h in &hists {
-        total.merge(h);
+    let mut ranks = Vec::with_capacity(np);
+    let mut phased = PhasedMetrics::default();
+    for (h, rm, red) in results {
+        total.merge(&h);
+        ranks.push(rm);
+        phased.phases = phased.phases.max(red.len() as u64);
+        if phased.phase_reduction_ns.len() < red.len() {
+            phased.phase_reduction_ns.resize(red.len(), 0);
+        }
+        for (k, ns) in red.into_iter().enumerate() {
+            phased.phase_reduction_ns[k] = phased.phase_reduction_ns[k].max(ns);
+        }
     }
-    total
+    ranks.sort_by_key(|rm| rm.rank);
+    (total, ranks, phased)
 }
 
 /// Degenerate single-rank streaming: plain incremental Algorithm 1 over
-/// batches.
+/// batches. `phases` counts input batches; there is no reduction, so
+/// `phase_reduction_ns` stays empty.
 fn phased_single_rank<T: ReuseTree + Default, S: AddressStream>(
     mut source: S,
     bound: Option<u64>,
-) -> ReuseHistogram {
+) -> (ReuseHistogram, Vec<RankMetrics>, PhasedMetrics) {
     let mut analyzer: crate::seq::SequentialAnalyzer<T> =
         crate::seq::SequentialAnalyzer::new(bound);
+    let mut rm = RankMetrics::default();
+    let mut phased = PhasedMetrics::default();
     let mut buf = Vec::new();
     loop {
         buf.clear();
         if source.fill(&mut buf, 1 << 16) == 0 {
             break;
         }
+        phased.phases += 1;
+        rm.refs += buf.len() as u64;
+        let sw = Stopwatch::start();
         analyzer.process_all(&buf);
+        rm.chunk_ns += sw.ns();
     }
-    analyzer.finish()
+    rm.engine = analyzer.metrics().clone();
+    (analyzer.finish(), vec![rm], phased)
 }
 
 #[cfg(test)]

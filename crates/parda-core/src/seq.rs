@@ -7,6 +7,7 @@
 
 use crate::engine::{Engine, MissSink};
 use parda_hist::ReuseHistogram;
+use parda_obs::{EngineMetrics, RankMetrics, Stopwatch};
 use parda_trace::Addr;
 use parda_tree::{NaiveStack, ReuseTree};
 
@@ -66,6 +67,12 @@ impl<T: ReuseTree + Default> SequentialAnalyzer<T> {
         self.engine.histogram()
     }
 
+    /// Engine counters accumulated so far (tree ops, hits, live-set
+    /// high-water mark, …).
+    pub fn metrics(&self) -> &EngineMetrics {
+        self.engine.metrics()
+    }
+
     /// Finish, returning the histogram.
     pub fn finish(self) -> ReuseHistogram {
         self.engine.into_histogram()
@@ -78,9 +85,27 @@ pub fn analyze_sequential<T: ReuseTree + Default>(
     trace: &[Addr],
     bound: Option<u64>,
 ) -> ReuseHistogram {
+    analyze_sequential_with_stats::<T>(trace, bound).0
+}
+
+/// [`analyze_sequential`] plus the observability breakdown: a single
+/// rank-0 [`RankMetrics`] whose `chunk_ns` covers the whole pass (there is
+/// no cascade in the sequential algorithm).
+pub fn analyze_sequential_with_stats<T: ReuseTree + Default>(
+    trace: &[Addr],
+    bound: Option<u64>,
+) -> (ReuseHistogram, RankMetrics) {
+    let sw = Stopwatch::start();
     let mut analyzer: SequentialAnalyzer<T> = SequentialAnalyzer::new(bound);
     analyzer.process_all(trace);
-    analyzer.finish()
+    let rm = RankMetrics {
+        rank: 0,
+        refs: trace.len() as u64,
+        chunk_ns: sw.ns(),
+        engine: analyzer.metrics().clone(),
+        ..Default::default()
+    };
+    (analyzer.finish(), rm)
 }
 
 /// Sequential analysis with a per-reference observer: `observe(index, addr,

@@ -1,0 +1,540 @@
+//! Observability layer for the PARDA engines (`parda-obs`).
+//!
+//! The paper's entire evaluation is a *timing breakdown*: per-rank chunk
+//! analysis vs. infinity-cascade time (Fig. 4) and end-to-end scaling
+//! (Tables II–IV). This crate supplies the always-compiled metrics substrate
+//! the engines record into:
+//!
+//! * [`Stopwatch`] — a monotonic timer for driver-side phase timing; the
+//!   hot path never reads the clock per reference, only per chunk/round;
+//! * [`Counter`] — a relaxed atomic counter for cross-thread pipelines
+//!   (the framed-decode pipeline in `parda-trace`);
+//! * [`EngineMetrics`] — per-engine operation counts (tree ops, live-set
+//!   high-water mark, cascade hit/forward counts), plain `u64` fields
+//!   incremented by the owning thread;
+//! * [`RankMetrics`] — one rank's view of a parallel run: chunk-analysis
+//!   time, cascade time, per-round infinity-list lengths — the raw data
+//!   behind the paper's Figure 4 breakdown;
+//! * [`StreamCounters`]/[`StreamMetrics`] — decode-pipeline backpressure:
+//!   frames decoded, decoder idle time, channel-full stalls;
+//! * [`Report`] — the aggregate tree, serializable to JSON (`--stats=json`)
+//!   or renderable as an aligned text table (`--stats`).
+//!
+//! Everything here is dependency-free on the hot path; serialization uses
+//! the workspace `serde` value-tree. The optional `tracing` feature makes
+//! [`span`] emit enter/exit lines with durations to stderr; without it a
+//! span is a zero-sized no-op.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic stopwatch. Started on creation, read with [`Stopwatch::ns`].
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Self(Instant::now())
+    }
+
+    /// Nanoseconds elapsed since start (saturating at `u64::MAX`).
+    pub fn ns(&self) -> u64 {
+        let n = self.0.elapsed().as_nanos();
+        u64::try_from(n).unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// A relaxed atomic counter for metrics shared across threads.
+///
+/// Relaxed ordering is deliberate: metrics are monotone tallies read after
+/// the pipeline has quiesced (post-join), so no inter-thread ordering is
+/// required and the increment compiles to a plain atomic add.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-engine operation counts (one [`Engine`](../parda_core/engine) =
+/// one rank, or the whole trace when sequential).
+///
+/// All fields are plain `u64`s incremented by the owning thread on branches
+/// the engine already takes — no extra hashing, no clock reads.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct EngineMetrics {
+    /// Chunk references processed (paper `N` share of this rank).
+    pub refs: u64,
+    /// Intra-chunk reuses resolved (finite distances from `process_chunk`).
+    pub finite_hits: u64,
+    /// Infinite distances recorded into the histogram (rank 0's global
+    /// infinities, plus capacity misses in bounded mode).
+    pub cold_misses: u64,
+    /// Incoming cascade infinities examined (`process_infinities` stream).
+    pub stream_refs: u64,
+    /// Cascade infinities resolved at this rank (finite via Algorithm 4).
+    pub stream_hits: u64,
+    /// First touches forwarded leftward (pushes into a `MissSink::Forward`
+    /// queue or a survivors list), cumulative across phases.
+    pub forwarded: u64,
+    /// Tree operations performed (inserts + distance queries + removals).
+    pub tree_ops: u64,
+    /// High-water mark of the live set `|H| = |T|`.
+    pub live_hwm: u64,
+}
+
+impl EngineMetrics {
+    /// Fold another engine's counters into this one (aggregation).
+    pub fn merge(&mut self, other: &EngineMetrics) {
+        self.refs += other.refs;
+        self.finite_hits += other.finite_hits;
+        self.cold_misses += other.cold_misses;
+        self.stream_refs += other.stream_refs;
+        self.stream_hits += other.stream_hits;
+        self.forwarded += other.forwarded;
+        self.tree_ops += other.tree_ops;
+        self.live_hwm = self.live_hwm.max(other.live_hwm);
+    }
+}
+
+/// One rank's timing/counter breakdown of a parallel run — the live
+/// counterpart of the paper's Figure 4 bars.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct RankMetrics {
+    /// Rank id (`p` in the paper).
+    pub rank: usize,
+    /// References in this rank's chunk(s).
+    pub refs: u64,
+    /// Wall time spent analyzing own chunk(s) (`T_chunk`, Fig. 4 bottom).
+    pub chunk_ns: u64,
+    /// Wall time spent absorbing neighbours' infinity streams (`T_cascade`,
+    /// Fig. 4 top).
+    pub cascade_ns: u64,
+    /// Cascade rounds this rank participated in as a receiver.
+    pub cascade_rounds: u64,
+    /// Incoming infinity-list length per receive round, in order.
+    pub round_infinity_lens: Vec<u64>,
+    /// Total infinities this rank sent leftward (local first touches plus
+    /// unresolved survivors).
+    pub infinities_forwarded: u64,
+    /// Wall time spent in phase state reductions (streaming engine only).
+    pub reduction_ns: u64,
+    /// The rank's engine operation counters.
+    pub engine: EngineMetrics,
+}
+
+/// Phase-level aggregates of the streaming (Algorithm 5–6) engine.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct PhasedMetrics {
+    /// Number of phases executed.
+    pub phases: u64,
+    /// Per-phase reduction wall time: the maximum across ranks (the
+    /// critical path — every rank waits on the merger).
+    pub phase_reduction_ns: Vec<u64>,
+}
+
+/// Snapshot of the framed-decode pipeline counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct StreamMetrics {
+    /// Frames decoded by the pool.
+    pub frames_decoded: u64,
+    /// References decoded.
+    pub refs_decoded: u64,
+    /// Wall time spent inside frame decoding, summed over decoders.
+    pub decode_ns: u64,
+    /// Time decoders spent idle waiting for the reader to hand them work.
+    pub decoder_idle_ns: u64,
+    /// Sends of decoded frames that found the consumer channel full
+    /// (analysis is the bottleneck — backpressure is working).
+    pub backpressure_stalls: u64,
+    /// Time decoders spent blocked in those full-channel sends.
+    pub backpressure_ns: u64,
+    /// Time the consumer spent blocked waiting for the next in-order frame
+    /// (decode is the bottleneck).
+    pub consumer_wait_ns: u64,
+}
+
+/// Shared atomic counters backing [`StreamMetrics`]; lives in an `Arc`
+/// spanning the reader, the decoder pool, and the consumer.
+#[derive(Debug, Default)]
+pub struct StreamCounters {
+    /// See [`StreamMetrics::frames_decoded`].
+    pub frames_decoded: Counter,
+    /// See [`StreamMetrics::refs_decoded`].
+    pub refs_decoded: Counter,
+    /// See [`StreamMetrics::decode_ns`].
+    pub decode_ns: Counter,
+    /// See [`StreamMetrics::decoder_idle_ns`].
+    pub decoder_idle_ns: Counter,
+    /// See [`StreamMetrics::backpressure_stalls`].
+    pub backpressure_stalls: Counter,
+    /// See [`StreamMetrics::backpressure_ns`].
+    pub backpressure_ns: Counter,
+    /// See [`StreamMetrics::consumer_wait_ns`].
+    pub consumer_wait_ns: Counter,
+}
+
+impl StreamCounters {
+    /// Read every counter into a serializable snapshot.
+    pub fn snapshot(&self) -> StreamMetrics {
+        StreamMetrics {
+            frames_decoded: self.frames_decoded.get(),
+            refs_decoded: self.refs_decoded.get(),
+            decode_ns: self.decode_ns.get(),
+            decoder_idle_ns: self.decoder_idle_ns.get(),
+            backpressure_stalls: self.backpressure_stalls.get(),
+            backpressure_ns: self.backpressure_ns.get(),
+            consumer_wait_ns: self.consumer_wait_ns.get(),
+        }
+    }
+}
+
+/// Aggregate observability report for one analysis run.
+///
+/// Produced by `parda_core::Analysis` when stats are requested; serialized
+/// verbatim by `--stats=json` and rendered by [`Report::render_pretty`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct Report {
+    /// Engine mode label (`seq`, `parda-threads`, `parda-msg`, `phased`,
+    /// `naive`, `sampled`).
+    pub mode: String,
+    /// Tree structure used (`splay`, `avl`, `treap`, `vector`).
+    pub tree: String,
+    /// Configured rank count.
+    pub ranks: usize,
+    /// Cache bound `B`, when bounded (Algorithm 7).
+    pub bound: Option<u64>,
+    /// Total references analyzed.
+    pub trace_refs: u64,
+    /// End-to-end wall time of the run.
+    pub total_ns: u64,
+    /// Per-rank breakdown (one entry for sequential engines).
+    pub per_rank: Vec<RankMetrics>,
+    /// Streaming-decode pipeline counters, when the source was a framed
+    /// trace stream.
+    pub stream: Option<StreamMetrics>,
+    /// Phase-level aggregates, for the streaming multi-phase engine.
+    pub phased: Option<PhasedMetrics>,
+}
+
+impl Report {
+    /// Sum of per-rank chunk-analysis time.
+    pub fn total_chunk_ns(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.chunk_ns).sum()
+    }
+
+    /// Sum of per-rank cascade time.
+    pub fn total_cascade_ns(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.cascade_ns).sum()
+    }
+
+    /// Sum of per-rank chunk references (equals the trace length for the
+    /// offline engines — asserted in tests).
+    pub fn total_rank_refs(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.refs).sum()
+    }
+
+    /// Sum of infinities forwarded across ranks (total cascade traffic).
+    pub fn total_infinities_forwarded(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.infinities_forwarded).sum()
+    }
+
+    /// Render an aligned per-rank table plus pipeline/phase summaries —
+    /// the `--stats` (pretty) output.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "stats: mode={} tree={} ranks={} bound={} refs={} total={}\n",
+            self.mode,
+            self.tree,
+            self.ranks,
+            self.bound.map_or("none".into(), |b| b.to_string()),
+            self.trace_refs,
+            fmt_ns(self.total_ns),
+        ));
+        out.push_str(&format!(
+            "{:>5} {:>12} {:>12} {:>12} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
+            "rank", "refs", "chunk", "cascade", "rounds", "fwd", "hits", "stream_hit", "live_hwm"
+        ));
+        for r in &self.per_rank {
+            out.push_str(&format!(
+                "{:>5} {:>12} {:>12} {:>12} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
+                r.rank,
+                r.refs,
+                fmt_ns(r.chunk_ns),
+                fmt_ns(r.cascade_ns),
+                r.cascade_rounds,
+                r.infinities_forwarded,
+                r.engine.finite_hits,
+                r.engine.stream_hits,
+                r.engine.live_hwm,
+            ));
+        }
+        if let Some(p) = &self.phased {
+            let reduction_total: u64 = p.phase_reduction_ns.iter().sum();
+            out.push_str(&format!(
+                "phases={} reduction_total={} (per-phase max across ranks)\n",
+                p.phases,
+                fmt_ns(reduction_total),
+            ));
+        }
+        if let Some(s) = &self.stream {
+            out.push_str(&format!(
+                "stream: frames={} refs={} decode={} idle={} stalls={} \
+                 backpressure={} consumer_wait={}\n",
+                s.frames_decoded,
+                s.refs_decoded,
+                fmt_ns(s.decode_ns),
+                fmt_ns(s.decoder_idle_ns),
+                s.backpressure_stalls,
+                fmt_ns(s.backpressure_ns),
+                fmt_ns(s.consumer_wait_ns),
+            ));
+        }
+        out
+    }
+}
+
+/// Human-friendly duration: ns with unit scaling (`1.23ms`).
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.2}us", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.2}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// RAII span: emits `enter`/`exit` lines (with duration) to stderr when the
+/// `tracing` feature is enabled; a no-op otherwise.
+///
+/// ```
+/// let _guard = parda_obs::span("cascade");
+/// // ... work ...
+/// // guard drop emits the exit line under `--features tracing`
+/// ```
+pub fn span(name: &'static str) -> SpanGuard {
+    #[cfg(feature = "tracing")]
+    {
+        eprintln!("[parda-obs] enter {name}");
+        SpanGuard {
+            name,
+            start: Stopwatch::start(),
+        }
+    }
+    #[cfg(not(feature = "tracing"))]
+    {
+        let _ = name;
+        SpanGuard {}
+    }
+}
+
+/// Guard returned by [`span`]; logs the span duration on drop when the
+/// `tracing` feature is on.
+#[cfg(feature = "tracing")]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Stopwatch,
+}
+
+#[cfg(feature = "tracing")]
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        eprintln!(
+            "[parda-obs] exit {} ({})",
+            self.name,
+            fmt_ns(self.start.ns())
+        );
+    }
+}
+
+/// No-op guard (the `tracing` feature is off).
+#[cfg(not(feature = "tracing"))]
+pub struct SpanGuard {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.ns();
+        let b = sw.ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn counter_adds_across_threads() {
+        let c = std::sync::Arc::new(Counter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn engine_metrics_merge_sums_and_maxes() {
+        let mut a = EngineMetrics {
+            refs: 10,
+            live_hwm: 5,
+            ..Default::default()
+        };
+        let b = EngineMetrics {
+            refs: 7,
+            live_hwm: 9,
+            finite_hits: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.refs, 17);
+        assert_eq!(a.live_hwm, 9);
+        assert_eq!(a.finite_hits, 3);
+    }
+
+    #[test]
+    fn report_totals_sum_per_rank() {
+        let report = Report {
+            per_rank: vec![
+                RankMetrics {
+                    rank: 0,
+                    refs: 50,
+                    chunk_ns: 100,
+                    cascade_ns: 20,
+                    ..Default::default()
+                },
+                RankMetrics {
+                    rank: 1,
+                    refs: 50,
+                    chunk_ns: 200,
+                    cascade_ns: 30,
+                    infinities_forwarded: 7,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(report.total_rank_refs(), 100);
+        assert_eq!(report.total_chunk_ns(), 300);
+        assert_eq!(report.total_cascade_ns(), 50);
+        assert_eq!(report.total_infinities_forwarded(), 7);
+    }
+
+    #[test]
+    fn report_serializes_to_json_with_rank_array() {
+        let report = Report {
+            mode: "parda-threads".into(),
+            tree: "splay".into(),
+            ranks: 2,
+            bound: None,
+            trace_refs: 13,
+            total_ns: 1,
+            per_rank: vec![RankMetrics::default()],
+            stream: None,
+            phased: None,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"mode\":\"parda-threads\""), "{json}");
+        assert!(json.contains("\"per_rank\":[{"), "{json}");
+        assert!(json.contains("\"chunk_ns\":0"), "{json}");
+        // Round-trips through the JSON parser as a value tree.
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v.field("trace_refs").unwrap(), &serde_json::Value::U64(13));
+    }
+
+    #[test]
+    fn stream_counters_snapshot() {
+        let c = StreamCounters::default();
+        c.frames_decoded.add(3);
+        c.backpressure_stalls.incr();
+        let snap = c.snapshot();
+        assert_eq!(snap.frames_decoded, 3);
+        assert_eq!(snap.backpressure_stalls, 1);
+        assert_eq!(snap.decode_ns, 0);
+    }
+
+    #[test]
+    fn render_pretty_lists_every_rank() {
+        let report = Report {
+            mode: "parda-msg".into(),
+            tree: "avl".into(),
+            ranks: 2,
+            trace_refs: 100,
+            per_rank: vec![
+                RankMetrics {
+                    rank: 0,
+                    refs: 50,
+                    ..Default::default()
+                },
+                RankMetrics {
+                    rank: 1,
+                    refs: 50,
+                    ..Default::default()
+                },
+            ],
+            stream: Some(StreamMetrics::default()),
+            phased: Some(PhasedMetrics {
+                phases: 2,
+                phase_reduction_ns: vec![5, 10],
+            }),
+            ..Default::default()
+        };
+        let text = report.render_pretty();
+        assert!(text.contains("mode=parda-msg"));
+        assert!(text.contains("rank"));
+        assert!(text.contains("phases=2"));
+        assert!(text.contains("stream: frames=0"));
+        assert_eq!(text.lines().count(), 6, "{text}");
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(500), "500ns");
+        assert_eq!(fmt_ns(1_500_000), "1500.00us");
+        assert_eq!(fmt_ns(25_000_000), "25.00ms");
+        assert_eq!(fmt_ns(12_000_000_000), "12.00s");
+    }
+
+    #[test]
+    fn span_guard_is_droppable() {
+        let _g = span("test");
+    }
+}

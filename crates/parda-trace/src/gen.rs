@@ -248,8 +248,8 @@ impl AddressStream for MarkovGen {
 /// One mixture component of a [`ReuseProfile`] distance distribution.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ComponentKind {
-    /// Uniform over `[lo, hi]` (inclusive), as a fraction of the footprint M
-    /// when used via [`ReuseProfile::scaled_to`].
+    /// Uniform over `[lo, hi]` (inclusive), in absolute distance units;
+    /// callers scale the range to the footprint M when building profiles.
     Uniform { lo: u64, hi: u64 },
     /// Geometric with the given mean (spatial/temporal locality near the
     /// stack top).

@@ -19,7 +19,8 @@ use crate::io::{
     FRAME_HEADER_LEN,
 };
 use crate::{Addr, AddressStream};
-use crossbeam_channel::{bounded, Receiver, Sender};
+use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
+use parda_obs::{Stopwatch, StreamCounters};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::Read;
@@ -69,6 +70,7 @@ pub struct FramedStream {
     error: StreamErrorHandle,
     failed: bool,
     handles: Vec<JoinHandle<()>>,
+    counters: Arc<StreamCounters>,
 }
 
 impl FramedStream {
@@ -101,16 +103,47 @@ impl FramedStream {
             work_rxs.push(rx);
         }
         let (done_tx, done_rx) = bounded(decoders * FRAMES_IN_FLIGHT_PER_DECODER + 1);
+        let counters = Arc::new(StreamCounters::default());
 
         let mut handles = Vec::with_capacity(decoders + 1);
         for work_rx in work_rxs {
             let done_tx = done_tx.clone();
+            let counters = counters.clone();
             handles.push(std::thread::spawn(move || {
-                for (seq, count, payload) in work_rx.iter() {
+                loop {
+                    // Time spent waiting for the reader to hand over work:
+                    // decoder starvation (the reader or the disk is the
+                    // bottleneck).
+                    let idle = Stopwatch::start();
+                    let Ok((seq, count, payload)) = work_rx.recv() else {
+                        return; // reader done; work channel closed
+                    };
+                    counters.decoder_idle_ns.add(idle.ns());
+
+                    let sw = Stopwatch::start();
                     let mut out = vec![0u64; count as usize];
                     let result = decode_frame_into(&payload, encoding, &mut out).map(|()| out);
-                    if done_tx.send((seq, result)).is_err() {
-                        return; // consumer dropped; stop decoding
+                    counters.decode_ns.add(sw.ns());
+                    if result.is_ok() {
+                        counters.frames_decoded.incr();
+                        counters.refs_decoded.add(count as u64);
+                    }
+
+                    // Hand the frame to the consumer; a full channel means
+                    // analysis is the bottleneck and backpressure engages.
+                    match done_tx.try_send((seq, result)) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(msg)) => {
+                            counters.backpressure_stalls.incr();
+                            let sw = Stopwatch::start();
+                            if done_tx.send(msg).is_err() {
+                                return; // consumer dropped; stop decoding
+                            }
+                            counters.backpressure_ns.add(sw.ns());
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            return; // consumer dropped; stop decoding
+                        }
                     }
                 }
             }));
@@ -135,6 +168,7 @@ impl FramedStream {
             error,
             failed: false,
             handles,
+            counters,
         })
     }
 
@@ -159,6 +193,14 @@ impl FramedStream {
         self.error.clone()
     }
 
+    /// Shared pipeline counters (frames decoded, decoder idle time,
+    /// backpressure stalls). Snapshot after the analysis has consumed the
+    /// stream — the same pattern as [`FramedStream::error_handle`], since
+    /// `parda_phased` takes the stream by value.
+    pub fn stats_handle(&self) -> Arc<StreamCounters> {
+        self.counters.clone()
+    }
+
     /// Make the next decoded frame current. Returns `false` at end of
     /// stream or on error (recorded in the error handle).
     fn advance_frame(&mut self) -> bool {
@@ -173,7 +215,10 @@ impl FramedStream {
             if let Some(r) = self.pending.remove(&self.next_seq) {
                 break r;
             }
-            match rx.recv() {
+            let wait = Stopwatch::start();
+            let received = rx.recv();
+            self.counters.consumer_wait_ns.add(wait.ns());
+            match received {
                 Ok((seq, r)) => {
                     if seq == self.next_seq {
                         break r;
@@ -319,6 +364,22 @@ mod tests {
             assert!(err.take().is_none());
             std::fs::remove_file(&path).unwrap();
         }
+    }
+
+    #[test]
+    fn counters_account_for_every_frame() {
+        let t: Trace = (0..8_000u64).map(|i| i * 7).collect();
+        let path = tmp("counted.trc");
+        let mut f = std::fs::File::create(&path).unwrap();
+        write_trace_v2_framed(&mut f, &t, Encoding::DeltaVarint, 500).unwrap();
+        drop(f);
+        let stream = FramedStream::open_with(&path, 2).unwrap();
+        let stats = stream.stats_handle();
+        assert_eq!(collect(stream), t.as_slice());
+        let snap = stats.snapshot();
+        assert_eq!(snap.frames_decoded, 16, "8000 refs / 500-ref frames");
+        assert_eq!(snap.refs_decoded, 8_000);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -111,6 +111,13 @@ pub enum TreeKind {
     Vector,
 }
 
+impl Default for TreeKind {
+    /// The paper's default structure: the splay tree.
+    fn default() -> Self {
+        TreeKind::Splay
+    }
+}
+
 impl TreeKind {
     /// All supported kinds, for sweeps.
     pub const ALL: [TreeKind; 4] = [

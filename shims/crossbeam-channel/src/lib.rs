@@ -9,7 +9,7 @@
 use std::sync::mpsc;
 use std::time::Duration;
 
-pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
 
 enum Tx<T> {
     Unbounded(mpsc::Sender<T>),
@@ -41,6 +41,18 @@ impl<T> Sender<T> {
         match &self.0 {
             Tx::Unbounded(tx) => tx.send(msg),
             Tx::Bounded(tx) => tx.send(msg),
+        }
+    }
+
+    /// Non-blocking send: `TrySendError::Full` when a bounded channel has no
+    /// free slot (unbounded channels are never full), `Disconnected` when
+    /// every receiver has been dropped.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        match &self.0 {
+            Tx::Unbounded(tx) => tx
+                .send(msg)
+                .map_err(|SendError(m)| TrySendError::Disconnected(m)),
+            Tx::Bounded(tx) => tx.try_send(msg),
         }
     }
 }
@@ -134,6 +146,31 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(5)),
             Err(RecvTimeoutError::Disconnected)
         );
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        match tx.try_send(2) {
+            Err(TrySendError::Full(2)) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        drop(rx);
+        match tx.try_send(4) {
+            Err(TrySendError::Disconnected(4)) => {}
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+
+        let (utx, urx) = unbounded();
+        utx.try_send(9u8).unwrap();
+        drop(urx);
+        assert!(matches!(
+            utx.try_send(10),
+            Err(TrySendError::Disconnected(10))
+        ));
     }
 
     #[test]

@@ -237,7 +237,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Length bounds for [`vec`] (inclusive on both ends).
+    /// Length bounds for [`vec()`] (inclusive on both ends).
     pub struct SizeRange {
         lo: usize,
         hi: usize,
@@ -277,7 +277,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy built by [`vec`].
+    /// Strategy built by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -21,6 +21,8 @@
 //!   and the naïve stack;
 //! * [`hist`] — reuse-distance histograms and miss-ratio curves;
 //! * [`hash`] — the Robin Hood hash-table substrate;
+//! * [`obs`] — observability: counters, stopwatches, and the per-rank
+//!   analysis [`Report`](obs::Report) behind `--stats`;
 //! * [`comm`] — the rank/message-passing substrate standing in for MPI;
 //! * [`cachesim`] — LRU cache simulators (validation ground truth);
 //! * [`pinsim`] — synthetic instrumented programs standing in for Pin.
@@ -34,14 +36,17 @@
 //! let bench = SpecBenchmark::by_name("mcf").unwrap();
 //! let trace = bench.generator(100_000, 42).take_trace(100_000);
 //!
-//! // Analyze it in parallel with 4 ranks.
-//! let hist = parda_threads::<SplayTree>(trace.as_slice(), &PardaConfig::with_ranks(4));
+//! // Analyze it in parallel with 4 ranks, collecting the per-rank
+//! // observability report.
+//! let (hist, report) = Analysis::new().ranks(4).stats(true).run(trace.as_slice());
 //!
 //! // Exactly equal to the sequential analysis...
 //! assert_eq!(hist, analyze_sequential::<SplayTree>(trace.as_slice(), None));
 //! // ...and it predicts LRU cache behaviour exactly.
 //! let mut cache = LruCache::new(4096);
 //! assert_eq!(hist.hit_count(4096), cache.run_trace(trace.as_slice()).hits);
+//! // The report breaks the run down per rank (chunk vs cascade time).
+//! assert_eq!(report.unwrap().total_rank_refs(), 100_000);
 //! ```
 
 pub use parda_cachesim as cachesim;
@@ -49,6 +54,7 @@ pub use parda_comm as comm;
 pub use parda_core as core;
 pub use parda_hash as hash;
 pub use parda_hist as hist;
+pub use parda_obs as obs;
 pub use parda_pinsim as pinsim;
 pub use parda_trace as trace;
 pub use parda_tree as tree;
@@ -61,7 +67,7 @@ pub mod prelude {
     pub use parda_core::phased::{parda_phased, parda_phased_with, Reduction};
     pub use parda_core::sampled::{analyze_sampled, SampleRate};
     pub use parda_core::seq::{analyze_naive, analyze_sequential, SequentialAnalyzer};
-    pub use parda_core::{Engine, MissSink, PardaConfig};
+    pub use parda_core::{Analysis, Engine, MissSink, Mode, PardaConfig, Report};
     pub use parda_hist::{BinnedHistogram, CacheHierarchy, CacheLevel, Distance, ReuseHistogram};
     pub use parda_trace::gen::{ReuseProfile, StackDistGen};
     pub use parda_trace::spec::{SpecBenchmark, SPEC2006};

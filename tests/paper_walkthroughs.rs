@@ -44,7 +44,7 @@ fn figure1_distance_computation_at_time_9() {
     let mut engine: parda::core::Engine<SplayTree> = parda::core::Engine::new(None);
     engine.process_chunk(&trace.as_slice()[..9], 0, parda::core::MissSink::Infinite);
 
-    let before: Vec<(u64, u64)> = engine.clone().export_state();
+    let before: Vec<(u64, u64)> = engine.export_state();
     assert_eq!(
         before,
         vec![
@@ -61,7 +61,7 @@ fn figure1_distance_computation_at_time_9() {
 
     engine.process_chunk(&trace.as_slice()[9..], 9, parda::core::MissSink::Infinite);
     assert_eq!(engine.histogram().count(5), 1, "d(a@9) = 5");
-    let after: Vec<(u64, u64)> = engine.clone().export_state();
+    let after: Vec<(u64, u64)> = engine.export_state();
     assert_eq!(
         after,
         vec![
