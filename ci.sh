@@ -37,6 +37,16 @@ cargo test -q
 step "cargo test --workspace"
 cargo test --workspace -q
 
+step "cargo bench --no-run (benches must compile)"
+cargo bench --workspace --no-run --quiet
+
+step "hotpath smoke (1M refs, JSON report must be valid)"
+hotpath_out=$(mktemp)
+cargo run -q --release -p parda-bench --bin hotpath -- \
+    --refs 1000000 --footprint 100000 --runs 1 --out "$hotpath_out" > /dev/null
+python3 -m json.tool < "$hotpath_out" > /dev/null
+rm -f "$hotpath_out"
+
 step "--stats=json smoke (analyze a v2 trace, output must be valid JSON)"
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT

@@ -30,7 +30,7 @@ fn aggregate_live(trace: &[u64], np: usize, optimized: bool) -> usize {
     let mut own_infs: Vec<Vec<u64>> = Vec::new();
     let mut start = 0u64;
     for chunk in &chunks {
-        let mut engine: Engine<SplayTree> = Engine::new(None);
+        let mut engine: Engine<SplayTree> = Engine::new(None, 0);
         let mut inf = Vec::new();
         engine.process_chunk(chunk, start, MissSink::Forward(&mut inf));
         start += chunk.len() as u64;

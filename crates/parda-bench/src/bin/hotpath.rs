@@ -1,0 +1,137 @@
+//! Hot-path throughput benchmark: the perf-trajectory anchor.
+//!
+//! Measures single-thread and parallel engine throughput (refs/s) on a
+//! zipf workload for every tree structure and emits machine-readable JSON
+//! (`BENCH_hotpath.json` at the repo root) so future PRs can diff perf
+//! against the numbers recorded here.
+//!
+//!   cargo run --release -p parda-bench --bin hotpath -- \
+//!       --refs 10000000 --out BENCH_hotpath.json
+
+use parda_bench::time;
+use parda_core::{Analysis, Engine, MissSink, Mode, PardaConfig};
+use parda_trace::gen::ZipfGen;
+use parda_trace::{AddressStream, Trace};
+use parda_tree::{AvlTree, ReuseTree, SplayTree, Treap, TreeKind};
+use serde::Serialize;
+use std::hint::black_box;
+
+/// One measured configuration.
+#[derive(Serialize)]
+struct Row {
+    tree: &'static str,
+    mode: &'static str,
+    refs_per_sec: u64,
+    secs: f64,
+}
+
+/// The whole report (`BENCH_hotpath.json`).
+#[derive(Serialize)]
+struct HotpathReport {
+    bench: &'static str,
+    refs: u64,
+    footprint: u64,
+    theta: f64,
+    seed: u64,
+    runs_per_config: u32,
+    results: Vec<Row>,
+}
+
+fn best_of<R>(runs: u32, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let (r, secs) = time(&mut f);
+        black_box(r);
+        best = best.min(secs);
+    }
+    best
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let get = |key: &str| -> Option<String> {
+        argv.iter()
+            .position(|a| a == key)
+            .and_then(|i| argv.get(i + 1).cloned())
+    };
+    let refs: u64 = get("--refs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000_000);
+    let footprint: u64 = get("--footprint")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    let theta: f64 = get("--theta").and_then(|v| v.parse().ok()).unwrap_or(0.99);
+    let seed: u64 = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let runs: u32 = get("--runs").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let out = get("--out").unwrap_or_else(|| "BENCH_hotpath.json".into());
+
+    eprintln!("hotpath: generating {refs} zipf({theta}) refs over {footprint} addresses");
+    let trace: Trace = ZipfGen::new(footprint as usize, theta, 0, seed).take_trace(refs as usize);
+
+    let mut results = Vec::new();
+    for kind in [TreeKind::Splay, TreeKind::Avl, TreeKind::Treap] {
+        // Single-thread sequential throughput: the prefetch-batched hot loop.
+        let secs = best_of(runs, || {
+            Analysis::new()
+                .tree(kind)
+                .mode(Mode::Seq)
+                .run(trace.as_slice())
+                .0
+        });
+        push_row(&mut results, kind, "seq", refs, secs);
+
+        // The scalar reference loop — the batched-vs-scalar ablation.
+        let secs = best_of(runs, || match kind {
+            TreeKind::Splay => seq_scalar::<SplayTree>(trace.as_slice()),
+            TreeKind::Avl => seq_scalar::<AvlTree>(trace.as_slice()),
+            TreeKind::Treap => seq_scalar::<Treap>(trace.as_slice()),
+            TreeKind::Vector => unreachable!("vector tree is not benchmarked"),
+        });
+        push_row(&mut results, kind, "seq-scalar", refs, secs);
+
+        // Pipelined shared-memory driver at 8 ranks (chunking + cascade).
+        let config = PardaConfig::with_ranks(8);
+        let secs = best_of(runs, || {
+            parda_core::parda_kind(trace.as_slice(), kind, &config)
+        });
+        push_row(&mut results, kind, "threads8", refs, secs);
+    }
+
+    let report = HotpathReport {
+        bench: "hotpath",
+        refs,
+        footprint,
+        theta,
+        seed,
+        runs_per_config: runs,
+        results,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out, &json).expect("write BENCH json");
+    eprintln!("hotpath: wrote {out}");
+    println!("{json}");
+}
+
+/// Drive [`Engine::process_chunk_scalar`] directly: the pre-batching
+/// per-reference loop, kept measurable as the ablation baseline.
+fn seq_scalar<T: ReuseTree + Default>(trace: &[u64]) -> parda_hist::ReuseHistogram {
+    let mut engine: Engine<T> = Engine::new(None, trace.len());
+    engine.process_chunk_scalar(trace, 0, MissSink::Infinite);
+    engine.into_histogram()
+}
+
+fn push_row(results: &mut Vec<Row>, kind: TreeKind, mode: &'static str, refs: u64, secs: f64) {
+    let rps = (refs as f64 / secs) as u64;
+    eprintln!(
+        "  {:<6} {:<12} {:>12} refs/s ({secs:.3}s)",
+        kind.name(),
+        mode,
+        rps
+    );
+    results.push(Row {
+        tree: kind.name(),
+        mode,
+        refs_per_sec: rps,
+        secs,
+    });
+}

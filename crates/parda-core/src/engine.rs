@@ -15,6 +15,11 @@ use parda_obs::EngineMetrics;
 use parda_trace::Addr;
 use parda_tree::ReuseTree;
 
+/// Width of the prefetch-batched hot path (one `u64` hit mask per batch) —
+/// see [`Engine::process_chunk`]. Module-level so the generic impl can size
+/// arrays with it.
+const BATCH: usize = 64;
+
 /// What to do with a reference that misses the last-access table.
 #[derive(Debug)]
 pub enum MissSink<'a> {
@@ -39,7 +44,7 @@ pub enum MissSink<'a> {
 /// use parda_tree::SplayTree;
 ///
 /// let trace: Vec<u64> = "dacbccgefa".bytes().map(u64::from).collect();
-/// let mut engine: Engine<SplayTree> = Engine::new(None);
+/// let mut engine: Engine<SplayTree> = Engine::new(None, 0);
 /// engine.process_chunk(&trace, 0, MissSink::Infinite);
 ///
 /// let hist = engine.into_histogram();
@@ -65,12 +70,29 @@ pub struct Engine<T: ReuseTree> {
 }
 
 impl<T: ReuseTree + Default> Engine<T> {
-    /// Create an engine with the given cache bound (`None` = unbounded).
-    pub fn new(bound: Option<u64>) -> Self {
+    /// Ceiling on up-front pre-sizing: a hint above 2^20 entries (tens of
+    /// MB of table + arena) stops paying for itself — growth from there is
+    /// a handful of amortized doublings, not a per-chunk rehash storm.
+    const MAX_PRESIZE: usize = 1 << 20;
+
+    /// Create an engine with the given cache bound (`None` = unbounded) and
+    /// a capacity hint — typically the length of the chunk this engine will
+    /// analyze (0 = no hint).
+    ///
+    /// The hint pre-sizes the last-access table and the tree arena so the
+    /// hot loop avoids rehash/realloc pauses mid-chunk. It is clamped by
+    /// the bound (a bounded engine holds at most `B` live elements) and by
+    /// a 2^20-entry ceiling (`MAX_PRESIZE`).
+    pub fn new(bound: Option<u64>, capacity_hint: usize) -> Self {
         assert!(bound != Some(0), "a zero bound would admit no state at all");
+        let hint = capacity_hint
+            .min(Self::MAX_PRESIZE)
+            .min(bound.map_or(usize::MAX, |b| usize::try_from(b).unwrap_or(usize::MAX)));
+        let mut tree = T::default();
+        tree.reserve(hint);
         Self {
-            tree: T::default(),
-            table: LastAccessTable::new(),
+            tree,
+            table: LastAccessTable::with_capacity(hint),
             hist: ReuseHistogram::new(),
             bound,
             forwarded: 0,
@@ -119,6 +141,9 @@ impl<T: ReuseTree> Engine<T> {
         self.hist
     }
 
+    /// Width of the prefetch-batched hot path: one `u64` hit mask per batch.
+    pub const BATCH: usize = BATCH;
+
     /// Process a contiguous chunk of the trace whose first reference has
     /// global index `start_ts` (Algorithm 1 body, with the Algorithm 7
     /// bound when configured).
@@ -126,7 +151,86 @@ impl<T: ReuseTree> Engine<T> {
     /// Misses go to `miss_sink`; in bounded mode, only the first `B` misses
     /// are forwarded — the rest are provably at distance ≥ B and recorded
     /// as infinite (capacity misses).
+    ///
+    /// In unbounded mode this runs the prefetch-batched hot path: the chunk
+    /// is consumed in batches of [`Self::BATCH`] references whose
+    /// last-access-table slots are software-prefetched and probed *before*
+    /// any tree work, turning a per-reference chain of dependent cache
+    /// misses (hash probe → splay descent → next hash probe) into
+    /// overlapped ones. Bit-identical to [`Self::process_chunk_scalar`]:
+    /// table upserts are independent of tree state when no eviction can
+    /// occur, so probing a batch ahead observes exactly the timestamps the
+    /// scalar interleaving would, and tree ops replay in trace order.
+    /// Bounded mode (where Algorithm 7's LRU eviction couples the table to
+    /// the tree per reference) and tiny chunks take the scalar path.
     pub fn process_chunk(&mut self, chunk: &[Addr], start_ts: u64, miss_sink: MissSink<'_>) {
+        if self.bound.is_some() || chunk.len() < Self::BATCH {
+            return self.process_chunk_scalar(chunk, start_ts, miss_sink);
+        }
+        let mut sink = miss_sink;
+        self.metrics.refs += chunk.len() as u64;
+        let mut prev = [0u64; BATCH];
+        for (batch_idx, batch) in chunk.chunks(BATCH).enumerate() {
+            let base_ts = start_ts + (batch_idx * BATCH) as u64;
+            // Pass 1: hint every probe slot the batch will touch.
+            for &z in batch {
+                self.table.prefetch(z);
+            }
+            // Pass 2: probe/upsert the table, recording each reference's
+            // previous timestamp. Within-batch repeats behave exactly like
+            // the scalar loop: the upsert returns the timestamp the earlier
+            // occurrence just recorded.
+            let mut hits: u64 = 0;
+            for (i, &z) in batch.iter().enumerate() {
+                if let Some(t0) = self.table.record(z, base_ts + i as u64) {
+                    prev[i] = t0;
+                    hits |= 1 << i;
+                }
+            }
+            // Pass 3: tree ops and histogram updates, replayed in trace
+            // order so the result is bit-identical to the scalar path.
+            for (i, &z) in batch.iter().enumerate() {
+                let ts = base_ts + i as u64;
+                if hits & (1 << i) != 0 {
+                    let (d, _) = self
+                        .tree
+                        .distance_and_remove(prev[i])
+                        .expect("table and tree are kept in sync");
+                    self.hist.record_finite(d);
+                    self.metrics.finite_hits += 1;
+                    self.metrics.tree_ops += 1;
+                } else {
+                    match &mut sink {
+                        MissSink::Forward(out) => {
+                            out.push(z);
+                            self.forwarded += 1;
+                            self.metrics.forwarded += 1;
+                        }
+                        MissSink::Infinite => {
+                            self.hist.record_infinite();
+                            self.metrics.cold_misses += 1;
+                        }
+                    }
+                }
+                self.tree.insert(ts, z);
+                self.metrics.tree_ops += 1;
+            }
+            self.metrics.batches += 1;
+            // The live set only grows in unbounded chunk processing, so the
+            // per-batch reading equals the scalar per-reference maximum.
+            let live = self.table.len() as u64;
+            if live > self.metrics.live_hwm {
+                self.metrics.live_hwm = live;
+            }
+        }
+    }
+
+    /// Scalar (one reference at a time) chunk processing — the literal
+    /// Algorithm 1/7 loop and the reference implementation the batched
+    /// [`Self::process_chunk`] must match bit-for-bit. Public so the
+    /// equivalence test suite and ablation benchmarks can drive it
+    /// directly.
+    pub fn process_chunk_scalar(&mut self, chunk: &[Addr], start_ts: u64, miss_sink: MissSink<'_>) {
         let mut sink = miss_sink;
         self.metrics.refs += chunk.len() as u64;
         for (i, &z) in chunk.iter().enumerate() {
@@ -319,7 +423,7 @@ mod tests {
     }
 
     fn run_table1<T: ReuseTree + Default>() -> ReuseHistogram {
-        let mut engine: Engine<T> = Engine::new(None);
+        let mut engine: Engine<T> = Engine::new(None, 0);
         engine.process_chunk(&labels("dacbccgefa"), 0, MissSink::Infinite);
         engine.into_histogram()
     }
@@ -341,7 +445,7 @@ mod tests {
 
     #[test]
     fn forward_sink_collects_first_touches_in_order() {
-        let mut engine: Engine<SplayTree> = Engine::new(None);
+        let mut engine: Engine<SplayTree> = Engine::new(None, 0);
         let mut inf = Vec::new();
         engine.process_chunk(&labels("dacbccgef"), 0, MissSink::Forward(&mut inf));
         // Property 4.2: one entry per distinct element, in first-touch order.
@@ -352,7 +456,7 @@ mod tests {
 
     #[test]
     fn bounded_engine_caps_live_state() {
-        let mut engine: Engine<SplayTree> = Engine::new(Some(4));
+        let mut engine: Engine<SplayTree> = Engine::new(Some(4), 0);
         let trace: Vec<Addr> = (0..100).collect();
         engine.process_chunk(&trace, 0, MissSink::Infinite);
         assert_eq!(engine.live(), 4);
@@ -361,7 +465,7 @@ mod tests {
 
     #[test]
     fn bounded_forwarding_stops_at_b() {
-        let mut engine: Engine<SplayTree> = Engine::new(Some(3));
+        let mut engine: Engine<SplayTree> = Engine::new(Some(3), 0);
         let mut inf = Vec::new();
         let trace: Vec<Addr> = (0..10).collect();
         engine.process_chunk(&trace, 0, MissSink::Forward(&mut inf));
@@ -379,9 +483,9 @@ mod tests {
             let _ = lap;
             cyc.extend(0..8u64);
         }
-        let mut bounded: Engine<SplayTree> = Engine::new(Some(16));
+        let mut bounded: Engine<SplayTree> = Engine::new(Some(16), 0);
         bounded.process_chunk(&cyc, 0, MissSink::Infinite);
-        let mut full: Engine<SplayTree> = Engine::new(None);
+        let mut full: Engine<SplayTree> = Engine::new(None, 0);
         full.process_chunk(&cyc, 0, MissSink::Infinite);
         assert_eq!(bounded.into_histogram(), full.into_histogram());
     }
@@ -393,7 +497,7 @@ mod tests {
         for _ in 0..5 {
             cyc.extend(0..8u64);
         }
-        let mut engine: Engine<SplayTree> = Engine::new(Some(4));
+        let mut engine: Engine<SplayTree> = Engine::new(Some(4), 0);
         engine.process_chunk(&cyc, 0, MissSink::Infinite);
         let hist = engine.into_histogram();
         assert_eq!(hist.infinite(), 40, "every reference must be ∞ under B=4");
@@ -407,10 +511,10 @@ mod tests {
         // rank processing right-chunk infinities. Left chunk `d a c b c c`,
         // right chunk `g e f a f b c` produces local infinities g e f a b c
         // with global distances for a=5, b=5, c=5 (Table II).
-        let mut left: Engine<SplayTree> = Engine::new(None);
+        let mut left: Engine<SplayTree> = Engine::new(None, 0);
         left.process_chunk(&labels("dacbcc"), 0, MissSink::Infinite);
 
-        let mut right: Engine<SplayTree> = Engine::new(None);
+        let mut right: Engine<SplayTree> = Engine::new(None, 0);
         let mut right_inf = Vec::new();
         right.process_chunk(&labels("gefafbc"), 6, MissSink::Forward(&mut right_inf));
         assert_eq!(right_inf, labels("gefabc"));
@@ -433,7 +537,7 @@ mod tests {
         // Left chunk sees {a, b}. Incoming stream: [x, y, a]. x and y are
         // unknown (forwarded), so a's distance must include them: tree
         // distance (b after a = 1) + count (2) = 3.
-        let mut left: Engine<SplayTree> = Engine::new(None);
+        let mut left: Engine<SplayTree> = Engine::new(None, 0);
         left.process_chunk(&[b'a' as u64, b'b' as u64], 0, MissSink::Infinite);
         let mut out = Vec::new();
         left.process_infinities(&[b'x' as u64, b'y' as u64, b'a' as u64], &mut out);
@@ -445,7 +549,7 @@ mod tests {
 
     #[test]
     fn export_import_round_trips_state() {
-        let mut a: Engine<SplayTree> = Engine::new(None);
+        let mut a: Engine<SplayTree> = Engine::new(None, 0);
         a.process_chunk(&labels("dacb"), 0, MissSink::Infinite);
         // Read-only export leaves the engine untouched…
         assert_eq!(a.export_state().len(), 4);
@@ -456,7 +560,7 @@ mod tests {
         assert_eq!(state.len(), 4);
         assert!(state.windows(2).all(|w| w[0].0 < w[1].0), "ts-ordered");
 
-        let mut b: Engine<AvlTree> = Engine::new(None);
+        let mut b: Engine<AvlTree> = Engine::new(None, 0);
         b.import_state(&state);
         assert_eq!(b.live(), 4);
         // Continuing the trace on the importing engine gives the right
@@ -470,12 +574,12 @@ mod tests {
         let left_chunk = labels("dacbcc");
         let incoming = labels("gefabc");
 
-        let mut opt: Engine<SplayTree> = Engine::new(None);
+        let mut opt: Engine<SplayTree> = Engine::new(None, 0);
         opt.process_chunk(&left_chunk, 0, MissSink::Infinite);
         let mut opt_out = Vec::new();
         opt.process_infinities(&incoming, &mut opt_out);
 
-        let mut plain: Engine<SplayTree> = Engine::new(None);
+        let mut plain: Engine<SplayTree> = Engine::new(None, 0);
         plain.process_chunk(&left_chunk, 0, MissSink::Infinite);
         let mut plain_out = Vec::new();
         plain.process_infinities_unoptimized(&incoming, 6, &mut plain_out);
@@ -489,13 +593,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero bound")]
     fn zero_bound_is_rejected() {
-        let _: Engine<SplayTree> = Engine::new(Some(0));
+        let _: Engine<SplayTree> = Engine::new(Some(0), 0);
     }
 
     #[test]
     fn metrics_count_chunk_operations_exactly() {
         // Table I trace: 10 refs, 7 first touches, 3 reuses.
-        let mut engine: Engine<SplayTree> = Engine::new(None);
+        let mut engine: Engine<SplayTree> = Engine::new(None, 0);
         engine.process_chunk(&labels("dacbccgefa"), 0, MissSink::Infinite);
         let m = engine.metrics();
         assert_eq!(m.refs, 10);
@@ -513,7 +617,7 @@ mod tests {
     fn metrics_count_cascade_operations_exactly() {
         // Left chunk `dacbcc` then the Table II incoming stream `gefabc`:
         // 3 stream hits (a, b, c), 3 forwards (g, e, f).
-        let mut left: Engine<SplayTree> = Engine::new(None);
+        let mut left: Engine<SplayTree> = Engine::new(None, 0);
         left.process_chunk(&labels("dacbcc"), 0, MissSink::Infinite);
         let mut out = Vec::new();
         left.process_infinities(&labels("gefabc"), &mut out);
@@ -526,7 +630,7 @@ mod tests {
 
     #[test]
     fn metrics_forwarded_survives_phase_reset() {
-        let mut engine: Engine<SplayTree> = Engine::new(None);
+        let mut engine: Engine<SplayTree> = Engine::new(None, 0);
         let mut out = Vec::new();
         engine.process_chunk(&labels("abc"), 0, MissSink::Forward(&mut out));
         engine.reset_phase_counters();
@@ -536,7 +640,7 @@ mod tests {
 
     #[test]
     fn metrics_live_hwm_tracks_bounded_cap() {
-        let mut engine: Engine<SplayTree> = Engine::new(Some(4));
+        let mut engine: Engine<SplayTree> = Engine::new(Some(4), 0);
         let trace: Vec<Addr> = (0..100).collect();
         engine.process_chunk(&trace, 0, MissSink::Infinite);
         // The bound caps the live set; the high-water mark can overshoot by
@@ -547,12 +651,12 @@ mod tests {
 
     #[test]
     fn unoptimized_stream_accounting_matches_optimized() {
-        let mut opt: Engine<SplayTree> = Engine::new(None);
+        let mut opt: Engine<SplayTree> = Engine::new(None, 0);
         opt.process_chunk(&labels("dacbcc"), 0, MissSink::Infinite);
         let mut o1 = Vec::new();
         opt.process_infinities(&labels("gefabc"), &mut o1);
 
-        let mut plain: Engine<SplayTree> = Engine::new(None);
+        let mut plain: Engine<SplayTree> = Engine::new(None, 0);
         plain.process_chunk(&labels("dacbcc"), 0, MissSink::Infinite);
         let mut o2 = Vec::new();
         plain.process_infinities_unoptimized(&labels("gefabc"), 6, &mut o2);

@@ -21,7 +21,8 @@ use parda_hist::ReuseHistogram;
 use parda_obs::{RankMetrics, Stopwatch};
 use parda_trace::{chunk_slice, Addr};
 use parda_tree::ReuseTree;
-use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// Configuration for the parallel analyzers.
 ///
@@ -120,7 +121,7 @@ pub fn parda_msg_with_stats<T: ReuseTree + Default>(
     let results =
         parda_comm::World::run::<Vec<Addr>, (ReuseHistogram, RankMetrics), _>(np, |mut ctx| {
             let p = ctx.rank();
-            let mut engine: Engine<T> = Engine::new(config.bound);
+            let mut engine: Engine<T> = Engine::new(config.bound, chunks[p].len());
             // `next_ts` only matters for the unoptimized variant, which keeps
             // inserting stream elements with fresh local timestamps.
             let mut next_ts = starts[p] + chunks[p].len() as u64;
@@ -208,80 +209,149 @@ pub fn parda_threads_with_stats<T: ReuseTree + Default + Send>(
     let chunks = chunk_slice(trace, np);
     let starts = chunk_starts(&chunks);
 
-    // Phase 1 (parallel): per-chunk analysis.
-    let mut per_rank: Vec<(Engine<T>, Vec<Addr>, u64)> = chunks
-        .par_iter()
-        .zip(starts.par_iter())
-        .map(|(chunk, &start)| {
+    // Pipelined schedule: workers claim chunks *right-to-left* off a shared
+    // counter and publish each finished engine into its rank's slot; the
+    // caller thread folds the cascade right-to-left, blocking only on the
+    // slot it needs next. Because the cascade consumes rank np−1 first and
+    // workers also finish right-to-left, the fold of rank p+1's infinity
+    // stream overlaps the still-running chunk analysis of ranks < p — the
+    // global barrier between "phase 1" and "phase 2" (the serial Figure-4
+    // tail) is gone. The per-engine operation sequence is unchanged, so the
+    // histogram stays bit-identical to [`parda_msg`].
+    let slots: Vec<RankSlot<T>> = (0..np).map(|_| RankSlot::default()).collect();
+    let claim = AtomicUsize::new(0);
+    let workers = worker_count(np);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let k = claim.fetch_add(1, Ordering::Relaxed);
+                if k >= np {
+                    break;
+                }
+                let p = np - 1 - k;
+                let sw = Stopwatch::start();
+                let mut engine: Engine<T> = Engine::new(config.bound, chunks[p].len());
+                let mut local_inf = Vec::new();
+                engine.process_chunk(chunks[p], starts[p], MissSink::Forward(&mut local_inf));
+                let chunk_ns = sw.ns();
+                let mut slot = slots[p].result.lock().expect("rank slot poisoned");
+                *slot = Some((engine, local_inf, chunk_ns));
+                slots[p].ready.notify_one();
+            });
+        }
+
+        let mut metrics: Vec<RankMetrics> = (0..np)
+            .map(|p| RankMetrics {
+                rank: p,
+                refs: chunks[p].len() as u64,
+                ..Default::default()
+            })
+            .collect();
+        let mut total = ReuseHistogram::new();
+
+        // Cascade fold: rank p-1 absorbs everything rank p would have sent
+        // over all Algorithm 3 rounds — its own local infinities followed
+        // by the survivors of what it absorbed from its right.
+        let mut stream: Vec<Addr> = Vec::new();
+        for p in (1..np).rev() {
+            let (mut engine, own_inf, chunk_ns, wait_ns) = slots[p].take();
+            metrics[p].chunk_ns = chunk_ns;
+            metrics[p].cascade_wait_ns = wait_ns;
+            let next_ts = starts[p] + chunks[p].len() as u64;
+            if !stream.is_empty() {
+                metrics[p].cascade_rounds = 1;
+                metrics[p].round_infinity_lens.push(stream.len() as u64);
+            }
             let sw = Stopwatch::start();
-            let mut engine: Engine<T> = Engine::new(config.bound);
-            let mut local_inf = Vec::new();
-            engine.process_chunk(chunk, start, MissSink::Forward(&mut local_inf));
-            (engine, local_inf, sw.ns())
-        })
-        .collect();
+            let mut survivors = Vec::new();
+            if config.space_optimized {
+                engine.process_infinities(&stream, &mut survivors);
+            } else {
+                engine.process_infinities_unoptimized(&stream, next_ts, &mut survivors);
+            }
+            metrics[p].cascade_ns = sw.ns();
+            let mut forwarded = own_inf;
+            forwarded.extend_from_slice(&survivors);
+            metrics[p].infinities_forwarded = forwarded.len() as u64;
+            stream = forwarded;
+            metrics[p].engine = engine.metrics().clone();
+            total.merge(engine.histogram());
+        }
 
-    let mut metrics: Vec<RankMetrics> = (0..np)
-        .map(|p| RankMetrics {
-            rank: p,
-            refs: chunks[p].len() as u64,
-            chunk_ns: per_rank[p].2,
-            ..Default::default()
-        })
-        .collect();
-
-    // Phase 2 (cascade): rank p-1 absorbs everything rank p would have sent
-    // over all Algorithm 3 rounds: its own local infinities followed by the
-    // survivors of what it absorbed from its right.
-    let mut stream: Vec<Addr> = Vec::new();
-    for p in (1..np).rev() {
-        let (engine, own_inf, _) = &mut per_rank[p];
-        let mut next_ts = starts[p] + chunks[p].len() as u64;
+        // Rank 0: its own local infinities and all unresolved survivors are
+        // authoritative global infinities.
+        let (mut engine0, own0, chunk_ns, wait_ns) = slots[0].take();
+        metrics[0].chunk_ns = chunk_ns;
+        metrics[0].cascade_wait_ns = wait_ns;
+        engine0.record_global_infinities(own0.len() as u64);
         if !stream.is_empty() {
-            metrics[p].cascade_rounds = 1;
-            metrics[p].round_infinity_lens.push(stream.len() as u64);
+            metrics[0].cascade_rounds = 1;
+            metrics[0].round_infinity_lens.push(stream.len() as u64);
         }
         let sw = Stopwatch::start();
         let mut survivors = Vec::new();
         if config.space_optimized {
-            engine.process_infinities(&stream, &mut survivors);
+            engine0.process_infinities(&stream, &mut survivors);
         } else {
-            engine.process_infinities_unoptimized(&stream, next_ts, &mut survivors);
-            next_ts += stream.len() as u64;
-            let _ = next_ts;
+            let next_ts = starts[0] + chunks[0].len() as u64;
+            engine0.process_infinities_unoptimized(&stream, next_ts, &mut survivors);
         }
-        metrics[p].cascade_ns = sw.ns();
-        let mut forwarded = std::mem::take(own_inf);
-        forwarded.extend_from_slice(&survivors);
-        metrics[p].infinities_forwarded = forwarded.len() as u64;
-        stream = forwarded;
-    }
+        engine0.record_global_infinities(survivors.len() as u64);
+        metrics[0].cascade_ns = sw.ns();
+        metrics[0].engine = engine0.metrics().clone();
+        total.merge(engine0.histogram());
 
-    // Rank 0: its own local infinities and all unresolved survivors are
-    // authoritative global infinities.
-    let (engine0, own0, _) = &mut per_rank[0];
-    engine0.record_global_infinities(own0.len() as u64);
-    if !stream.is_empty() {
-        metrics[0].cascade_rounds = 1;
-        metrics[0].round_infinity_lens.push(stream.len() as u64);
-    }
-    let sw = Stopwatch::start();
-    let mut survivors = Vec::new();
-    if config.space_optimized {
-        engine0.process_infinities(&stream, &mut survivors);
-    } else {
-        let next_ts = starts[0] + chunks[0].len() as u64;
-        engine0.process_infinities_unoptimized(&stream, next_ts, &mut survivors);
-    }
-    engine0.record_global_infinities(survivors.len() as u64);
-    metrics[0].cascade_ns = sw.ns();
+        (total, metrics)
+    })
+}
 
-    let mut total = ReuseHistogram::new();
-    for (p, (engine, _, _)) in per_rank.iter().enumerate() {
-        metrics[p].engine = engine.metrics().clone();
-        total.merge(engine.histogram());
+/// A rank's finished chunk analysis: the engine, its local infinities, and
+/// the chunk wall time in nanoseconds.
+type ChunkResult<T> = (Engine<T>, Vec<Addr>, u64);
+
+/// Per-rank completion slot of the pipelined schedule: workers publish a
+/// finished [`ChunkResult`] here; the cascade thread blocks on `take` for
+/// the one rank it needs next.
+struct RankSlot<T: ReuseTree> {
+    result: Mutex<Option<ChunkResult<T>>>,
+    ready: Condvar,
+}
+
+impl<T: ReuseTree> Default for RankSlot<T> {
+    fn default() -> Self {
+        Self {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        }
     }
-    (total, metrics)
+}
+
+impl<T: ReuseTree> RankSlot<T> {
+    /// Block until the rank's chunk analysis is published, returning the
+    /// result plus the time spent waiting — the pipeline bubble recorded as
+    /// [`RankMetrics::cascade_wait_ns`].
+    fn take(&self) -> (Engine<T>, Vec<Addr>, u64, u64) {
+        let sw = Stopwatch::start();
+        let mut guard = self.result.lock().expect("rank slot poisoned");
+        while guard.is_none() {
+            guard = self.ready.wait(guard).expect("rank slot poisoned");
+        }
+        let (engine, inf, chunk_ns) = guard.take().expect("slot is filled");
+        (engine, inf, chunk_ns, sw.ns())
+    }
+}
+
+/// Worker threads for the pipelined chunk analysis: `RAYON_NUM_THREADS`
+/// (the knob the rest of the workspace honours) or the machine's available
+/// parallelism, never more than the rank count.
+fn worker_count(np: usize) -> usize {
+    let hw = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+    hw.min(np).max(1)
 }
 
 #[cfg(test)]
@@ -324,17 +394,17 @@ mod tests {
         let chunks = chunk_slice(&trace, 3);
 
         // -- chunk processing (Figure 2 top row) --
-        let mut e0: Engine<SplayTree> = Engine::new(None);
+        let mut e0: Engine<SplayTree> = Engine::new(None, 0);
         let mut inf0 = Vec::new();
         e0.process_chunk(chunks[0], 0, MissSink::Forward(&mut inf0));
         assert_eq!(inf0, labels("dacbge"), "Figure 2(a) local infinities");
 
-        let mut e1: Engine<SplayTree> = Engine::new(None);
+        let mut e1: Engine<SplayTree> = Engine::new(None, 0);
         let mut inf1 = Vec::new();
         e1.process_chunk(chunks[1], 8, MissSink::Forward(&mut inf1));
         assert_eq!(inf1, labels("fabcmt"), "Figure 2(b) local infinities");
 
-        let mut e2: Engine<SplayTree> = Engine::new(None);
+        let mut e2: Engine<SplayTree> = Engine::new(None, 0);
         let mut inf2 = Vec::new();
         e2.process_chunk(chunks[2], 16, MissSink::Forward(&mut inf2));
         assert_eq!(inf2, labels("acfbd"), "Figure 2(c) local infinities");

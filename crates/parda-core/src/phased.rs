@@ -134,7 +134,7 @@ where
         np,
         |mut ctx| {
             let p = ctx.rank();
-            let mut engine: Engine<T> = Engine::new(config.bound);
+            let mut engine: Engine<T> = Engine::new(config.bound, phase_chunk);
             let mut rm = RankMetrics {
                 rank: p,
                 ..Default::default()

@@ -37,8 +37,14 @@ pub struct SequentialAnalyzer<T: ReuseTree> {
 impl<T: ReuseTree + Default> SequentialAnalyzer<T> {
     /// Create an analyzer; `bound` enables Algorithm 7 capping.
     pub fn new(bound: Option<u64>) -> Self {
+        Self::with_capacity(bound, 0)
+    }
+
+    /// [`Self::new`] with a capacity hint: the expected trace length, used
+    /// to pre-size the engine's hash table and tree arena.
+    pub fn with_capacity(bound: Option<u64>, capacity_hint: usize) -> Self {
         Self {
-            engine: Engine::new(bound),
+            engine: Engine::new(bound, capacity_hint),
             next_ts: 0,
         }
     }
@@ -96,7 +102,7 @@ pub fn analyze_sequential_with_stats<T: ReuseTree + Default>(
     bound: Option<u64>,
 ) -> (ReuseHistogram, RankMetrics) {
     let sw = Stopwatch::start();
-    let mut analyzer: SequentialAnalyzer<T> = SequentialAnalyzer::new(bound);
+    let mut analyzer: SequentialAnalyzer<T> = SequentialAnalyzer::with_capacity(bound, trace.len());
     analyzer.process_all(trace);
     let rm = RankMetrics {
         rank: 0,

@@ -47,6 +47,14 @@ impl LastAccessTable {
         self.map.get(addr).copied()
     }
 
+    /// Hint the cache that `addr`'s probe slots are about to be touched
+    /// (see [`RobinHoodMap::prefetch`]). The batched engine calls this for a
+    /// whole batch of upcoming addresses before probing any of them.
+    #[inline]
+    pub fn prefetch(&self, addr: u64) {
+        self.map.prefetch(addr);
+    }
+
     /// `H(z) ← t`: record that `addr` was accessed at time `timestamp`.
     /// Returns the previous timestamp if the address was known.
     #[inline]

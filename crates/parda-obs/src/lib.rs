@@ -109,6 +109,10 @@ pub struct EngineMetrics {
     pub tree_ops: u64,
     /// High-water mark of the live set `|H| = |T|`.
     pub live_hwm: u64,
+    /// Prefetch-batched hot-path rounds executed by `process_chunk` (each
+    /// covers up to the engine's batch width of references; 0 when the
+    /// scalar path ran, i.e. bounded mode or tiny chunks).
+    pub batches: u64,
 }
 
 impl EngineMetrics {
@@ -122,6 +126,7 @@ impl EngineMetrics {
         self.forwarded += other.forwarded;
         self.tree_ops += other.tree_ops;
         self.live_hwm = self.live_hwm.max(other.live_hwm);
+        self.batches += other.batches;
     }
 }
 
@@ -138,6 +143,11 @@ pub struct RankMetrics {
     /// Wall time spent absorbing neighbours' infinity streams (`T_cascade`,
     /// Fig. 4 top).
     pub cascade_ns: u64,
+    /// Pipeline bubble: wall time the cascade spent *waiting* for this
+    /// rank's chunk analysis to finish before its fold could start. Zero
+    /// when the pipelined schedule fully overlapped cascade with upstream
+    /// chunk work (the Figure-4 serial tail eliminated).
+    pub cascade_wait_ns: u64,
     /// Cascade rounds this rank participated in as a receiver.
     pub cascade_rounds: u64,
     /// Incoming infinity-list length per receive round, in order.
@@ -281,16 +291,26 @@ impl Report {
             fmt_ns(self.total_ns),
         ));
         out.push_str(&format!(
-            "{:>5} {:>12} {:>12} {:>12} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
-            "rank", "refs", "chunk", "cascade", "rounds", "fwd", "hits", "stream_hit", "live_hwm"
+            "{:>5} {:>12} {:>12} {:>12} {:>10} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
+            "rank",
+            "refs",
+            "chunk",
+            "cascade",
+            "wait",
+            "rounds",
+            "fwd",
+            "hits",
+            "stream_hit",
+            "live_hwm"
         ));
         for r in &self.per_rank {
             out.push_str(&format!(
-                "{:>5} {:>12} {:>12} {:>12} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
+                "{:>5} {:>12} {:>12} {:>12} {:>10} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
                 r.rank,
                 r.refs,
                 fmt_ns(r.chunk_ns),
                 fmt_ns(r.cascade_ns),
+                fmt_ns(r.cascade_wait_ns),
                 r.cascade_rounds,
                 r.infinities_forwarded,
                 r.engine.finite_hits,

@@ -196,20 +196,34 @@ impl AvlTree {
         (self.rebalance(n), min)
     }
 
-    fn remove_at(&mut self, n: u32, ts: u64, removed: &mut Option<u64>) -> u32 {
+    /// Remove `ts` from the subtree at `n` while accumulating its rank
+    /// (count of strictly-greater keys, paper Algorithm 2) into `rank` along
+    /// the same descent — the fused `distance_and_remove` body. `remove`
+    /// passes a scratch accumulator and discards it.
+    fn remove_rank_at(
+        &mut self,
+        n: u32,
+        ts: u64,
+        rank: &mut u64,
+        removed: &mut Option<u64>,
+    ) -> u32 {
         if n == NIL {
             return NIL;
         }
         match ts.cmp(&self.nodes[n as usize].ts) {
             std::cmp::Ordering::Less => {
-                let child = self.remove_at(self.nodes[n as usize].left, ts, removed);
+                let right = self.nodes[n as usize].right;
+                *rank += 1 + self.size(right) as u64;
+                let child = self.remove_rank_at(self.nodes[n as usize].left, ts, rank, removed);
                 self.nodes[n as usize].left = child;
             }
             std::cmp::Ordering::Greater => {
-                let child = self.remove_at(self.nodes[n as usize].right, ts, removed);
+                let child = self.remove_rank_at(self.nodes[n as usize].right, ts, rank, removed);
                 self.nodes[n as usize].right = child;
             }
             std::cmp::Ordering::Equal => {
+                let right = self.nodes[n as usize].right;
+                *rank += self.size(right) as u64;
                 *removed = Some(self.nodes[n as usize].addr);
                 let (left, right) = {
                     let node = &self.nodes[n as usize];
@@ -289,8 +303,18 @@ impl ReuseTree for AvlTree {
 
     fn remove(&mut self, timestamp: u64) -> Option<u64> {
         let mut removed = None;
-        self.root = self.remove_at(self.root, timestamp, &mut removed);
+        let mut rank = 0;
+        self.root = self.remove_rank_at(self.root, timestamp, &mut rank, &mut removed);
         removed
+    }
+
+    fn distance_and_remove(&mut self, timestamp: u64) -> Option<(u64, u64)> {
+        // Fused: the rank accumulates along the removal descent itself, so
+        // the hot path pays one root-to-node walk instead of two.
+        let mut removed = None;
+        let mut rank = 0;
+        self.root = self.remove_rank_at(self.root, timestamp, &mut rank, &mut removed);
+        removed.map(|addr| (rank, addr))
     }
 
     fn oldest(&self) -> Option<(u64, u64)> {
@@ -313,6 +337,10 @@ impl ReuseTree for AvlTree {
         self.nodes.clear();
         self.free.clear();
         self.root = NIL;
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.nodes.reserve(additional);
     }
 
     fn collect_in_order(&self, out: &mut Vec<(u64, u64)>) {

@@ -85,6 +85,11 @@ pub trait ReuseTree {
     /// Remove every node, retaining allocations.
     fn clear(&mut self);
 
+    /// Pre-allocate room for at least `additional` further nodes. Purely an
+    /// allocation hint (the engine passes its chunk length so arenas are
+    /// sized once instead of reallocating mid-chunk); default is a no-op.
+    fn reserve(&mut self, _additional: usize) {}
+
     /// Append all `(timestamp, addr)` pairs in increasing timestamp order.
     /// Used by the multi-phase reduction, which ships per-rank tree state.
     fn collect_in_order(&self, out: &mut Vec<(u64, u64)>);

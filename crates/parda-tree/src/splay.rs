@@ -1,5 +1,5 @@
-//! Size-augmented splay tree — the structure used by the reference PARDA
-//! implementation.
+//! Size-augmented **top-down** splay tree — the structure used by the
+//! reference PARDA implementation.
 //!
 //! Sugumar & Abraham observed that self-adjusting trees perform well for
 //! stack-distance processing because trace locality maps directly onto tree
@@ -7,6 +7,13 @@
 //! maintains the size of its subtree, so the rank query of paper Algorithm 2
 //! (count of timestamps greater than `t`) is answered along a single root-to-
 //! node path.
+//!
+//! This is Sleator's sized top-down splay (the exact variant the original
+//! PARDA C code ships): the search descent itself performs the
+//! restructuring, linking left/right subtrees onto two accumulator spines
+//! and fixing their sizes in one pass — no parent pointers, no second
+//! bottom-up walk. `distance_and_remove` is therefore a genuinely fused
+//! operation: rank lookup and deletion share one descent.
 //!
 //! Nodes live in an index-based arena (`Vec<Node>` + free list): no
 //! per-node allocation, 32-bit links halve pointer traffic, and `clear`
@@ -20,7 +27,6 @@ struct Node {
     addr: u64,
     left: u32,
     right: u32,
-    parent: u32,
     /// Number of nodes in the subtree rooted here (including this node).
     size: u32,
 }
@@ -84,20 +90,12 @@ impl SplayTree {
         }
     }
 
-    #[inline]
-    fn update(&mut self, n: u32) {
-        let left = self.nodes[n as usize].left;
-        let right = self.nodes[n as usize].right;
-        self.nodes[n as usize].size = 1 + self.size(left) + self.size(right);
-    }
-
-    fn alloc(&mut self, ts: u64, addr: u64, parent: u32) -> u32 {
+    fn alloc(&mut self, ts: u64, addr: u64) -> u32 {
         let node = Node {
             ts,
             addr,
             left: NIL,
             right: NIL,
-            parent,
             size: 1,
         };
         match self.free.pop() {
@@ -112,85 +110,142 @@ impl SplayTree {
         }
     }
 
-    /// Rotate `x` above its parent, maintaining sizes and parent links.
-    fn rotate(&mut self, x: u32) {
-        let p = self.nodes[x as usize].parent;
-        debug_assert_ne!(p, NIL, "rotate requires a parent");
-        let g = self.nodes[p as usize].parent;
-        let x_is_left = self.nodes[p as usize].left == x;
-
-        // Move x's inner child across to p.
-        let inner = if x_is_left {
-            let inner = self.nodes[x as usize].right;
-            self.nodes[p as usize].left = inner;
-            self.nodes[x as usize].right = p;
-            inner
-        } else {
-            let inner = self.nodes[x as usize].left;
-            self.nodes[p as usize].right = inner;
-            self.nodes[x as usize].left = p;
-            inner
-        };
-        if inner != NIL {
-            self.nodes[inner as usize].parent = p;
+    /// Sized top-down splay of `ts` within the subtree rooted at `t`,
+    /// returning the new subtree root (Sleator's `top-down-size-splay`).
+    ///
+    /// The descent hangs everything smaller than the search path onto the
+    /// right spine of an accumulated *left* tree and everything larger onto
+    /// the left spine of a *right* tree, counting linked nodes as it goes.
+    /// Two short spine walks then repair the sizes, and the pivot — the node
+    /// holding `ts`, or its in-order neighbour when `ts` is absent — becomes
+    /// the root with correct sizes everywhere.
+    fn splay_from(&mut self, mut t: u32, ts: u64) -> u32 {
+        if t == NIL {
+            return NIL;
         }
-        self.nodes[p as usize].parent = x;
-        self.nodes[x as usize].parent = g;
-        if g == NIL {
-            self.root = x;
-        } else if self.nodes[g as usize].left == p {
-            self.nodes[g as usize].left = x;
-        } else {
-            self.nodes[g as usize].right = x;
-        }
-        self.update(p);
-        self.update(x);
-    }
-
-    /// Splay `x` to the root with the standard zig / zig-zig / zig-zag steps.
-    fn splay(&mut self, x: u32) {
+        // Tails (deepest linked node) and roots of the accumulated trees.
+        let mut l = NIL;
+        let mut r = NIL;
+        let mut l_root = NIL;
+        let mut r_root = NIL;
+        let mut l_size: u32 = 0;
+        let mut r_size: u32 = 0;
         loop {
-            let p = self.nodes[x as usize].parent;
-            if p == NIL {
+            let t_ts = self.nodes[t as usize].ts;
+            if ts < t_ts {
+                let mut child = self.nodes[t as usize].left;
+                if child == NIL {
+                    break;
+                }
+                if ts < self.nodes[child as usize].ts {
+                    // Zig-zig: rotate right at t before linking.
+                    let inner = self.nodes[child as usize].right;
+                    self.nodes[t as usize].left = inner;
+                    self.nodes[child as usize].right = t;
+                    let t_right = self.nodes[t as usize].right;
+                    self.nodes[t as usize].size = 1 + self.size(inner) + self.size(t_right);
+                    t = child;
+                    child = self.nodes[t as usize].left;
+                    if child == NIL {
+                        break;
+                    }
+                }
+                // Link right: t and its right subtree join the right tree.
+                if r == NIL {
+                    r_root = t;
+                } else {
+                    self.nodes[r as usize].left = t;
+                }
+                r = t;
+                let t_right = self.nodes[t as usize].right;
+                r_size += 1 + self.size(t_right);
+                t = child;
+            } else if ts > t_ts {
+                let mut child = self.nodes[t as usize].right;
+                if child == NIL {
+                    break;
+                }
+                if ts > self.nodes[child as usize].ts {
+                    // Zig-zig: rotate left at t before linking.
+                    let inner = self.nodes[child as usize].left;
+                    self.nodes[t as usize].right = inner;
+                    self.nodes[child as usize].left = t;
+                    let t_left = self.nodes[t as usize].left;
+                    self.nodes[t as usize].size = 1 + self.size(t_left) + self.size(inner);
+                    t = child;
+                    child = self.nodes[t as usize].right;
+                    if child == NIL {
+                        break;
+                    }
+                }
+                // Link left: t and its left subtree join the left tree.
+                if l == NIL {
+                    l_root = t;
+                } else {
+                    self.nodes[l as usize].right = t;
+                }
+                l = t;
+                let t_left = self.nodes[t as usize].left;
+                l_size += 1 + self.size(t_left);
+                t = child;
+            } else {
                 break;
             }
-            let g = self.nodes[p as usize].parent;
-            if g == NIL {
-                self.rotate(x); // zig
-            } else {
-                let x_left = self.nodes[p as usize].left == x;
-                let p_left = self.nodes[g as usize].left == p;
-                if x_left == p_left {
-                    self.rotate(p); // zig-zig: rotate parent first
-                    self.rotate(x);
-                } else {
-                    self.rotate(x); // zig-zag: rotate x twice
-                    self.rotate(x);
-                }
-            }
         }
+        // `t` is the pivot. Its remaining children complete the two trees.
+        let t_left = self.nodes[t as usize].left;
+        let t_right = self.nodes[t as usize].right;
+        l_size += self.size(t_left);
+        r_size += self.size(t_right);
+        self.nodes[t as usize].size = 1 + l_size + r_size;
+        // Truncate the spines so the fix-up walks terminate.
+        if l != NIL {
+            self.nodes[l as usize].right = NIL;
+        }
+        if r != NIL {
+            self.nodes[r as usize].left = NIL;
+        }
+        // Repair sizes down the right spine of the left tree…
+        let mut y = l_root;
+        let mut remaining = l_size;
+        while y != NIL {
+            self.nodes[y as usize].size = remaining;
+            let y_left = self.nodes[y as usize].left;
+            remaining -= 1 + self.size(y_left);
+            y = self.nodes[y as usize].right;
+        }
+        // …and the left spine of the right tree.
+        let mut y = r_root;
+        let mut remaining = r_size;
+        while y != NIL {
+            self.nodes[y as usize].size = remaining;
+            let y_right = self.nodes[y as usize].right;
+            remaining -= 1 + self.size(y_right);
+            y = self.nodes[y as usize].left;
+        }
+        // Assemble: pivot's children are hung off the spine tails, the
+        // accumulated trees become the pivot's children.
+        if l != NIL {
+            self.nodes[l as usize].right = t_left;
+            self.nodes[t as usize].left = l_root;
+        }
+        if r != NIL {
+            self.nodes[r as usize].left = t_right;
+            self.nodes[t as usize].right = r_root;
+        }
+        t
     }
 
-    /// Find the arena index of the node with timestamp `ts` without
-    /// restructuring. Also reports the last node on the search path so the
-    /// caller can splay it (keeping the amortized bound on misses).
-    fn find(&self, ts: u64) -> (u32, u32) {
-        let mut cur = self.root;
-        let mut last = NIL;
-        while cur != NIL {
-            last = cur;
-            let node = &self.nodes[cur as usize];
-            cur = match ts.cmp(&node.ts) {
-                std::cmp::Ordering::Less => node.left,
-                std::cmp::Ordering::Greater => node.right,
-                std::cmp::Ordering::Equal => return (cur, last),
-            };
-        }
-        (NIL, last)
+    /// Splay `ts` to the root of the whole tree.
+    #[inline]
+    fn splay(&mut self, ts: u64) {
+        let root = self.root;
+        self.root = self.splay_from(root, ts);
     }
 
-    /// Remove the current root, joining its subtrees.
-    fn remove_root(&mut self) -> (u64, u64) {
+    /// Remove the current root, joining its subtrees (splay-tree delete:
+    /// splay the left subtree's maximum up, then adopt the right subtree).
+    fn delete_root(&mut self) -> (u64, u64) {
         let old = self.root;
         debug_assert_ne!(old, NIL);
         let Node {
@@ -200,36 +255,24 @@ impl SplayTree {
             right,
             ..
         } = self.nodes[old as usize];
-        if left != NIL {
-            self.nodes[left as usize].parent = NIL;
-        }
-        if right != NIL {
-            self.nodes[right as usize].parent = NIL;
-        }
         if left == NIL {
             self.root = right;
         } else {
-            // Splay the maximum of the left subtree to its root, then hang
-            // the right subtree off it.
-            let mut max = left;
-            while self.nodes[max as usize].right != NIL {
-                max = self.nodes[max as usize].right;
-            }
-            self.root = left;
-            self.splay(max);
-            debug_assert_eq!(self.root, max);
-            self.nodes[max as usize].right = right;
-            if right != NIL {
-                self.nodes[right as usize].parent = max;
-            }
-            self.update(max);
+            // `ts` exceeds every key in `left`, so this splays the maximum
+            // of the left subtree to its root (right child becomes NIL).
+            let join = self.splay_from(left, ts);
+            debug_assert_eq!(self.nodes[join as usize].right, NIL);
+            self.nodes[join as usize].right = right;
+            let join_left = self.nodes[join as usize].left;
+            self.nodes[join as usize].size = 1 + self.size(join_left) + self.size(right);
+            self.root = join;
         }
         self.free.push(old);
         self.len -= 1;
         (ts, addr)
     }
 
-    /// Structural self-check for tests: BST order, sizes, parent links.
+    /// Structural self-check for tests: BST order and size augmentation.
     #[doc(hidden)]
     pub fn validate(&self) {
         fn walk(tree: &SplayTree, n: u32, lo: Option<u64>, hi: Option<u64>) -> u32 {
@@ -243,18 +286,10 @@ impl SplayTree {
             if let Some(hi) = hi {
                 assert!(node.ts < hi, "BST order violated");
             }
-            for child in [node.left, node.right] {
-                if child != NIL {
-                    assert_eq!(tree.nodes[child as usize].parent, n, "parent link broken");
-                }
-            }
             let ls = walk(tree, node.left, lo, Some(node.ts));
             let rs = walk(tree, node.right, Some(node.ts), hi);
             assert_eq!(node.size, 1 + ls + rs, "size augmentation stale");
             node.size
-        }
-        if self.root != NIL {
-            assert_eq!(self.nodes[self.root as usize].parent, NIL);
         }
         let total = walk(self, self.root, None, None);
         assert_eq!(total as usize, self.len, "len out of sync");
@@ -264,97 +299,81 @@ impl SplayTree {
 impl ReuseTree for SplayTree {
     fn insert(&mut self, timestamp: u64, addr: u64) {
         if self.root == NIL {
-            self.root = self.alloc(timestamp, addr, NIL);
+            self.root = self.alloc(timestamp, addr);
             self.len = 1;
             return;
         }
-        let mut cur = self.root;
-        loop {
-            let node_ts = self.nodes[cur as usize].ts;
-            match timestamp.cmp(&node_ts) {
-                std::cmp::Ordering::Less => {
-                    let left = self.nodes[cur as usize].left;
-                    if left == NIL {
-                        let new = self.alloc(timestamp, addr, cur);
-                        self.nodes[cur as usize].left = new;
-                        self.len += 1;
-                        // Splaying the new node to the root refreshes the
-                        // sizes of every (stale) ancestor on the way up.
-                        self.splay(new);
-                        return;
-                    }
-                    cur = left;
-                }
-                std::cmp::Ordering::Greater => {
-                    let right = self.nodes[cur as usize].right;
-                    if right == NIL {
-                        let new = self.alloc(timestamp, addr, cur);
-                        self.nodes[cur as usize].right = new;
-                        self.len += 1;
-                        self.splay(new);
-                        return;
-                    }
-                    cur = right;
-                }
-                std::cmp::Ordering::Equal => {
-                    panic!("duplicate timestamp {timestamp} inserted into SplayTree");
-                }
-            }
+        // Splay the insertion point to the root, then split around it.
+        self.splay(timestamp);
+        let t = self.root;
+        let t_ts = self.nodes[t as usize].ts;
+        if t_ts == timestamp {
+            panic!("duplicate timestamp {timestamp} inserted into SplayTree");
         }
+        let new = self.alloc(timestamp, addr);
+        if timestamp < t_ts {
+            let t_left = self.nodes[t as usize].left;
+            self.nodes[new as usize].left = t_left;
+            self.nodes[new as usize].right = t;
+            self.nodes[t as usize].left = NIL;
+            let t_right = self.nodes[t as usize].right;
+            self.nodes[t as usize].size = 1 + self.size(t_right);
+        } else {
+            let t_right = self.nodes[t as usize].right;
+            self.nodes[new as usize].right = t_right;
+            self.nodes[new as usize].left = t;
+            self.nodes[t as usize].right = NIL;
+            let t_left = self.nodes[t as usize].left;
+            self.nodes[t as usize].size = 1 + self.size(t_left);
+        }
+        self.len += 1;
+        self.nodes[new as usize].size = self.len as u32;
+        self.root = new;
     }
 
     fn distance(&mut self, timestamp: u64) -> u64 {
-        // Walk of paper Algorithm 2: accumulate right-subtree sizes on every
-        // left turn, then splay the last touched node to pay for the path.
-        let mut cur = self.root;
-        let mut last = NIL;
-        let mut d: u64 = 0;
-        while cur != NIL {
-            last = cur;
-            let node = &self.nodes[cur as usize];
-            match timestamp.cmp(&node.ts) {
-                std::cmp::Ordering::Greater => cur = node.right,
-                std::cmp::Ordering::Less => {
-                    d += 1 + self.size(node.right) as u64;
-                    cur = node.left;
-                }
-                std::cmp::Ordering::Equal => {
-                    d += self.size(node.right) as u64;
-                    self.splay(cur);
-                    return d;
-                }
-            }
+        // Paper Algorithm 2 on the splayed tree: after the descent the root
+        // is `timestamp` or its in-order neighbour, so the rank is the right
+        // subtree plus the root itself when the root is newer.
+        if self.root == NIL {
+            return 0;
         }
-        if last != NIL {
-            self.splay(last);
+        self.splay(timestamp);
+        let node = &self.nodes[self.root as usize];
+        let (root_ts, right) = (node.ts, node.right);
+        let mut d = self.size(right) as u64;
+        if root_ts > timestamp {
+            d += 1;
         }
         d
     }
 
     fn remove(&mut self, timestamp: u64) -> Option<u64> {
-        let (found, last) = self.find(timestamp);
-        if found == NIL {
-            if last != NIL {
-                self.splay(last);
-            }
+        if self.root == NIL {
             return None;
         }
-        self.splay(found);
-        let (_, addr) = self.remove_root();
+        self.splay(timestamp);
+        if self.nodes[self.root as usize].ts != timestamp {
+            return None;
+        }
+        let (_, addr) = self.delete_root();
         Some(addr)
     }
 
     fn distance_and_remove(&mut self, timestamp: u64) -> Option<(u64, u64)> {
-        let (found, last) = self.find(timestamp);
-        if found == NIL {
-            if last != NIL {
-                self.splay(last);
-            }
+        // Fused hot-path op: the single splay descent both answers the rank
+        // query (size of the right subtree once the node is at the root) and
+        // positions the node for deletion.
+        if self.root == NIL {
             return None;
         }
-        self.splay(found);
-        let d = self.size(self.nodes[found as usize].right) as u64;
-        let (_, addr) = self.remove_root();
+        self.splay(timestamp);
+        if self.nodes[self.root as usize].ts != timestamp {
+            return None;
+        }
+        let right = self.nodes[self.root as usize].right;
+        let d = self.size(right) as u64;
+        let (_, addr) = self.delete_root();
         Some((d, addr))
     }
 
@@ -379,6 +398,10 @@ impl ReuseTree for SplayTree {
         self.free.clear();
         self.root = NIL;
         self.len = 0;
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.nodes.reserve(additional);
     }
 
     fn collect_in_order(&self, out: &mut Vec<(u64, u64)>) {
@@ -473,6 +496,37 @@ mod tests {
         tree.distance(13);
         assert_eq!(tree.nodes[tree.root as usize].ts, 13);
         tree.validate();
+    }
+
+    #[test]
+    fn top_down_splay_of_absent_key_lands_on_neighbour() {
+        let mut tree = SplayTree::new();
+        for ts in (0..64u64).map(|t| t * 2) {
+            tree.insert(ts, ts);
+        }
+        // Searching an absent key restructures toward its neighbourhood and
+        // the rank query still counts strictly-greater keys.
+        assert_eq!(tree.distance(13), 57);
+        let root_ts = tree.nodes[tree.root as usize].ts;
+        assert!(root_ts == 12 || root_ts == 14, "root ts {root_ts}");
+        tree.validate();
+    }
+
+    #[test]
+    fn fused_distance_and_remove_matches_two_step() {
+        let mut fused = SplayTree::new();
+        let mut twostep = SplayTree::new();
+        for ts in 0..256u64 {
+            fused.insert(ts, ts + 1000);
+            twostep.insert(ts, ts + 1000);
+        }
+        for ts in (0..256u64).step_by(3) {
+            let d = twostep.distance(ts);
+            let addr = twostep.remove(ts);
+            assert_eq!(fused.distance_and_remove(ts), addr.map(|a| (d, a)));
+            fused.validate();
+        }
+        assert_eq!(fused.to_sorted_vec(), twostep.to_sorted_vec());
     }
 
     #[test]

@@ -147,6 +147,48 @@ impl Treap {
         }
     }
 
+    /// Remove `ts` from the subtree at `n` while accumulating its rank
+    /// (count of strictly-greater keys) into `rank` along the same descent.
+    /// At the found node the two children are merged in place — one descent
+    /// plus one merge, instead of the find + split + split + merge dance.
+    fn remove_rank_at(
+        &mut self,
+        n: u32,
+        ts: u64,
+        rank: &mut u64,
+        removed: &mut Option<u64>,
+    ) -> u32 {
+        if n == NIL {
+            return NIL;
+        }
+        match ts.cmp(&self.nodes[n as usize].ts) {
+            std::cmp::Ordering::Less => {
+                let right = self.nodes[n as usize].right;
+                *rank += 1 + self.size(right) as u64;
+                let child = self.remove_rank_at(self.nodes[n as usize].left, ts, rank, removed);
+                self.nodes[n as usize].left = child;
+                self.update(n);
+                n
+            }
+            std::cmp::Ordering::Greater => {
+                let child = self.remove_rank_at(self.nodes[n as usize].right, ts, rank, removed);
+                self.nodes[n as usize].right = child;
+                self.update(n);
+                n
+            }
+            std::cmp::Ordering::Equal => {
+                let (left, right) = {
+                    let node = &self.nodes[n as usize];
+                    (node.left, node.right)
+                };
+                *rank += self.size(right) as u64;
+                *removed = Some(self.nodes[n as usize].addr);
+                self.free.push(n);
+                self.merge(left, right)
+            }
+        }
+    }
+
     fn find(&self, ts: u64) -> u32 {
         let mut cur = self.root;
         while cur != NIL {
@@ -224,19 +266,18 @@ impl ReuseTree for Treap {
     }
 
     fn remove(&mut self, timestamp: u64) -> Option<u64> {
-        // Split out the singleton [ts, ts+1), then merge the rest back.
-        let found = self.find(timestamp);
-        if found == NIL {
-            return None;
-        }
-        let addr = self.nodes[found as usize].addr;
-        let (lo, rest) = self.split(self.root, timestamp);
-        let (target, hi) = self.split(rest, timestamp + 1);
-        debug_assert_eq!(target, found);
-        debug_assert_eq!(self.size(target), 1);
-        self.free.push(target);
-        self.root = self.merge(lo, hi);
-        Some(addr)
+        let mut removed = None;
+        let mut rank = 0;
+        self.root = self.remove_rank_at(self.root, timestamp, &mut rank, &mut removed);
+        removed
+    }
+
+    fn distance_and_remove(&mut self, timestamp: u64) -> Option<(u64, u64)> {
+        // Fused: rank accumulates along the removal descent, one walk total.
+        let mut removed = None;
+        let mut rank = 0;
+        self.root = self.remove_rank_at(self.root, timestamp, &mut rank, &mut removed);
+        removed.map(|addr| (rank, addr))
     }
 
     fn oldest(&self) -> Option<(u64, u64)> {
@@ -259,6 +300,10 @@ impl ReuseTree for Treap {
         self.nodes.clear();
         self.free.clear();
         self.root = NIL;
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.nodes.reserve(additional);
     }
 
     fn collect_in_order(&self, out: &mut Vec<(u64, u64)>) {

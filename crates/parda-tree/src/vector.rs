@@ -194,6 +194,18 @@ impl ReuseTree for VectorTree {
         Some(addr)
     }
 
+    fn distance_and_remove(&mut self, timestamp: u64) -> Option<(u64, u64)> {
+        // Fused: `timestamp` is live at `idx`, so the strictly-greater count
+        // is the suffix just past it — one binary search serves both halves.
+        let idx = self.find(timestamp)?;
+        let d = self.fenwick.suffix_sum(idx + 1);
+        let addr = self.slots[idx].addr;
+        self.slots[idx].addr = EMPTY_ADDR;
+        self.fenwick.sub(idx, 1);
+        self.live -= 1;
+        Some((d, addr))
+    }
+
     fn oldest(&self) -> Option<(u64, u64)> {
         let idx = self.fenwick.select(1)?;
         let slot = &self.slots[idx];
@@ -203,6 +215,10 @@ impl ReuseTree for VectorTree {
 
     fn len(&self) -> usize {
         self.live
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.slots.reserve(additional);
     }
 
     fn clear(&mut self) {

@@ -41,7 +41,7 @@ fn figure1_distance_computation_at_time_9() {
     // tree walk 1 + weight(right subtrees) and leaves the tree holding
     // {0:d, 3:b, 5:c, 6:g, 7:e, 8:f, 9:a}.
     let trace = Trace::from_labels(TABLE1);
-    let mut engine: parda::core::Engine<SplayTree> = parda::core::Engine::new(None);
+    let mut engine: parda::core::Engine<SplayTree> = parda::core::Engine::new(None, 0);
     engine.process_chunk(&trace.as_slice()[..9], 0, parda::core::MissSink::Infinite);
 
     let before: Vec<(u64, u64)> = engine.export_state();
