@@ -37,6 +37,11 @@ cargo test -q
 step "cargo test --workspace"
 cargo test --workspace -q
 
+step "cargo test --features failpoints (fault injection suite)"
+cargo test --features failpoints -q
+cargo test -p parda-core --features failpoints -q
+cargo test -p parda-trace --features failpoints -q
+
 step "cargo bench --no-run (benches must compile)"
 cargo bench --workspace --no-run --quiet
 
@@ -57,6 +62,30 @@ cargo run -q -p parda-cli --bin parda -- \
     | python3 -m json.tool > /dev/null
 cargo run -q -p parda-cli --bin parda -- \
     analyze "$smoke_dir/smoke.trc" --stream --stats=json \
+    | python3 -m json.tool > /dev/null
+
+step "corruption smoke (checksums catch a flipped byte; best-effort recovers)"
+cargo run -q -p parda-cli --bin parda -- \
+    gen --pattern zipf --footprint 2000 --refs 200000 --out "$smoke_dir/dirty.trc"
+cargo run -q -p parda-cli --bin parda -- analyze "$smoke_dir/dirty.trc" --verify > /dev/null
+# Flip one payload byte past the header; strict must exit 2, best-effort 0.
+python3 - "$smoke_dir/dirty.trc" <<'EOF'
+import sys
+p = sys.argv[1]
+b = bytearray(open(p, "rb").read())
+b[len(b) // 2] ^= 0x40
+open(p, "wb").write(b)
+EOF
+set +e
+cargo run -q -p parda-cli --bin parda -- analyze "$smoke_dir/dirty.trc" > /dev/null 2>&1
+code=$?
+set -e
+if [[ $code -ne 2 ]]; then
+    echo "corruption smoke: expected exit 2 (corrupt), got $code" >&2
+    exit 1
+fi
+cargo run -q -p parda-cli --bin parda -- \
+    analyze "$smoke_dir/dirty.trc" --degradation=best-effort --stats=json \
     | python3 -m json.tool > /dev/null
 
 echo

@@ -1,14 +1,14 @@
 //! Subcommand implementations.
 
-use crate::Args;
+use crate::{Args, CliError};
 use parda_core::phased::Reduction;
-use parda_core::{Analysis, Mode, Report};
+use parda_core::{Analysis, Degradation, FaultPolicy, Mode, PardaError, Report};
 use parda_pinsim::collect_trace;
 use parda_trace::gen::{CyclicGen, SequentialGen, UniformGen, ZipfGen};
 use parda_trace::io::{load_trace, peek_version, save_trace, save_trace_v2, Encoding};
 use parda_trace::spec::{SpecBenchmark, SPEC2006};
 use parda_trace::stream::FramedStream;
-use parda_trace::{AddressStream, Trace};
+use parda_trace::{load_trace_recovering, verify_trace, AddressStream, Trace};
 use parda_tree::TreeKind;
 use std::io::Write;
 use std::time::Instant;
@@ -16,7 +16,7 @@ use std::time::Instant;
 /// Boolean switches the CLI recognizes: these never consume the next token
 /// (`--stream file.trc` keeps `file.trc` positional), while `--stats=json`
 /// still selects a format via the `--key=value` form.
-pub const SWITCHES: &[&str] = &["json", "stream", "renumber", "stats"];
+pub const SWITCHES: &[&str] = &["json", "stream", "renumber", "stats", "verify"];
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -38,31 +38,49 @@ commands:
              [--stats[=json|pretty]]  (per-rank timing breakdown; with
                           --stats=json the output is one JSON object
                           holding the histogram and the stats report)
+             [--degradation <strict|repair|best-effort>]  (corrupt-input
+                          policy: fail, skip checksummed-bad frames, or
+                          salvage everything recoverable; default strict)
+             [--verify]  (check format + checksums only, no analysis)
              phased:  [--chunk <C>] [--renumber]
              sampled: [--rate <k>]   (spatial sampling at rate 2^-k)
   mrc      print the miss ratio curve of a trace
-             <file> [--capacities <c1,c2,...>] [--stream] [--stats[=json|pretty]]
+             <file> [--capacities <c1,c2,...>] [--stream]
+             [--stats[=json|pretty]] [--degradation <policy>]
   stats    print trace statistics (N, M, address span)
              <file>
   compare  run every engine over a trace, verify agreement, report timings
              <file> [--ranks <p>] [--naive-limit <n>]
   spec     print the paper's Table IV benchmark table
-  help     show this message";
+  help     show this message
+
+exit codes: 0 ok, 1 usage, 2 corrupt trace, 3 i/o failure,
+            4 worker panic (retries exhausted), 5 watchdog stall";
 
 fn io_err(e: impl std::fmt::Display) -> String {
     e.to_string()
 }
 
+/// The `--degradation` policy, defaulting to strict.
+fn parse_degradation(args: &Args) -> Result<Degradation, CliError> {
+    match args.get("degradation") {
+        None => Ok(Degradation::Strict),
+        Some(raw) => raw
+            .parse()
+            .map_err(|e: String| CliError::Fault(PardaError::Config(e))),
+    }
+}
+
 /// `parda gen`: produce a trace from a SPEC model, a pattern generator, or
 /// a pinsim kernel.
-pub fn gen(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+pub fn gen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let path = args.get("out").ok_or("missing --out <file>")?.to_string();
     let seed: u64 = args.get_parsed("seed", 42)?;
     let refs: u64 = args.get_parsed("refs", 1_000_000)?;
     let encoding = match args.get("encoding").unwrap_or("delta") {
         "raw" => Encoding::Raw,
         "delta" => Encoding::DeltaVarint,
-        other => return Err(format!("unknown encoding `{other}`")),
+        other => return Err(format!("unknown encoding `{other}`").into()),
     };
 
     let trace: Trace = if let Some(name) = args.get("spec") {
@@ -79,7 +97,7 @@ pub fn gen(args: &Args, out: &mut dyn Write) -> Result<(), String> {
                 ZipfGen::new(m as usize, theta, 0, seed).take_trace(refs as usize)
             }
             "sequential" => SequentialGen::new(0, 8).take_trace(refs as usize),
-            other => return Err(format!("unknown pattern `{other}`")),
+            other => return Err(format!("unknown pattern `{other}`").into()),
         }
     } else if let Some(kernel) = args.get("kernel") {
         let size: usize = args.get_parsed("size", 64)?;
@@ -100,7 +118,7 @@ pub fn gen(args: &Args, out: &mut dyn Write) -> Result<(), String> {
                 collect_trace(parda_pinsim::StreamTriad::new(size, iters))
             }
             "mergesort" => collect_trace(parda_pinsim::MergeSortScan::new(size, seed)),
-            other => return Err(format!("unknown kernel `{other}`")),
+            other => return Err(format!("unknown kernel `{other}`").into()),
         }
     } else {
         return Err("gen needs one of --spec, --pattern, or --kernel".into());
@@ -110,7 +128,7 @@ pub fn gen(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     match format {
         "v2" => save_trace_v2(&path, &trace, encoding).map_err(io_err)?,
         "v1" => save_trace(&path, &trace, encoding).map_err(io_err)?,
-        other => return Err(format!("unknown format `{other}` (v1|v2)")),
+        other => return Err(format!("unknown format `{other}` (v1|v2)").into()),
     }
     writeln!(out, "wrote {} references to {path} ({format})", trace.len()).map_err(io_err)?;
     Ok(())
@@ -147,30 +165,55 @@ fn write_stats_json(
     hist: &parda_hist::ReuseHistogram,
     report: &Report,
     out: &mut dyn Write,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let hist_json = serde_json::to_string(hist).map_err(io_err)?;
     let report_json = serde_json::to_string(report).map_err(io_err)?;
-    writeln!(out, "{{\"histogram\":{hist_json},\"stats\":{report_json}}}").map_err(io_err)
+    writeln!(out, "{{\"histogram\":{hist_json},\"stats\":{report_json}}}").map_err(io_err)?;
+    Ok(())
+}
+
+/// Decoder pool size for policy-aware stream opens — the same default
+/// [`FramedStream::open`] uses.
+fn stream_decoders() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8)
 }
 
 /// `parda analyze`: run an analyzer over a trace file and print the binned
 /// histogram and timing.
-pub fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+pub fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = args.require_positional(0, "trace file")?;
+
+    // --verify: integrity check only — header, footer index, and (v2.1)
+    // every frame CRC — without running any analysis.
+    if args.has("verify") {
+        let report = verify_trace(path).map_err(PardaError::from)?;
+        writeln!(
+            out,
+            "ok: version={}.{} frames={} refs={} checksummed={}",
+            report.version, report.minor, report.frames, report.refs, report.checksummed
+        )
+        .map_err(io_err)?;
+        return Ok(());
+    }
+
     let engine = args.get("engine").unwrap_or("parda");
     if !matches!(
         engine,
         "parda" | "msg" | "seq" | "naive" | "phased" | "sampled"
     ) {
-        return Err(format!(
-            "unknown engine `{engine}` (parda|msg|seq|naive|phased|sampled)"
-        ));
+        return Err(
+            format!("unknown engine `{engine}` (parda|msg|seq|naive|phased|sampled)").into(),
+        );
     }
-    let path = args.require_positional(0, "trace file")?;
     let tree = parse_tree(args)?;
     let bound: Option<u64> = args.get_optional("bound")?;
     let ranks: usize = args.get_parsed("ranks", 4)?;
     let line_bits: u32 = args.get_parsed("line-bits", 0)?;
     let stats_fmt = stats_format(args)?;
+    let degradation = parse_degradation(args)?;
 
     // Streamed analysis: decode v2 frames on background threads while the
     // phased analyzer consumes them. Explicit with --stream; automatic for
@@ -181,13 +224,20 @@ pub fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         if !matches!(engine, "parda" | "phased") {
             return Err(format!(
                 "--stream runs the phased engine and cannot honor --engine {engine}"
-            ));
+            )
+            .into());
         }
         if line_bits > 0 {
             return Err("--stream cannot be combined with --line-bits".into());
         }
     }
-    let version = peek_version(path).map_err(io_err)?;
+    let version = peek_version(path).map_err(PardaError::from)?;
+    if requested_stream && version != 2 {
+        return Err(format!(
+            "--stream needs a v2 framed trace with a frame index; `{path}` is v{version}"
+        )
+        .into());
+    }
     let use_stream = requested_stream
         || (version == 2 && line_bits == 0 && (engine == "phased" || args.get("engine").is_none()));
 
@@ -202,36 +252,67 @@ pub fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         .tree(tree)
         .ranks(ranks)
         .bound(bound)
-        .stats(true);
-    let (hist, report) = if use_stream {
-        let builder = builder.mode(Mode::Phased { chunk, reduction });
-        let stream = FramedStream::open(path).map_err(io_err)?;
-        let errors = stream.error_handle();
-        let counters = stream.stats_handle();
-        let (hist, report) = builder.run_stream(stream);
-        if let Some(e) = errors.take() {
-            return Err(io_err(e));
+        .stats(true)
+        .degradation(degradation);
+
+    // The streaming path needs an intact footer index to seek frames; if
+    // it is destroyed and the policy is best-effort, fall back to the
+    // in-memory salvage decoder below.
+    let streamed = if use_stream {
+        match FramedStream::open_with_policy(path, stream_decoders(), degradation) {
+            Ok(stream) => {
+                let builder = builder.clone().mode(Mode::Phased { chunk, reduction });
+                let errors = stream.error_handle();
+                let counters = stream.stats_handle();
+                let recovery = stream.recovery_handle();
+                let (hist, report) = builder.run_stream(stream);
+                if let Some(e) = errors.take() {
+                    return Err(PardaError::from(e).into());
+                }
+                let mut report = report.expect("stats were requested");
+                report.stream = Some(counters.snapshot());
+                report.recovery = Some(recovery.lock().unwrap_or_else(|e| e.into_inner()).clone());
+                Some((hist, report))
+            }
+            Err(_) if degradation == Degradation::BestEffort => None,
+            Err(e) => return Err(PardaError::from(e).into()),
         }
-        let mut report = report.expect("stats were requested");
-        report.stream = Some(counters.snapshot());
-        (hist, report)
     } else {
-        let mut trace = load_trace(path).map_err(io_err)?;
-        if line_bits > 0 {
-            trace = parda_trace::xform::to_lines(&trace, line_bits);
+        None
+    };
+
+    let (hist, report) = match streamed {
+        Some(done) => done,
+        None => {
+            let (mut trace, rec) =
+                load_trace_recovering(path, degradation).map_err(PardaError::from)?;
+            if line_bits > 0 {
+                trace = parda_trace::xform::to_lines(&trace, line_bits);
+            }
+            let mode = match engine {
+                "seq" => Mode::Seq,
+                "naive" => Mode::Naive,
+                "msg" => Mode::Msg,
+                "phased" => Mode::Phased { chunk, reduction },
+                "sampled" => Mode::Sampled {
+                    rate_log2: args.get_parsed("rate", 3)?,
+                },
+                _ => Mode::Threads,
+            };
+            // run_faulted: the threads engine gets panic-isolated workers
+            // with scalar rescue; other engines run unchanged.
+            let (hist, report) = builder
+                .clone()
+                .mode(mode)
+                .fault_policy(FaultPolicy::with_degradation(degradation))
+                .run_faulted(trace.as_slice())?;
+            let mut report = report.expect("stats were requested");
+            match report.recovery.as_mut() {
+                Some(existing) => existing.merge(&rec),
+                None => report.recovery = Some(rec),
+            }
+            (hist, report)
         }
-        let mode = match engine {
-            "seq" => Mode::Seq,
-            "naive" => Mode::Naive,
-            "msg" => Mode::Msg,
-            "phased" => Mode::Phased { chunk, reduction },
-            "sampled" => Mode::Sampled {
-                rate_log2: args.get_parsed("rate", 3)?,
-            },
-            _ => Mode::Threads,
-        };
-        let (hist, report) = builder.mode(mode).run(trace.as_slice());
-        (hist, report.expect("stats were requested"))
     };
 
     if matches!(stats_fmt, StatsFormat::Json) {
@@ -269,30 +350,49 @@ pub fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 }
 
 /// `parda mrc`: miss ratio curve at pow-2 capacities (or a custom list).
-pub fn mrc(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+pub fn mrc(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let path = args.require_positional(0, "trace file")?;
     let stats_fmt = stats_format(args)?;
+    let degradation = parse_degradation(args)?;
     // v2 files stream through the phased engine (exact, same histogram as
     // the sequential analyzer); v1 files use the legacy load-then-analyze.
-    let (hist, report) = if args.has("stream") || peek_version(path).map_err(io_err)? == 2 {
+    // A v2 file whose footer is destroyed falls back to the in-memory
+    // salvage decoder under best-effort.
+    let streamed = if args.has("stream") || peek_version(path).map_err(PardaError::from)? == 2 {
         let ranks: usize = args.get_parsed("ranks", 4)?;
-        let stream = FramedStream::open(path).map_err(io_err)?;
-        let errors = stream.error_handle();
-        let counters = stream.stats_handle();
-        let (hist, report) = Analysis::new().ranks(ranks).stats(true).run_stream(stream);
-        if let Some(e) = errors.take() {
-            return Err(io_err(e));
+        match FramedStream::open_with_policy(path, stream_decoders(), degradation) {
+            Ok(stream) => {
+                let errors = stream.error_handle();
+                let counters = stream.stats_handle();
+                let recovery = stream.recovery_handle();
+                let (hist, report) = Analysis::new().ranks(ranks).stats(true).run_stream(stream);
+                if let Some(e) = errors.take() {
+                    return Err(PardaError::from(e).into());
+                }
+                let mut report = report.expect("stats were requested");
+                report.stream = Some(counters.snapshot());
+                report.recovery = Some(recovery.lock().unwrap_or_else(|e| e.into_inner()).clone());
+                Some((hist, report))
+            }
+            Err(_) if degradation == Degradation::BestEffort => None,
+            Err(e) => return Err(PardaError::from(e).into()),
         }
-        let mut report = report.expect("stats were requested");
-        report.stream = Some(counters.snapshot());
-        (hist, report)
     } else {
-        let trace = load_trace(path).map_err(io_err)?;
-        let (hist, report) = Analysis::new()
-            .mode(Mode::Seq)
-            .stats(true)
-            .run(trace.as_slice());
-        (hist, report.expect("stats were requested"))
+        None
+    };
+    let (hist, report) = match streamed {
+        Some(done) => done,
+        None => {
+            let (trace, rec) =
+                load_trace_recovering(path, degradation).map_err(PardaError::from)?;
+            let (hist, report) = Analysis::new()
+                .mode(Mode::Seq)
+                .stats(true)
+                .run(trace.as_slice());
+            let mut report = report.expect("stats were requested");
+            report.recovery = Some(rec);
+            (hist, report)
+        }
     };
     if matches!(stats_fmt, StatsFormat::Json) {
         return write_stats_json(&hist, &report, out);
@@ -315,7 +415,7 @@ pub fn mrc(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 }
 
 /// `parda stats`: N, M, and address span of a trace file.
-pub fn stats(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+pub fn stats(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let path = args.require_positional(0, "trace file")?;
     let trace = load_trace(path).map_err(io_err)?;
     writeln!(out, "{}", trace.stats()).map_err(io_err)?;
@@ -324,7 +424,7 @@ pub fn stats(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 
 /// `parda compare`: run every exact engine over a trace, check that they
 /// produce identical histograms, and report per-engine timings.
-pub fn compare(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+pub fn compare(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let path = args.require_positional(0, "trace file")?;
     let ranks: usize = args.get_parsed("ranks", 4)?;
     let naive_limit: usize = args.get_parsed("naive-limit", 50_000)?;
@@ -390,7 +490,7 @@ pub fn compare(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 }
 
 /// `parda spec`: the paper's Table IV parameters and slowdown factors.
-pub fn spec(_args: &Args, out: &mut dyn Write) -> Result<(), String> {
+pub fn spec(_args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(
         out,
         "{:<12} {:>12} {:>16} {:>8} {:>10} {:>10} {:>8} {:>8}",

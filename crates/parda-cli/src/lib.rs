@@ -18,22 +18,106 @@ pub mod args;
 pub mod commands;
 
 pub use args::Args;
+use parda_core::PardaError;
 
-/// Entry point shared by the binary and the integration tests. Returns the
-/// process exit code.
+/// A failed CLI invocation, classified for the exit code.
+///
+/// Usage mistakes (bad flags, unknown engines) exit 1 as before; analysis
+/// faults carry their [`PardaError`] class through to a distinct exit
+/// code so scripts can react per failure class:
+///
+/// | code | meaning |
+/// |---|---|
+/// | 0 | success |
+/// | 1 | usage error / engine disagreement / bad configuration |
+/// | 2 | corrupt trace input ([`PardaError::Corrupt`]) |
+/// | 3 | I/O failure ([`PardaError::Io`]) |
+/// | 4 | worker panic, retries exhausted ([`PardaError::WorkerPanic`]) |
+/// | 5 | watchdog stall ([`PardaError::Stall`]) |
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation or any non-fault failure: exit code 1.
+    Usage(String),
+    /// A classified analysis fault: exit code 2–5 by variant.
+    Fault(PardaError),
+}
+
+impl CliError {
+    /// The process exit code for this error.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 1,
+            CliError::Fault(e) => match e {
+                PardaError::Corrupt(_) => 2,
+                PardaError::Io(_) => 3,
+                PardaError::WorkerPanic { .. } => 4,
+                PardaError::Stall { .. } => 5,
+                PardaError::Config(_) => 1,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Fault(e) => write!(f, "[{}] {e}", e.class()),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Usage(msg.to_string())
+    }
+}
+
+impl From<PardaError> for CliError {
+    fn from(e: PardaError) -> Self {
+        CliError::Fault(e)
+    }
+}
+
+/// Entry point shared by the binary and the integration tests: everything
+/// — results and diagnostics — goes to `out`. Returns the process exit
+/// code (see [`CliError::exit_code`]).
 pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> i32 {
     match run_inner(argv, out) {
         Ok(()) => 0,
         Err(e) => {
             let _ = writeln!(out, "error: {e}");
-            1
+            e.exit_code()
         }
     }
 }
 
-fn run_inner(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), String> {
+/// [`run`] with split output: results to `out` (stdout), the one-line
+/// diagnostic to `err` (stderr) — what the binary uses, so piped JSON
+/// stays clean even on failure.
+pub fn run_split(
+    argv: &[String],
+    out: &mut dyn std::io::Write,
+    err: &mut dyn std::io::Write,
+) -> i32 {
+    match run_inner(argv, out) {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(err, "error: {e}");
+            e.exit_code()
+        }
+    }
+}
+
+fn run_inner(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let Some(command) = argv.first() else {
-        return Err(format!("no subcommand given\n\n{}", commands::USAGE));
+        return Err(format!("no subcommand given\n\n{}", commands::USAGE).into());
     };
     let args = Args::parse_with_switches(&argv[1..], commands::SWITCHES)?;
     match command.as_str() {
@@ -43,11 +127,10 @@ fn run_inner(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), String
         "stats" => commands::stats(&args, out),
         "spec" => commands::spec(&args, out),
         "compare" => commands::compare(&args, out),
-        "help" | "--help" | "-h" => writeln!(out, "{}", commands::USAGE).map_err(|e| e.to_string()),
-        other => Err(format!(
-            "unknown subcommand `{other}`\n\n{}",
-            commands::USAGE
-        )),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{}", commands::USAGE).map_err(|e| CliError::Usage(e.to_string()))
+        }
+        other => Err(format!("unknown subcommand `{other}`\n\n{}", commands::USAGE).into()),
     }
 }
 
@@ -301,6 +384,132 @@ mod tests {
         let (code, out) = run_to_string(&["analyze", "/nonexistent", "--engine", "warp"]);
         assert_eq!(code, 1);
         assert!(out.contains("error"), "got: {out}");
+    }
+
+    /// Write a v2.1 Raw trace with 64-ref frames; returns the path and the
+    /// addresses. Raw layout is deterministic: 24-byte header, then per
+    /// frame a 12-byte inline header + 64×8 payload bytes.
+    fn write_framed(name: &str, refs: usize) -> (std::path::PathBuf, Vec<u64>) {
+        use parda_trace::io::{write_trace_v2_framed, Encoding};
+        let dir = std::env::temp_dir().join("parda-cli-fault-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let trace: Vec<u64> = (0..refs as u64).map(|i| (i * 11) % 97).collect();
+        let f = std::fs::File::create(&path).unwrap();
+        write_trace_v2_framed(
+            f,
+            &parda_trace::Trace::from_vec(trace.clone()),
+            Encoding::Raw,
+            64,
+        )
+        .unwrap();
+        (path, trace)
+    }
+
+    #[test]
+    fn missing_file_exits_3_bad_policy_exits_1() {
+        let (code, out) = run_to_string(&["analyze", "/definitely/not/here.trc"]);
+        assert_eq!(code, 3, "i/o failure class: {out}");
+        assert!(out.contains("[io]"), "got: {out}");
+
+        let (path, _) = write_framed("policy.trc", 128);
+        let p = path.to_str().unwrap();
+        let (code, out) = run_to_string(&["analyze", p, "--degradation", "yolo"]);
+        assert_eq!(code, 1, "config errors are usage-class: {out}");
+        assert!(out.contains("degradation"), "got: {out}");
+    }
+
+    #[test]
+    fn corrupt_trace_exit_codes_follow_the_degradation_ladder() {
+        let (path, _) = write_framed("corrupt.trc", 640);
+        let p = path.to_str().unwrap();
+        // Flip a payload byte in frame 3 (offset 24 + 3·(12+512) + 12).
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[24 + 3 * (12 + 512) + 12 + 7] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Strict (default): corrupt class, exit 2 — both load and stream.
+        for extra in [&[][..], &["--stream"][..]] {
+            let mut argv = vec!["analyze", p, "--engine", "parda"];
+            argv.extend_from_slice(extra);
+            let (code, out) = run_to_string(&argv);
+            assert_eq!(code, 2, "{argv:?}: {out}");
+            assert!(out.contains("[corrupt]"), "got: {out}");
+        }
+
+        // Lossy rungs: clean exit, frame 3's 64 references dropped.
+        for policy in ["repair", "best-effort"] {
+            let (code, out) =
+                run_to_string(&["analyze", p, "--degradation", policy, "--engine", "parda"]);
+            assert_eq!(code, 0, "{policy}: {out}");
+            assert!(out.contains("total=576"), "{policy}: {out}");
+        }
+
+        // mrc honours the same ladder.
+        let (code, _) = run_to_string(&["mrc", p]);
+        assert_eq!(code, 2);
+        let (code, _) = run_to_string(&["mrc", p, "--degradation=best-effort"]);
+        assert_eq!(code, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stats_json_reports_recovery_counters() {
+        use serde_json::Value;
+        let (path, _) = write_framed("recovery.trc", 640);
+        let p = path.to_str().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[24 + 5 * (12 + 512) + 12] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        for extra in [&[][..], &["--stream"][..]] {
+            let mut argv = vec!["analyze", p, "--degradation=best-effort", "--stats=json"];
+            argv.extend_from_slice(extra);
+            let (code, out) = run_to_string(&argv);
+            assert_eq!(code, 0, "{argv:?}: {out}");
+            let doc: Value = serde_json::from_str(out.trim()).unwrap();
+            let rec = doc.field("stats").unwrap().field("recovery").unwrap();
+            let Value::Array(skipped) = rec.field("skipped_frames").unwrap() else {
+                panic!("skipped_frames is not an array");
+            };
+            assert_eq!(skipped.len(), 1, "{argv:?}");
+            assert_eq!(rec.field("refs_dropped").unwrap(), &Value::U64(64));
+            assert_eq!(rec.field("crc_failures").unwrap(), &Value::U64(1));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn verify_checks_integrity_without_analysis() {
+        let (path, _) = write_framed("verify.trc", 640);
+        let p = path.to_str().unwrap();
+        let (code, out) = run_to_string(&["analyze", p, "--verify"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("version=2.1"), "got: {out}");
+        assert!(out.contains("frames=10"), "got: {out}");
+        assert!(out.contains("checksummed=true"), "got: {out}");
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[24 + 12 + 3] ^= 0x80;
+        std::fs::write(&path, &bytes).unwrap();
+        let (code, out) = run_to_string(&["analyze", p, "--verify"]);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("CRC"), "got: {out}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn run_split_routes_diagnostics_to_stderr() {
+        let argv: Vec<String> = ["analyze", "/definitely/not/here.trc"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (mut out, mut err) = (Vec::new(), Vec::new());
+        let code = run_split(&argv, &mut out, &mut err);
+        assert_eq!(code, 3);
+        assert!(out.is_empty(), "stdout stays clean on failure");
+        let err = String::from_utf8(err).unwrap();
+        assert!(err.contains("error: [io]"), "got: {err}");
     }
 
     #[test]

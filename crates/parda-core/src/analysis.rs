@@ -28,13 +28,16 @@
 //! through, and aggregates the per-rank metrics into a [`Report`]. The
 //! histograms are bit-identical to the direct calls (property-tested).
 
+use crate::error::{FaultPolicy, PardaError};
 use crate::parallel::PardaConfig;
 use crate::phased::Reduction;
 use crate::sampled::SampleRate;
 use parda_hist::ReuseHistogram;
 use parda_obs::{EngineMetrics, PhasedMetrics, RankMetrics, Report, Stopwatch, StreamMetrics};
-use parda_trace::{Addr, AddressStream, SliceStream};
+use parda_trace::stream::FramedStream;
+use parda_trace::{Addr, AddressStream, Degradation, SliceStream};
 use parda_tree::TreeKind;
+use std::path::Path;
 
 /// Monomorphize a block over the runtime-selected [`TreeKind`]: binds the
 /// concrete tree type to `$T` inside `$body`.
@@ -140,6 +143,7 @@ pub struct Analysis {
     bound: Option<u64>,
     space_optimized: bool,
     stats: bool,
+    fault: FaultPolicy,
 }
 
 impl Default for Analysis {
@@ -159,6 +163,7 @@ impl Analysis {
             bound: None,
             space_optimized: true,
             stats: false,
+            fault: FaultPolicy::default(),
         }
     }
 
@@ -198,6 +203,21 @@ impl Analysis {
     /// cascade/stream counters).
     pub fn stats(mut self, on: bool) -> Self {
         self.stats = on;
+        self
+    }
+
+    /// How [`Analysis::run_file`] treats corrupt trace input (default
+    /// [`Degradation::Strict`]): fail, repair, or salvage best-effort.
+    pub fn degradation(mut self, policy: Degradation) -> Self {
+        self.fault.degradation = policy;
+        self
+    }
+
+    /// Full fault policy for [`Analysis::run_file`] /
+    /// [`Analysis::run_faulted`]: degradation ladder plus worker-panic
+    /// retry budget and watchdog deadline.
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault = policy;
         self
     }
 
@@ -264,8 +284,103 @@ impl Analysis {
             per_rank,
             stream: None,
             phased: Some(phased),
+            recovery: None,
         };
         (hist, Some(report))
+    }
+
+    /// Analyze an in-memory trace with fault isolation.
+    ///
+    /// For [`Mode::Threads`] this drives
+    /// [`crate::parallel::parda_threads_faulted`]: panicking rank workers
+    /// are caught and rescued with the scalar reference engine under the
+    /// builder's [`FaultPolicy`] (bit-identical histogram on success), and
+    /// a configured watchdog converts a stalled cascade wait into
+    /// [`PardaError::Stall`]. Other modes run unchanged — their engines
+    /// are single-threaded or message-passing and a panic there is a
+    /// programming error that should surface.
+    pub fn run_faulted(
+        &self,
+        trace: &[Addr],
+    ) -> Result<(ReuseHistogram, Option<Report>), PardaError> {
+        if self.mode != Mode::Threads {
+            return Ok(self.run(trace));
+        }
+        let config = self.config();
+        let sw = Stopwatch::start();
+        let (hist, per_rank, recovery) = dispatch_tree!(self.tree, T, {
+            crate::parallel::parda_threads_faulted::<T>(trace, &config, &self.fault)
+        })?;
+        let (hist, mut report) =
+            self.finish(hist, per_rank, None, None, trace.len() as u64, sw.ns());
+        if let Some(r) = report.as_mut() {
+            r.recovery = Some(recovery);
+        }
+        Ok((hist, report))
+    }
+
+    /// Analyze a trace file end to end under the builder's fault policy.
+    ///
+    /// This is the fault-tolerant front door: it decodes (or streams) the
+    /// file honouring [`Analysis::degradation`], runs the selected engine
+    /// with panic isolation ([`Analysis::run_faulted`]), and attaches the
+    /// combined [`parda_obs::RecoveryMetrics`] — corrupt frames skipped, references
+    /// dropped, CRC failures, rank rescues — to the [`Report`] when stats
+    /// are enabled.
+    ///
+    /// * [`Mode::Phased`] on a v2 file streams frames through
+    ///   [`FramedStream`] with the degradation policy applied per frame;
+    ///   if the file's footer/index is too damaged to open and the policy
+    ///   is [`Degradation::BestEffort`], it falls back to an in-memory
+    ///   resync-scan salvage.
+    /// * Every other mode (and every v1 file) decodes in memory via
+    ///   [`parda_trace::decode_trace_recovering`].
+    ///
+    /// Under [`Degradation::Strict`] any integrity violation aborts with
+    /// [`PardaError::Corrupt`]; the lossy policies return the exact
+    /// analysis of the surviving frames.
+    pub fn run_file<P: AsRef<Path>>(
+        &self,
+        path: P,
+    ) -> Result<(ReuseHistogram, Option<Report>), PardaError> {
+        let path = path.as_ref();
+        let degradation = self.fault.degradation;
+
+        // Major format version 2 is the framed, seekable, streamable one.
+        if matches!(self.mode, Mode::Phased { .. }) && parda_trace::io::peek_version(path)? == 2 {
+            match FramedStream::open_with_policy(path, stream_decoders(), degradation) {
+                Ok(stream) => {
+                    let errors = stream.error_handle();
+                    let recovery = stream.recovery_handle();
+                    let (hist, mut report) = self.run_stream(stream);
+                    // A strict-mode decode failure terminates the stream
+                    // early; surface it instead of a silently short
+                    // histogram.
+                    if let Some(e) = errors.take() {
+                        return Err(e.into());
+                    }
+                    let rec = recovery.lock().unwrap_or_else(|e| e.into_inner()).clone();
+                    if let Some(r) = report.as_mut() {
+                        r.recovery = Some(rec);
+                    }
+                    return Ok((hist, report));
+                }
+                // Destroyed footer/index: only the bottom of the ladder
+                // may salvage without it.
+                Err(_) if degradation == Degradation::BestEffort => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+
+        let (trace, rec) = parda_trace::load_trace_recovering(path, degradation)?;
+        let (hist, mut report) = self.run_faulted(trace.as_slice())?;
+        if let Some(r) = report.as_mut() {
+            match r.recovery.as_mut() {
+                Some(existing) => existing.merge(&rec),
+                None => r.recovery = Some(rec),
+            }
+        }
+        Ok((hist, report))
     }
 
     /// One engine run with a concrete tree type.
@@ -335,9 +450,19 @@ impl Analysis {
             per_rank,
             stream,
             phased,
+            recovery: None,
         };
         (hist, Some(report))
     }
+}
+
+/// Decoder-thread count for [`Analysis::run_file`]'s streaming path —
+/// the same default [`FramedStream::open`] uses.
+fn stream_decoders() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8)
 }
 
 /// Rank metrics for the engines without internal instrumentation (naïve
@@ -478,6 +603,133 @@ mod tests {
             .run(&trace);
         assert_eq!(exact, analyze_naive(&trace), "rate 2^-0 is exact");
         assert_eq!(report.unwrap().mode, "sampled");
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("parda-core-analysis-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    /// v2.1 Raw layout: 24-byte header, then per frame a 12-byte inline
+    /// header followed by `refs × 8` payload bytes.
+    fn raw_v21_payload_offset(frame: usize, frame_refs: usize) -> usize {
+        24 + frame * (12 + frame_refs * 8) + 12
+    }
+
+    #[test]
+    fn run_faulted_matches_run_for_threads() {
+        let trace: Vec<Addr> = (0..1_200).map(|i| (i * 17) % 101).collect();
+        let builder = Analysis::new().ranks(4).stats(true);
+        let (h1, _) = builder.run(&trace);
+        let (h2, report) = builder.run_faulted(&trace).unwrap();
+        assert_eq!(h1, h2);
+        let recovery = report
+            .unwrap()
+            .recovery
+            .expect("faulted run attaches recovery");
+        assert_eq!(recovery.rank_retries, 0);
+        assert!(recovery.is_clean());
+    }
+
+    #[test]
+    fn run_file_strict_matches_in_memory_run() {
+        use parda_trace::io::{write_trace_v2_framed, Encoding};
+        let trace: Vec<Addr> = (0..640).map(|i| (i * 7) % 73).collect();
+        let path = tmp("clean-v21.bin");
+        let f = std::fs::File::create(&path).unwrap();
+        write_trace_v2_framed(
+            f,
+            &parda_trace::Trace::from_vec(trace.clone()),
+            Encoding::Raw,
+            64,
+        )
+        .unwrap();
+
+        let (expect, _) = Analysis::new().ranks(3).run(&trace);
+        let (hist, _) = Analysis::new().ranks(3).run_file(&path).unwrap();
+        assert_eq!(hist, expect);
+
+        // The streaming (phased) path reads the same bytes the same way.
+        let phased = Analysis::new().ranks(3).mode(Mode::Phased {
+            chunk: 50,
+            reduction: Reduction::ShipToRankZero,
+        });
+        let (hist, _) = phased.run_file(&path).unwrap();
+        assert_eq!(hist, expect);
+    }
+
+    #[test]
+    fn run_file_degradation_ladder_on_a_corrupt_frame() {
+        use parda_trace::io::{write_trace_v2_framed, Encoding};
+        let trace: Vec<Addr> = (0..640).map(|i| (i * 11) % 97).collect();
+        let path = tmp("corrupt-v21.bin");
+        let f = std::fs::File::create(&path).unwrap();
+        write_trace_v2_framed(
+            f,
+            &parda_trace::Trace::from_vec(trace.clone()),
+            Encoding::Raw,
+            64,
+        )
+        .unwrap();
+        // Flip one payload byte in frame 3: its CRC no longer matches.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[raw_v21_payload_offset(3, 64) + 5] ^= 0xA5;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Strict: structured corruption error.
+        let err = Analysis::new().ranks(3).run_file(&path).unwrap_err();
+        assert_eq!(err.class(), "corrupt", "got {err}");
+
+        // Lossy: exactly the analysis of the surviving frames.
+        let survivors: Vec<Addr> = trace[..192].iter().chain(&trace[256..]).copied().collect();
+        let (expect, _) = Analysis::new().ranks(3).run(&survivors);
+        for policy in [Degradation::Repair, Degradation::BestEffort] {
+            let (hist, report) = Analysis::new()
+                .ranks(3)
+                .degradation(policy)
+                .stats(true)
+                .run_file(&path)
+                .unwrap();
+            assert_eq!(hist, expect, "{policy:?}");
+            let recovery = report.unwrap().recovery.expect("recovery attached");
+            assert_eq!(recovery.frames_skipped, 1);
+            assert_eq!(recovery.refs_dropped, 64);
+            assert_eq!(recovery.crc_failures, 1);
+            assert_eq!(recovery.skipped_frames, vec![3]);
+        }
+
+        // The streaming path applies the same ladder.
+        let phased = Analysis::new()
+            .ranks(3)
+            .mode(Mode::Phased {
+                chunk: 50,
+                reduction: Reduction::ShipToRankZero,
+            })
+            .stats(true);
+        let err = phased.run_file(&path).unwrap_err();
+        assert_eq!(
+            err.class(),
+            "corrupt",
+            "strict stream surfaces the CRC failure"
+        );
+        let (hist, report) = phased
+            .clone()
+            .degradation(Degradation::BestEffort)
+            .run_file(&path)
+            .unwrap();
+        assert_eq!(hist, expect);
+        let recovery = report.unwrap().recovery.expect("recovery attached");
+        assert_eq!(recovery.frames_skipped, 1);
+        assert_eq!(recovery.refs_dropped, 64);
+    }
+
+    #[test]
+    fn run_file_missing_file_is_an_io_error() {
+        let err = Analysis::new()
+            .run_file(tmp("definitely-not-here.bin"))
+            .unwrap_err();
+        assert_eq!(err.class(), "io");
     }
 
     proptest! {

@@ -164,6 +164,7 @@ impl<T: ReuseTree> Engine<T> {
     /// Bounded mode (where Algorithm 7's LRU eviction couples the table to
     /// the tree per reference) and tiny chunks take the scalar path.
     pub fn process_chunk(&mut self, chunk: &[Addr], start_ts: u64, miss_sink: MissSink<'_>) {
+        parda_failpoint::failpoint!("engine::process_chunk");
         if self.bound.is_some() || chunk.len() < Self::BATCH {
             return self.process_chunk_scalar(chunk, start_ts, miss_sink);
         }
@@ -231,6 +232,7 @@ impl<T: ReuseTree> Engine<T> {
     /// equivalence test suite and ablation benchmarks can drive it
     /// directly.
     pub fn process_chunk_scalar(&mut self, chunk: &[Addr], start_ts: u64, miss_sink: MissSink<'_>) {
+        parda_failpoint::failpoint!("engine::process_chunk_scalar");
         let mut sink = miss_sink;
         self.metrics.refs += chunk.len() as u64;
         for (i, &z) in chunk.iter().enumerate() {

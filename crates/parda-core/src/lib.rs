@@ -48,6 +48,7 @@
 
 pub mod analysis;
 pub mod engine;
+pub mod error;
 pub mod object;
 pub mod parallel;
 pub mod phased;
@@ -58,8 +59,10 @@ pub mod window;
 
 pub use analysis::{Analysis, Mode};
 pub use engine::{Engine, MissSink};
-pub use parallel::PardaConfig;
+pub use error::{FaultPolicy, PardaError};
+pub use parallel::{parda_threads_faulted, PardaConfig};
 pub use parda_obs::Report;
+pub use parda_trace::Degradation;
 
 use parda_hist::ReuseHistogram;
 use parda_trace::Addr;

@@ -17,12 +17,15 @@
 //!   operation order per engine, lower overhead; used by the benchmarks.
 
 use crate::engine::{Engine, MissSink};
+use crate::error::{FaultPolicy, PardaError};
 use parda_hist::ReuseHistogram;
-use parda_obs::{RankMetrics, Stopwatch};
+use parda_obs::{RankMetrics, RecoveryMetrics, Stopwatch};
 use parda_trace::{chunk_slice, Addr};
 use parda_tree::ReuseTree;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
 
 /// Configuration for the parallel analyzers.
 ///
@@ -218,7 +221,7 @@ pub fn parda_threads_with_stats<T: ReuseTree + Default + Send>(
     // global barrier between "phase 1" and "phase 2" (the serial Figure-4
     // tail) is gone. The per-engine operation sequence is unchanged, so the
     // histogram stays bit-identical to [`parda_msg`].
-    let slots: Vec<RankSlot<T>> = (0..np).map(|_| RankSlot::default()).collect();
+    let slots: Vec<RankSlot<ChunkResult<T>>> = (0..np).map(|_| RankSlot::default()).collect();
     let claim = AtomicUsize::new(0);
     let workers = worker_count(np);
 
@@ -230,95 +233,274 @@ pub fn parda_threads_with_stats<T: ReuseTree + Default + Send>(
                     break;
                 }
                 let p = np - 1 - k;
-                let sw = Stopwatch::start();
-                let mut engine: Engine<T> = Engine::new(config.bound, chunks[p].len());
-                let mut local_inf = Vec::new();
-                engine.process_chunk(chunks[p], starts[p], MissSink::Forward(&mut local_inf));
-                let chunk_ns = sw.ns();
-                let mut slot = slots[p].result.lock().expect("rank slot poisoned");
-                *slot = Some((engine, local_inf, chunk_ns));
+                slots[p].publish(analyze_rank::<T>(chunks[p], starts[p], config, false));
+            });
+        }
+
+        let folded = fold_cascade(&chunks, &starts, config, |p| Ok(slots[p].take()));
+        match folded {
+            Ok(out) => out,
+            // The claim closure is infallible and no worker can panic
+            // here short of an engine bug — which should surface, not be
+            // swallowed. The fault-tolerant path is
+            // [`parda_threads_faulted`].
+            Err(e) => unreachable!("infallible cascade claim failed: {e}"),
+        }
+    })
+}
+
+/// Fault-tolerant shared-memory Parda: [`parda_threads`] with
+/// panic-isolated workers, bounded rescue retries, and an optional
+/// watchdog on the cascade waits.
+///
+/// Each rank's chunk analysis runs under [`catch_unwind`]; a panicking
+/// worker publishes a failure marker instead of killing the run, and the
+/// cascade fold re-analyzes that rank on the caller thread with the
+/// *scalar* reference engine ([`Engine::process_chunk_scalar`] — the
+/// simplest, most-audited code path), retrying up to
+/// [`FaultPolicy::max_retries`] times with [`FaultPolicy::retry_backoff`]
+/// between attempts. Because the scalar engine is bit-identical to the
+/// batched one, a rescued run produces exactly the histogram the
+/// unfaulted run would have. Exhausted retries yield
+/// [`PardaError::WorkerPanic`]; a rank that never publishes within
+/// [`FaultPolicy::watchdog`] yields [`PardaError::Stall`] instead of a
+/// hang. Recovery activity is tallied in the returned
+/// [`RecoveryMetrics`] (`rank_retries` / `rank_rescues`).
+pub fn parda_threads_faulted<T: ReuseTree + Default + Send>(
+    trace: &[Addr],
+    config: &PardaConfig,
+    policy: &FaultPolicy,
+) -> Result<(ReuseHistogram, Vec<RankMetrics>, RecoveryMetrics), PardaError> {
+    let np = config.ranks.max(1);
+    let chunks = chunk_slice(trace, np);
+    let starts = chunk_starts(&chunks);
+    let slots: Vec<RankSlot<Result<ChunkResult<T>, RankPanic>>> =
+        (0..np).map(|_| RankSlot::default()).collect();
+    let claim = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let workers = worker_count(np);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let k = claim.fetch_add(1, Ordering::Relaxed);
+                if k >= np {
+                    break;
+                }
+                let p = np - 1 - k;
+                // The outer catch_unwind covers the publish itself: a
+                // panic at the `parallel::slot_publish` site poisons the
+                // slot lock *after* the value is stored, and the cascade
+                // side recovers it through the poison-tolerant lock. No
+                // panic may escape a scoped thread — that would abort the
+                // whole scope at join.
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    let analyzed = catch_unwind(AssertUnwindSafe(|| {
+                        parda_failpoint::failpoint!("parallel::worker");
+                        parda_failpoint::failpoint!("parallel::worker_stall");
+                        analyze_rank::<T>(chunks[p], starts[p], config, false)
+                    }));
+                    let mut slot = slots[p].lock();
+                    *slot = Some(analyzed.map_err(|_| RankPanic));
+                    parda_failpoint::failpoint!("parallel::slot_publish");
+                }));
                 slots[p].ready.notify_one();
             });
         }
 
-        let mut metrics: Vec<RankMetrics> = (0..np)
-            .map(|p| RankMetrics {
-                rank: p,
-                refs: chunks[p].len() as u64,
-                ..Default::default()
-            })
-            .collect();
-        let mut total = ReuseHistogram::new();
-
-        // Cascade fold: rank p-1 absorbs everything rank p would have sent
-        // over all Algorithm 3 rounds — its own local infinities followed
-        // by the survivors of what it absorbed from its right.
-        let mut stream: Vec<Addr> = Vec::new();
-        for p in (1..np).rev() {
-            let (mut engine, own_inf, chunk_ns, wait_ns) = slots[p].take();
-            metrics[p].chunk_ns = chunk_ns;
-            metrics[p].cascade_wait_ns = wait_ns;
-            let next_ts = starts[p] + chunks[p].len() as u64;
-            if !stream.is_empty() {
-                metrics[p].cascade_rounds = 1;
-                metrics[p].round_infinity_lens.push(stream.len() as u64);
-            }
-            let sw = Stopwatch::start();
-            let mut survivors = Vec::new();
-            if config.space_optimized {
-                engine.process_infinities(&stream, &mut survivors);
-            } else {
-                engine.process_infinities_unoptimized(&stream, next_ts, &mut survivors);
-            }
-            metrics[p].cascade_ns = sw.ns();
-            let mut forwarded = own_inf;
-            forwarded.extend_from_slice(&survivors);
-            metrics[p].infinities_forwarded = forwarded.len() as u64;
-            stream = forwarded;
-            metrics[p].engine = engine.metrics().clone();
-            total.merge(engine.histogram());
+        let mut recovery = RecoveryMetrics::default();
+        let folded = fold_cascade(&chunks, &starts, config, |p| {
+            claim_rank(
+                &slots[p],
+                chunks[p],
+                starts[p],
+                p,
+                config,
+                policy,
+                &mut recovery,
+            )
+        });
+        if folded.is_err() {
+            // Stop workers from claiming further chunks; in-flight chunks
+            // finish and are discarded.
+            abort.store(true, Ordering::Relaxed);
         }
+        folded.map(|(hist, metrics)| (hist, metrics, recovery))
+    })
+}
 
-        // Rank 0: its own local infinities and all unresolved survivors are
-        // authoritative global infinities.
-        let (mut engine0, own0, chunk_ns, wait_ns) = slots[0].take();
-        metrics[0].chunk_ns = chunk_ns;
-        metrics[0].cascade_wait_ns = wait_ns;
-        engine0.record_global_infinities(own0.len() as u64);
+/// One rank's chunk analysis: build an engine, process the chunk
+/// (batched or scalar), return it with the local infinities and wall
+/// time. Shared by the workers and the rescue path.
+fn analyze_rank<T: ReuseTree + Default>(
+    chunk: &[Addr],
+    start: u64,
+    config: &PardaConfig,
+    scalar: bool,
+) -> ChunkResult<T> {
+    let sw = Stopwatch::start();
+    let mut engine: Engine<T> = Engine::new(config.bound, chunk.len());
+    let mut local_inf = Vec::new();
+    if scalar {
+        engine.process_chunk_scalar(chunk, start, MissSink::Forward(&mut local_inf));
+    } else {
+        engine.process_chunk(chunk, start, MissSink::Forward(&mut local_inf));
+    }
+    (engine, local_inf, sw.ns())
+}
+
+/// Claim rank `p`'s result for the fault-tolerant cascade: wait (with the
+/// policy watchdog), and if the worker panicked, rescue the rank by
+/// re-analyzing its chunk with the scalar engine under bounded retries.
+#[allow(clippy::too_many_arguments)]
+fn claim_rank<T: ReuseTree + Default>(
+    slot: &RankSlot<Result<ChunkResult<T>, RankPanic>>,
+    chunk: &[Addr],
+    start: u64,
+    rank: usize,
+    config: &PardaConfig,
+    policy: &FaultPolicy,
+    recovery: &mut RecoveryMetrics,
+) -> Result<(ChunkResult<T>, u64), PardaError> {
+    let (outcome, wait_ns) = match slot.take_deadline(policy.watchdog) {
+        Some(v) => v,
+        None => {
+            return Err(PardaError::Stall {
+                rank,
+                deadline: policy
+                    .watchdog
+                    .expect("deadline exists when take times out"),
+            })
+        }
+    };
+    match outcome {
+        Ok(result) => Ok((result, wait_ns)),
+        Err(RankPanic) => {
+            let mut attempts = 1u32; // the worker's attempt
+            loop {
+                if attempts > policy.max_retries {
+                    return Err(PardaError::WorkerPanic { rank, attempts });
+                }
+                attempts += 1;
+                recovery.rank_retries += 1;
+                if !policy.retry_backoff.is_zero() {
+                    std::thread::sleep(policy.retry_backoff);
+                }
+                match catch_unwind(AssertUnwindSafe(|| {
+                    analyze_rank::<T>(chunk, start, config, true)
+                })) {
+                    Ok(result) => {
+                        recovery.rank_rescues += 1;
+                        return Ok((result, wait_ns));
+                    }
+                    Err(_) => continue,
+                }
+            }
+        }
+    }
+}
+
+/// The right-to-left cascade fold shared by [`parda_threads`] and
+/// [`parda_threads_faulted`]: rank `p−1` absorbs everything rank `p`
+/// would have sent over all Algorithm 3 rounds — its own local
+/// infinities followed by the survivors of what it absorbed from its
+/// right. `claim(p)` produces rank `p`'s finished chunk analysis plus
+/// the wait time, blocking / rescuing as the driver dictates.
+fn fold_cascade<T: ReuseTree + Default>(
+    chunks: &[&[Addr]],
+    starts: &[u64],
+    config: &PardaConfig,
+    mut claim: impl FnMut(usize) -> Result<(ChunkResult<T>, u64), PardaError>,
+) -> Result<(ReuseHistogram, Vec<RankMetrics>), PardaError> {
+    let np = chunks.len();
+    let mut metrics: Vec<RankMetrics> = (0..np)
+        .map(|p| RankMetrics {
+            rank: p,
+            refs: chunks[p].len() as u64,
+            ..Default::default()
+        })
+        .collect();
+    let mut total = ReuseHistogram::new();
+
+    let mut stream: Vec<Addr> = Vec::new();
+    for p in (1..np).rev() {
+        let ((mut engine, own_inf, chunk_ns), wait_ns) = claim(p)?;
+        metrics[p].chunk_ns = chunk_ns;
+        metrics[p].cascade_wait_ns = wait_ns;
+        let next_ts = starts[p] + chunks[p].len() as u64;
         if !stream.is_empty() {
-            metrics[0].cascade_rounds = 1;
-            metrics[0].round_infinity_lens.push(stream.len() as u64);
+            metrics[p].cascade_rounds = 1;
+            metrics[p].round_infinity_lens.push(stream.len() as u64);
         }
         let sw = Stopwatch::start();
         let mut survivors = Vec::new();
         if config.space_optimized {
-            engine0.process_infinities(&stream, &mut survivors);
+            engine.process_infinities(&stream, &mut survivors);
         } else {
-            let next_ts = starts[0] + chunks[0].len() as u64;
-            engine0.process_infinities_unoptimized(&stream, next_ts, &mut survivors);
+            engine.process_infinities_unoptimized(&stream, next_ts, &mut survivors);
         }
-        engine0.record_global_infinities(survivors.len() as u64);
-        metrics[0].cascade_ns = sw.ns();
-        metrics[0].engine = engine0.metrics().clone();
-        total.merge(engine0.histogram());
+        metrics[p].cascade_ns = sw.ns();
+        let mut forwarded = own_inf;
+        forwarded.extend_from_slice(&survivors);
+        metrics[p].infinities_forwarded = forwarded.len() as u64;
+        stream = forwarded;
+        metrics[p].engine = engine.metrics().clone();
+        total.merge(engine.histogram());
+    }
 
-        (total, metrics)
-    })
+    // Rank 0: its own local infinities and all unresolved survivors are
+    // authoritative global infinities.
+    let ((mut engine0, own0, chunk_ns), wait_ns) = claim(0)?;
+    metrics[0].chunk_ns = chunk_ns;
+    metrics[0].cascade_wait_ns = wait_ns;
+    engine0.record_global_infinities(own0.len() as u64);
+    if !stream.is_empty() {
+        metrics[0].cascade_rounds = 1;
+        metrics[0].round_infinity_lens.push(stream.len() as u64);
+    }
+    let sw = Stopwatch::start();
+    let mut survivors = Vec::new();
+    if config.space_optimized {
+        engine0.process_infinities(&stream, &mut survivors);
+    } else {
+        let next_ts = starts[0] + chunks[0].len() as u64;
+        engine0.process_infinities_unoptimized(&stream, next_ts, &mut survivors);
+    }
+    engine0.record_global_infinities(survivors.len() as u64);
+    metrics[0].cascade_ns = sw.ns();
+    metrics[0].engine = engine0.metrics().clone();
+    total.merge(engine0.histogram());
+
+    Ok((total, metrics))
 }
 
 /// A rank's finished chunk analysis: the engine, its local infinities, and
 /// the chunk wall time in nanoseconds.
 type ChunkResult<T> = (Engine<T>, Vec<Addr>, u64);
 
+/// Marker for a rank whose chunk-analysis worker panicked; the cascade
+/// side rescues the rank by re-analyzing the chunk itself.
+struct RankPanic;
+
 /// Per-rank completion slot of the pipelined schedule: workers publish a
-/// finished [`ChunkResult`] here; the cascade thread blocks on `take` for
-/// the one rank it needs next.
-struct RankSlot<T: ReuseTree> {
-    result: Mutex<Option<ChunkResult<T>>>,
+/// finished value here; the cascade thread blocks on `take` (or
+/// `take_deadline`) for the one rank it needs next.
+///
+/// All lock acquisitions shed poison ([`Mutex::lock`] →
+/// `unwrap_or_else(PoisonError::into_inner)`): a worker that panicked
+/// while holding the slot — e.g. via the `parallel::slot_publish`
+/// failpoint — must not take the cascade down with it, and an
+/// `Option<V>` is always observable in a coherent state (the value is
+/// written before any panic window).
+struct RankSlot<V> {
+    result: Mutex<Option<V>>,
     ready: Condvar,
 }
 
-impl<T: ReuseTree> Default for RankSlot<T> {
+impl<V> Default for RankSlot<V> {
     fn default() -> Self {
         Self {
             result: Mutex::new(None),
@@ -327,18 +509,48 @@ impl<T: ReuseTree> Default for RankSlot<T> {
     }
 }
 
-impl<T: ReuseTree> RankSlot<T> {
-    /// Block until the rank's chunk analysis is published, returning the
-    /// result plus the time spent waiting — the pipeline bubble recorded as
+impl<V> RankSlot<V> {
+    /// Poison-tolerant lock on the slot value.
+    fn lock(&self) -> MutexGuard<'_, Option<V>> {
+        self.result.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Store a finished value and wake the cascade thread.
+    fn publish(&self, value: V) {
+        *self.lock() = Some(value);
+        self.ready.notify_one();
+    }
+
+    /// Block until the rank's value is published, returning it plus the
+    /// time spent waiting — the pipeline bubble recorded as
     /// [`RankMetrics::cascade_wait_ns`].
-    fn take(&self) -> (Engine<T>, Vec<Addr>, u64, u64) {
+    fn take(&self) -> (V, u64) {
         let sw = Stopwatch::start();
-        let mut guard = self.result.lock().expect("rank slot poisoned");
+        let mut guard = self.lock();
         while guard.is_none() {
-            guard = self.ready.wait(guard).expect("rank slot poisoned");
+            guard = self.ready.wait(guard).unwrap_or_else(|e| e.into_inner());
         }
-        let (engine, inf, chunk_ns) = guard.take().expect("slot is filled");
-        (engine, inf, chunk_ns, sw.ns())
+        (guard.take().expect("slot is filled"), sw.ns())
+    }
+
+    /// [`RankSlot::take`] with a total deadline: `None` on expiry (the
+    /// watchdog converts that into [`PardaError::Stall`]).
+    fn take_deadline(&self, deadline: Option<Duration>) -> Option<(V, u64)> {
+        let Some(limit) = deadline else {
+            return Some(self.take());
+        };
+        let sw = Stopwatch::start();
+        let mut guard = self.lock();
+        loop {
+            if let Some(v) = guard.take() {
+                return Some((v, sw.ns()));
+            }
+            let remaining = limit.checked_sub(Duration::from_nanos(sw.ns()))?;
+            (guard, _) = self
+                .ready
+                .wait_timeout(guard, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+        }
     }
 }
 
@@ -553,6 +765,58 @@ mod tests {
                     "np={np} bound={bound}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn faulted_driver_matches_unfaulted_without_faults() {
+        let trace: Vec<Addr> = (0..1_500).map(|i| (i * 13) % 131).collect();
+        let policy = FaultPolicy::default();
+        for np in [1, 2, 4, 7] {
+            let cfg = PardaConfig::with_ranks(np);
+            let (hist, metrics, recovery) =
+                parda_threads_faulted::<SplayTree>(&trace, &cfg, &policy).unwrap();
+            assert_eq!(hist, parda_threads::<SplayTree>(&trace, &cfg), "np={np}");
+            assert_eq!(metrics.len(), np);
+            assert_eq!(metrics.iter().map(|m| m.refs).sum::<u64>(), 1_500);
+            assert_eq!(recovery.rank_retries, 0, "no faults, no retries");
+            assert_eq!(recovery.rank_rescues, 0);
+        }
+    }
+
+    #[test]
+    fn faulted_driver_watchdog_is_quiet_on_healthy_runs() {
+        let trace: Vec<Addr> = (0..800).map(|i| (i * 7) % 89).collect();
+        let cfg = PardaConfig::with_ranks(4);
+        let policy = FaultPolicy::default().watchdog(std::time::Duration::from_secs(30));
+        let (hist, _, _) = parda_threads_faulted::<SplayTree>(&trace, &cfg, &policy).unwrap();
+        assert_eq!(hist, parda_threads::<SplayTree>(&trace, &cfg));
+    }
+
+    #[test]
+    fn faulted_driver_handles_empty_and_tiny_traces() {
+        let policy = FaultPolicy::default();
+        let cfg = PardaConfig::with_ranks(4);
+        let (hist, _, _) = parda_threads_faulted::<SplayTree>(&[], &cfg, &policy).unwrap();
+        assert_eq!(hist.total(), 0);
+        let trace = labels("aba");
+        let (hist, _, _) = parda_threads_faulted::<SplayTree>(&trace, &cfg, &policy).unwrap();
+        assert_eq!(hist, analyze_sequential::<SplayTree>(&trace, None));
+    }
+
+    proptest! {
+        /// The fault-tolerant driver is bit-identical to the plain one on
+        /// healthy runs for every trace, rank count, and bound.
+        #[test]
+        fn faulted_equals_unfaulted_prop(
+            trace in proptest::collection::vec(0u64..48, 0..300),
+            np in 1usize..7,
+        ) {
+            let cfg = PardaConfig::with_ranks(np);
+            let (hist, _, _) = parda_threads_faulted::<SplayTree>(
+                &trace, &cfg, &FaultPolicy::default(),
+            ).unwrap();
+            prop_assert_eq!(hist, parda_threads::<SplayTree>(&trace, &cfg));
         }
     }
 

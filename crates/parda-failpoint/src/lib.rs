@@ -1,0 +1,240 @@
+//! Deterministic fault injection for the PARDA pipeline.
+//!
+//! Production code marks *named sites* with the [`failpoint!`] macro:
+//!
+//! ```ignore
+//! failpoint!("engine::process_chunk");                  // can panic or sleep
+//! failpoint!("trace::decode_frame", return Err(inval)); // can also early-return
+//! ```
+//!
+//! With the `failpoints` feature disabled (the default) the macro expands to
+//! nothing at all — zero instructions, zero branches on the hot path. With the
+//! feature enabled, each site consults a process-global registry that tests
+//! program with action *specs*:
+//!
+//! | spec          | effect at the site                                  |
+//! |---------------|-----------------------------------------------------|
+//! | `"panic"`     | `panic!` with a recognisable message                |
+//! | `"error"`     | take the `return` arm of the two-argument form      |
+//! | `"sleep(ms)"` | block the calling thread for `ms` milliseconds      |
+//! | `"N*spec"`    | apply `spec` for the first `N` hits, then disarm    |
+//!
+//! Configuration is intentionally tiny: `configure`, `remove`, `clear`
+//! (present only when the `failpoints` feature is on).
+//! Tests that configure failpoints must serialise themselves (the registry is
+//! process-global); the suites in this repository share a `Mutex` for that.
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Duration;
+
+    /// What an armed failpoint does when hit.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum FailKind {
+        /// Panic with `"failpoint <name> panic"`.
+        Panic,
+        /// Signal the site's error arm (two-argument macro form).
+        Error,
+        /// Sleep for the given duration, then continue normally.
+        Sleep(u64),
+    }
+
+    #[derive(Clone, Copy, Debug)]
+    struct FailAction {
+        kind: FailKind,
+        /// `None` = fire on every hit; `Some(n)` = fire `n` more times.
+        remaining: Option<u64>,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, FailAction>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, FailAction>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    fn parse_spec(spec: &str) -> Result<FailAction, String> {
+        let spec = spec.trim();
+        let (remaining, body) = match spec.split_once('*') {
+            Some((n, rest)) => {
+                let n: u64 = n
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad failpoint count in {spec:?}"))?;
+                (Some(n), rest.trim())
+            }
+            None => (None, spec),
+        };
+        let kind = if body == "panic" {
+            FailKind::Panic
+        } else if body == "error" {
+            FailKind::Error
+        } else if let Some(ms) = body
+            .strip_prefix("sleep(")
+            .and_then(|s| s.strip_suffix(')'))
+        {
+            let ms: u64 = ms
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad sleep duration in {spec:?}"))?;
+            FailKind::Sleep(ms)
+        } else {
+            return Err(format!("unknown failpoint action {body:?}"));
+        };
+        Ok(FailAction { kind, remaining })
+    }
+
+    /// Arm the failpoint `name` with an action `spec` (see module docs).
+    pub fn configure(name: &str, spec: &str) -> Result<(), String> {
+        let action = parse_spec(spec)?;
+        registry()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name.to_string(), action);
+        Ok(())
+    }
+
+    /// Disarm the failpoint `name` (no-op if it was not armed).
+    pub fn remove(name: &str) {
+        registry()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(name);
+    }
+
+    /// Disarm every failpoint.
+    pub fn clear() {
+        registry().lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+
+    /// Called by the `failpoint!` macro at each hit. Returns `true` when the
+    /// site should take its error arm. Panics / sleeps are performed here.
+    pub fn fire(name: &str) -> bool {
+        let kind = {
+            let mut map = registry().lock().unwrap_or_else(|e| e.into_inner());
+            let Some(action) = map.get_mut(name) else {
+                return false;
+            };
+            match &mut action.remaining {
+                Some(0) => {
+                    map.remove(name);
+                    return false;
+                }
+                Some(n) => {
+                    *n -= 1;
+                    let kind = action.kind;
+                    if action.remaining == Some(0) {
+                        map.remove(name);
+                    }
+                    kind
+                }
+                None => action.kind,
+            }
+        };
+        match kind {
+            FailKind::Panic => panic!("failpoint {name} panic"),
+            FailKind::Error => true,
+            FailKind::Sleep(ms) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                false
+            }
+        }
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub use imp::{clear, configure, fire, remove, FailKind};
+
+/// Mark a fault-injection site.
+///
+/// `failpoint!("name")` supports `panic` and `sleep` actions;
+/// `failpoint!("name", expr)` additionally evaluates `expr` (typically a
+/// `return ...`) when the site is armed with the `error` action. Expands to
+/// nothing when the `failpoints` feature is off.
+#[cfg(feature = "failpoints")]
+#[macro_export]
+macro_rules! failpoint {
+    ($name:expr) => {
+        let _ = $crate::fire($name);
+    };
+    ($name:expr, $on_error:expr) => {
+        if $crate::fire($name) {
+            $on_error;
+        }
+    };
+}
+
+/// Mark a fault-injection site (disabled build: expands to nothing).
+#[cfg(not(feature = "failpoints"))]
+#[macro_export]
+macro_rules! failpoint {
+    ($name:expr) => {};
+    ($name:expr, $on_error:expr) => {};
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use std::sync::Mutex;
+
+    /// The registry is process-global; serialise the tests touching it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn unarmed_site_is_inert() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        super::clear();
+        assert!(!super::fire("nope"));
+    }
+
+    #[test]
+    fn error_action_fires_until_removed() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        super::clear();
+        super::configure("site", "error").unwrap();
+        assert!(super::fire("site"));
+        assert!(super::fire("site"));
+        super::remove("site");
+        assert!(!super::fire("site"));
+    }
+
+    #[test]
+    fn counted_action_disarms_after_n_hits() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        super::clear();
+        super::configure("site", "2*error").unwrap();
+        assert!(super::fire("site"));
+        assert!(super::fire("site"));
+        assert!(!super::fire("site"));
+        assert!(!super::fire("site"));
+    }
+
+    #[test]
+    fn panic_action_panics_with_site_name() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        super::clear();
+        super::configure("boom", "1*panic").unwrap();
+        let err = std::panic::catch_unwind(|| super::fire("boom")).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("failpoint boom panic"), "got {msg:?}");
+        assert!(!super::fire("boom"), "counted panic should disarm");
+        super::clear();
+    }
+
+    #[test]
+    fn sleep_action_delays_then_continues() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        super::clear();
+        super::configure("slow", "1*sleep(10)").unwrap();
+        let start = std::time::Instant::now();
+        assert!(!super::fire("slow"));
+        assert!(start.elapsed() >= std::time::Duration::from_millis(10));
+        super::clear();
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(super::configure("x", "explode").is_err());
+        assert!(super::configure("x", "q*panic").is_err());
+        assert!(super::configure("x", "sleep(abc)").is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! CRC32C (Castagnoli) — the checksum guarding trace-file frames.
+//!
+//! Format v2.1 stamps every frame payload (and the footer index) with a
+//! CRC32C so a flipped bit or a truncated write is detected before the
+//! decoder ever trusts the bytes. The Castagnoli polynomial is chosen over
+//! CRC32 (IEEE) for its better error-detection properties on short bursts;
+//! it is the same checksum used by iSCSI, ext4 and Snappy framing.
+//!
+//! The implementation is pure software slice-by-8: eight 256-entry tables
+//! built at compile time, processing eight input bytes per iteration. That
+//! keeps the workspace free of target-feature detection while still running
+//! at a few GB/s — far faster than the decode work it protects.
+
+/// Reversed Castagnoli polynomial (0x1EDC6F41 bit-reflected).
+const POLY: u32 = 0x82F6_3B78;
+
+const TABLES: [[u32; 256]; 8] = build_tables();
+
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut t = 1usize;
+    while t < 8 {
+        let mut i = 0usize;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
+/// CRC32C of `data` (initial value all-ones, final inversion — the standard
+/// Castagnoli convention, matching `crc32c(3)` and hardware `crc32` output).
+pub fn crc32c(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ crc;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        crc = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][(hi & 0xFF) as usize]
+            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = TABLES[0][((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::crc32c;
+
+    /// Bitwise reference implementation, for cross-checking the tables.
+    fn crc32c_bitwise(data: &[u8]) -> u32 {
+        let mut crc = !0u32;
+        for &b in data {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ super::POLY
+                } else {
+                    crc >> 1
+                };
+            }
+        }
+        !crc
+    }
+
+    #[test]
+    fn known_vectors() {
+        // RFC 3720 appendix B.4 test vectors.
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        let ascending: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn slice_by_8_matches_bitwise_on_all_lengths() {
+        let data: Vec<u8> = (0..257u32)
+            .map(|i| (i.wrapping_mul(0x9E37) >> 3) as u8)
+            .collect();
+        for len in 0..data.len() {
+            assert_eq!(
+                crc32c(&data[..len]),
+                crc32c_bitwise(&data[..len]),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        let clean = crc32c(&data);
+        let mut flipped = data.clone();
+        flipped[1234] ^= 0x10;
+        assert_ne!(crc32c(&flipped), clean);
+    }
+}

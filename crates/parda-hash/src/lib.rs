@@ -12,15 +12,19 @@
 //!   hot path.
 //! * [`LastAccessTable`] — the address → last-access-timestamp table used by
 //!   every reuse-distance engine in `parda-core`.
+//! * [`crc32c`] — the Castagnoli checksum stamped on trace-file frames by
+//!   `parda-trace` format v2.1 to detect corruption before decode.
 //!
 //! The map is deliberately specialised: keys must implement [`FixedKey`]
 //! (a cheap, infallible 64-bit projection used for hashing), which lets the
 //! table store hashes implicitly and keep probe loops branch-light.
 
+pub mod crc;
 pub mod fx;
 pub mod map;
 pub mod table;
 
+pub use crc::crc32c;
 pub use fx::{fx_hash_u64, FxBuildHasher, FxHasher};
 pub use map::{FixedKey, RobinHoodMap};
 pub use table::LastAccessTable;

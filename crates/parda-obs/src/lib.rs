@@ -227,6 +227,77 @@ impl StreamCounters {
     }
 }
 
+/// Fault-recovery tally for one analysis run: what the degradation
+/// machinery skipped, repaired, or retried on the way to a result.
+///
+/// Populated by the recovering decoders in `parda-trace` and the
+/// panic-isolated cascade in `parda-core`; all-zero means the run was clean.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct RecoveryMetrics {
+    /// Frames the source claimed to contain (0 when unknown, e.g. after a
+    /// destroyed footer forced a resync scan).
+    pub frames_total: u64,
+    /// Frames quarantined: CRC mismatch, undecodable payload, or truncation.
+    pub frames_skipped: u64,
+    /// References lost with those frames.
+    pub refs_dropped: u64,
+    /// Frames whose CRC32C did not match (subset of `frames_skipped` for
+    /// checksummed files; zero for pre-checksum v2.0 files).
+    pub crc_failures: u64,
+    /// Byte-level resync scans performed after losing frame alignment
+    /// (BestEffort only).
+    pub resyncs: u64,
+    /// Rank analyses re-run after a worker panic.
+    pub rank_retries: u64,
+    /// Ranks whose result came from a successful re-run on the scalar
+    /// reference engine rather than the original worker.
+    pub rank_rescues: u64,
+    /// Indices of the first quarantined frames (capped — see
+    /// [`RecoveryMetrics::SKIPPED_FRAMES_CAP`]).
+    pub skipped_frames: Vec<u64>,
+}
+
+impl RecoveryMetrics {
+    /// Cap on the `skipped_frames` detail list; the counters stay exact.
+    pub const SKIPPED_FRAMES_CAP: usize = 64;
+
+    /// Record frame `index` (carrying `refs` references) as quarantined.
+    pub fn skip_frame(&mut self, index: u64, refs: u64) {
+        self.frames_skipped += 1;
+        self.refs_dropped += refs;
+        if self.skipped_frames.len() < Self::SKIPPED_FRAMES_CAP {
+            self.skipped_frames.push(index);
+        }
+    }
+
+    /// `true` when nothing was skipped, retried, or rescued.
+    pub fn is_clean(&self) -> bool {
+        self.frames_skipped == 0
+            && self.refs_dropped == 0
+            && self.crc_failures == 0
+            && self.resyncs == 0
+            && self.rank_retries == 0
+            && self.rank_rescues == 0
+    }
+
+    /// Fold another recovery tally into this one.
+    pub fn merge(&mut self, other: &RecoveryMetrics) {
+        self.frames_total += other.frames_total;
+        self.frames_skipped += other.frames_skipped;
+        self.refs_dropped += other.refs_dropped;
+        self.crc_failures += other.crc_failures;
+        self.resyncs += other.resyncs;
+        self.rank_retries += other.rank_retries;
+        self.rank_rescues += other.rank_rescues;
+        for &f in &other.skipped_frames {
+            if self.skipped_frames.len() >= Self::SKIPPED_FRAMES_CAP {
+                break;
+            }
+            self.skipped_frames.push(f);
+        }
+    }
+}
+
 /// Aggregate observability report for one analysis run.
 ///
 /// Produced by `parda_core::Analysis` when stats are requested; serialized
@@ -253,6 +324,10 @@ pub struct Report {
     pub stream: Option<StreamMetrics>,
     /// Phase-level aggregates, for the streaming multi-phase engine.
     pub phased: Option<PhasedMetrics>,
+    /// Fault-recovery events (frames skipped, rank retries), when the run
+    /// used a lossy degradation policy or survived injected faults. `None`
+    /// when recovery was never engaged.
+    pub recovery: Option<RecoveryMetrics>,
 }
 
 impl Report {
@@ -324,6 +399,19 @@ impl Report {
                 "phases={} reduction_total={} (per-phase max across ranks)\n",
                 p.phases,
                 fmt_ns(reduction_total),
+            ));
+        }
+        if let Some(r) = &self.recovery {
+            out.push_str(&format!(
+                "recovery: frames_skipped={}/{} refs_dropped={} crc_failures={} \
+                 resyncs={} rank_retries={} rank_rescues={}\n",
+                r.frames_skipped,
+                r.frames_total,
+                r.refs_dropped,
+                r.crc_failures,
+                r.resyncs,
+                r.rank_retries,
+                r.rank_rescues,
             ));
         }
         if let Some(s) = &self.stream {
@@ -490,6 +578,7 @@ mod tests {
             per_rank: vec![RankMetrics::default()],
             stream: None,
             phased: None,
+            recovery: None,
         };
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("\"mode\":\"parda-threads\""), "{json}");
@@ -543,6 +632,56 @@ mod tests {
         assert!(text.contains("phases=2"));
         assert!(text.contains("stream: frames=0"));
         assert_eq!(text.lines().count(), 6, "{text}");
+    }
+
+    #[test]
+    fn recovery_metrics_skip_and_merge() {
+        let mut a = RecoveryMetrics {
+            frames_total: 10,
+            ..Default::default()
+        };
+        assert!(a.is_clean());
+        a.skip_frame(3, 100);
+        a.skip_frame(7, 50);
+        assert!(!a.is_clean());
+        assert_eq!(a.frames_skipped, 2);
+        assert_eq!(a.refs_dropped, 150);
+        assert_eq!(a.skipped_frames, vec![3, 7]);
+        let b = RecoveryMetrics {
+            rank_retries: 2,
+            rank_rescues: 1,
+            crc_failures: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.rank_retries, 2);
+        assert_eq!(a.crc_failures, 1);
+    }
+
+    #[test]
+    fn recovery_skipped_frames_detail_is_capped() {
+        let mut r = RecoveryMetrics::default();
+        for i in 0..200 {
+            r.skip_frame(i, 1);
+        }
+        assert_eq!(r.frames_skipped, 200);
+        assert_eq!(r.refs_dropped, 200);
+        assert_eq!(r.skipped_frames.len(), RecoveryMetrics::SKIPPED_FRAMES_CAP);
+    }
+
+    #[test]
+    fn render_pretty_includes_recovery_line_when_present() {
+        let mut rec = RecoveryMetrics {
+            frames_total: 4,
+            ..Default::default()
+        };
+        rec.skip_frame(1, 16);
+        let report = Report {
+            recovery: Some(rec),
+            ..Default::default()
+        };
+        let text = report.render_pretty();
+        assert!(text.contains("recovery: frames_skipped=1/4"), "{text}");
     }
 
     #[test]

@@ -35,15 +35,28 @@
 //! paths possible: [`decode_trace`] decodes all frames of an in-memory v2
 //! image in parallel, and [`crate::stream::FramedStream`] decodes frames on
 //! background threads while an analyzer consumes earlier ones.
+//!
+//! **Version 2.1** (the default written by [`write_trace_v2`]) adds
+//! end-to-end integrity. The version word carries a minor number in its
+//! upper half (`major | minor << 16`), the inline frame header grows a
+//! CRC32C of the payload (`count` u32, `payload_len` u32, `crc32c` u32),
+//! and the footer index is itself protected by a CRC32C written between the
+//! entries and the frame count. v2.0 files remain fully readable; v2.1
+//! readers verify every frame checksum before trusting the bytes, and the
+//! recovery layer in [`crate::recover`] can skip corrupt frames or resync
+//! after a destroyed footer instead of failing the whole analysis.
 
 use crate::{Addr, Trace};
 use rayon::prelude::*;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"PARDATRC";
+pub(crate) const MAGIC: &[u8; 8] = b"PARDATRC";
 const VERSION: u32 = 1;
-const VERSION_V2: u32 = 2;
+pub(crate) const VERSION_V2: u32 = 2;
+/// Highest v2 minor version this reader understands. Minor 1 added the
+/// per-frame and footer-index CRC32C checksums.
+pub(crate) const V2_MINOR_CRC: u32 = 1;
 const FOOTER_MAGIC: &[u8; 8] = b"PARDAIDX";
 
 /// References per v2 frame: big enough that per-frame overhead (8-byte
@@ -52,11 +65,13 @@ const FOOTER_MAGIC: &[u8; 8] = b"PARDAIDX";
 pub const FRAME_REFS: usize = 65_536;
 
 /// Fixed file header: magic + version + encoding + count.
-const HEADER_LEN: u64 = 24;
-/// Inline v2 frame header: count u32 + payload_len u32.
+pub(crate) const HEADER_LEN: u64 = 24;
+/// Inline v2.0 frame header: count u32 + payload_len u32.
 pub(crate) const FRAME_HEADER_LEN: u64 = 8;
+/// Inline v2.1 frame header: count u32 + payload_len u32 + crc32c u32.
+pub(crate) const FRAME_HEADER_LEN_V21: u64 = 12;
 /// Footer index entry: offset u64 + count u32 + len u32.
-const INDEX_ENTRY_LEN: u64 = 16;
+pub(crate) const INDEX_ENTRY_LEN: u64 = 16;
 /// Cap for `Vec::with_capacity` from untrusted header counts.
 const PREALLOC_CAP: usize = 1 << 22;
 
@@ -239,6 +254,10 @@ pub(crate) fn decode_frame_into(
     encoding: Encoding,
     out: &mut [Addr],
 ) -> io::Result<()> {
+    parda_failpoint::failpoint!(
+        "trace::decode_frame",
+        return Err(invalid("injected frame decode failure"))
+    );
     match encoding {
         Encoding::Raw => {
             if payload.len() != out.len() * 8 {
@@ -278,9 +297,39 @@ pub(crate) struct FrameIndexEntry {
 /// Parsed 24-byte file header.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct TraceHeader {
+    /// Major format version (1 or 2); the low half of the version word.
     pub version: u32,
+    /// Minor format version; the high half of the version word. Minor 1
+    /// adds CRC32C checksums to frames and the footer index.
+    pub minor: u32,
     pub encoding: Encoding,
     pub count: u64,
+}
+
+impl TraceHeader {
+    /// `true` when frames carry a CRC32C in their inline header.
+    pub fn checksummed(&self) -> bool {
+        self.minor >= V2_MINOR_CRC
+    }
+
+    /// Inline frame header length for this minor version.
+    pub fn frame_header_len(&self) -> u64 {
+        if self.checksummed() {
+            FRAME_HEADER_LEN_V21
+        } else {
+            FRAME_HEADER_LEN
+        }
+    }
+
+    /// Footer tail length after the index entries: `[index_crc u32]` (v2.1
+    /// only) + `nframes u64` + magic.
+    pub fn footer_tail_len(&self) -> u64 {
+        if self.checksummed() {
+            20
+        } else {
+            16
+        }
+    }
 }
 
 pub(crate) fn parse_header(bytes: &[u8]) -> io::Result<TraceHeader> {
@@ -290,14 +339,27 @@ pub(crate) fn parse_header(bytes: &[u8]) -> io::Result<TraceHeader> {
     if &bytes[..8] != MAGIC {
         return Err(invalid("bad trace magic"));
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let word = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let version = word & 0xFFFF;
+    let minor = word >> 16;
     if version != VERSION && version != VERSION_V2 {
         return Err(invalid(format!("unsupported trace version {version}")));
+    }
+    let minor_max = if version == VERSION_V2 {
+        V2_MINOR_CRC
+    } else {
+        0
+    };
+    if minor > minor_max {
+        return Err(invalid(format!(
+            "unsupported trace version {version}.{minor}"
+        )));
     }
     let encoding = Encoding::from_u32(u32::from_le_bytes(bytes[12..16].try_into().unwrap()))?;
     let count = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
     Ok(TraceHeader {
         version,
+        minor,
         encoding,
         count,
     })
@@ -332,7 +394,7 @@ pub(crate) fn validate_index(entries: &[FrameIndexEntry], header: &TraceHeader) 
             }
         }
         total += u64::from(e.count);
-        expect_offset += FRAME_HEADER_LEN + u64::from(e.len);
+        expect_offset += header.frame_header_len() + u64::from(e.len);
     }
     if total != header.count {
         return Err(invalid(format!(
@@ -345,7 +407,8 @@ pub(crate) fn validate_index(entries: &[FrameIndexEntry], header: &TraceHeader) 
 
 /// Parse and validate the footer index of an in-memory v2 image.
 pub(crate) fn parse_footer(bytes: &[u8], header: &TraceHeader) -> io::Result<Vec<FrameIndexEntry>> {
-    let min = HEADER_LEN + 8 + 8;
+    let tail_len = header.footer_tail_len();
+    let min = HEADER_LEN + tail_len;
     if (bytes.len() as u64) < min {
         return Err(invalid("v2 trace shorter than its footer"));
     }
@@ -357,18 +420,27 @@ pub(crate) fn parse_footer(bytes: &[u8], header: &TraceHeader) -> io::Result<Vec
         .checked_mul(INDEX_ENTRY_LEN)
         .ok_or_else(|| invalid("frame index overflow"))?;
     let index_start = (bytes.len() as u64)
-        .checked_sub(16 + index_bytes)
+        .checked_sub(tail_len + index_bytes)
         .filter(|&s| s >= HEADER_LEN)
         .ok_or_else(|| invalid("frame index larger than file"))?;
+    let raw = &bytes[index_start as usize..index_start as usize + index_bytes as usize];
+    if header.checksummed() {
+        let stored = u32::from_le_bytes(
+            bytes[bytes.len() - 20..bytes.len() - 16]
+                .try_into()
+                .unwrap(),
+        );
+        if parda_hash::crc32c(raw) != stored {
+            return Err(invalid("frame index CRC mismatch"));
+        }
+    }
     let mut entries = Vec::with_capacity(nframes as usize);
-    let mut at = index_start as usize;
-    for _ in 0..nframes {
+    for chunk in raw.chunks_exact(INDEX_ENTRY_LEN as usize) {
         entries.push(FrameIndexEntry {
-            offset: u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()),
-            count: u32::from_le_bytes(bytes[at + 8..at + 12].try_into().unwrap()),
-            len: u32::from_le_bytes(bytes[at + 12..at + 16].try_into().unwrap()),
+            offset: u64::from_le_bytes(chunk[..8].try_into().unwrap()),
+            count: u32::from_le_bytes(chunk[8..12].try_into().unwrap()),
+            len: u32::from_le_bytes(chunk[12..16].try_into().unwrap()),
         });
-        at += INDEX_ENTRY_LEN as usize;
     }
     let payload_end = validate_index(&entries, header)?;
     if payload_end != index_start {
@@ -395,28 +467,40 @@ pub(crate) fn read_header_and_index(
             "streaming requires a v2 framed trace (regenerate with `gen --format v2`)",
         ));
     }
+    let tail_len = header.footer_tail_len();
     let file_len = f.seek(SeekFrom::End(0))?;
-    if file_len < HEADER_LEN + 16 {
+    if file_len < HEADER_LEN + tail_len {
         return Err(invalid("v2 trace shorter than its footer"));
     }
-    let mut tail = [0u8; 16];
-    f.seek(SeekFrom::End(-16))?;
-    f.read_exact(&mut tail)?;
-    if &tail[8..] != FOOTER_MAGIC {
+    let mut tail = [0u8; 20];
+    let tail = &mut tail[..tail_len as usize];
+    f.seek(SeekFrom::End(-(tail_len as i64)))?;
+    f.read_exact(tail)?;
+    if &tail[tail_len as usize - 8..] != FOOTER_MAGIC {
         return Err(invalid("bad trace index magic"));
     }
-    let nframes = u64::from_le_bytes(tail[..8].try_into().unwrap());
+    let nframes = u64::from_le_bytes(
+        tail[tail_len as usize - 16..tail_len as usize - 8]
+            .try_into()
+            .unwrap(),
+    );
     let index_bytes = nframes
         .checked_mul(INDEX_ENTRY_LEN)
         .ok_or_else(|| invalid("frame index overflow"))?;
     let index_start = file_len
-        .checked_sub(16 + index_bytes)
+        .checked_sub(tail_len + index_bytes)
         .filter(|&s| s >= HEADER_LEN)
         .ok_or_else(|| invalid("frame index larger than file"))?;
     f.seek(SeekFrom::Start(index_start))?;
     let mut raw = vec![0u8; index_bytes as usize];
     f.read_exact(&mut raw)
         .map_err(|e| eof_is_corruption(e, "frame index"))?;
+    if header.checksummed() {
+        let stored = u32::from_le_bytes(tail[..4].try_into().unwrap());
+        if parda_hash::crc32c(&raw) != stored {
+            return Err(invalid("frame index CRC mismatch"));
+        }
+    }
     let mut entries = Vec::with_capacity(nframes as usize);
     for chunk in raw.chunks_exact(INDEX_ENTRY_LEN as usize) {
         entries.push(FrameIndexEntry {
@@ -434,11 +518,13 @@ pub(crate) fn read_header_and_index(
 }
 
 /// Serialize a trace in format v2 with the default [`FRAME_REFS`] framing.
+/// Writes minor version 1: every frame payload and the footer index carry a
+/// CRC32C.
 pub fn write_trace_v2<W: Write>(w: W, trace: &Trace, encoding: Encoding) -> io::Result<()> {
     write_trace_v2_framed(w, trace, encoding, FRAME_REFS)
 }
 
-/// Serialize in format v2 with an explicit frame size (tests use tiny
+/// Serialize in format v2.1 with an explicit frame size (tests use tiny
 /// frames to exercise multi-frame paths cheaply). Frames are encoded in
 /// parallel — they are independent by construction — then written in order.
 pub fn write_trace_v2_framed<W: Write>(
@@ -447,42 +533,75 @@ pub fn write_trace_v2_framed<W: Write>(
     encoding: Encoding,
     frame_refs: usize,
 ) -> io::Result<()> {
+    write_trace_v2_framed_opts(w, trace, encoding, frame_refs, true)
+}
+
+/// Serialize in format v2 with explicit framing and checksum control.
+/// `checksums: false` writes a pre-integrity v2.0 file (no frame CRCs, no
+/// index CRC) for compatibility with older readers.
+pub fn write_trace_v2_framed_opts<W: Write>(
+    w: W,
+    trace: &Trace,
+    encoding: Encoding,
+    frame_refs: usize,
+    checksums: bool,
+) -> io::Result<()> {
     assert!(frame_refs > 0, "frame size must be positive");
+    let minor = if checksums { V2_MINOR_CRC } else { 0 };
+    let version_word = VERSION_V2 | (minor << 16);
     let mut w = BufWriter::new(w);
     w.write_all(MAGIC)?;
-    w.write_all(&VERSION_V2.to_le_bytes())?;
+    w.write_all(&version_word.to_le_bytes())?;
     w.write_all(&encoding.to_u32().to_le_bytes())?;
     w.write_all(&(trace.len() as u64).to_le_bytes())?;
 
     let chunks: Vec<&[Addr]> = trace.as_slice().chunks(frame_refs).collect();
-    let frames: Vec<Vec<u8>> = chunks
+    let frames: Vec<(Vec<u8>, u32)> = chunks
         .par_iter()
         .map(|chunk| {
             let mut buf = Vec::new();
             encode_frame(chunk, encoding, &mut buf);
-            buf
+            let crc = if checksums {
+                parda_hash::crc32c(&buf)
+            } else {
+                0
+            };
+            (buf, crc)
         })
         .collect();
 
+    let frame_header_len = if checksums {
+        FRAME_HEADER_LEN_V21
+    } else {
+        FRAME_HEADER_LEN
+    };
     let mut entries: Vec<FrameIndexEntry> = Vec::with_capacity(frames.len());
     let mut offset = HEADER_LEN;
-    for (chunk, payload) in chunks.iter().zip(&frames) {
+    for (chunk, (payload, crc)) in chunks.iter().zip(&frames) {
         let len =
             u32::try_from(payload.len()).map_err(|_| invalid("frame payload exceeds u32 bytes"))?;
         w.write_all(&(chunk.len() as u32).to_le_bytes())?;
         w.write_all(&len.to_le_bytes())?;
+        if checksums {
+            w.write_all(&crc.to_le_bytes())?;
+        }
         w.write_all(payload)?;
         entries.push(FrameIndexEntry {
             offset,
             count: chunk.len() as u32,
             len,
         });
-        offset += FRAME_HEADER_LEN + u64::from(len);
+        offset += frame_header_len + u64::from(len);
     }
+    let mut index = Vec::with_capacity(entries.len() * INDEX_ENTRY_LEN as usize);
     for e in &entries {
-        w.write_all(&e.offset.to_le_bytes())?;
-        w.write_all(&e.count.to_le_bytes())?;
-        w.write_all(&e.len.to_le_bytes())?;
+        index.extend_from_slice(&e.offset.to_le_bytes());
+        index.extend_from_slice(&e.count.to_le_bytes());
+        index.extend_from_slice(&e.len.to_le_bytes());
+    }
+    w.write_all(&index)?;
+    if checksums {
+        w.write_all(&parda_hash::crc32c(&index).to_le_bytes())?;
     }
     w.write_all(&(entries.len() as u64).to_le_bytes())?;
     w.write_all(FOOTER_MAGIC)?;
@@ -536,6 +655,33 @@ pub fn read_trace<R: Read>(r: R) -> io::Result<Trace> {
     Ok(Trace::from_vec(addrs))
 }
 
+/// Sanity-check one inline frame header against the file header *before*
+/// any allocation is sized from it: an adversarial `count`/`len` pair must
+/// come back as `InvalidData`, never as a multi-gigabyte `resize` or a
+/// decode panic. The encoding pins the relationship between the two fields
+/// (raw: exactly 8 bytes/ref; delta: 1..=10 bytes/ref).
+pub(crate) fn check_frame_shape(fcount: u32, flen: u32, encoding: Encoding) -> io::Result<()> {
+    if fcount == 0 {
+        return Err(invalid("empty frame in v2 trace"));
+    }
+    match encoding {
+        Encoding::Raw => {
+            if u64::from(flen) != u64::from(fcount) * 8 {
+                return Err(invalid("raw frame length does not match its count"));
+            }
+        }
+        Encoding::DeltaVarint => {
+            if u64::from(fcount) > u64::from(flen) {
+                return Err(invalid("delta frame shorter than its count"));
+            }
+            if u64::from(flen) > u64::from(fcount) * 10 {
+                return Err(invalid("delta frame longer than 10 bytes per reference"));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Sequential v2 path for non-seekable readers (pipes): walk the inline
 /// frame headers, then read the footer and check it matches what was seen.
 fn read_v2_frames_sequential<R: Read>(
@@ -544,24 +690,30 @@ fn read_v2_frames_sequential<R: Read>(
     addrs: &mut Vec<Addr>,
 ) -> io::Result<()> {
     let count = header.count as usize;
+    let fh_len = header.frame_header_len() as usize;
     let mut seen: Vec<FrameIndexEntry> = Vec::new();
     let mut offset = HEADER_LEN;
     let mut payload = Vec::new();
     while addrs.len() < count {
-        let mut fh = [0u8; FRAME_HEADER_LEN as usize];
-        r.read_exact(&mut fh)
+        let mut fh = [0u8; FRAME_HEADER_LEN_V21 as usize];
+        let fh = &mut fh[..fh_len];
+        r.read_exact(fh)
             .map_err(|e| eof_is_corruption(e, "frame header"))?;
         let fcount = u32::from_le_bytes(fh[..4].try_into().unwrap());
-        let flen = u32::from_le_bytes(fh[4..].try_into().unwrap());
-        if fcount == 0 {
-            return Err(invalid("empty frame in v2 trace"));
-        }
+        let flen = u32::from_le_bytes(fh[4..8].try_into().unwrap());
+        check_frame_shape(fcount, flen, header.encoding)?;
         if addrs.len() + fcount as usize > count {
             return Err(invalid("frame counts exceed header count"));
         }
         payload.resize(flen as usize, 0);
         r.read_exact(&mut payload)
             .map_err(|e| eof_is_corruption(e, "frame payload"))?;
+        if header.checksummed() {
+            let stored = u32::from_le_bytes(fh[8..12].try_into().unwrap());
+            if parda_hash::crc32c(&payload) != stored {
+                return Err(invalid("frame CRC mismatch"));
+            }
+        }
         let start = addrs.len();
         addrs.resize(start + fcount as usize, 0);
         decode_frame_into(&payload, header.encoding, &mut addrs[start..])?;
@@ -570,11 +722,13 @@ fn read_v2_frames_sequential<R: Read>(
             count: fcount,
             len: flen,
         });
-        offset += FRAME_HEADER_LEN + u64::from(flen);
+        offset += fh_len as u64 + u64::from(flen);
     }
 
-    // Footer: one index entry per frame seen, then nframes, then magic.
-    let mut footer = vec![0u8; seen.len() * INDEX_ENTRY_LEN as usize + 16];
+    // Footer: one index entry per frame seen, [index crc,] nframes, magic.
+    let tail_len = header.footer_tail_len() as usize;
+    let index_len = seen.len() * INDEX_ENTRY_LEN as usize;
+    let mut footer = vec![0u8; index_len + tail_len];
     r.read_exact(&mut footer)
         .map_err(|e| eof_is_corruption(e, "frame index"))?;
     for (i, e) in seen.iter().enumerate() {
@@ -588,7 +742,14 @@ fn read_v2_frames_sequential<R: Read>(
             return Err(invalid("frame index disagrees with frame headers"));
         }
     }
-    let tail = &footer[seen.len() * INDEX_ENTRY_LEN as usize..];
+    let tail = &footer[index_len..];
+    if header.checksummed() {
+        let stored = u32::from_le_bytes(tail[..4].try_into().unwrap());
+        if parda_hash::crc32c(&footer[..index_len]) != stored {
+            return Err(invalid("frame index CRC mismatch"));
+        }
+    }
+    let tail = &tail[tail_len - 16..];
     let nframes = u64::from_le_bytes(tail[..8].try_into().unwrap());
     if nframes != seen.len() as u64 {
         return Err(invalid("frame index count disagrees with frames read"));
@@ -621,19 +782,25 @@ pub fn decode_trace(bytes: &[u8]) -> io::Result<Trace> {
         rest = tail;
     }
 
+    let fh_len = header.frame_header_len() as usize;
     let jobs: Vec<(FrameIndexEntry, &mut [Addr])> = entries.iter().copied().zip(slices).collect();
     let results: Vec<io::Result<()>> = jobs
         .into_par_iter()
         .map(|(e, slice)| {
             let at = e.offset as usize;
-            let fh = &bytes[at..at + FRAME_HEADER_LEN as usize];
+            let fh = &bytes[at..at + fh_len];
             let fcount = u32::from_le_bytes(fh[..4].try_into().unwrap());
-            let flen = u32::from_le_bytes(fh[4..].try_into().unwrap());
+            let flen = u32::from_le_bytes(fh[4..8].try_into().unwrap());
             if fcount != e.count || flen != e.len {
                 return Err(invalid("frame header disagrees with index"));
             }
-            let payload = &bytes[at + FRAME_HEADER_LEN as usize
-                ..at + (FRAME_HEADER_LEN + u64::from(flen)) as usize];
+            let payload = &bytes[at + fh_len..at + fh_len + flen as usize];
+            if header.checksummed() {
+                let stored = u32::from_le_bytes(fh[8..12].try_into().unwrap());
+                if parda_hash::crc32c(payload) != stored {
+                    return Err(invalid("frame CRC mismatch"));
+                }
+            }
             decode_frame_into(payload, header.encoding, slice)
         })
         .collect();
@@ -653,7 +820,9 @@ pub fn save_trace_v2<P: AsRef<Path>>(path: P, trace: &Trace, encoding: Encoding)
     write_trace_v2(std::fs::File::create(path)?, trace, encoding)
 }
 
-/// Read the format version of a trace file from its header.
+/// Read the major format version of a trace file from its header (the
+/// minor half of the version word — e.g. the v2.1 checksum revision — is
+/// masked off; majors alone decide which read path applies).
 pub fn peek_version<P: AsRef<Path>>(path: P) -> io::Result<u32> {
     let mut f = std::fs::File::open(path)?;
     let mut head = [0u8; 12];
@@ -662,7 +831,7 @@ pub fn peek_version<P: AsRef<Path>>(path: P) -> io::Result<u32> {
     if &head[..8] != MAGIC {
         return Err(invalid("bad trace magic"));
     }
-    Ok(u32::from_le_bytes(head[8..12].try_into().unwrap()))
+    Ok(u32::from_le_bytes(head[8..12].try_into().unwrap()) & 0xFFFF)
 }
 
 /// Read a trace from a file path. v2 files are read whole and decoded with
@@ -863,6 +1032,91 @@ mod tests {
         miscounted[16..24].copy_from_slice(&99u64.to_le_bytes());
         assert!(decode_trace(&miscounted).is_err());
         assert!(read_trace(miscounted.as_slice()).is_err());
+    }
+
+    #[test]
+    fn v21_version_word_carries_minor() {
+        let t: Trace = (0..50u64).collect();
+        let mut buf = Vec::new();
+        write_trace_v2_framed(&mut buf, &t, Encoding::Raw, 16).unwrap();
+        let header = parse_header(&buf).unwrap();
+        assert_eq!((header.version, header.minor), (2, 1));
+        assert!(header.checksummed());
+        assert_eq!(header.frame_header_len(), FRAME_HEADER_LEN_V21);
+
+        let mut legacy = Vec::new();
+        write_trace_v2_framed_opts(&mut legacy, &t, Encoding::Raw, 16, false).unwrap();
+        let header = parse_header(&legacy).unwrap();
+        assert_eq!((header.version, header.minor), (2, 0));
+        assert!(!header.checksummed());
+    }
+
+    #[test]
+    fn v20_files_remain_readable() {
+        let t: Trace = (0..500u64).map(|i| i.wrapping_mul(0x517C_C1B7)).collect();
+        for encoding in [Encoding::Raw, Encoding::DeltaVarint] {
+            let mut buf = Vec::new();
+            write_trace_v2_framed_opts(&mut buf, &t, encoding, 64, false).unwrap();
+            assert_eq!(decode_trace(&buf).unwrap(), t);
+            assert_eq!(read_trace(buf.as_slice()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn v21_frame_crc_detects_bit_flip() {
+        let t: Trace = (0..500u64).collect();
+        let mut buf = Vec::new();
+        write_trace_v2_framed(&mut buf, &t, Encoding::Raw, 64).unwrap();
+        // Flip one payload bit in frame 2; raw decode would otherwise
+        // accept any bytes, so only the CRC can catch this.
+        let header = parse_header(&buf).unwrap();
+        let entries = parse_footer(&buf, &header).unwrap();
+        let poke = entries[2].offset as usize + FRAME_HEADER_LEN_V21 as usize + 9;
+        buf[poke] ^= 0x04;
+        let err = decode_trace(&buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("CRC"), "{err}");
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("CRC"), "{err}");
+    }
+
+    #[test]
+    fn v21_index_crc_detects_index_flip() {
+        let t: Trace = (0..500u64).collect();
+        let mut buf = Vec::new();
+        write_trace_v2_framed(&mut buf, &t, Encoding::Raw, 64).unwrap();
+        // Flip a bit inside an index entry's count field. The per-entry
+        // validation might also catch it, but the index CRC must.
+        let n = buf.len();
+        let index_start = n - 20 - 8 * INDEX_ENTRY_LEN as usize;
+        buf[index_start + 8] ^= 0x01;
+        let err = decode_trace(&buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("index CRC"), "{err}");
+    }
+
+    #[test]
+    fn adversarial_frame_header_is_rejected_before_allocation() {
+        // Sequential v2 read with a hostile inline header: a huge
+        // payload_len must come back as InvalidData without a matching
+        // huge allocation. (The delta bound is 10 bytes/ref; raw is 8.)
+        for (encoding, fcount, flen) in [
+            (Encoding::DeltaVarint, 10u32, u32::MAX),
+            (Encoding::Raw, 10, u32::MAX),
+            (Encoding::DeltaVarint, 0, 0),
+        ] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(MAGIC);
+            buf.extend_from_slice(&(VERSION_V2 | (V2_MINOR_CRC << 16)).to_le_bytes());
+            buf.extend_from_slice(&encoding.to_u32().to_le_bytes());
+            buf.extend_from_slice(&10u64.to_le_bytes());
+            buf.extend_from_slice(&fcount.to_le_bytes());
+            buf.extend_from_slice(&flen.to_le_bytes());
+            buf.extend_from_slice(&0u32.to_le_bytes()); // crc
+            buf.extend_from_slice(&[0xAA; 64]);
+            let err = read_trace(buf.as_slice()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{encoding:?}");
+        }
     }
 
     proptest! {

@@ -14,7 +14,10 @@
 //!   parameters (M, N, original runtime) plus a locality profile, scaled to
 //!   laptop-size traces;
 //! * [`io`] — compact binary trace formats: flat v1 (raw or delta-varint)
-//!   and block-framed v2 with a seekable index and parallel frame decode;
+//!   and block-framed v2 with a seekable index, parallel frame decode, and
+//!   (v2.1) CRC32C frame checksums;
+//! * [`recover`] — corruption recovery: [`recover::Degradation`] policies,
+//!   the lossy frame decoder with resync scan, and CRC verification;
 //! * [`stream`] — [`stream::FramedStream`], an [`AddressStream`] that
 //!   decodes v2 frames on background threads while the analyzer runs;
 //! * [`LruStack`] — an O(log M) indexable LRU stack (Fenwick-backed) used
@@ -24,6 +27,7 @@ pub mod alias;
 pub mod gen;
 pub mod io;
 pub mod lru_stack;
+pub mod recover;
 pub mod spec;
 pub mod stats;
 pub mod stream;
@@ -31,6 +35,9 @@ pub mod xform;
 
 pub use lru_stack::LruStack;
 pub use parda_tree::fenwick::{self, Fenwick};
+pub use recover::{
+    decode_trace_recovering, load_trace_recovering, verify_trace, Degradation, VerifyReport,
+};
 pub use stats::TraceStats;
 
 /// A data address (word-granular in the paper's experiments).

@@ -13,14 +13,26 @@
 //! This is the paper's "process traces as they are produced" pipeline
 //! applied to decompression: decode bandwidth overlaps analysis instead of
 //! preceding it.
+//!
+//! Corruption handling follows the stream's [`Degradation`] policy
+//! ([`FramedStream::open_with_policy`]). Under `Strict` (the default) the
+//! stream stops at the first bad frame and records the error in its
+//! [`StreamErrorHandle`]. Under the lossy policies each corrupt frame —
+//! CRC mismatch, short read, undecodable payload — is quarantined and the
+//! stream continues with the next frame; the reader re-seeks to every
+//! frame's indexed offset, so one bad frame never misaligns the rest of the
+//! file. Skips are tallied in the shared [`RecoveryMetrics`]
+//! ([`FramedStream::recovery_handle`]). A destroyed *footer* cannot be
+//! streamed around (the index is what the pipeline seeks by); callers fall
+//! back to [`crate::recover::decode_trace_recovering`] for that.
 
 use crate::io::{
     decode_frame_into, eof_is_corruption, invalid, read_header_and_index, FrameIndexEntry,
-    FRAME_HEADER_LEN,
 };
+use crate::recover::Degradation;
 use crate::{Addr, AddressStream};
 use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
-use parda_obs::{Stopwatch, StreamCounters};
+use parda_obs::{RecoveryMetrics, Stopwatch, StreamCounters};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::Read;
@@ -58,6 +70,10 @@ impl StreamErrorHandle {
 
 type DecodedFrame = (u64, std::io::Result<Vec<Addr>>);
 
+/// Reader → decoder work item: sequence, ref count, stored CRC32C (v2.1
+/// files only), encoded payload.
+type FrameJob = (u64, u32, Option<u32>, Vec<u8>);
+
 /// An [`AddressStream`] over a v2 trace file, decoded by background threads.
 pub struct FramedStream {
     done_rx: Option<Receiver<DecodedFrame>>,
@@ -71,6 +87,11 @@ pub struct FramedStream {
     failed: bool,
     handles: Vec<JoinHandle<()>>,
     counters: Arc<StreamCounters>,
+    policy: Degradation,
+    /// Per-frame ref counts from the index, so a skipped frame's loss can
+    /// be tallied without the frame.
+    frame_counts: Vec<u32>,
+    recovery: Arc<Mutex<RecoveryMetrics>>,
 }
 
 impl FramedStream {
@@ -85,18 +106,35 @@ impl FramedStream {
 
     /// Open a v2 trace with an explicit number of decoder threads.
     pub fn open_with<P: AsRef<Path>>(path: P, decoders: usize) -> std::io::Result<Self> {
+        Self::open_with_policy(path, decoders, Degradation::Strict)
+    }
+
+    /// Open a v2 trace with an explicit decoder count and degradation
+    /// policy. The header and footer index must be intact regardless of
+    /// policy (the pipeline seeks by the index); per-frame corruption is
+    /// skipped under the lossy policies.
+    pub fn open_with_policy<P: AsRef<Path>>(
+        path: P,
+        decoders: usize,
+        policy: Degradation,
+    ) -> std::io::Result<Self> {
         let decoders = decoders.max(1);
         let mut file = File::open(path)?;
         let (header, entries) = read_header_and_index(&mut file)?;
         let nframes = entries.len() as u64;
         let total_refs = header.count;
         let encoding = header.encoding;
+        let frame_counts: Vec<u32> = entries.iter().map(|e| e.count).collect();
         let error = StreamErrorHandle::default();
+        let recovery = Arc::new(Mutex::new(RecoveryMetrics {
+            frames_total: nframes,
+            ..Default::default()
+        }));
 
         // Frame payloads travel reader → decoder i (round-robin), decoded
         // frames decoder → consumer; both legs bounded.
-        let mut work_txs: Vec<Sender<(u64, u32, Vec<u8>)>> = Vec::with_capacity(decoders);
-        let mut work_rxs: Vec<Receiver<(u64, u32, Vec<u8>)>> = Vec::with_capacity(decoders);
+        let mut work_txs: Vec<Sender<FrameJob>> = Vec::with_capacity(decoders);
+        let mut work_rxs: Vec<Receiver<FrameJob>> = Vec::with_capacity(decoders);
         for _ in 0..decoders {
             let (tx, rx) = bounded(FRAMES_IN_FLIGHT_PER_DECODER);
             work_txs.push(tx);
@@ -109,20 +147,34 @@ impl FramedStream {
         for work_rx in work_rxs {
             let done_tx = done_tx.clone();
             let counters = counters.clone();
+            let recovery = recovery.clone();
             handles.push(std::thread::spawn(move || {
                 loop {
                     // Time spent waiting for the reader to hand over work:
                     // decoder starvation (the reader or the disk is the
                     // bottleneck).
                     let idle = Stopwatch::start();
-                    let Ok((seq, count, payload)) = work_rx.recv() else {
+                    let Ok((seq, count, crc, payload)) = work_rx.recv() else {
                         return; // reader done; work channel closed
                     };
                     counters.decoder_idle_ns.add(idle.ns());
 
                     let sw = Stopwatch::start();
-                    let mut out = vec![0u64; count as usize];
-                    let result = decode_frame_into(&payload, encoding, &mut out).map(|()| out);
+                    #[allow(unused_mut)]
+                    let mut result = match crc {
+                        Some(stored) if parda_hash::crc32c(&payload) != stored => {
+                            lock_metrics(&recovery).crc_failures += 1;
+                            Err(invalid("frame CRC mismatch"))
+                        }
+                        _ => {
+                            let mut out = vec![0u64; count as usize];
+                            decode_frame_into(&payload, encoding, &mut out).map(|()| out)
+                        }
+                    };
+                    parda_failpoint::failpoint!(
+                        "stream::decode",
+                        result = Err(invalid("injected stream decode failure"))
+                    );
                     counters.decode_ns.add(sw.ns());
                     if result.is_ok() {
                         counters.frames_decoded.incr();
@@ -149,12 +201,17 @@ impl FramedStream {
             }));
         }
 
+        let checksummed = header.checksummed();
+        let fh_len = header.frame_header_len() as usize;
         handles.push(std::thread::spawn(move || {
-            if let Err((seq, e)) = read_frames(&mut file, &entries, &work_txs) {
-                // Surface the reader's failure as that frame's result; the
-                // consumer stops at the first errored sequence number.
-                let _ = done_tx.send((seq, Err(e)));
-            }
+            read_frames(
+                &mut file,
+                &entries,
+                fh_len,
+                checksummed,
+                &work_txs,
+                &done_tx,
+            );
         }));
 
         Ok(Self {
@@ -169,6 +226,9 @@ impl FramedStream {
             failed: false,
             handles,
             counters,
+            policy,
+            frame_counts,
+            recovery,
         })
     }
 
@@ -201,89 +261,133 @@ impl FramedStream {
         self.counters.clone()
     }
 
-    /// Make the next decoded frame current. Returns `false` at end of
-    /// stream or on error (recorded in the error handle).
+    /// Shared recovery tally: frames skipped and references dropped by the
+    /// lossy policies (plus CRC failures observed by the decoders).
+    /// Snapshot after analysis, like [`FramedStream::stats_handle`].
+    pub fn recovery_handle(&self) -> Arc<Mutex<RecoveryMetrics>> {
+        self.recovery.clone()
+    }
+
+    /// Make the next decoded frame current, skipping quarantined frames
+    /// under the lossy policies. Returns `false` at end of stream or on a
+    /// fatal error (recorded in the error handle).
     fn advance_frame(&mut self) -> bool {
-        if self.failed || self.next_seq >= self.nframes {
-            return false;
-        }
-        let rx = self
-            .done_rx
-            .as_ref()
-            .expect("receiver lives until the stream is dropped");
-        let result = loop {
-            if let Some(r) = self.pending.remove(&self.next_seq) {
-                break r;
-            }
-            let wait = Stopwatch::start();
-            let received = rx.recv();
-            self.counters.consumer_wait_ns.add(wait.ns());
-            match received {
-                Ok((seq, r)) => {
-                    if seq == self.next_seq {
-                        break r;
+        while !self.failed && self.next_seq < self.nframes {
+            let rx = self
+                .done_rx
+                .as_ref()
+                .expect("receiver lives until the stream is dropped");
+            let result = loop {
+                if let Some(r) = self.pending.remove(&self.next_seq) {
+                    break r;
+                }
+                let wait = Stopwatch::start();
+                let received = rx.recv();
+                self.counters.consumer_wait_ns.add(wait.ns());
+                match received {
+                    Ok((seq, r)) => {
+                        if seq == self.next_seq {
+                            break r;
+                        }
+                        self.pending.insert(seq, r);
                     }
-                    self.pending.insert(seq, r);
+                    Err(_) => {
+                        break Err(invalid(
+                            "trace decode pipeline stopped before the final frame",
+                        ))
+                    }
                 }
-                Err(_) => {
-                    break Err(invalid(
-                        "trace decode pipeline stopped before the final frame",
-                    ))
+            };
+            match result {
+                Ok(frame) => {
+                    self.current = frame;
+                    self.pos = 0;
+                    self.next_seq += 1;
+                    return true;
                 }
-            }
-        };
-        match result {
-            Ok(frame) => {
-                self.current = frame;
-                self.pos = 0;
-                self.next_seq += 1;
-                true
-            }
-            Err(e) => {
-                self.error.set(e);
-                self.failed = true;
-                false
+                Err(_) if self.policy.is_lossy() => {
+                    // Quarantine this frame and move on. The reader seeks
+                    // each frame independently, so later frames are
+                    // unaffected by this one's corruption.
+                    let seq = self.next_seq;
+                    let refs = self
+                        .frame_counts
+                        .get(seq as usize)
+                        .copied()
+                        .unwrap_or_default();
+                    lock_metrics(&self.recovery).skip_frame(seq, u64::from(refs));
+                    self.next_seq += 1;
+                }
+                Err(e) => {
+                    self.error.set(e);
+                    self.failed = true;
+                    return false;
+                }
             }
         }
+        false
     }
 }
 
+/// Poison-tolerant metrics lock: a decoder that panicked mid-update must
+/// not wedge everyone else's tallies.
+fn lock_metrics(m: &Mutex<RecoveryMetrics>) -> std::sync::MutexGuard<'_, RecoveryMetrics> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Reader-thread body: stream every frame's payload to the decoder pool in
-/// round-robin order. On failure, reports which frame broke.
+/// round-robin order. Each frame is read at its indexed offset, so one
+/// frame's short read or header damage cannot shift later frames; a broken
+/// frame is surfaced to the consumer as that sequence number's error and
+/// the reader moves on.
 fn read_frames(
     file: &mut File,
     entries: &[FrameIndexEntry],
-    work_txs: &[Sender<(u64, u32, Vec<u8>)>],
-) -> Result<(), (u64, std::io::Error)> {
+    fh_len: usize,
+    checksummed: bool,
+    work_txs: &[Sender<FrameJob>],
+    done_tx: &Sender<DecodedFrame>,
+) {
+    use std::io::{Seek, SeekFrom};
     for (i, entry) in entries.iter().enumerate() {
         let seq = i as u64;
         let read = (|| {
-            let mut fh = [0u8; FRAME_HEADER_LEN as usize];
-            file.read_exact(&mut fh)
+            parda_failpoint::failpoint!(
+                "stream::read_frame",
+                return Err(invalid("injected frame read failure"))
+            );
+            file.seek(SeekFrom::Start(entry.offset))?;
+            let mut fh = [0u8; 12];
+            let fh = &mut fh[..fh_len];
+            file.read_exact(fh)
                 .map_err(|e| eof_is_corruption(e, "frame header"))?;
             let fcount = u32::from_le_bytes(fh[..4].try_into().unwrap());
-            let flen = u32::from_le_bytes(fh[4..].try_into().unwrap());
+            let flen = u32::from_le_bytes(fh[4..8].try_into().unwrap());
             if fcount != entry.count || flen != entry.len {
                 return Err(invalid("frame header disagrees with index"));
             }
+            let crc = checksummed.then(|| u32::from_le_bytes(fh[8..12].try_into().unwrap()));
             let mut payload = vec![0u8; flen as usize];
             file.read_exact(&mut payload)
                 .map_err(|e| eof_is_corruption(e, "frame payload"))?;
-            Ok(payload)
+            Ok((crc, payload))
         })();
         match read {
-            Ok(payload) => {
+            Ok((crc, payload)) => {
                 if work_txs[i % work_txs.len()]
-                    .send((seq, entry.count, payload))
+                    .send((seq, entry.count, crc, payload))
                     .is_err()
                 {
-                    return Ok(()); // consumer gone; quiet shutdown
+                    return; // consumer gone; quiet shutdown
                 }
             }
-            Err(e) => return Err((seq, e)),
+            Err(e) => {
+                if done_tx.send((seq, Err(e))).is_err() {
+                    return; // consumer gone; quiet shutdown
+                }
+            }
         }
     }
-    Ok(())
 }
 
 impl AddressStream for FramedStream {
@@ -300,6 +404,7 @@ impl AddressStream for FramedStream {
     }
 
     fn fill(&mut self, buf: &mut Vec<Addr>, n: usize) -> usize {
+        parda_failpoint::failpoint!("stream::fill");
         let mut produced = 0;
         while produced < n {
             if self.pos >= self.current.len() {
@@ -417,15 +522,21 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
     }
 
+    /// Byte offset of frame `i`'s payload, read from the footer index.
+    fn frame_payload_offset(bytes: &[u8], frame: usize) -> usize {
+        let header = crate::io::parse_header(bytes).unwrap();
+        let entries = crate::io::parse_footer(bytes, &header).unwrap();
+        entries[frame].offset as usize + header.frame_header_len() as usize
+    }
+
     #[test]
     fn corrupt_frame_stops_stream_and_records_error() {
         let t: Trace = (0..1000u64).collect();
         let path = tmp("corrupt.trc");
         let mut buf = Vec::new();
         write_trace_v2_framed(&mut buf, &t, Encoding::DeltaVarint, 100).unwrap();
-        // Flip a byte inside the 6th frame's payload so decode fails there.
-        // Frames of 100 small deltas: header 24, each frame 8 + ~100 bytes.
-        let poke = 24 + 5 * 108 + 40;
+        // Flip a byte inside the 6th frame's payload so its CRC fails.
+        let poke = frame_payload_offset(&buf, 5) + 40;
         buf[poke] ^= 0x80;
         std::fs::write(&path, &buf).unwrap();
         let s = FramedStream::open_with(&path, 2).unwrap();
@@ -435,6 +546,65 @@ mod tests {
         assert!(got.len() <= 500, "stream must stop at the corrupt frame");
         assert_eq!(got.as_slice(), &t.as_slice()[..got.len()]);
         assert!(err.take().is_some(), "error handle must record the failure");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lossy_policy_skips_corrupt_frame_and_continues() {
+        let t: Trace = (0..1000u64).collect();
+        let path = tmp("lossy.trc");
+        let mut buf = Vec::new();
+        write_trace_v2_framed(&mut buf, &t, Encoding::DeltaVarint, 100).unwrap();
+        let poke = frame_payload_offset(&buf, 5) + 40;
+        buf[poke] ^= 0x80;
+        std::fs::write(&path, &buf).unwrap();
+        for policy in [crate::Degradation::Repair, crate::Degradation::BestEffort] {
+            let s = FramedStream::open_with_policy(&path, 2, policy).unwrap();
+            let err = s.error_handle();
+            let recovery = s.recovery_handle();
+            let got = collect(s);
+            // Frame 5 (refs 500..600) is quarantined; everything else flows.
+            let mut expect: Vec<u64> = t.as_slice()[..500].to_vec();
+            expect.extend_from_slice(&t.as_slice()[600..]);
+            assert_eq!(got.as_slice(), expect.as_slice());
+            assert!(err.take().is_none(), "lossy skip is not a stream error");
+            let m = recovery.lock().unwrap();
+            assert_eq!(m.frames_skipped, 1);
+            assert_eq!(m.refs_dropped, 100);
+            assert_eq!(m.crc_failures, 1);
+            assert_eq!(m.skipped_frames, vec![5]);
+            assert_eq!(m.frames_total, 10);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v20_decode_failure_is_skipped_under_repair() {
+        // Pre-checksum v2.0 file: corruption is caught by decode validation
+        // rather than a CRC, and the lossy stream still quarantines just
+        // that frame.
+        let t: Trace = (0..1000u64).collect();
+        let path = tmp("v20-lossy.trc");
+        let mut buf = Vec::new();
+        crate::io::write_trace_v2_framed_opts(&mut buf, &t, Encoding::DeltaVarint, 100, false)
+            .unwrap();
+        // A dangling continuation bit on frame 9's final varint byte is
+        // guaranteed undecodable.
+        let header = crate::io::parse_header(&buf).unwrap();
+        let entries = crate::io::parse_footer(&buf, &header).unwrap();
+        let e = entries[9];
+        let poke = e.offset as usize + header.frame_header_len() as usize + e.len as usize - 1;
+        buf[poke] = 0x80;
+        std::fs::write(&path, &buf).unwrap();
+
+        let s = FramedStream::open_with_policy(&path, 2, crate::Degradation::Repair).unwrap();
+        let recovery = s.recovery_handle();
+        let got = collect(s);
+        assert_eq!(got.as_slice(), &t.as_slice()[..900]);
+        let m = recovery.lock().unwrap();
+        assert_eq!(m.frames_skipped, 1);
+        assert_eq!(m.skipped_frames, vec![9]);
+        assert_eq!(m.crc_failures, 0, "v2.0 files have no CRCs to fail");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -63,11 +63,13 @@ pub use parda_tree as tree;
 pub mod prelude {
     pub use parda_cachesim::{CacheStats, LruCache, PlruCache, SetAssociativeCache};
     pub use parda_core::object::{analyze_by_region, RegionAnalysis, RegionMap};
-    pub use parda_core::parallel::{parda_msg, parda_threads};
+    pub use parda_core::parallel::{parda_msg, parda_threads, parda_threads_faulted};
     pub use parda_core::phased::{parda_phased, parda_phased_with, Reduction};
     pub use parda_core::sampled::{analyze_sampled, SampleRate};
     pub use parda_core::seq::{analyze_naive, analyze_sequential, SequentialAnalyzer};
-    pub use parda_core::{Analysis, Engine, MissSink, Mode, PardaConfig, Report};
+    pub use parda_core::{
+        Analysis, Degradation, Engine, FaultPolicy, MissSink, Mode, PardaConfig, PardaError, Report,
+    };
     pub use parda_hist::{BinnedHistogram, CacheHierarchy, CacheLevel, Distance, ReuseHistogram};
     pub use parda_trace::gen::{ReuseProfile, StackDistGen};
     pub use parda_trace::spec::{SpecBenchmark, SPEC2006};

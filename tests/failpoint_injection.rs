@@ -1,0 +1,179 @@
+//! Fault injection through the `failpoints` feature: deterministic panics,
+//! stalls, and decode failures at named sites, driven through the faulted
+//! parallel driver and the recovering trace decoders. Compiled (and run by
+//! `ci.sh`) only with `--features failpoints`; the sites cost nothing in
+//! normal builds.
+#![cfg(feature = "failpoints")]
+
+use parda::prelude::*;
+use parda::trace::io::{write_trace_v2_framed, Encoding};
+use parda::trace::load_trace_recovering;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The failpoint registry is process-global; every test serializes on this
+/// and starts from a clean slate.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+    let g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    parda_failpoint::clear();
+    g
+}
+
+fn sample_trace(n: u64) -> Vec<u64> {
+    (0..n).map(|i| (i * 7919) % 1024).collect()
+}
+
+#[test]
+fn worker_panic_is_rescued_bit_identically() {
+    let _g = exclusive();
+    let trace = sample_trace(6000);
+    let config = PardaConfig::with_ranks(4);
+    let expected = parda_threads::<SplayTree>(&trace, &config);
+
+    parda_failpoint::configure("parallel::worker", "1*panic").unwrap();
+    let policy = FaultPolicy::default().backoff(Duration::ZERO);
+    let (hist, _, recovery) = parda_threads_faulted::<SplayTree>(&trace, &config, &policy).unwrap();
+    assert_eq!(hist, expected, "rescued histogram must be bit-identical");
+    assert_eq!(recovery.rank_retries, 1);
+    assert_eq!(recovery.rank_rescues, 1);
+    parda_failpoint::clear();
+}
+
+#[test]
+fn exhausted_retries_surface_as_worker_panic() {
+    let _g = exclusive();
+    let trace = sample_trace(2000);
+    let config = PardaConfig::with_ranks(3);
+
+    // Every worker attempt and every scalar rescue attempt panics.
+    parda_failpoint::configure("parallel::worker", "panic").unwrap();
+    parda_failpoint::configure("engine::process_chunk_scalar", "panic").unwrap();
+    let policy = FaultPolicy::default().retries(1).backoff(Duration::ZERO);
+    let err = parda_threads_faulted::<SplayTree>(&trace, &config, &policy).unwrap_err();
+    match err {
+        PardaError::WorkerPanic { rank, attempts } => {
+            assert!(rank < 3);
+            assert_eq!(attempts, 2, "one worker attempt + one rescue retry");
+        }
+        other => panic!("expected WorkerPanic, got {other}"),
+    }
+    assert_eq!(err.class(), "worker-panic");
+    parda_failpoint::clear();
+}
+
+#[test]
+fn watchdog_converts_a_stall_into_a_structured_error() {
+    let _g = exclusive();
+    let trace = sample_trace(2000);
+    let config = PardaConfig::with_ranks(2);
+
+    // Workers sleep well past the deadline (finite, so the thread scope
+    // still joins); the cascade must give up at the watchdog instead.
+    parda_failpoint::configure("parallel::worker_stall", "sleep(400)").unwrap();
+    let policy = FaultPolicy::default().watchdog(Duration::from_millis(50));
+    let start = std::time::Instant::now();
+    let err = parda_threads_faulted::<SplayTree>(&trace, &config, &policy).unwrap_err();
+    assert!(
+        matches!(err, PardaError::Stall { .. }),
+        "expected Stall, got {err}"
+    );
+    assert_eq!(err.class(), "stall");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "stall must be detected promptly, not waited out"
+    );
+    parda_failpoint::clear();
+}
+
+#[test]
+fn poisoned_slot_lock_does_not_lose_the_published_result() {
+    let _g = exclusive();
+    let trace = sample_trace(6000);
+    let config = PardaConfig::with_ranks(4);
+    let expected = parda_threads::<SplayTree>(&trace, &config);
+
+    // One worker panics *after* writing its slot, poisoning the slot lock;
+    // the cascade must read through the poison and need no rescue.
+    parda_failpoint::configure("parallel::slot_publish", "1*panic").unwrap();
+    let (hist, _, recovery) =
+        parda_threads_faulted::<SplayTree>(&trace, &config, &FaultPolicy::default()).unwrap();
+    assert_eq!(hist, expected);
+    assert_eq!(recovery.rank_retries, 0, "the value was already published");
+    parda_failpoint::clear();
+}
+
+#[test]
+fn frame_decode_failure_honors_the_degradation_policy() {
+    let _g = exclusive();
+    let trace = sample_trace(640);
+    let dir = std::env::temp_dir().join("parda-failpoint-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("inject.trc");
+    let f = std::fs::File::create(&path).unwrap();
+    write_trace_v2_framed(f, &Trace::from_vec(trace.clone()), Encoding::Raw, 64).unwrap();
+
+    // Strict: one injected frame-decode failure fails the whole load.
+    parda_failpoint::configure("trace::decode_frame", "1*error").unwrap();
+    assert!(load_trace_recovering(&path, Degradation::Strict).is_err());
+
+    // Repair: the same failure quarantines exactly one frame. The CRC was
+    // fine — the *decode* failed — so crc_failures stays zero.
+    parda_failpoint::configure("trace::decode_frame", "1*error").unwrap();
+    let (got, m) = load_trace_recovering(&path, Degradation::Repair).unwrap();
+    assert_eq!(got.len(), trace.len() - 64);
+    assert_eq!(m.frames_skipped, 1);
+    assert_eq!(m.refs_dropped, 64);
+    assert_eq!(m.crc_failures, 0);
+
+    // Disarmed again: the file is perfectly healthy.
+    let (clean, m) = load_trace_recovering(&path, Degradation::Strict).unwrap();
+    assert_eq!(clean.as_slice(), trace.as_slice());
+    assert!(m.is_clean());
+    std::fs::remove_file(&path).unwrap();
+    parda_failpoint::clear();
+}
+
+#[test]
+fn stream_decode_failure_fails_strict_and_degrades_lossy() {
+    let _g = exclusive();
+    use parda::trace::stream::FramedStream;
+    let trace = sample_trace(640);
+    let dir = std::env::temp_dir().join("parda-failpoint-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("stream-inject.trc");
+    let f = std::fs::File::create(&path).unwrap();
+    write_trace_v2_framed(f, &Trace::from_vec(trace.clone()), Encoding::Raw, 64).unwrap();
+
+    let analysis = Analysis::new()
+        .mode(Mode::Phased {
+            chunk: 100,
+            reduction: Reduction::ShipToRankZero,
+        })
+        .ranks(2)
+        .stats(true);
+
+    // Strict: the injected decode failure aborts the streamed analysis.
+    parda_failpoint::configure("stream::decode", "1*error").unwrap();
+    let err = analysis.run_file(&path).unwrap_err();
+    assert_eq!(err.class(), "corrupt", "got {err}");
+
+    // Repair: the failing frame is skipped mid-stream and tallied. A single
+    // decoder keeps the injection deterministic (exactly one frame lost).
+    parda_failpoint::configure("stream::decode", "1*error").unwrap();
+    let stream = FramedStream::open_with_policy(&path, 1, Degradation::Repair).unwrap();
+    let errors = stream.error_handle();
+    let recovery = stream.recovery_handle();
+    let (hist, _) = analysis
+        .clone()
+        .degradation(Degradation::Repair)
+        .run_stream(stream);
+    assert!(errors.take().is_none(), "repair absorbs the failure");
+    let rec = recovery.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    assert_eq!(rec.frames_skipped, 1);
+    assert_eq!(rec.refs_dropped, 64);
+    assert_eq!(hist.total(), trace.len() as u64 - 64);
+    std::fs::remove_file(&path).unwrap();
+    parda_failpoint::clear();
+}

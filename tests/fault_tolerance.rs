@@ -1,0 +1,233 @@
+//! End-to-end fault tolerance: corrupted trace files driven through the
+//! full pipeline must never panic or hang. `Strict` fails cleanly on the
+//! first violation; the lossy policies produce exactly the histogram of
+//! the surviving frames plus an honest [`parda::obs::RecoveryMetrics`]
+//! report. The corruptions here are randomized — byte flips, truncations,
+//! and outright garbage — over freshly written v2.1 files.
+
+use parda::prelude::*;
+use parda::trace::io::{write_trace_v2_framed, Encoding};
+use parda::trace::{decode_trace_recovering, load_trace_recovering, verify_trace};
+use proptest::prelude::*;
+
+const FRAME_REFS: usize = 64;
+
+/// Serialize a trace into a v2.1 (checksummed) image with 64-ref frames.
+fn framed_image(trace: &[u64], encoding: Encoding) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_trace_v2_framed(
+        &mut buf,
+        &Trace::from_vec(trace.to_vec()),
+        encoding,
+        FRAME_REFS,
+    )
+    .unwrap();
+    buf
+}
+
+/// Byte offset of frame `i`'s payload in a freshly written *raw* v2.1
+/// image: 24-byte file header, then per full frame a 12-byte inline header
+/// and `FRAME_REFS`·8 payload bytes. Valid because only the last frame can
+/// be partial.
+fn raw_payload_offset(frame: usize) -> usize {
+    24 + frame * (12 + FRAME_REFS * 8) + 12
+}
+
+/// The trace that remains after dropping the given frames whole.
+fn surviving(trace: &[u64], corrupt: &[usize]) -> Vec<u64> {
+    trace
+        .chunks(FRAME_REFS)
+        .enumerate()
+        .filter(|(i, _)| !corrupt.contains(i))
+        .flat_map(|(_, c)| c.iter().copied())
+        .collect()
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("parda-fault-tolerance-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+proptest! {
+    /// Flipping payload bytes in k distinct frames: strict decoding fails,
+    /// the lossy policies return exactly the in-order concatenation of the
+    /// surviving frames, and the metrics tally exactly the k victims.
+    #[test]
+    fn byte_flips_skip_exactly_the_corrupt_frames(
+        trace in proptest::collection::vec(0u64..512, 320..1280),
+        picks in proptest::collection::vec(any::<u64>(), 1..4),
+        flip in 1u8..=255,
+    ) {
+        let image = framed_image(&trace, Encoding::Raw);
+        let nframes = trace.len().div_ceil(FRAME_REFS);
+        // Corrupt only full frames so the fixed-stride offset formula and
+        // the refs_dropped arithmetic below stay exact.
+        let full = trace.len() / FRAME_REFS;
+        let mut corrupt: Vec<usize> = picks.iter().map(|p| (*p as usize) % full).collect();
+        corrupt.sort_unstable();
+        corrupt.dedup();
+
+        let mut bad = image.clone();
+        for (j, &f) in corrupt.iter().enumerate() {
+            bad[raw_payload_offset(f) + (j * 97) % (FRAME_REFS * 8)] ^= flip;
+        }
+
+        prop_assert!(decode_trace_recovering(&bad, Degradation::Strict).is_err());
+
+        let expect = surviving(&trace, &corrupt);
+        for policy in [Degradation::Repair, Degradation::BestEffort] {
+            let (got, m) = decode_trace_recovering(&bad, policy).unwrap();
+            prop_assert_eq!(got.as_slice(), expect.as_slice());
+            prop_assert_eq!(m.frames_total, nframes as u64);
+            prop_assert_eq!(m.frames_skipped, corrupt.len() as u64);
+            prop_assert_eq!(m.refs_dropped, (corrupt.len() * FRAME_REFS) as u64);
+            prop_assert_eq!(m.crc_failures, corrupt.len() as u64);
+            let skipped: Vec<u64> = corrupt.iter().map(|&f| f as u64).collect();
+            prop_assert_eq!(m.skipped_frames.clone(), skipped);
+        }
+    }
+
+    /// Truncating the image anywhere must never panic; with the file header
+    /// intact, best-effort salvages a frame-aligned prefix of the original.
+    #[test]
+    fn truncation_is_salvaged_or_rejected_never_a_panic(
+        trace in proptest::collection::vec(0u64..512, 64..640),
+        encoding_raw in any::<bool>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let encoding = if encoding_raw { Encoding::Raw } else { Encoding::DeltaVarint };
+        let image = framed_image(&trace, encoding);
+        let cut = (cut_seed as usize) % image.len();
+        let short = &image[..cut];
+
+        // Footer gone: strict and repair must reject it (or, for cut == 0
+        // and other sub-header cuts, fail header parsing) — cleanly.
+        prop_assert!(decode_trace_recovering(short, Degradation::Strict).is_err());
+        prop_assert!(decode_trace_recovering(short, Degradation::Repair).is_err());
+
+        match decode_trace_recovering(short, Degradation::BestEffort) {
+            Ok((got, m)) => {
+                // Whatever was salvaged is a prefix of the original trace.
+                prop_assert!(got.len() <= trace.len());
+                prop_assert_eq!(got.as_slice(), &trace[..got.len()]);
+                prop_assert_eq!(m.refs_dropped, (trace.len() - got.len()) as u64);
+            }
+            // Only a destroyed *file header* is allowed to fail best-effort.
+            Err(_) => prop_assert!(cut < 24, "cut={cut} failed after a readable header"),
+        }
+    }
+
+    /// Arbitrary garbage: every policy returns an error or a trace, never a
+    /// panic, a hang, or an absurd allocation. A real header grafted onto
+    /// garbage must still succeed under best-effort (salvaging nothing).
+    #[test]
+    fn garbage_bytes_never_panic(
+        garbage in proptest::collection::vec(any::<u8>(), 0..600),
+        trace in proptest::collection::vec(0u64..64, 128..192),
+    ) {
+        for policy in [Degradation::Strict, Degradation::Repair, Degradation::BestEffort] {
+            let _ = decode_trace_recovering(&garbage, policy);
+        }
+        // "Never fail once a readable file header was found": a valid v2.1
+        // header followed by junk decodes to *something* under best-effort.
+        let image = framed_image(&trace, Encoding::Raw);
+        let mut grafted = image[..24].to_vec();
+        grafted.extend_from_slice(&garbage);
+        let (got, _) = decode_trace_recovering(&grafted, Degradation::BestEffort).unwrap();
+        prop_assert!(got.len() <= trace.len());
+    }
+
+    /// The full pipeline over a corrupt *file*: under best-effort, both the
+    /// in-memory parallel driver and the streaming phased driver produce
+    /// exactly the clean histogram of the surviving frames, and the report
+    /// counts the victims.
+    #[test]
+    fn best_effort_analysis_equals_clean_analysis_of_survivors(
+        trace in proptest::collection::vec(0u64..256, 640..960),
+        pick in any::<u64>(),
+        ranks in 2usize..5,
+    ) {
+        let full = trace.len() / FRAME_REFS;
+        let corrupt = vec![(pick as usize) % full];
+        let mut bad = framed_image(&trace, Encoding::Raw);
+        bad[raw_payload_offset(corrupt[0]) + 11] ^= 0xA5;
+        let path = tmp("best-effort.trc");
+        std::fs::write(&path, &bad).unwrap();
+
+        let expect_trace = surviving(&trace, &corrupt);
+        let modes = [
+            Mode::Threads,
+            Mode::Phased { chunk: 100, reduction: Reduction::ShipToRankZero },
+        ];
+        for mode in modes {
+            let analysis = Analysis::new()
+                .mode(mode)
+                .ranks(ranks)
+                .stats(true)
+                .degradation(Degradation::BestEffort);
+            let (expect_hist, _) = analysis.run(&expect_trace);
+            let (hist, report) = analysis.run_file(&path).unwrap();
+            prop_assert_eq!(&hist, &expect_hist);
+            let rec = report.unwrap().recovery.expect("recovery metrics attached");
+            prop_assert_eq!(rec.frames_skipped, 1);
+            prop_assert_eq!(rec.refs_dropped, FRAME_REFS as u64);
+        }
+
+        // Strict on the same file is a clean, classified failure.
+        let strict = Analysis::new().mode(Mode::Threads).ranks(ranks).run_file(&path);
+        prop_assert_eq!(strict.unwrap_err().class(), "corrupt");
+    }
+}
+
+/// Adversarial header fields: a count far beyond the actual payload and
+/// oversized frame shapes must come back as clean errors (no panic, no
+/// multi-gigabyte allocation). This drives the load path end-to-end at the
+/// facade level.
+#[test]
+fn adversarial_lengths_are_invalid_data_not_panics() {
+    let trace: Vec<u64> = (0..200u64).collect();
+
+    // v1 with a 2^60 count: the reader must hit EOF, not pre-allocate.
+    let mut v1 = Vec::new();
+    parda::trace::io::write_trace(&mut v1, &Trace::from_vec(trace.clone()), Encoding::Raw).unwrap();
+    v1[16..24].copy_from_slice(&(1u64 << 60).to_le_bytes());
+    for policy in [Degradation::Strict, Degradation::Repair] {
+        assert!(decode_trace_recovering(&v1, policy).is_err());
+    }
+    // Best-effort keeps the decodable prefix instead.
+    let (got, _) = decode_trace_recovering(&v1, Degradation::BestEffort).unwrap();
+    assert_eq!(got.as_slice(), trace.as_slice());
+
+    // v2.1 with an inflated frame count in the inline header: shape check
+    // must reject it before any allocation is sized from it.
+    let mut v2 = framed_image(&trace, Encoding::Raw);
+    v2[24..28].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(decode_trace_recovering(&v2, Degradation::Strict).is_err());
+    let (got, m) = decode_trace_recovering(&v2, Degradation::Repair).unwrap();
+    assert_eq!(got.as_slice(), &trace[64..], "frame 0 quarantined");
+    assert_eq!(m.frames_skipped, 1);
+}
+
+/// `verify_trace` agrees with the decoder about what is and is not intact,
+/// without running any analysis.
+#[test]
+fn verify_matches_decoder_verdict() {
+    let trace: Vec<u64> = (0..640u64).map(|i| (i * 37) % 400).collect();
+    let path = tmp("verify.trc");
+    std::fs::write(&path, framed_image(&trace, Encoding::Raw)).unwrap();
+    let report = verify_trace(&path).unwrap();
+    assert_eq!((report.version, report.minor), (2, 1));
+    assert_eq!(report.frames, 10);
+    assert_eq!(report.refs, 640);
+    assert!(report.checksummed);
+    let (t, m) = load_trace_recovering(&path, Degradation::Strict).unwrap();
+    assert_eq!(t.as_slice(), trace.as_slice());
+    assert!(m.is_clean());
+
+    let mut bad = framed_image(&trace, Encoding::Raw);
+    bad[raw_payload_offset(4)] ^= 0x10;
+    std::fs::write(&path, &bad).unwrap();
+    let err = verify_trace(&path).unwrap_err();
+    assert!(err.to_string().contains("frame 4"), "{err}");
+}
