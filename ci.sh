@@ -41,6 +41,7 @@ step "cargo test --features failpoints (fault injection suite)"
 cargo test --features failpoints -q
 cargo test -p parda-core --features failpoints -q
 cargo test -p parda-trace --features failpoints -q
+cargo test -p parda-server --features failpoints -q
 
 step "cargo bench --no-run (benches must compile)"
 cargo bench --workspace --no-run --quiet
@@ -87,6 +88,46 @@ fi
 cargo run -q -p parda-cli --bin parda -- \
     analyze "$smoke_dir/dirty.trc" --degradation=best-effort --stats=json \
     | python3 -m json.tool > /dev/null
+
+step "server smoke (serve + submit must equal offline analyze, drain on SIGTERM)"
+# Run the binary directly: `cargo run` does not forward SIGTERM to its child,
+# and the graceful-drain assertion below depends on the daemon receiving it.
+cargo build -q -p parda-cli
+parda_bin=target/debug/parda
+"$parda_bin" gen --pattern zipf --footprint 100000 --refs 1000000 --seed 7 \
+    --out "$smoke_dir/server.trc"
+"$parda_bin" serve --addr 127.0.0.1:0 --max-sessions 4 > "$smoke_dir/serve.out" &
+serve_pid=$!
+# Port discovery: the daemon prints its bound address before accepting.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^parda-server listening on //p' "$smoke_dir/serve.out")
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+    echo "server smoke: daemon never reported its address" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+"$parda_bin" submit "$smoke_dir/server.trc" --addr "$addr" --json \
+    > "$smoke_dir/served.json"
+"$parda_bin" analyze "$smoke_dir/server.trc" --json > "$smoke_dir/offline.json"
+if ! diff -q "$smoke_dir/served.json" "$smoke_dir/offline.json" > /dev/null; then
+    echo "server smoke: served histogram differs from offline analyze" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+    echo "server smoke: daemon did not drain cleanly on SIGTERM" >&2
+    exit 1
+fi
+grep -q "sessions opened=1 rejected=0 failed=0 completed=1" "$smoke_dir/serve.out" || {
+    echo "server smoke: unexpected final metrics:" >&2
+    cat "$smoke_dir/serve.out" >&2
+    exit 1
+}
 
 echo
 echo "ci: all checks passed"

@@ -1,0 +1,159 @@
+//! Server ingest-throughput benchmark: the daemon's perf anchor.
+//!
+//! Measures aggregate loopback refs/s for 1, 4, and 8 concurrent client
+//! sessions submitting the same zipf trace to one in-process daemon, next
+//! to the offline streaming baseline (the identical phased analysis fed
+//! through a `parda_comm::pipe` with no sockets or framing), and emits
+//! machine-readable JSON (`BENCH_server.json` at the repo root) so future
+//! PRs can diff the protocol overhead against the numbers recorded here.
+//!
+//!   cargo run --release -p parda-bench --bin server_ingest -- \
+//!       --refs 2000000 --out BENCH_server.json
+
+use parda_bench::time;
+use parda_comm::pipe;
+use parda_core::Analysis;
+use parda_server::{submit, Server, ServerConfig, SubmitOptions};
+use parda_trace::gen::ZipfGen;
+use parda_trace::{AddressStream, Trace};
+use serde::Serialize;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// One measured configuration.
+#[derive(Serialize)]
+struct Row {
+    mode: String,
+    sessions: usize,
+    /// Aggregate across all concurrent sessions.
+    refs_per_sec: u64,
+    secs: f64,
+}
+
+/// The whole report (`BENCH_server.json`).
+#[derive(Serialize)]
+struct ServerReport {
+    bench: &'static str,
+    refs: u64,
+    footprint: u64,
+    theta: f64,
+    seed: u64,
+    runs_per_config: u32,
+    results: Vec<Row>,
+}
+
+fn best_of<R>(runs: u32, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let (r, secs) = time(&mut f);
+        black_box(r);
+        best = best.min(secs);
+    }
+    best
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let get = |key: &str| -> Option<String> {
+        argv.iter()
+            .position(|a| a == key)
+            .and_then(|i| argv.get(i + 1).cloned())
+    };
+    let refs: u64 = get("--refs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000);
+    let footprint: u64 = get("--footprint")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+    let theta: f64 = get("--theta").and_then(|v| v.parse().ok()).unwrap_or(0.99);
+    let seed: u64 = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let runs: u32 = get("--runs").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let out = get("--out").unwrap_or_else(|| "BENCH_server.json".into());
+
+    eprintln!("server_ingest: generating {refs} zipf({theta}) refs over {footprint} addresses");
+    let trace: Trace = ZipfGen::new(footprint as usize, theta, 0, seed).take_trace(refs as usize);
+    let trace = Arc::new(trace);
+
+    let mut results = Vec::new();
+
+    // Offline streaming baseline: the exact per-session pipeline (bounded
+    // pipe into the phased engine) minus the protocol and the kernel.
+    let secs = best_of(runs, || {
+        let (mut tx, rx) = pipe(1 << 16, pipe::DEFAULT_BATCH);
+        let t = Arc::clone(&trace);
+        let feeder = std::thread::spawn(move || {
+            tx.write_all(t.as_slice());
+        });
+        let (hist, _) = Analysis::new().run_stream(rx);
+        feeder.join().unwrap();
+        hist
+    });
+    push_row(&mut results, "offline-stream", 1, refs, secs);
+
+    // Loopback sessions: one daemon, N concurrent submitting clients.
+    let server = Server::bind(ServerConfig {
+        max_sessions: 8,
+        ..ServerConfig::default()
+    })
+    .expect("bind benchmark server");
+    let addr = server.local_addr().unwrap().to_string();
+    let stop = server.shutdown_handle();
+    let daemon = std::thread::spawn(move || server.run().unwrap());
+
+    for sessions in [1usize, 4, 8] {
+        let secs = best_of(runs, || {
+            let clients: Vec<_> = (0..sessions)
+                .map(|_| {
+                    let t = Arc::clone(&trace);
+                    let addr = addr.clone();
+                    std::thread::spawn(move || {
+                        submit(&addr, t.as_slice(), &SubmitOptions::default())
+                            .expect("benchmark submission")
+                    })
+                })
+                .collect();
+            clients
+                .into_iter()
+                .map(|c| c.join().unwrap())
+                .for_each(|reply| {
+                    black_box(reply.histogram);
+                })
+        });
+        // Aggregate: every session ingested the full trace.
+        push_row(
+            &mut results,
+            "loopback",
+            sessions,
+            refs * sessions as u64,
+            secs,
+        );
+    }
+
+    stop.shutdown();
+    daemon.join().unwrap();
+
+    let report = ServerReport {
+        bench: "server_ingest",
+        refs,
+        footprint,
+        theta,
+        seed,
+        runs_per_config: runs,
+        results,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out, &json).expect("write BENCH json");
+    eprintln!("server_ingest: wrote {out}");
+    println!("{json}");
+}
+
+fn push_row(results: &mut Vec<Row>, mode: &str, sessions: usize, total_refs: u64, secs: f64) {
+    let rps = (total_refs as f64 / secs) as u64;
+    eprintln!("  {mode:<16} sessions={sessions} {rps:>12} refs/s ({secs:.3}s)");
+    results.push(Row {
+        mode: mode.to_string(),
+        sessions,
+        refs_per_sec: rps,
+        secs,
+    });
+}

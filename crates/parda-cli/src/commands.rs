@@ -4,6 +4,7 @@ use crate::{Args, CliError};
 use parda_core::phased::Reduction;
 use parda_core::{Analysis, Degradation, FaultPolicy, Mode, PardaError, Report};
 use parda_pinsim::collect_trace;
+use parda_server::{Server, ServerConfig, SubmitOptions};
 use parda_trace::gen::{CyclicGen, SequentialGen, UniformGen, ZipfGen};
 use parda_trace::io::{load_trace, peek_version, save_trace, save_trace_v2, Encoding};
 use parda_trace::spec::{SpecBenchmark, SPEC2006};
@@ -11,12 +12,12 @@ use parda_trace::stream::FramedStream;
 use parda_trace::{load_trace_recovering, verify_trace, AddressStream, Trace};
 use parda_tree::TreeKind;
 use std::io::Write;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Boolean switches the CLI recognizes: these never consume the next token
 /// (`--stream file.trc` keeps `file.trc` positional), while `--stats=json`
 /// still selects a format via the `--key=value` form.
-pub const SWITCHES: &[&str] = &["json", "stream", "renumber", "stats", "verify"];
+pub const SWITCHES: &[&str] = &["json", "stream", "renumber", "stats", "verify", "mrc"];
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -52,6 +53,21 @@ commands:
   compare  run every engine over a trace, verify agreement, report timings
              <file> [--ranks <p>] [--naive-limit <n>]
   spec     print the paper's Table IV benchmark table
+  serve    run the analysis daemon (std TCP, one thread per session)
+             [--addr <host:port>]     (default 127.0.0.1:0, ephemeral port;
+                          the bound address is printed on startup)
+             [--max-sessions <n>]     (admission cap, default 8)
+             [--max-session-bytes <b>] (per-session DATA budget)
+             [--degradation <policy>] (default wire-corruption policy for
+                          sessions that do not pick their own)
+             [--idle-timeout <secs>]  (stall out silent clients; 0 = never)
+             [--accept-limit <n>]     (stop after n connections; tests)
+             SIGINT/SIGTERM stop accepting and drain in-flight sessions
+  submit   stream a trace to a daemon and print the returned histogram
+             <file> --addr <host:port> [--config k=v[,k=v...]]
+             [--encoding <raw|delta>] [--frame-refs <n>] [--json] [--mrc]
+             [--stats=json]  (full histogram+stats document from the server,
+                          same shape as analyze --stats=json)
   help     show this message
 
 exit codes: 0 ok, 1 usage, 2 corrupt trace, 3 i/o failure,
@@ -487,6 +503,113 @@ pub fn compare(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     } else {
         Err("engine disagreement detected".into())
     }
+}
+
+/// `parda serve`: run the analysis daemon until a signal (or the accept
+/// limit) stops it, then print the final metrics.
+pub fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0").to_string();
+    let max_sessions: usize = args.get_parsed("max-sessions", 8)?;
+    if max_sessions == 0 {
+        return Err("--max-sessions must be at least 1".into());
+    }
+    let max_session_bytes: Option<u64> = args.get_optional("max-session-bytes")?;
+    let degradation = parse_degradation(args)?;
+    let idle_secs: u64 = args.get_parsed("idle-timeout", 30)?;
+    let accept_limit: Option<u64> = args.get_optional("accept-limit")?;
+
+    let server = Server::bind(ServerConfig {
+        addr,
+        max_sessions,
+        max_session_bytes,
+        fault: FaultPolicy::with_degradation(degradation),
+        idle_timeout: (idle_secs > 0).then(|| Duration::from_secs(idle_secs)),
+        accept_limit,
+    })
+    .map_err(PardaError::Io)?;
+    let local = server.local_addr().map_err(PardaError::Io)?;
+
+    // The startup line is the port-discovery contract for scripts that
+    // bind port 0 (see ci.sh): flush it before blocking in the accept loop.
+    writeln!(out, "parda-server listening on {local}").map_err(io_err)?;
+    out.flush().map_err(io_err)?;
+
+    parda_server::install_signal_shutdown();
+    let started = Instant::now();
+    let metrics = server.run().map_err(PardaError::Io)?;
+    write!(
+        out,
+        "{}",
+        metrics.render_pretty(started.elapsed().as_secs_f64())
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+/// `parda submit`: stream a trace file to a daemon and print the reply.
+pub fn submit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = args.require_positional(0, "trace file")?;
+    let addr = args.get("addr").ok_or("missing --addr <host:port>")?;
+    let stats_fmt = stats_format(args)?;
+    if matches!(stats_fmt, StatsFormat::Pretty) {
+        return Err("submit supports --stats=json only (the stats document \
+                    arrives pre-rendered from the server)"
+            .into());
+    }
+
+    let mut opts = SubmitOptions::default();
+    // Args rejects duplicate options, so multiple pairs ride one
+    // comma-separated --config value.
+    if let Some(pairs) = args.get("config") {
+        for pair in pairs.split(',').filter(|p| !p.is_empty()) {
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("bad --config entry `{pair}` (want key=value)"))?;
+            opts.config.push((k.to_string(), v.to_string()));
+        }
+    }
+    opts.encoding = match args.get("encoding").unwrap_or("delta") {
+        "raw" => Encoding::Raw,
+        "delta" => Encoding::DeltaVarint,
+        other => return Err(format!("unknown encoding `{other}`").into()),
+    };
+    opts.frame_refs = args.get_parsed("frame-refs", opts.frame_refs)?;
+    if matches!(stats_fmt, StatsFormat::Json) {
+        opts.reply = parda_server::ReplyFormat::Json;
+    }
+
+    let reply = parda_server::submit_file(addr, path, &opts)?;
+
+    if matches!(stats_fmt, StatsFormat::Json) {
+        let doc = reply
+            .stats_json
+            .ok_or_else(|| CliError::Fault(PardaError::Corrupt("server sent no stats".into())))?;
+        writeln!(out, "{doc}").map_err(io_err)?;
+        return Ok(());
+    }
+    let hist = reply.histogram;
+    if args.has("json") {
+        let json = serde_json::to_string(&hist).map_err(io_err)?;
+        writeln!(out, "{json}").map_err(io_err)?;
+    } else if args.has("mrc") {
+        writeln!(out, "{:>12} {:>10}", "capacity", "miss_ratio").map_err(io_err)?;
+        for (c, mr) in hist.miss_ratio_curve_pow2() {
+            writeln!(out, "{c:>12} {mr:>10.4}").map_err(io_err)?;
+        }
+    } else {
+        writeln!(
+            out,
+            "session={} total={} finite={} inf={} mean_finite={:.1}",
+            reply.session,
+            hist.total(),
+            hist.finite_total(),
+            hist.infinite(),
+            hist.mean_finite_distance().unwrap_or(0.0)
+        )
+        .map_err(io_err)?;
+        write!(out, "{}", hist.to_binned().render()).map_err(io_err)?;
+    }
+    Ok(())
 }
 
 /// `parda spec`: the paper's Table IV parameters and slowdown factors.

@@ -9,7 +9,9 @@
 //! * `parda mrc` — print the miss-ratio curve;
 //! * `parda stats` — print trace shape statistics (N, M, span);
 //! * `parda spec` — print the paper's Table IV benchmark parameters;
-//! * `parda compare` — run every engine, verify agreement, report timings.
+//! * `parda compare` — run every engine, verify agreement, report timings;
+//! * `parda serve` — run the analysis daemon (std TCP, graceful drain);
+//! * `parda submit` — stream a trace to a daemon, print the reply.
 //!
 //! Argument parsing is hand-rolled ([`Args`]) to keep the dependency
 //! surface at the workspace's approved set.
@@ -127,6 +129,8 @@ fn run_inner(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErr
         "stats" => commands::stats(&args, out),
         "spec" => commands::spec(&args, out),
         "compare" => commands::compare(&args, out),
+        "serve" => commands::serve(&args, out),
+        "submit" => commands::submit(&args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", commands::USAGE).map_err(|e| CliError::Usage(e.to_string()))
         }
@@ -510,6 +514,102 @@ mod tests {
         assert!(out.is_empty(), "stdout stays clean on failure");
         let err = String::from_utf8(err).unwrap();
         assert!(err.contains("error: [io]"), "got: {err}");
+    }
+
+    #[test]
+    fn serve_with_accept_limit_zero_starts_and_drains_cleanly() {
+        let (code, out) = run_to_string(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--accept-limit",
+            "0",
+            "--idle-timeout",
+            "5",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(
+            out.contains("parda-server listening on 127.0.0.1:"),
+            "{out}"
+        );
+        assert!(
+            out.contains("sessions opened=0"),
+            "final metrics line: {out}"
+        );
+    }
+
+    #[test]
+    fn serve_rejects_zero_session_cap() {
+        let (code, out) = run_to_string(&["serve", "--max-sessions", "0"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("max-sessions"), "{out}");
+    }
+
+    #[test]
+    fn submit_matches_offline_analyze_and_maps_error_classes() {
+        use parda_server::{Server, ServerConfig};
+
+        let dir = std::env::temp_dir().join("parda-cli-submit-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.trc");
+        let p = path.to_str().unwrap();
+        let (code, _) = run_to_string(&[
+            "gen", "--spec", "gcc", "--refs", "30000", "--seed", "9", "--out", p,
+        ]);
+        assert_eq!(code, 0);
+
+        let server = Server::bind(ServerConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let stop = server.shutdown_handle();
+        let daemon = std::thread::spawn(move || server.run().unwrap());
+
+        // --json output is byte-identical to the offline analyzer's.
+        let (code, offline) = run_to_string(&["analyze", p, "--json"]);
+        assert_eq!(code, 0, "{offline}");
+        let (code, served) = run_to_string(&["submit", p, "--addr", &addr, "--json"]);
+        assert_eq!(code, 0, "{served}");
+        assert_eq!(served, offline, "serve+submit must equal offline analyze");
+
+        // Session config pairs ride one comma-separated --config value, and
+        // the summary/mrc renderings work from the binary reply.
+        let (code, out) = run_to_string(&[
+            "submit",
+            p,
+            "--addr",
+            &addr,
+            "--config",
+            "tree=avl,ranks=2,engine=threads",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("total=30000"), "{out}");
+        let (code, out) = run_to_string(&["submit", p, "--addr", &addr, "--mrc"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("capacity"), "{out}");
+
+        // --stats=json returns the server's full document.
+        let (code, out) = run_to_string(&["submit", p, "--addr", &addr, "--stats=json"]);
+        assert_eq!(code, 0, "{out}");
+        let doc: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
+        doc.field("histogram").unwrap();
+        doc.field("stats").unwrap();
+
+        // Server-side config faults keep the usage exit class…
+        let (code, out) = run_to_string(&["submit", p, "--addr", &addr, "--config", "tree=btree"]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("[config]"), "{out}");
+        // …and bad --config syntax is caught before any connection.
+        let (code, out) = run_to_string(&["submit", p, "--addr", &addr, "--config", "nope"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("key=value"), "{out}");
+
+        stop.shutdown();
+        daemon.join().unwrap();
+
+        // With the daemon gone, submit fails in the i/o class (exit 3).
+        let (code, out) = run_to_string(&["submit", p, "--addr", &addr]);
+        assert_eq!(code, 3, "{out}");
+        assert!(out.contains("[io]"), "{out}");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

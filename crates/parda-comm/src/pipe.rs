@@ -19,6 +19,7 @@ pub struct PipeWriter {
     tx: Sender<Vec<Addr>>,
     buf: Vec<Addr>,
     batch: usize,
+    closed: bool,
 }
 
 impl PipeWriter {
@@ -45,8 +46,19 @@ impl PipeWriter {
         }
         let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch));
         // A closed receiver means the analyzer is gone; drop the data like a
-        // real pipe would raise EPIPE. Writers detect it via `is_closed`.
-        let _ = self.tx.send(batch);
+        // real pipe would raise EPIPE, and latch `is_closed` so the producer
+        // can stop early instead of encoding batches nobody will read.
+        if self.tx.send(batch).is_err() {
+            self.closed = true;
+        }
+    }
+
+    /// `true` once a flush has found the reader gone. Data flushed after
+    /// (or by the flush) that observed the closed pipe is *lost*, exactly
+    /// like writes after `EPIPE`; producers should check this between
+    /// batches and stop.
+    pub fn is_closed(&self) -> bool {
+        self.closed
     }
 }
 
@@ -131,6 +143,7 @@ pub fn pipe(capacity_words: usize, batch: usize) -> (PipeWriter, PipeReader) {
             tx,
             buf: Vec::with_capacity(batch),
             batch,
+            closed: false,
         },
         PipeReader {
             rx,
@@ -171,6 +184,29 @@ mod tests {
         assert_eq!(r.next_addr(), Some(2));
         assert_eq!(r.next_addr(), Some(3));
         assert_eq!(r.next_addr(), None);
+    }
+
+    #[test]
+    fn writer_detects_closed_reader_and_loss_is_explicit() {
+        let (mut w, r) = pipe(1024, 4);
+        w.write_all(&[1, 2, 3, 4]); // full batch: flushed while reader alive
+        assert!(!w.is_closed());
+        drop(r);
+        // The next flush hits the closed pipe: the data is dropped (EPIPE
+        // semantics) but the loss is observable, not silent.
+        w.write_all(&[5, 6, 7, 8]);
+        assert!(w.is_closed(), "flush into a dropped reader must latch");
+        w.write(9);
+        w.flush();
+        assert!(w.is_closed());
+    }
+
+    #[test]
+    fn drop_with_partial_batch_and_dead_reader_does_not_panic() {
+        let (mut w, r) = pipe(1024, 4096);
+        w.write_all(&[1, 2]);
+        drop(r);
+        drop(w); // Drop flushes into the closed pipe; must be a clean no-op.
     }
 
     #[test]

@@ -227,6 +227,93 @@ impl StreamCounters {
     }
 }
 
+/// Snapshot of a `parda-server` daemon's lifetime counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct ServerMetrics {
+    /// Sessions admitted (HELLO + CONFIG accepted under the session cap).
+    pub sessions_opened: u64,
+    /// Sessions refused by admission control (cap reached, bad handshake).
+    pub sessions_rejected: u64,
+    /// Admitted sessions that ended in an error or a panic.
+    pub sessions_failed: u64,
+    /// Admitted sessions that returned a STATS reply.
+    pub sessions_completed: u64,
+    /// DATA payload bytes received across all sessions.
+    pub bytes_in: u64,
+    /// Trace references decoded from DATA frames across all sessions.
+    pub refs_in: u64,
+    /// DATA frames received across all sessions.
+    pub frames_in: u64,
+    /// DATA frames quarantined by a lossy degradation policy.
+    pub frames_quarantined: u64,
+}
+
+impl ServerMetrics {
+    /// Ingest rate over the given wall time, for the shutdown summary.
+    pub fn refs_per_sec(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs > 0.0 {
+            self.refs_in as f64 / elapsed_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// One-line summary printed by `parda serve` on shutdown.
+    pub fn render_pretty(&self, elapsed_secs: f64) -> String {
+        format!(
+            "server: sessions opened={} rejected={} failed={} completed={} \
+             bytes_in={} refs_in={} frames_in={} quarantined={} refs/s={:.0}\n",
+            self.sessions_opened,
+            self.sessions_rejected,
+            self.sessions_failed,
+            self.sessions_completed,
+            self.bytes_in,
+            self.refs_in,
+            self.frames_in,
+            self.frames_quarantined,
+            self.refs_per_sec(elapsed_secs),
+        )
+    }
+}
+
+/// Shared atomic counters backing [`ServerMetrics`]; lives in an `Arc`
+/// spanning the accept loop and every session thread.
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// See [`ServerMetrics::sessions_opened`].
+    pub sessions_opened: Counter,
+    /// See [`ServerMetrics::sessions_rejected`].
+    pub sessions_rejected: Counter,
+    /// See [`ServerMetrics::sessions_failed`].
+    pub sessions_failed: Counter,
+    /// See [`ServerMetrics::sessions_completed`].
+    pub sessions_completed: Counter,
+    /// See [`ServerMetrics::bytes_in`].
+    pub bytes_in: Counter,
+    /// See [`ServerMetrics::refs_in`].
+    pub refs_in: Counter,
+    /// See [`ServerMetrics::frames_in`].
+    pub frames_in: Counter,
+    /// See [`ServerMetrics::frames_quarantined`].
+    pub frames_quarantined: Counter,
+}
+
+impl ServerCounters {
+    /// Read every counter into a serializable snapshot.
+    pub fn snapshot(&self) -> ServerMetrics {
+        ServerMetrics {
+            sessions_opened: self.sessions_opened.get(),
+            sessions_rejected: self.sessions_rejected.get(),
+            sessions_failed: self.sessions_failed.get(),
+            sessions_completed: self.sessions_completed.get(),
+            bytes_in: self.bytes_in.get(),
+            refs_in: self.refs_in.get(),
+            frames_in: self.frames_in.get(),
+            frames_quarantined: self.frames_quarantined.get(),
+        }
+    }
+}
+
 /// Fault-recovery tally for one analysis run: what the degradation
 /// machinery skipped, repaired, or retried on the way to a result.
 ///
@@ -632,6 +719,28 @@ mod tests {
         assert!(text.contains("phases=2"));
         assert!(text.contains("stream: frames=0"));
         assert_eq!(text.lines().count(), 6, "{text}");
+    }
+
+    #[test]
+    fn server_counters_snapshot_and_rate() {
+        let c = ServerCounters::default();
+        c.sessions_opened.add(3);
+        c.sessions_completed.add(2);
+        c.sessions_failed.incr();
+        c.refs_in.add(1_000_000);
+        c.bytes_in.add(8_000_000);
+        let snap = c.snapshot();
+        assert_eq!(snap.sessions_opened, 3);
+        assert_eq!(snap.sessions_completed, 2);
+        assert_eq!(snap.sessions_failed, 1);
+        assert_eq!(snap.sessions_rejected, 0);
+        assert_eq!(snap.refs_per_sec(2.0) as u64, 500_000);
+        assert_eq!(snap.refs_per_sec(0.0), 0.0);
+        let line = snap.render_pretty(1.0);
+        assert!(line.contains("opened=3"), "{line}");
+        assert!(line.contains("refs/s=1000000"), "{line}");
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"refs_in\":1000000"), "{json}");
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! The submitting client: stream a trace to a daemon, get the histogram.
+//!
+//! [`submit`] speaks the whole session protocol over one blocking TCP
+//! connection and rehydrates the server's reply — a [`ReuseHistogram`]
+//! plus, for JSON replies, the raw stats document (byte-identical to the
+//! CLI's offline `--stats=json` output, so tooling can diff the two).
+//! Server-side failures arrive as typed [`PardaError`]s with their details
+//! intact: a rank panic on the server reports the same rank/attempts it
+//! would have reported locally.
+
+use crate::proto::{
+    encode_data_frame, hello_payload, read_msg, write_msg, ErrorFrame, MsgKind,
+    STATS_FORMAT_BINARY, STATS_FORMAT_JSON,
+};
+use crate::session::ReplyFormat;
+use parda_core::PardaError;
+use parda_hist::ReuseHistogram;
+use parda_trace::io::Encoding;
+use parda_trace::Addr;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::path::Path;
+
+/// Client-side knobs for one submission.
+#[derive(Clone, Debug)]
+pub struct SubmitOptions {
+    /// Extra `key=value` pairs for the CONFIG message (tree, ranks, bound,
+    /// engine, chunk, degradation — see `session::SessionConfig`).
+    pub config: Vec<(String, String)>,
+    /// DATA frame payload encoding.
+    pub encoding: Encoding,
+    /// References per DATA frame.
+    pub frame_refs: usize,
+    /// Reply encoding to request.
+    pub reply: ReplyFormat,
+}
+
+impl Default for SubmitOptions {
+    fn default() -> Self {
+        Self {
+            config: Vec::new(),
+            encoding: Encoding::DeltaVarint,
+            frame_refs: parda_trace::io::FRAME_REFS,
+            reply: ReplyFormat::Binary,
+        }
+    }
+}
+
+/// A successful server reply.
+#[derive(Clone, Debug)]
+pub struct SubmitReply {
+    /// The session id the server assigned.
+    pub session: u64,
+    /// The analysis result.
+    pub histogram: ReuseHistogram,
+    /// The full `{"histogram":…,"stats":…}` document (JSON replies only).
+    pub stats_json: Option<String>,
+}
+
+fn corrupt(msg: impl Into<String>) -> PardaError {
+    PardaError::Corrupt(msg.into())
+}
+
+/// Stream `trace` to the daemon at `addr` and return its reply.
+pub fn submit(addr: &str, trace: &[Addr], opts: &SubmitOptions) -> Result<SubmitReply, PardaError> {
+    let stream = TcpStream::connect(addr).map_err(PardaError::Io)?;
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream.try_clone().map_err(PardaError::Io)?);
+    let mut writer = BufWriter::new(stream);
+
+    // HELLO + CONFIG, flushed so the server can act (and possibly refuse)
+    // before we commit to streaming the trace.
+    write_msg(&mut writer, MsgKind::Hello, &hello_payload()).map_err(PardaError::Io)?;
+    write_msg(&mut writer, MsgKind::Config, config_text(opts).as_bytes())
+        .map_err(PardaError::Io)?;
+    writer.flush().map_err(PardaError::Io)?;
+
+    let accept = read_msg(&mut reader).map_err(PardaError::from)?;
+    let session = match accept.kind {
+        MsgKind::Accept => {
+            let bytes: [u8; 8] = accept
+                .payload
+                .as_slice()
+                .try_into()
+                .map_err(|_| corrupt("ACCEPT payload is not a u64 session id"))?;
+            u64::from_le_bytes(bytes)
+        }
+        MsgKind::Error => return Err(rehydrate(&accept.payload)),
+        other => return Err(corrupt(format!("expected ACCEPT, got {other:?}"))),
+    };
+
+    // Stream the trace. A mid-stream write failure (e.g. the server
+    // closed the socket after sending a fatal ERROR) must not abort the
+    // submission here — fall through to the read phase, where the typed
+    // error is waiting.
+    let frame_refs = opts.frame_refs.max(1);
+    let mut write_err = None;
+    for chunk in trace.chunks(frame_refs) {
+        let payload = encode_data_frame(chunk, opts.encoding);
+        if let Err(e) = write_msg(&mut writer, MsgKind::Data, &payload) {
+            write_err = Some(e);
+            break;
+        }
+    }
+    if write_err.is_none() {
+        write_err = write_msg(&mut writer, MsgKind::Fin, &[])
+            .and_then(|()| writer.flush())
+            .err();
+    }
+
+    // Reply phase: STATS on success, ERROR on failure. If the write side
+    // broke and no reply is readable either, report the write error.
+    let reply = match read_msg(&mut reader) {
+        Ok(msg) => msg,
+        Err(read_e) => {
+            return Err(match write_err {
+                Some(e) => PardaError::Io(e),
+                None => read_e.into(),
+            })
+        }
+    };
+    match reply.kind {
+        MsgKind::Stats => parse_stats(session, &reply.payload),
+        MsgKind::Error => Err(rehydrate(&reply.payload)),
+        other => Err(corrupt(format!("expected STATS, got {other:?}"))),
+    }
+}
+
+/// Load a trace file (any supported format) and [`submit`] it.
+pub fn submit_file<P: AsRef<Path>>(
+    addr: &str,
+    path: P,
+    opts: &SubmitOptions,
+) -> Result<SubmitReply, PardaError> {
+    let trace = parda_trace::io::load_trace(path).map_err(PardaError::from)?;
+    submit(addr, trace.as_slice(), opts)
+}
+
+fn config_text(opts: &SubmitOptions) -> String {
+    let mut text = String::new();
+    for (k, v) in &opts.config {
+        text.push_str(k);
+        text.push('=');
+        text.push_str(v);
+        text.push('\n');
+    }
+    text.push_str(match opts.encoding {
+        Encoding::Raw => "encoding=raw\n",
+        Encoding::DeltaVarint => "encoding=delta\n",
+    });
+    text.push_str(match opts.reply {
+        ReplyFormat::Json => "reply=json\n",
+        ReplyFormat::Binary => "reply=binary\n",
+    });
+    text
+}
+
+fn rehydrate(payload: &[u8]) -> PardaError {
+    match ErrorFrame::from_payload(payload) {
+        Ok(frame) => frame.to_parda(),
+        Err(e) => corrupt(format!("undecodable ERROR frame: {e}")),
+    }
+}
+
+fn parse_stats(session: u64, payload: &[u8]) -> Result<SubmitReply, PardaError> {
+    let (format, body) = payload
+        .split_first()
+        .ok_or_else(|| corrupt("empty STATS payload"))?;
+    match *format {
+        STATS_FORMAT_BINARY => Ok(SubmitReply {
+            session,
+            histogram: crate::proto::decode_histogram_binary(body).map_err(PardaError::from)?,
+            stats_json: None,
+        }),
+        STATS_FORMAT_JSON => {
+            let text =
+                std::str::from_utf8(body).map_err(|_| corrupt("JSON STATS body is not UTF-8"))?;
+            let doc: serde::Value = serde_json::from_str(text)
+                .map_err(|e| corrupt(format!("unparsable STATS JSON: {e:?}")))?;
+            let hist_value = doc
+                .field("histogram")
+                .map_err(|e| corrupt(format!("STATS JSON: {e:?}")))?;
+            let histogram = <ReuseHistogram as serde::Deserialize>::from_value(hist_value)
+                .map_err(|e| corrupt(format!("STATS histogram: {e:?}")))?;
+            Ok(SubmitReply {
+                session,
+                histogram,
+                stats_json: Some(text.to_string()),
+            })
+        }
+        other => Err(corrupt(format!("unknown STATS format byte {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_text_appends_wire_settings_last() {
+        let opts = SubmitOptions {
+            config: vec![("tree".into(), "avl".into()), ("ranks".into(), "2".into())],
+            encoding: Encoding::Raw,
+            frame_refs: 128,
+            reply: ReplyFormat::Json,
+        };
+        assert_eq!(
+            config_text(&opts),
+            "tree=avl\nranks=2\nencoding=raw\nreply=json\n"
+        );
+    }
+
+    #[test]
+    fn rehydrate_tolerates_garbage_error_frames() {
+        assert_eq!(rehydrate(&[0xFF, 0x00]).class(), "corrupt");
+    }
+}

@@ -1,0 +1,37 @@
+//! `parda-server`: reuse-distance analysis as a network service.
+//!
+//! A std-only TCP daemon (no async runtime: one OS thread per session,
+//! blocking sockets, an accept loop polling a shutdown latch) that accepts
+//! many concurrent clients, each streaming a trace over the v2.1 frame
+//! encoding and receiving its histogram/MRC back:
+//!
+//! ```text
+//!  client ──HELLO/CONFIG──▶ ┌──────────────┐
+//!         ◀─ACCEPT|ERROR──  │  parda-server │──▶ Analysis (phased stream
+//!         ──DATA*──FIN────▶ │  session      │       or panic-isolated
+//!         ◀─STATS|ERROR──   └──────────────┘       threads engine)
+//! ```
+//!
+//! The wire protocol ([`proto`]) reuses the trace format's per-frame
+//! CRC32C header byte-for-byte, so the `Degradation` ladder applies on the
+//! wire exactly as on disk: strict sessions fail on the first corrupt
+//! frame, lossy sessions quarantine it and tally the loss in the reply's
+//! `RecoveryMetrics`. Back-pressure composes from the bounded
+//! `parda-comm` pipe feeding the streaming analyzer and TCP flow control
+//! upstream of it; admission control caps concurrent sessions with a
+//! structured refusal. Sessions run under PR 4's `FaultPolicy` — panicking
+//! analysis workers are rescued or reported as typed errors, and a
+//! panicking session never takes the daemon down.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use client::{submit, submit_file, SubmitOptions, SubmitReply};
+pub use proto::{ErrorClass, ErrorFrame};
+pub use server::{
+    install_signal_shutdown, request_shutdown, reset_shutdown_latch, Server, ServerConfig,
+    ShutdownHandle,
+};
+pub use session::{ReplyFormat, SessionConfig, SessionEngine};

@@ -1,0 +1,587 @@
+//! The `parda-server` wire protocol.
+//!
+//! Everything on the socket is a length-prefixed *message*:
+//!
+//! ```text
+//! [kind u8][payload_len u32 LE][payload …]
+//! ```
+//!
+//! A session is a fixed exchange:
+//!
+//! ```text
+//! client                         server
+//!   HELLO  ("PARDAWIRE" + ver) →
+//!   CONFIG (key=value lines)   →
+//!                              ← ACCEPT (session id u64)  |  ERROR
+//!   DATA   (v2.1 frame)        →   (zero or more)
+//!   FIN    (empty)             →
+//!                              ← STATS (format u8 + body) |  ERROR
+//! ```
+//!
+//! A DATA payload is byte-for-byte the v2.1 *inline frame* layout from
+//! `parda-trace::io` — `count u32 | len u32 | crc32c u32 | encoded refs` —
+//! so the file format's CRC verification and frame decoding (and therefore
+//! the `Degradation` quarantine machinery) apply unchanged on the wire.
+//!
+//! ERROR payloads carry a class byte aligned with the `PardaError`
+//! taxonomy plus two u32 details (rank/attempts, rank/deadline-ms) and a
+//! UTF-8 message, so the client can rehydrate a *typed* error and the CLI
+//! maps it onto the existing exit-code classes.
+
+use parda_core::PardaError;
+use parda_hash::crc32c;
+use parda_trace::io::{decode_frame_payload, encode_frame_payload, Encoding};
+use parda_trace::Addr;
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// Handshake magic carried by HELLO.
+pub const WIRE_MAGIC: &[u8; 9] = b"PARDAWIRE";
+
+/// Wire protocol version carried by HELLO.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Hard cap on any message payload (a DATA frame at the default
+/// 65 536-ref framing is ~512 KiB; this leaves generous headroom while
+/// bounding what a lying length prefix can make the server allocate).
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Bytes of the DATA inline header (`count u32 | len u32 | crc32c u32`).
+pub const DATA_HEADER_LEN: usize = 12;
+
+/// STATS payload format byte: UTF-8 `{"histogram":…,"stats":…}` document.
+pub const STATS_FORMAT_JSON: u8 = 0;
+
+/// STATS payload format byte: binary histogram (see
+/// [`encode_histogram_binary`]).
+pub const STATS_FORMAT_BINARY: u8 = 1;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Message discriminant (the `kind` byte).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MsgKind {
+    /// Client → server: protocol magic + version.
+    Hello = 1,
+    /// Client → server: session configuration as `key=value` lines.
+    Config = 2,
+    /// Client → server: one v2.1 trace frame.
+    Data = 3,
+    /// Client → server: end of trace, run the analysis.
+    Fin = 4,
+    /// Server → client: session admitted; payload is the session id (u64).
+    Accept = 5,
+    /// Server → client: the analysis result.
+    Stats = 6,
+    /// Server → client: a classified failure (see [`ErrorFrame`]).
+    Error = 7,
+}
+
+impl MsgKind {
+    fn from_u8(b: u8) -> io::Result<Self> {
+        Ok(match b {
+            1 => MsgKind::Hello,
+            2 => MsgKind::Config,
+            3 => MsgKind::Data,
+            4 => MsgKind::Fin,
+            5 => MsgKind::Accept,
+            6 => MsgKind::Stats,
+            7 => MsgKind::Error,
+            other => return Err(invalid(format!("unknown message kind {other:#04x}"))),
+        })
+    }
+}
+
+/// One decoded wire message.
+#[derive(Clone, Debug)]
+pub struct Message {
+    /// The discriminant byte.
+    pub kind: MsgKind,
+    /// The raw payload.
+    pub payload: Vec<u8>,
+}
+
+/// Write one message (header + payload). Callers flush when the peer is
+/// expected to act on it.
+pub fn write_msg(w: &mut impl Write, kind: MsgKind, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_PAYLOAD);
+    let mut head = [0u8; 5];
+    head[0] = kind as u8;
+    head[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(payload)
+}
+
+/// Read one message, rejecting oversized length prefixes before
+/// allocating.
+pub fn read_msg(r: &mut impl Read) -> io::Result<Message> {
+    let mut head = [0u8; 5];
+    r.read_exact(&mut head)?;
+    let kind = MsgKind::from_u8(head[0])?;
+    let len = u32::from_le_bytes(head[1..5].try_into().unwrap()) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(invalid(format!(
+            "message payload of {len} bytes exceeds cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Message { kind, payload })
+}
+
+/// The HELLO payload for this protocol version.
+pub fn hello_payload() -> Vec<u8> {
+    let mut p = WIRE_MAGIC.to_vec();
+    p.push(WIRE_VERSION);
+    p
+}
+
+/// Validate a HELLO payload (magic + a version we speak).
+pub fn check_hello(payload: &[u8]) -> Result<(), String> {
+    if payload.len() != WIRE_MAGIC.len() + 1 || &payload[..WIRE_MAGIC.len()] != WIRE_MAGIC {
+        return Err("HELLO payload is not PARDAWIRE".into());
+    }
+    let version = payload[WIRE_MAGIC.len()];
+    if version != WIRE_VERSION {
+        return Err(format!(
+            "unsupported wire version {version} (server speaks {WIRE_VERSION})"
+        ));
+    }
+    Ok(())
+}
+
+/// Build one DATA payload: the v2.1 inline frame layout over `addrs`.
+pub fn encode_data_frame(addrs: &[Addr], encoding: Encoding) -> Vec<u8> {
+    let body = encode_frame_payload(addrs, encoding);
+    let mut out = Vec::with_capacity(DATA_HEADER_LEN + body.len());
+    out.extend_from_slice(&(addrs.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32c(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Why a DATA frame was unusable — split so the lossy degradation path can
+/// tally CRC failures separately and still account the dropped references.
+#[derive(Debug)]
+pub enum DataFrameError {
+    /// The inline header itself is truncated or inconsistent with the
+    /// message length; the claimed reference count is unknown.
+    Malformed(String),
+    /// The payload's CRC32C does not match the header.
+    Crc {
+        /// References the header claimed.
+        count: u32,
+    },
+    /// CRC matched (or the check was skipped) but the payload failed to
+    /// decode.
+    Decode {
+        /// References the header claimed.
+        count: u32,
+        /// The decoder's message.
+        detail: String,
+    },
+}
+
+impl DataFrameError {
+    /// References the frame claimed to carry (0 when unknowable).
+    pub fn count(&self) -> u64 {
+        match self {
+            DataFrameError::Malformed(_) => 0,
+            DataFrameError::Crc { count } | DataFrameError::Decode { count, .. } => {
+                u64::from(*count)
+            }
+        }
+    }
+
+    /// One-line description.
+    pub fn message(&self) -> String {
+        match self {
+            DataFrameError::Malformed(msg) => format!("malformed DATA frame: {msg}"),
+            DataFrameError::Crc { count } => {
+                format!("DATA frame CRC32C mismatch ({count} refs quarantined)")
+            }
+            DataFrameError::Decode { detail, .. } => format!("DATA frame decode failed: {detail}"),
+        }
+    }
+}
+
+/// Validate and decode one DATA payload: header shape, CRC32C over the
+/// encoded body, then the shared v2 frame decoder.
+pub fn decode_data_frame(payload: &[u8], encoding: Encoding) -> Result<Vec<Addr>, DataFrameError> {
+    if payload.len() < DATA_HEADER_LEN {
+        return Err(DataFrameError::Malformed(format!(
+            "{} bytes is shorter than the {DATA_HEADER_LEN}-byte inline header",
+            payload.len()
+        )));
+    }
+    let count = u32::from_le_bytes(payload[0..4].try_into().unwrap());
+    let len = u32::from_le_bytes(payload[4..8].try_into().unwrap());
+    let crc = u32::from_le_bytes(payload[8..12].try_into().unwrap());
+    let body = &payload[DATA_HEADER_LEN..];
+    if body.len() != len as usize {
+        return Err(DataFrameError::Malformed(format!(
+            "header claims {len} payload bytes, message carries {}",
+            body.len()
+        )));
+    }
+    if crc32c(body) != crc {
+        return Err(DataFrameError::Crc { count });
+    }
+    decode_frame_payload(body, encoding, count as usize).map_err(|e| DataFrameError::Decode {
+        count,
+        detail: e.to_string(),
+    })
+}
+
+/// Error class byte on the wire, aligned with [`PardaError::class`] plus
+/// three server-side classes that map onto the configuration exit class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorClass {
+    /// Unusable session configuration.
+    Config = 1,
+    /// Corrupt input (strict degradation).
+    Corrupt = 2,
+    /// I/O failure on the server side.
+    Io = 3,
+    /// Analysis worker panicked past its retry budget.
+    WorkerPanic = 4,
+    /// Watchdog / idle deadline expired.
+    Stall = 5,
+    /// Admission control refused the session (cap reached).
+    Admission = 6,
+    /// The session exceeded its byte budget.
+    Budget = 7,
+    /// The peer violated the message state machine.
+    Protocol = 8,
+}
+
+impl ErrorClass {
+    fn from_u8(b: u8) -> io::Result<Self> {
+        Ok(match b {
+            1 => ErrorClass::Config,
+            2 => ErrorClass::Corrupt,
+            3 => ErrorClass::Io,
+            4 => ErrorClass::WorkerPanic,
+            5 => ErrorClass::Stall,
+            6 => ErrorClass::Admission,
+            7 => ErrorClass::Budget,
+            8 => ErrorClass::Protocol,
+            other => return Err(invalid(format!("unknown error class {other}"))),
+        })
+    }
+}
+
+/// A structured server-side failure, as carried by an ERROR message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorFrame {
+    /// The failure class.
+    pub class: ErrorClass,
+    /// First detail word (worker-panic: rank; stall: rank).
+    pub a: u32,
+    /// Second detail word (worker-panic: attempts; stall: deadline ms).
+    pub b: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ErrorFrame {
+    /// A detail-free frame of the given class.
+    pub fn new(class: ErrorClass, message: impl Into<String>) -> Self {
+        Self {
+            class,
+            a: 0,
+            b: 0,
+            message: message.into(),
+        }
+    }
+
+    /// Classify a [`PardaError`] for the wire, preserving the typed details.
+    pub fn from_parda(e: &PardaError) -> Self {
+        match e {
+            PardaError::Io(inner) => Self::new(ErrorClass::Io, inner.to_string()),
+            PardaError::Corrupt(msg) => Self::new(ErrorClass::Corrupt, msg.clone()),
+            PardaError::Config(msg) => Self::new(ErrorClass::Config, msg.clone()),
+            PardaError::WorkerPanic { rank, attempts } => Self {
+                class: ErrorClass::WorkerPanic,
+                a: *rank as u32,
+                b: *attempts,
+                message: e.to_string(),
+            },
+            PardaError::Stall { rank, deadline } => Self {
+                class: ErrorClass::Stall,
+                a: *rank as u32,
+                b: u32::try_from(deadline.as_millis()).unwrap_or(u32::MAX),
+                message: e.to_string(),
+            },
+        }
+    }
+
+    /// Rehydrate the typed error on the client side. The server-only
+    /// classes (admission, budget, protocol) land in the configuration
+    /// exit class — the invocation, not the data, was unacceptable.
+    pub fn to_parda(&self) -> PardaError {
+        match self.class {
+            ErrorClass::Config => PardaError::Config(self.message.clone()),
+            ErrorClass::Corrupt => PardaError::Corrupt(self.message.clone()),
+            ErrorClass::Io => PardaError::Io(io::Error::other(self.message.clone())),
+            ErrorClass::WorkerPanic => PardaError::WorkerPanic {
+                rank: self.a as usize,
+                attempts: self.b,
+            },
+            ErrorClass::Stall => PardaError::Stall {
+                rank: self.a as usize,
+                deadline: Duration::from_millis(u64::from(self.b)),
+            },
+            ErrorClass::Admission => PardaError::Config(format!("server: {}", self.message)),
+            ErrorClass::Budget => PardaError::Config(format!("server: {}", self.message)),
+            ErrorClass::Protocol => PardaError::Config(format!("protocol: {}", self.message)),
+        }
+    }
+
+    /// Serialize for an ERROR message payload.
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(9 + self.message.len());
+        out.push(self.class as u8);
+        out.extend_from_slice(&self.a.to_le_bytes());
+        out.extend_from_slice(&self.b.to_le_bytes());
+        out.extend_from_slice(self.message.as_bytes());
+        out
+    }
+
+    /// Parse an ERROR message payload.
+    pub fn from_payload(payload: &[u8]) -> io::Result<Self> {
+        if payload.len() < 9 {
+            return Err(invalid("ERROR payload shorter than its fixed fields"));
+        }
+        let class = ErrorClass::from_u8(payload[0])?;
+        let a = u32::from_le_bytes(payload[1..5].try_into().unwrap());
+        let b = u32::from_le_bytes(payload[5..9].try_into().unwrap());
+        let message = String::from_utf8(payload[9..].to_vec())
+            .map_err(|_| invalid("ERROR message is not UTF-8"))?;
+        Ok(Self {
+            class,
+            a,
+            b,
+            message,
+        })
+    }
+}
+
+/// Serialize a histogram for a binary STATS body:
+/// `npairs u64 | (distance u64, count u64)* | infinite u64` (LE).
+pub fn encode_histogram_binary(hist: &parda_hist::ReuseHistogram) -> Vec<u8> {
+    let pairs: Vec<(u64, u64)> = hist
+        .finite_counts()
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(d, &c)| (d as u64, c))
+        .collect();
+    let mut out = Vec::with_capacity(8 + pairs.len() * 16 + 8);
+    out.extend_from_slice(&(pairs.len() as u64).to_le_bytes());
+    for (d, c) in pairs {
+        out.extend_from_slice(&d.to_le_bytes());
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    out.extend_from_slice(&hist.infinite().to_le_bytes());
+    out
+}
+
+/// Rebuild the histogram from a binary STATS body. Exact: counts only
+/// ever grow, so re-recording every non-zero bucket reproduces the
+/// original bit for bit.
+pub fn decode_histogram_binary(body: &[u8]) -> io::Result<parda_hist::ReuseHistogram> {
+    let take_u64 = |b: &[u8], at: usize| -> io::Result<u64> {
+        b.get(at..at + 8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+            .ok_or_else(|| invalid("binary histogram truncated"))
+    };
+    let npairs = take_u64(body, 0)?;
+    let expected = 8 + (npairs as usize).saturating_mul(16) + 8;
+    if body.len() != expected {
+        return Err(invalid(format!(
+            "binary histogram is {} bytes, layout requires {expected}",
+            body.len()
+        )));
+    }
+    let mut hist = parda_hist::ReuseHistogram::new();
+    let mut at = 8;
+    for _ in 0..npairs {
+        let d = take_u64(body, at)?;
+        let c = take_u64(body, at + 8)?;
+        hist.record_finite_n(d, c);
+        at += 16;
+    }
+    let inf = take_u64(body, at)?;
+    if inf > 0 {
+        hist.record_infinite_n(inf);
+    }
+    Ok(hist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn message_round_trips_through_a_byte_buffer() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, MsgKind::Hello, &hello_payload()).unwrap();
+        write_msg(&mut buf, MsgKind::Fin, &[]).unwrap();
+        let mut r = buf.as_slice();
+        let hello = read_msg(&mut r).unwrap();
+        assert_eq!(hello.kind, MsgKind::Hello);
+        check_hello(&hello.payload).unwrap();
+        let fin = read_msg(&mut r).unwrap();
+        assert_eq!(fin.kind, MsgKind::Fin);
+        assert!(fin.payload.is_empty());
+        assert!(read_msg(&mut r).is_err(), "buffer exhausted");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut buf = vec![MsgKind::Data as u8];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_msg(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn bad_hello_versions_and_magic_are_rejected() {
+        assert!(check_hello(b"PARDAWIRE\x01").is_ok());
+        assert!(check_hello(b"PARDAWIRE\x63").is_err());
+        assert!(check_hello(b"NOTPARDA!\x01").is_err());
+        assert!(check_hello(b"").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn data_frames_round_trip(
+            addrs in proptest::collection::vec(0u64..1 << 48, 0..400),
+            raw in any::<bool>(),
+        ) {
+            let encoding = if raw { Encoding::Raw } else { Encoding::DeltaVarint };
+            let frame = encode_data_frame(&addrs, encoding);
+            let back = decode_data_frame(&frame, encoding).unwrap();
+            prop_assert_eq!(back, addrs);
+        }
+
+        #[test]
+        fn flipped_byte_in_a_data_frame_is_caught(
+            addrs in proptest::collection::vec(0u64..1 << 48, 1..200),
+            flip_body in any::<bool>(),
+            bit in 0u8..8,
+        ) {
+            let frame = encode_data_frame(&addrs, Encoding::DeltaVarint);
+            let mut bad = frame.clone();
+            // Flip in the body (CRC catches it) or in the CRC field itself.
+            let at = if flip_body { DATA_HEADER_LEN } else { 8 };
+            bad[at] ^= 1 << bit;
+            prop_assert!(decode_data_frame(&bad, Encoding::DeltaVarint).is_err());
+        }
+    }
+
+    #[test]
+    fn crc_and_malformed_errors_are_distinguished() {
+        let frame = encode_data_frame(&[1, 2, 3], Encoding::Raw);
+        let mut bad = frame.clone();
+        bad[DATA_HEADER_LEN] ^= 0x40;
+        match decode_data_frame(&bad, Encoding::Raw) {
+            Err(DataFrameError::Crc { count: 3 }) => {}
+            other => panic!("expected Crc error, got {other:?}"),
+        }
+        match decode_data_frame(&frame[..6], Encoding::Raw) {
+            Err(DataFrameError::Malformed(_)) => {}
+            other => panic!("expected Malformed error, got {other:?}"),
+        }
+        // Consistent header+CRC but an undecodable payload: re-CRC a
+        // truncated raw body so only the count disagrees.
+        let mut torn = Vec::new();
+        torn.extend_from_slice(&3u32.to_le_bytes());
+        torn.extend_from_slice(&16u32.to_le_bytes());
+        torn.extend_from_slice(
+            &crc32c(&frame[DATA_HEADER_LEN..DATA_HEADER_LEN + 16]).to_le_bytes(),
+        );
+        torn.extend_from_slice(&frame[DATA_HEADER_LEN..DATA_HEADER_LEN + 16]);
+        match decode_data_frame(&torn, Encoding::Raw) {
+            Err(DataFrameError::Decode { count: 3, .. }) => {}
+            other => panic!("expected Decode error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_frames_round_trip_typed_details() {
+        let cases = [
+            PardaError::Config("bad tree".into()),
+            PardaError::Corrupt("crc mismatch".into()),
+            PardaError::Io(io::Error::other("disk on fire")),
+            PardaError::WorkerPanic {
+                rank: 3,
+                attempts: 4,
+            },
+            PardaError::Stall {
+                rank: 1,
+                deadline: Duration::from_millis(250),
+            },
+        ];
+        for e in &cases {
+            let frame = ErrorFrame::from_parda(e);
+            let back = ErrorFrame::from_payload(&frame.to_payload()).unwrap();
+            assert_eq!(back, frame);
+            let rehydrated = back.to_parda();
+            assert_eq!(rehydrated.class(), e.class(), "{e}");
+        }
+        let panic = ErrorFrame::from_parda(&cases[3]).to_parda();
+        match panic {
+            PardaError::WorkerPanic { rank, attempts } => {
+                assert_eq!((rank, attempts), (3, 4));
+            }
+            other => panic!("lost panic details: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn server_only_classes_map_to_the_config_exit_class() {
+        for class in [
+            ErrorClass::Admission,
+            ErrorClass::Budget,
+            ErrorClass::Protocol,
+        ] {
+            let e = ErrorFrame::new(class, "refused").to_parda();
+            assert_eq!(e.class(), "config");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn binary_histogram_round_trips(
+            pairs in proptest::collection::vec((0u64..10_000, 1u64..1000), 0..50),
+            inf in 0u64..1000,
+        ) {
+            let mut hist = parda_hist::ReuseHistogram::new();
+            for &(d, c) in &pairs {
+                hist.record_finite_n(d, c);
+            }
+            if inf > 0 {
+                hist.record_infinite_n(inf);
+            }
+            let back = decode_histogram_binary(&encode_histogram_binary(&hist)).unwrap();
+            prop_assert_eq!(back, hist);
+        }
+    }
+
+    #[test]
+    fn binary_histogram_rejects_truncation() {
+        let mut hist = parda_hist::ReuseHistogram::new();
+        hist.record_finite_n(5, 2);
+        hist.record_infinite_n(1);
+        let body = encode_histogram_binary(&hist);
+        assert!(decode_histogram_binary(&body[..body.len() - 1]).is_err());
+        assert!(decode_histogram_binary(&[]).is_err());
+    }
+}

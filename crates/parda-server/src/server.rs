@@ -1,0 +1,305 @@
+//! The daemon: listener, accept loop, session supervisor, shutdown.
+//!
+//! The server is plain std — no async runtime. Each accepted connection
+//! gets its own OS thread running the session state machine from
+//! [`crate::session`]; the accept loop polls a shutdown flag (settable
+//! programmatically via [`ShutdownHandle`] or by SIGINT/SIGTERM once
+//! [`install_signal_shutdown`] ran) and, on shutdown, stops accepting and
+//! *drains*: every in-flight session runs to completion and delivers its
+//! reply before [`Server::run`] returns the final [`ServerMetrics`].
+//!
+//! Supervision mirrors PR 4's worker isolation: each session thread runs
+//! under `catch_unwind`, so a panicking session (a `server::session`
+//! failpoint in tests, a bug in production) is converted into a
+//! `sessions_failed` tick and a best-effort WORKER-PANIC error frame to
+//! that client — the daemon itself never dies with a session.
+
+use crate::proto::{write_msg, ErrorClass, ErrorFrame, MsgKind};
+use crate::session::{serve_connection, Outcome};
+use parda_core::FaultPolicy;
+use parda_obs::{ServerCounters, ServerMetrics};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the accept loop sleeps when there is nothing to accept.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Admission cap: concurrent *admitted* sessions.
+    pub max_sessions: usize,
+    /// Per-session cap on received DATA payload bytes (`None`: unlimited).
+    pub max_session_bytes: Option<u64>,
+    /// Fault policy for the per-session analyses; its `degradation` is
+    /// also the default wire-corruption policy for sessions that do not
+    /// pick their own.
+    pub fault: FaultPolicy,
+    /// Socket read deadline; an idle client trips a STALL error rather
+    /// than pinning a session slot forever. `None` waits forever.
+    pub idle_timeout: Option<Duration>,
+    /// Stop after accepting this many connections (`None`: serve until
+    /// shutdown). For tests and benchmarks.
+    pub accept_limit: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            max_sessions: 8,
+            max_session_bytes: None,
+            fault: FaultPolicy::default(),
+            idle_timeout: Some(Duration::from_secs(30)),
+            accept_limit: None,
+        }
+    }
+}
+
+/// Flips the server's shutdown flag from another thread (or a signal
+/// handler's polling loop).
+#[derive(Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Request a graceful shutdown: stop accepting, drain sessions.
+    pub fn shutdown(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    cfg: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<ServerCounters>,
+    active: Arc<AtomicUsize>,
+}
+
+impl Server {
+    /// Bind the listener (the returned server is not accepting yet).
+    pub fn bind(cfg: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        Ok(Self {
+            listener,
+            cfg,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            counters: Arc::new(ServerCounters::default()),
+            active: Arc::new(AtomicUsize::new(0)),
+        })
+    }
+
+    /// The bound address — the actual port when the config asked for 0.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this server from anywhere.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shutdown))
+    }
+
+    /// Live counters (shared with every session thread).
+    pub fn counters(&self) -> Arc<ServerCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Accept and serve until shutdown, then drain and return the final
+    /// metrics snapshot.
+    pub fn run(self) -> io::Result<ServerMetrics> {
+        self.listener.set_nonblocking(true)?;
+        let mut handles: Vec<JoinHandle<()>> = Vec::new();
+        let mut next_id: u64 = 0;
+        let mut accepted: u64 = 0;
+
+        while !self.should_stop(accepted) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    accepted += 1;
+                    let id = next_id;
+                    next_id += 1;
+                    if accept_failpoint() {
+                        // Injected accept failure: the connection is
+                        // dropped on the floor, as if the OS ran out of
+                        // descriptors mid-accept.
+                        self.counters.sessions_rejected.incr();
+                        continue;
+                    }
+                    handles.push(self.spawn_session(stream, id)?);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    reap_finished(&mut handles);
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain: no new connections, but every in-flight session finishes
+        // and sends its reply.
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(self.counters.snapshot())
+    }
+
+    fn should_stop(&self, accepted: u64) -> bool {
+        if self.shutdown.load(Ordering::SeqCst) || signal::requested() {
+            return true;
+        }
+        self.cfg.accept_limit.is_some_and(|limit| accepted >= limit)
+    }
+
+    /// One thread per connection, panic-isolated: a session panic becomes
+    /// a failure metric and a best-effort error reply, never a dead daemon.
+    fn spawn_session(&self, stream: TcpStream, id: u64) -> io::Result<JoinHandle<()>> {
+        let cfg = self.cfg.clone();
+        let counters = Arc::clone(&self.counters);
+        let active = Arc::clone(&self.active);
+        // A pre-cloned handle lets the supervisor still reach the client
+        // after the session's own I/O objects unwound with the panic.
+        let rescue = stream.try_clone();
+        std::thread::Builder::new()
+            .name(format!("parda-session-{id}"))
+            .spawn(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    serve_connection(stream, id, &cfg, &counters, &active)
+                }));
+                if outcome.is_err() {
+                    counters.sessions_failed.incr();
+                    if let Ok(mut s) = rescue {
+                        let frame =
+                            ErrorFrame::new(ErrorClass::WorkerPanic, "session thread panicked");
+                        let _ = write_msg(&mut s, MsgKind::Error, &frame.to_payload());
+                        // Swallow whatever the client was still sending so
+                        // it can reach our error frame (closing with
+                        // unread data would RST the buffered reply away).
+                        let _ = s.set_read_timeout(Some(Duration::from_secs(2)));
+                        let mut sink = [0u8; 4096];
+                        while matches!(io::Read::read(&mut s, &mut sink), Ok(n) if n > 0) {}
+                    }
+                }
+                // Completed / Rejected / Failed already counted in-session.
+                let _: Result<Outcome, _> = outcome;
+            })
+    }
+}
+
+/// The `server::accept` fault-injection site, shaped so the disabled
+/// build carries no dead flag.
+fn accept_failpoint() -> bool {
+    parda_failpoint::failpoint!("server::accept", return true);
+    false
+}
+
+fn reap_finished(handles: &mut Vec<JoinHandle<()>>) {
+    let mut i = 0;
+    while i < handles.len() {
+        if handles[i].is_finished() {
+            let _ = handles.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Process-wide SIGINT/SIGTERM latch, polled by the accept loop.
+mod signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub(super) static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    pub(super) fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+
+    #[cfg(unix)]
+    pub(super) mod unix {
+        use super::REQUESTED;
+        use std::sync::atomic::Ordering;
+
+        // Raw libc signal(2) binding: the container has no signal crate
+        // and the need — latch one flag — does not justify one. The
+        // handler only performs the async-signal-safe atomic store.
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+
+        extern "C" fn on_signal(_signum: i32) {
+            REQUESTED.store(true, Ordering::SeqCst);
+        }
+
+        pub fn install() {
+            unsafe {
+                signal(SIGINT, on_signal as *const () as usize);
+                signal(SIGTERM, on_signal as *const () as usize);
+            }
+        }
+    }
+}
+
+/// Route SIGINT and SIGTERM into a graceful drain of every running
+/// [`Server`] in this process (they all poll the same latch). No-op on
+/// non-unix targets.
+pub fn install_signal_shutdown() {
+    #[cfg(unix)]
+    signal::unix::install();
+}
+
+/// Set the shutdown latch programmatically, exactly as a signal would —
+/// lets tests exercise the drain path without raising a real signal.
+pub fn request_shutdown() {
+    signal::REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Clear the process-wide latch (tests that start several servers).
+pub fn reset_shutdown_latch() {
+    signal::REQUESTED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_reports_the_ephemeral_port() {
+        let server = Server::bind(ServerConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        assert_ne!(addr.port(), 0);
+    }
+
+    #[test]
+    fn shutdown_handle_stops_an_idle_server() {
+        let server = Server::bind(ServerConfig::default()).unwrap();
+        let handle = server.shutdown_handle();
+        let t = std::thread::spawn(move || server.run().unwrap());
+        std::thread::sleep(Duration::from_millis(30));
+        handle.shutdown();
+        let metrics = t.join().unwrap();
+        assert_eq!(metrics, ServerMetrics::default());
+    }
+
+    #[test]
+    fn accept_limit_bounds_the_run() {
+        let server = Server::bind(ServerConfig {
+            accept_limit: Some(0),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let metrics = server.run().unwrap();
+        assert_eq!(metrics.sessions_opened, 0);
+    }
+}

@@ -1,0 +1,603 @@
+//! One client session: handshake, admission, DATA ingest, analysis, reply.
+//!
+//! The session state machine is strict — HELLO, CONFIG, then DATA frames
+//! until FIN — and every departure from it, every integrity violation, and
+//! every analysis fault is converted into one typed ERROR frame before the
+//! connection closes, so the client always learns *why* (and maps it onto
+//! the CLI's exit-code classes).
+//!
+//! Two engines are offered per session:
+//!
+//! * `engine=phased` (default): frames are decoded as they arrive and fed
+//!   through a bounded [`mod@parda_comm::pipe`] into the streaming multi-phase
+//!   analyzer running concurrently — bounded memory regardless of trace
+//!   length, with the pipe's back-pressure stalling the socket reads (and
+//!   eventually the client, via TCP flow control) when analysis falls
+//!   behind.
+//! * `engine=threads`: references are collected and analyzed at FIN by the
+//!   panic-isolated parallel driver ([`parda_core::Analysis::run_faulted`])
+//!   — rank panics are rescued by the scalar engine under the server's
+//!   [`parda_core::FaultPolicy`], bit-identical histogram on success.
+
+use crate::proto::{
+    decode_data_frame, encode_histogram_binary, read_msg, write_msg, DataFrameError, ErrorClass,
+    ErrorFrame, MsgKind, STATS_FORMAT_BINARY, STATS_FORMAT_JSON,
+};
+use crate::server::ServerConfig;
+use parda_comm::pipe;
+use parda_core::phased::Reduction;
+use parda_core::{Analysis, Mode, PardaError};
+use parda_hist::ReuseHistogram;
+use parda_obs::{RecoveryMetrics, Report, ServerCounters};
+use parda_trace::io::Encoding;
+use parda_trace::{Addr, Degradation};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Pipe capacity (in addresses) between the ingest loop and the streaming
+/// analyzer — the bounded-queue back-pressure from `parda-comm`.
+const PIPE_CAPACITY_WORDS: usize = 1 << 16;
+
+/// Which analyzer a session runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionEngine {
+    /// Streaming multi-phase analysis, concurrent with ingest.
+    Phased {
+        /// References per rank per phase (`C`).
+        chunk: usize,
+    },
+    /// Collect, then run the panic-isolated parallel driver at FIN.
+    Threads,
+}
+
+/// How the STATS reply is encoded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplyFormat {
+    /// One JSON document `{"histogram":…,"stats":…}` — byte-identical to
+    /// the CLI's `--stats=json` output for the same analysis.
+    Json,
+    /// Compact binary histogram (no stats report).
+    Binary,
+}
+
+/// Per-session settings parsed from the CONFIG message.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Tree substrate for the analysis.
+    pub tree: parda_tree::TreeKind,
+    /// Rank count (`None`: hardware parallelism).
+    pub ranks: Option<usize>,
+    /// Cache bound `B`.
+    pub bound: Option<u64>,
+    /// The analyzer to run.
+    pub engine: SessionEngine,
+    /// Frame payload encoding the client will send.
+    pub encoding: Encoding,
+    /// Corruption policy for DATA frames (defaults to the server's).
+    pub degradation: Degradation,
+    /// Reply encoding.
+    pub reply: ReplyFormat,
+}
+
+impl SessionConfig {
+    /// Parse `key=value` lines, starting from the server's default
+    /// degradation. Unknown keys are configuration errors — a client
+    /// asking for something this server cannot honour must hear about it.
+    pub fn parse(text: &str, default_degradation: Degradation) -> Result<Self, String> {
+        let mut cfg = Self {
+            tree: parda_tree::TreeKind::Splay,
+            ranks: None,
+            bound: None,
+            engine: SessionEngine::Phased { chunk: 65_536 },
+            encoding: Encoding::DeltaVarint,
+            degradation: default_degradation,
+            reply: ReplyFormat::Binary,
+        };
+        let mut chunk: Option<usize> = None;
+        let mut engine_name: Option<String> = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("config line `{line}` is not key=value"))?;
+            let bad = |e: &dyn std::fmt::Display| format!("config {key}={value}: {e}");
+            match key {
+                "tree" => cfg.tree = value.parse().map_err(|e: String| bad(&e))?,
+                "ranks" => cfg.ranks = Some(value.parse().map_err(|e| bad(&e))?),
+                "bound" => cfg.bound = Some(value.parse().map_err(|e| bad(&e))?),
+                "chunk" => chunk = Some(value.parse().map_err(|e| bad(&e))?),
+                "engine" => engine_name = Some(value.to_string()),
+                "degradation" => {
+                    cfg.degradation = value.parse().map_err(|e: String| bad(&e))?;
+                }
+                "encoding" => {
+                    cfg.encoding = match value {
+                        "raw" => Encoding::Raw,
+                        "delta" => Encoding::DeltaVarint,
+                        other => return Err(format!("unknown encoding `{other}` (raw|delta)")),
+                    }
+                }
+                "reply" => {
+                    cfg.reply = match value {
+                        "json" => ReplyFormat::Json,
+                        "binary" => ReplyFormat::Binary,
+                        other => {
+                            return Err(format!("unknown reply format `{other}` (json|binary)"))
+                        }
+                    }
+                }
+                other => return Err(format!("unknown config key `{other}`")),
+            }
+        }
+        cfg.engine = match engine_name.as_deref() {
+            None | Some("phased") => SessionEngine::Phased {
+                chunk: chunk.unwrap_or(65_536),
+            },
+            Some("threads") => SessionEngine::Threads,
+            Some(other) => return Err(format!("unknown engine `{other}` (phased|threads)")),
+        };
+        Ok(cfg)
+    }
+
+    fn builder(&self, policy: parda_core::FaultPolicy) -> Analysis {
+        let mut b = Analysis::new()
+            .tree(self.tree)
+            .bound(self.bound)
+            .stats(true)
+            .fault_policy(policy);
+        if let Some(ranks) = self.ranks {
+            b = b.ranks(ranks);
+        }
+        b
+    }
+}
+
+/// How a connection ended, for the supervisor's metrics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Outcome {
+    /// STATS was delivered.
+    Completed,
+    /// The handshake was refused (bad HELLO/CONFIG or admission).
+    Rejected,
+    /// An admitted session failed.
+    Failed,
+}
+
+/// A classified session failure plus the wire frame describing it.
+struct SessionError(ErrorFrame);
+
+impl SessionError {
+    fn new(class: ErrorClass, message: impl Into<String>) -> Self {
+        Self(ErrorFrame::new(class, message))
+    }
+
+    fn from_parda(e: &PardaError) -> Self {
+        Self(ErrorFrame::from_parda(e))
+    }
+
+    /// Classify a transport-level read failure: a timed-out read is the
+    /// session watchdog firing (stall), EOF/garbage is a protocol breach.
+    fn from_read(e: std::io::Error, idle: Option<std::time::Duration>) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => Self(ErrorFrame {
+                class: ErrorClass::Stall,
+                a: 0,
+                b: idle
+                    .map(|d| u32::try_from(d.as_millis()).unwrap_or(u32::MAX))
+                    .unwrap_or(0),
+                message: "session idle past the read deadline".into(),
+            }),
+            std::io::ErrorKind::UnexpectedEof => {
+                Self::new(ErrorClass::Protocol, "connection closed mid-session")
+            }
+            std::io::ErrorKind::InvalidData => Self::new(ErrorClass::Protocol, e.to_string()),
+            _ => Self(ErrorFrame::new(ErrorClass::Io, e.to_string())),
+        }
+    }
+}
+
+/// Decrements the active-session count when the session ends (normally or
+/// by unwind — the supervisor's `catch_unwind` runs this drop either way).
+struct AdmissionGuard {
+    active: Arc<AtomicUsize>,
+}
+
+impl Drop for AdmissionGuard {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn try_admit(active: &Arc<AtomicUsize>, max: usize) -> Option<AdmissionGuard> {
+    let mut cur = active.load(Ordering::SeqCst);
+    loop {
+        if cur >= max {
+            return None;
+        }
+        match active.compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => {
+                return Some(AdmissionGuard {
+                    active: Arc::clone(active),
+                })
+            }
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// Mutable ingest state threaded through the DATA loop.
+struct Ingest<'a> {
+    cfg: &'a SessionConfig,
+    counters: &'a ServerCounters,
+    budget: Option<u64>,
+    bytes_in: u64,
+    frame_seq: u64,
+    recovery: RecoveryMetrics,
+}
+
+impl Ingest<'_> {
+    /// Decode one DATA payload under the session's degradation policy.
+    /// `Ok(addrs)` may be empty when a lossy policy quarantined the frame.
+    fn frame(&mut self, payload: &[u8]) -> Result<Vec<Addr>, SessionError> {
+        self.frame_seq += 1;
+        self.bytes_in += payload.len() as u64;
+        if let Some(budget) = self.budget {
+            if self.bytes_in > budget {
+                return Err(SessionError::new(
+                    ErrorClass::Budget,
+                    format!("session exceeded its {budget}-byte budget"),
+                ));
+            }
+        }
+        self.counters.frames_in.incr();
+        self.counters.bytes_in.add(payload.len() as u64);
+        let decoded = decode_data_frame(payload, self.cfg.encoding);
+        parda_failpoint::failpoint!("server::decode", {
+            return self.quarantine(DataFrameError::Decode {
+                count: 0,
+                detail: "injected server decode failure".into(),
+            });
+        });
+        match decoded {
+            Ok(addrs) => {
+                self.counters.refs_in.add(addrs.len() as u64);
+                Ok(addrs)
+            }
+            Err(e) => self.quarantine(e),
+        }
+    }
+
+    /// Strict: fail the session. Lossy: tally the quarantined frame
+    /// (mirroring `FramedStream`'s per-frame recovery) and carry on.
+    fn quarantine(&mut self, e: DataFrameError) -> Result<Vec<Addr>, SessionError> {
+        if !self.cfg.degradation.is_lossy() {
+            return Err(SessionError::from_parda(&PardaError::Corrupt(e.message())));
+        }
+        if matches!(e, DataFrameError::Crc { .. }) {
+            self.recovery.crc_failures += 1;
+        }
+        self.recovery.skip_frame(self.frame_seq - 1, e.count());
+        self.counters.frames_quarantined.incr();
+        Ok(Vec::new())
+    }
+}
+
+/// Drive one accepted connection through the whole session protocol.
+/// Every counter update and reply happens in here; the return value only
+/// tells the supervisor how to account the connection.
+pub(crate) fn serve_connection(
+    stream: TcpStream,
+    id: u64,
+    scfg: &ServerConfig,
+    counters: &Arc<ServerCounters>,
+    active: &Arc<AtomicUsize>,
+) -> Outcome {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(scfg.idle_timeout);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return Outcome::Failed,
+    });
+    let mut writer = BufWriter::new(stream);
+
+    // Handshake: HELLO then CONFIG, refused before admission is consumed.
+    let session_cfg = match handshake(&mut reader, scfg) {
+        Ok(cfg) => cfg,
+        Err(err) => {
+            counters.sessions_rejected.incr();
+            send_error(&mut writer, &err);
+            drain(&mut reader);
+            return Outcome::Rejected;
+        }
+    };
+
+    // Admission control: the session cap is enforced after a valid
+    // handshake so the refusal is a structured protocol error, not a
+    // dropped connection.
+    let Some(_guard) = try_admit(active, scfg.max_sessions) else {
+        counters.sessions_rejected.incr();
+        send_error(
+            &mut writer,
+            &SessionError::new(
+                ErrorClass::Admission,
+                format!(
+                    "admission rejected: {} sessions active (max {})",
+                    scfg.max_sessions, scfg.max_sessions
+                ),
+            ),
+        );
+        drain(&mut reader);
+        return Outcome::Rejected;
+    };
+    counters.sessions_opened.incr();
+    if write_msg(&mut writer, MsgKind::Accept, &id.to_le_bytes())
+        .and_then(|()| writer.flush())
+        .is_err()
+    {
+        counters.sessions_failed.incr();
+        return Outcome::Failed;
+    }
+    parda_failpoint::failpoint!("server::session");
+
+    match run_admitted(&mut reader, &mut writer, &session_cfg, scfg, counters) {
+        Ok(()) => {
+            counters.sessions_completed.incr();
+            Outcome::Completed
+        }
+        Err(err) => {
+            counters.sessions_failed.incr();
+            send_error(&mut writer, &err);
+            drain(&mut reader);
+            Outcome::Failed
+        }
+    }
+}
+
+fn handshake(reader: &mut impl Read, scfg: &ServerConfig) -> Result<SessionConfig, SessionError> {
+    let idle = scfg.idle_timeout;
+    let hello = read_msg(reader).map_err(|e| SessionError::from_read(e, idle))?;
+    if hello.kind != MsgKind::Hello {
+        return Err(SessionError::new(
+            ErrorClass::Protocol,
+            format!("expected HELLO, got {:?}", hello.kind),
+        ));
+    }
+    crate::proto::check_hello(&hello.payload)
+        .map_err(|e| SessionError::new(ErrorClass::Protocol, e))?;
+    let config = read_msg(reader).map_err(|e| SessionError::from_read(e, idle))?;
+    if config.kind != MsgKind::Config {
+        return Err(SessionError::new(
+            ErrorClass::Protocol,
+            format!("expected CONFIG, got {:?}", config.kind),
+        ));
+    }
+    let text = std::str::from_utf8(&config.payload)
+        .map_err(|_| SessionError::new(ErrorClass::Protocol, "CONFIG is not UTF-8"))?;
+    SessionConfig::parse(text, scfg.fault.degradation)
+        .map_err(|e| SessionError::new(ErrorClass::Config, e))
+}
+
+/// The admitted phase: ingest DATA until FIN, run the analysis, reply.
+fn run_admitted(
+    reader: &mut impl Read,
+    writer: &mut impl Write,
+    cfg: &SessionConfig,
+    scfg: &ServerConfig,
+    counters: &Arc<ServerCounters>,
+) -> Result<(), SessionError> {
+    let mut ingest = Ingest {
+        cfg,
+        counters: counters.as_ref(),
+        budget: scfg.max_session_bytes,
+        bytes_in: 0,
+        frame_seq: 0,
+        recovery: RecoveryMetrics::default(),
+    };
+    let policy = parda_core::FaultPolicy {
+        degradation: cfg.degradation,
+        ..scfg.fault.clone()
+    };
+
+    let (hist, mut report) = match cfg.engine {
+        SessionEngine::Threads => {
+            let mut refs: Vec<Addr> = Vec::new();
+            ingest_loop(reader, scfg, &mut ingest, |addrs| {
+                refs.extend_from_slice(addrs);
+                true
+            })?;
+            let builder = cfg.builder(policy).mode(Mode::Threads);
+            builder
+                .run_faulted(&refs)
+                .map_err(|e| SessionError::from_parda(&e))?
+        }
+        SessionEngine::Phased { chunk } => {
+            let builder = cfg.builder(policy).mode(Mode::Phased {
+                chunk,
+                reduction: Reduction::ShipToRankZero,
+            });
+            let (mut tx, rx) = pipe(PIPE_CAPACITY_WORDS, parda_comm::pipe::DEFAULT_BATCH);
+            let analysis = std::thread::Builder::new()
+                .name("parda-session-analysis".into())
+                .spawn(move || catch_unwind(AssertUnwindSafe(move || builder.run_stream(rx))))
+                .map_err(|e| SessionError::new(ErrorClass::Io, e.to_string()))?;
+            let ingested = ingest_loop(reader, scfg, &mut ingest, |addrs| {
+                tx.write_all(addrs);
+                !tx.is_closed()
+            });
+            drop(tx);
+            let joined = analysis.join().unwrap_or_else(Err).map_err(|_| {
+                SessionError(ErrorFrame {
+                    class: ErrorClass::WorkerPanic,
+                    a: 0,
+                    b: 1,
+                    message: "streaming analysis panicked".into(),
+                })
+            });
+            // An ingest error trumps a (secondary) analysis teardown error.
+            ingested?;
+            joined?
+        }
+    };
+
+    let mut report = report.take().expect("stats were requested");
+    attach_recovery(&mut report, ingest.recovery);
+    send_stats(writer, cfg, &hist, &report)
+}
+
+/// Read DATA messages until FIN, handing decoded frames to `sink`. A
+/// `false` from the sink means the downstream analyzer is gone — stop
+/// reading and let the caller surface its fate.
+fn ingest_loop(
+    reader: &mut impl Read,
+    scfg: &ServerConfig,
+    ingest: &mut Ingest<'_>,
+    mut sink: impl FnMut(&[Addr]) -> bool,
+) -> Result<(), SessionError> {
+    loop {
+        let msg = read_msg(reader).map_err(|e| SessionError::from_read(e, scfg.idle_timeout))?;
+        match msg.kind {
+            MsgKind::Data => {
+                let addrs = ingest.frame(&msg.payload)?;
+                if !sink(&addrs) {
+                    return Ok(());
+                }
+            }
+            MsgKind::Fin => return Ok(()),
+            other => {
+                return Err(SessionError::new(
+                    ErrorClass::Protocol,
+                    format!("expected DATA or FIN, got {other:?}"),
+                ))
+            }
+        }
+    }
+}
+
+/// Fold the wire-level recovery tally into the analysis report.
+fn attach_recovery(report: &mut Report, wire: RecoveryMetrics) {
+    if wire.is_clean() && report.recovery.is_some() {
+        return;
+    }
+    match report.recovery.as_mut() {
+        Some(existing) => existing.merge(&wire),
+        None => report.recovery = Some(wire),
+    }
+}
+
+fn send_stats(
+    writer: &mut impl Write,
+    cfg: &SessionConfig,
+    hist: &ReuseHistogram,
+    report: &Report,
+) -> Result<(), SessionError> {
+    let io_fail = |e: &dyn std::fmt::Display| SessionError::new(ErrorClass::Io, e.to_string());
+    let mut payload;
+    match cfg.reply {
+        ReplyFormat::Json => {
+            let hist_json = serde_json::to_string(hist).map_err(|e| io_fail(&e))?;
+            let report_json = serde_json::to_string(report).map_err(|e| io_fail(&e))?;
+            payload = vec![STATS_FORMAT_JSON];
+            payload.extend_from_slice(
+                format!("{{\"histogram\":{hist_json},\"stats\":{report_json}}}").as_bytes(),
+            );
+        }
+        ReplyFormat::Binary => {
+            payload = vec![STATS_FORMAT_BINARY];
+            payload.extend_from_slice(&encode_histogram_binary(hist));
+        }
+    }
+    write_msg(writer, MsgKind::Stats, &payload)
+        .and_then(|()| writer.flush())
+        .map_err(|e| io_fail(&e))
+}
+
+/// Best-effort error reply; the connection is closing either way.
+fn send_error(writer: &mut impl Write, err: &SessionError) {
+    let _ = write_msg(writer, MsgKind::Error, &err.0.to_payload());
+    let _ = writer.flush();
+}
+
+/// After a fatal reply, read and discard whatever the client was still
+/// sending so it reaches our ERROR frame instead of a TCP reset. Bounded
+/// by a message cap and the socket read timeout.
+fn drain(reader: &mut impl Read) {
+    for _ in 0..4096 {
+        match read_msg(reader) {
+            Ok(msg) if msg.kind == MsgKind::Fin => return,
+            Ok(_) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_config_defaults_and_overrides() {
+        let cfg = SessionConfig::parse("", Degradation::Strict).unwrap();
+        assert_eq!(cfg.engine, SessionEngine::Phased { chunk: 65_536 });
+        assert_eq!(cfg.encoding, Encoding::DeltaVarint);
+        assert_eq!(cfg.degradation, Degradation::Strict);
+        assert_eq!(cfg.reply, ReplyFormat::Binary);
+        assert_eq!(cfg.ranks, None);
+
+        let cfg = SessionConfig::parse(
+            "tree=avl\nranks=3\nbound=512\nengine=threads\nencoding=raw\n\
+             degradation=best-effort\nreply=json\n",
+            Degradation::Strict,
+        )
+        .unwrap();
+        assert_eq!(cfg.tree, parda_tree::TreeKind::Avl);
+        assert_eq!(cfg.ranks, Some(3));
+        assert_eq!(cfg.bound, Some(512));
+        assert_eq!(cfg.engine, SessionEngine::Threads);
+        assert_eq!(cfg.encoding, Encoding::Raw);
+        assert_eq!(cfg.degradation, Degradation::BestEffort);
+        assert_eq!(cfg.reply, ReplyFormat::Json);
+    }
+
+    #[test]
+    fn session_config_inherits_server_degradation() {
+        let cfg =
+            SessionConfig::parse("engine=phased\nchunk=1000", Degradation::BestEffort).unwrap();
+        assert_eq!(cfg.degradation, Degradation::BestEffort);
+        assert_eq!(cfg.engine, SessionEngine::Phased { chunk: 1000 });
+    }
+
+    #[test]
+    fn session_config_rejects_unknown_keys_and_values() {
+        for bad in [
+            "warp=9",
+            "engine=warp",
+            "tree=oak",
+            "ranks=minus-two",
+            "reply=yaml",
+            "encoding=utf8",
+            "degradation=yolo",
+            "not-a-pair",
+        ] {
+            assert!(
+                SessionConfig::parse(bad, Degradation::Strict).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn admission_cas_caps_and_guard_releases() {
+        let active = Arc::new(AtomicUsize::new(0));
+        let a = try_admit(&active, 2).expect("first");
+        let _b = try_admit(&active, 2).expect("second");
+        assert!(try_admit(&active, 2).is_none(), "cap reached");
+        drop(a);
+        assert!(try_admit(&active, 2).is_some(), "slot released");
+    }
+}

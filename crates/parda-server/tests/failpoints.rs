@@ -1,0 +1,219 @@
+//! Fault-injection suite for the daemon (`--features failpoints`).
+//!
+//! Exercises the server-specific sites (`server::accept`,
+//! `server::session`, `server::decode`) plus the engine site
+//! (`parallel::worker`) as hit *through* a live session, proving the
+//! PR 4 isolation machinery composes with the network layer: a panicking
+//! analysis rank is rescued bit-identically, a panicking session thread
+//! is reported to its client without touching the daemon, and an
+//! injected decode failure rides the same quarantine path as real wire
+//! corruption.
+
+#![cfg(feature = "failpoints")]
+
+use parda_core::Analysis;
+use parda_hist::ReuseHistogram;
+use parda_server::proto::{
+    encode_data_frame, hello_payload, read_msg, write_msg, ErrorClass, ErrorFrame, MsgKind,
+    STATS_FORMAT_BINARY,
+};
+use parda_server::{submit, ReplyFormat, Server, ServerConfig, SubmitOptions};
+use parda_trace::io::Encoding;
+use parda_trace::Addr;
+use std::net::TcpStream;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// The failpoint registry is process-global; serialise every test.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    let g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    parda_failpoint::clear();
+    g
+}
+
+fn start_server() -> (
+    String,
+    parda_server::ShutdownHandle,
+    std::thread::JoinHandle<parda_obs::ServerMetrics>,
+) {
+    let server = Server::bind(ServerConfig {
+        idle_timeout: Some(Duration::from_secs(10)),
+        ..ServerConfig::default()
+    })
+    .expect("bind failpoint test server");
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    (addr, handle, join)
+}
+
+fn sample_trace(n: u64) -> Vec<Addr> {
+    (0..n).map(|i| (i * 7919) % 1024).collect()
+}
+
+fn offline(trace: &[Addr]) -> ReuseHistogram {
+    Analysis::new().ranks(4).run(trace).0
+}
+
+#[test]
+fn worker_panic_inside_a_session_is_rescued_bit_identically() {
+    let _g = exclusive();
+    let (addr, stop, join) = start_server();
+    let trace = sample_trace(6000);
+
+    parda_failpoint::configure("parallel::worker", "1*panic").unwrap();
+    let reply = submit(
+        &addr,
+        &trace,
+        &SubmitOptions {
+            config: vec![
+                ("engine".into(), "threads".into()),
+                ("ranks".into(), "4".into()),
+            ],
+            reply: ReplyFormat::Json,
+            ..SubmitOptions::default()
+        },
+    )
+    .unwrap();
+    parda_failpoint::clear();
+
+    assert_eq!(reply.histogram, offline(&trace), "rescue must be exact");
+    let doc: serde::Value = serde_json::from_str(reply.stats_json.as_deref().unwrap()).unwrap();
+    let recovery = doc.field("stats").unwrap().field("recovery").unwrap();
+    let rescues =
+        <u64 as serde::Deserialize>::from_value(recovery.field("rank_rescues").unwrap()).unwrap();
+    assert_eq!(rescues, 1, "one rank rescued by the scalar engine");
+
+    stop.shutdown();
+    let metrics = join.join().unwrap();
+    assert_eq!(metrics.sessions_completed, 1);
+    assert_eq!(metrics.sessions_failed, 0);
+}
+
+#[test]
+fn session_thread_panic_is_reported_to_the_client_and_contained() {
+    let _g = exclusive();
+    let (addr, stop, join) = start_server();
+
+    parda_failpoint::configure("server::session", "1*panic").unwrap();
+    let err = submit(&addr, &sample_trace(100), &SubmitOptions::default()).unwrap_err();
+    assert_eq!(err.class(), "worker-panic", "got: {err}");
+    parda_failpoint::clear();
+
+    // The daemon survived the panicking session and keeps serving.
+    let trace = sample_trace(2000);
+    let reply = submit(&addr, &trace, &SubmitOptions::default()).unwrap();
+    assert_eq!(reply.histogram, offline(&trace));
+
+    stop.shutdown();
+    let metrics = join.join().unwrap();
+    assert_eq!(metrics.sessions_failed, 1);
+    assert_eq!(metrics.sessions_completed, 1);
+}
+
+#[test]
+fn injected_accept_failure_drops_one_connection_not_the_daemon() {
+    let _g = exclusive();
+    let (addr, stop, join) = start_server();
+
+    parda_failpoint::configure("server::accept", "1*error").unwrap();
+    let dropped = submit(&addr, &sample_trace(50), &SubmitOptions::default());
+    assert!(dropped.is_err(), "refused connection must surface an error");
+    parda_failpoint::clear();
+
+    let trace = sample_trace(1500);
+    let reply = submit(&addr, &trace, &SubmitOptions::default()).unwrap();
+    assert_eq!(reply.histogram, offline(&trace));
+
+    stop.shutdown();
+    let metrics = join.join().unwrap();
+    assert_eq!(metrics.sessions_rejected, 1);
+    assert_eq!(metrics.sessions_completed, 1);
+}
+
+#[test]
+fn injected_decode_failure_rides_the_quarantine_path() {
+    let _g = exclusive();
+    let (addr, stop, join) = start_server();
+    let first = sample_trace(500);
+    let second: Vec<Addr> = sample_trace(500).iter().map(|a| a + 4096).collect();
+
+    // Best-effort session: the injected decode failure on the first DATA
+    // frame is quarantined exactly like wire corruption would be.
+    parda_failpoint::configure("server::decode", "1*error").unwrap();
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    write_msg(&mut stream, MsgKind::Hello, &hello_payload()).unwrap();
+    write_msg(
+        &mut stream,
+        MsgKind::Config,
+        b"degradation=best-effort\nreply=binary\nencoding=raw\n",
+    )
+    .unwrap();
+    let accept = read_msg(&mut stream).unwrap();
+    assert_eq!(accept.kind, MsgKind::Accept);
+    write_msg(
+        &mut stream,
+        MsgKind::Data,
+        &encode_data_frame(&first, Encoding::Raw),
+    )
+    .unwrap();
+    write_msg(
+        &mut stream,
+        MsgKind::Data,
+        &encode_data_frame(&second, Encoding::Raw),
+    )
+    .unwrap();
+    write_msg(&mut stream, MsgKind::Fin, &[]).unwrap();
+    let stats = read_msg(&mut stream).unwrap();
+    parda_failpoint::clear();
+
+    assert_eq!(stats.kind, MsgKind::Stats);
+    assert_eq!(stats.payload[0], STATS_FORMAT_BINARY);
+    let hist = parda_server::proto::decode_histogram_binary(&stats.payload[1..]).unwrap();
+    assert_eq!(
+        hist,
+        offline(&second),
+        "only the surviving frame is analyzed"
+    );
+
+    stop.shutdown();
+    let metrics = join.join().unwrap();
+    assert_eq!(metrics.frames_quarantined, 1);
+    assert_eq!(metrics.sessions_completed, 1);
+}
+
+#[test]
+fn injected_decode_failure_under_strict_is_a_corrupt_error() {
+    let _g = exclusive();
+    let (addr, stop, join) = start_server();
+
+    parda_failpoint::configure("server::decode", "1*error").unwrap();
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    write_msg(&mut stream, MsgKind::Hello, &hello_payload()).unwrap();
+    write_msg(
+        &mut stream,
+        MsgKind::Config,
+        b"reply=binary\nencoding=raw\n",
+    )
+    .unwrap();
+    let accept = read_msg(&mut stream).unwrap();
+    assert_eq!(accept.kind, MsgKind::Accept);
+    write_msg(
+        &mut stream,
+        MsgKind::Data,
+        &encode_data_frame(&sample_trace(100), Encoding::Raw),
+    )
+    .unwrap();
+    let msg = read_msg(&mut stream).unwrap();
+    parda_failpoint::clear();
+
+    assert_eq!(msg.kind, MsgKind::Error);
+    let frame = ErrorFrame::from_payload(&msg.payload).unwrap();
+    assert_eq!(frame.class, ErrorClass::Corrupt);
+
+    stop.shutdown();
+    let metrics = join.join().unwrap();
+    assert_eq!(metrics.sessions_failed, 1);
+}

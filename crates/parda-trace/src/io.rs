@@ -283,6 +283,41 @@ pub(crate) fn decode_frame_into(
     Ok(())
 }
 
+/// Encode one frame's payload bytes exactly as [`write_trace_v2_framed`]
+/// would lay them out inside the file (delta baseline reset per frame).
+///
+/// Public so other transports — the `parda-server` wire protocol — can
+/// carry v2 frames verbatim and share this module's decoder and CRC
+/// handling.
+pub fn encode_frame_payload(addrs: &[Addr], encoding: Encoding) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_frame(addrs, encoding, &mut out);
+    out
+}
+
+/// Decode one frame's payload of exactly `count` references (the count a
+/// v2 inline frame header or footer index entry advertises).
+///
+/// `count` is validated against the payload size before any allocation:
+/// raw frames are exactly 8 bytes per reference, delta-varint frames at
+/// least 1 — so a lying header cannot force an oversized allocation.
+pub fn decode_frame_payload(
+    payload: &[u8],
+    encoding: Encoding,
+    count: usize,
+) -> io::Result<Vec<Addr>> {
+    let plausible = match encoding {
+        Encoding::Raw => count.checked_mul(8) == Some(payload.len()),
+        Encoding::DeltaVarint => count <= payload.len(),
+    };
+    if !plausible {
+        return Err(invalid("frame count does not fit its payload"));
+    }
+    let mut out = vec![0 as Addr; count];
+    decode_frame_into(payload, encoding, &mut out)?;
+    Ok(out)
+}
+
 /// Location and size of one v2 frame, as recorded in the footer index.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) struct FrameIndexEntry {
@@ -850,6 +885,30 @@ pub fn load_trace<P: AsRef<Path>>(path: P) -> io::Result<Trace> {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn frame_payload_round_trips(
+            addrs in proptest::collection::vec(0u64..1 << 40, 0..300),
+            raw in any::<bool>(),
+        ) {
+            let encoding = if raw { Encoding::Raw } else { Encoding::DeltaVarint };
+            let payload = encode_frame_payload(&addrs, encoding);
+            let back = decode_frame_payload(&payload, encoding, addrs.len()).unwrap();
+            prop_assert_eq!(back, addrs);
+        }
+    }
+
+    #[test]
+    fn frame_payload_rejects_implausible_counts() {
+        let payload = encode_frame_payload(&[1, 2, 3], Encoding::Raw);
+        assert!(decode_frame_payload(&payload, Encoding::Raw, 4).is_err());
+        assert!(decode_frame_payload(&payload, Encoding::Raw, usize::MAX / 4).is_err());
+        // Delta: each reference costs at least one byte, so a count far
+        // beyond the payload length must be rejected before allocating.
+        let payload = encode_frame_payload(&[1, 2, 3], Encoding::DeltaVarint);
+        assert!(decode_frame_payload(&payload, Encoding::DeltaVarint, payload.len() + 1).is_err());
+    }
 
     fn round_trip(trace: &Trace, encoding: Encoding) -> Trace {
         let mut buf = Vec::new();
