@@ -46,11 +46,24 @@ cargo test -p parda-server --features failpoints -q
 step "cargo bench --no-run (benches must compile)"
 cargo bench --workspace --no-run --quiet
 
-step "hotpath smoke (1M refs, JSON report must be valid)"
+step "hotpath perf smoke (1M refs; threads8/seq must hold the committed floors)"
 hotpath_out=$(mktemp)
 cargo run -q --release -p parda-bench --bin hotpath -- \
-    --refs 1000000 --footprint 100000 --runs 1 --out "$hotpath_out" > /dev/null
-python3 -m json.tool < "$hotpath_out" > /dev/null
+    --refs 1000000 --footprint 100000 --runs 2 --out "$hotpath_out" > /dev/null
+python3 - "$hotpath_out" BENCH_hotpath_floor.json <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+floors = json.load(open(sys.argv[2]))["floors"]
+measured = {s["tree"]: s["threads8_over_seq"] for s in report["speedups"]}
+failed = False
+for tree, floor in floors.items():
+    ratio = measured[tree]
+    ok = ratio >= floor
+    print(f"  {tree}: threads8/seq {ratio:.2f}x (floor {floor:.2f}x)"
+          f" {'ok' if ok else 'REGRESSED'}")
+    failed |= not ok
+sys.exit(1 if failed else 0)
+EOF
 rm -f "$hotpath_out"
 
 step "--stats=json smoke (analyze a v2 trace, output must be valid JSON)"

@@ -25,6 +25,13 @@ struct Row {
     secs: f64,
 }
 
+/// Parallel speedup over the sequential batched engine for one tree.
+#[derive(Serialize)]
+struct Speedup {
+    tree: &'static str,
+    threads8_over_seq: f64,
+}
+
 /// The whole report (`BENCH_hotpath.json`).
 #[derive(Serialize)]
 struct HotpathReport {
@@ -35,6 +42,7 @@ struct HotpathReport {
     seed: u64,
     runs_per_config: u32,
     results: Vec<Row>,
+    speedups: Vec<Speedup>,
 }
 
 fn best_of<R>(runs: u32, mut f: impl FnMut() -> R) -> f64 {
@@ -64,21 +72,32 @@ fn main() {
     let seed: u64 = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
     let runs: u32 = get("--runs").and_then(|v| v.parse().ok()).unwrap_or(3);
     let out = get("--out").unwrap_or_else(|| "BENCH_hotpath.json".into());
+    // Optional comma-separated tree filter (e.g. --trees splay,avl) and
+    // work-stealing grain override (--subchunk N), for tuning runs.
+    let tree_filter: Option<Vec<String>> =
+        get("--trees").map(|v| v.split(',').map(str::to_string).collect());
+    let subchunk: Option<usize> = get("--subchunk").and_then(|v| v.parse().ok());
 
     eprintln!("hotpath: generating {refs} zipf({theta}) refs over {footprint} addresses");
     let trace: Trace = ZipfGen::new(footprint as usize, theta, 0, seed).take_trace(refs as usize);
 
     let mut results = Vec::new();
+    let mut speedups = Vec::new();
     for kind in [TreeKind::Splay, TreeKind::Avl, TreeKind::Treap] {
+        if let Some(filter) = &tree_filter {
+            if !filter.iter().any(|t| t == kind.name()) {
+                continue;
+            }
+        }
         // Single-thread sequential throughput: the prefetch-batched hot loop.
-        let secs = best_of(runs, || {
+        let seq_secs = best_of(runs, || {
             Analysis::new()
                 .tree(kind)
                 .mode(Mode::Seq)
                 .run(trace.as_slice())
                 .0
         });
-        push_row(&mut results, kind, "seq", refs, secs);
+        push_row(&mut results, kind, "seq", refs, seq_secs);
 
         // The scalar reference loop — the batched-vs-scalar ablation.
         let secs = best_of(runs, || match kind {
@@ -89,12 +108,22 @@ fn main() {
         });
         push_row(&mut results, kind, "seq-scalar", refs, secs);
 
-        // Pipelined shared-memory driver at 8 ranks (chunking + cascade).
-        let config = PardaConfig::with_ranks(8);
+        // Pipelined shared-memory driver at 8 ranks (work-stealing
+        // sub-chunks + merge-based cascade).
+        let mut config = PardaConfig::with_ranks(8);
+        if let Some(grain) = subchunk {
+            config = config.subchunk_refs(grain);
+        }
         let secs = best_of(runs, || {
             parda_core::parda_kind(trace.as_slice(), kind, &config)
         });
         push_row(&mut results, kind, "threads8", refs, secs);
+        let ratio = seq_secs / secs;
+        eprintln!("  {:<6} threads8/seq speedup: {ratio:.2}x", kind.name());
+        speedups.push(Speedup {
+            tree: kind.name(),
+            threads8_over_seq: (ratio * 100.0).round() / 100.0,
+        });
     }
 
     let report = HotpathReport {
@@ -105,6 +134,7 @@ fn main() {
         seed,
         runs_per_config: runs,
         results,
+        speedups,
     };
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(&out, &json).expect("write BENCH json");

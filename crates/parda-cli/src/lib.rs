@@ -366,11 +366,26 @@ mod tests {
         let cold = u64_of(rank0.field("engine").unwrap().field("cold_misses").unwrap());
         assert_eq!(cold, hist_infinite);
 
-        // The headline per-rank timing fields are all present.
+        // The headline per-rank timing fields are all present, including
+        // the cascade batching breakdown (per-round merge lengths and
+        // batch-delete counts plus their timings).
         for rm in per_rank {
             rm.field("chunk_ns").unwrap();
             rm.field("cascade_ns").unwrap();
             rm.field("infinities_forwarded").unwrap();
+            rm.field("merge_ns").unwrap();
+            rm.field("batch_ns").unwrap();
+            let Value::Array(lens) = rm.field("round_infinity_lens").unwrap() else {
+                panic!("round_infinity_lens is not an array");
+            };
+            let Value::Array(deletes) = rm.field("round_batch_deletes").unwrap() else {
+                panic!("round_batch_deletes is not an array");
+            };
+            assert_eq!(lens.len(), deletes.len(), "one delete tally per round");
+            // Space-optimized absorb: every batch-deleted stream element is
+            // one engine stream hit.
+            let hits = u64_of(rm.field("engine").unwrap().field("stream_hits").unwrap());
+            assert_eq!(deletes.iter().map(u64_of).sum::<u64>(), hits);
         }
 
         // Streamed analysis attaches decoder-pipeline counters.

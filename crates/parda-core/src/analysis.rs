@@ -142,6 +142,7 @@ pub struct Analysis {
     ranks: Option<usize>,
     bound: Option<u64>,
     space_optimized: bool,
+    subchunk_refs: Option<usize>,
     stats: bool,
     fault: FaultPolicy,
 }
@@ -162,6 +163,7 @@ impl Analysis {
             ranks: None,
             bound: None,
             space_optimized: true,
+            subchunk_refs: None,
             stats: false,
             fault: FaultPolicy::default(),
         }
@@ -199,6 +201,13 @@ impl Analysis {
         self
     }
 
+    /// Override the [`Mode::Threads`] work-stealing sub-chunk grain
+    /// ([`PardaConfig::subchunk_refs`]); `None` keeps the default.
+    pub fn subchunk_refs(mut self, refs: impl Into<Option<usize>>) -> Self {
+        self.subchunk_refs = refs.into();
+        self
+    }
+
     /// Collect an observability [`Report`] (per-rank timing breakdown,
     /// cascade/stream counters).
     pub fn stats(mut self, on: bool) -> Self {
@@ -229,6 +238,7 @@ impl Analysis {
         }
         config.bound = self.bound;
         config.space_optimized = self.space_optimized;
+        config.subchunk_refs = self.subchunk_refs;
         config
     }
 
@@ -744,7 +754,7 @@ mod tests {
         ) {
             // 0 means unbounded (the shim proptest has no option strategy).
             let bound = (bound_raw >= 4).then_some(bound_raw);
-            let config = PardaConfig { ranks: np, bound, space_optimized: true };
+            let config = PardaConfig { bound, ..PardaConfig::with_ranks(np) };
             let base = Analysis::new().ranks(np).bound(bound);
 
             prop_assert_eq!(

@@ -11,9 +11,9 @@
 
 use parda_hash::LastAccessTable;
 use parda_hist::ReuseHistogram;
-use parda_obs::EngineMetrics;
+use parda_obs::{CascadeRoundStats, EngineMetrics, Stopwatch};
 use parda_trace::Addr;
-use parda_tree::ReuseTree;
+use parda_tree::{Fenwick, ReuseTree};
 
 /// Width of the prefetch-batched hot path (one `u64` hit mask per batch) —
 /// see [`Engine::process_chunk`]. Module-level so the generic impl can size
@@ -294,8 +294,212 @@ impl<T: ReuseTree> Engine<T> {
     /// deliberately *not* stored — and then delete the node (Property 4.3:
     /// the stream never repeats an element, so the node is dead weight).
     /// Misses are forwarded to `out` (bounded by `l < B` in bounded mode).
-    pub fn process_infinities(&mut self, incoming: &[Addr], out: &mut Vec<Addr>) {
+    ///
+    /// Unbounded streams of at least [`Self::BATCH`] elements take the
+    /// batched sorted-slab path (one bulk `rank_delete_batch` sweep instead
+    /// of per-element descents); bounded mode and short streams run the
+    /// scalar reference loop. Both produce bit-identical histograms and
+    /// forward streams — see [`Self::process_infinities_scalar`].
+    pub fn process_infinities(
+        &mut self,
+        incoming: &[Addr],
+        out: &mut Vec<Addr>,
+    ) -> CascadeRoundStats {
+        if self.bound.is_some() || incoming.len() < Self::BATCH {
+            return self.process_infinities_scalar(incoming, out);
+        }
+        debug_assert!(incoming.len() <= u32::MAX as usize);
         self.metrics.stream_refs += incoming.len() as u64;
+        let base = self.stream_count;
+        let merge_sw = Stopwatch::start();
+        // Pass 1: prefetch-batched table probes, partitioning the stream
+        // into hits `(t0, stream index)` and misses (forwarded in stream
+        // order, exactly as the scalar interleaving would).
+        let mut hits: Vec<(u64, u32)> = Vec::new();
+        for (batch_idx, batch) in incoming.chunks(Self::BATCH).enumerate() {
+            for &z in batch {
+                self.table.prefetch(z);
+            }
+            for (i, &z) in batch.iter().enumerate() {
+                if let Some(t0) = self.table.last_access(z) {
+                    self.table.forget(z);
+                    hits.push((t0, (batch_idx * Self::BATCH + i) as u32));
+                } else {
+                    out.push(z);
+                    self.forwarded += 1;
+                    self.metrics.forwarded += 1;
+                }
+            }
+        }
+        self.stream_count += incoming.len() as u64;
+        let merge_ns = merge_sw.ns();
+        if hits.is_empty() {
+            return CascadeRoundStats {
+                resolved: 0,
+                merge_ns,
+                batch_ns: 0,
+            };
+        }
+        let (order_ns, batch_ns) = self.resolve_hit_batch(&hits, base);
+        CascadeRoundStats {
+            resolved: hits.len() as u64,
+            merge_ns: merge_ns + order_ns,
+            batch_ns,
+        }
+    }
+
+    /// In-place variant for the fold cascade: `slab` is both the incoming
+    /// stream and, on return, the surviving (unresolved) suffix — misses are
+    /// compacted leftward during the probe pass (Kuszmaul-style in-place
+    /// partition), so the cascade never copies survivors into an auxiliary
+    /// array. Semantically identical to [`Self::process_infinities`] with
+    /// `slab` as input and survivors as output.
+    pub fn process_infinities_in_place(&mut self, slab: &mut Vec<Addr>) -> CascadeRoundStats {
+        if self.bound.is_some() || slab.len() < Self::BATCH {
+            let incoming = std::mem::take(slab);
+            return self.process_infinities_scalar(&incoming, slab);
+        }
+        let n = slab.len();
+        debug_assert!(n <= u32::MAX as usize);
+        self.metrics.stream_refs += n as u64;
+        let base = self.stream_count;
+        let merge_sw = Stopwatch::start();
+        let mut hits: Vec<(u64, u32)> = Vec::new();
+        let mut write = 0usize;
+        let mut read = 0usize;
+        while read < n {
+            let end = (read + Self::BATCH).min(n);
+            for &z in &slab[read..end] {
+                self.table.prefetch(z);
+            }
+            for i in read..end {
+                let z = slab[i];
+                if let Some(t0) = self.table.last_access(z) {
+                    self.table.forget(z);
+                    hits.push((t0, i as u32));
+                } else {
+                    slab[write] = z;
+                    write += 1;
+                    self.forwarded += 1;
+                    self.metrics.forwarded += 1;
+                }
+            }
+            read = end;
+        }
+        slab.truncate(write);
+        self.stream_count += n as u64;
+        let merge_ns = merge_sw.ns();
+        if hits.is_empty() {
+            return CascadeRoundStats {
+                resolved: 0,
+                merge_ns,
+                batch_ns: 0,
+            };
+        }
+        let (order_ns, batch_ns) = self.resolve_hit_batch(&hits, base);
+        CascadeRoundStats {
+            resolved: hits.len() as u64,
+            merge_ns: merge_ns + order_ns,
+            batch_ns,
+        }
+    }
+
+    /// Resolve a round's hit set in one bulk tree sweep.
+    ///
+    /// `hits` holds `(t0, stream index)` in stream order; `base` is the
+    /// engine's `count` at the round's start. The scalar loop computes, for
+    /// the hit at stream index `i`, `distance_now(t0) + base + i`, where
+    /// `distance_now` reflects the deletions of all *earlier* hits. This
+    /// sweep instead asks the tree once for every hit's **initial** rank
+    /// (count of live ts > t0 at round start, via `rank_delete_batch` on the
+    /// ascending t0 sequence) and subtracts the inversion count — the number
+    /// of earlier-in-stream hits whose t0 is *greater* (each such deletion
+    /// lowered the strictly-greater count by one). The inversion count comes
+    /// from a Fenwick tree over sorted-t0 positions, replayed in stream
+    /// order. Returns `(ordering_ns, sweep_ns)`.
+    fn resolve_hit_batch(&mut self, hits: &[(u64, u32)], base: u64) -> (u64, u64) {
+        let k = hits.len();
+        let order_sw = Stopwatch::start();
+        // Order the distinct t0 values ascending and learn each hit's sorted
+        // position. Cascade hits cluster inside one chunk's timestamp span,
+        // so a bitmap counting sort over [min_t0, max_t0] usually beats a
+        // comparison sort; fall back to sorting when the span is too wide
+        // (imported multi-phase state can scatter timestamps arbitrarily).
+        let mut min_t0 = u64::MAX;
+        let mut max_t0 = 0u64;
+        for &(t0, _) in hits {
+            min_t0 = min_t0.min(t0);
+            max_t0 = max_t0.max(t0);
+        }
+        let range = max_t0 - min_t0 + 1;
+        let mut sorted_ts = Vec::with_capacity(k);
+        let mut pos = vec![0u32; k];
+        if range <= 64 * k as u64 {
+            let words = (range as usize).div_ceil(64);
+            let mut bits = vec![0u64; words];
+            for &(t0, _) in hits {
+                let off = (t0 - min_t0) as usize;
+                bits[off >> 6] |= 1 << (off & 63);
+            }
+            let mut cum = vec![0u32; words];
+            let mut acc = 0u32;
+            for (w, &b) in bits.iter().enumerate() {
+                cum[w] = acc;
+                acc += b.count_ones();
+                let mut rest = b;
+                while rest != 0 {
+                    let bit = rest.trailing_zeros() as u64;
+                    sorted_ts.push(min_t0 + (w as u64) * 64 + bit);
+                    rest &= rest - 1;
+                }
+            }
+            debug_assert_eq!(acc as usize, k);
+            for (j, &(t0, _)) in hits.iter().enumerate() {
+                let off = (t0 - min_t0) as usize;
+                let below = (bits[off >> 6] & ((1u64 << (off & 63)) - 1)).count_ones();
+                pos[j] = cum[off >> 6] + below;
+            }
+        } else {
+            let mut order: Vec<u32> = (0..k as u32).collect();
+            order.sort_unstable_by_key(|&j| hits[j as usize].0);
+            for (s, &j) in order.iter().enumerate() {
+                sorted_ts.push(hits[j as usize].0);
+                pos[j as usize] = s as u32;
+            }
+        }
+        let order_ns = order_sw.ns();
+
+        let sweep_sw = Stopwatch::start();
+        let mut ranks = Vec::with_capacity(k);
+        self.tree.rank_delete_batch(&sorted_ts, &mut ranks);
+        // Replay in stream order: j hits processed so far, of which
+        // `prefix_sum(s + 1)` sit at sorted positions ≤ s, so the rest are
+        // inversions (earlier hits with greater t0).
+        let mut fen = Fenwick::new(k);
+        for (j, &(_, idx)) in hits.iter().enumerate() {
+            let s = pos[j] as usize;
+            let inv = j as u64 - fen.prefix_sum(s + 1);
+            let d = ranks[s] - inv + base + idx as u64;
+            self.hist.record_finite(d);
+            fen.add(s, 1);
+        }
+        self.metrics.stream_hits += k as u64;
+        self.metrics.tree_ops += k as u64;
+        (order_ns, sweep_sw.ns())
+    }
+
+    /// Scalar (one element at a time) infinity processing — the literal
+    /// Algorithm 4 loop and the reference implementation the batched
+    /// [`Self::process_infinities`] must match bit-for-bit. Public so the
+    /// equivalence tests can drive it directly; always taken in bounded
+    /// mode (the forwarding cap couples `l` to the element order).
+    pub fn process_infinities_scalar(
+        &mut self,
+        incoming: &[Addr],
+        out: &mut Vec<Addr>,
+    ) -> CascadeRoundStats {
+        self.metrics.stream_refs += incoming.len() as u64;
+        let mut resolved = 0u64;
         for &z in incoming {
             if let Some(t0) = self.table.last_access(z) {
                 let (d, _) = self
@@ -306,6 +510,7 @@ impl<T: ReuseTree> Engine<T> {
                 self.table.forget(z);
                 self.metrics.stream_hits += 1;
                 self.metrics.tree_ops += 1;
+                resolved += 1;
             } else {
                 let forward_ok = match self.bound {
                     Some(b) => self.forwarded < b,
@@ -321,6 +526,11 @@ impl<T: ReuseTree> Engine<T> {
                 }
             }
             self.stream_count += 1;
+        }
+        CascadeRoundStats {
+            resolved,
+            merge_ns: 0,
+            batch_ns: 0,
         }
     }
 
@@ -649,6 +859,90 @@ mod tests {
         // at most one (the new entry is recorded before the eviction).
         assert!(engine.metrics().live_hwm <= 5);
         assert_eq!(engine.metrics().cold_misses, 100);
+    }
+
+    /// Build two identical engines over `chunk`, run the same incoming
+    /// stream through the batched dispatcher on one and the scalar loop on
+    /// the other, and demand bit-identical histograms, forward streams,
+    /// counters, and live state.
+    fn assert_batched_stream_matches_scalar<T: ReuseTree + Default + Clone>(
+        chunk: &[Addr],
+        incoming: &[Addr],
+    ) {
+        let mut batched: Engine<T> = Engine::new(None, 0);
+        batched.process_chunk(chunk, 0, MissSink::Infinite);
+        let mut scalar = batched.clone();
+
+        let mut batched_out = Vec::new();
+        let stats = batched.process_infinities(incoming, &mut batched_out);
+        let mut scalar_out = Vec::new();
+        let scalar_stats = scalar.process_infinities_scalar(incoming, &mut scalar_out);
+
+        assert_eq!(batched_out, scalar_out, "forward streams");
+        assert_eq!(batched.histogram(), scalar.histogram(), "histograms");
+        assert_eq!(batched.forwarded(), scalar.forwarded());
+        assert_eq!(batched.stream_count(), scalar.stream_count());
+        assert_eq!(batched.metrics(), scalar.metrics());
+        assert_eq!(batched.export_state(), scalar.export_state(), "live state");
+        assert_eq!(stats.resolved, scalar_stats.resolved);
+
+        // The in-place variant must agree too, leaving survivors in the slab.
+        let mut in_place: Engine<T> = Engine::new(None, 0);
+        in_place.process_chunk(chunk, 0, MissSink::Infinite);
+        let mut slab = incoming.to_vec();
+        let ip_stats = in_place.process_infinities_in_place(&mut slab);
+        assert_eq!(slab, scalar_out, "in-place survivors");
+        assert_eq!(in_place.histogram(), scalar.histogram());
+        assert_eq!(in_place.metrics(), scalar.metrics());
+        assert_eq!(ip_stats.resolved, scalar_stats.resolved);
+    }
+
+    #[test]
+    fn batched_infinity_stream_matches_scalar() {
+        // Chunk over 200 addresses, then a 256-long incoming stream hitting
+        // about half of them with inversions (stride walk reverses relative
+        // t0 order): ≥ BATCH so the batched path engages.
+        let chunk: Vec<Addr> = (0..200u64).map(|i| (i * 37) % 200).collect();
+        let incoming: Vec<Addr> = (0..256u64).map(|i| 400 - ((i * 13) % 350)).collect();
+        let mut seen = std::collections::HashSet::new();
+        let incoming: Vec<Addr> = incoming.into_iter().filter(|&z| seen.insert(z)).collect();
+        assert!(incoming.len() >= Engine::<SplayTree>::BATCH);
+        assert_batched_stream_matches_scalar::<SplayTree>(&chunk, &incoming);
+        assert_batched_stream_matches_scalar::<AvlTree>(&chunk, &incoming);
+        assert_batched_stream_matches_scalar::<Treap>(&chunk, &incoming);
+        assert_batched_stream_matches_scalar::<parda_tree::VectorTree>(&chunk, &incoming);
+    }
+
+    #[test]
+    fn batched_stream_with_sparse_scattered_timestamps() {
+        // Tiny hit density and a wide t0 span per hit: exercises both the
+        // comparison-sort ordering fallback and the sparse fused-descent
+        // side of rank_delete_batch.
+        let chunk: Vec<Addr> = (0..4096u64).collect();
+        let incoming: Vec<Addr> = (0..128u64)
+            .map(|i| {
+                if i % 16 == 0 {
+                    i * 31 % 4096
+                } else {
+                    100_000 + i
+                }
+            })
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        let incoming: Vec<Addr> = incoming.into_iter().filter(|&z| seen.insert(z)).collect();
+        assert_batched_stream_matches_scalar::<SplayTree>(&chunk, &incoming);
+        assert_batched_stream_matches_scalar::<parda_tree::VectorTree>(&chunk, &incoming);
+    }
+
+    #[test]
+    fn batched_stream_all_hits_and_all_misses() {
+        let chunk: Vec<Addr> = (0..128u64).collect();
+        // Every element hits (dense rank_delete_batch sweep, zero survivors).
+        let all_hits: Vec<Addr> = (0..128u64).rev().collect();
+        assert_batched_stream_matches_scalar::<SplayTree>(&chunk, &all_hits);
+        // Every element misses (pure forward, no tree sweep).
+        let all_misses: Vec<Addr> = (1000..1128u64).collect();
+        assert_batched_stream_matches_scalar::<Treap>(&chunk, &all_misses);
     }
 
     #[test]

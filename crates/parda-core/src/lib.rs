@@ -96,6 +96,7 @@ pub fn parda_kind(trace: &[Addr], kind: TreeKind, config: &PardaConfig) -> Reuse
         .ranks(config.ranks)
         .bound(config.bound)
         .space_optimized(config.space_optimized)
+        .subchunk_refs(config.subchunk_refs)
         .run(trace)
         .0
 }

@@ -19,7 +19,7 @@
 use crate::engine::{Engine, MissSink};
 use crate::error::{FaultPolicy, PardaError};
 use parda_hist::ReuseHistogram;
-use parda_obs::{RankMetrics, RecoveryMetrics, Stopwatch};
+use parda_obs::{CascadeRoundStats, RankMetrics, RecoveryMetrics, Stopwatch};
 use parda_trace::{chunk_slice, Addr};
 use parda_tree::ReuseTree;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -44,6 +44,15 @@ pub struct PardaConfig {
     /// it reproduces plain Algorithm 3 (replicas retained; O(np·M)
     /// aggregate space) — kept for the D2 ablation.
     pub space_optimized: bool,
+    /// Work-stealing grain for [`parda_threads`]: each rank's chunk is
+    /// subdivided into sub-chunks of roughly this many references (at most
+    /// [`MAX_PARTS_PER_RANK`] per rank), claimed independently off the
+    /// shared counter and folded as extra virtual ranks. Smaller grains
+    /// mean smaller per-item trees and better load balance; `None` uses
+    /// [`DEFAULT_SUBCHUNK_REFS`]. Only active when space-optimized and
+    /// unbounded (subdivision changes which distances a bounded run
+    /// collapses to ∞, and the unoptimized ablation is partition-pinned).
+    pub subchunk_refs: Option<usize>,
 }
 
 impl Default for PardaConfig {
@@ -52,6 +61,7 @@ impl Default for PardaConfig {
             ranks: std::thread::available_parallelism().map_or(4, |p| p.get()),
             bound: None,
             space_optimized: true,
+            subchunk_refs: None,
         }
     }
 }
@@ -82,7 +92,21 @@ impl PardaConfig {
         self.space_optimized = on;
         self
     }
+
+    /// Builder-style override of the work-stealing sub-chunk grain.
+    pub fn subchunk_refs(mut self, refs: usize) -> Self {
+        self.subchunk_refs = Some(refs);
+        self
+    }
 }
+
+/// Default sub-chunk grain: large enough that chunk analysis dominates the
+/// per-item cascade absorb, small enough that per-item trees stay within
+/// the outer cache levels on dense traces.
+pub const DEFAULT_SUBCHUNK_REFS: usize = 1 << 17;
+
+/// Cap on sub-chunks per rank, bounding slot memory and fold overhead.
+pub const MAX_PARTS_PER_RANK: usize = 64;
 
 /// Global reference index at which each chunk starts.
 fn chunk_starts(chunks: &[&[Addr]]) -> Vec<u64> {
@@ -93,6 +117,66 @@ fn chunk_starts(chunks: &[&[Addr]]) -> Vec<u64> {
         acc += c.len() as u64;
     }
     starts
+}
+
+/// One unit of pipelined chunk analysis: a contiguous trace sub-slice with
+/// its global start index and the *reported* rank whose metrics it feeds.
+/// Splitting a rank's chunk into several items is transparent to the
+/// histogram — Parda over any contiguous partition equals the sequential
+/// analysis (the Section IV-B theorem, property-tested below) — so items
+/// act as extra virtual ranks in the cascade fold while metrics stay
+/// grouped per reported rank.
+struct WorkItem<'a> {
+    chunk: &'a [Addr],
+    start: u64,
+    owner: usize,
+}
+
+/// Subdivide each rank's chunk into work-stealing sub-chunks. Subdivision
+/// only applies in the space-optimized unbounded mode: bounded analysis
+/// pins ∞-collapse decisions to the partition (both drivers must agree
+/// exactly), and the unoptimized ablation ties its `next_ts` bookkeeping
+/// to one item per rank.
+fn build_items<'a>(
+    chunks: &[&'a [Addr]],
+    starts: &[u64],
+    config: &PardaConfig,
+) -> Vec<WorkItem<'a>> {
+    let subdivide = config.space_optimized && config.bound.is_none();
+    let grain = config.subchunk_refs.unwrap_or(DEFAULT_SUBCHUNK_REFS).max(1);
+    let mut items = Vec::with_capacity(chunks.len());
+    for (p, chunk) in chunks.iter().enumerate() {
+        let parts = if subdivide {
+            (chunk.len() / grain).clamp(1, MAX_PARTS_PER_RANK)
+        } else {
+            1
+        };
+        let mut off = 0u64;
+        for sub in chunk_slice(chunk, parts) {
+            items.push(WorkItem {
+                chunk: sub,
+                start: starts[p] + off,
+                owner: p,
+            });
+            off += sub.len() as u64;
+        }
+    }
+    items
+}
+
+/// One item per rank — no subdivision. Used by the fault-tolerant driver,
+/// whose rescue/watchdog bookkeeping is per rank.
+fn rank_items<'a>(chunks: &[&'a [Addr]], starts: &[u64]) -> Vec<WorkItem<'a>> {
+    chunks
+        .iter()
+        .zip(starts)
+        .enumerate()
+        .map(|(p, (&chunk, &start))| WorkItem {
+            chunk,
+            start,
+            owner: p,
+        })
+        .collect()
 }
 
 /// Message-passing Parda: the literal Algorithm 3 over a thread-backed
@@ -155,10 +239,14 @@ pub fn parda_msg_with_stats<T: ReuseTree + Default>(
                 let sw = Stopwatch::start();
                 let mut survivors = Vec::new();
                 if config.space_optimized {
-                    engine.process_infinities(&incoming, &mut survivors);
+                    let stats = engine.process_infinities(&incoming, &mut survivors);
+                    rm.record_round(&stats);
                 } else {
                     engine.process_infinities_unoptimized(&incoming, next_ts, &mut survivors);
                     next_ts += incoming.len() as u64;
+                    // Keep `round_batch_deletes` aligned with
+                    // `round_infinity_lens` in the ablation mode too.
+                    rm.record_round(&CascadeRoundStats::default());
                 }
                 if p == 0 {
                     engine.record_global_infinities(survivors.len() as u64);
@@ -196,10 +284,13 @@ pub fn parda_threads<T: ReuseTree + Default + Send>(
 
 /// [`parda_threads`] with the per-rank observability breakdown.
 ///
-/// Rank `p`'s single cascade fold here corresponds to all `np − p − 1`
-/// Algorithm 3 rounds concatenated, so `cascade_rounds` is at most 1 and
-/// `round_infinity_lens` holds the folded stream length; total
-/// `infinities_forwarded` matches [`parda_msg_with_stats`] exactly.
+/// In the space-optimized unbounded mode each rank's chunk is further
+/// subdivided into up to [`MAX_PARTS_PER_RANK`] work-stealing sub-chunks
+/// (grain [`PardaConfig::subchunk_refs`]); every sub-chunk is an extra
+/// virtual rank in the cascade, so a rank's metrics can report several
+/// `cascade_rounds` whose `round_infinity_lens` sum to what
+/// [`parda_msg_with_stats`] forwards in total. Timing fields accumulate
+/// across a rank's items.
 pub fn parda_threads_with_stats<T: ReuseTree + Default + Send>(
     trace: &[Addr],
     config: &PardaConfig,
@@ -211,17 +302,20 @@ pub fn parda_threads_with_stats<T: ReuseTree + Default + Send>(
     }
     let chunks = chunk_slice(trace, np);
     let starts = chunk_starts(&chunks);
+    let items = build_items(&chunks, &starts, config);
+    let n = items.len();
 
-    // Pipelined schedule: workers claim chunks *right-to-left* off a shared
-    // counter and publish each finished engine into its rank's slot; the
+    // Pipelined schedule: workers claim items *right-to-left* off a shared
+    // counter and publish each finished engine into its item's slot; the
     // caller thread folds the cascade right-to-left, blocking only on the
-    // slot it needs next. Because the cascade consumes rank np−1 first and
-    // workers also finish right-to-left, the fold of rank p+1's infinity
-    // stream overlaps the still-running chunk analysis of ranks < p — the
-    // global barrier between "phase 1" and "phase 2" (the serial Figure-4
-    // tail) is gone. The per-engine operation sequence is unchanged, so the
-    // histogram stays bit-identical to [`parda_msg`].
-    let slots: Vec<RankSlot<ChunkResult<T>>> = (0..np).map(|_| RankSlot::default()).collect();
+    // slot it needs next. Because the cascade consumes the rightmost item
+    // first and workers also finish right-to-left, the fold of an item's
+    // infinity stream overlaps the still-running chunk analysis of items
+    // to its left — the global barrier between "phase 1" and "phase 2"
+    // (the serial Figure-4 tail) is gone. Subdivision keeps per-item trees
+    // small (cache-resident) and lets an idle worker steal the tail of a
+    // slow rank instead of waiting at the rank boundary.
+    let slots: Vec<RankSlot<ChunkResult<T>>> = (0..n).map(|_| RankSlot::default()).collect();
     let claim = AtomicUsize::new(0);
     let workers = worker_count(np);
 
@@ -229,22 +323,23 @@ pub fn parda_threads_with_stats<T: ReuseTree + Default + Send>(
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let k = claim.fetch_add(1, Ordering::Relaxed);
-                if k >= np {
+                if k >= n {
                     break;
                 }
-                let p = np - 1 - k;
-                slots[p].publish(analyze_rank::<T>(chunks[p], starts[p], config, false));
+                let i = n - 1 - k;
+                let item = &items[i];
+                slots[i].publish(analyze_rank::<T>(item.chunk, item.start, config, false));
             });
         }
 
-        let folded = fold_cascade(&chunks, &starts, config, |p| Ok(slots[p].take()));
+        // The claim closure cannot fail — `Infallible` makes that
+        // type-level: the error arm is an empty match, not a runtime
+        // assertion. The fault-tolerant path is [`parda_threads_faulted`].
+        let folded: Result<_, std::convert::Infallible> =
+            fold_cascade(&items, np, config, |i| Ok(slots[i].take()));
         match folded {
             Ok(out) => out,
-            // The claim closure is infallible and no worker can panic
-            // here short of an engine bug — which should surface, not be
-            // swallowed. The fault-tolerant path is
-            // [`parda_threads_faulted`].
-            Err(e) => unreachable!("infallible cascade claim failed: {e}"),
+            Err(e) => match e {},
         }
     })
 }
@@ -274,6 +369,9 @@ pub fn parda_threads_faulted<T: ReuseTree + Default + Send>(
     let np = config.ranks.max(1);
     let chunks = chunk_slice(trace, np);
     let starts = chunk_starts(&chunks);
+    // Rank granularity (no subdivision): rescue, retry accounting, and the
+    // stall watchdog are all per rank.
+    let items = rank_items(&chunks, &starts);
     let slots: Vec<RankSlot<Result<ChunkResult<T>, RankPanic>>> =
         (0..np).map(|_| RankSlot::default()).collect();
     let claim = AtomicUsize::new(0);
@@ -312,7 +410,7 @@ pub fn parda_threads_faulted<T: ReuseTree + Default + Send>(
         }
 
         let mut recovery = RecoveryMetrics::default();
-        let folded = fold_cascade(&chunks, &starts, config, |p| {
+        let folded = fold_cascade(&items, np, config, |p| {
             claim_rank(
                 &slots[p],
                 chunks[p],
@@ -404,74 +502,103 @@ fn claim_rank<T: ReuseTree + Default>(
 }
 
 /// The right-to-left cascade fold shared by [`parda_threads`] and
-/// [`parda_threads_faulted`]: rank `p−1` absorbs everything rank `p`
-/// would have sent over all Algorithm 3 rounds — its own local
-/// infinities followed by the survivors of what it absorbed from its
-/// right. `claim(p)` produces rank `p`'s finished chunk analysis plus
-/// the wait time, blocking / rescuing as the driver dictates.
-fn fold_cascade<T: ReuseTree + Default>(
-    chunks: &[&[Addr]],
-    starts: &[u64],
+/// [`parda_threads_faulted`]: each item absorbs everything its right
+/// neighbour would have sent over all Algorithm 3 rounds — that item's
+/// own local infinities followed by the survivors of what it absorbed
+/// from *its* right. `claim(i)` produces item `i`'s finished chunk
+/// analysis plus the wait time, blocking / rescuing as the driver
+/// dictates. Items are virtual ranks; metrics are grouped under each
+/// item's owning rank (`0..np`), with timings accumulated and per-round
+/// vectors pushed per absorbed stream.
+///
+/// Generic over the claim error `E` so the plain driver can instantiate
+/// it with [`std::convert::Infallible`] and discharge the error arm with
+/// an empty match.
+fn fold_cascade<T: ReuseTree + Default, E>(
+    items: &[WorkItem<'_>],
+    np: usize,
     config: &PardaConfig,
-    mut claim: impl FnMut(usize) -> Result<(ChunkResult<T>, u64), PardaError>,
-) -> Result<(ReuseHistogram, Vec<RankMetrics>), PardaError> {
-    let np = chunks.len();
+    mut claim: impl FnMut(usize) -> Result<(ChunkResult<T>, u64), E>,
+) -> Result<(ReuseHistogram, Vec<RankMetrics>), E> {
     let mut metrics: Vec<RankMetrics> = (0..np)
         .map(|p| RankMetrics {
             rank: p,
-            refs: chunks[p].len() as u64,
             ..Default::default()
         })
         .collect();
+    for item in items {
+        metrics[item.owner].refs += item.chunk.len() as u64;
+    }
     let mut total = ReuseHistogram::new();
 
+    // The stream is carried leftward *in place*: each item's survivors
+    // overwrite resolved slots (engine-side partition), then the item's
+    // own local infinities are prepended by appending the survivors to
+    // them — no per-item forwarding allocation.
     let mut stream: Vec<Addr> = Vec::new();
-    for p in (1..np).rev() {
-        let ((mut engine, own_inf, chunk_ns), wait_ns) = claim(p)?;
-        metrics[p].chunk_ns = chunk_ns;
-        metrics[p].cascade_wait_ns = wait_ns;
-        let next_ts = starts[p] + chunks[p].len() as u64;
+    for i in (1..items.len()).rev() {
+        let item = &items[i];
+        let ((mut engine, mut own_inf, chunk_ns), wait_ns) = claim(i)?;
+        let rm = &mut metrics[item.owner];
+        rm.chunk_ns += chunk_ns;
+        rm.cascade_wait_ns += wait_ns;
         if !stream.is_empty() {
-            metrics[p].cascade_rounds = 1;
-            metrics[p].round_infinity_lens.push(stream.len() as u64);
+            rm.cascade_rounds += 1;
+            rm.round_infinity_lens.push(stream.len() as u64);
         }
         let sw = Stopwatch::start();
-        let mut survivors = Vec::new();
         if config.space_optimized {
-            engine.process_infinities(&stream, &mut survivors);
+            let received = !stream.is_empty();
+            let stats = engine.process_infinities_in_place(&mut stream);
+            if received {
+                rm.record_round(&stats);
+            }
         } else {
-            engine.process_infinities_unoptimized(&stream, next_ts, &mut survivors);
+            let next_ts = item.start + item.chunk.len() as u64;
+            let incoming = std::mem::take(&mut stream);
+            engine.process_infinities_unoptimized(&incoming, next_ts, &mut stream);
+            if !incoming.is_empty() {
+                rm.record_round(&CascadeRoundStats::default());
+            }
         }
-        metrics[p].cascade_ns = sw.ns();
-        let mut forwarded = own_inf;
-        forwarded.extend_from_slice(&survivors);
-        metrics[p].infinities_forwarded = forwarded.len() as u64;
-        stream = forwarded;
-        metrics[p].engine = engine.metrics().clone();
+        rm.cascade_ns += sw.ns();
+        own_inf.append(&mut stream);
+        rm.infinities_forwarded += own_inf.len() as u64;
+        stream = own_inf;
+        rm.engine.merge(engine.metrics());
         total.merge(engine.histogram());
     }
 
-    // Rank 0: its own local infinities and all unresolved survivors are
-    // authoritative global infinities.
+    // Leftmost item (rank 0's first sub-chunk): its own local infinities
+    // and all unresolved survivors are authoritative global infinities.
     let ((mut engine0, own0, chunk_ns), wait_ns) = claim(0)?;
-    metrics[0].chunk_ns = chunk_ns;
-    metrics[0].cascade_wait_ns = wait_ns;
+    let rm = &mut metrics[0];
+    rm.chunk_ns += chunk_ns;
+    rm.cascade_wait_ns += wait_ns;
     engine0.record_global_infinities(own0.len() as u64);
     if !stream.is_empty() {
-        metrics[0].cascade_rounds = 1;
-        metrics[0].round_infinity_lens.push(stream.len() as u64);
+        rm.cascade_rounds += 1;
+        rm.round_infinity_lens.push(stream.len() as u64);
     }
     let sw = Stopwatch::start();
-    let mut survivors = Vec::new();
     if config.space_optimized {
-        engine0.process_infinities(&stream, &mut survivors);
+        let received = !stream.is_empty();
+        let stats = engine0.process_infinities_in_place(&mut stream);
+        if received {
+            rm.record_round(&stats);
+        }
     } else {
-        let next_ts = starts[0] + chunks[0].len() as u64;
-        engine0.process_infinities_unoptimized(&stream, next_ts, &mut survivors);
+        let item = &items[0];
+        let next_ts = item.start + item.chunk.len() as u64;
+        let incoming = std::mem::take(&mut stream);
+        engine0.process_infinities_unoptimized(&incoming, next_ts, &mut stream);
+        if !incoming.is_empty() {
+            rm.record_round(&CascadeRoundStats::default());
+        }
     }
-    engine0.record_global_infinities(survivors.len() as u64);
-    metrics[0].cascade_ns = sw.ns();
-    metrics[0].engine = engine0.metrics().clone();
+    engine0.record_global_infinities(stream.len() as u64);
+    rm.cascade_ns += sw.ns();
+    rm.engine.merge(engine0.metrics());
     total.merge(engine0.histogram());
 
     Ok((total, metrics))
@@ -706,11 +833,7 @@ mod tests {
     fn unoptimized_variant_matches() {
         let trace: Vec<Addr> = (0..500).map(|i| (i * 17) % 83).collect();
         let seq = analyze_sequential::<SplayTree>(&trace, None);
-        let cfg = PardaConfig {
-            ranks: 4,
-            bound: None,
-            space_optimized: false,
-        };
+        let cfg = PardaConfig::with_ranks(4).space_optimized(false);
         assert_eq!(parda_msg::<SplayTree>(&trace, &cfg), seq);
         assert_eq!(parda_threads::<SplayTree>(&trace, &cfg), seq);
     }
@@ -750,11 +873,7 @@ mod tests {
         let full = analyze_sequential::<SplayTree>(&trace, None);
         for bound in [8u64, 64, 512] {
             for np in [2, 4, 7] {
-                let cfg = PardaConfig {
-                    ranks: np,
-                    bound: Some(bound),
-                    space_optimized: true,
-                };
+                let cfg = PardaConfig::with_ranks(np).bounded(bound);
                 let threads = parda_threads::<SplayTree>(&trace, &cfg);
                 assert_bounded_contract(&threads, &full, bound);
                 // Both parallel drivers apply the identical per-rank
@@ -766,6 +885,49 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn subdivided_work_stealing_matches_sequential() {
+        let trace: Vec<Addr> = (0..3_000).map(|i| (i * 29) % 211).collect();
+        let seq = analyze_sequential::<SplayTree>(&trace, None);
+        for grain in [1usize, 7, 64, 500] {
+            for np in [2, 3, 5] {
+                let cfg = PardaConfig::with_ranks(np).subchunk_refs(grain);
+                assert_eq!(
+                    parda_threads::<SplayTree>(&trace, &cfg),
+                    seq,
+                    "np={np} grain={grain}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subdivided_metrics_group_by_owner_rank() {
+        let trace: Vec<Addr> = (0..4_000).map(|i| (i * 13) % 311).collect();
+        let np = 3;
+        let cfg = PardaConfig::with_ranks(np).subchunk_refs(100);
+        let (hist, metrics) = parda_threads_with_stats::<SplayTree>(&trace, &cfg);
+        assert_eq!(hist, analyze_sequential::<SplayTree>(&trace, None));
+        assert_eq!(metrics.len(), np, "metrics stay grouped per reported rank");
+        assert_eq!(metrics.iter().map(|m| m.refs).sum::<u64>(), 4_000);
+        assert_eq!(metrics.iter().map(|m| m.engine.refs).sum::<u64>(), 4_000);
+        for m in &metrics {
+            // Every rank was split into MAX_PARTS_PER_RANK items; all but
+            // the leftmost item absorb a non-empty stream on this trace.
+            assert!(m.cascade_rounds >= 1, "rank {} absorbed no stream", m.rank);
+            assert_eq!(m.cascade_rounds as usize, m.round_infinity_lens.len());
+            assert_eq!(m.round_infinity_lens.len(), m.round_batch_deletes.len());
+        }
+        // Conservation: everything forwarded across a virtual boundary is
+        // received exactly once somewhere to its left.
+        let forwarded: u64 = metrics.iter().map(|m| m.infinities_forwarded).sum();
+        let received: u64 = metrics
+            .iter()
+            .flat_map(|m| m.round_infinity_lens.iter())
+            .sum();
+        assert_eq!(forwarded, received);
     }
 
     #[test]
@@ -844,7 +1006,7 @@ mod tests {
             bound in 1u64..32,
         ) {
             let full = analyze_sequential::<SplayTree>(&trace, None);
-            let cfg = PardaConfig { ranks: np, bound: Some(bound), space_optimized: true };
+            let cfg = PardaConfig::with_ranks(np).bounded(bound);
             let bounded = parda_threads::<SplayTree>(&trace, &cfg);
             prop_assert_eq!(bounded.total(), full.total());
             for d in 0..bound {
@@ -861,8 +1023,8 @@ mod tests {
             trace in proptest::collection::vec(0u64..32, 0..300),
             np in 2usize..6,
         ) {
-            let on = PardaConfig { ranks: np, bound: None, space_optimized: true };
-            let off = PardaConfig { ranks: np, bound: None, space_optimized: false };
+            let on = PardaConfig::with_ranks(np);
+            let off = PardaConfig::with_ranks(np).space_optimized(false);
             prop_assert_eq!(
                 parda_threads::<SplayTree>(&trace, &on),
                 parda_threads::<SplayTree>(&trace, &off)

@@ -435,11 +435,7 @@ mod tests {
     fn bounded_phased_respects_contract() {
         let trace: Vec<Addr> = (0..1_000).map(|i| (i * 13) % 101).collect();
         let full = analyze_sequential::<SplayTree>(&trace, None);
-        let cfg = PardaConfig {
-            ranks: 3,
-            bound: Some(16),
-            space_optimized: true,
-        };
+        let cfg = PardaConfig::with_ranks(3).bounded(16);
         for reduction in [Reduction::ShipToRankZero, Reduction::RenumberRanks] {
             let hist =
                 parda_phased_with::<SplayTree, _>(SliceStream::new(&trace), 32, &cfg, reduction);

@@ -130,6 +130,24 @@ impl EngineMetrics {
     }
 }
 
+/// One absorb round's breakdown inside the batched cascade: how many
+/// incoming infinities resolved at this rank, and where the round's time
+/// went (merge/partition bookkeeping vs. the bulk tree sweep). Returned by
+/// the engine so the driver can fold it into [`RankMetrics`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct CascadeRoundStats {
+    /// Infinities resolved to finite distances this round (batch deletes
+    /// performed by `rank_delete_batch`, or scalar hits on the fallback
+    /// path).
+    pub resolved: u64,
+    /// Wall time spent probing the table and partitioning/ordering the hit
+    /// set before the tree sweep.
+    pub merge_ns: u64,
+    /// Wall time spent inside the bulk `rank_delete_batch` sweep (plus the
+    /// distance fix-up); zero when the scalar path ran.
+    pub batch_ns: u64,
+}
+
 /// One rank's timing/counter breakdown of a parallel run — the live
 /// counterpart of the paper's Figure 4 bars.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
@@ -152,6 +170,16 @@ pub struct RankMetrics {
     pub cascade_rounds: u64,
     /// Incoming infinity-list length per receive round, in order.
     pub round_infinity_lens: Vec<u64>,
+    /// Infinities resolved per receive round (batch deletes performed by
+    /// the sorted-slab sweep; scalar hits on the fallback path). Same
+    /// length and order as `round_infinity_lens`.
+    pub round_batch_deletes: Vec<u64>,
+    /// Wall time spent merging/ordering incoming infinity slabs before the
+    /// bulk tree sweep, summed over rounds (subset of `cascade_ns`).
+    pub merge_ns: u64,
+    /// Wall time spent inside bulk `rank_delete_batch` sweeps, summed over
+    /// rounds (subset of `cascade_ns`).
+    pub batch_ns: u64,
     /// Total infinities this rank sent leftward (local first touches plus
     /// unresolved survivors).
     pub infinities_forwarded: u64,
@@ -159,6 +187,17 @@ pub struct RankMetrics {
     pub reduction_ns: u64,
     /// The rank's engine operation counters.
     pub engine: EngineMetrics,
+}
+
+impl RankMetrics {
+    /// Fold one absorb round's stats into this rank's tallies. Callers push
+    /// the round's incoming length themselves (they know it before the
+    /// engine runs); this records the resolution count and timing split.
+    pub fn record_round(&mut self, stats: &CascadeRoundStats) {
+        self.round_batch_deletes.push(stats.resolved);
+        self.merge_ns += stats.merge_ns;
+        self.batch_ns += stats.batch_ns;
+    }
 }
 
 /// Phase-level aggregates of the streaming (Algorithm 5–6) engine.
@@ -453,12 +492,14 @@ impl Report {
             fmt_ns(self.total_ns),
         ));
         out.push_str(&format!(
-            "{:>5} {:>12} {:>12} {:>12} {:>10} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
+            "{:>5} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
             "rank",
             "refs",
             "chunk",
             "cascade",
             "wait",
+            "merge",
+            "batch",
             "rounds",
             "fwd",
             "hits",
@@ -467,12 +508,14 @@ impl Report {
         ));
         for r in &self.per_rank {
             out.push_str(&format!(
-                "{:>5} {:>12} {:>12} {:>12} {:>10} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
+                "{:>5} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
                 r.rank,
                 r.refs,
                 fmt_ns(r.chunk_ns),
                 fmt_ns(r.cascade_ns),
                 fmt_ns(r.cascade_wait_ns),
+                fmt_ns(r.merge_ns),
+                fmt_ns(r.batch_ns),
                 r.cascade_rounds,
                 r.infinities_forwarded,
                 r.engine.finite_hits,
@@ -719,6 +762,57 @@ mod tests {
         assert!(text.contains("phases=2"));
         assert!(text.contains("stream: frames=0"));
         assert_eq!(text.lines().count(), 6, "{text}");
+    }
+
+    #[test]
+    fn record_round_accumulates_timing_and_deletes() {
+        let mut rm = RankMetrics::default();
+        rm.record_round(&CascadeRoundStats {
+            resolved: 5,
+            merge_ns: 10,
+            batch_ns: 20,
+        });
+        rm.record_round(&CascadeRoundStats {
+            resolved: 0,
+            merge_ns: 3,
+            batch_ns: 0,
+        });
+        assert_eq!(rm.round_batch_deletes, vec![5, 0]);
+        assert_eq!(rm.merge_ns, 13);
+        assert_eq!(rm.batch_ns, 20);
+    }
+
+    #[test]
+    fn rank_metrics_serialize_cascade_fields() {
+        let mut rm = RankMetrics {
+            rank: 1,
+            round_infinity_lens: vec![7],
+            ..Default::default()
+        };
+        rm.record_round(&CascadeRoundStats {
+            resolved: 4,
+            merge_ns: 11,
+            batch_ns: 22,
+        });
+        let json = serde_json::to_string(&rm).unwrap();
+        assert!(json.contains("\"round_batch_deletes\":[4]"), "{json}");
+        assert!(json.contains("\"merge_ns\":11"), "{json}");
+        assert!(json.contains("\"batch_ns\":22"), "{json}");
+    }
+
+    #[test]
+    fn render_pretty_has_merge_and_batch_columns() {
+        let report = Report {
+            per_rank: vec![RankMetrics {
+                merge_ns: 1_000,
+                batch_ns: 2_000,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let text = report.render_pretty();
+        assert!(text.contains("merge"), "{text}");
+        assert!(text.contains("batch"), "{text}");
     }
 
     #[test]

@@ -246,6 +246,27 @@ impl AvlTree {
         self.rebalance(n)
     }
 
+    /// Build a perfectly balanced subtree over a sorted run, returning its
+    /// root and height. Mid-split yields sibling sizes differing by at most
+    /// one, so sibling heights differ by at most one — the AVL invariant
+    /// holds by construction. Recursion depth is O(log n).
+    fn build_balanced(&mut self, pairs: &[(u64, u64)]) -> (u32, u8) {
+        if pairs.is_empty() {
+            return (NIL, 0);
+        }
+        let mid = pairs.len() / 2;
+        let idx = self.alloc(pairs[mid].0, pairs[mid].1);
+        let (left, lh) = self.build_balanced(&pairs[..mid]);
+        let (right, rh) = self.build_balanced(&pairs[mid + 1..]);
+        let height = 1 + lh.max(rh);
+        let node = &mut self.nodes[idx as usize];
+        node.left = left;
+        node.right = right;
+        node.height = height;
+        node.size = pairs.len() as u32;
+        (idx, height)
+    }
+
     /// Structural self-check for tests: BST order, sizes, heights, balance.
     #[doc(hidden)]
     pub fn validate(&self) {
@@ -357,6 +378,14 @@ impl ReuseTree for AvlTree {
             cur = node.right;
         }
     }
+
+    fn rebuild_from_sorted(&mut self, pairs: &[(u64, u64)]) {
+        self.nodes.clear();
+        self.free.clear();
+        self.nodes.reserve(pairs.len());
+        let (root, _) = self.build_balanced(pairs);
+        self.root = root;
+    }
 }
 
 #[cfg(test)]
@@ -429,11 +458,26 @@ mod tests {
         );
     }
 
+    #[test]
+    fn batch_smoke() {
+        conformance::batch_smoke(&mut AvlTree::new());
+    }
+
     proptest! {
         #[test]
         fn conforms_to_model(ops in proptest::collection::vec(op_strategy(), 0..300)) {
             let mut tree = AvlTree::new();
             conformance::run_ops(&mut tree, ops);
+            tree.validate();
+        }
+
+        #[test]
+        fn batch_conforms_to_model(
+            live in proptest::collection::vec((0u64..256, 0u64..1_000_000), 0..200),
+            mask in proptest::collection::vec(any::<bool>(), 1..64),
+        ) {
+            let mut tree = AvlTree::new();
+            conformance::run_batch(&mut tree, live, mask);
             tree.validate();
         }
     }

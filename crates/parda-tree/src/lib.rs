@@ -94,6 +94,72 @@ pub trait ReuseTree {
     /// Used by the multi-phase reduction, which ships per-rank tree state.
     fn collect_in_order(&self, out: &mut Vec<(u64, u64)>);
 
+    /// Bulk rank+delete sweep — the batched cascade's tree half.
+    ///
+    /// `sorted_ts` holds strictly increasing timestamps, every one of which
+    /// must be live in the tree (a missing timestamp is a logic error and
+    /// panics). For each `sorted_ts[j]`, pushes onto `out` the number of
+    /// live nodes with timestamp strictly greater than `sorted_ts[j]` **as
+    /// measured against the tree state at entry** (the *initial rank*), then
+    /// removes all `sorted_ts` nodes. Exactly equivalent to — and the
+    /// default is literally — a loop of [`Self::distance_and_remove`] in
+    /// ascending timestamp order: removing a smaller timestamp never changes
+    /// a strictly-greater count, so each fused result *is* the initial rank.
+    ///
+    /// Implementations switch to an O(live + k) path when `k` is a large
+    /// fraction of the tree: one in-order walk pairs each deleted node with
+    /// its rank (`live − 1 − position`), survivors are kept in order, and
+    /// the tree is rebuilt via [`Self::rebuild_from_sorted`]. Ranks depend
+    /// only on the key *set*, never on tree shape, so rebuilds are
+    /// observationally transparent.
+    fn rank_delete_batch(&mut self, sorted_ts: &[u64], out: &mut Vec<u64>) {
+        let k = sorted_ts.len();
+        if k == 0 {
+            return;
+        }
+        // Sparse sweep: fused per-key descents, ascending.
+        if k * 8 < self.len() {
+            for &ts in sorted_ts {
+                let (d, _) = self
+                    .distance_and_remove(ts)
+                    .expect("rank_delete_batch: timestamp not live in tree");
+                out.push(d);
+            }
+            return;
+        }
+        // Dense sweep: one in-order pass plus a rebuild of the survivors.
+        let live = self.len() as u64;
+        let mut pairs = Vec::with_capacity(self.len());
+        self.collect_in_order(&mut pairs);
+        let mut cursor = 0usize;
+        let mut survivors = Vec::with_capacity(self.len() - k);
+        for (i, &(ts, addr)) in pairs.iter().enumerate() {
+            if cursor < k && sorted_ts[cursor] == ts {
+                // `live − 1 − i` nodes sit strictly after position i.
+                out.push(live - 1 - i as u64);
+                cursor += 1;
+            } else {
+                survivors.push((ts, addr));
+            }
+        }
+        assert_eq!(
+            cursor, k,
+            "rank_delete_batch: timestamp not live in tree (matched {cursor} of {k})"
+        );
+        self.rebuild_from_sorted(&survivors);
+    }
+
+    /// Replace the tree's contents with `pairs` (strictly increasing
+    /// timestamps). Implementations rebuild in O(n) from the sorted run;
+    /// the default clears and re-inserts.
+    fn rebuild_from_sorted(&mut self, pairs: &[(u64, u64)]) {
+        self.clear();
+        self.reserve(pairs.len());
+        for &(ts, addr) in pairs {
+            self.insert(ts, addr);
+        }
+    }
+
     /// Convenience wrapper around [`Self::collect_in_order`].
     fn to_sorted_vec(&self) -> Vec<(u64, u64)> {
         let mut v = Vec::with_capacity(self.len());
@@ -252,6 +318,96 @@ pub(crate) mod conformance {
             assert_eq!(tree.len(), model.len(), "len after op");
             assert_eq!(tree.to_sorted_vec(), model.sorted(), "in-order contents");
         }
+    }
+
+    /// Drive `rank_delete_batch` + `rebuild_from_sorted` against the model:
+    /// insert `live` pairs, batch-delete the masked subset of timestamps
+    /// (in ascending order, as the engine guarantees), and check the
+    /// reported ranks are the *pre-batch* strictly-greater counts, the
+    /// survivors are exact, and the structure still answers queries after
+    /// a possible rebuild.
+    pub fn run_batch<T: ReuseTree>(tree: &mut T, live: Vec<(u64, u64)>, mask: Vec<bool>) {
+        let mut model = Model::default();
+        for &(ts, addr) in &live {
+            if model.map.contains_key(&ts) {
+                continue;
+            }
+            model.insert(ts, addr);
+            tree.insert(ts, addr);
+        }
+        let keys: Vec<u64> = model.map.keys().copied().collect();
+        let sorted_ts: Vec<u64> = keys
+            .iter()
+            .zip(mask.iter().cycle())
+            .filter(|&(_, &m)| m)
+            .map(|(&ts, _)| ts)
+            .collect();
+        let expected: Vec<u64> = sorted_ts.iter().map(|&ts| model.distance(ts)).collect();
+        let mut out = Vec::new();
+        tree.rank_delete_batch(&sorted_ts, &mut out);
+        assert_eq!(out, expected, "batch ranks must be pre-batch ranks");
+        for &ts in &sorted_ts {
+            model.remove(ts);
+        }
+        assert_eq!(tree.len(), model.len(), "len after batch");
+        assert_eq!(
+            tree.to_sorted_vec(),
+            model.sorted(),
+            "survivors after batch"
+        );
+
+        // The structure must remain fully functional after any rebuild.
+        let next_ts = keys.last().map_or(0, |&t| t + 1);
+        model.insert(next_ts, 4242);
+        tree.insert(next_ts, 4242);
+        for &ts in keys.iter().take(8) {
+            assert_eq!(
+                tree.distance(ts),
+                model.distance(ts),
+                "distance({ts}) after batch"
+            );
+        }
+        assert_eq!(tree.oldest(), model.oldest(), "oldest after batch");
+        assert_eq!(tree.to_sorted_vec(), model.sorted(), "contents after batch");
+    }
+
+    /// Deterministic batch smoke: exercises the sparse (fused-descent) path,
+    /// the dense (merge + rebuild) path, and the empty batch.
+    pub fn batch_smoke<T: ReuseTree>(tree: &mut T) {
+        for ts in 0..200u64 {
+            tree.insert(ts, ts * 3);
+        }
+        // Empty batch is a no-op.
+        let mut out = Vec::new();
+        tree.rank_delete_batch(&[], &mut out);
+        assert!(out.is_empty());
+        assert_eq!(tree.len(), 200);
+
+        // Sparse path: 3 * 8 < 200.
+        tree.rank_delete_batch(&[10, 100, 199], &mut out);
+        assert_eq!(out, vec![189, 99, 0]);
+        assert_eq!(tree.len(), 197);
+
+        // Dense path: delete every other survivor (98 * 8 >= 197).
+        let remaining: Vec<u64> = tree.to_sorted_vec().iter().map(|&(ts, _)| ts).collect();
+        let half: Vec<u64> = remaining.iter().copied().step_by(2).collect();
+        let mut model = Model::default();
+        for &ts in &remaining {
+            model.insert(ts, ts * 3);
+        }
+        let expected: Vec<u64> = half.iter().map(|&ts| model.distance(ts)).collect();
+        out.clear();
+        tree.rank_delete_batch(&half, &mut out);
+        assert_eq!(out, expected);
+        for &ts in &half {
+            model.remove(ts);
+        }
+        assert_eq!(tree.to_sorted_vec(), model.sorted());
+
+        // Still usable: insert past the end and query.
+        tree.insert(500, 5000);
+        assert_eq!(tree.distance(500), 0);
+        assert_eq!(tree.oldest(), model.oldest());
     }
 
     /// Deterministic smoke sequence exercising all operations.

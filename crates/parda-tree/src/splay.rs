@@ -272,6 +272,25 @@ impl SplayTree {
         (ts, addr)
     }
 
+    /// Build a perfectly balanced subtree over a sorted run, returning its
+    /// root. Any BST shape answers rank queries identically — distances
+    /// depend only on the key set — so the rebuild picks the shape that
+    /// minimizes subsequent descent depth. Recursion depth is O(log n).
+    fn build_balanced(&mut self, pairs: &[(u64, u64)]) -> u32 {
+        if pairs.is_empty() {
+            return NIL;
+        }
+        let mid = pairs.len() / 2;
+        let idx = self.alloc(pairs[mid].0, pairs[mid].1);
+        let left = self.build_balanced(&pairs[..mid]);
+        let right = self.build_balanced(&pairs[mid + 1..]);
+        let node = &mut self.nodes[idx as usize];
+        node.left = left;
+        node.right = right;
+        node.size = pairs.len() as u32;
+        idx
+    }
+
     /// Structural self-check for tests: BST order and size augmentation.
     #[doc(hidden)]
     pub fn validate(&self) {
@@ -402,6 +421,14 @@ impl ReuseTree for SplayTree {
 
     fn reserve(&mut self, additional: usize) {
         self.nodes.reserve(additional);
+    }
+
+    fn rebuild_from_sorted(&mut self, pairs: &[(u64, u64)]) {
+        self.nodes.clear();
+        self.free.clear();
+        self.nodes.reserve(pairs.len());
+        self.root = self.build_balanced(pairs);
+        self.len = pairs.len();
     }
 
     fn collect_in_order(&self, out: &mut Vec<(u64, u64)>) {
@@ -565,11 +592,47 @@ mod tests {
         tree.validate();
     }
 
+    #[test]
+    fn batch_smoke() {
+        conformance::batch_smoke(&mut SplayTree::new());
+    }
+
+    #[test]
+    fn dense_batch_rebuilds_balanced() {
+        let mut tree = SplayTree::new();
+        // Left-spine adversarial shape: descending inserts.
+        for ts in (0..4096u64).rev() {
+            tree.insert(ts, ts);
+        }
+        let delete: Vec<u64> = (0..4096u64).step_by(2).collect();
+        let mut out = Vec::new();
+        tree.rank_delete_batch(&delete, &mut out);
+        assert_eq!(tree.len(), 2048);
+        tree.validate();
+        fn depth(t: &SplayTree, n: u32) -> u32 {
+            if n == NIL {
+                return 0;
+            }
+            1 + depth(t, t.nodes[n as usize].left).max(depth(t, t.nodes[n as usize].right))
+        }
+        assert!(depth(&tree, tree.root) <= 12, "rebuild must be balanced");
+    }
+
     proptest! {
         #[test]
         fn conforms_to_model(ops in proptest::collection::vec(op_strategy(), 0..300)) {
             let mut tree = SplayTree::new();
             conformance::run_ops(&mut tree, ops);
+            tree.validate();
+        }
+
+        #[test]
+        fn batch_conforms_to_model(
+            live in proptest::collection::vec((0u64..256, 0u64..1_000_000), 0..200),
+            mask in proptest::collection::vec(any::<bool>(), 1..64),
+        ) {
+            let mut tree = SplayTree::new();
+            conformance::run_batch(&mut tree, live, mask);
             tree.validate();
         }
     }

@@ -202,6 +202,29 @@ impl Treap {
         NIL
     }
 
+    /// Recompute subtree sizes below `root` in one iterative post-order
+    /// walk (treap depth is only *expected* logarithmic, so no recursion).
+    fn fixup_sizes(&mut self, root: u32) {
+        let mut stack = vec![(root, false)];
+        while let Some((n, visited)) = stack.pop() {
+            if n == NIL {
+                continue;
+            }
+            if visited {
+                let (l, r) = {
+                    let node = &self.nodes[n as usize];
+                    (node.left, node.right)
+                };
+                self.nodes[n as usize].size = 1 + self.size(l) + self.size(r);
+            } else {
+                stack.push((n, true));
+                let node = &self.nodes[n as usize];
+                stack.push((node.left, false));
+                stack.push((node.right, false));
+            }
+        }
+    }
+
     /// Structural self-check for tests: BST order, heap order, sizes.
     #[doc(hidden)]
     pub fn validate(&self) {
@@ -320,6 +343,42 @@ impl ReuseTree for Treap {
             cur = node.right;
         }
     }
+
+    /// O(n) cartesian build over the right spine. Keys arrive in increasing
+    /// order, so each new node can only displace a suffix of the spine: pop
+    /// while the spine top's priority is *strictly* smaller (on a tie the
+    /// earlier — smaller-key — node stays above, matching `merge`'s `>=`
+    /// preference for the left operand), hang the popped chain as the new
+    /// node's left child, and attach. Priorities are a pure function of the
+    /// key, so the rebuilt shape is identical to incremental insertion.
+    fn rebuild_from_sorted(&mut self, pairs: &[(u64, u64)]) {
+        self.nodes.clear();
+        self.free.clear();
+        self.nodes.reserve(pairs.len());
+        self.root = NIL;
+        let mut spine: Vec<u32> = Vec::new();
+        for &(ts, addr) in pairs {
+            let new = self.alloc(ts, addr);
+            let p = self.nodes[new as usize].priority;
+            let mut popped = NIL;
+            while let Some(&top) = spine.last() {
+                if self.nodes[top as usize].priority < p {
+                    popped = top;
+                    spine.pop();
+                } else {
+                    break;
+                }
+            }
+            self.nodes[new as usize].left = popped;
+            match spine.last() {
+                Some(&top) => self.nodes[top as usize].right = new,
+                None => self.root = new,
+            }
+            spine.push(new);
+        }
+        let root = self.root;
+        self.fixup_sizes(root);
+    }
 }
 
 #[cfg(test)]
@@ -387,11 +446,51 @@ mod tests {
         tree.validate();
     }
 
+    #[test]
+    fn batch_smoke() {
+        conformance::batch_smoke(&mut Treap::new());
+    }
+
+    #[test]
+    fn dense_batch_rebuild_matches_incremental_shape() {
+        let mut tree = Treap::new();
+        for ts in 0..512u64 {
+            tree.insert(ts, ts);
+        }
+        // Keep every third key: dense path (341 * 8 ≥ 512) → cartesian
+        // rebuild, whose shape must equal incremental insertion of the
+        // survivors (priorities are a pure function of the key).
+        let delete: Vec<u64> = (0..512u64).filter(|t| t % 3 != 0).collect();
+        let mut out = Vec::new();
+        tree.rank_delete_batch(&delete, &mut out);
+        tree.validate();
+
+        let mut fresh = Treap::new();
+        for ts in (0..512u64).filter(|t| t % 3 == 0) {
+            fresh.insert(ts, ts);
+        }
+        assert_eq!(
+            tree.nodes[tree.root as usize].ts,
+            fresh.nodes[fresh.root as usize].ts
+        );
+        assert_eq!(tree.to_sorted_vec(), fresh.to_sorted_vec());
+    }
+
     proptest! {
         #[test]
         fn conforms_to_model(ops in proptest::collection::vec(op_strategy(), 0..300)) {
             let mut tree = Treap::new();
             conformance::run_ops(&mut tree, ops);
+            tree.validate();
+        }
+
+        #[test]
+        fn batch_conforms_to_model(
+            live in proptest::collection::vec((0u64..256, 0u64..1_000_000), 0..200),
+            mask in proptest::collection::vec(any::<bool>(), 1..64),
+        ) {
+            let mut tree = Treap::new();
+            conformance::run_batch(&mut tree, live, mask);
             tree.validate();
         }
     }

@@ -236,6 +236,44 @@ impl ReuseTree for VectorTree {
                 .map(|s| (s.ts, s.addr)),
         );
     }
+
+    /// Fenwick fast path: one galloping scan over the slot array. The batch
+    /// arrives in ascending timestamp order, so each lookup restarts its
+    /// binary search from the previous hit (`partition_point` over the
+    /// remaining suffix), and each rank is a single `suffix_sum`. Earlier
+    /// deletions in the batch sit at strictly smaller slot indices, so they
+    /// never perturb a later suffix count — every reported rank is the
+    /// pre-batch rank, as the contract requires.
+    fn rank_delete_batch(&mut self, sorted_ts: &[u64], out: &mut Vec<u64>) {
+        out.reserve(sorted_ts.len());
+        let mut idx = 0usize;
+        for &ts in sorted_ts {
+            idx += self.slots[idx..self.used].partition_point(|s| s.ts < ts);
+            let live = self.slots[..self.used]
+                .get(idx)
+                .is_some_and(|s| s.ts == ts && s.addr != EMPTY_ADDR);
+            assert!(
+                live,
+                "rank_delete_batch: timestamp {ts} not live in VectorTree"
+            );
+            out.push(self.fenwick.suffix_sum(idx + 1));
+            self.slots[idx].addr = EMPTY_ADDR;
+            self.fenwick.sub(idx, 1);
+            self.live -= 1;
+        }
+    }
+
+    fn rebuild_from_sorted(&mut self, pairs: &[(u64, u64)]) {
+        self.slots.clear();
+        self.slots
+            .extend(pairs.iter().map(|&(ts, addr)| Slot { ts, addr }));
+        self.used = pairs.len();
+        self.live = pairs.len();
+        self.fenwick = Fenwick::new(self.slots.capacity().max(Self::INITIAL_SLOTS));
+        for i in 0..self.used {
+            self.fenwick.add(i, 1);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -313,11 +351,26 @@ mod tests {
         v.validate();
     }
 
+    #[test]
+    fn batch_smoke() {
+        conformance::batch_smoke(&mut VectorTree::new());
+    }
+
     proptest! {
         #[test]
         fn conforms_to_model(ops in proptest::collection::vec(op_strategy(), 0..300)) {
             let mut tree = VectorTree::new();
             conformance::run_ops(&mut tree, ops);
+            tree.validate();
+        }
+
+        #[test]
+        fn batch_conforms_to_model(
+            live in proptest::collection::vec((0u64..256, 0u64..1_000_000), 0..200),
+            mask in proptest::collection::vec(any::<bool>(), 1..64),
+        ) {
+            let mut tree = VectorTree::new();
+            conformance::run_batch(&mut tree, live, mask);
             tree.validate();
         }
     }

@@ -46,6 +46,16 @@ fn assert_all_drivers_match<T: ReuseTree + Default + Send>(
     // Phase chunk > BATCH so the phased engines hit the batched path too.
     let phased = parda_phased::<T, _>(SliceStream::new(trace), 96, &config);
     assert_eq!(phased, expected, "phased");
+
+    // Work-stealing subdivision forced on (tiny grain → MAX_PARTS_PER_RANK
+    // sub-chunks per rank): the fold now runs over virtual ranks and takes
+    // the in-place batched absorb path, and must stay bit-identical.
+    let subdivided = config.clone().subchunk_refs(16);
+    assert_eq!(
+        parda_threads::<T>(trace, &subdivided),
+        expected,
+        "threads (subdivided)"
+    );
 }
 
 proptest! {
@@ -89,6 +99,34 @@ proptest! {
         let mut engine: Engine<Treap> = Engine::new(None, trace.len());
         engine.process_chunk(&trace, 0, MissSink::Infinite);
         prop_assert_eq!(engine.into_histogram(), expected);
+    }
+
+    /// Wide address spaces make every cascade stream long (most references
+    /// are chunk-local first touches), so each absorb round crosses the
+    /// engine's batching threshold and runs the merge + rank_delete_batch
+    /// path. All four trees must agree with the scalar reference.
+    #[test]
+    fn long_cascade_streams_hit_batched_absorb(
+        trace in proptest::collection::vec(0u64..2_048, 600..1_000),
+        ranks in 2usize..5,
+    ) {
+        assert_all_drivers_match::<SplayTree>(&trace, ranks, true);
+        assert_all_drivers_match::<AvlTree>(&trace, ranks, true);
+        assert_all_drivers_match::<Treap>(&trace, ranks, true);
+        assert_all_drivers_match::<VectorTree>(&trace, ranks, true);
+    }
+
+    /// The subdivision grain never changes the histogram — any contiguous
+    /// partition of the trace folds to the sequential answer.
+    #[test]
+    fn subdivision_grain_is_transparent(
+        trace in proptest::collection::vec(0u64..64, 100..500),
+        ranks in 2usize..5,
+        grain in 1usize..200,
+    ) {
+        let expected = scalar_reference::<SplayTree>(&trace);
+        let config = PardaConfig::with_ranks(ranks).subchunk_refs(grain);
+        prop_assert_eq!(parda_threads::<SplayTree>(&trace, &config), expected);
     }
 }
 

@@ -1,0 +1,165 @@
+//! Cascade observability invariants: the per-rank [`RankMetrics`] emitted
+//! by both parallel drivers must tell a self-consistent story about the
+//! infinity cascade — every forwarded stream is received exactly once,
+//! round vectors stay aligned, batch-delete tallies reconcile with the
+//! engines' stream-hit counters, and the new merge/batch timing fields
+//! never exceed the enclosing cascade time.
+
+use parda_core::parallel::{parda_msg_with_stats, parda_threads_with_stats, MAX_PARTS_PER_RANK};
+use parda_core::PardaConfig;
+use parda_obs::RankMetrics;
+use parda_tree::{AvlTree, SplayTree, Treap, VectorTree};
+use proptest::prelude::*;
+
+fn modular_trace(refs: usize, footprint: u64, stride: u64) -> Vec<u64> {
+    (0..refs as u64).map(|i| (i * stride) % footprint).collect()
+}
+
+/// Invariants that hold for every driver and mode.
+fn assert_common_invariants(metrics: &[RankMetrics]) {
+    for m in metrics {
+        assert_eq!(
+            m.cascade_rounds as usize,
+            m.round_infinity_lens.len(),
+            "rank {}: one stream length per round",
+            m.rank
+        );
+        assert_eq!(
+            m.round_infinity_lens.len(),
+            m.round_batch_deletes.len(),
+            "rank {}: one batch-delete tally per round",
+            m.rank
+        );
+        assert!(
+            m.merge_ns + m.batch_ns <= m.cascade_ns,
+            "rank {}: merge ({}) + batch ({}) exceed cascade time ({})",
+            m.rank,
+            m.merge_ns,
+            m.batch_ns,
+            m.cascade_ns
+        );
+    }
+    // Conservation: every stream forwarded across a (virtual) rank
+    // boundary is received exactly once somewhere to its left.
+    let forwarded: u64 = metrics.iter().map(|m| m.infinities_forwarded).sum();
+    let received: u64 = metrics
+        .iter()
+        .flat_map(|m| m.round_infinity_lens.iter())
+        .sum();
+    assert_eq!(forwarded, received, "forwarded vs received stream mass");
+}
+
+/// In the space-optimized unbounded mode, a stream element resolved during
+/// an absorb round is exactly one engine stream hit — so the per-round
+/// batch-delete tallies must reconcile with the engine counters.
+fn assert_space_opt_accounting(metrics: &[RankMetrics]) {
+    for m in metrics {
+        assert_eq!(
+            m.round_batch_deletes.iter().sum::<u64>(),
+            m.engine.stream_hits,
+            "rank {}: batch deletes vs engine stream hits",
+            m.rank
+        );
+    }
+}
+
+#[test]
+fn msg_round_structure_is_exact() {
+    let trace = modular_trace(4_000, 509, 13);
+    for np in [2usize, 3, 5] {
+        let cfg = PardaConfig::with_ranks(np);
+        let (_, metrics) = parda_msg_with_stats::<SplayTree>(&trace, &cfg);
+        assert_eq!(metrics.len(), np);
+        for (p, m) in metrics.iter().enumerate() {
+            assert_eq!(m.rank, p);
+            // Algorithm 3: rank p performs exactly np − p − 1 absorb rounds,
+            // counted whether or not the incoming list is empty.
+            assert_eq!(m.cascade_rounds, (np - p - 1) as u64, "np={np} rank={p}");
+        }
+        assert_common_invariants(&metrics);
+        assert_space_opt_accounting(&metrics);
+    }
+}
+
+#[test]
+fn threads_rounds_bounded_by_subdivision() {
+    let trace = modular_trace(6_000, 701, 17);
+    for np in [2usize, 4] {
+        // Tiny grain forces the full MAX_PARTS_PER_RANK subdivision.
+        let cfg = PardaConfig::with_ranks(np).subchunk_refs(1);
+        let (_, metrics) = parda_threads_with_stats::<SplayTree>(&trace, &cfg);
+        assert_eq!(metrics.len(), np);
+        for m in &metrics {
+            // A rank's items absorb at most one stream each; only non-empty
+            // streams are counted as rounds.
+            assert!(
+                (m.cascade_rounds as usize) <= MAX_PARTS_PER_RANK,
+                "np={np} rank={} rounds={}",
+                m.rank,
+                m.cascade_rounds
+            );
+        }
+        assert_common_invariants(&metrics);
+        assert_space_opt_accounting(&metrics);
+    }
+}
+
+#[test]
+fn batched_rounds_populate_delete_and_timing_fields() {
+    // Dense reuse across chunk boundaries: most forwarded infinities
+    // resolve in the left neighbour, so the absorb rounds actually delete
+    // from the trees and the batched path records its timings.
+    let trace = modular_trace(20_000, 997, 1);
+    let cfg = PardaConfig::with_ranks(4);
+    let (_, metrics) = parda_threads_with_stats::<SplayTree>(&trace, &cfg);
+    assert_common_invariants(&metrics);
+    assert_space_opt_accounting(&metrics);
+    let total_deletes: u64 = metrics
+        .iter()
+        .flat_map(|m| m.round_batch_deletes.iter())
+        .sum();
+    assert!(
+        total_deletes > 0,
+        "dense trace must resolve stream infinities"
+    );
+    // The stream at each boundary is ~997 elements — far above the
+    // engine's batching threshold — so the merge pass must have been timed
+    // on at least one rank. (Individual rounds can still measure 0 ns on a
+    // coarse clock; the sum across ranks of a 20k-ref run cannot.)
+    let merge_total: u64 = metrics.iter().map(|m| m.merge_ns).sum();
+    assert!(
+        merge_total > 0,
+        "batched absorb rounds must record merge time"
+    );
+}
+
+#[test]
+fn unoptimized_mode_keeps_rounds_aligned() {
+    let trace = modular_trace(3_000, 401, 7);
+    let cfg = PardaConfig::with_ranks(3).space_optimized(false);
+    let (_, msg) = parda_msg_with_stats::<AvlTree>(&trace, &cfg);
+    assert_common_invariants(&msg);
+    let (_, threads) = parda_threads_with_stats::<AvlTree>(&trace, &cfg);
+    assert_common_invariants(&threads);
+}
+
+proptest! {
+    /// The invariants hold for every trace shape, rank count, tree, and
+    /// subdivision grain, in both drivers.
+    #[test]
+    fn cascade_invariants_prop(
+        trace in proptest::collection::vec(0u64..128, 0..600),
+        np in 2usize..6,
+        grain in 1usize..300,
+    ) {
+        let cfg = PardaConfig::with_ranks(np);
+        let (_, msg) = parda_msg_with_stats::<Treap>(&trace, &cfg);
+        assert_common_invariants(&msg);
+        assert_space_opt_accounting(&msg);
+
+        let sub = cfg.subchunk_refs(grain);
+        let (_, threads) = parda_threads_with_stats::<VectorTree>(&trace, &sub);
+        assert_common_invariants(&threads);
+        assert_space_opt_accounting(&threads);
+    }
+}
