@@ -66,6 +66,32 @@ sys.exit(1 if failed else 0)
 EOF
 rm -f "$hotpath_out"
 
+step "approx accuracy smoke (1M refs; MAE must hold the committed ceilings)"
+approx_out=$(mktemp)
+cargo run -q --release -p parda-bench --bin sampling_accuracy -- \
+    --refs 1000000 --out "$approx_out" > /dev/null
+python3 - "$approx_out" BENCH_approx_floor.json <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+ceilings = json.load(open(sys.argv[2]))["mae_ceilings"]
+failed = False
+for row in report["rows"]:
+    ceiling = ceilings.get(row["workload"], {}).get(row["mode"])
+    if ceiling is None:
+        continue
+    ok = row["mae"] <= ceiling
+    print(f"  {row['workload']}/{row['mode']}: MAE {row['mae']:.4f}"
+          f" (ceiling {ceiling}) {'ok' if ok else 'REGRESSED'}")
+    failed |= not ok
+sys.exit(1 if failed else 0)
+EOF
+rm -f "$approx_out"
+
+if [[ $quick -eq 0 ]]; then
+    step "approx acceptance (10M-ref zipf, shards-smax:8192 within 2% MAE; release)"
+    cargo test --release -q --test approx_accuracy -- --ignored
+fi
+
 step "--stats=json smoke (analyze a v2 trace, output must be valid JSON)"
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
@@ -131,12 +157,31 @@ if ! diff -q "$smoke_dir/served.json" "$smoke_dir/offline.json" > /dev/null; the
     kill "$serve_pid" 2>/dev/null || true
     exit 1
 fi
+# Approx round-trip: a sampled session must stream to the same sketch the
+# offline path builds, so the replies are byte-identical too.
+"$parda_bin" submit "$smoke_dir/server.trc" --addr "$addr" --approx=shards:0.01 --json \
+    > "$smoke_dir/served_approx.json"
+"$parda_bin" analyze "$smoke_dir/server.trc" --approx=shards:0.01 --json \
+    > "$smoke_dir/offline_approx.json"
+if ! diff -q "$smoke_dir/served_approx.json" "$smoke_dir/offline_approx.json" > /dev/null; then
+    echo "server smoke: served approx histogram differs from offline --approx" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+"$parda_bin" submit "$smoke_dir/server.trc" --addr "$addr" --approx=shards:0.01 --stats=json \
+    | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+approx = doc["stats"]["approx"]
+assert approx["mode"] == "shards", approx
+assert approx["sketch_bytes"] > 0, approx
+'
 kill -TERM "$serve_pid"
 if ! wait "$serve_pid"; then
     echo "server smoke: daemon did not drain cleanly on SIGTERM" >&2
     exit 1
 fi
-grep -q "sessions opened=1 rejected=0 failed=0 completed=1" "$smoke_dir/serve.out" || {
+grep -q "sessions opened=3 rejected=0 failed=0 completed=3" "$smoke_dir/serve.out" || {
     echo "server smoke: unexpected final metrics:" >&2
     cat "$smoke_dir/serve.out" >&2
     exit 1

@@ -2,7 +2,7 @@
 
 use crate::{Args, CliError};
 use parda_core::phased::Reduction;
-use parda_core::{Analysis, Degradation, FaultPolicy, Mode, PardaError, Report};
+use parda_core::{Analysis, ApproxMode, Degradation, FaultPolicy, Mode, PardaError, Report};
 use parda_pinsim::collect_trace;
 use parda_server::{Server, ServerConfig, SubmitOptions};
 use parda_trace::gen::{CyclicGen, SequentialGen, UniformGen, ZipfGen};
@@ -17,7 +17,9 @@ use std::time::{Duration, Instant};
 /// Boolean switches the CLI recognizes: these never consume the next token
 /// (`--stream file.trc` keeps `file.trc` positional), while `--stats=json`
 /// still selects a format via the `--key=value` form.
-pub const SWITCHES: &[&str] = &["json", "stream", "renumber", "stats", "verify", "mrc"];
+pub const SWITCHES: &[&str] = &[
+    "json", "stream", "renumber", "stats", "verify", "mrc", "approx",
+];
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -43,11 +45,16 @@ commands:
                           policy: fail, skip checksummed-bad frames, or
                           salvage everything recoverable; default strict)
              [--verify]  (check format + checksums only, no analysis)
+             [--approx[=<spec>]]  (constant-space approximate analysis;
+                          spec is exact | shards:<rate> | shards-smax:<n>
+                          | aet[:<rate>], default shards:0.01)
              phased:  [--chunk <C>] [--renumber]
-             sampled: [--rate <k>]   (spatial sampling at rate 2^-k)
+             sampled: [--rate <k>]   (legacy spatial sampling at rate 2^-k;
+                          prefer --approx=shards:<rate>)
   mrc      print the miss ratio curve of a trace
              <file> [--capacities <c1,c2,...>] [--stream]
              [--stats[=json|pretty]] [--degradation <policy>]
+             [--approx[=<spec>]]  (same grammar as analyze)
   stats    print trace statistics (N, M, address span)
              <file>
   compare  run every engine over a trace, verify agreement, report timings
@@ -62,10 +69,14 @@ commands:
                           sessions that do not pick their own)
              [--idle-timeout <secs>]  (stall out silent clients; 0 = never)
              [--accept-limit <n>]     (stop after n connections; tests)
+             [--approx[=<spec>]]      (default approx mode for sessions
+                          that do not pick their own; default exact)
              SIGINT/SIGTERM stop accepting and drain in-flight sessions
   submit   stream a trace to a daemon and print the returned histogram
              <file> --addr <host:port> [--config k=v[,k=v...]]
              [--encoding <raw|delta>] [--frame-refs <n>] [--json] [--mrc]
+             [--approx[=<spec>]]  (request approximate analysis; rides the
+                          CONFIG frame as approx=<spec>)
              [--stats=json]  (full histogram+stats document from the server,
                           same shape as analyze --stats=json)
   help     show this message
@@ -75,6 +86,20 @@ exit codes: 0 ok, 1 usage, 2 corrupt trace, 3 i/o failure,
 
 fn io_err(e: impl std::fmt::Display) -> String {
     e.to_string()
+}
+
+/// The `--approx` engine selection, shared by `analyze`, `mrc`, `serve`,
+/// and `submit`. Bare `--approx` defaults to fixed-rate SHARDS at 1%;
+/// `--approx=<spec>` accepts the full grammar
+/// (`exact | shards:<rate> | shards-smax:<n> | aet[:<rate>]`).
+fn parse_approx(args: &Args) -> Result<Option<ApproxMode>, CliError> {
+    if let Some(spec) = args.get("approx") {
+        Ok(Some(ApproxMode::parse(spec).map_err(CliError::Usage)?))
+    } else if args.has("approx") {
+        Ok(Some(ApproxMode::ShardsFixedRate { rate: 0.01 }))
+    } else {
+        Ok(None)
+    }
 }
 
 /// The `--degradation` policy, defaulting to strict.
@@ -230,6 +255,10 @@ pub fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let line_bits: u32 = args.get_parsed("line-bits", 0)?;
     let stats_fmt = stats_format(args)?;
     let degradation = parse_degradation(args)?;
+    let approx = parse_approx(args)?;
+    if approx.is_some_and(|a| !a.is_exact()) && args.get("engine").is_some() {
+        return Err("--approx replaces the analysis engine; drop --engine".into());
+    }
 
     // Streamed analysis: decode v2 frames on background threads while the
     // phased analyzer consumes them. Explicit with --stream; automatic for
@@ -269,7 +298,8 @@ pub fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         .ranks(ranks)
         .bound(bound)
         .stats(true)
-        .degradation(degradation);
+        .degradation(degradation)
+        .approx(approx.unwrap_or_default());
 
     // The streaming path needs an intact footer index to seek frames; if
     // it is destroyed and the policy is best-effort, fall back to the
@@ -370,6 +400,7 @@ pub fn mrc(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let path = args.require_positional(0, "trace file")?;
     let stats_fmt = stats_format(args)?;
     let degradation = parse_degradation(args)?;
+    let approx = parse_approx(args)?.unwrap_or_default();
     // v2 files stream through the phased engine (exact, same histogram as
     // the sequential analyzer); v1 files use the legacy load-then-analyze.
     // A v2 file whose footer is destroyed falls back to the in-memory
@@ -381,7 +412,11 @@ pub fn mrc(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 let errors = stream.error_handle();
                 let counters = stream.stats_handle();
                 let recovery = stream.recovery_handle();
-                let (hist, report) = Analysis::new().ranks(ranks).stats(true).run_stream(stream);
+                let (hist, report) = Analysis::new()
+                    .ranks(ranks)
+                    .stats(true)
+                    .approx(approx)
+                    .run_stream(stream);
                 if let Some(e) = errors.take() {
                     return Err(PardaError::from(e).into());
                 }
@@ -404,6 +439,7 @@ pub fn mrc(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             let (hist, report) = Analysis::new()
                 .mode(Mode::Seq)
                 .stats(true)
+                .approx(approx)
                 .run(trace.as_slice());
             let mut report = report.expect("stats were requested");
             report.recovery = Some(rec);
@@ -525,6 +561,7 @@ pub fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         fault: FaultPolicy::with_degradation(degradation),
         idle_timeout: (idle_secs > 0).then(|| Duration::from_secs(idle_secs)),
         accept_limit,
+        default_approx: parse_approx(args)?.unwrap_or_default(),
     })
     .map_err(PardaError::Io)?;
     let local = server.local_addr().map_err(PardaError::Io)?;
@@ -567,6 +604,11 @@ pub fn submit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 .ok_or_else(|| format!("bad --config entry `{pair}` (want key=value)"))?;
             opts.config.push((k.to_string(), v.to_string()));
         }
+    }
+    // --approx rides the CONFIG frame; older servers reject the key with a
+    // clear error, and servers never see it when the flag is absent.
+    if let Some(mode) = parse_approx(args)? {
+        opts.config.push(("approx".to_string(), mode.spec()));
     }
     opts.encoding = match args.get("encoding").unwrap_or("delta") {
         "raw" => Encoding::Raw,

@@ -1,0 +1,113 @@
+//! End-to-end checks for `--approx`: the CLI must route every spec through
+//! the sketch subsystem, agree bit-for-bit with the library, attach the
+//! approx metrics to `--stats=json`, and reject bad grammar with a usage
+//! error that spells the grammar out.
+
+use parda_cli::run;
+use parda_core::approx::analyze_approx;
+use parda_core::ApproxMode;
+use parda_trace::io::load_trace;
+
+fn run_to_string(argv: &[&str]) -> (i32, String) {
+    let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+    let mut buf = Vec::new();
+    let code = run(&argv, &mut buf);
+    (code, String::from_utf8(buf).unwrap())
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("parda-cli-approx-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_str().unwrap().to_string()
+}
+
+fn gen_zipf(path: &str) {
+    let (code, out) = run_to_string(&[
+        "gen",
+        "--pattern",
+        "zipf",
+        "--footprint",
+        "8192",
+        "--refs",
+        "120000",
+        "--seed",
+        "7",
+        "--out",
+        path,
+    ]);
+    assert_eq!(code, 0, "gen failed: {out}");
+}
+
+#[test]
+fn approx_analyze_matches_the_library_for_every_mode() {
+    let path = tmp("zipf.v2.trc");
+    gen_zipf(&path);
+    let trace = load_trace(&path).unwrap();
+
+    for spec in ["shards:0.05", "shards-smax:512", "aet:0.05"] {
+        let mode = ApproxMode::parse(spec).unwrap();
+        let (expect, _) = analyze_approx(trace.as_slice(), mode);
+        let expect_json = serde_json::to_string(&expect).unwrap();
+
+        // v2 file: the approx path streams frames, still bit-identical.
+        let (code, out) = run_to_string(&["analyze", &path, &format!("--approx={spec}"), "--json"]);
+        assert_eq!(code, 0, "--approx={spec} failed: {out}");
+        assert_eq!(out.trim_end(), expect_json, "--approx={spec} histogram");
+
+        // mrc accepts the same grammar and produces the sketch's curve.
+        let (code, out) = run_to_string(&["mrc", &path, &format!("--approx={spec}")]);
+        assert_eq!(code, 0, "mrc --approx={spec} failed: {out}");
+        assert!(out.contains("capacity"), "mrc table missing: {out}");
+    }
+}
+
+#[test]
+fn bare_approx_defaults_to_one_percent_shards() {
+    let path = tmp("bare.v2.trc");
+    gen_zipf(&path);
+    let trace = load_trace(&path).unwrap();
+    let (expect, _) = analyze_approx(trace.as_slice(), ApproxMode::ShardsFixedRate { rate: 0.01 });
+    let (code, out) = run_to_string(&["analyze", &path, "--approx", "--json"]);
+    assert_eq!(code, 0, "bare --approx failed: {out}");
+    assert_eq!(out.trim_end(), serde_json::to_string(&expect).unwrap());
+}
+
+#[test]
+fn stats_json_carries_the_approx_block() {
+    let path = tmp("stats.v2.trc");
+    gen_zipf(&path);
+    let (code, out) = run_to_string(&["analyze", &path, "--approx=shards:0.05", "--stats=json"]);
+    assert_eq!(code, 0, "stats run failed: {out}");
+    let doc: serde::Value = serde_json::from_str(out.trim_end()).unwrap();
+    let approx = doc.field("stats").unwrap().field("approx").unwrap();
+    let mode = <String as serde::Deserialize>::from_value(approx.field("mode").unwrap()).unwrap();
+    assert_eq!(mode, "shards");
+    let bytes =
+        <u64 as serde::Deserialize>::from_value(approx.field("sketch_bytes").unwrap()).unwrap();
+    assert!(bytes > 0, "sketch memory must be reported");
+}
+
+#[test]
+fn bad_specs_are_usage_errors_quoting_the_grammar() {
+    let path = tmp("bad.v2.trc");
+    gen_zipf(&path);
+    for bad in [
+        "--approx=warp",
+        "--approx=shards:0",
+        "--approx=shards-smax:0",
+    ] {
+        let (code, out) = run_to_string(&["analyze", &path, bad]);
+        assert_eq!(code, 1, "{bad} must be a usage error: {out}");
+        assert!(
+            out.contains("grammar"),
+            "{bad}: error must cite the grammar: {out}"
+        );
+    }
+    // --approx supersedes the engine choice; asking for both is ambiguous.
+    let (code, out) = run_to_string(&["analyze", &path, "--approx=shards:0.05", "--engine", "seq"]);
+    assert_eq!(code, 1, "conflicting engine must be rejected: {out}");
+    assert!(
+        out.contains("--engine"),
+        "error must name the conflict: {out}"
+    );
+}

@@ -28,10 +28,10 @@
 //! through, and aggregates the per-rank metrics into a [`Report`]. The
 //! histograms are bit-identical to the direct calls (property-tested).
 
+use crate::approx::{ApproxMode, ApproxSketch, SampleRate};
 use crate::error::{FaultPolicy, PardaError};
 use crate::parallel::PardaConfig;
 use crate::phased::Reduction;
-use crate::sampled::SampleRate;
 use parda_hist::ReuseHistogram;
 use parda_obs::{EngineMetrics, PhasedMetrics, RankMetrics, Report, Stopwatch, StreamMetrics};
 use parda_trace::stream::FramedStream;
@@ -139,6 +139,7 @@ impl Default for Mode {
 pub struct Analysis {
     tree: TreeKind,
     mode: Mode,
+    approx: ApproxMode,
     ranks: Option<usize>,
     bound: Option<u64>,
     space_optimized: bool,
@@ -160,6 +161,7 @@ impl Analysis {
         Self {
             tree: TreeKind::Splay,
             mode: Mode::default(),
+            approx: ApproxMode::Exact,
             ranks: None,
             bound: None,
             space_optimized: true,
@@ -178,6 +180,22 @@ impl Analysis {
     /// Select the engine.
     pub fn mode(mut self, mode: Mode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Select an approximate (constant-space sketch) engine instead of the
+    /// exact trees: SHARDS fixed-rate/fixed-size or AET (see
+    /// [`crate::approx`]). [`ApproxMode::Exact`] (the default) routes to
+    /// the engine chosen by [`Analysis::mode`]; any other value supersedes
+    /// it, runs single-rank, and attaches
+    /// [`ApproxMetrics`](parda_obs::ApproxMetrics) to the [`Report`].
+    ///
+    /// # Panics
+    ///
+    /// On a degenerate configuration (rate outside (0, 1], zero `s_max`).
+    pub fn approx(mut self, approx: ApproxMode) -> Self {
+        approx.validate();
+        self.approx = approx;
         self
     }
 
@@ -252,6 +270,12 @@ impl Analysis {
 
     /// Analyze an in-memory trace.
     pub fn run(&self, trace: &[Addr]) -> (ReuseHistogram, Option<Report>) {
+        if !self.approx.is_exact() {
+            let sw = Stopwatch::start();
+            let mut sketch = ApproxSketch::new(self.approx);
+            sketch.update(trace);
+            return self.finish_approx(&sketch, trace.len() as u64, sw.ns());
+        }
         let config = self.config();
         let sw = Stopwatch::start();
         let (hist, per_rank, phased) =
@@ -269,6 +293,9 @@ impl Analysis {
     where
         S: AddressStream + Send,
     {
+        if !self.approx.is_exact() {
+            return self.run_approx_stream(source);
+        }
         let config = self.config();
         let sw = Stopwatch::start();
         let (hist, per_rank, phased) = dispatch_tree!(self.tree, T, {
@@ -295,6 +322,56 @@ impl Analysis {
             stream: None,
             phased: Some(phased),
             recovery: None,
+            approx: None,
+        };
+        (hist, Some(report))
+    }
+
+    /// Drain an address stream through the sketch in fixed-size gulps —
+    /// the approximate engines never need the whole trace in memory.
+    fn run_approx_stream<S: AddressStream>(
+        &self,
+        mut source: S,
+    ) -> (ReuseHistogram, Option<Report>) {
+        const GULP: usize = 65_536;
+        let sw = Stopwatch::start();
+        let mut sketch = ApproxSketch::new(self.approx);
+        let mut buf = Vec::with_capacity(GULP);
+        let mut refs = 0u64;
+        loop {
+            buf.clear();
+            let n = source.fill(&mut buf, GULP);
+            if n == 0 {
+                break;
+            }
+            refs += n as u64;
+            sketch.update(&buf);
+        }
+        self.finish_approx(&sketch, refs, sw.ns())
+    }
+
+    fn finish_approx(
+        &self,
+        sketch: &ApproxSketch,
+        trace_refs: u64,
+        total_ns: u64,
+    ) -> (ReuseHistogram, Option<Report>) {
+        let hist = sketch.finalize();
+        if !self.stats {
+            return (hist, None);
+        }
+        let report = Report {
+            mode: self.approx.name().into(),
+            tree: self.tree.name().into(),
+            ranks: 1,
+            bound: self.bound,
+            trace_refs,
+            total_ns,
+            per_rank: vec![untimed_rank_metrics(trace_refs, &hist, total_ns)],
+            stream: None,
+            phased: None,
+            recovery: None,
+            approx: Some(sketch.metrics()),
         };
         (hist, Some(report))
     }
@@ -313,7 +390,7 @@ impl Analysis {
         &self,
         trace: &[Addr],
     ) -> Result<(ReuseHistogram, Option<Report>), PardaError> {
-        if self.mode != Mode::Threads {
+        if self.mode != Mode::Threads || !self.approx.is_exact() {
             return Ok(self.run(trace));
         }
         let config = self.config();
@@ -357,7 +434,11 @@ impl Analysis {
         let degradation = self.fault.degradation;
 
         // Major format version 2 is the framed, seekable, streamable one.
-        if matches!(self.mode, Mode::Phased { .. }) && parda_trace::io::peek_version(path)? == 2 {
+        // Sketch modes always stream it: constant-space analysis should
+        // not buffer the whole trace either.
+        if (matches!(self.mode, Mode::Phased { .. }) || !self.approx.is_exact())
+            && parda_trace::io::peek_version(path)? == 2
+        {
             match FramedStream::open_with_policy(path, stream_decoders(), degradation) {
                 Ok(stream) => {
                     let errors = stream.error_handle();
@@ -429,6 +510,7 @@ impl Analysis {
             }
             Mode::Sampled { rate_log2 } => {
                 let sw = Stopwatch::start();
+                #[allow(deprecated)] // legacy mode keeps its bit-exact shim path
                 let hist =
                     crate::sampled::analyze_sampled::<T>(trace, SampleRate::one_in_pow2(rate_log2));
                 let rm = untimed_rank_metrics(trace.len() as u64, &hist, sw.ns());
@@ -461,6 +543,7 @@ impl Analysis {
             stream,
             phased,
             recovery: None,
+            approx: None,
         };
         (hist, Some(report))
     }
@@ -613,6 +696,71 @@ mod tests {
             .run(&trace);
         assert_eq!(exact, analyze_naive(&trace), "rate 2^-0 is exact");
         assert_eq!(report.unwrap().mode, "sampled");
+    }
+
+    #[test]
+    fn approx_mode_supersedes_engine_choice() {
+        let trace: Vec<Addr> = (0..5_000).map(|i| (i * 13) % 700).collect();
+        let builder = Analysis::new()
+            .ranks(4)
+            .mode(Mode::Threads)
+            .approx(ApproxMode::ShardsFixedRate { rate: 1.0 })
+            .stats(true);
+        let (hist, report) = builder.run(&trace);
+        assert_eq!(hist, analyze_sequential::<SplayTree>(&trace, None));
+        let report = report.unwrap();
+        assert_eq!(report.mode, "shards");
+        assert_eq!(report.ranks, 1);
+        let approx = report.approx.expect("approx metrics attached");
+        assert_eq!(approx.mode, "shards");
+        assert_eq!(approx.sampled_refs, 5_000);
+
+        // The streaming entry point drives the same sketch.
+        let (streamed, report) = builder.run_stream(SliceStream::new(&trace));
+        assert_eq!(streamed, hist);
+        let report = report.unwrap();
+        assert_eq!(report.mode, "shards");
+        assert_eq!(report.trace_refs, 5_000);
+        assert!(report.approx.is_some());
+
+        // And matches the one-shot helper for every mode.
+        for mode in [
+            ApproxMode::ShardsFixedRate { rate: 0.25 },
+            ApproxMode::ShardsFixedSize { s_max: 256 },
+            ApproxMode::Aet { rate: 0.5 },
+        ] {
+            let (h1, _) = Analysis::new().approx(mode).run(&trace);
+            let (h2, _) = crate::approx::analyze_approx(&trace, mode);
+            assert_eq!(h1, h2, "{mode}");
+            let (h3, _) = Analysis::new()
+                .approx(mode)
+                .run_stream(SliceStream::new(&trace));
+            assert_eq!(h1, h3, "{mode} streamed");
+        }
+    }
+
+    #[test]
+    fn approx_run_file_streams_v2() {
+        use parda_trace::io::{write_trace_v2_framed, Encoding};
+        let trace: Vec<Addr> = (0..4_096).map(|i| (i * 7) % 311).collect();
+        let path = tmp("approx-v21.bin");
+        let f = std::fs::File::create(&path).unwrap();
+        write_trace_v2_framed(
+            f,
+            &parda_trace::Trace::from_vec(trace.clone()),
+            Encoding::Raw,
+            64,
+        )
+        .unwrap();
+        let mode = ApproxMode::ShardsFixedRate { rate: 0.5 };
+        let (expect, _) = Analysis::new().approx(mode).run(&trace);
+        let (hist, report) = Analysis::new()
+            .approx(mode)
+            .stats(true)
+            .run_file(&path)
+            .unwrap();
+        assert_eq!(hist, expect, "streamed file analysis matches in-memory");
+        assert!(report.unwrap().approx.is_some());
     }
 
     fn tmp(name: &str) -> std::path::PathBuf {

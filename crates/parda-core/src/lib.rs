@@ -13,7 +13,7 @@
 //! | §III-A — naïve stack algorithm | [`seq::analyze_naive`] |
 //! | §IV-D rank-renaming enhancement | [`phased::Reduction::RenumberRanks`] |
 //! | §VII object-level applications | [`object::analyze_by_region`] |
-//! | §VII sampling combination | [`sampled::analyze_sampled`] |
+//! | §VII sampling combination | [`approx`] (SHARDS/AET sketches; legacy shim in [`sampled`]) |
 //! | §I cache sharing & partitioning | [`shared::analyze_corun`], [`shared::optimal_partition`] |
 //! | §VII phase detection | [`window::detect_phases`] |
 //!
@@ -47,6 +47,7 @@
 //! ```
 
 pub mod analysis;
+pub mod approx;
 pub mod engine;
 pub mod error;
 pub mod object;
@@ -58,6 +59,7 @@ pub mod shared;
 pub mod window;
 
 pub use analysis::{Analysis, Mode};
+pub use approx::{analyze_approx, ApproxMode, ApproxSketch, SampleRate};
 pub use engine::{Engine, MissSink};
 pub use error::{FaultPolicy, PardaError};
 pub use parallel::{parda_threads_faulted, PardaConfig};

@@ -1,60 +1,37 @@
-//! Sampling-based approximate reuse distance analysis.
+//! Legacy sampling entry points — thin deprecated shims over
+//! [`approx`](crate::approx).
 //!
 //! The paper positions Parda as complementary to the approximation line of
-//! work (Ding & Zhong's O(N log log M) analysis, Zhong & Chang's and Schuff
-//! et al.'s sampling): "our algorithm can be combined with approximate
-//! analysis techniques to further improve the performance" (§VII). This
-//! module supplies that combination using *spatial hash sampling* (the
-//! SHARDS construction): an address is monitored iff its hash falls under a
-//! threshold, giving an unbiased rate-R subset of the address space.
+//! work (§VII); this module was the original pow-2-only spatial-sampling
+//! seed. It has grown into the full [`crate::approx`] subsystem (arbitrary
+//! rates, the SHARDS-adj correction, fixed-size eviction, AET), routed
+//! through the [`Analysis`](crate::Analysis) builder:
 //!
-//! For a monitored reference with *sampled* reuse distance `d_s` (distinct
-//! **monitored** addresses in between), the true distance is estimated as
-//! `d_s / R`, and each observation is weighted by `1/R` to estimate
-//! whole-trace counts. The estimator converges to the exact histogram as
-//! `R → 1` (and is *exactly* the histogram at R = 1, tested).
+//! ```
+//! use parda_core::{Analysis, ApproxMode};
+//! # let trace: Vec<u64> = (0..1000).map(|i| i % 37).collect();
+//! let (hist, _) = Analysis::new()
+//!     .approx(ApproxMode::ShardsFixedRate { rate: 0.25 })
+//!     .run(&trace);
+//! ```
 //!
-//! Because sampling only filters the trace, it composes with every engine
-//! in this crate — [`analyze_sampled`] runs the sequential engine, and
-//! [`sample_filter`] can pre-filter a trace for the parallel or streaming
-//! analyzers.
+//! [`SampleRate`] itself now lives in `approx` (re-exported here) and
+//! supports any rate in (0, 1]; the pow-2 constructor and the functions
+//! below keep their historical behavior bit-for-bit.
 
 use crate::seq::analyze_with;
-use parda_hash::fx_hash_u64;
 use parda_hist::{Distance, ReuseHistogram};
 use parda_trace::Addr;
 use parda_tree::ReuseTree;
 
-/// Spatial sampling rate `R = 2^-rate_log2`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct SampleRate {
-    rate_log2: u32,
-}
-
-impl SampleRate {
-    /// Rate `2^-k`. `k = 0` monitors everything (exact analysis).
-    pub fn one_in_pow2(k: u32) -> Self {
-        assert!(k < 63, "sampling rate 2^-{k} is degenerate");
-        Self { rate_log2: k }
-    }
-
-    /// The inverse rate `1/R` as an integer scale factor.
-    pub fn inverse(self) -> u64 {
-        1 << self.rate_log2
-    }
-
-    /// `true` if `addr` is monitored under this rate.
-    #[inline]
-    pub fn monitors(self, addr: Addr) -> bool {
-        if self.rate_log2 == 0 {
-            return true;
-        }
-        // Sampled iff the top `rate_log2` hash bits are all zero.
-        fx_hash_u64(addr) >> (64 - self.rate_log2) == 0
-    }
-}
+pub use crate::approx::SampleRate;
 
 /// Filter a trace down to its monitored references.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Analysis::approx` with `ApproxMode::ShardsFixedRate`, or \
+            `SampleRate::monitors` directly"
+)]
 pub fn sample_filter(trace: &[Addr], rate: SampleRate) -> Vec<Addr> {
     trace
         .iter()
@@ -66,7 +43,10 @@ pub fn sample_filter(trace: &[Addr], rate: SampleRate) -> Vec<Addr> {
 /// Approximate whole-trace reuse distance analysis by spatial sampling.
 ///
 /// Returns an *estimated* histogram: distances and counts are scaled by the
-/// inverse sampling rate. Cold misses (∞) are likewise scaled.
+/// inverse sampling rate. Cold misses (∞) are likewise scaled. No
+/// correction term is applied — prefer
+/// [`analyze_approx`](crate::approx::analyze_approx), which also supports
+/// non-pow-2 rates, fixed-size sketches, and AET.
 ///
 /// # Examples
 ///
@@ -79,6 +59,7 @@ pub fn sample_filter(trace: &[Addr], rate: SampleRate) -> Vec<Addr> {
 ///     .take_trace(150_000);
 /// let exact = parda_core::seq::analyze_sequential::<parda_tree::SplayTree>(
 ///     trace.as_slice(), None);
+/// # #[allow(deprecated)]
 /// let approx = analyze_sampled::<parda_tree::SplayTree>(
 ///     trace.as_slice(), SampleRate::one_in_pow2(4));
 ///
@@ -86,8 +67,14 @@ pub fn sample_filter(trace: &[Addr], rate: SampleRate) -> Vec<Addr> {
 /// let err = (approx.miss_ratio(1024) - exact.miss_ratio(1024)).abs();
 /// assert!(err < 0.06, "MRC error {err}");
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Analysis::approx` with `ApproxMode::ShardsFixedRate`, or \
+            `approx::analyze_approx`"
+)]
 pub fn analyze_sampled<T: ReuseTree + Default>(trace: &[Addr], rate: SampleRate) -> ReuseHistogram {
     let scale = rate.inverse();
+    #[allow(deprecated)]
     let sampled = sample_filter(trace, rate);
     let mut estimate = ReuseHistogram::new();
     analyze_with::<T, _>(&sampled, |_, _, distance| match distance {
@@ -98,6 +85,7 @@ pub fn analyze_sampled<T: ReuseTree + Default>(trace: &[Addr], rate: SampleRate)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::seq::analyze_sequential;
@@ -159,5 +147,19 @@ mod tests {
         let coarse = sample_filter(trace.as_slice(), SampleRate::one_in_pow2(5)).len();
         assert!(coarse < fine, "coarse {coarse} must be < fine {fine}");
         assert!(coarse > 0, "2^-5 of a 20k-address universe is non-empty");
+    }
+
+    #[test]
+    fn shim_matches_approx_subsystem_monitoring() {
+        // The threshold compare in `approx` is bit-identical to the
+        // historical top-bits-zero check for pow-2 rates.
+        let addrs: Vec<Addr> = (0..10_000).map(|i| i * 13 + 5).collect();
+        for k in [0u32, 2, 6] {
+            let rate = SampleRate::one_in_pow2(k);
+            let via_rate = crate::approx::SampleRate::from_rate(0.5f64.powi(k as i32));
+            for &a in &addrs {
+                assert_eq!(rate.monitors(a), via_rate.monitors(a), "k={k} addr={a}");
+            }
+        }
     }
 }

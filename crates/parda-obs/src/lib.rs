@@ -82,6 +82,12 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
+
+    /// Raise the counter to `n` if `n` is larger (high-water-mark tracking).
+    #[inline]
+    pub fn record_max(&self, n: u64) {
+        self.0.fetch_max(n, Ordering::Relaxed);
+    }
 }
 
 /// Per-engine operation counts (one [`Engine`](../parda_core/engine) =
@@ -266,6 +272,35 @@ impl StreamCounters {
     }
 }
 
+/// Configuration and accuracy summary of one approximate (sketch-mode)
+/// analysis run: which engine ran, at what sampling rate, and how much
+/// state it kept. Attached to [`Report::approx`] and serialized by
+/// `--stats=json` so callers can see the memory/error trade-off that was
+/// actually realized.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct ApproxMetrics {
+    /// Engine label: `shards`, `shards-smax`, or `aet`.
+    pub mode: String,
+    /// Configured initial sampling rate `R` in (0, 1].
+    pub rate: f64,
+    /// Final effective sampling rate — equals `rate` for fixed-rate
+    /// engines; lower when fixed-size eviction tightened the threshold.
+    pub effective_rate: f64,
+    /// Sketch cardinality cap for fixed-size SHARDS; `None` otherwise.
+    pub s_max: Option<u64>,
+    /// References that passed the spatial-hash filter.
+    pub sampled_refs: u64,
+    /// Distinct monitored addresses still tracked at the end of the run.
+    pub sampled_addrs: u64,
+    /// Entries evicted by the fixed-size threshold-lowering policy.
+    pub evictions: u64,
+    /// Approximate resident size of the sketch (table + tree + heap).
+    pub sketch_bytes: u64,
+    /// A-priori mean-absolute-error envelope for the miss-ratio curve,
+    /// `~1/sqrt(sampled_addrs)` per the MRC survey; 0 when exact.
+    pub expected_mae: f64,
+}
+
 /// Snapshot of a `parda-server` daemon's lifetime counters.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct ServerMetrics {
@@ -285,6 +320,10 @@ pub struct ServerMetrics {
     pub frames_in: u64,
     /// DATA frames quarantined by a lossy degradation policy.
     pub frames_quarantined: u64,
+    /// Admitted sessions that ran in an approximate (sketch) mode.
+    pub approx_sessions: u64,
+    /// Largest sketch resident size observed across approx sessions.
+    pub sketch_bytes_hwm: u64,
 }
 
 impl ServerMetrics {
@@ -301,7 +340,8 @@ impl ServerMetrics {
     pub fn render_pretty(&self, elapsed_secs: f64) -> String {
         format!(
             "server: sessions opened={} rejected={} failed={} completed={} \
-             bytes_in={} refs_in={} frames_in={} quarantined={} refs/s={:.0}\n",
+             bytes_in={} refs_in={} frames_in={} quarantined={} \
+             approx_sessions={} sketch_hwm={} refs/s={:.0}\n",
             self.sessions_opened,
             self.sessions_rejected,
             self.sessions_failed,
@@ -310,6 +350,8 @@ impl ServerMetrics {
             self.refs_in,
             self.frames_in,
             self.frames_quarantined,
+            self.approx_sessions,
+            self.sketch_bytes_hwm,
             self.refs_per_sec(elapsed_secs),
         )
     }
@@ -335,6 +377,11 @@ pub struct ServerCounters {
     pub frames_in: Counter,
     /// See [`ServerMetrics::frames_quarantined`].
     pub frames_quarantined: Counter,
+    /// See [`ServerMetrics::approx_sessions`].
+    pub approx_sessions: Counter,
+    /// See [`ServerMetrics::sketch_bytes_hwm`] (updated via
+    /// [`Counter::record_max`]).
+    pub sketch_bytes_hwm: Counter,
 }
 
 impl ServerCounters {
@@ -349,6 +396,8 @@ impl ServerCounters {
             refs_in: self.refs_in.get(),
             frames_in: self.frames_in.get(),
             frames_quarantined: self.frames_quarantined.get(),
+            approx_sessions: self.approx_sessions.get(),
+            sketch_bytes_hwm: self.sketch_bytes_hwm.get(),
         }
     }
 }
@@ -454,6 +503,9 @@ pub struct Report {
     /// used a lossy degradation policy or survived injected faults. `None`
     /// when recovery was never engaged.
     pub recovery: Option<RecoveryMetrics>,
+    /// Sampling configuration and realized accuracy/memory, when the run
+    /// used an approximate (sketch) engine. `None` for exact runs.
+    pub approx: Option<ApproxMetrics>,
 }
 
 impl Report {
@@ -529,6 +581,22 @@ impl Report {
                 "phases={} reduction_total={} (per-phase max across ranks)\n",
                 p.phases,
                 fmt_ns(reduction_total),
+            ));
+        }
+        if let Some(a) = &self.approx {
+            out.push_str(&format!(
+                "approx: mode={} rate={} effective_rate={:.6} s_max={} \
+                 sampled_refs={} sampled_addrs={} evictions={} \
+                 sketch_bytes={} expected_mae={:.4}\n",
+                a.mode,
+                a.rate,
+                a.effective_rate,
+                a.s_max.map_or("none".into(), |s| s.to_string()),
+                a.sampled_refs,
+                a.sampled_addrs,
+                a.evictions,
+                a.sketch_bytes,
+                a.expected_mae,
             ));
         }
         if let Some(r) = &self.recovery {
@@ -709,6 +777,7 @@ mod tests {
             stream: None,
             phased: None,
             recovery: None,
+            approx: None,
         };
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("\"mode\":\"parda-threads\""), "{json}");
@@ -885,6 +954,55 @@ mod tests {
         };
         let text = report.render_pretty();
         assert!(text.contains("recovery: frames_skipped=1/4"), "{text}");
+    }
+
+    #[test]
+    fn counter_record_max_keeps_high_water() {
+        let c = Counter::new();
+        c.record_max(5);
+        c.record_max(3);
+        assert_eq!(c.get(), 5);
+        c.record_max(9);
+        assert_eq!(c.get(), 9);
+    }
+
+    #[test]
+    fn approx_metrics_serialize_and_render() {
+        let report = Report {
+            mode: "shards".into(),
+            approx: Some(ApproxMetrics {
+                mode: "shards".into(),
+                rate: 0.01,
+                effective_rate: 0.01,
+                s_max: None,
+                sampled_refs: 1_000,
+                sampled_addrs: 120,
+                evictions: 0,
+                sketch_bytes: 4_096,
+                expected_mae: 0.09,
+            }),
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"approx\":{"), "{json}");
+        assert!(json.contains("\"sampled_addrs\":120"), "{json}");
+        let text = report.render_pretty();
+        assert!(text.contains("approx: mode=shards rate=0.01"), "{text}");
+        assert!(text.contains("s_max=none"), "{text}");
+    }
+
+    #[test]
+    fn server_counters_track_approx_sessions() {
+        let c = ServerCounters::default();
+        c.approx_sessions.incr();
+        c.sketch_bytes_hwm.record_max(1_024);
+        c.sketch_bytes_hwm.record_max(512);
+        let snap = c.snapshot();
+        assert_eq!(snap.approx_sessions, 1);
+        assert_eq!(snap.sketch_bytes_hwm, 1_024);
+        let line = snap.render_pretty(1.0);
+        assert!(line.contains("approx_sessions=1"), "{line}");
+        assert!(line.contains("sketch_hwm=1024"), "{line}");
     }
 
     #[test]

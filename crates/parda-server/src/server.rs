@@ -49,6 +49,10 @@ pub struct ServerConfig {
     /// Stop after accepting this many connections (`None`: serve until
     /// shutdown). For tests and benchmarks.
     pub accept_limit: Option<u64>,
+    /// Default approximation mode for sessions whose CONFIG carries no
+    /// `approx=` key (`Exact` preserves the historical behavior; a session
+    /// can always force `approx=exact` explicitly).
+    pub default_approx: parda_core::ApproxMode,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +64,7 @@ impl Default for ServerConfig {
             fault: FaultPolicy::default(),
             idle_timeout: Some(Duration::from_secs(30)),
             accept_limit: None,
+            default_approx: parda_core::ApproxMode::Exact,
         }
     }
 }

@@ -26,7 +26,7 @@ use crate::proto::{
 use crate::server::ServerConfig;
 use parda_comm::pipe;
 use parda_core::phased::Reduction;
-use parda_core::{Analysis, Mode, PardaError};
+use parda_core::{Analysis, ApproxMode, Mode, PardaError};
 use parda_hist::ReuseHistogram;
 use parda_obs::{RecoveryMetrics, Report, ServerCounters};
 use parda_trace::io::Encoding;
@@ -80,6 +80,10 @@ pub struct SessionConfig {
     pub degradation: Degradation,
     /// Reply encoding.
     pub reply: ReplyFormat,
+    /// Approximation mode requested via `approx=<spec>`. `None` (the key
+    /// absent — every pre-approx client) inherits the server's default;
+    /// an explicit `approx=exact` forces exact analysis regardless.
+    pub approx: Option<ApproxMode>,
 }
 
 impl SessionConfig {
@@ -95,6 +99,7 @@ impl SessionConfig {
             encoding: Encoding::DeltaVarint,
             degradation: default_degradation,
             reply: ReplyFormat::Binary,
+            approx: None,
         };
         let mut chunk: Option<usize> = None;
         let mut engine_name: Option<String> = None;
@@ -116,6 +121,7 @@ impl SessionConfig {
                 "degradation" => {
                     cfg.degradation = value.parse().map_err(|e: String| bad(&e))?;
                 }
+                "approx" => cfg.approx = Some(ApproxMode::parse(value).map_err(|e| bad(&e))?),
                 "encoding" => {
                     cfg.encoding = match value {
                         "raw" => Encoding::Raw,
@@ -145,12 +151,13 @@ impl SessionConfig {
         Ok(cfg)
     }
 
-    fn builder(&self, policy: parda_core::FaultPolicy) -> Analysis {
+    fn builder(&self, policy: parda_core::FaultPolicy, default_approx: ApproxMode) -> Analysis {
         let mut b = Analysis::new()
             .tree(self.tree)
             .bound(self.bound)
             .stats(true)
-            .fault_policy(policy);
+            .fault_policy(policy)
+            .approx(self.approx.unwrap_or(default_approx));
         if let Some(ranks) = self.ranks {
             b = b.ranks(ranks);
         }
@@ -411,13 +418,13 @@ fn run_admitted(
                 refs.extend_from_slice(addrs);
                 true
             })?;
-            let builder = cfg.builder(policy).mode(Mode::Threads);
+            let builder = cfg.builder(policy, scfg.default_approx).mode(Mode::Threads);
             builder
                 .run_faulted(&refs)
                 .map_err(|e| SessionError::from_parda(&e))?
         }
         SessionEngine::Phased { chunk } => {
-            let builder = cfg.builder(policy).mode(Mode::Phased {
+            let builder = cfg.builder(policy, scfg.default_approx).mode(Mode::Phased {
                 chunk,
                 reduction: Reduction::ShipToRankZero,
             });
@@ -447,6 +454,10 @@ fn run_admitted(
 
     let mut report = report.take().expect("stats were requested");
     attach_recovery(&mut report, ingest.recovery);
+    if let Some(a) = report.approx.as_ref() {
+        counters.approx_sessions.incr();
+        counters.sketch_bytes_hwm.record_max(a.sketch_bytes);
+    }
     send_stats(writer, cfg, &hist, &report)
 }
 
@@ -548,10 +559,11 @@ mod tests {
         assert_eq!(cfg.degradation, Degradation::Strict);
         assert_eq!(cfg.reply, ReplyFormat::Binary);
         assert_eq!(cfg.ranks, None);
+        assert_eq!(cfg.approx, None, "pre-approx CONFIG inherits the server");
 
         let cfg = SessionConfig::parse(
             "tree=avl\nranks=3\nbound=512\nengine=threads\nencoding=raw\n\
-             degradation=best-effort\nreply=json\n",
+             degradation=best-effort\nreply=json\napprox=shards-smax:4096\n",
             Degradation::Strict,
         )
         .unwrap();
@@ -562,6 +574,13 @@ mod tests {
         assert_eq!(cfg.encoding, Encoding::Raw);
         assert_eq!(cfg.degradation, Degradation::BestEffort);
         assert_eq!(cfg.reply, ReplyFormat::Json);
+        assert_eq!(
+            cfg.approx,
+            Some(ApproxMode::ShardsFixedSize { s_max: 4096 })
+        );
+
+        let cfg = SessionConfig::parse("approx=exact", Degradation::Strict).unwrap();
+        assert_eq!(cfg.approx, Some(ApproxMode::Exact), "explicit exact wins");
     }
 
     #[test]
@@ -582,6 +601,9 @@ mod tests {
             "reply=yaml",
             "encoding=utf8",
             "degradation=yolo",
+            "approx=warp",
+            "approx=shards:0",
+            "approx=shards:1.5",
             "not-a-pair",
         ] {
             assert!(

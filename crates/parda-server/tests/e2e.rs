@@ -435,3 +435,85 @@ fn raw_socket_reads_see_a_clean_close_after_stats() {
     stream.read_to_end(&mut rest).unwrap();
     assert!(rest.is_empty(), "unexpected trailing bytes: {rest:?}");
 }
+
+#[test]
+fn approx_session_is_bit_identical_to_offline_approx_analysis() {
+    // The sketch is order-deterministic, so the daemon's streamed run must
+    // reproduce the offline `analyze --approx` histogram bit for bit.
+    let trace = zipfish(23, 60_000);
+    let mode = parda_core::ApproxMode::ShardsFixedRate { rate: 0.01 };
+    let (expect, expect_metrics) = parda_core::approx::analyze_approx(&trace, mode);
+
+    let reply = submit(
+        shared_addr(),
+        &trace,
+        &SubmitOptions {
+            config: vec![("approx".into(), mode.spec())],
+            ..SubmitOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(reply.histogram, expect);
+
+    // The JSON stats document gains the approx block — same shape as the
+    // offline `analyze --approx --stats=json`.
+    let json = submit(
+        shared_addr(),
+        &trace,
+        &SubmitOptions {
+            reply: ReplyFormat::Json,
+            config: vec![("approx".into(), mode.spec())],
+            ..SubmitOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(json.histogram, expect);
+    let doc: serde::Value = serde_json::from_str(json.stats_json.as_deref().unwrap()).unwrap();
+    let stats = doc.field("stats").unwrap();
+    let approx = stats.field("approx").unwrap();
+    let mode_name = <String as serde::Deserialize>::from_value(approx.field("mode").unwrap());
+    assert_eq!(mode_name.unwrap(), "shards");
+    let sampled =
+        <u64 as serde::Deserialize>::from_value(approx.field("sampled_refs").unwrap()).unwrap();
+    assert_eq!(sampled, expect_metrics.sampled_refs);
+}
+
+#[test]
+fn server_default_approx_applies_only_when_the_client_is_silent() {
+    // Version tolerance, both directions: a CONFIG without `approx=`
+    // inherits the server default; an explicit `approx=exact` overrides it.
+    let (addr, stop, join) = private_server(ServerConfig {
+        max_sessions: 4,
+        idle_timeout: Some(Duration::from_secs(10)),
+        default_approx: parda_core::ApproxMode::ShardsFixedRate { rate: 0.25 },
+        ..ServerConfig::default()
+    });
+    let trace = zipfish(29, 30_000);
+    let (approx_expect, _) = parda_core::approx::analyze_approx(
+        &trace,
+        parda_core::ApproxMode::ShardsFixedRate { rate: 0.25 },
+    );
+
+    let silent = submit(&addr, &trace, &SubmitOptions::default()).unwrap();
+    assert_eq!(silent.histogram, approx_expect, "silent client inherits");
+
+    let exact = submit(
+        &addr,
+        &trace,
+        &SubmitOptions {
+            config: vec![("approx".into(), "exact".into())],
+            ..SubmitOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(exact.histogram, offline(&trace), "explicit exact wins");
+
+    stop.shutdown();
+    let metrics = join.join().unwrap();
+    assert_eq!(metrics.sessions_completed, 2);
+    assert_eq!(
+        metrics.approx_sessions, 1,
+        "only the silent session sketched"
+    );
+    assert!(metrics.sketch_bytes_hwm > 0);
+}

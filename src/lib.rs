@@ -62,10 +62,12 @@ pub use parda_tree as tree;
 /// The most common imports in one place.
 pub mod prelude {
     pub use parda_cachesim::{CacheStats, LruCache, PlruCache, SetAssociativeCache};
+    pub use parda_core::approx::{analyze_approx, ApproxMode, ApproxSketch, SampleRate};
     pub use parda_core::object::{analyze_by_region, RegionAnalysis, RegionMap};
     pub use parda_core::parallel::{parda_msg, parda_threads, parda_threads_faulted};
     pub use parda_core::phased::{parda_phased, parda_phased_with, Reduction};
-    pub use parda_core::sampled::{analyze_sampled, SampleRate};
+    #[allow(deprecated)] // legacy sampling shim stays importable through the prelude
+    pub use parda_core::sampled::analyze_sampled;
     pub use parda_core::seq::{analyze_naive, analyze_sequential, SequentialAnalyzer};
     pub use parda_core::{
         Analysis, Degradation, Engine, FaultPolicy, MissSink, Mode, PardaConfig, PardaError, Report,

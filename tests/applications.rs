@@ -72,11 +72,13 @@ fn partitioning_beats_even_split_on_asymmetric_pair() {
 
 #[test]
 fn sampled_estimate_tracks_exact_mrc_on_spec_model() {
-    use parda::core::sampled::{analyze_sampled, SampleRate};
     let bench = SpecBenchmark::by_name("gcc").unwrap();
     let trace = bench.generator(120_000, 8).take_trace(120_000);
     let exact = analyze_sequential::<SplayTree>(trace.as_slice(), None);
-    let approx = analyze_sampled::<SplayTree>(trace.as_slice(), SampleRate::one_in_pow2(3));
+    let (approx, _) = analyze_approx(
+        trace.as_slice(),
+        ApproxMode::ShardsFixedRate { rate: 1.0 / 8.0 },
+    );
     for cap in [64u64, 512, 4_096] {
         let err = (approx.miss_ratio(cap) - exact.miss_ratio(cap)).abs();
         assert!(err < 0.08, "capacity {cap}: error {err}");

@@ -1,0 +1,177 @@
+//! Cross-crate accuracy guarantees for the constant-space approximate
+//! engines (`parda_core::approx`) — the contract behind `--approx`.
+//!
+//! Each envelope is stated relative to the sketch's own a-priori error
+//! estimate (`expected_mae ~ 1/sqrt(sampled_addrs)`), so the assertions
+//! scale with the sampling rate instead of hard-coding per-rate numbers.
+//! The `#[ignore]`d acceptance test is the ISSUE's 10M-reference bar;
+//! ci.sh runs it in release.
+
+use parda::prelude::*;
+use parda::trace::gen::ZipfGen;
+
+fn zipf(footprint: usize, theta: f64, refs: usize, seed: u64) -> Trace {
+    ZipfGen::new(footprint, theta, 0, seed).take_trace(refs)
+}
+
+fn pow2_caps(lo: u64, hi: u64) -> Vec<u64> {
+    (0..)
+        .map(|i| 1u64 << i)
+        .skip_while(|&c| c < lo)
+        .take_while(|&c| c <= hi)
+        .collect()
+}
+
+#[test]
+fn fixed_rate_shards_tracks_exact_at_every_required_rate() {
+    let trace = zipf(50_000, 0.8, 400_000, 11);
+    let exact = analyze_sequential::<SplayTree>(trace.as_slice(), None);
+    let caps = pow2_caps(1024, 65_536);
+    for rate in [0.1, 0.01, 0.001] {
+        let (hist, metrics) =
+            analyze_approx(trace.as_slice(), ApproxMode::ShardsFixedRate { rate });
+        let mae = hist.mrc_mean_absolute_error(&exact, &caps);
+        let envelope = 3.0 * metrics.expected_mae + 0.01;
+        assert!(
+            mae <= envelope,
+            "rate {rate}: MAE {mae:.4} > envelope {envelope:.4} \
+             ({} sampled addrs)",
+            metrics.sampled_addrs
+        );
+    }
+}
+
+#[test]
+fn fixed_size_shards_tracks_exact_at_both_required_sizes() {
+    let trace = zipf(60_000, 0.8, 400_000, 21);
+    let exact = analyze_sequential::<SplayTree>(trace.as_slice(), None);
+    let caps = pow2_caps(1024, 65_536);
+    for s_max in [1024u64, 8192] {
+        let (hist, metrics) = analyze_approx(
+            trace.as_slice(),
+            ApproxMode::ShardsFixedSize {
+                s_max: s_max as usize,
+            },
+        );
+        let mae = hist.mrc_mean_absolute_error(&exact, &caps);
+        let envelope = 3.0 * metrics.expected_mae + 0.01;
+        assert!(
+            mae <= envelope,
+            "s_max {s_max}: MAE {mae:.4} > envelope {envelope:.4}"
+        );
+        assert!(
+            metrics.sampled_addrs <= s_max,
+            "s_max {s_max}: {} live addresses exceed the cap",
+            metrics.sampled_addrs
+        );
+    }
+}
+
+#[test]
+fn fixed_size_sketch_memory_is_independent_of_trace_length() {
+    // O(s_max), not O(M): quadrupling the trace (and footprint actually
+    // touched) must not grow the sketch.
+    let short = zipf(80_000, 0.7, 150_000, 5);
+    let long = zipf(80_000, 0.7, 600_000, 5);
+    let mode = ApproxMode::ShardsFixedSize { s_max: 1024 };
+    let (_, m_short) = analyze_approx(short.as_slice(), mode);
+    let (_, m_long) = analyze_approx(long.as_slice(), mode);
+    assert!(m_long.evictions > 0, "the cap must actually engage");
+    assert!(
+        m_long.sketch_bytes <= m_short.sketch_bytes.max(1024 * 256),
+        "sketch grew with the trace: {} -> {} bytes",
+        m_short.sketch_bytes,
+        m_long.sketch_bytes
+    );
+    assert!(
+        m_long.sketch_bytes <= 1024 * 256,
+        "sketch is not O(s_max): {} bytes for s_max=1024",
+        m_long.sketch_bytes
+    );
+}
+
+#[test]
+fn rate_one_is_bit_exact() {
+    let trace = zipf(5_000, 0.7, 60_000, 3);
+    let exact = analyze_sequential::<SplayTree>(trace.as_slice(), None);
+    let (hist, metrics) =
+        analyze_approx(trace.as_slice(), ApproxMode::ShardsFixedRate { rate: 1.0 });
+    assert_eq!(hist, exact, "rate 1.0 must degenerate to exact analysis");
+    assert_eq!(metrics.effective_rate, 1.0);
+}
+
+#[test]
+fn sketches_merge_to_the_whole_trace_sketch() {
+    let trace = zipf(20_000, 0.7, 120_000, 13);
+    let (a_half, b_half) = trace.as_slice().split_at(60_000);
+    // Pow-2 rate: every weight is a power of two, so the split/merged and
+    // whole-trace float accumulations are bit-identical, not just close.
+    for mode in [
+        ApproxMode::ShardsFixedRate { rate: 0.25 },
+        ApproxMode::Aet { rate: 0.25 },
+    ] {
+        let mut a = ApproxSketch::new(mode);
+        a.update(a_half);
+        let mut b = ApproxSketch::new(mode);
+        b.update(b_half);
+        a.merge(b).expect("same configuration merges");
+        let mut whole = ApproxSketch::new(mode);
+        whole.update(trace.as_slice());
+        assert_eq!(
+            a.finalize(),
+            whole.finalize(),
+            "{mode}: merge(sketch(A), sketch(B)) != sketch(A ++ B)"
+        );
+    }
+}
+
+#[test]
+fn builder_routes_approx_modes_end_to_end() {
+    let trace = zipf(10_000, 0.8, 80_000, 7);
+    for mode in [
+        ApproxMode::ShardsFixedRate { rate: 0.125 },
+        ApproxMode::ShardsFixedSize { s_max: 512 },
+        ApproxMode::Aet { rate: 0.125 },
+    ] {
+        let (direct, _) = analyze_approx(trace.as_slice(), mode);
+        let (built, report) = Analysis::new()
+            .approx(mode)
+            .stats(true)
+            .run(trace.as_slice());
+        assert_eq!(direct, built, "{mode}: builder vs direct");
+        let report = report.expect("stats were requested");
+        let approx = report.approx.expect("approx metrics attached");
+        assert_eq!(approx.mode, mode.name());
+        assert!(approx.sketch_bytes > 0);
+    }
+}
+
+/// The ISSUE acceptance bar: fixed-size SHARDS at `s_max = 8192` analyzes
+/// a 10M-reference Zipfian trace within 2% mean absolute MRC error of
+/// exact, holding O(s_max) sketch memory. Debug-mode exact analysis of
+/// 10M references is slow, so ci.sh runs this in release:
+///
+///   cargo test --release --test approx_accuracy -- --ignored
+#[test]
+#[ignore = "10M-reference acceptance run; invoked in release by ci.sh"]
+fn acceptance_fixed_size_8192_within_2pct_on_10m_zipfian() {
+    let trace = zipf(1_000_000, 0.8, 10_000_000, 42);
+    let exact = analyze_sequential::<SplayTree>(trace.as_slice(), None);
+    let caps = pow2_caps(1024, 2 * exact.max_distance().unwrap_or(1));
+    let (hist, metrics) = analyze_approx(
+        trace.as_slice(),
+        ApproxMode::ShardsFixedSize { s_max: 8192 },
+    );
+    let mae = hist.mrc_mean_absolute_error(&exact, &caps);
+    assert!(mae <= 0.02, "acceptance MAE {mae:.4} > 0.02");
+    assert!(
+        metrics.sampled_addrs <= 8192,
+        "{} live addresses exceed s_max",
+        metrics.sampled_addrs
+    );
+    assert!(
+        metrics.sketch_bytes <= 8192 * 256,
+        "sketch is not O(s_max): {} bytes",
+        metrics.sketch_bytes
+    );
+}
