@@ -87,6 +87,31 @@ sys.exit(1 if failed else 0)
 EOF
 rm -f "$approx_out"
 
+step "server ingest smoke (400k refs; sharded daemon must hold the committed floors)"
+server_out=$(mktemp)
+cargo run -q --release -p parda-bench --bin server_ingest -- \
+    --refs 400000 --runs 1 --out "$server_out" > /dev/null
+python3 - "$server_out" BENCH_server_floor.json <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+gate = json.load(open(sys.argv[2]))
+rows = {f"{r['mode']}/{r['sessions']}": r for r in report["results"]}
+failed = False
+for key, floor in gate["floors"].items():
+    rps = rows[key]["refs_per_sec"]
+    ok = rps >= floor
+    print(f"  {key}: {rps} refs/s (floor {floor}) {'ok' if ok else 'REGRESSED'}")
+    failed |= not ok
+ceiling = gate["sketch_mem_ceiling_bytes"]
+mem = rows["loopback-sketch/256"]["mem_per_session_bytes"]
+ok = mem <= ceiling
+print(f"  loopback-sketch/256: {mem}B/session (ceiling {ceiling}B)"
+      f" {'ok' if ok else 'REGRESSED'}")
+failed |= not ok
+sys.exit(1 if failed else 0)
+EOF
+rm -f "$server_out"
+
 if [[ $quick -eq 0 ]]; then
     step "approx acceptance (10M-ref zipf, shards-smax:8192 within 2% MAE; release)"
     cargo test --release -q --test approx_accuracy -- --ignored
@@ -135,7 +160,7 @@ cargo build -q -p parda-cli
 parda_bin=target/debug/parda
 "$parda_bin" gen --pattern zipf --footprint 100000 --refs 1000000 --seed 7 \
     --out "$smoke_dir/server.trc"
-"$parda_bin" serve --addr 127.0.0.1:0 --max-sessions 4 > "$smoke_dir/serve.out" &
+"$parda_bin" serve --addr 127.0.0.1:0 --max-sessions 16 > "$smoke_dir/serve.out" &
 serve_pid=$!
 # Port discovery: the daemon prints its bound address before accepting.
 addr=""
@@ -176,12 +201,34 @@ approx = doc["stats"]["approx"]
 assert approx["mode"] == "shards", approx
 assert approx["sketch_bytes"] > 0, approx
 '
+# Sixteen concurrent sessions: the sharded core must round-trip all of
+# them at once, each reply byte-identical to the offline analyze.
+submit_pids=()
+for i in $(seq 1 16); do
+    "$parda_bin" submit "$smoke_dir/server.trc" --addr "$addr" --json \
+        > "$smoke_dir/served_$i.json" &
+    submit_pids+=($!)
+done
+for pid in "${submit_pids[@]}"; do
+    if ! wait "$pid"; then
+        echo "server smoke: a concurrent submit failed" >&2
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+done
+for i in $(seq 1 16); do
+    if ! diff -q "$smoke_dir/served_$i.json" "$smoke_dir/offline.json" > /dev/null; then
+        echo "server smoke: concurrent session $i differs from offline analyze" >&2
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+done
 kill -TERM "$serve_pid"
 if ! wait "$serve_pid"; then
     echo "server smoke: daemon did not drain cleanly on SIGTERM" >&2
     exit 1
 fi
-grep -q "sessions opened=3 rejected=0 failed=0 completed=3" "$smoke_dir/serve.out" || {
+grep -q "sessions opened=19 rejected=0 failed=0 completed=19" "$smoke_dir/serve.out" || {
     echo "server smoke: unexpected final metrics:" >&2
     cat "$smoke_dir/serve.out" >&2
     exit 1

@@ -1,11 +1,18 @@
 //! Server ingest-throughput benchmark: the daemon's perf anchor.
 //!
-//! Measures aggregate loopback refs/s for 1, 4, and 8 concurrent client
-//! sessions submitting the same zipf trace to one in-process daemon, next
-//! to the offline streaming baseline (the identical phased analysis fed
-//! through a `parda_comm::pipe` with no sockets or framing), and emits
-//! machine-readable JSON (`BENCH_server.json` at the repo root) so future
-//! PRs can diff the protocol overhead against the numbers recorded here.
+//! Measures aggregate loopback refs/s for concurrent client sessions
+//! submitting zipf traces to an in-process daemon, next to the offline
+//! streaming baseline (the identical analysis with no sockets or
+//! framing). Exact-mode configs run 1/4/8 sessions over the full trace
+//! and 16 sessions over a quarter trace; sketch-mode configs
+//! (`approx=shards-smax:8192`) push 64 and 256 concurrent sessions to
+//! exercise the constant-space session claim. Each row reports aggregate
+//! refs/s, the server's p99 session latency (admission to reply), and the
+//! per-session resident-memory high-water mark from the shard metrics.
+//!
+//! Emits machine-readable JSON (`BENCH_server.json` at the repo root) so
+//! future PRs can diff the daemon against the numbers recorded here;
+//! `BENCH_server_floor.json` holds the minimums ci.sh enforces.
 //!
 //!   cargo run --release -p parda-bench --bin server_ingest -- \
 //!       --refs 2000000 --out BENCH_server.json
@@ -13,6 +20,7 @@
 use parda_bench::time;
 use parda_comm::pipe;
 use parda_core::Analysis;
+use parda_obs::ServerMetrics;
 use parda_server::{submit, Server, ServerConfig, SubmitOptions};
 use parda_trace::gen::ZipfGen;
 use parda_trace::{AddressStream, Trace};
@@ -25,9 +33,19 @@ use std::sync::Arc;
 struct Row {
     mode: String,
     sessions: usize,
+    /// References each session streamed.
+    refs_per_session: u64,
     /// Aggregate across all concurrent sessions.
     refs_per_sec: u64,
     secs: f64,
+    /// p99 session wall time (admission to reply) from the server's
+    /// merged shard histograms; 0 for the offline baseline.
+    p99_session_ms: f64,
+    /// Largest per-session analysis-state estimate any shard observed —
+    /// the "resident memory per session" readout.
+    mem_per_session_bytes: u64,
+    /// Largest sketch among approx sessions (0 for exact configs).
+    sketch_bytes_hwm: u64,
 }
 
 /// The whole report (`BENCH_server.json`).
@@ -40,16 +58,6 @@ struct ServerReport {
     seed: u64,
     runs_per_config: u32,
     results: Vec<Row>,
-}
-
-fn best_of<R>(runs: u32, mut f: impl FnMut() -> R) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..runs {
-        let (r, secs) = time(&mut f);
-        black_box(r);
-        best = best.min(secs);
-    }
-    best
 }
 
 fn main() {
@@ -76,61 +84,64 @@ fn main() {
 
     let mut results = Vec::new();
 
-    // Offline streaming baseline: the exact per-session pipeline (bounded
-    // pipe into the phased engine) minus the protocol and the kernel.
-    let secs = best_of(runs, || {
-        let (mut tx, rx) = pipe(1 << 16, pipe::DEFAULT_BATCH);
-        let t = Arc::clone(&trace);
-        let feeder = std::thread::spawn(move || {
-            tx.write_all(t.as_slice());
+    // Offline streaming baseline: one session's trace through the
+    // streaming analyzer with no sockets, framing, or protocol.
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let (hist, secs) = time(|| {
+            let (mut tx, rx) = pipe(1 << 16, pipe::DEFAULT_BATCH);
+            let t = Arc::clone(&trace);
+            let feeder = std::thread::spawn(move || {
+                tx.write_all(t.as_slice());
+            });
+            let (hist, _) = Analysis::new().run_stream(rx);
+            feeder.join().unwrap();
+            hist
         });
-        let (hist, _) = Analysis::new().run_stream(rx);
-        feeder.join().unwrap();
-        hist
-    });
-    push_row(&mut results, "offline-stream", 1, refs, secs);
+        black_box(hist);
+        best = best.min(secs);
+    }
+    push_row(
+        &mut results,
+        "offline-stream",
+        1,
+        refs,
+        best,
+        &ServerMetrics::default(),
+    );
 
-    // Loopback sessions: one daemon, N concurrent submitting clients.
-    let server = Server::bind(ServerConfig {
-        max_sessions: 8,
-        ..ServerConfig::default()
-    })
-    .expect("bind benchmark server");
-    let addr = server.local_addr().unwrap().to_string();
-    let stop = server.shutdown_handle();
-    let daemon = std::thread::spawn(move || server.run().unwrap());
-
-    for sessions in [1usize, 4, 8] {
-        let secs = best_of(runs, || {
-            let clients: Vec<_> = (0..sessions)
-                .map(|_| {
-                    let t = Arc::clone(&trace);
-                    let addr = addr.clone();
-                    std::thread::spawn(move || {
-                        submit(&addr, t.as_slice(), &SubmitOptions::default())
-                            .expect("benchmark submission")
-                    })
-                })
-                .collect();
-            clients
-                .into_iter()
-                .map(|c| c.join().unwrap())
-                .for_each(|reply| {
-                    black_box(reply.histogram);
-                })
-        });
-        // Aggregate: every session ingested the full trace.
+    // Exact sessions: the full trace at 1/4/8 (the historical surface),
+    // a quarter trace at 16.
+    let exact = SubmitOptions::default();
+    for (sessions, per_session) in [(1usize, refs), (4, refs), (8, refs), (16, refs / 4)] {
+        let (secs, metrics) = best_config(runs, &trace, sessions, per_session, &exact);
         push_row(
             &mut results,
             "loopback",
             sessions,
-            refs * sessions as u64,
+            per_session,
             secs,
+            &metrics,
         );
     }
 
-    stop.shutdown();
-    daemon.join().unwrap();
+    // Sketch sessions: constant-space per session, so the daemon can hold
+    // hundreds of them — the SHARDS-at-daemon-scale claim.
+    let mut sketch = SubmitOptions::default();
+    sketch
+        .config
+        .push(("approx".into(), "shards-smax:8192".into()));
+    for (sessions, per_session) in [(64usize, refs / 8), (256, refs / 32)] {
+        let (secs, metrics) = best_config(runs, &trace, sessions, per_session, &sketch);
+        push_row(
+            &mut results,
+            "loopback-sketch",
+            sessions,
+            per_session,
+            secs,
+            &metrics,
+        );
+    }
 
     let report = ServerReport {
         bench: "server_ingest",
@@ -147,13 +158,88 @@ fn main() {
     println!("{json}");
 }
 
-fn push_row(results: &mut Vec<Row>, mode: &str, sessions: usize, total_refs: u64, secs: f64) {
+/// Run one (sessions × refs) config `runs` times against a fresh daemon
+/// each time; returns the fastest wall time and that run's server metrics.
+fn best_config(
+    runs: u32,
+    trace: &Arc<Trace>,
+    sessions: usize,
+    per_session: u64,
+    opts: &SubmitOptions,
+) -> (f64, ServerMetrics) {
+    let mut best = f64::INFINITY;
+    let mut best_metrics = ServerMetrics::default();
+    for _ in 0..runs {
+        let server = Server::bind(ServerConfig {
+            max_sessions: sessions,
+            accept_limit: Some(sessions as u64),
+            ..ServerConfig::default()
+        })
+        .expect("bind benchmark server");
+        let addr = server.local_addr().unwrap().to_string();
+        let daemon = std::thread::spawn(move || server.run().unwrap());
+
+        let ((), secs) = time(|| {
+            let clients: Vec<_> = (0..sessions)
+                .map(|_| {
+                    let t = Arc::clone(trace);
+                    let addr = addr.clone();
+                    let opts = opts.clone();
+                    std::thread::spawn(move || {
+                        let slice = &t.as_slice()[..per_session as usize];
+                        submit(&addr, slice, &opts).expect("benchmark submission")
+                    })
+                })
+                .collect();
+            clients
+                .into_iter()
+                .map(|c| c.join().unwrap())
+                .for_each(|reply| {
+                    black_box(reply.histogram);
+                })
+        });
+        let metrics = daemon.join().unwrap();
+        assert_eq!(
+            metrics.sessions_completed, sessions as u64,
+            "every benchmark session must complete"
+        );
+        if secs < best {
+            best = secs;
+            best_metrics = metrics;
+        }
+    }
+    (best, best_metrics)
+}
+
+fn push_row(
+    results: &mut Vec<Row>,
+    mode: &str,
+    sessions: usize,
+    per_session: u64,
+    secs: f64,
+    metrics: &ServerMetrics,
+) {
+    let total_refs = per_session * sessions as u64;
     let rps = (total_refs as f64 / secs) as u64;
-    eprintln!("  {mode:<16} sessions={sessions} {rps:>12} refs/s ({secs:.3}s)");
+    let mem = metrics
+        .per_shard
+        .iter()
+        .map(|s| s.state_bytes_hwm)
+        .max()
+        .unwrap_or(0);
+    let p99_ms = metrics.p99_session_ns as f64 / 1e6;
+    eprintln!(
+        "  {mode:<16} sessions={sessions:<4} {rps:>12} refs/s ({secs:.3}s)  \
+         p99={p99_ms:.1}ms  mem/session={mem}B"
+    );
     results.push(Row {
         mode: mode.to_string(),
         sessions,
+        refs_per_session: per_session,
         refs_per_sec: rps,
         secs,
+        p99_session_ms: p99_ms,
+        mem_per_session_bytes: mem,
+        sketch_bytes_hwm: metrics.sketch_bytes_hwm,
     });
 }

@@ -60,10 +60,12 @@ commands:
   compare  run every engine over a trace, verify agreement, report timings
              <file> [--ranks <p>] [--naive-limit <n>]
   spec     print the paper's Table IV benchmark table
-  serve    run the analysis daemon (std TCP, one thread per session)
+  serve    run the analysis daemon (std TCP, sharded event-driven core)
              [--addr <host:port>]     (default 127.0.0.1:0, ephemeral port;
                           the bound address is printed on startup)
              [--max-sessions <n>]     (admission cap, default 8)
+             [--shards <n>]           (ingest shard threads; default 0 =
+                          scale to the hardware, capped at 8)
              [--max-session-bytes <b>] (per-session DATA budget)
              [--degradation <policy>] (default wire-corruption policy for
                           sessions that do not pick their own)
@@ -553,6 +555,8 @@ pub fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let degradation = parse_degradation(args)?;
     let idle_secs: u64 = args.get_parsed("idle-timeout", 30)?;
     let accept_limit: Option<u64> = args.get_optional("accept-limit")?;
+    // 0 = scale with the hardware (the ServerConfig default).
+    let shards: usize = args.get_parsed("shards", 0)?;
 
     let server = Server::bind(ServerConfig {
         addr,
@@ -562,6 +566,7 @@ pub fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         idle_timeout: (idle_secs > 0).then(|| Duration::from_secs(idle_secs)),
         accept_limit,
         default_approx: parse_approx(args)?.unwrap_or_default(),
+        shards,
     })
     .map_err(PardaError::Io)?;
     let local = server.local_addr().map_err(PardaError::Io)?;

@@ -248,6 +248,32 @@ impl Analysis {
         self
     }
 
+    /// Accessors used by the resumable session driver
+    /// ([`crate::session`]) to pick and configure its internal engine.
+    pub(crate) fn tree_kind(&self) -> TreeKind {
+        self.tree
+    }
+
+    pub(crate) fn mode_kind(&self) -> Mode {
+        self.mode
+    }
+
+    pub(crate) fn approx_mode(&self) -> ApproxMode {
+        self.approx
+    }
+
+    pub(crate) fn ranks_opt(&self) -> Option<usize> {
+        self.ranks
+    }
+
+    pub(crate) fn bound_opt(&self) -> Option<u64> {
+        self.bound
+    }
+
+    pub(crate) fn stats_on(&self) -> bool {
+        self.stats
+    }
+
     /// The [`PardaConfig`] this builder resolves to.
     pub fn config(&self) -> PardaConfig {
         let mut config = PardaConfig::default();
@@ -350,7 +376,7 @@ impl Analysis {
         self.finish_approx(&sketch, refs, sw.ns())
     }
 
-    fn finish_approx(
+    pub(crate) fn finish_approx(
         &self,
         sketch: &ApproxSketch,
         trace_refs: u64,

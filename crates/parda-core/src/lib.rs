@@ -55,6 +55,7 @@ pub mod parallel;
 pub mod phased;
 pub mod sampled;
 pub mod seq;
+pub mod session;
 pub mod shared;
 pub mod window;
 
@@ -65,6 +66,7 @@ pub use error::{FaultPolicy, PardaError};
 pub use parallel::{parda_threads_faulted, PardaConfig};
 pub use parda_obs::Report;
 pub use parda_trace::Degradation;
+pub use session::{SessionAnalysis, SessionStep};
 
 use parda_hist::ReuseHistogram;
 use parda_trace::Addr;

@@ -301,6 +301,87 @@ pub struct ApproxMetrics {
     pub expected_mae: f64,
 }
 
+/// Fixed-bucket (powers of two, nanoseconds) latency histogram: constant
+/// space, mergeable across shards, good enough for a p99 readout without
+/// keeping every sample. Bucket `i` covers `[2^i, 2^(i+1))` ns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHist {
+    buckets: [u64; 64],
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self { buckets: [0; 64] }
+    }
+}
+
+impl LatencyHist {
+    /// Record one duration in nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        let bucket = 63 - ns.max(1).leading_zeros() as usize;
+        self.buckets[bucket] += 1;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Fold another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+    }
+
+    /// Upper bound (ns) of the bucket containing the `q`-quantile sample
+    /// (`q` in [0, 1]); 0 when empty. Accuracy is the 2× bucket width —
+    /// plenty for an order-of-magnitude p99.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Lifetime summary of one ingest/analysis shard of the daemon: how many
+/// sessions were pinned to it, how concurrent it got, and the per-session
+/// resource high-water marks. Serialized inside [`ServerMetrics`] so shard
+/// balance is observable from the shutdown summary and the bench harness.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct ShardMetrics {
+    /// Shard index.
+    pub shard: usize,
+    /// Connections pinned to this shard over its lifetime.
+    pub sessions: u64,
+    /// High-water mark of concurrently resident sessions.
+    pub sessions_peak: u64,
+    /// High-water mark of the shard's pending-connection inbox.
+    pub queue_depth_hwm: u64,
+    /// Largest sketch resident size observed on this shard (approx
+    /// sessions only).
+    pub sketch_bytes_hwm: u64,
+    /// Largest per-session analysis-state estimate observed on this shard
+    /// (any mode; see `SessionAnalysis::state_bytes`).
+    pub state_bytes_hwm: u64,
+    /// p99 session wall time (admission to reply), nanoseconds.
+    pub p99_session_ns: u64,
+}
+
 /// Snapshot of a `parda-server` daemon's lifetime counters.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct ServerMetrics {
@@ -324,6 +405,12 @@ pub struct ServerMetrics {
     pub approx_sessions: u64,
     /// Largest sketch resident size observed across approx sessions.
     pub sketch_bytes_hwm: u64,
+    /// p99 session wall time (admission to reply) across all shards,
+    /// nanoseconds; 0 when no session completed.
+    pub p99_session_ns: u64,
+    /// Per-shard breakdown; only shards that saw at least one session are
+    /// listed, so an idle server snapshot stays `== Default::default()`.
+    pub per_shard: Vec<ShardMetrics>,
 }
 
 impl ServerMetrics {
@@ -338,7 +425,7 @@ impl ServerMetrics {
 
     /// One-line summary printed by `parda serve` on shutdown.
     pub fn render_pretty(&self, elapsed_secs: f64) -> String {
-        format!(
+        let mut line = format!(
             "server: sessions opened={} rejected={} failed={} completed={} \
              bytes_in={} refs_in={} frames_in={} quarantined={} \
              approx_sessions={} sketch_hwm={} refs/s={:.0}\n",
@@ -353,7 +440,27 @@ impl ServerMetrics {
             self.approx_sessions,
             self.sketch_bytes_hwm,
             self.refs_per_sec(elapsed_secs),
-        )
+        );
+        if self.p99_session_ns > 0 {
+            line.push_str(&format!(
+                "server: p99_session_ms={:.3}\n",
+                self.p99_session_ns as f64 / 1e6
+            ));
+        }
+        for s in &self.per_shard {
+            line.push_str(&format!(
+                "shard {}: sessions={} peak={} queue_hwm={} sketch_hwm={} \
+                 state_hwm={} p99_ms={:.3}\n",
+                s.shard,
+                s.sessions,
+                s.sessions_peak,
+                s.queue_depth_hwm,
+                s.sketch_bytes_hwm,
+                s.state_bytes_hwm,
+                s.p99_session_ns as f64 / 1e6,
+            ));
+        }
+        line
     }
 }
 
@@ -398,6 +505,8 @@ impl ServerCounters {
             frames_quarantined: self.frames_quarantined.get(),
             approx_sessions: self.approx_sessions.get(),
             sketch_bytes_hwm: self.sketch_bytes_hwm.get(),
+            p99_session_ns: 0,
+            per_shard: Vec::new(),
         }
     }
 }

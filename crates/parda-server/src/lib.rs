@@ -1,32 +1,38 @@
 //! `parda-server`: reuse-distance analysis as a network service.
 //!
-//! A std-only TCP daemon (no async runtime: one OS thread per session,
-//! blocking sockets, an accept loop polling a shutdown latch) that accepts
-//! many concurrent clients, each streaming a trace over the v2.1 frame
-//! encoding and receiving its histogram/MRC back:
+//! A std-only TCP daemon on a **sharded-core** model (no async runtime,
+//! no per-session threads): a nonblocking acceptor waits on `poll(2)`
+//! readiness and pins each connection to the least-loaded of N shard
+//! event loops; each shard multiplexes all of its sessions' socket I/O,
+//! frame decoding (into one reusable arena), and analysis on one thread,
+//! driving every session's `Analysis` as a resumable state machine
+//! (`parda_core::SessionAnalysis`):
 //!
 //! ```text
-//!  client ──HELLO/CONFIG──▶ ┌──────────────┐
-//!         ◀─ACCEPT|ERROR──  │  parda-server │──▶ Analysis (phased stream
-//!         ──DATA*──FIN────▶ │  session      │       or panic-isolated
-//!         ◀─STATS|ERROR──   └──────────────┘       threads engine)
+//!  client ──HELLO/CONFIG──▶ ┌──────────┐   ┌─ shard 0: poll ─ sessions ─┐
+//!         ◀─ACCEPT|ERROR──  │ acceptor │──▶│  feed frames → resumable   │
+//!         ──DATA*──FIN────▶ │  (poll)  │   │  Analysis → STATS at FIN   │
+//!         ◀─STATS|ERROR──   └──────────┘   └─ shard N-1 ────────────────┘
 //! ```
 //!
 //! The wire protocol ([`proto`]) reuses the trace format's per-frame
 //! CRC32C header byte-for-byte, so the `Degradation` ladder applies on the
 //! wire exactly as on disk: strict sessions fail on the first corrupt
 //! frame, lossy sessions quarantine it and tally the loss in the reply's
-//! `RecoveryMetrics`. Back-pressure composes from the bounded
-//! `parda-comm` pipe feeding the streaming analyzer and TCP flow control
-//! upstream of it; admission control caps concurrent sessions with a
-//! structured refusal. Sessions run under PR 4's `FaultPolicy` — panicking
-//! analysis workers are rescued or reported as typed errors, and a
-//! panicking session never takes the daemon down.
+//! `RecoveryMetrics`. Back-pressure is explicit: a session with an
+//! unflushed reply stops being read, so TCP flow control propagates to
+//! the client end-to-end. Admission control caps concurrent sessions with
+//! a structured refusal. Sessions run under PR 4's `FaultPolicy` —
+//! panicking analysis workers are rescued or reported as typed errors,
+//! and a panicking session costs one error frame, never a shard and never
+//! the daemon.
 
 pub mod client;
+mod poll;
 pub mod proto;
 pub mod server;
 pub mod session;
+mod shard;
 
 pub use client::{submit, submit_file, SubmitOptions, SubmitReply};
 pub use proto::{ErrorClass, ErrorFrame};

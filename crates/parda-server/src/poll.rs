@@ -1,0 +1,235 @@
+//! Readiness polling for the sharded server core.
+//!
+//! The daemon is std-only, so readiness comes from a raw `poll(2)` FFI
+//! binding on Linux (the same precedent as the `signal(2)` binding in
+//! `server::signal`). Platforms without that ABI get a coarse fallback:
+//! a short bounded sleep that reports every registered fd as ready, so
+//! the nonblocking read/write paths simply observe `WouldBlock` — correct,
+//! just not cheap. The fallback keeps the crate building everywhere while
+//! the Linux path removes both the accept-poll busy-wait and per-session
+//! blocking reads.
+
+use std::io;
+use std::time::Duration;
+
+#[cfg(unix)]
+pub(crate) use std::os::fd::RawFd;
+#[cfg(not(unix))]
+pub(crate) type RawFd = i32;
+
+/// Readiness reported for one registered fd after [`Poller::wait`].
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct Events {
+    /// The fd has bytes to read (or a pending accept).
+    pub readable: bool,
+    /// The fd can accept more bytes.
+    pub writable: bool,
+}
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+mod sys {
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    extern "C" {
+        // On LP64 Linux `nfds_t` is an unsigned long, i.e. usize.
+        pub fn poll(fds: *mut PollFd, nfds: usize, timeout: i32) -> i32;
+    }
+}
+
+/// A reusable `poll(2)` fd set. `clear` + `register` each round; indices
+/// returned by `register` address the matching [`Events`] after `wait`.
+pub(crate) struct Poller {
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    fds: Vec<sys::PollFd>,
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    fds: Vec<(bool, bool)>,
+}
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+impl Poller {
+    pub(crate) fn new() -> Self {
+        Poller { fds: Vec::new() }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.fds.clear();
+    }
+
+    pub(crate) fn register(&mut self, fd: RawFd, read: bool, write: bool) -> usize {
+        let mut events = 0i16;
+        if read {
+            events |= sys::POLLIN;
+        }
+        if write {
+            events |= sys::POLLOUT;
+        }
+        self.fds.push(sys::PollFd {
+            fd,
+            events,
+            revents: 0,
+        });
+        self.fds.len() - 1
+    }
+
+    /// Block until at least one registered fd is ready or `timeout`
+    /// elapses. EINTR is treated as a zero-event wakeup so signal-driven
+    /// shutdown latches are observed by the caller's next loop turn.
+    pub(crate) fn wait(&mut self, timeout: Duration) -> io::Result<()> {
+        let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+        let rc = unsafe { sys::poll(self.fds.as_mut_ptr(), self.fds.len(), ms) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                for fd in &mut self.fds {
+                    fd.revents = 0;
+                }
+                return Ok(());
+            }
+            return Err(err);
+        }
+        Ok(())
+    }
+
+    pub(crate) fn events(&self, idx: usize) -> Events {
+        let revents = self.fds[idx].revents;
+        Events {
+            readable: revents & (sys::POLLIN | sys::POLLHUP | sys::POLLERR) != 0,
+            writable: revents & (sys::POLLOUT | sys::POLLERR | sys::POLLNVAL) != 0,
+        }
+    }
+}
+
+#[cfg(not(any(target_os = "linux", target_os = "android")))]
+impl Poller {
+    pub(crate) fn new() -> Self {
+        Poller { fds: Vec::new() }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.fds.clear();
+    }
+
+    pub(crate) fn register(&mut self, _fd: RawFd, read: bool, write: bool) -> usize {
+        self.fds.push((read, write));
+        self.fds.len() - 1
+    }
+
+    /// Coarse fallback: sleep a short bounded interval, then report every
+    /// registered interest as ready. Nonblocking I/O turns the false
+    /// positives into harmless `WouldBlock`s.
+    pub(crate) fn wait(&mut self, timeout: Duration) -> io::Result<()> {
+        std::thread::sleep(timeout.min(Duration::from_millis(5)));
+        Ok(())
+    }
+
+    pub(crate) fn events(&self, idx: usize) -> Events {
+        let (read, write) = self.fds[idx];
+        Events {
+            readable: read,
+            writable: write,
+        }
+    }
+}
+
+/// Zero-timeout readability probe for a single fd. Used by the stall
+/// sweep so a session whose bytes arrived while the shard was busy in
+/// analysis is never misclassified as idle. On platforms without
+/// `poll(2)` this reports `false`, reducing to plain deadline behaviour.
+#[cfg(any(target_os = "linux", target_os = "android"))]
+pub(crate) fn readable_now(fd: RawFd) -> bool {
+    let mut pfd = sys::PollFd {
+        fd,
+        events: sys::POLLIN,
+        revents: 0,
+    };
+    let rc = unsafe { sys::poll(&mut pfd, 1, 0) };
+    rc > 0 && pfd.revents & (sys::POLLIN | sys::POLLHUP | sys::POLLERR) != 0
+}
+
+#[cfg(not(any(target_os = "linux", target_os = "android")))]
+pub(crate) fn readable_now(_fd: RawFd) -> bool {
+    false
+}
+
+/// Cross-thread wakeup for a poll loop: one byte down a nonblocking
+/// socketpair unparks the poller immediately instead of waiting out its
+/// timeout. Used by the acceptor's shutdown handle and each shard's
+/// admission inbox.
+#[cfg(unix)]
+pub(crate) struct Waker {
+    tx: std::os::unix::net::UnixStream,
+    rx: std::os::unix::net::UnixStream,
+}
+
+#[cfg(unix)]
+impl Waker {
+    pub(crate) fn new() -> io::Result<Self> {
+        let (tx, rx) = std::os::unix::net::UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok(Waker { tx, rx })
+    }
+
+    /// Nudge the poller. A full pipe means a wakeup is already pending,
+    /// so `WouldBlock` (and any other failure) is deliberately ignored.
+    pub(crate) fn wake(&self) {
+        use std::io::Write;
+        let _ = (&self.tx).write(&[1u8]);
+    }
+
+    /// Drain pending wakeups so the next `wait` blocks again.
+    pub(crate) fn drain(&self) {
+        use std::io::Read;
+        let mut sink = [0u8; 64];
+        while let Ok(n) = (&self.rx).read(&mut sink) {
+            if n == 0 {
+                break;
+            }
+        }
+    }
+
+    pub(crate) fn fd(&self) -> RawFd {
+        use std::os::fd::AsRawFd;
+        self.rx.as_raw_fd()
+    }
+}
+
+/// Fallback waker: a latch the coarse poller's bounded sleep observes
+/// within a few milliseconds.
+#[cfg(not(unix))]
+pub(crate) struct Waker {
+    flag: std::sync::atomic::AtomicBool,
+}
+
+#[cfg(not(unix))]
+impl Waker {
+    pub(crate) fn new() -> io::Result<Self> {
+        Ok(Waker {
+            flag: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    pub(crate) fn wake(&self) {
+        self.flag.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    pub(crate) fn drain(&self) {
+        self.flag.store(false, std::sync::atomic::Ordering::Release);
+    }
+
+    pub(crate) fn fd(&self) -> RawFd {
+        -1
+    }
+}

@@ -30,7 +30,7 @@
 
 use parda_core::PardaError;
 use parda_hash::crc32c;
-use parda_trace::io::{decode_frame_payload, encode_frame_payload, Encoding};
+use parda_trace::io::{decode_frame_payload_into, encode_frame_payload, Encoding};
 use parda_trace::Addr;
 use std::io::{self, Read, Write};
 use std::time::Duration;
@@ -81,7 +81,7 @@ pub enum MsgKind {
 }
 
 impl MsgKind {
-    fn from_u8(b: u8) -> io::Result<Self> {
+    pub(crate) fn from_u8(b: u8) -> io::Result<Self> {
         Ok(match b {
             1 => MsgKind::Hello,
             2 => MsgKind::Config,
@@ -212,6 +212,19 @@ impl DataFrameError {
 /// Validate and decode one DATA payload: header shape, CRC32C over the
 /// encoded body, then the shared v2 frame decoder.
 pub fn decode_data_frame(payload: &[u8], encoding: Encoding) -> Result<Vec<Addr>, DataFrameError> {
+    let mut out = Vec::new();
+    decode_data_frame_into(payload, encoding, &mut out)?;
+    Ok(out)
+}
+
+/// [`decode_data_frame`] into a caller-owned arena so a shard decoding
+/// frames from hundreds of sessions performs no per-frame allocation.
+/// The arena is cleared and refilled; its capacity is retained.
+pub fn decode_data_frame_into(
+    payload: &[u8],
+    encoding: Encoding,
+    out: &mut Vec<Addr>,
+) -> Result<(), DataFrameError> {
     if payload.len() < DATA_HEADER_LEN {
         return Err(DataFrameError::Malformed(format!(
             "{} bytes is shorter than the {DATA_HEADER_LEN}-byte inline header",
@@ -231,9 +244,11 @@ pub fn decode_data_frame(payload: &[u8], encoding: Encoding) -> Result<Vec<Addr>
     if crc32c(body) != crc {
         return Err(DataFrameError::Crc { count });
     }
-    decode_frame_payload(body, encoding, count as usize).map_err(|e| DataFrameError::Decode {
-        count,
-        detail: e.to_string(),
+    decode_frame_payload_into(body, encoding, count as usize, out).map_err(|e| {
+        DataFrameError::Decode {
+            count,
+            detail: e.to_string(),
+        }
     })
 }
 

@@ -1,33 +1,43 @@
-//! The daemon: listener, accept loop, session supervisor, shutdown.
+//! The daemon: listener, sharded-core supervisor, shutdown.
 //!
-//! The server is plain std — no async runtime. Each accepted connection
-//! gets its own OS thread running the session state machine from
-//! [`crate::session`]; the accept loop polls a shutdown flag (settable
-//! programmatically via [`ShutdownHandle`] or by SIGINT/SIGTERM once
-//! [`install_signal_shutdown`] ran) and, on shutdown, stops accepting and
-//! *drains*: every in-flight session runs to completion and delivers its
-//! reply before [`Server::run`] returns the final [`ServerMetrics`].
+//! The server is plain std — no async runtime. A nonblocking acceptor
+//! thread (the caller of [`Server::run`]) waits on `poll(2)` readiness
+//! over the listener and a shutdown waker, and pins each accepted
+//! connection to the least-loaded of N shard event loops
+//! (the `shard` module). Shards own all session I/O, frame decoding, and
+//! analysis; the per-session state machine lives in [`crate::session`]
+//! and analysis resumes frame by frame via `parda_core::SessionAnalysis`
+//! — no per-session threads, no per-session pipes.
 //!
-//! Supervision mirrors PR 4's worker isolation: each session thread runs
-//! under `catch_unwind`, so a panicking session (a `server::session`
-//! failpoint in tests, a bug in production) is converted into a
-//! `sessions_failed` tick and a best-effort WORKER-PANIC error frame to
-//! that client — the daemon itself never dies with a session.
+//! Shutdown (programmatic via [`ShutdownHandle`], or SIGINT/SIGTERM once
+//! [`install_signal_shutdown`] ran) stops the acceptor and *drains*: every
+//! in-flight session runs to completion and delivers its reply before
+//! [`Server::run`] returns the final [`ServerMetrics`], now including the
+//! per-shard breakdown and the cross-shard p99 session latency.
+//!
+//! Supervision mirrors PR 4's worker isolation: session stepping runs
+//! under `catch_unwind` inside the shard, so a panicking session (a
+//! `server::session` failpoint in tests, a bug in production) is converted
+//! into a `sessions_failed` tick and a best-effort WORKER-PANIC error
+//! frame to that client — the daemon itself never dies with a session.
 
-use crate::proto::{write_msg, ErrorClass, ErrorFrame, MsgKind};
-use crate::session::{serve_connection, Outcome};
+use crate::poll::{self, Poller, Waker};
+use crate::shard::{run_shard, Inbox};
 use parda_core::FaultPolicy;
-use parda_obs::{ServerCounters, ServerMetrics};
+use parda_obs::{LatencyHist, ServerCounters, ServerMetrics, ShardMetrics};
 use std::io;
-use std::net::{TcpListener, TcpStream};
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// How long the accept loop sleeps when there is nothing to accept.
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Upper bound on one acceptor poll wait — also how fast the process-wide
+/// signal latch is noticed when the poll syscall is not interrupted.
+const ACCEPT_WAIT: Duration = Duration::from_millis(50);
+
+/// Ceiling for the automatic shard count (`shards: 0`).
+const AUTO_SHARDS_MAX: usize = 8;
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -53,6 +63,9 @@ pub struct ServerConfig {
     /// `approx=` key (`Exact` preserves the historical behavior; a session
     /// can always force `approx=exact` explicitly).
     pub default_approx: parda_core::ApproxMode,
+    /// Ingest/analysis shard threads. `0` scales with the hardware
+    /// (`available_parallelism`, capped at 8).
+    pub shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -65,19 +78,37 @@ impl Default for ServerConfig {
             idle_timeout: Some(Duration::from_secs(30)),
             accept_limit: None,
             default_approx: parda_core::ApproxMode::Exact,
+            shards: 0,
         }
     }
 }
 
+impl ServerConfig {
+    /// The shard count `run` will use.
+    pub fn effective_shards(&self) -> usize {
+        if self.shards > 0 {
+            return self.shards;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, AUTO_SHARDS_MAX)
+    }
+}
+
 /// Flips the server's shutdown flag from another thread (or a signal
-/// handler's polling loop).
+/// handler's polling loop) and unparks the acceptor immediately.
 #[derive(Clone)]
-pub struct ShutdownHandle(Arc<AtomicBool>);
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    waker: Arc<Waker>,
+}
 
 impl ShutdownHandle {
     /// Request a graceful shutdown: stop accepting, drain sessions.
     pub fn shutdown(&self) {
-        self.0.store(true, Ordering::SeqCst);
+        self.flag.store(true, Ordering::SeqCst);
+        self.waker.wake();
     }
 }
 
@@ -86,6 +117,7 @@ pub struct Server {
     listener: TcpListener,
     cfg: ServerConfig,
     shutdown: Arc<AtomicBool>,
+    wake: Arc<Waker>,
     counters: Arc<ServerCounters>,
     active: Arc<AtomicUsize>,
 }
@@ -98,6 +130,7 @@ impl Server {
             listener,
             cfg,
             shutdown: Arc::new(AtomicBool::new(false)),
+            wake: Arc::new(Waker::new()?),
             counters: Arc::new(ServerCounters::default()),
             active: Arc::new(AtomicUsize::new(0)),
         })
@@ -110,52 +143,99 @@ impl Server {
 
     /// A handle that can stop this server from anywhere.
     pub fn shutdown_handle(&self) -> ShutdownHandle {
-        ShutdownHandle(Arc::clone(&self.shutdown))
+        ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+            waker: Arc::clone(&self.wake),
+        }
     }
 
-    /// Live counters (shared with every session thread).
+    /// Live counters (shared with every shard).
     pub fn counters(&self) -> Arc<ServerCounters> {
         Arc::clone(&self.counters)
     }
 
-    /// Accept and serve until shutdown, then drain and return the final
-    /// metrics snapshot.
+    /// Accept and serve until shutdown, then drain the shards and return
+    /// the final metrics snapshot.
     pub fn run(self) -> io::Result<ServerMetrics> {
         self.listener.set_nonblocking(true)?;
-        let mut handles: Vec<JoinHandle<()>> = Vec::new();
+        let scfg = Arc::new(self.cfg.clone());
+        let nshards = scfg.effective_shards();
+        let mut inboxes: Vec<Arc<Inbox>> = Vec::with_capacity(nshards);
+        let mut joins: Vec<JoinHandle<(ShardMetrics, LatencyHist)>> = Vec::with_capacity(nshards);
+        for index in 0..nshards {
+            let inbox = Arc::new(Inbox::new()?);
+            let handle = {
+                let inbox = Arc::clone(&inbox);
+                let scfg = Arc::clone(&scfg);
+                let counters = Arc::clone(&self.counters);
+                let active = Arc::clone(&self.active);
+                std::thread::Builder::new()
+                    .name(format!("parda-shard-{index}"))
+                    .spawn(move || run_shard(index, inbox, scfg, counters, active))?
+            };
+            inboxes.push(inbox);
+            joins.push(handle);
+        }
+
+        let mut poller = Poller::new();
         let mut next_id: u64 = 0;
         let mut accepted: u64 = 0;
-
-        while !self.should_stop(accepted) {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    accepted += 1;
-                    let id = next_id;
-                    next_id += 1;
-                    if accept_failpoint() {
-                        // Injected accept failure: the connection is
-                        // dropped on the floor, as if the OS ran out of
-                        // descriptors mid-accept.
-                        self.counters.sessions_rejected.incr();
-                        continue;
-                    }
-                    handles.push(self.spawn_session(stream, id)?);
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    reap_finished(&mut handles);
-                    std::thread::sleep(ACCEPT_POLL);
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
+        let accept_error = 'accepting: loop {
+            if self.should_stop(accepted) {
+                break None;
             }
-        }
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        accepted += 1;
+                        let id = next_id;
+                        next_id += 1;
+                        if accept_failpoint() {
+                            // Injected accept failure: the connection is
+                            // dropped on the floor, as if the OS ran out
+                            // of descriptors mid-accept.
+                            self.counters.sessions_rejected.incr();
+                        } else {
+                            least_loaded(&inboxes).push(stream, id);
+                        }
+                        if self.should_stop(accepted) {
+                            break 'accepting None;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => break 'accepting Some(e),
+                }
+            }
+            poller.clear();
+            poller.register(listener_fd(&self.listener), true, false);
+            poller.register(self.wake.fd(), true, false);
+            let _ = poller.wait(ACCEPT_WAIT);
+            self.wake.drain();
+        };
 
         // Drain: no new connections, but every in-flight session finishes
-        // and sends its reply.
-        for h in handles {
-            let _ = h.join();
+        // and delivers its reply before the shards exit.
+        for inbox in &inboxes {
+            inbox.stop();
         }
-        Ok(self.counters.snapshot())
+        let mut merged = LatencyHist::default();
+        let mut per_shard = Vec::new();
+        for join in joins {
+            if let Ok((shard_metrics, shard_hist)) = join.join() {
+                merged.merge(&shard_hist);
+                if shard_metrics.sessions > 0 {
+                    per_shard.push(shard_metrics);
+                }
+            }
+        }
+        if let Some(e) = accept_error {
+            return Err(e);
+        }
+        let mut metrics = self.counters.snapshot();
+        metrics.p99_session_ns = merged.quantile(0.99);
+        metrics.per_shard = per_shard;
+        Ok(metrics)
     }
 
     fn should_stop(&self, accepted: u64) -> bool {
@@ -164,40 +244,26 @@ impl Server {
         }
         self.cfg.accept_limit.is_some_and(|limit| accepted >= limit)
     }
+}
 
-    /// One thread per connection, panic-isolated: a session panic becomes
-    /// a failure metric and a best-effort error reply, never a dead daemon.
-    fn spawn_session(&self, stream: TcpStream, id: u64) -> io::Result<JoinHandle<()>> {
-        let cfg = self.cfg.clone();
-        let counters = Arc::clone(&self.counters);
-        let active = Arc::clone(&self.active);
-        // A pre-cloned handle lets the supervisor still reach the client
-        // after the session's own I/O objects unwound with the panic.
-        let rescue = stream.try_clone();
-        std::thread::Builder::new()
-            .name(format!("parda-session-{id}"))
-            .spawn(move || {
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    serve_connection(stream, id, &cfg, &counters, &active)
-                }));
-                if outcome.is_err() {
-                    counters.sessions_failed.incr();
-                    if let Ok(mut s) = rescue {
-                        let frame =
-                            ErrorFrame::new(ErrorClass::WorkerPanic, "session thread panicked");
-                        let _ = write_msg(&mut s, MsgKind::Error, &frame.to_payload());
-                        // Swallow whatever the client was still sending so
-                        // it can reach our error frame (closing with
-                        // unread data would RST the buffered reply away).
-                        let _ = s.set_read_timeout(Some(Duration::from_secs(2)));
-                        let mut sink = [0u8; 4096];
-                        while matches!(io::Read::read(&mut s, &mut sink), Ok(n) if n > 0) {}
-                    }
-                }
-                // Completed / Rejected / Failed already counted in-session.
-                let _: Result<Outcome, _> = outcome;
-            })
-    }
+#[cfg(unix)]
+fn listener_fd(listener: &TcpListener) -> poll::RawFd {
+    use std::os::fd::AsRawFd;
+    listener.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn listener_fd(_listener: &TcpListener) -> poll::RawFd {
+    -1
+}
+
+/// The shard with the fewest pinned connections; `push` bumps the gauge
+/// immediately, so a burst of accepts spreads evenly.
+fn least_loaded(inboxes: &[Arc<Inbox>]) -> &Inbox {
+    inboxes
+        .iter()
+        .min_by_key(|inbox| inbox.load())
+        .expect("at least one shard")
 }
 
 /// The `server::accept` fault-injection site, shaped so the disabled
@@ -205,17 +271,6 @@ impl Server {
 fn accept_failpoint() -> bool {
     parda_failpoint::failpoint!("server::accept", return true);
     false
-}
-
-fn reap_finished(handles: &mut Vec<JoinHandle<()>>) {
-    let mut i = 0;
-    while i < handles.len() {
-        if handles[i].is_finished() {
-            let _ = handles.swap_remove(i).join();
-        } else {
-            i += 1;
-        }
-    }
 }
 
 /// Process-wide SIGINT/SIGTERM latch, polled by the accept loop.
@@ -306,5 +361,16 @@ mod tests {
         .unwrap();
         let metrics = server.run().unwrap();
         assert_eq!(metrics.sessions_opened, 0);
+    }
+
+    #[test]
+    fn effective_shards_is_positive_and_overridable() {
+        let auto = ServerConfig::default().effective_shards();
+        assert!((1..=AUTO_SHARDS_MAX).contains(&auto));
+        let cfg = ServerConfig {
+            shards: 3,
+            ..ServerConfig::default()
+        };
+        assert_eq!(cfg.effective_shards(), 3);
     }
 }

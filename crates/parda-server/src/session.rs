@@ -1,50 +1,64 @@
-//! One client session: handshake, admission, DATA ingest, analysis, reply.
+//! One client session as a nonblocking state machine, driven by a shard.
 //!
-//! The session state machine is strict — HELLO, CONFIG, then DATA frames
-//! until FIN — and every departure from it, every integrity violation, and
-//! every analysis fault is converted into one typed ERROR frame before the
+//! The session protocol is strict — HELLO, CONFIG, then DATA frames until
+//! FIN — and every departure from it, every integrity violation, and every
+//! analysis fault is converted into one typed ERROR frame before the
 //! connection closes, so the client always learns *why* (and maps it onto
 //! the CLI's exit-code classes).
 //!
-//! Two engines are offered per session:
+//! Unlike the original two-threads-per-session design, a `Session` owns
+//! no thread and performs no I/O: the shard event loop reads bytes off the
+//! socket, splits them into wire messages, and hands each one to
+//! `Session::on_message`; replies are queued into the shard-owned outbox
+//! and flushed under `poll(2)` write readiness. Analysis runs inline via
+//! the resumable [`parda_core::SessionAnalysis`] driver — frames are fed
+//! as they arrive (`feed → NeedMore | Pending`) and any deferred engine
+//! (the parallel cascade) runs at FIN.
 //!
-//! * `engine=phased` (default): frames are decoded as they arrive and fed
-//!   through a bounded [`mod@parda_comm::pipe`] into the streaming multi-phase
-//!   analyzer running concurrently — bounded memory regardless of trace
-//!   length, with the pipe's back-pressure stalling the socket reads (and
-//!   eventually the client, via TCP flow control) when analysis falls
-//!   behind.
-//! * `engine=threads`: references are collected and analyzed at FIN by the
-//!   panic-isolated parallel driver ([`parda_core::Analysis::run_faulted`])
-//!   — rank panics are rescued by the scalar engine under the server's
-//!   [`parda_core::FaultPolicy`], bit-identical histogram on success.
+//! Engines offered per session:
+//!
+//! * engine key absent (`Auto`): references are buffered and analyzed at
+//!   FIN by the panic-isolated parallel cascade with a trace-length-scaled
+//!   rank count and (unless the client picked a tree) the fused Fenwick
+//!   `vector` tree — the fastest exact path on this hardware, bit-identical
+//!   to every other exact engine.
+//! * `engine=phased`: frames stream through the incremental sequential
+//!   analyzer as they arrive — bounded memory regardless of trace length,
+//!   with backpressure propagating to the client via TCP flow control
+//!   because the shard stops reading a session whose replies are pending.
+//! * `engine=threads`: collect, then [`parda_core::Analysis::run_faulted`]
+//!   at FIN — rank panics are rescued by the scalar engine under the
+//!   server's [`parda_core::FaultPolicy`], bit-identical on success.
+//!
+//! Approximate sessions (`approx=` other than `exact`) stream through the
+//! constant-space sketch regardless of engine, so per-session memory is
+//! O(sketch) — the shard records the high-water mark as proof.
 
 use crate::proto::{
-    decode_data_frame, encode_histogram_binary, read_msg, write_msg, DataFrameError, ErrorClass,
+    decode_data_frame_into, encode_histogram_binary, write_msg, DataFrameError, ErrorClass,
     ErrorFrame, MsgKind, STATS_FORMAT_BINARY, STATS_FORMAT_JSON,
 };
 use crate::server::ServerConfig;
-use parda_comm::pipe;
 use parda_core::phased::Reduction;
-use parda_core::{Analysis, ApproxMode, Mode, PardaError};
+use parda_core::{Analysis, ApproxMode, Mode, PardaError, SessionAnalysis};
 use parda_hist::ReuseHistogram;
 use parda_obs::{RecoveryMetrics, Report, ServerCounters};
 use parda_trace::io::Encoding;
 use parda_trace::{Addr, Degradation};
-use std::io::{BufReader, BufWriter, Read, Write};
-use std::net::TcpStream;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// Pipe capacity (in addresses) between the ingest loop and the streaming
-/// analyzer — the bounded-queue back-pressure from `parda-comm`.
-const PIPE_CAPACITY_WORDS: usize = 1 << 16;
+/// Messages a failed session keeps absorbing (so the client reaches our
+/// buffered ERROR frame instead of a TCP reset) before the socket closes.
+const DRAIN_MSG_CAP: u32 = 4096;
 
 /// Which analyzer a session runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SessionEngine {
-    /// Streaming multi-phase analysis, concurrent with ingest.
+    /// No `engine=`/`chunk=` key: buffer and run the parallel cascade at
+    /// FIN with an auto-scaled rank count (fastest exact path).
+    Auto,
+    /// Streaming multi-phase analysis, incremental with ingest.
     Phased {
         /// References per rank per phase (`C`).
         chunk: usize,
@@ -66,9 +80,11 @@ pub enum ReplyFormat {
 /// Per-session settings parsed from the CONFIG message.
 #[derive(Clone, Debug)]
 pub struct SessionConfig {
-    /// Tree substrate for the analysis.
-    pub tree: parda_tree::TreeKind,
-    /// Rank count (`None`: hardware parallelism).
+    /// Tree substrate for the analysis (`None`: engine-appropriate
+    /// default — `vector` for the auto cascade, `splay` otherwise).
+    pub tree: Option<parda_tree::TreeKind>,
+    /// Rank count (`None`: hardware parallelism, or trace-scaled under
+    /// [`SessionEngine::Auto`]).
     pub ranks: Option<usize>,
     /// Cache bound `B`.
     pub bound: Option<u64>,
@@ -92,10 +108,10 @@ impl SessionConfig {
     /// asking for something this server cannot honour must hear about it.
     pub fn parse(text: &str, default_degradation: Degradation) -> Result<Self, String> {
         let mut cfg = Self {
-            tree: parda_tree::TreeKind::Splay,
+            tree: None,
             ranks: None,
             bound: None,
-            engine: SessionEngine::Phased { chunk: 65_536 },
+            engine: SessionEngine::Auto,
             encoding: Encoding::DeltaVarint,
             degradation: default_degradation,
             reply: ReplyFormat::Binary,
@@ -113,7 +129,7 @@ impl SessionConfig {
                 .ok_or_else(|| format!("config line `{line}` is not key=value"))?;
             let bad = |e: &dyn std::fmt::Display| format!("config {key}={value}: {e}");
             match key {
-                "tree" => cfg.tree = value.parse().map_err(|e: String| bad(&e))?,
+                "tree" => cfg.tree = Some(value.parse().map_err(|e: String| bad(&e))?),
                 "ranks" => cfg.ranks = Some(value.parse().map_err(|e| bad(&e))?),
                 "bound" => cfg.bound = Some(value.parse().map_err(|e| bad(&e))?),
                 "chunk" => chunk = Some(value.parse().map_err(|e| bad(&e))?),
@@ -141,19 +157,49 @@ impl SessionConfig {
                 other => return Err(format!("unknown config key `{other}`")),
             }
         }
-        cfg.engine = match engine_name.as_deref() {
-            None | Some("phased") => SessionEngine::Phased {
-                chunk: chunk.unwrap_or(65_536),
-            },
-            Some("threads") => SessionEngine::Threads,
-            Some(other) => return Err(format!("unknown engine `{other}` (phased|threads)")),
+        cfg.engine = match (engine_name.as_deref(), chunk) {
+            // A bare `chunk=` keeps its historical meaning: phased with
+            // that chunk. Only a CONFIG naming neither engine nor chunk
+            // gets the auto cascade.
+            (None, None) => SessionEngine::Auto,
+            (None, Some(chunk)) | (Some("phased"), Some(chunk)) => SessionEngine::Phased { chunk },
+            (Some("phased"), None) => SessionEngine::Phased { chunk: 65_536 },
+            (Some("threads"), _) => SessionEngine::Threads,
+            (Some(other), _) => return Err(format!("unknown engine `{other}` (phased|threads)")),
         };
         Ok(cfg)
     }
 
-    fn builder(&self, policy: parda_core::FaultPolicy, default_approx: ApproxMode) -> Analysis {
+    /// The analysis builder for this session plus whether `finish` should
+    /// scale the cascade rank count to the trace length.
+    fn builder(
+        &self,
+        policy: parda_core::FaultPolicy,
+        default_approx: ApproxMode,
+    ) -> (Analysis, bool) {
+        let (tree, mode, auto_ranks) = match self.engine {
+            SessionEngine::Auto => (
+                self.tree.unwrap_or(parda_tree::TreeKind::Vector),
+                Mode::Threads,
+                true,
+            ),
+            SessionEngine::Threads => (
+                self.tree.unwrap_or(parda_tree::TreeKind::Splay),
+                Mode::Threads,
+                false,
+            ),
+            SessionEngine::Phased { chunk } => (
+                self.tree.unwrap_or(parda_tree::TreeKind::Splay),
+                Mode::Phased {
+                    chunk,
+                    reduction: Reduction::ShipToRankZero,
+                },
+                false,
+            ),
+        };
         let mut b = Analysis::new()
-            .tree(self.tree)
+            .tree(tree)
+            .mode(mode)
             .bound(self.bound)
             .stats(true)
             .fault_policy(policy)
@@ -161,19 +207,8 @@ impl SessionConfig {
         if let Some(ranks) = self.ranks {
             b = b.ranks(ranks);
         }
-        b
+        (b, auto_ranks)
     }
-}
-
-/// How a connection ended, for the supervisor's metrics.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) enum Outcome {
-    /// STATS was delivered.
-    Completed,
-    /// The handshake was refused (bad HELLO/CONFIG or admission).
-    Rejected,
-    /// An admitted session failed.
-    Failed,
 }
 
 /// A classified session failure plus the wire frame describing it.
@@ -188,29 +223,22 @@ impl SessionError {
         Self(ErrorFrame::from_parda(e))
     }
 
-    /// Classify a transport-level read failure: a timed-out read is the
-    /// session watchdog firing (stall), EOF/garbage is a protocol breach.
-    fn from_read(e: std::io::Error, idle: Option<std::time::Duration>) -> Self {
-        match e.kind() {
-            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => Self(ErrorFrame {
-                class: ErrorClass::Stall,
-                a: 0,
-                b: idle
-                    .map(|d| u32::try_from(d.as_millis()).unwrap_or(u32::MAX))
-                    .unwrap_or(0),
-                message: "session idle past the read deadline".into(),
-            }),
-            std::io::ErrorKind::UnexpectedEof => {
-                Self::new(ErrorClass::Protocol, "connection closed mid-session")
-            }
-            std::io::ErrorKind::InvalidData => Self::new(ErrorClass::Protocol, e.to_string()),
-            _ => Self(ErrorFrame::new(ErrorClass::Io, e.to_string())),
-        }
+    /// The session watchdog firing: the peer sent nothing for the whole
+    /// idle window.
+    fn stall(idle: Option<std::time::Duration>) -> Self {
+        Self(ErrorFrame {
+            class: ErrorClass::Stall,
+            a: 0,
+            b: idle
+                .map(|d| u32::try_from(d.as_millis()).unwrap_or(u32::MAX))
+                .unwrap_or(0),
+            message: "session idle past the read deadline".into(),
+        })
     }
 }
 
 /// Decrements the active-session count when the session ends (normally or
-/// by unwind — the supervisor's `catch_unwind` runs this drop either way).
+/// by unwind — the shard drops the slot either way).
 struct AdmissionGuard {
     active: Arc<AtomicUsize>,
 }
@@ -238,20 +266,276 @@ fn try_admit(active: &Arc<AtomicUsize>, max: usize) -> Option<AdmissionGuard> {
     }
 }
 
-/// Mutable ingest state threaded through the DATA loop.
-struct Ingest<'a> {
-    cfg: &'a SessionConfig,
-    counters: &'a ServerCounters,
+/// Everything a [`Session`] borrows from its shard for one step: server
+/// config, shared counters, the admission gauge, the slot's reply outbox,
+/// and the shard's reusable frame-decode arena.
+pub(crate) struct SessionHost<'a> {
+    pub scfg: &'a ServerConfig,
+    pub counters: &'a ServerCounters,
+    pub active: &'a Arc<AtomicUsize>,
+    pub outbox: &'a mut Vec<u8>,
+    pub arena: &'a mut Vec<Addr>,
+}
+
+/// Where a session is in its protocol lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    AwaitHello,
+    AwaitConfig,
+    Streaming,
+    /// A terminal reply is queued; keep absorbing the client's in-flight
+    /// messages (bounded) so it can read the reply before we close.
+    Draining,
+    /// Flush the outbox, then close the socket.
+    Closing,
+}
+
+/// The per-connection protocol state machine (see the module docs). All
+/// counter updates and reply bytes happen in here; the shard only moves
+/// bytes and readiness.
+pub(crate) struct Session {
+    id: u64,
+    phase: Phase,
+    cfg: Option<SessionConfig>,
+    driver: Option<SessionAnalysis>,
+    guard: Option<AdmissionGuard>,
     budget: Option<u64>,
     bytes_in: u64,
     frame_seq: u64,
     recovery: RecoveryMetrics,
+    drained_msgs: u32,
+    state_bytes_hwm: u64,
+    sketch_bytes_hwm: u64,
+    outcome_recorded: bool,
+    completed: bool,
 }
 
-impl Ingest<'_> {
-    /// Decode one DATA payload under the session's degradation policy.
-    /// `Ok(addrs)` may be empty when a lossy policy quarantined the frame.
-    fn frame(&mut self, payload: &[u8]) -> Result<Vec<Addr>, SessionError> {
+impl Session {
+    pub(crate) fn new(id: u64) -> Self {
+        Session {
+            id,
+            phase: Phase::AwaitHello,
+            cfg: None,
+            driver: None,
+            guard: None,
+            budget: None,
+            bytes_in: 0,
+            frame_seq: 0,
+            recovery: RecoveryMetrics::default(),
+            drained_msgs: 0,
+            state_bytes_hwm: 0,
+            sketch_bytes_hwm: 0,
+            outcome_recorded: false,
+            completed: false,
+        }
+    }
+
+    /// Whether the shard should keep reading (and parsing) this socket.
+    pub(crate) fn wants_read(&self) -> bool {
+        self.phase != Phase::Closing
+    }
+
+    /// Whether the slot can be reaped once its outbox is flushed.
+    pub(crate) fn is_closing(&self) -> bool {
+        self.phase == Phase::Closing
+    }
+
+    /// STATS was queued — the shard records the session latency.
+    pub(crate) fn completed(&self) -> bool {
+        self.completed
+    }
+
+    /// Largest per-session analysis state seen (any mode).
+    pub(crate) fn state_bytes_hwm(&self) -> u64 {
+        self.state_bytes_hwm
+    }
+
+    /// Largest sketch seen, for approx sessions only (0 otherwise).
+    pub(crate) fn sketch_bytes_hwm(&self) -> u64 {
+        self.sketch_bytes_hwm
+    }
+
+    /// One complete wire message from the shard's parser.
+    pub(crate) fn on_message(&mut self, kind: MsgKind, payload: &[u8], host: &mut SessionHost) {
+        match self.phase {
+            Phase::AwaitHello => self.handle_hello(kind, payload, host),
+            Phase::AwaitConfig => self.handle_config(kind, payload, host),
+            Phase::Streaming => self.handle_streaming(kind, payload, host),
+            Phase::Draining => {
+                self.drained_msgs += 1;
+                if kind == MsgKind::Fin || self.drained_msgs >= DRAIN_MSG_CAP {
+                    self.phase = Phase::Closing;
+                }
+            }
+            Phase::Closing => {}
+        }
+    }
+
+    /// The byte stream stopped being parseable (bad kind byte, lying
+    /// length prefix): reply if we still can, then close — resync is
+    /// impossible once framing is lost.
+    pub(crate) fn on_desync(&mut self, detail: String, host: &mut SessionHost) {
+        match self.phase {
+            Phase::Draining | Phase::Closing => {}
+            _ => self.abort(SessionError::new(ErrorClass::Protocol, detail), host),
+        }
+        self.phase = Phase::Closing;
+    }
+
+    /// The peer closed its write side.
+    pub(crate) fn on_eof(&mut self, host: &mut SessionHost) {
+        match self.phase {
+            Phase::AwaitHello | Phase::AwaitConfig | Phase::Streaming => self.abort(
+                SessionError::new(ErrorClass::Protocol, "connection closed mid-session"),
+                host,
+            ),
+            Phase::Draining | Phase::Closing => {}
+        }
+        self.phase = Phase::Closing;
+    }
+
+    /// A hard socket read error.
+    pub(crate) fn on_read_error(&mut self, e: std::io::Error, host: &mut SessionHost) {
+        match self.phase {
+            Phase::Draining | Phase::Closing => {}
+            _ => self.abort(SessionError::new(ErrorClass::Io, e.to_string()), host),
+        }
+        self.phase = Phase::Closing;
+    }
+
+    /// The idle deadline passed with no bytes pending on the socket.
+    pub(crate) fn on_stall(&mut self, host: &mut SessionHost) {
+        match self.phase {
+            Phase::Draining | Phase::Closing => {}
+            _ => self.abort(SessionError::stall(host.scfg.idle_timeout), host),
+        }
+        self.phase = Phase::Closing;
+    }
+
+    /// Flushing this session's reply failed: the peer is gone; make sure
+    /// the connection is still accounted exactly once.
+    pub(crate) fn on_transport_error(&mut self, host: &mut SessionHost) {
+        if !self.outcome_recorded {
+            self.outcome_recorded = true;
+            if self.guard.is_some() {
+                host.counters.sessions_failed.incr();
+            } else {
+                host.counters.sessions_rejected.incr();
+            }
+        }
+        self.phase = Phase::Closing;
+    }
+
+    /// A panic unwound out of message processing (the `server::session`
+    /// failpoint in tests, a bug in production): the session dies with a
+    /// typed error frame, the daemon and its shard do not.
+    pub(crate) fn on_panic(&mut self, host: &mut SessionHost) {
+        if !self.outcome_recorded {
+            self.outcome_recorded = true;
+            host.counters.sessions_failed.incr();
+        }
+        let frame = ErrorFrame::new(ErrorClass::WorkerPanic, "session thread panicked");
+        let _ = write_msg(host.outbox, MsgKind::Error, &frame.to_payload());
+        // Keep absorbing whatever the client was still sending so it can
+        // reach the error frame (closing with unread data would RST the
+        // buffered reply away).
+        self.phase = Phase::Draining;
+    }
+
+    fn handle_hello(&mut self, kind: MsgKind, payload: &[u8], host: &mut SessionHost) {
+        if kind != MsgKind::Hello {
+            return self.refuse(
+                SessionError::new(
+                    ErrorClass::Protocol,
+                    format!("expected HELLO, got {kind:?}"),
+                ),
+                host,
+            );
+        }
+        if let Err(e) = crate::proto::check_hello(payload) {
+            return self.refuse(SessionError::new(ErrorClass::Protocol, e), host);
+        }
+        self.phase = Phase::AwaitConfig;
+    }
+
+    fn handle_config(&mut self, kind: MsgKind, payload: &[u8], host: &mut SessionHost) {
+        if kind != MsgKind::Config {
+            return self.refuse(
+                SessionError::new(
+                    ErrorClass::Protocol,
+                    format!("expected CONFIG, got {kind:?}"),
+                ),
+                host,
+            );
+        }
+        let Ok(text) = std::str::from_utf8(payload) else {
+            return self.refuse(
+                SessionError::new(ErrorClass::Protocol, "CONFIG is not UTF-8"),
+                host,
+            );
+        };
+        let cfg = match SessionConfig::parse(text, host.scfg.fault.degradation) {
+            Ok(cfg) => cfg,
+            Err(e) => return self.refuse(SessionError::new(ErrorClass::Config, e), host),
+        };
+
+        // Admission control: the session cap is enforced after a valid
+        // handshake so the refusal is a structured protocol error, not a
+        // dropped connection.
+        let Some(guard) = try_admit(host.active, host.scfg.max_sessions) else {
+            return self.refuse(
+                SessionError::new(
+                    ErrorClass::Admission,
+                    format!(
+                        "admission rejected: {} sessions active (max {})",
+                        host.scfg.max_sessions, host.scfg.max_sessions
+                    ),
+                ),
+                host,
+            );
+        };
+        self.guard = Some(guard);
+        host.counters.sessions_opened.incr();
+        let _ = write_msg(host.outbox, MsgKind::Accept, &self.id.to_le_bytes());
+        parda_failpoint::failpoint!("server::session");
+
+        let policy = parda_core::FaultPolicy {
+            degradation: cfg.degradation,
+            ..host.scfg.fault.clone()
+        };
+        let (builder, auto_ranks) = cfg.builder(policy, host.scfg.default_approx);
+        self.driver = Some(builder.session().auto_ranks(auto_ranks));
+        self.budget = host.scfg.max_session_bytes;
+        self.cfg = Some(cfg);
+        self.phase = Phase::Streaming;
+    }
+
+    fn handle_streaming(&mut self, kind: MsgKind, payload: &[u8], host: &mut SessionHost) {
+        match kind {
+            MsgKind::Data => {
+                if let Err(e) = self.ingest_frame(payload, host) {
+                    self.abort(e, host);
+                    self.phase = Phase::Draining;
+                }
+            }
+            MsgKind::Fin => self.finish(host),
+            other => {
+                self.abort(
+                    SessionError::new(
+                        ErrorClass::Protocol,
+                        format!("expected DATA or FIN, got {other:?}"),
+                    ),
+                    host,
+                );
+                self.phase = Phase::Draining;
+            }
+        }
+    }
+
+    /// Decode one DATA payload under the session's degradation policy and
+    /// feed it to the analysis driver. A lossy policy may quarantine the
+    /// frame, which feeds nothing.
+    fn ingest_frame(&mut self, payload: &[u8], host: &mut SessionHost) -> Result<(), SessionError> {
         self.frame_seq += 1;
         self.bytes_in += payload.len() as u64;
         if let Some(budget) = self.budget {
@@ -262,231 +546,110 @@ impl Ingest<'_> {
                 ));
             }
         }
-        self.counters.frames_in.incr();
-        self.counters.bytes_in.add(payload.len() as u64);
-        let decoded = decode_data_frame(payload, self.cfg.encoding);
+        host.counters.frames_in.incr();
+        host.counters.bytes_in.add(payload.len() as u64);
+        let cfg = self.cfg.as_ref().expect("streaming implies config");
+        let decoded = decode_data_frame_into(payload, cfg.encoding, host.arena);
         parda_failpoint::failpoint!("server::decode", {
-            return self.quarantine(DataFrameError::Decode {
-                count: 0,
-                detail: "injected server decode failure".into(),
-            });
+            return self.quarantine(
+                DataFrameError::Decode {
+                    count: 0,
+                    detail: "injected server decode failure".into(),
+                },
+                host,
+            );
         });
         match decoded {
-            Ok(addrs) => {
-                self.counters.refs_in.add(addrs.len() as u64);
-                Ok(addrs)
+            Ok(()) => {
+                host.counters.refs_in.add(host.arena.len() as u64);
+                let driver = self.driver.as_mut().expect("streaming implies driver");
+                driver.feed(host.arena);
+                self.state_bytes_hwm = self.state_bytes_hwm.max(driver.state_bytes());
+                if driver.is_sketch() {
+                    self.sketch_bytes_hwm = self.sketch_bytes_hwm.max(driver.state_bytes());
+                }
+                Ok(())
             }
-            Err(e) => self.quarantine(e),
+            Err(e) => self.quarantine(e, host),
         }
     }
 
     /// Strict: fail the session. Lossy: tally the quarantined frame
     /// (mirroring `FramedStream`'s per-frame recovery) and carry on.
-    fn quarantine(&mut self, e: DataFrameError) -> Result<Vec<Addr>, SessionError> {
-        if !self.cfg.degradation.is_lossy() {
+    fn quarantine(
+        &mut self,
+        e: DataFrameError,
+        host: &mut SessionHost,
+    ) -> Result<(), SessionError> {
+        let cfg = self.cfg.as_ref().expect("streaming implies config");
+        if !cfg.degradation.is_lossy() {
             return Err(SessionError::from_parda(&PardaError::Corrupt(e.message())));
         }
         if matches!(e, DataFrameError::Crc { .. }) {
             self.recovery.crc_failures += 1;
         }
         self.recovery.skip_frame(self.frame_seq - 1, e.count());
-        self.counters.frames_quarantined.incr();
-        Ok(Vec::new())
+        host.counters.frames_quarantined.incr();
+        Ok(())
     }
-}
 
-/// Drive one accepted connection through the whole session protocol.
-/// Every counter update and reply happens in here; the return value only
-/// tells the supervisor how to account the connection.
-pub(crate) fn serve_connection(
-    stream: TcpStream,
-    id: u64,
-    scfg: &ServerConfig,
-    counters: &Arc<ServerCounters>,
-    active: &Arc<AtomicUsize>,
-) -> Outcome {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(scfg.idle_timeout);
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return Outcome::Failed,
-    });
-    let mut writer = BufWriter::new(stream);
-
-    // Handshake: HELLO then CONFIG, refused before admission is consumed.
-    let session_cfg = match handshake(&mut reader, scfg) {
-        Ok(cfg) => cfg,
-        Err(err) => {
-            counters.sessions_rejected.incr();
-            send_error(&mut writer, &err);
-            drain(&mut reader);
-            return Outcome::Rejected;
-        }
-    };
-
-    // Admission control: the session cap is enforced after a valid
-    // handshake so the refusal is a structured protocol error, not a
-    // dropped connection.
-    let Some(_guard) = try_admit(active, scfg.max_sessions) else {
-        counters.sessions_rejected.incr();
-        send_error(
-            &mut writer,
-            &SessionError::new(
-                ErrorClass::Admission,
-                format!(
-                    "admission rejected: {} sessions active (max {})",
-                    scfg.max_sessions, scfg.max_sessions
-                ),
-            ),
-        );
-        drain(&mut reader);
-        return Outcome::Rejected;
-    };
-    counters.sessions_opened.incr();
-    if write_msg(&mut writer, MsgKind::Accept, &id.to_le_bytes())
-        .and_then(|()| writer.flush())
-        .is_err()
-    {
-        counters.sessions_failed.incr();
-        return Outcome::Failed;
-    }
-    parda_failpoint::failpoint!("server::session");
-
-    match run_admitted(&mut reader, &mut writer, &session_cfg, scfg, counters) {
-        Ok(()) => {
-            counters.sessions_completed.incr();
-            Outcome::Completed
-        }
-        Err(err) => {
-            counters.sessions_failed.incr();
-            send_error(&mut writer, &err);
-            drain(&mut reader);
-            Outcome::Failed
-        }
-    }
-}
-
-fn handshake(reader: &mut impl Read, scfg: &ServerConfig) -> Result<SessionConfig, SessionError> {
-    let idle = scfg.idle_timeout;
-    let hello = read_msg(reader).map_err(|e| SessionError::from_read(e, idle))?;
-    if hello.kind != MsgKind::Hello {
-        return Err(SessionError::new(
-            ErrorClass::Protocol,
-            format!("expected HELLO, got {:?}", hello.kind),
-        ));
-    }
-    crate::proto::check_hello(&hello.payload)
-        .map_err(|e| SessionError::new(ErrorClass::Protocol, e))?;
-    let config = read_msg(reader).map_err(|e| SessionError::from_read(e, idle))?;
-    if config.kind != MsgKind::Config {
-        return Err(SessionError::new(
-            ErrorClass::Protocol,
-            format!("expected CONFIG, got {:?}", config.kind),
-        ));
-    }
-    let text = std::str::from_utf8(&config.payload)
-        .map_err(|_| SessionError::new(ErrorClass::Protocol, "CONFIG is not UTF-8"))?;
-    SessionConfig::parse(text, scfg.fault.degradation)
-        .map_err(|e| SessionError::new(ErrorClass::Config, e))
-}
-
-/// The admitted phase: ingest DATA until FIN, run the analysis, reply.
-fn run_admitted(
-    reader: &mut impl Read,
-    writer: &mut impl Write,
-    cfg: &SessionConfig,
-    scfg: &ServerConfig,
-    counters: &Arc<ServerCounters>,
-) -> Result<(), SessionError> {
-    let mut ingest = Ingest {
-        cfg,
-        counters: counters.as_ref(),
-        budget: scfg.max_session_bytes,
-        bytes_in: 0,
-        frame_seq: 0,
-        recovery: RecoveryMetrics::default(),
-    };
-    let policy = parda_core::FaultPolicy {
-        degradation: cfg.degradation,
-        ..scfg.fault.clone()
-    };
-
-    let (hist, mut report) = match cfg.engine {
-        SessionEngine::Threads => {
-            let mut refs: Vec<Addr> = Vec::new();
-            ingest_loop(reader, scfg, &mut ingest, |addrs| {
-                refs.extend_from_slice(addrs);
-                true
-            })?;
-            let builder = cfg.builder(policy, scfg.default_approx).mode(Mode::Threads);
-            builder
-                .run_faulted(&refs)
-                .map_err(|e| SessionError::from_parda(&e))?
-        }
-        SessionEngine::Phased { chunk } => {
-            let builder = cfg.builder(policy, scfg.default_approx).mode(Mode::Phased {
-                chunk,
-                reduction: Reduction::ShipToRankZero,
-            });
-            let (mut tx, rx) = pipe(PIPE_CAPACITY_WORDS, parda_comm::pipe::DEFAULT_BATCH);
-            let analysis = std::thread::Builder::new()
-                .name("parda-session-analysis".into())
-                .spawn(move || catch_unwind(AssertUnwindSafe(move || builder.run_stream(rx))))
-                .map_err(|e| SessionError::new(ErrorClass::Io, e.to_string()))?;
-            let ingested = ingest_loop(reader, scfg, &mut ingest, |addrs| {
-                tx.write_all(addrs);
-                !tx.is_closed()
-            });
-            drop(tx);
-            let joined = analysis.join().unwrap_or_else(Err).map_err(|_| {
-                SessionError(ErrorFrame {
-                    class: ErrorClass::WorkerPanic,
-                    a: 0,
-                    b: 1,
-                    message: "streaming analysis panicked".into(),
-                })
-            });
-            // An ingest error trumps a (secondary) analysis teardown error.
-            ingested?;
-            joined?
-        }
-    };
-
-    let mut report = report.take().expect("stats were requested");
-    attach_recovery(&mut report, ingest.recovery);
-    if let Some(a) = report.approx.as_ref() {
-        counters.approx_sessions.incr();
-        counters.sketch_bytes_hwm.record_max(a.sketch_bytes);
-    }
-    send_stats(writer, cfg, &hist, &report)
-}
-
-/// Read DATA messages until FIN, handing decoded frames to `sink`. A
-/// `false` from the sink means the downstream analyzer is gone — stop
-/// reading and let the caller surface its fate.
-fn ingest_loop(
-    reader: &mut impl Read,
-    scfg: &ServerConfig,
-    ingest: &mut Ingest<'_>,
-    mut sink: impl FnMut(&[Addr]) -> bool,
-) -> Result<(), SessionError> {
-    loop {
-        let msg = read_msg(reader).map_err(|e| SessionError::from_read(e, scfg.idle_timeout))?;
-        match msg.kind {
-            MsgKind::Data => {
-                let addrs = ingest.frame(&msg.payload)?;
-                if !sink(&addrs) {
-                    return Ok(());
-                }
+    /// FIN: run any deferred analysis, queue the STATS reply.
+    fn finish(&mut self, host: &mut SessionHost) {
+        let driver = self.driver.take().expect("streaming implies driver");
+        let (hist, report) = match driver.finish() {
+            Ok(done) => done,
+            Err(e) => {
+                self.abort(SessionError::from_parda(&e), host);
+                self.phase = Phase::Draining;
+                return;
             }
-            MsgKind::Fin => return Ok(()),
-            other => {
-                return Err(SessionError::new(
-                    ErrorClass::Protocol,
-                    format!("expected DATA or FIN, got {other:?}"),
-                ))
+        };
+        let mut report = report.expect("stats were requested");
+        attach_recovery(&mut report, std::mem::take(&mut self.recovery));
+        if let Some(a) = report.approx.as_ref() {
+            host.counters.approx_sessions.incr();
+            host.counters.sketch_bytes_hwm.record_max(a.sketch_bytes);
+            self.sketch_bytes_hwm = self.sketch_bytes_hwm.max(a.sketch_bytes);
+        }
+        let cfg = self.cfg.as_ref().expect("streaming implies config");
+        match send_stats(host.outbox, cfg, &hist, &report) {
+            Ok(()) => {
+                self.outcome_recorded = true;
+                self.completed = true;
+                host.counters.sessions_completed.incr();
+                self.phase = Phase::Closing;
+            }
+            Err(e) => {
+                self.abort(e, host);
+                self.phase = Phase::Draining;
             }
         }
+    }
+
+    /// Refuse an un-admitted connection (bad handshake or admission cap):
+    /// `sessions_rejected`, an error frame, then a bounded drain.
+    fn refuse(&mut self, err: SessionError, host: &mut SessionHost) {
+        if !self.outcome_recorded {
+            self.outcome_recorded = true;
+            host.counters.sessions_rejected.incr();
+        }
+        let _ = write_msg(host.outbox, MsgKind::Error, &err.0.to_payload());
+        self.phase = Phase::Draining;
+    }
+
+    /// Fail the session with a typed error frame, accounting it exactly
+    /// once: `sessions_failed` when admitted, `sessions_rejected` during
+    /// the handshake. The caller picks the follow-up phase.
+    fn abort(&mut self, err: SessionError, host: &mut SessionHost) {
+        if !self.outcome_recorded {
+            self.outcome_recorded = true;
+            if self.guard.is_some() {
+                host.counters.sessions_failed.incr();
+            } else {
+                host.counters.sessions_rejected.incr();
+            }
+        }
+        let _ = write_msg(host.outbox, MsgKind::Error, &err.0.to_payload());
     }
 }
 
@@ -502,7 +665,7 @@ fn attach_recovery(report: &mut Report, wire: RecoveryMetrics) {
 }
 
 fn send_stats(
-    writer: &mut impl Write,
+    outbox: &mut Vec<u8>,
     cfg: &SessionConfig,
     hist: &ReuseHistogram,
     report: &Report,
@@ -523,28 +686,7 @@ fn send_stats(
             payload.extend_from_slice(&encode_histogram_binary(hist));
         }
     }
-    write_msg(writer, MsgKind::Stats, &payload)
-        .and_then(|()| writer.flush())
-        .map_err(|e| io_fail(&e))
-}
-
-/// Best-effort error reply; the connection is closing either way.
-fn send_error(writer: &mut impl Write, err: &SessionError) {
-    let _ = write_msg(writer, MsgKind::Error, &err.0.to_payload());
-    let _ = writer.flush();
-}
-
-/// After a fatal reply, read and discard whatever the client was still
-/// sending so it reaches our ERROR frame instead of a TCP reset. Bounded
-/// by a message cap and the socket read timeout.
-fn drain(reader: &mut impl Read) {
-    for _ in 0..4096 {
-        match read_msg(reader) {
-            Ok(msg) if msg.kind == MsgKind::Fin => return,
-            Ok(_) => {}
-            Err(_) => return,
-        }
-    }
+    write_msg(outbox, MsgKind::Stats, &payload).map_err(|e| io_fail(&e))
 }
 
 #[cfg(test)]
@@ -554,7 +696,8 @@ mod tests {
     #[test]
     fn session_config_defaults_and_overrides() {
         let cfg = SessionConfig::parse("", Degradation::Strict).unwrap();
-        assert_eq!(cfg.engine, SessionEngine::Phased { chunk: 65_536 });
+        assert_eq!(cfg.engine, SessionEngine::Auto);
+        assert_eq!(cfg.tree, None, "auto engine picks its own tree");
         assert_eq!(cfg.encoding, Encoding::DeltaVarint);
         assert_eq!(cfg.degradation, Degradation::Strict);
         assert_eq!(cfg.reply, ReplyFormat::Binary);
@@ -567,7 +710,7 @@ mod tests {
             Degradation::Strict,
         )
         .unwrap();
-        assert_eq!(cfg.tree, parda_tree::TreeKind::Avl);
+        assert_eq!(cfg.tree, Some(parda_tree::TreeKind::Avl));
         assert_eq!(cfg.ranks, Some(3));
         assert_eq!(cfg.bound, Some(512));
         assert_eq!(cfg.engine, SessionEngine::Threads);
@@ -581,6 +724,16 @@ mod tests {
 
         let cfg = SessionConfig::parse("approx=exact", Degradation::Strict).unwrap();
         assert_eq!(cfg.approx, Some(ApproxMode::Exact), "explicit exact wins");
+    }
+
+    #[test]
+    fn session_config_engine_selection_is_backward_compatible() {
+        // engine=phased keeps its default chunk.
+        let cfg = SessionConfig::parse("engine=phased", Degradation::Strict).unwrap();
+        assert_eq!(cfg.engine, SessionEngine::Phased { chunk: 65_536 });
+        // A bare chunk= still means phased, as it always has.
+        let cfg = SessionConfig::parse("chunk=1000", Degradation::Strict).unwrap();
+        assert_eq!(cfg.engine, SessionEngine::Phased { chunk: 1000 });
     }
 
     #[test]

@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::sync::OnceLock;
+use std::sync::{Arc, Barrier, OnceLock};
 use std::time::Duration;
 
 /// One daemon shared by every test that doesn't need special limits.
@@ -434,6 +434,118 @@ fn raw_socket_reads_see_a_clean_close_after_stats() {
         .unwrap();
     stream.read_to_end(&mut rest).unwrap();
     assert!(rest.is_empty(), "unexpected trailing bytes: {rest:?}");
+}
+
+#[test]
+fn sixty_four_sessions_drain_through_shutdown_with_balanced_shards() {
+    // The sharded-core stress: 64 concurrent sessions, alternating exact
+    // and sketch, pinned across 4 forced shards. A shutdown request lands
+    // while every session is mid-stream; the drain must still deliver all
+    // 64 replies, each bit-identical to the offline analysis, with the
+    // session load spread evenly over the shards and the sketch sessions
+    // holding O(sketch) — not O(trace) — resident state.
+    let (addr, stop, join) = private_server(ServerConfig {
+        max_sessions: 64,
+        shards: 4,
+        idle_timeout: Some(Duration::from_secs(30)),
+        ..ServerConfig::default()
+    });
+    let approx_mode = parda_core::ApproxMode::ShardsFixedRate { rate: 0.1 };
+
+    // Main thread joins the barrier too: shutdown fires only after every
+    // session is admitted and has half its trace in flight.
+    let barrier = Arc::new(Barrier::new(65));
+    let clients: Vec<_> = (0..64usize)
+        .map(|i| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let trace = zipfish(500 + i as u64, 3_000 + 16 * i);
+                let sketched = i % 2 == 1;
+                let config = if sketched {
+                    format!(
+                        "approx={}\nreply=binary\nencoding=raw\n",
+                        approx_mode.spec()
+                    )
+                } else {
+                    "reply=binary\nencoding=raw\n".to_string()
+                };
+
+                let mut stream = TcpStream::connect(&addr).unwrap();
+                write_msg(&mut stream, MsgKind::Hello, &hello_payload()).unwrap();
+                write_msg(&mut stream, MsgKind::Config, config.as_bytes()).unwrap();
+                expect_accept(&mut stream);
+
+                let (first, second) = trace.split_at(trace.len() / 2);
+                write_msg(
+                    &mut stream,
+                    MsgKind::Data,
+                    &encode_data_frame(first, Encoding::Raw),
+                )
+                .unwrap();
+                barrier.wait();
+                // Give the shutdown request time to latch before resuming,
+                // so the second half genuinely streams through the drain.
+                std::thread::sleep(Duration::from_millis(50));
+                write_msg(
+                    &mut stream,
+                    MsgKind::Data,
+                    &encode_data_frame(second, Encoding::Raw),
+                )
+                .unwrap();
+                write_msg(&mut stream, MsgKind::Fin, &[]).unwrap();
+
+                let hist = expect_binary_stats(&mut stream);
+                let expect = if sketched {
+                    parda_core::approx::analyze_approx(&trace, approx_mode).0
+                } else {
+                    offline(&trace)
+                };
+                assert_eq!(hist, expect, "session {i}");
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    stop.shutdown();
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    let metrics = join.join().unwrap();
+    assert_eq!(metrics.sessions_completed, 64);
+    assert_eq!(metrics.sessions_failed, 0);
+    assert_eq!(metrics.sessions_rejected, 0);
+    assert_eq!(metrics.approx_sessions, 32);
+
+    // Least-loaded admission keeps the shards balanced: every shard hosts
+    // sessions, and no shard carries more than 2x any other.
+    assert_eq!(metrics.per_shard.len(), 4, "all four shards saw sessions");
+    let counts: Vec<u64> = metrics.per_shard.iter().map(|s| s.sessions).collect();
+    assert_eq!(counts.iter().sum::<u64>(), 64);
+    let min = *counts.iter().min().unwrap();
+    let max = *counts.iter().max().unwrap();
+    assert!(
+        min > 0 && max <= 2 * min,
+        "unbalanced shard pinning: {counts:?}"
+    );
+
+    // The sketch sessions stayed constant-space: their resident high-water
+    // mark is bounded by the sketch, far below the exact sessions' state.
+    assert!(metrics.sketch_bytes_hwm > 0);
+    assert!(
+        metrics.sketch_bytes_hwm <= 1 << 20,
+        "sketch sessions should hold O(sketch) bytes, saw {}",
+        metrics.sketch_bytes_hwm
+    );
+    for shard in &metrics.per_shard {
+        assert!(
+            shard.sketch_bytes_hwm <= 1 << 20,
+            "shard {} sketch hwm {} exceeds the O(sketch) bound",
+            shard.shard,
+            shard.sketch_bytes_hwm
+        );
+    }
 }
 
 #[test]

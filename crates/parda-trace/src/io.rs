@@ -318,6 +318,28 @@ pub fn decode_frame_payload(
     Ok(out)
 }
 
+/// [`decode_frame_payload`] into a caller-owned buffer so a steady-state
+/// decode loop (e.g. a server shard draining frames from many sessions)
+/// performs no per-frame allocation. The buffer is cleared and resized to
+/// `count`; its capacity is retained across calls.
+pub fn decode_frame_payload_into(
+    payload: &[u8],
+    encoding: Encoding,
+    count: usize,
+    out: &mut Vec<Addr>,
+) -> io::Result<()> {
+    let plausible = match encoding {
+        Encoding::Raw => count.checked_mul(8) == Some(payload.len()),
+        Encoding::DeltaVarint => count <= payload.len(),
+    };
+    if !plausible {
+        return Err(invalid("frame count does not fit its payload"));
+    }
+    out.clear();
+    out.resize(count, 0 as Addr);
+    decode_frame_into(payload, encoding, out)
+}
+
 /// Location and size of one v2 frame, as recorded in the footer index.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) struct FrameIndexEntry {
