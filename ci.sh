@@ -234,5 +234,63 @@ grep -q "sessions opened=19 rejected=0 failed=0 completed=19" "$smoke_dir/serve.
     exit 1
 }
 
+step "chaos smoke (injected resets + torn writes; retrying submit equals offline, zero lost sessions)"
+# A failpoints build of the CLI lets PARDA_FAILPOINTS inject connection
+# resets mid-stream and a torn reply write into the live daemon. The
+# retrying client must reconnect, RESUME, and still produce a JSON reply
+# byte-identical to the offline analyze of the same 1M-ref trace. The
+# trace is 16 DATA frames (64Ki refs each), so the resets land on the
+# 6th and 12th frame ingests and the tear on the 5th reply flush.
+cargo build -q -p parda-cli --features failpoints
+PARDA_FAILPOINTS="server::conn_reset=2*every(6)*error;server::partial_write=1*every(5)*error" \
+    "$parda_bin" serve --addr 127.0.0.1:0 --max-sessions 4 \
+    --orphan-retention 30 --ack-every 8 > "$smoke_dir/chaos.out" &
+chaos_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^parda-server listening on //p' "$smoke_dir/chaos.out")
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+    echo "chaos smoke: daemon never reported its address" >&2
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! "$parda_bin" submit "$smoke_dir/server.trc" --addr "$addr" \
+    --retries 5 --backoff 20 --json > "$smoke_dir/chaos.json"; then
+    echo "chaos smoke: retrying submit failed outright" >&2
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! diff -q "$smoke_dir/chaos.json" "$smoke_dir/offline.json" > /dev/null; then
+    echo "chaos smoke: histogram after injected disconnects differs from offline" >&2
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+fi
+kill -TERM "$chaos_pid"
+if ! wait "$chaos_pid"; then
+    echo "chaos smoke: daemon did not drain cleanly on SIGTERM" >&2
+    exit 1
+fi
+python3 - "$smoke_dir/chaos.out" <<'EOF'
+import re, sys
+text = open(sys.argv[1]).read()
+m = re.search(r"sessions opened=(\d+) rejected=(\d+) failed=(\d+) completed=(\d+)", text)
+assert m, f"no session summary line:\n{text}"
+opened, rejected, failed, completed = map(int, m.groups())
+assert failed == 0, f"chaos lost sessions:\n{text}"
+assert completed == 1, f"expected exactly one completed session:\n{text}"
+r = re.search(r"resume orphaned=(\d+) resumed=(\d+) expired=(\d+) acks_sent=(\d+)", text)
+assert r, f"no resume metrics line:\n{text}"
+orphaned, resumed, expired, acks = map(int, r.groups())
+assert resumed >= 1, f"no session was ever resumed:\n{text}"
+assert expired == 0, f"an orphan expired instead of resuming:\n{text}"
+assert resumed + expired == orphaned, f"orphan accounting does not reconcile:\n{text}"
+assert acks > 0, f"the server never ACKed ingest progress:\n{text}"
+print(f"  chaos: orphaned={orphaned} resumed={resumed} expired={expired}"
+      f" acks_sent={acks} — histogram bit-identical")
+EOF
+
 echo
 echo "ci: all checks passed"

@@ -18,7 +18,14 @@ use std::time::{Duration, Instant};
 /// (`--stream file.trc` keeps `file.trc` positional), while `--stats=json`
 /// still selects a format via the `--key=value` form.
 pub const SWITCHES: &[&str] = &[
-    "json", "stream", "renumber", "stats", "verify", "mrc", "approx",
+    "json",
+    "stream",
+    "renumber",
+    "stats",
+    "verify",
+    "mrc",
+    "approx",
+    "fallback-poller",
 ];
 
 /// Top-level usage text.
@@ -73,6 +80,16 @@ commands:
              [--accept-limit <n>]     (stop after n connections; tests)
              [--approx[=<spec>]]      (default approx mode for sessions
                           that do not pick their own; default exact)
+             [--ack-every <n>]        (ACK ingest progress every n DATA
+                          frames so reconnecting clients resume cheaply;
+                          0 = no ACKs, the default)
+             [--orphan-retention <secs>] (keep disconnected sessions
+                          resumable this long; 0 = fail on disconnect,
+                          the default)
+             [--orphan-budget <bytes>] (total parked-session state, oldest
+                          evicted first; default 64 MiB)
+             [--fallback-poller]      (use the portable bounded-sleep
+                          poller instead of poll(2); mainly for testing)
              SIGINT/SIGTERM stop accepting and drain in-flight sessions
   submit   stream a trace to a daemon and print the returned histogram
              <file> --addr <host:port> [--config k=v[,k=v...]]
@@ -81,6 +98,14 @@ commands:
                           CONFIG frame as approx=<spec>)
              [--stats=json]  (full histogram+stats document from the server,
                           same shape as analyze --stats=json)
+             [--retries <n>]  (total connection attempts; after a lost
+                          connection the client reconnects with backoff
+                          and RESUMEs the same session; default 1)
+             [--backoff <ms>] (initial reconnect delay, doubling per
+                          attempt with jitter; default 50)
+             [--timeout <secs>] (connect + socket I/O deadlines; a hung
+                          daemon exits with a stall, not a hang;
+                          default 30, 0 = wait forever)
   help     show this message
 
 exit codes: 0 ok, 1 usage, 2 corrupt trace, 3 i/o failure,
@@ -557,6 +582,14 @@ pub fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let accept_limit: Option<u64> = args.get_optional("accept-limit")?;
     // 0 = scale with the hardware (the ServerConfig default).
     let shards: usize = args.get_parsed("shards", 0)?;
+    let ack_every: u32 = args.get_parsed("ack-every", 0)?;
+    let orphan_retention_secs: u64 = args.get_parsed("orphan-retention", 0)?;
+    let orphan_budget: u64 = args.get_parsed("orphan-budget", 64 * 1024 * 1024)?;
+
+    // Chaos harnesses arm fault injection through the environment so the
+    // serve command line stays identical between clean and chaos runs.
+    parda_server::arm_failpoints_from_env()
+        .map_err(|e| CliError::from(format!("bad PARDA_FAILPOINTS: {e}")))?;
 
     let server = Server::bind(ServerConfig {
         addr,
@@ -567,6 +600,10 @@ pub fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         accept_limit,
         default_approx: parse_approx(args)?.unwrap_or_default(),
         shards,
+        orphan_retention: Duration::from_secs(orphan_retention_secs),
+        orphan_budget,
+        ack_every,
+        fallback_poller: args.has("fallback-poller"),
     })
     .map_err(PardaError::Io)?;
     let local = server.local_addr().map_err(PardaError::Io)?;
@@ -624,6 +661,18 @@ pub fn submit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     if matches!(stats_fmt, StatsFormat::Json) {
         opts.reply = parda_server::ReplyFormat::Json;
     }
+    let retries: u32 = args.get_parsed("retries", 1)?;
+    if retries == 0 {
+        return Err("--retries must be at least 1".into());
+    }
+    opts.retry = parda_server::RetryPolicy::with_attempts(retries);
+    let backoff_ms: u64 = args.get_parsed("backoff", 50)?;
+    opts.retry.backoff = Duration::from_millis(backoff_ms);
+    let timeout_secs: u64 = args.get_parsed("timeout", 30)?;
+    // 0 keeps the OS defaults: block indefinitely.
+    let deadline = (timeout_secs > 0).then(|| Duration::from_secs(timeout_secs));
+    opts.retry.connect_timeout = deadline;
+    opts.retry.io_timeout = deadline;
 
     let reply = parda_server::submit_file(addr, path, &opts)?;
 

@@ -33,7 +33,7 @@ use parda_core::PardaError;
 /// | 0 | success |
 /// | 1 | usage error / engine disagreement / bad configuration |
 /// | 2 | corrupt trace input ([`PardaError::Corrupt`]) |
-/// | 3 | I/O failure ([`PardaError::Io`]) |
+/// | 3 | I/O failure ([`PardaError::Io`]) or connection lost past the retry budget ([`PardaError::ConnectionLost`]) |
 /// | 4 | worker panic, retries exhausted ([`PardaError::WorkerPanic`]) |
 /// | 5 | watchdog stall ([`PardaError::Stall`]) |
 #[derive(Debug)]
@@ -52,6 +52,7 @@ impl CliError {
             CliError::Fault(e) => match e {
                 PardaError::Corrupt(_) => 2,
                 PardaError::Io(_) => 3,
+                PardaError::ConnectionLost { .. } => 3,
                 PardaError::WorkerPanic { .. } => 4,
                 PardaError::Stall { .. } => 5,
                 PardaError::Config(_) => 1,

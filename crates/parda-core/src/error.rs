@@ -45,6 +45,14 @@ pub enum PardaError {
     /// The requested configuration is unusable (e.g. an unknown
     /// degradation policy name).
     Config(String),
+    /// A network peer vanished mid-exchange (connection reset / broken
+    /// pipe / unexpected EOF on a socket) and every reconnect attempt
+    /// failed. Distinct from [`PardaError::Io`] so a retrying client can
+    /// tell a dead transport from a dead disk; exits in the i/o class.
+    ConnectionLost {
+        /// Connection attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl PardaError {
@@ -56,6 +64,7 @@ impl PardaError {
             PardaError::WorkerPanic { .. } => "worker-panic",
             PardaError::Stall { .. } => "stall",
             PardaError::Config(_) => "config",
+            PardaError::ConnectionLost { .. } => "connection-lost",
         }
     }
 }
@@ -72,6 +81,9 @@ impl fmt::Display for PardaError {
                 write!(f, "rank {rank} stalled past the {deadline:?} watchdog")
             }
             PardaError::Config(msg) => write!(f, "bad configuration: {msg}"),
+            PardaError::ConnectionLost { attempts } => {
+                write!(f, "connection lost ({attempts} attempts exhausted)")
+            }
         }
     }
 }
@@ -185,6 +197,9 @@ mod tests {
         };
         assert_eq!(s.class(), "stall");
         assert!(s.to_string().contains("rank 1"));
+        let c = PardaError::ConnectionLost { attempts: 5 };
+        assert_eq!(c.class(), "connection-lost");
+        assert!(c.to_string().contains("5 attempts"));
     }
 
     #[test]

@@ -117,6 +117,13 @@ pub struct SessionAnalysis {
     refs: u64,
     auto_ranks: bool,
     sw: Stopwatch,
+    /// Wall time spent detached from any transport (parked in a host's
+    /// orphan pool between a disconnect and a resume); excluded from the
+    /// report's `total_ns` so session timing reflects analysis, not the
+    /// client's reconnect latency.
+    detached_ns: u64,
+    detached_at: Option<std::time::Instant>,
+    resumes: u32,
 }
 
 impl Analysis {
@@ -138,6 +145,9 @@ impl Analysis {
             refs: 0,
             auto_ranks: false,
             sw: Stopwatch::start(),
+            detached_ns: 0,
+            detached_at: None,
+            resumes: 0,
         }
     }
 }
@@ -177,6 +187,40 @@ impl SessionAnalysis {
         self.refs
     }
 
+    /// Mark the session as detached from its transport: the clock on
+    /// "time spent analyzing" pauses until [`Self::reattach`]. Idempotent
+    /// — a second detach without a reattach keeps the earlier mark.
+    pub fn detach(&mut self) {
+        if self.detached_at.is_none() {
+            self.detached_at = Some(std::time::Instant::now());
+        }
+    }
+
+    /// Reattach a detached session to a new transport, folding the time
+    /// spent parked into the excluded-detached tally. No-op if the
+    /// session was never detached.
+    pub fn reattach(&mut self) {
+        if let Some(at) = self.detached_at.take() {
+            self.detached_ns += at.elapsed().as_nanos() as u64;
+            self.resumes += 1;
+        }
+    }
+
+    /// Times this session was reattached after a disconnect.
+    pub fn resumes(&self) -> u32 {
+        self.resumes
+    }
+
+    /// Wall time the session's stopwatch owes to analysis, not to sitting
+    /// detached waiting for a reconnect.
+    fn attached_ns(&self) -> u64 {
+        let mut detached = self.detached_ns;
+        if let Some(at) = &self.detached_at {
+            detached += at.elapsed().as_nanos() as u64;
+        }
+        self.sw.ns().saturating_sub(detached)
+    }
+
     /// Whether the session streams through a constant-space sketch.
     pub fn is_sketch(&self) -> bool {
         matches!(self.state, State::Sketch(_))
@@ -201,12 +245,13 @@ impl SessionAnalysis {
     /// path (an unrescued rank panic or watchdog stall under the
     /// builder's [`crate::FaultPolicy`]).
     pub fn finish(self) -> Result<(ReuseHistogram, Option<Report>), PardaError> {
+        let attached_ns = self.attached_ns();
         match self.state {
             State::Sketch(sketch) => {
-                Ok(self.builder.finish_approx(&sketch, self.refs, self.sw.ns()))
+                Ok(self.builder.finish_approx(&sketch, self.refs, attached_ns))
             }
             State::Incremental(seq) => {
-                let total_ns = self.sw.ns();
+                let total_ns = attached_ns;
                 let refs = self.refs;
                 let metrics = seq.metrics();
                 let hist = seq.finish();
@@ -364,6 +409,35 @@ mod tests {
             assert_eq!(hist, expect, "{mode}: frame boundaries never matter");
             assert!(report.unwrap().approx.is_some());
         }
+    }
+
+    #[test]
+    fn detached_time_is_excluded_from_the_report_clock() {
+        let trace = zipfish(2_000);
+        let builder = Analysis::new().mode(Mode::Seq).stats(true);
+        let mut session = builder.session();
+        session.feed(&trace[..1_000]);
+        session.detach();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        session.reattach();
+        assert_eq!(session.resumes(), 1);
+        session.feed(&trace[1_000..]);
+        let (hist, report) = session.finish().unwrap();
+        assert_eq!(hist, builder.run(&trace).0, "detach never changes the math");
+        let total_ns = report.unwrap().total_ns;
+        assert!(
+            total_ns < 40_000_000,
+            "50ms parked must not count as analysis time (got {total_ns}ns)"
+        );
+
+        // detach is idempotent; reattach without detach is a no-op.
+        let mut s = builder.session();
+        s.reattach();
+        assert_eq!(s.resumes(), 0);
+        s.detach();
+        s.detach();
+        s.reattach();
+        assert_eq!(s.resumes(), 1);
     }
 
     #[test]

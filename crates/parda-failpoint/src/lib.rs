@@ -12,12 +12,18 @@
 //! feature enabled, each site consults a process-global registry that tests
 //! program with action *specs*:
 //!
-//! | spec          | effect at the site                                  |
-//! |---------------|-----------------------------------------------------|
-//! | `"panic"`     | `panic!` with a recognisable message                |
-//! | `"error"`     | take the `return` arm of the two-argument form      |
-//! | `"sleep(ms)"` | block the calling thread for `ms` milliseconds      |
-//! | `"N*spec"`    | apply `spec` for the first `N` hits, then disarm    |
+//! | spec             | effect at the site                                  |
+//! |------------------|-----------------------------------------------------|
+//! | `"panic"`        | `panic!` with a recognisable message                |
+//! | `"error"`        | take the `return` arm of the two-argument form      |
+//! | `"sleep(ms)"`    | block the calling thread for `ms` milliseconds      |
+//! | `"N*spec"`       | apply `spec` for the first `N` firings, then disarm |
+//! | `"every(M)*spec"`| apply `spec` only on every `M`-th hit               |
+//!
+//! The prefixes compose: `"3*every(20)*error"` fires on hits 20, 40 and 60,
+//! then disarms — the shape used by the network chaos harness to spread
+//! injected disconnects across a stream while guaranteeing forward progress
+//! between them.
 //!
 //! Configuration is intentionally tiny: `configure`, `remove`, `clear`
 //! (present only when the `failpoints` feature is on).
@@ -44,8 +50,14 @@ mod imp {
     #[derive(Clone, Copy, Debug)]
     struct FailAction {
         kind: FailKind,
-        /// `None` = fire on every hit; `Some(n)` = fire `n` more times.
+        /// `None` = fire on every qualifying hit; `Some(n)` = fire `n` more
+        /// times (counts *firings*, not hits — a periodic action with a
+        /// count disarms after its n-th actual firing).
         remaining: Option<u64>,
+        /// Fire only on every `period`-th hit (1 = every hit).
+        period: u64,
+        /// Hits observed so far (fired or not).
+        hits: u64,
     }
 
     fn registry() -> &'static Mutex<HashMap<String, FailAction>> {
@@ -55,16 +67,31 @@ mod imp {
 
     fn parse_spec(spec: &str) -> Result<FailAction, String> {
         let spec = spec.trim();
-        let (remaining, body) = match spec.split_once('*') {
-            Some((n, rest)) => {
-                let n: u64 = n
+        let mut remaining: Option<u64> = None;
+        let mut period: u64 = 1;
+        let mut body = spec;
+        // Strip `N*` and `every(M)*` prefixes, in either order.
+        while let Some((head, rest)) = body.split_once('*') {
+            let head = head.trim();
+            if let Some(m) = head
+                .strip_prefix("every(")
+                .and_then(|s| s.strip_suffix(')'))
+            {
+                period = m
                     .trim()
                     .parse()
-                    .map_err(|_| format!("bad failpoint count in {spec:?}"))?;
-                (Some(n), rest.trim())
+                    .map_err(|_| format!("bad failpoint period in {spec:?}"))?;
+                if period == 0 {
+                    return Err(format!("failpoint period must be >= 1 in {spec:?}"));
+                }
+            } else {
+                remaining = Some(
+                    head.parse()
+                        .map_err(|_| format!("bad failpoint count in {spec:?}"))?,
+                );
             }
-            None => (None, spec),
-        };
+            body = rest.trim();
+        }
         let kind = if body == "panic" {
             FailKind::Panic
         } else if body == "error" {
@@ -81,7 +108,12 @@ mod imp {
         } else {
             return Err(format!("unknown failpoint action {body:?}"));
         };
-        Ok(FailAction { kind, remaining })
+        Ok(FailAction {
+            kind,
+            remaining,
+            period,
+            hits: 0,
+        })
     }
 
     /// Arm the failpoint `name` with an action `spec` (see module docs).
@@ -91,6 +123,23 @@ mod imp {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .insert(name.to_string(), action);
+        Ok(())
+    }
+
+    /// Arm multiple failpoints from a `name=spec;name=spec` list — the
+    /// shape carried by the `PARDA_FAILPOINTS` environment variable that
+    /// the chaos smoke in ci.sh uses to arm a freshly-exec'd daemon.
+    pub fn configure_list(list: &str) -> Result<(), String> {
+        for entry in list.split(';') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (name, spec) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("failpoint entry {entry:?} is not name=spec"))?;
+            configure(name.trim(), spec)?;
+        }
         Ok(())
     }
 
@@ -115,6 +164,10 @@ mod imp {
             let Some(action) = map.get_mut(name) else {
                 return false;
             };
+            action.hits += 1;
+            if action.hits % action.period != 0 {
+                return false;
+            }
             match &mut action.remaining {
                 Some(0) => {
                     map.remove(name);
@@ -143,7 +196,7 @@ mod imp {
 }
 
 #[cfg(feature = "failpoints")]
-pub use imp::{clear, configure, fire, remove, FailKind};
+pub use imp::{clear, configure, configure_list, fire, remove, FailKind};
 
 /// Mark a fault-injection site.
 ///
@@ -236,5 +289,46 @@ mod tests {
         assert!(super::configure("x", "explode").is_err());
         assert!(super::configure("x", "q*panic").is_err());
         assert!(super::configure("x", "sleep(abc)").is_err());
+        assert!(super::configure("x", "every(0)*error").is_err());
+        assert!(super::configure("x", "every(two)*error").is_err());
+    }
+
+    #[test]
+    fn periodic_action_fires_on_every_mth_hit() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        super::clear();
+        super::configure("tick", "every(3)*error").unwrap();
+        let fired: Vec<bool> = (0..9).map(|_| super::fire("tick")).collect();
+        assert_eq!(
+            fired,
+            [false, false, true, false, false, true, false, false, true]
+        );
+        super::clear();
+    }
+
+    #[test]
+    fn counted_periodic_action_counts_firings_not_hits() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        super::clear();
+        // Fires on hits 2 and 4, then disarms: later hits are inert.
+        super::configure("site", "2*every(2)*error").unwrap();
+        let fired: Vec<bool> = (0..8).map(|_| super::fire("site")).collect();
+        assert_eq!(
+            fired,
+            [false, true, false, true, false, false, false, false]
+        );
+        super::clear();
+    }
+
+    #[test]
+    fn configure_list_arms_multiple_sites() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        super::clear();
+        super::configure_list(" a = error ; b = 1*error ;").unwrap();
+        assert!(super::fire("a"));
+        assert!(super::fire("b"));
+        assert!(!super::fire("b"));
+        assert!(super::configure_list("broken").is_err());
+        super::clear();
     }
 }

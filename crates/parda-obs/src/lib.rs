@@ -382,6 +382,21 @@ pub struct ShardMetrics {
     pub p99_session_ns: u64,
 }
 
+impl ShardMetrics {
+    /// Fold another shard summary into this one: lifetime tallies add,
+    /// high-water marks take the max. Sum and max are both associative
+    /// and commutative, so shard summaries can be combined in any order
+    /// (the property the obs test suite pins down).
+    pub fn merge(&mut self, other: &ShardMetrics) {
+        self.sessions += other.sessions;
+        self.sessions_peak = self.sessions_peak.max(other.sessions_peak);
+        self.queue_depth_hwm = self.queue_depth_hwm.max(other.queue_depth_hwm);
+        self.sketch_bytes_hwm = self.sketch_bytes_hwm.max(other.sketch_bytes_hwm);
+        self.state_bytes_hwm = self.state_bytes_hwm.max(other.state_bytes_hwm);
+        self.p99_session_ns = self.p99_session_ns.max(other.p99_session_ns);
+    }
+}
+
 /// Snapshot of a `parda-server` daemon's lifetime counters.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct ServerMetrics {
@@ -408,6 +423,18 @@ pub struct ServerMetrics {
     /// p99 session wall time (admission to reply) across all shards,
     /// nanoseconds; 0 when no session completed.
     pub p99_session_ns: u64,
+    /// Admitted sessions whose transport died mid-stream and that were
+    /// parked in the orphan pool instead of being discarded.
+    pub sessions_orphaned: u64,
+    /// Orphaned sessions reattached by a RESUME on a new connection.
+    pub sessions_resumed: u64,
+    /// Orphaned sessions evicted by the retention deadline or the pool
+    /// byte budget (or drained at shutdown) before any RESUME arrived.
+    /// Invariant: `sessions_resumed + orphans_expired == sessions_orphaned`
+    /// once the daemon has drained.
+    pub orphans_expired: u64,
+    /// ACK messages queued to clients across all sessions.
+    pub acks_sent: u64,
     /// Per-shard breakdown; only shards that saw at least one session are
     /// listed, so an idle server snapshot stays `== Default::default()`.
     pub per_shard: Vec<ShardMetrics>,
@@ -445,6 +472,14 @@ impl ServerMetrics {
             line.push_str(&format!(
                 "server: p99_session_ms={:.3}\n",
                 self.p99_session_ns as f64 / 1e6
+            ));
+        }
+        // Kept off the headline line (scripts grep its field sequence) and
+        // omitted entirely for daemons that never orphaned a session.
+        if self.sessions_orphaned > 0 {
+            line.push_str(&format!(
+                "server: resume orphaned={} resumed={} expired={} acks_sent={}\n",
+                self.sessions_orphaned, self.sessions_resumed, self.orphans_expired, self.acks_sent,
             ));
         }
         for s in &self.per_shard {
@@ -489,6 +524,14 @@ pub struct ServerCounters {
     /// See [`ServerMetrics::sketch_bytes_hwm`] (updated via
     /// [`Counter::record_max`]).
     pub sketch_bytes_hwm: Counter,
+    /// See [`ServerMetrics::sessions_orphaned`].
+    pub sessions_orphaned: Counter,
+    /// See [`ServerMetrics::sessions_resumed`].
+    pub sessions_resumed: Counter,
+    /// See [`ServerMetrics::orphans_expired`].
+    pub orphans_expired: Counter,
+    /// See [`ServerMetrics::acks_sent`].
+    pub acks_sent: Counter,
 }
 
 impl ServerCounters {
@@ -506,9 +549,35 @@ impl ServerCounters {
             approx_sessions: self.approx_sessions.get(),
             sketch_bytes_hwm: self.sketch_bytes_hwm.get(),
             p99_session_ns: 0,
+            sessions_orphaned: self.sessions_orphaned.get(),
+            sessions_resumed: self.sessions_resumed.get(),
+            orphans_expired: self.orphans_expired.get(),
+            acks_sent: self.acks_sent.get(),
             per_shard: Vec::new(),
         }
     }
+}
+
+/// What one retrying `submit` went through to deliver its reply: how many
+/// connections it burned, how many of those reattached an existing server
+/// session, and the retransmission volume the disconnects cost. All-zero
+/// `resumes`/`retransmitted_frames` with `attempts == 1` means the happy
+/// path. Returned alongside the reply so callers (and the chaos harness)
+/// can assert resilience happened rather than infer it.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct ClientRetryMetrics {
+    /// Connections attempted (1 = no retry was needed).
+    pub attempts: u32,
+    /// Successful RESUME handshakes (reconnects that reattached state).
+    pub resumes: u32,
+    /// DATA frames sent again because they were past the server's
+    /// acknowledged watermark when the transport died.
+    pub retransmitted_frames: u64,
+    /// ACK messages observed while streaming.
+    pub acks_seen: u64,
+    /// Wall time from the first failed I/O operation to the first
+    /// successful RESUME accept, nanoseconds; 0 when no resume happened.
+    pub resume_latency_ns: u64,
 }
 
 /// Fault-recovery tally for one analysis run: what the degradation

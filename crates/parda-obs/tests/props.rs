@@ -1,0 +1,137 @@
+//! Property tests for the metrics substrate the daemon's resumption
+//! accounting leans on: the latency histogram's quantile bound, the
+//! algebra of shard-summary merging, and the orphan-pool reconciliation
+//! invariant `sessions_resumed + orphans_expired == sessions_orphaned`.
+
+use parda_obs::{LatencyHist, ServerCounters, ShardMetrics};
+use proptest::prelude::*;
+
+fn hist_of(samples: &[u64]) -> LatencyHist {
+    let mut h = LatencyHist::default();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    /// The quantile estimate brackets the true order statistic: it is an
+    /// upper bound on the exact q-th sample, and never looser than the
+    /// power-of-two bucket containing it (2x the sample value).
+    #[test]
+    fn latency_hist_p99_brackets_the_true_order_statistic(
+        samples in proptest::collection::vec(1u64..1 << 40, 1..200),
+    ) {
+        let h = hist_of(&samples);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let est = h.quantile(q);
+            prop_assert!(est >= exact, "q={q}: estimate {est} < exact {exact}");
+            prop_assert!(
+                est < 2 * exact.max(1),
+                "q={q}: estimate {est} looser than the 2x bucket bound of {exact}"
+            );
+        }
+    }
+
+    /// Quantiles are monotone in q, and merging histograms is exactly
+    /// recording the concatenated sample set.
+    #[test]
+    fn latency_hist_merge_is_sample_concatenation(
+        a in proptest::collection::vec(1u64..1 << 40, 0..100),
+        b in proptest::collection::vec(1u64..1 << 40, 0..100),
+    ) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let all: Vec<u64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(merged.clone(), hist_of(&all));
+
+        let mut last = 0u64;
+        for i in 0..=10 {
+            let q = f64::from(i) / 10.0;
+            let v = merged.quantile(q);
+            prop_assert!(v >= last, "quantile not monotone at q={q}");
+            last = v;
+        }
+    }
+
+    /// Shard summaries combine in any order: merge is associative and
+    /// commutative (sums for lifetime tallies, max for high-water marks),
+    /// so the server can fold shard reports however its shutdown
+    /// sequence interleaves them.
+    #[test]
+    fn shard_metrics_merge_is_associative_and_commutative(
+        fields in proptest::collection::vec(0u64..1 << 40, 18),
+    ) {
+        let shard_of = |f: &[u64]| ShardMetrics {
+            shard: 0,
+            sessions: f[0],
+            sessions_peak: f[1],
+            queue_depth_hwm: f[2],
+            sketch_bytes_hwm: f[3],
+            state_bytes_hwm: f[4],
+            p99_session_ns: f[5],
+        };
+        let (a, b, c) = (
+            shard_of(&fields[0..6]),
+            shard_of(&fields[6..12]),
+            shard_of(&fields[12..18]),
+        );
+
+        // (a + b) + c == a + (b + c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // a + b == b + a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// However a random orphan population splits into adopted and
+    /// expired, the lifecycle counters reconcile exactly, and the pretty
+    /// renderer surfaces the resume line precisely when orphaning
+    /// happened at all.
+    #[test]
+    fn orphan_lifecycle_counters_always_reconcile(
+        adopted in proptest::collection::vec(any::<bool>(), 0..64),
+    ) {
+        let counters = ServerCounters::default();
+        for &resume in &adopted {
+            counters.sessions_orphaned.incr();
+            if resume {
+                counters.sessions_resumed.incr();
+            } else {
+                counters.orphans_expired.incr();
+                counters.sessions_failed.incr();
+            }
+        }
+        let m = counters.snapshot();
+        prop_assert_eq!(
+            m.sessions_resumed + m.orphans_expired,
+            m.sessions_orphaned,
+            "every orphan is either adopted or expired, never both or neither"
+        );
+        prop_assert_eq!(m.orphans_expired, m.sessions_failed);
+
+        let rendered = m.render_pretty(1.0);
+        prop_assert_eq!(
+            rendered.contains("resume orphaned="),
+            m.sessions_orphaned > 0,
+            "the resume line appears exactly when orphaning occurred"
+        );
+    }
+}

@@ -28,16 +28,32 @@
 //! the daemon.
 
 pub mod client;
+mod orphan;
 mod poll;
 pub mod proto;
 pub mod server;
 pub mod session;
 mod shard;
 
-pub use client::{submit, submit_file, SubmitOptions, SubmitReply};
+pub use client::{submit, submit_file, RetryPolicy, SubmitOptions, SubmitReply};
 pub use proto::{ErrorClass, ErrorFrame};
 pub use server::{
     install_signal_shutdown, request_shutdown, reset_shutdown_latch, Server, ServerConfig,
     ShutdownHandle,
 };
 pub use session::{ReplyFormat, SessionConfig, SessionEngine};
+
+/// Arm fault-injection sites from the `PARDA_FAILPOINTS` environment
+/// variable (`site=spec` entries separated by `;`, the
+/// `parda_failpoint::configure_list` grammar). A no-op when the
+/// `failpoints` feature is off or the variable is unset/empty; a
+/// malformed spec is an error so a chaos run never starts half-armed.
+pub fn arm_failpoints_from_env() -> Result<(), String> {
+    #[cfg(feature = "failpoints")]
+    if let Ok(spec) = std::env::var("PARDA_FAILPOINTS") {
+        if !spec.trim().is_empty() {
+            return parda_failpoint::configure_list(&spec);
+        }
+    }
+    Ok(())
+}

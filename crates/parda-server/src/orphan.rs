@@ -1,0 +1,284 @@
+//! Orphan pool: bounded parking lot for sessions whose transport died.
+//!
+//! When a connection is lost mid-stream (or after completion but before
+//! the reply drained) and `ServerConfig::orphan_retention` is non-zero,
+//! the shard detaches the session from its dead fd and parks it here
+//! instead of failing it. A reconnecting client presents the session
+//! token in a `RESUME` message; whichever shard receives that connection
+//! adopts the parked session — entries are inert (no fd, no thread
+//! affinity), so cross-shard resumption needs no routing.
+//!
+//! The pool is bounded two ways:
+//!
+//! - **Retention deadline**: entries older than `orphan_retention` are
+//!   expired by the shard loops' periodic sweep.
+//! - **Byte budget**: the summed retained state (analysis state bytes
+//!   plus any undelivered reply) may not exceed `orphan_budget`; inserts
+//!   evict the oldest entries first until the new entry fits.
+//!
+//! Expiring an orphan records the session as failed (if no outcome was
+//! recorded yet) and drops it, which releases its admission slot and
+//! memory through the usual RAII guards. After the accept loop stops and
+//! the shards join, `drain` expires everything left so the final metrics
+//! reconcile: `sessions_resumed + orphans_expired == sessions_orphaned`.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use parda_obs::ServerCounters;
+
+use crate::session::Session;
+
+pub(crate) struct OrphanPool {
+    retention: Duration,
+    budget: u64,
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    entries: HashMap<u64, Entry>,
+    total_bytes: u64,
+}
+
+struct Entry {
+    session: Session,
+    parked_at: Instant,
+    bytes: u64,
+}
+
+impl OrphanPool {
+    pub(crate) fn new(retention: Duration, budget: u64) -> Self {
+        OrphanPool {
+            retention,
+            budget,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                total_bytes: 0,
+            }),
+        }
+    }
+
+    /// Whether disconnect-orphaning is enabled at all. With a zero
+    /// retention the shards keep the legacy behaviour (a lost transport
+    /// fails the session immediately).
+    pub(crate) fn enabled(&self) -> bool {
+        !self.retention.is_zero()
+    }
+
+    /// Park a detached session. Evicts oldest entries as needed to stay
+    /// within the byte budget; a session too large to ever fit is
+    /// expired immediately. The caller has already counted
+    /// `sessions_orphaned`.
+    pub(crate) fn park(&self, session: Session, counters: &ServerCounters) {
+        let bytes = session.orphan_bytes();
+        if bytes > self.budget {
+            expire(session, counters);
+            return;
+        }
+        let mut evicted = Vec::new();
+        {
+            let mut inner = self.inner.lock().unwrap();
+            while inner.total_bytes + bytes > self.budget {
+                let Some((&oldest, _)) = inner
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, entry)| entry.parked_at)
+                else {
+                    break;
+                };
+                let entry = inner.entries.remove(&oldest).expect("key just observed");
+                inner.total_bytes -= entry.bytes;
+                evicted.push(entry.session);
+            }
+            inner.total_bytes += bytes;
+            inner.entries.insert(
+                session.id(),
+                Entry {
+                    session,
+                    parked_at: Instant::now(),
+                    bytes,
+                },
+            );
+        }
+        for session in evicted {
+            expire(session, counters);
+        }
+    }
+
+    /// Reclaim the session matching a RESUME token, if it is still
+    /// parked. The id is recovered from the token prefix; the full token
+    /// must match so stale or forged handles cannot adopt someone else's
+    /// session.
+    pub(crate) fn take(&self, token: &[u8; crate::proto::TOKEN_LEN]) -> Option<Session> {
+        let id = u64::from_le_bytes(token[..8].try_into().expect("8-byte prefix"));
+        let mut inner = self.inner.lock().unwrap();
+        if !inner
+            .entries
+            .get(&id)
+            .is_some_and(|entry| entry.session.token_matches(token))
+        {
+            return None;
+        }
+        let entry = inner.entries.remove(&id).expect("entry just matched");
+        inner.total_bytes -= entry.bytes;
+        Some(entry.session)
+    }
+
+    /// Expire entries past the retention deadline. Called from each
+    /// shard loop; cheap when the pool is empty.
+    pub(crate) fn sweep(&self, counters: &ServerCounters) {
+        let expired = {
+            let mut inner = self.inner.lock().unwrap();
+            if inner.entries.is_empty() {
+                return;
+            }
+            let deadline = self.retention;
+            let stale: Vec<u64> = inner
+                .entries
+                .iter()
+                .filter(|(_, entry)| entry.parked_at.elapsed() >= deadline)
+                .map(|(&id, _)| id)
+                .collect();
+            let mut out = Vec::with_capacity(stale.len());
+            for id in stale {
+                let entry = inner.entries.remove(&id).expect("key just collected");
+                inner.total_bytes -= entry.bytes;
+                out.push(entry.session);
+            }
+            out
+        };
+        for session in expired {
+            expire(session, counters);
+        }
+    }
+
+    /// Expire everything still parked. Called once at shutdown, after
+    /// the shards have joined (no RESUME can arrive any more), so the
+    /// orphaned/resumed/expired counters reconcile in the final report.
+    pub(crate) fn drain(&self, counters: &ServerCounters) {
+        let all = {
+            let mut inner = self.inner.lock().unwrap();
+            inner.total_bytes = 0;
+            inner
+                .entries
+                .drain()
+                .map(|(_, e)| e.session)
+                .collect::<Vec<_>>()
+        };
+        for session in all {
+            expire(session, counters);
+        }
+    }
+
+    /// Retained bytes across all parked sessions (test/diagnostic hook).
+    #[cfg(test)]
+    pub(crate) fn retained_bytes(&self) -> u64 {
+        self.inner.lock().unwrap().total_bytes
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().unwrap().entries.len()
+    }
+}
+
+/// Record the terminal outcome for a parked session that will never be
+/// resumed, then drop it — releasing its admission slot and memory.
+fn expire(mut session: Session, counters: &ServerCounters) {
+    session.expire(counters);
+    counters.orphans_expired.incr();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(retention_ms: u64, budget: u64) -> OrphanPool {
+        OrphanPool::new(Duration::from_millis(retention_ms), budget)
+    }
+
+    // Fresh sessions have no analysis state, so each parks at the 1-byte
+    // floor — which makes the budget arithmetic exact in these tests.
+
+    #[test]
+    fn zero_retention_disables_orphaning() {
+        assert!(!pool(0, 1 << 20).enabled());
+        assert!(pool(10, 1 << 20).enabled());
+    }
+
+    #[test]
+    fn budget_overflow_evicts_the_oldest_entry_first() {
+        let pool = pool(10_000, 2);
+        let counters = ServerCounters::default();
+        let (s1, t1) = Session::tokened(1);
+        let (s2, t2) = Session::tokened(2);
+        let (s3, t3) = Session::tokened(3);
+        pool.park(s1, &counters);
+        std::thread::sleep(Duration::from_millis(2));
+        pool.park(s2, &counters);
+        std::thread::sleep(Duration::from_millis(2));
+        pool.park(s3, &counters);
+
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.retained_bytes(), 2);
+        assert_eq!(counters.orphans_expired.get(), 1);
+        assert_eq!(counters.sessions_failed.get(), 1, "eviction is terminal");
+        assert!(pool.take(&t1).is_none(), "the oldest was evicted");
+        assert!(pool.take(&t2).is_some());
+        assert!(pool.take(&t3).is_some());
+        assert_eq!(pool.retained_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_session_expires_immediately_without_evicting_anyone() {
+        let pool = pool(10_000, 0);
+        let counters = ServerCounters::default();
+        let (s, t) = Session::tokened(9);
+        pool.park(s, &counters);
+        assert_eq!(pool.len(), 0);
+        assert_eq!(counters.orphans_expired.get(), 1);
+        assert!(pool.take(&t).is_none());
+    }
+
+    #[test]
+    fn take_requires_the_full_token_not_just_the_id_prefix() {
+        let pool = pool(10_000, 1 << 20);
+        let counters = ServerCounters::default();
+        let (s, t) = Session::tokened(42);
+        let (_, stale) = Session::tokened(42); // same id, different nonce
+        pool.park(s, &counters);
+        assert!(pool.take(&stale).is_none(), "stale nonce must not match");
+        assert!(pool.take(&t).is_some());
+        assert!(pool.take(&t).is_none(), "an orphan is adopted at most once");
+    }
+
+    #[test]
+    fn sweep_expires_only_entries_past_the_retention_deadline() {
+        let pool = pool(40, 1 << 20);
+        let counters = ServerCounters::default();
+        let (s1, t1) = Session::tokened(1);
+        pool.park(s1, &counters);
+        std::thread::sleep(Duration::from_millis(60));
+        let (s2, t2) = Session::tokened(2);
+        pool.park(s2, &counters);
+        pool.sweep(&counters);
+        assert_eq!(counters.orphans_expired.get(), 1);
+        assert!(pool.take(&t1).is_none(), "past deadline: expired");
+        assert!(pool.take(&t2).is_some(), "fresh: retained");
+    }
+
+    #[test]
+    fn drain_expires_everything_left() {
+        let pool = pool(10_000, 1 << 20);
+        let counters = ServerCounters::default();
+        for id in 0..5 {
+            let (s, _) = Session::tokened(id);
+            pool.park(s, &counters);
+        }
+        pool.drain(&counters);
+        assert_eq!(pool.len(), 0);
+        assert_eq!(pool.retained_bytes(), 0);
+        assert_eq!(counters.orphans_expired.get(), 5);
+    }
+}

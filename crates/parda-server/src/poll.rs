@@ -8,6 +8,12 @@
 //! just not cheap. The fallback keeps the crate building everywhere while
 //! the Linux path removes both the accept-poll busy-wait and per-session
 //! blocking reads.
+//!
+//! Both implementations are always compiled and selected at runtime
+//! ([`Poller::new`] takes a `fallback` flag, threaded from
+//! `ServerConfig::fallback_poller`), so CI on Linux exercises the
+//! portability path instead of leaving it to break silently on exotic
+//! hosts.
 
 use std::io;
 use std::time::Duration;
@@ -48,26 +54,15 @@ mod sys {
     }
 }
 
-/// A reusable `poll(2)` fd set. `clear` + `register` each round; indices
-/// returned by `register` address the matching [`Events`] after `wait`.
-pub(crate) struct Poller {
-    #[cfg(any(target_os = "linux", target_os = "android"))]
+/// The `poll(2)`-backed implementation (Linux/Android only).
+#[cfg(any(target_os = "linux", target_os = "android"))]
+pub(crate) struct SysPoller {
     fds: Vec<sys::PollFd>,
-    #[cfg(not(any(target_os = "linux", target_os = "android")))]
-    fds: Vec<(bool, bool)>,
 }
 
 #[cfg(any(target_os = "linux", target_os = "android"))]
-impl Poller {
-    pub(crate) fn new() -> Self {
-        Poller { fds: Vec::new() }
-    }
-
-    pub(crate) fn clear(&mut self) {
-        self.fds.clear();
-    }
-
-    pub(crate) fn register(&mut self, fd: RawFd, read: bool, write: bool) -> usize {
+impl SysPoller {
+    fn register(&mut self, fd: RawFd, read: bool, write: bool) {
         let mut events = 0i16;
         if read {
             events |= sys::POLLIN;
@@ -80,13 +75,12 @@ impl Poller {
             events,
             revents: 0,
         });
-        self.fds.len() - 1
     }
 
     /// Block until at least one registered fd is ready or `timeout`
     /// elapses. EINTR is treated as a zero-event wakeup so signal-driven
     /// shutdown latches are observed by the caller's next loop turn.
-    pub(crate) fn wait(&mut self, timeout: Duration) -> io::Result<()> {
+    fn wait(&mut self, timeout: Duration) -> io::Result<()> {
         let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
         let rc = unsafe { sys::poll(self.fds.as_mut_ptr(), self.fds.len(), ms) };
         if rc < 0 {
@@ -102,7 +96,7 @@ impl Poller {
         Ok(())
     }
 
-    pub(crate) fn events(&self, idx: usize) -> Events {
+    fn events(&self, idx: usize) -> Events {
         let revents = self.fds[idx].revents;
         Events {
             readable: revents & (sys::POLLIN | sys::POLLHUP | sys::POLLERR) != 0,
@@ -111,30 +105,24 @@ impl Poller {
     }
 }
 
-#[cfg(not(any(target_os = "linux", target_os = "android")))]
-impl Poller {
-    pub(crate) fn new() -> Self {
-        Poller { fds: Vec::new() }
-    }
+/// Coarse portable implementation: a short bounded sleep, then every
+/// registered interest is reported ready. Nonblocking I/O turns the
+/// false positives into harmless `WouldBlock`s.
+pub(crate) struct FallbackPoller {
+    fds: Vec<(bool, bool)>,
+}
 
-    pub(crate) fn clear(&mut self) {
-        self.fds.clear();
-    }
-
-    pub(crate) fn register(&mut self, _fd: RawFd, read: bool, write: bool) -> usize {
+impl FallbackPoller {
+    fn register(&mut self, read: bool, write: bool) {
         self.fds.push((read, write));
-        self.fds.len() - 1
     }
 
-    /// Coarse fallback: sleep a short bounded interval, then report every
-    /// registered interest as ready. Nonblocking I/O turns the false
-    /// positives into harmless `WouldBlock`s.
-    pub(crate) fn wait(&mut self, timeout: Duration) -> io::Result<()> {
+    fn wait(&mut self, timeout: Duration) -> io::Result<()> {
         std::thread::sleep(timeout.min(Duration::from_millis(5)));
         Ok(())
     }
 
-    pub(crate) fn events(&self, idx: usize) -> Events {
+    fn events(&self, idx: usize) -> Events {
         let (read, write) = self.fds[idx];
         Events {
             readable: read,
@@ -143,12 +131,76 @@ impl Poller {
     }
 }
 
+/// A reusable readiness set. `clear` + `register` each round; indices
+/// returned by `register` address the matching [`Events`] after `wait`.
+pub(crate) enum Poller {
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    Sys(SysPoller),
+    Fallback(FallbackPoller),
+}
+
+impl Poller {
+    /// `fallback: true` forces the bounded-sleep path even where
+    /// `poll(2)` is available; platforms without it always fall back.
+    pub(crate) fn new(fallback: bool) -> Self {
+        #[cfg(any(target_os = "linux", target_os = "android"))]
+        if !fallback {
+            return Poller::Sys(SysPoller { fds: Vec::new() });
+        }
+        let _ = fallback;
+        Poller::Fallback(FallbackPoller { fds: Vec::new() })
+    }
+
+    pub(crate) fn clear(&mut self) {
+        match self {
+            #[cfg(any(target_os = "linux", target_os = "android"))]
+            Poller::Sys(p) => p.fds.clear(),
+            Poller::Fallback(p) => p.fds.clear(),
+        }
+    }
+
+    pub(crate) fn register(&mut self, fd: RawFd, read: bool, write: bool) -> usize {
+        match self {
+            #[cfg(any(target_os = "linux", target_os = "android"))]
+            Poller::Sys(p) => {
+                p.register(fd, read, write);
+                p.fds.len() - 1
+            }
+            Poller::Fallback(p) => {
+                let _ = fd;
+                p.register(read, write);
+                p.fds.len() - 1
+            }
+        }
+    }
+
+    pub(crate) fn wait(&mut self, timeout: Duration) -> io::Result<()> {
+        match self {
+            #[cfg(any(target_os = "linux", target_os = "android"))]
+            Poller::Sys(p) => p.wait(timeout),
+            Poller::Fallback(p) => p.wait(timeout),
+        }
+    }
+
+    pub(crate) fn events(&self, idx: usize) -> Events {
+        match self {
+            #[cfg(any(target_os = "linux", target_os = "android"))]
+            Poller::Sys(p) => p.events(idx),
+            Poller::Fallback(p) => p.events(idx),
+        }
+    }
+}
+
 /// Zero-timeout readability probe for a single fd. Used by the stall
 /// sweep so a session whose bytes arrived while the shard was busy in
-/// analysis is never misclassified as idle. On platforms without
-/// `poll(2)` this reports `false`, reducing to plain deadline behaviour.
+/// analysis is never misclassified as idle. Without `poll(2)` (or with
+/// the fallback poller forced) this reports `false`, reducing to plain
+/// deadline behaviour.
 #[cfg(any(target_os = "linux", target_os = "android"))]
-pub(crate) fn readable_now(fd: RawFd) -> bool {
+pub(crate) fn readable_now(fd: RawFd, fallback: bool) -> bool {
+    if fallback {
+        return false;
+    }
     let mut pfd = sys::PollFd {
         fd,
         events: sys::POLLIN,
@@ -159,7 +211,7 @@ pub(crate) fn readable_now(fd: RawFd) -> bool {
 }
 
 #[cfg(not(any(target_os = "linux", target_os = "android")))]
-pub(crate) fn readable_now(_fd: RawFd) -> bool {
+pub(crate) fn readable_now(_fd: RawFd, _fallback: bool) -> bool {
     false
 }
 
@@ -231,5 +283,60 @@ impl Waker {
 
     pub(crate) fn fd(&self) -> RawFd {
         -1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn fallback_poller_echoes_interests_after_a_bounded_sleep() {
+        let mut poller = Poller::new(true);
+        assert!(matches!(poller, Poller::Fallback(_)));
+        let a = poller.register(-1, true, false);
+        let b = poller.register(-1, false, true);
+        let c = poller.register(-1, false, false);
+        let start = Instant::now();
+        poller.wait(Duration::from_secs(10)).unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "fallback wait is bounded regardless of the requested timeout"
+        );
+        let ev = poller.events(a);
+        assert!(ev.readable && !ev.writable);
+        let ev = poller.events(b);
+        assert!(!ev.readable && ev.writable);
+        let ev = poller.events(c);
+        assert!(!ev.readable && !ev.writable);
+
+        // clear + re-register restarts the index space.
+        poller.clear();
+        assert_eq!(poller.register(-1, true, true), 0);
+    }
+
+    #[test]
+    fn fallback_readable_now_is_always_false() {
+        assert!(!readable_now(0, true));
+    }
+
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    #[test]
+    fn sys_poller_is_the_default_on_linux() {
+        assert!(matches!(Poller::new(false), Poller::Sys(_)));
+    }
+
+    #[test]
+    fn waker_unparks_and_drains() {
+        let waker = Waker::new().unwrap();
+        waker.wake();
+        waker.wake();
+        let mut poller = Poller::new(false);
+        poller.register(waker.fd(), true, false);
+        poller.wait(Duration::from_millis(100)).unwrap();
+        waker.drain();
+        // After draining, a zero-timeout probe sees nothing pending.
+        assert!(!readable_now(waker.fd(), false) || cfg!(not(target_os = "linux")));
     }
 }

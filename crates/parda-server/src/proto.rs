@@ -12,11 +12,19 @@
 //! client                         server
 //!   HELLO  ("PARDAWIRE" + ver) →
 //!   CONFIG (key=value lines)   →
-//!                              ← ACCEPT (session id u64)  |  ERROR
+//!                              ← ACCEPT (id + token + watermark) | ERROR
 //!   DATA   (v2.1 frame)        →   (zero or more)
+//!                              ← ACK (watermark u64)   (periodic, advisory)
 //!   FIN    (empty)             →
 //!                              ← STATS (format u8 + body) |  ERROR
 //! ```
+//!
+//! When a connection dies mid-session the server parks the session in its
+//! orphan pool; the client reconnects and sends `RESUME` (token + the last
+//! watermark it saw) in place of CONFIG. The resume ACCEPT carries the
+//! server's authoritative watermark — the count of frames already ingested
+//! — and the client retransmits only frames past it. Nothing is replayed
+//! server-side, so the histogram stays bit-identical to an unbroken run.
 //!
 //! A DATA payload is byte-for-byte the v2.1 *inline frame* layout from
 //! `parda-trace::io` — `count u32 | len u32 | crc32c u32 | encoded refs` —
@@ -72,12 +80,20 @@ pub enum MsgKind {
     Data = 3,
     /// Client → server: end of trace, run the analysis.
     Fin = 4,
-    /// Server → client: session admitted; payload is the session id (u64).
+    /// Server → client: session admitted; payload is
+    /// `id u64 | token [u8;16] | watermark u64` (see [`AcceptPayload`]).
     Accept = 5,
     /// Server → client: the analysis result.
     Stats = 6,
     /// Server → client: a classified failure (see [`ErrorFrame`]).
     Error = 7,
+    /// Server → client: periodic ingest acknowledgement; payload is the
+    /// watermark (u64 LE) — frames ingested so far. Advisory: a lost ACK
+    /// costs only retransmission volume, never correctness.
+    Ack = 8,
+    /// Client → server (in place of CONFIG): reattach to an orphaned
+    /// session; payload is `token [u8;16] | last seen watermark u64`.
+    Resume = 9,
 }
 
 impl MsgKind {
@@ -90,9 +106,91 @@ impl MsgKind {
             5 => MsgKind::Accept,
             6 => MsgKind::Stats,
             7 => MsgKind::Error,
+            8 => MsgKind::Ack,
+            9 => MsgKind::Resume,
             other => return Err(invalid(format!("unknown message kind {other:#04x}"))),
         })
     }
+}
+
+/// Bytes of a session resume token carried in ACCEPT and RESUME.
+pub const TOKEN_LEN: usize = 16;
+
+/// The decoded ACCEPT payload: `id u64 | token [u8;16] | watermark u64`
+/// (32 bytes, all LE). On a fresh accept the watermark is 0; on a resume
+/// accept it is the server's authoritative count of frames already
+/// ingested — the client retransmits from there.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AcceptPayload {
+    /// The server-assigned session id.
+    pub session: u64,
+    /// Opaque resume token (id + nonce); present to RESUME verbatim.
+    pub token: [u8; TOKEN_LEN],
+    /// Frames the server has ingested for this session.
+    pub watermark: u64,
+}
+
+impl AcceptPayload {
+    /// Serialized length of an ACCEPT payload.
+    pub const LEN: usize = 8 + TOKEN_LEN + 8;
+
+    /// Serialize for the wire.
+    pub fn to_bytes(&self) -> [u8; Self::LEN] {
+        let mut out = [0u8; Self::LEN];
+        out[..8].copy_from_slice(&self.session.to_le_bytes());
+        out[8..8 + TOKEN_LEN].copy_from_slice(&self.token);
+        out[8 + TOKEN_LEN..].copy_from_slice(&self.watermark.to_le_bytes());
+        out
+    }
+
+    /// Parse an ACCEPT payload.
+    pub fn from_bytes(payload: &[u8]) -> io::Result<Self> {
+        if payload.len() != Self::LEN {
+            return Err(invalid(format!(
+                "ACCEPT payload is {} bytes, expected {}",
+                payload.len(),
+                Self::LEN
+            )));
+        }
+        let mut token = [0u8; TOKEN_LEN];
+        token.copy_from_slice(&payload[8..8 + TOKEN_LEN]);
+        Ok(Self {
+            session: u64::from_le_bytes(payload[..8].try_into().unwrap()),
+            token,
+            watermark: u64::from_le_bytes(payload[8 + TOKEN_LEN..].try_into().unwrap()),
+        })
+    }
+}
+
+/// Serialize a RESUME payload: `token [u8;16] | last seen watermark u64`.
+pub fn encode_resume(token: &[u8; TOKEN_LEN], last_acked: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(TOKEN_LEN + 8);
+    out.extend_from_slice(token);
+    out.extend_from_slice(&last_acked.to_le_bytes());
+    out
+}
+
+/// Parse a RESUME payload.
+pub fn decode_resume(payload: &[u8]) -> io::Result<([u8; TOKEN_LEN], u64)> {
+    if payload.len() != TOKEN_LEN + 8 {
+        return Err(invalid(format!(
+            "RESUME payload is {} bytes, expected {}",
+            payload.len(),
+            TOKEN_LEN + 8
+        )));
+    }
+    let mut token = [0u8; TOKEN_LEN];
+    token.copy_from_slice(&payload[..TOKEN_LEN]);
+    let last = u64::from_le_bytes(payload[TOKEN_LEN..].try_into().unwrap());
+    Ok((token, last))
+}
+
+/// Parse an ACK payload (the watermark).
+pub fn decode_ack(payload: &[u8]) -> io::Result<u64> {
+    payload
+        .try_into()
+        .map(u64::from_le_bytes)
+        .map_err(|_| invalid("ACK payload is not a u64 watermark"))
 }
 
 /// One decoded wire message.
@@ -273,6 +371,9 @@ pub enum ErrorClass {
     Budget = 7,
     /// The peer violated the message state machine.
     Protocol = 8,
+    /// The transport died and reconnection attempts were exhausted
+    /// (client-side classification; exits in the i/o class).
+    ConnectionLost = 9,
 }
 
 impl ErrorClass {
@@ -286,6 +387,7 @@ impl ErrorClass {
             6 => ErrorClass::Admission,
             7 => ErrorClass::Budget,
             8 => ErrorClass::Protocol,
+            9 => ErrorClass::ConnectionLost,
             other => return Err(invalid(format!("unknown error class {other}"))),
         })
     }
@@ -333,6 +435,12 @@ impl ErrorFrame {
                 b: u32::try_from(deadline.as_millis()).unwrap_or(u32::MAX),
                 message: e.to_string(),
             },
+            PardaError::ConnectionLost { attempts } => Self {
+                class: ErrorClass::ConnectionLost,
+                a: *attempts,
+                b: 0,
+                message: e.to_string(),
+            },
         }
     }
 
@@ -355,6 +463,7 @@ impl ErrorFrame {
             ErrorClass::Admission => PardaError::Config(format!("server: {}", self.message)),
             ErrorClass::Budget => PardaError::Config(format!("server: {}", self.message)),
             ErrorClass::Protocol => PardaError::Config(format!("protocol: {}", self.message)),
+            ErrorClass::ConnectionLost => PardaError::ConnectionLost { attempts: self.a },
         }
     }
 
@@ -467,6 +576,28 @@ mod tests {
     }
 
     #[test]
+    fn accept_resume_and_ack_payloads_round_trip() {
+        let accept = AcceptPayload {
+            session: 0xDEAD_BEEF_u64,
+            token: *b"0123456789abcdef",
+            watermark: 42,
+        };
+        let bytes = accept.to_bytes();
+        assert_eq!(bytes.len(), AcceptPayload::LEN);
+        assert_eq!(AcceptPayload::from_bytes(&bytes).unwrap(), accept);
+        assert!(AcceptPayload::from_bytes(&bytes[..8]).is_err());
+
+        let resume = encode_resume(&accept.token, 42);
+        let (token, last) = decode_resume(&resume).unwrap();
+        assert_eq!(token, accept.token);
+        assert_eq!(last, 42);
+        assert!(decode_resume(&resume[..10]).is_err());
+
+        assert_eq!(decode_ack(&7u64.to_le_bytes()).unwrap(), 7);
+        assert!(decode_ack(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
     fn bad_hello_versions_and_magic_are_rejected() {
         assert!(check_hello(b"PARDAWIRE\x01").is_ok());
         assert!(check_hello(b"PARDAWIRE\x63").is_err());
@@ -543,6 +674,7 @@ mod tests {
                 rank: 1,
                 deadline: Duration::from_millis(250),
             },
+            PardaError::ConnectionLost { attempts: 5 },
         ];
         for e in &cases {
             let frame = ErrorFrame::from_parda(e);

@@ -21,6 +21,7 @@
 //! into a `sessions_failed` tick and a best-effort WORKER-PANIC error
 //! frame to that client — the daemon itself never dies with a session.
 
+use crate::orphan::OrphanPool;
 use crate::poll::{self, Poller, Waker};
 use crate::shard::{run_shard, Inbox};
 use parda_core::FaultPolicy;
@@ -66,6 +67,26 @@ pub struct ServerConfig {
     /// Ingest/analysis shard threads. `0` scales with the hardware
     /// (`available_parallelism`, capped at 8).
     pub shards: usize,
+    /// How long a session whose transport died is kept resumable in the
+    /// orphan pool. `Duration::ZERO` (the default) disables resumption:
+    /// a lost connection fails its session immediately, the historical
+    /// behavior.
+    pub orphan_retention: Duration,
+    /// Global byte budget for parked orphan state (analysis state plus
+    /// undelivered replies). Inserting past the budget evicts the oldest
+    /// orphans first.
+    pub orphan_budget: u64,
+    /// Queue a cumulative ingest ACK every this many DATA frames so a
+    /// reconnecting client knows where to resume from. `0` (the default)
+    /// sends no ACKs — the pre-resumption wire behavior; the watermark in
+    /// a resume-ACCEPT is authoritative either way, so ACK cadence only
+    /// trades overhead against retransmission volume.
+    pub ack_every: u32,
+    /// Force the portable bounded-sleep poller instead of `poll(2)` —
+    /// lets Linux CI exercise the fallback paths (readiness, wakers, the
+    /// stall sweep's reduced probe) that otherwise only run on platforms
+    /// without the FFI binding.
+    pub fallback_poller: bool,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +100,10 @@ impl Default for ServerConfig {
             accept_limit: None,
             default_approx: parda_core::ApproxMode::Exact,
             shards: 0,
+            orphan_retention: Duration::ZERO,
+            orphan_budget: 64 * 1024 * 1024,
+            ack_every: 0,
+            fallback_poller: false,
         }
     }
 }
@@ -160,6 +185,10 @@ impl Server {
         self.listener.set_nonblocking(true)?;
         let scfg = Arc::new(self.cfg.clone());
         let nshards = scfg.effective_shards();
+        // One orphan pool shared by every shard: entries are inert (no fd,
+        // no thread affinity), so a RESUME landing on any shard can adopt
+        // a session another shard parked.
+        let pool = Arc::new(OrphanPool::new(scfg.orphan_retention, scfg.orphan_budget));
         let mut inboxes: Vec<Arc<Inbox>> = Vec::with_capacity(nshards);
         let mut joins: Vec<JoinHandle<(ShardMetrics, LatencyHist)>> = Vec::with_capacity(nshards);
         for index in 0..nshards {
@@ -169,15 +198,16 @@ impl Server {
                 let scfg = Arc::clone(&scfg);
                 let counters = Arc::clone(&self.counters);
                 let active = Arc::clone(&self.active);
+                let pool = Arc::clone(&pool);
                 std::thread::Builder::new()
                     .name(format!("parda-shard-{index}"))
-                    .spawn(move || run_shard(index, inbox, scfg, counters, active))?
+                    .spawn(move || run_shard(index, inbox, scfg, counters, active, pool))?
             };
             inboxes.push(inbox);
             joins.push(handle);
         }
 
-        let mut poller = Poller::new();
+        let mut poller = Poller::new(self.cfg.fallback_poller);
         let mut next_id: u64 = 0;
         let mut accepted: u64 = 0;
         let accept_error = 'accepting: loop {
@@ -229,6 +259,11 @@ impl Server {
                 }
             }
         }
+        // The shards are gone, so no RESUME can arrive: expire whatever is
+        // still parked. This releases the orphans' admission slots and
+        // memory and makes the final metrics reconcile —
+        // `sessions_resumed + orphans_expired == sessions_orphaned`.
+        pool.drain(&self.counters);
         if let Some(e) = accept_error {
             return Err(e);
         }

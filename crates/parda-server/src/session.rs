@@ -35,8 +35,9 @@
 //! O(sketch) — the shard records the high-water mark as proof.
 
 use crate::proto::{
-    decode_data_frame_into, encode_histogram_binary, write_msg, DataFrameError, ErrorClass,
-    ErrorFrame, MsgKind, STATS_FORMAT_BINARY, STATS_FORMAT_JSON,
+    decode_data_frame_into, decode_resume, encode_histogram_binary, write_msg, AcceptPayload,
+    DataFrameError, ErrorClass, ErrorFrame, MsgKind, STATS_FORMAT_BINARY, STATS_FORMAT_JSON,
+    TOKEN_LEN,
 };
 use crate::server::ServerConfig;
 use parda_core::phased::Reduction;
@@ -308,6 +309,14 @@ pub(crate) struct Session {
     sketch_bytes_hwm: u64,
     outcome_recorded: bool,
     completed: bool,
+    /// Resume token issued in ACCEPT (id prefix + random nonce).
+    token: [u8; TOKEN_LEN],
+    /// Copy of the queued STATS message, kept until the slot is reaped so
+    /// a session orphaned *after* completion can redeliver its reply.
+    final_reply: Option<Vec<u8>>,
+    /// A decoded RESUME token awaiting adoption by the shard (which owns
+    /// the orphan pool handle; the session itself cannot reach it).
+    pending_resume: Option<[u8; TOKEN_LEN]>,
 }
 
 impl Session {
@@ -327,7 +336,30 @@ impl Session {
             sketch_bytes_hwm: 0,
             outcome_recorded: false,
             completed: false,
+            token: [0; TOKEN_LEN],
+            final_reply: None,
+            pending_resume: None,
         }
+    }
+
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// A fresh session with its resume token already minted, as the
+    /// orphan-pool tests need (production mints the token at admission).
+    #[cfg(test)]
+    pub(crate) fn tokened(id: u64) -> (Session, [u8; TOKEN_LEN]) {
+        let mut s = Session::new(id);
+        s.token = make_token(id);
+        let token = s.token;
+        (s, token)
+    }
+
+    /// Constant shape (not constant time — the token guards against
+    /// stale handles, not adversaries; see the module docs in `orphan`).
+    pub(crate) fn token_matches(&self, token: &[u8; TOKEN_LEN]) -> bool {
+        self.token == *token
     }
 
     /// Whether the shard should keep reading (and parsing) this socket.
@@ -442,6 +474,91 @@ impl Session {
         self.phase = Phase::Draining;
     }
 
+    /// Whether a lost transport should orphan this session instead of
+    /// failing it: it must hold an admission slot and either still be
+    /// streaming or have a completed-but-undelivered reply. Handshake
+    /// phases and already-failed (draining/closing without a reply)
+    /// sessions keep the legacy fail-fast path.
+    pub(crate) fn is_orphanable(&self) -> bool {
+        self.guard.is_some()
+            && (self.phase == Phase::Streaming || (self.completed && self.final_reply.is_some()))
+    }
+
+    /// Whether the session is mid-stream (admitted, before FIN).
+    pub(crate) fn is_streaming(&self) -> bool {
+        self.phase == Phase::Streaming
+    }
+
+    /// Detach from a dead transport before parking in the orphan pool:
+    /// stops the analysis wall clock and clears any half-processed
+    /// resume request.
+    pub(crate) fn detach(&mut self) {
+        if let Some(driver) = self.driver.as_mut() {
+            driver.detach();
+        }
+        self.pending_resume = None;
+    }
+
+    /// Reattach a parked session to a fresh connection. Queues the
+    /// resume-ACCEPT carrying the authoritative ingest watermark; a
+    /// completed session also requeues its undelivered STATS reply and
+    /// drains (absorbing the client's re-sent FIN), while an in-flight
+    /// one goes back to streaming so the client can retransmit frames
+    /// past the watermark.
+    pub(crate) fn resume_onto(&mut self, outbox: &mut Vec<u8>) {
+        if let Some(driver) = self.driver.as_mut() {
+            driver.reattach();
+        }
+        let accept = AcceptPayload {
+            session: self.id,
+            token: self.token,
+            watermark: self.frame_seq,
+        };
+        let _ = write_msg(outbox, MsgKind::Accept, &accept.to_bytes());
+        if self.completed {
+            let reply = self.final_reply.clone().expect("orphanable completed");
+            outbox.extend_from_slice(&reply);
+            self.drained_msgs = 0;
+            self.phase = Phase::Draining;
+        } else {
+            self.phase = Phase::Streaming;
+        }
+    }
+
+    /// The token decoded from a RESUME message, if one is waiting for the
+    /// shard to adopt.
+    pub(crate) fn take_pending_resume(&mut self) -> Option<[u8; TOKEN_LEN]> {
+        self.pending_resume.take()
+    }
+
+    /// A RESUME named a token that is not parked (expired, evicted,
+    /// already resumed, or never ours): structured refusal, counted as a
+    /// rejected connection like any other failed handshake.
+    pub(crate) fn on_resume_missing(&mut self, host: &mut SessionHost) {
+        self.refuse(
+            SessionError::new(ErrorClass::Protocol, "unknown or expired session token"),
+            host,
+        );
+    }
+
+    /// Terminal accounting for an orphan that will never be resumed.
+    /// Dropping the session afterwards releases its admission slot.
+    pub(crate) fn expire(&mut self, counters: &ServerCounters) {
+        if !self.outcome_recorded {
+            self.outcome_recorded = true;
+            counters.sessions_failed.incr();
+        }
+    }
+
+    /// Bytes this session pins while parked: retained analysis state
+    /// plus any undelivered reply (floored at 1 so even an empty session
+    /// counts against the pool budget).
+    pub(crate) fn orphan_bytes(&self) -> u64 {
+        let state = self.driver.as_ref().map_or(0, |d| d.state_bytes());
+        let reply = self.final_reply.as_ref().map_or(0, |r| r.len() as u64);
+        (state + reply).max(1)
+    }
+
     fn handle_hello(&mut self, kind: MsgKind, payload: &[u8], host: &mut SessionHost) {
         if kind != MsgKind::Hello {
             return self.refuse(
@@ -459,6 +576,16 @@ impl Session {
     }
 
     fn handle_config(&mut self, kind: MsgKind, payload: &[u8], host: &mut SessionHost) {
+        if kind == MsgKind::Resume {
+            // A reconnecting client instead of a fresh CONFIG. Decode the
+            // token and leave it for the shard, which owns the orphan
+            // pool and swaps the parked session into this slot.
+            match decode_resume(payload) {
+                Ok((token, _last_acked)) => self.pending_resume = Some(token),
+                Err(e) => self.refuse(SessionError::new(ErrorClass::Protocol, e.to_string()), host),
+            }
+            return;
+        }
         if kind != MsgKind::Config {
             return self.refuse(
                 SessionError::new(
@@ -496,7 +623,13 @@ impl Session {
         };
         self.guard = Some(guard);
         host.counters.sessions_opened.incr();
-        let _ = write_msg(host.outbox, MsgKind::Accept, &self.id.to_le_bytes());
+        self.token = make_token(self.id);
+        let accept = AcceptPayload {
+            session: self.id,
+            token: self.token,
+            watermark: 0,
+        };
+        let _ = write_msg(host.outbox, MsgKind::Accept, &accept.to_bytes());
         parda_failpoint::failpoint!("server::session");
 
         let policy = parda_core::FaultPolicy {
@@ -516,6 +649,8 @@ impl Session {
                 if let Err(e) = self.ingest_frame(payload, host) {
                     self.abort(e, host);
                     self.phase = Phase::Draining;
+                } else {
+                    self.maybe_ack(host);
                 }
             }
             MsgKind::Fin => self.finish(host),
@@ -612,8 +747,14 @@ impl Session {
             self.sketch_bytes_hwm = self.sketch_bytes_hwm.max(a.sketch_bytes);
         }
         let cfg = self.cfg.as_ref().expect("streaming implies config");
-        match send_stats(host.outbox, cfg, &hist, &report) {
+        // Build the STATS message off to the side so a copy survives in
+        // `final_reply`: if the transport dies before the outbox drains,
+        // the orphaned session can requeue the reply verbatim on resume.
+        let mut reply = Vec::new();
+        match send_stats(&mut reply, cfg, &hist, &report) {
             Ok(()) => {
+                host.outbox.extend_from_slice(&reply);
+                self.final_reply = Some(reply);
                 self.outcome_recorded = true;
                 self.completed = true;
                 host.counters.sessions_completed.incr();
@@ -624,6 +765,20 @@ impl Session {
                 self.phase = Phase::Draining;
             }
         }
+    }
+
+    /// Queue a cumulative `ACK(frame_seq)` every `ack_every` ingested
+    /// frames (0 disables, the legacy wire behaviour). ACKs are advisory:
+    /// losing one only costs the client extra retransmission volume,
+    /// because the watermark in a resume-ACCEPT is authoritative.
+    fn maybe_ack(&mut self, host: &mut SessionHost) {
+        let every = u64::from(host.scfg.ack_every);
+        if every == 0 || !self.frame_seq.is_multiple_of(every) {
+            return;
+        }
+        parda_failpoint::failpoint!("server::ack_drop", return);
+        let _ = write_msg(host.outbox, MsgKind::Ack, &self.frame_seq.to_le_bytes());
+        host.counters.acks_sent.incr();
     }
 
     /// Refuse an un-admitted connection (bad handshake or admission cap):
@@ -651,6 +806,27 @@ impl Session {
         }
         let _ = write_msg(host.outbox, MsgKind::Error, &err.0.to_payload());
     }
+}
+
+/// Build a resume token: the session id (little-endian) followed by a
+/// splitmix64 nonce seeded from the wall clock and the id. The prefix
+/// lets the orphan pool index by id; the nonce makes stale tokens from
+/// recycled ids fail to match. Uniqueness, not cryptography — the daemon
+/// trusts its transport exactly as much as it did before resumption.
+fn make_token(id: u64) -> [u8; TOKEN_LEN] {
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut x = now ^ id.rotate_left(32) ^ 0x9e37_79b9_7f4a_7c15;
+    // splitmix64 finalizer.
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    let mut token = [0u8; TOKEN_LEN];
+    token[..8].copy_from_slice(&id.to_le_bytes());
+    token[8..].copy_from_slice(&x.to_le_bytes());
+    token
 }
 
 /// Fold the wire-level recovery tally into the analysis report.
@@ -764,6 +940,24 @@ mod tests {
                 "accepted {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn resume_tokens_embed_the_id_and_differ_per_session() {
+        let a = make_token(7);
+        let b = make_token(7);
+        assert_eq!(u64::from_le_bytes(a[..8].try_into().unwrap()), 7);
+        assert_ne!(a[8..], b[8..], "nonces differ even for a recycled id");
+        let mut s = Session::new(7);
+        s.token = a;
+        assert!(s.token_matches(&a));
+        assert!(!s.token_matches(&b), "id match alone is not enough");
+    }
+
+    #[test]
+    fn fresh_session_is_not_orphanable_until_admitted_and_streaming() {
+        let s = Session::new(1);
+        assert!(!s.is_orphanable(), "handshake phases fail fast");
     }
 
     #[test]

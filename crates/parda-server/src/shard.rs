@@ -21,6 +21,7 @@
 //! a panicking session (failpoint or bug) costs one error frame, never the
 //! shard.
 
+use crate::orphan::OrphanPool;
 use crate::poll::{self, Poller, Waker};
 use crate::server::ServerConfig;
 use crate::session::{Session, SessionHost};
@@ -104,6 +105,9 @@ struct Slot {
     last_activity: Instant,
     accepted_at: Instant,
     dead: bool,
+    /// The transport died but the session is resumable: park it in the
+    /// orphan pool at reap instead of dropping it.
+    orphan: bool,
 }
 
 #[cfg(unix)]
@@ -125,6 +129,7 @@ pub(crate) fn run_shard(
     scfg: Arc<ServerConfig>,
     counters: Arc<ServerCounters>,
     active: Arc<AtomicUsize>,
+    pool: Arc<OrphanPool>,
 ) -> (ShardMetrics, LatencyHist) {
     let mut metrics = ShardMetrics {
         shard: index,
@@ -132,7 +137,7 @@ pub(crate) fn run_shard(
     };
     let mut hist = LatencyHist::default();
     let mut slots: Vec<Slot> = Vec::new();
-    let mut poller = Poller::new();
+    let mut poller = Poller::new(scfg.fallback_poller);
     let mut readbuf = vec![0u8; READ_CHUNK];
     let mut arena: Vec<Addr> = Vec::new();
 
@@ -179,6 +184,7 @@ pub(crate) fn run_shard(
                     last_activity: now,
                     accepted_at,
                     dead: false,
+                    orphan: false,
                 });
                 metrics.sessions += 1;
                 metrics.sessions_peak = metrics.sessions_peak.max(slots.len() as u64);
@@ -189,12 +195,13 @@ pub(crate) fn run_shard(
         for (i, slot) in slots.iter_mut().enumerate().take(polled) {
             let ev = poller.events(i + 1);
             if ev.writable {
-                flush_slot(slot, &scfg, &counters, &active, &mut arena);
+                flush_slot(slot, &pool, &scfg, &counters, &active, &mut arena);
             }
             if ev.readable && !slot.dead {
                 pump_slot(
                     slot,
                     &mut readbuf,
+                    &pool,
                     &scfg,
                     &counters,
                     &active,
@@ -203,7 +210,7 @@ pub(crate) fn run_shard(
                 );
                 // Replies are usually small; try to hand them to the
                 // kernel right away instead of waiting one poll turn.
-                flush_slot(slot, &scfg, &counters, &active, &mut arena);
+                flush_slot(slot, &pool, &scfg, &counters, &active, &mut arena);
             }
         }
 
@@ -217,7 +224,7 @@ pub(crate) fn run_shard(
                     continue;
                 }
                 if now.duration_since(slot.last_activity) >= idle
-                    && !poll::readable_now(slot.fd)
+                    && !poll::readable_now(slot.fd, scfg.fallback_poller)
                     && slot.consumed == slot.inbuf.len()
                 {
                     let mut host = SessionHost {
@@ -228,13 +235,19 @@ pub(crate) fn run_shard(
                         arena: &mut arena,
                     };
                     slot.session.on_stall(&mut host);
-                    flush_slot(slot, &scfg, &counters, &active, &mut arena);
+                    flush_slot(slot, &pool, &scfg, &counters, &active, &mut arena);
                 }
             }
         }
 
+        // Expire orphans past their retention deadline. Runs on every
+        // shard at poll cadence; a no-op when the pool is empty.
+        pool.sweep(&counters);
+
         // Reap finished slots: dead transports, and closing sessions whose
-        // outbox reached the kernel.
+        // outbox reached the kernel. A dead slot flagged `orphan` parks
+        // its session in the pool for a reconnecting client instead of
+        // dropping it.
         let mut i = 0;
         while i < slots.len() {
             let done = slots[i].dead
@@ -248,7 +261,12 @@ pub(crate) fn run_shard(
             metrics.sketch_bytes_hwm = metrics
                 .sketch_bytes_hwm
                 .max(slot.session.sketch_bytes_hwm());
-            if slot.session.completed() {
+            if slot.orphan {
+                let mut session = slot.session;
+                session.detach();
+                counters.sessions_orphaned.incr();
+                pool.park(session, &counters);
+            } else if slot.session.completed() {
                 let ns = u64::try_from(slot.accepted_at.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 hist.record(ns);
             }
@@ -282,12 +300,89 @@ fn poll_timeout(slots: &[Slot], idle: Option<Duration>) -> Duration {
     wait
 }
 
+/// How a transport was lost, for the orphan-or-fail funnel.
+enum Loss {
+    /// Peer closed its write side (legacy path: protocol error, but the
+    /// reply flush is still attempted on the intact write side).
+    Eof,
+    /// Hard socket read error.
+    Read(std::io::Error),
+    /// Write failure or injected reset: the fd is unusable both ways.
+    Gone,
+}
+
+/// The transport under a session died. If disconnect-resumption is on and
+/// the session is worth keeping, flag the slot for orphaning at reap;
+/// otherwise take the legacy path (typed error frame, failure counters).
+fn transport_lost(
+    slot: &mut Slot,
+    loss: Loss,
+    pool: &OrphanPool,
+    scfg: &ServerConfig,
+    counters: &ServerCounters,
+    active: &Arc<AtomicUsize>,
+    arena: &mut Vec<Addr>,
+) {
+    // EOF is special: after FIN it is a routine half-close with the write
+    // side intact (the reply still flushes), so only a *mid-stream* EOF
+    // counts as a disconnect. Read/write errors kill the fd both ways.
+    let resumable = pool.enabled()
+        && slot.session.is_orphanable()
+        && (!matches!(loss, Loss::Eof) || slot.session.is_streaming());
+    if resumable {
+        // Half-parsed input and unflushed replies die with the fd: the
+        // session's frame watermark only counts fully-ingested frames,
+        // and the resume path requeues the reply from `final_reply`.
+        slot.dead = true;
+        slot.orphan = true;
+        return;
+    }
+    let mut host = SessionHost {
+        scfg,
+        counters,
+        active,
+        outbox: &mut slot.outbox,
+        arena,
+    };
+    match loss {
+        Loss::Eof => slot.session.on_eof(&mut host),
+        Loss::Read(e) => slot.session.on_read_error(e, &mut host),
+        Loss::Gone => {
+            slot.session.on_transport_error(&mut host);
+            slot.dead = true;
+        }
+    }
+}
+
+/// Chaos site: sever a connection just before a DATA frame is dispatched.
+/// The frame is *not* ingested, so a resuming client must retransmit it —
+/// the e2e chaos suite leans on this to prove the watermark protocol.
+fn conn_reset_failpoint() -> bool {
+    parda_failpoint::failpoint!("server::conn_reset", return true);
+    false
+}
+
+/// Chaos site: tear a reply mid-message (a few bytes reach the kernel,
+/// then the transport dies), leaving the client a truncated header.
+fn partial_write_failpoint() -> bool {
+    parda_failpoint::failpoint!("server::partial_write", return true);
+    false
+}
+
+/// Chaos site: panic out of message dispatch, proving the shard's
+/// `catch_unwind` containment holds on the resumption paths too.
+fn dispatch_failpoint() {
+    parda_failpoint::failpoint!("server::dispatch");
+}
+
 /// Read a burst off one socket and run the protocol over whatever complete
 /// messages arrived. Panics unwinding out of session code are converted to
 /// a failure outcome on the session, never surfaced to the shard loop.
+#[allow(clippy::too_many_arguments)]
 fn pump_slot(
     slot: &mut Slot,
     readbuf: &mut [u8],
+    pool: &OrphanPool,
     scfg: &ServerConfig,
     counters: &ServerCounters,
     active: &Arc<AtomicUsize>,
@@ -320,25 +415,14 @@ fn pump_slot(
     }
 
     let stepped = catch_unwind(AssertUnwindSafe(|| {
-        parse_messages(slot, scfg, counters, active, arena);
+        parse_messages(slot, pool, scfg, counters, active, arena);
+        if slot.dead {
+            return;
+        }
         if let Some(e) = read_err.take() {
-            let mut host = SessionHost {
-                scfg,
-                counters,
-                active,
-                outbox: &mut slot.outbox,
-                arena,
-            };
-            slot.session.on_read_error(e, &mut host);
+            transport_lost(slot, Loss::Read(e), pool, scfg, counters, active, arena);
         } else if eof {
-            let mut host = SessionHost {
-                scfg,
-                counters,
-                active,
-                outbox: &mut slot.outbox,
-                arena,
-            };
-            slot.session.on_eof(&mut host);
+            transport_lost(slot, Loss::Eof, pool, scfg, counters, active, arena);
         }
     }));
     if stepped.is_err() {
@@ -358,6 +442,7 @@ fn pump_slot(
 /// are unrecoverable desyncs.
 fn parse_messages(
     slot: &mut Slot,
+    pool: &OrphanPool,
     scfg: &ServerConfig,
     counters: &ServerCounters,
     active: &Arc<AtomicUsize>,
@@ -365,7 +450,7 @@ fn parse_messages(
 ) {
     use crate::proto::{MsgKind, MAX_PAYLOAD};
     loop {
-        if !slot.session.wants_read() {
+        if slot.dead || !slot.session.wants_read() {
             break;
         }
         let avail = slot.inbuf.len() - slot.consumed;
@@ -406,22 +491,56 @@ fn parse_messages(
             slot.inbuf.reserve(5 + len - avail);
             break;
         }
+        if kind == MsgKind::Data && conn_reset_failpoint() {
+            // Injected reset: the frame is dropped unconsumed and the
+            // socket is torn down both ways, as a mid-datacenter network
+            // failure would.
+            let _ = slot.stream.shutdown(std::net::Shutdown::Both);
+            transport_lost(slot, Loss::Gone, pool, scfg, counters, active, arena);
+            break;
+        }
+        dispatch_failpoint();
         let start = slot.consumed + 5;
         slot.consumed += 5 + len;
-        let Slot {
-            session,
-            inbuf,
-            outbox,
-            ..
-        } = slot;
-        let mut host = SessionHost {
-            scfg,
-            counters,
-            active,
-            outbox,
-            arena,
-        };
-        session.on_message(kind, &inbuf[start..start + len], &mut host);
+        {
+            let Slot {
+                session,
+                inbuf,
+                outbox,
+                ..
+            } = slot;
+            let mut host = SessionHost {
+                scfg,
+                counters,
+                active,
+                outbox,
+                arena,
+            };
+            session.on_message(kind, &inbuf[start..start + len], &mut host);
+        }
+        // A RESUME handshake: swap the parked session into this slot.
+        // The fresh shell recorded nothing (no admission, no counters),
+        // so discarding it leaks nothing; the adopted session kept its
+        // admission guard the whole time it was parked.
+        if let Some(token) = slot.session.take_pending_resume() {
+            match pool.take(&token) {
+                Some(mut adopted) => {
+                    counters.sessions_resumed.incr();
+                    adopted.resume_onto(&mut slot.outbox);
+                    slot.session = adopted;
+                }
+                None => {
+                    let mut host = SessionHost {
+                        scfg,
+                        counters,
+                        active,
+                        outbox: &mut slot.outbox,
+                        arena,
+                    };
+                    slot.session.on_resume_missing(&mut host);
+                }
+            }
+        }
     }
 
     // Drop the consumed prefix once it is worth the memmove.
@@ -435,26 +554,40 @@ fn parse_messages(
 }
 
 /// Push outbox bytes to the kernel until done or `WouldBlock`. A hard
-/// write error marks the slot dead (the peer is gone) after making sure
-/// the session is accounted.
+/// write error marks the slot dead (the peer is gone) after either
+/// parking the session for resumption or making sure it is accounted.
 fn flush_slot(
     slot: &mut Slot,
+    pool: &OrphanPool,
     scfg: &ServerConfig,
     counters: &ServerCounters,
     active: &Arc<AtomicUsize>,
     arena: &mut Vec<Addr>,
 ) {
+    if slot.dead {
+        return;
+    }
+    if slot.sent < slot.outbox.len() && partial_write_failpoint() {
+        // Injected torn write: a few bytes of the pending reply reach the
+        // wire, then the transport dies — the client is left holding a
+        // truncated message header.
+        let n = (slot.outbox.len() - slot.sent).min(3);
+        let _ = slot.stream.write(&slot.outbox[slot.sent..slot.sent + n]);
+        let _ = slot.stream.shutdown(std::net::Shutdown::Both);
+        transport_lost(slot, Loss::Gone, pool, scfg, counters, active, arena);
+        return;
+    }
     while slot.sent < slot.outbox.len() {
         match slot.stream.write(&slot.outbox[slot.sent..]) {
             Ok(0) => {
-                transport_error(slot, scfg, counters, active, arena);
+                transport_lost(slot, Loss::Gone, pool, scfg, counters, active, arena);
                 return;
             }
             Ok(n) => slot.sent += n,
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(_) => {
-                transport_error(slot, scfg, counters, active, arena);
+                transport_lost(slot, Loss::Gone, pool, scfg, counters, active, arena);
                 return;
             }
         }
@@ -463,22 +596,4 @@ fn flush_slot(
         slot.outbox.clear();
         slot.sent = 0;
     }
-}
-
-fn transport_error(
-    slot: &mut Slot,
-    scfg: &ServerConfig,
-    counters: &ServerCounters,
-    active: &Arc<AtomicUsize>,
-    arena: &mut Vec<Addr>,
-) {
-    let mut host = SessionHost {
-        scfg,
-        counters,
-        active,
-        outbox: &mut slot.outbox,
-        arena,
-    };
-    slot.session.on_transport_error(&mut host);
-    slot.dead = true;
 }

@@ -1,0 +1,408 @@
+//! Network-chaos end-to-end tests: connections die mid-stream (injected
+//! client-side, so no fault-injection feature is needed) and the
+//! reconnect + RESUME protocol must deliver a histogram bit-identical to
+//! the offline analysis — across exact, phased/threads, and approximate
+//! sketch sessions — with the server's orphan accounting reconciling
+//! exactly: `sessions_resumed + orphans_expired == sessions_orphaned`.
+
+use parda_core::Analysis;
+use parda_hist::ReuseHistogram;
+use parda_server::proto::{
+    encode_data_frame, encode_resume, hello_payload, read_msg, write_msg, AcceptPayload,
+    ErrorClass, ErrorFrame, MsgKind,
+};
+use parda_server::{submit, RetryPolicy, Server, ServerConfig, SubmitOptions};
+use parda_trace::io::Encoding;
+use parda_trace::Addr;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn offline(trace: &[Addr]) -> ReuseHistogram {
+    Analysis::new().ranks(4).run(trace).0
+}
+
+fn zipfish(seed: u64, n: usize) -> Vec<Addr> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let span = 1u64 << rng.gen_range(1..12);
+            rng.gen_range(0..span)
+        })
+        .collect()
+}
+
+/// A resumption-enabled daemon shared by the tests that only assert on
+/// per-session results (the private-server tests check final metrics).
+fn chaos_addr() -> &'static str {
+    static ADDR: OnceLock<String> = OnceLock::new();
+    ADDR.get_or_init(|| {
+        let server = Server::bind(ServerConfig {
+            max_sessions: 32,
+            idle_timeout: Some(Duration::from_secs(10)),
+            orphan_retention: Duration::from_secs(30),
+            ack_every: 3,
+            ..ServerConfig::default()
+        })
+        .expect("bind chaos test server");
+        let addr = server.local_addr().unwrap().to_string();
+        std::thread::spawn(move || server.run().unwrap());
+        addr
+    })
+}
+
+fn private_server(
+    cfg: ServerConfig,
+) -> (
+    String,
+    parda_server::ShutdownHandle,
+    std::thread::JoinHandle<parda_obs::ServerMetrics>,
+) {
+    let server = Server::bind(cfg).expect("bind private test server");
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    (addr, handle, join)
+}
+
+/// A retry policy tuned for tests: plenty of attempts, short backoff.
+fn eager_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 12,
+        backoff: Duration::from_millis(10),
+        backoff_max: Duration::from_millis(200),
+        ..RetryPolicy::default()
+    }
+}
+
+#[test]
+fn injected_disconnects_resume_bit_identically_across_engines() {
+    let (addr, stop, join) = private_server(ServerConfig {
+        max_sessions: 8,
+        idle_timeout: Some(Duration::from_secs(10)),
+        orphan_retention: Duration::from_secs(30),
+        ack_every: 4,
+        ..ServerConfig::default()
+    });
+    let trace = zipfish(404, 6_000);
+    let approx_mode = parda_core::ApproxMode::ShardsFixedRate { rate: 0.1 };
+    let engines: [&[(&str, String)]; 3] = [
+        &[],
+        &[
+            ("engine", "threads".to_string()),
+            ("ranks", "3".to_string()),
+        ],
+        &[("approx", approx_mode.spec())],
+    ];
+
+    for (i, pairs) in engines.iter().enumerate() {
+        let opts = SubmitOptions {
+            config: pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            frame_refs: 64, // ~94 frames, so every drop point lands mid-stream
+            retry: eager_retry(),
+            chaos_drop_points: vec![9, 33, 61],
+            ..SubmitOptions::default()
+        };
+        let reply = submit(&addr, &trace, &opts).unwrap_or_else(|e| {
+            panic!("engine variant {i} failed after chaos: {e}");
+        });
+        let expect = if pairs.iter().any(|(k, _)| *k == "approx") {
+            parda_core::approx::analyze_approx(&trace, approx_mode).0
+        } else {
+            offline(&trace)
+        };
+        assert_eq!(reply.histogram, expect, "engine variant {i}");
+        assert_eq!(
+            reply.retry.resumes, 3,
+            "all three injected drops resumed (variant {i})"
+        );
+        assert!(reply.retry.attempts >= 4, "variant {i}");
+        assert!(
+            reply.retry.acks_seen > 0,
+            "the server ACKed ingest progress (variant {i})"
+        );
+        assert!(
+            reply.retry.resume_latency_ns > 0,
+            "first-loss-to-resume latency is recorded (variant {i})"
+        );
+    }
+
+    stop.shutdown();
+    let metrics = join.join().unwrap();
+    assert_eq!(metrics.sessions_completed, 3);
+    assert_eq!(metrics.sessions_failed, 0, "chaos lost no sessions");
+    assert_eq!(metrics.sessions_orphaned, 9, "3 sessions x 3 drops");
+    assert_eq!(
+        metrics.sessions_resumed + metrics.orphans_expired,
+        metrics.sessions_orphaned,
+        "orphan accounting reconciles"
+    );
+    assert_eq!(metrics.orphans_expired, 0, "every orphan was adopted");
+    assert!(metrics.acks_sent > 0);
+}
+
+proptest! {
+    /// Random traces, random frame sizes, random drop points, both exact
+    /// engines: however the connection dies, the delivered histogram is
+    /// the offline one, bit for bit.
+    #[test]
+    fn random_disconnects_never_change_the_histogram(
+        trace in proptest::collection::vec(0u64..256, 0..800),
+        frame_refs in 4usize..64,
+        drops in proptest::collection::vec(1u64..60, 3),
+        threads in any::<bool>(),
+    ) {
+        let mut opts = SubmitOptions {
+            frame_refs,
+            retry: eager_retry(),
+            chaos_drop_points: drops,
+            ..SubmitOptions::default()
+        };
+        if threads {
+            opts.config.push(("engine".into(), "threads".into()));
+            opts.config.push(("ranks".into(), "3".into()));
+        }
+        let reply = submit(chaos_addr(), &trace, &opts).unwrap();
+        prop_assert_eq!(reply.histogram, offline(&trace));
+    }
+}
+
+#[test]
+fn every_frame_is_acked_at_cadence_one() {
+    let (addr, stop, join) = private_server(ServerConfig {
+        idle_timeout: Some(Duration::from_secs(10)),
+        orphan_retention: Duration::from_secs(30),
+        ack_every: 1,
+        ..ServerConfig::default()
+    });
+    let trace = zipfish(7, 3_000);
+    let opts = SubmitOptions {
+        frame_refs: 32,
+        retry: eager_retry(),
+        ..SubmitOptions::default()
+    };
+    let reply = submit(&addr, &trace, &opts).unwrap();
+    assert_eq!(reply.histogram, offline(&trace));
+    let frames = trace.chunks(32).len() as u64;
+    assert_eq!(reply.retry.acks_seen, frames, "one ACK per DATA frame");
+    assert_eq!(reply.retry.attempts, 1);
+    assert_eq!(reply.retry.resumes, 0);
+    assert_eq!(reply.retry.retransmitted_frames, 0);
+
+    stop.shutdown();
+    let metrics = join.join().unwrap();
+    assert_eq!(metrics.acks_sent, frames);
+    assert_eq!(metrics.sessions_orphaned, 0);
+}
+
+#[test]
+fn orphaned_session_holds_its_slot_until_retention_expires_it() {
+    let (addr, stop, join) = private_server(ServerConfig {
+        max_sessions: 1,
+        idle_timeout: Some(Duration::from_secs(10)),
+        orphan_retention: Duration::from_millis(500),
+        ..ServerConfig::default()
+    });
+
+    // Stream half a session, then vanish: the session is orphaned and
+    // keeps holding the only admission slot.
+    {
+        let mut s = TcpStream::connect(&addr).unwrap();
+        write_msg(&mut s, MsgKind::Hello, &hello_payload()).unwrap();
+        write_msg(&mut s, MsgKind::Config, b"reply=binary\nencoding=raw\n").unwrap();
+        let accept = read_msg(&mut s).unwrap();
+        assert_eq!(accept.kind, MsgKind::Accept);
+        write_msg(
+            &mut s,
+            MsgKind::Data,
+            &encode_data_frame(&[1, 2, 3, 1], Encoding::Raw),
+        )
+        .unwrap();
+        s.shutdown(std::net::Shutdown::Both).unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(100));
+
+    // While parked, the orphan's slot is real: admission refuses.
+    let refused = submit(&addr, &[1, 2], &SubmitOptions::default()).unwrap_err();
+    assert_eq!(refused.class(), "config", "admission refusal: {refused}");
+
+    // After the retention deadline the sweep expires it and the slot
+    // frees up again.
+    std::thread::sleep(Duration::from_millis(900));
+    let reply = submit(&addr, &[5, 6, 5, 6], &SubmitOptions::default()).unwrap();
+    assert_eq!(reply.histogram, offline(&[5, 6, 5, 6]));
+
+    stop.shutdown();
+    let metrics = join.join().unwrap();
+    assert_eq!(metrics.sessions_orphaned, 1);
+    assert_eq!(metrics.orphans_expired, 1);
+    assert_eq!(metrics.sessions_resumed, 0);
+    assert_eq!(
+        metrics.sessions_failed, 1,
+        "the expired orphan is the one failure"
+    );
+    assert_eq!(metrics.sessions_rejected, 1);
+    assert_eq!(metrics.sessions_completed, 1);
+}
+
+#[test]
+fn zero_budget_expires_orphans_immediately() {
+    let (addr, stop, join) = private_server(ServerConfig {
+        idle_timeout: Some(Duration::from_secs(10)),
+        orphan_retention: Duration::from_secs(30),
+        orphan_budget: 0,
+        ..ServerConfig::default()
+    });
+
+    let mut s = TcpStream::connect(&addr).unwrap();
+    write_msg(&mut s, MsgKind::Hello, &hello_payload()).unwrap();
+    write_msg(&mut s, MsgKind::Config, b"reply=binary\nencoding=raw\n").unwrap();
+    let accept = read_msg(&mut s).unwrap();
+    let token = AcceptPayload::from_bytes(&accept.payload).unwrap().token;
+    write_msg(
+        &mut s,
+        MsgKind::Data,
+        &encode_data_frame(&[9, 9, 9], Encoding::Raw),
+    )
+    .unwrap();
+    s.shutdown(std::net::Shutdown::Both).unwrap();
+    drop(s);
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The park was over budget, so the RESUME finds nothing.
+    let mut s = TcpStream::connect(&addr).unwrap();
+    write_msg(&mut s, MsgKind::Hello, &hello_payload()).unwrap();
+    write_msg(&mut s, MsgKind::Resume, &encode_resume(&token, 0)).unwrap();
+    let msg = read_msg(&mut s).unwrap();
+    assert_eq!(msg.kind, MsgKind::Error);
+    let err = ErrorFrame::from_payload(&msg.payload).unwrap();
+    assert_eq!(err.class, ErrorClass::Protocol);
+    assert!(
+        err.message.contains("unknown or expired"),
+        "{}",
+        err.message
+    );
+
+    stop.shutdown();
+    let metrics = join.join().unwrap();
+    assert_eq!(metrics.sessions_orphaned, 1);
+    assert_eq!(metrics.orphans_expired, 1);
+    assert_eq!(metrics.sessions_resumed, 0);
+}
+
+#[test]
+fn resume_with_an_unknown_token_is_a_typed_protocol_refusal() {
+    let mut s = TcpStream::connect(chaos_addr()).unwrap();
+    write_msg(&mut s, MsgKind::Hello, &hello_payload()).unwrap();
+    write_msg(&mut s, MsgKind::Resume, &encode_resume(&[0xAB; 16], 0)).unwrap();
+    let msg = read_msg(&mut s).unwrap();
+    assert_eq!(msg.kind, MsgKind::Error);
+    let err = ErrorFrame::from_payload(&msg.payload).unwrap();
+    assert_eq!(err.class, ErrorClass::Protocol);
+    assert!(
+        err.message.contains("unknown or expired"),
+        "{}",
+        err.message
+    );
+}
+
+#[test]
+fn manual_resume_retransmits_only_past_the_accepted_watermark() {
+    // Drive the wire protocol by hand to pin down RESUME semantics: the
+    // resume-ACCEPT watermark is authoritative, and the client owes
+    // exactly the frames past it.
+    let trace = zipfish(88, 1_000);
+    let frames: Vec<Vec<u8>> = trace
+        .chunks(100)
+        .map(|c| encode_data_frame(c, Encoding::Raw))
+        .collect();
+
+    let mut s = TcpStream::connect(chaos_addr()).unwrap();
+    write_msg(&mut s, MsgKind::Hello, &hello_payload()).unwrap();
+    write_msg(&mut s, MsgKind::Config, b"reply=binary\nencoding=raw\n").unwrap();
+    let accept = AcceptPayload::from_bytes(&read_msg(&mut s).unwrap().payload).unwrap();
+    assert_eq!(accept.watermark, 0);
+    for frame in &frames[..4] {
+        write_msg(&mut s, MsgKind::Data, frame).unwrap();
+    }
+    s.shutdown(std::net::Shutdown::Both).unwrap();
+    drop(s);
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut s = TcpStream::connect(chaos_addr()).unwrap();
+    write_msg(&mut s, MsgKind::Hello, &hello_payload()).unwrap();
+    write_msg(&mut s, MsgKind::Resume, &encode_resume(&accept.token, 0)).unwrap();
+    let resumed = AcceptPayload::from_bytes(&read_msg(&mut s).unwrap().payload).unwrap();
+    assert_eq!(resumed.session, accept.session, "same session, new socket");
+    assert_eq!(
+        resumed.watermark, 4,
+        "the server ingested all four frames before the drop"
+    );
+    for frame in &frames[resumed.watermark as usize..] {
+        write_msg(&mut s, MsgKind::Data, frame).unwrap();
+    }
+    write_msg(&mut s, MsgKind::Fin, &[]).unwrap();
+    // Skip interleaved ACKs (the chaos server ACKs every 3 frames).
+    let hist = loop {
+        let msg = read_msg(&mut s).unwrap();
+        match msg.kind {
+            MsgKind::Ack => continue,
+            MsgKind::Stats => {
+                assert_eq!(msg.payload[0], parda_server::proto::STATS_FORMAT_BINARY);
+                break parda_server::proto::decode_histogram_binary(&msg.payload[1..]).unwrap();
+            }
+            other => panic!("expected STATS, got {other:?}"),
+        }
+    };
+    assert_eq!(hist, offline(&trace));
+}
+
+#[test]
+fn fallback_poller_serves_sessions_and_stalls_idle_ones() {
+    // The portable bounded-sleep poller must behave identically: normal
+    // round trips, resumption, and stall-sweep timing all still work.
+    let (addr, stop, join) = private_server(ServerConfig {
+        fallback_poller: true,
+        idle_timeout: Some(Duration::from_millis(300)),
+        orphan_retention: Duration::from_secs(30),
+        ack_every: 2,
+        ..ServerConfig::default()
+    });
+
+    let trace = zipfish(19, 2_000);
+    let opts = SubmitOptions {
+        frame_refs: 50,
+        retry: eager_retry(),
+        chaos_drop_points: vec![7, 21],
+        ..SubmitOptions::default()
+    };
+    let reply = submit(&addr, &trace, &opts).unwrap();
+    assert_eq!(reply.histogram, offline(&trace));
+    assert_eq!(reply.retry.resumes, 2);
+
+    // An idle session still stalls out on the fallback poller's clock.
+    let mut s = TcpStream::connect(&addr).unwrap();
+    write_msg(&mut s, MsgKind::Hello, &hello_payload()).unwrap();
+    write_msg(&mut s, MsgKind::Config, b"reply=binary\nencoding=raw\n").unwrap();
+    let accept = read_msg(&mut s).unwrap();
+    assert_eq!(accept.kind, MsgKind::Accept);
+    let msg = read_msg(&mut s).unwrap();
+    assert_eq!(msg.kind, MsgKind::Error);
+    let err = ErrorFrame::from_payload(&msg.payload).unwrap();
+    assert_eq!(err.class, ErrorClass::Stall);
+
+    stop.shutdown();
+    let metrics = join.join().unwrap();
+    assert_eq!(metrics.sessions_completed, 1);
+    assert_eq!(metrics.sessions_resumed, 2);
+    assert_eq!(
+        metrics.sessions_resumed + metrics.orphans_expired,
+        metrics.sessions_orphaned
+    );
+}

@@ -4,8 +4,8 @@
 use parda_core::{Analysis, PardaError};
 use parda_hist::ReuseHistogram;
 use parda_server::proto::{
-    decode_histogram_binary, encode_data_frame, hello_payload, read_msg, write_msg, ErrorClass,
-    ErrorFrame, MsgKind, STATS_FORMAT_BINARY, STATS_FORMAT_JSON,
+    decode_histogram_binary, encode_data_frame, hello_payload, read_msg, write_msg, AcceptPayload,
+    ErrorClass, ErrorFrame, MsgKind, STATS_FORMAT_BINARY, STATS_FORMAT_JSON,
 };
 use parda_server::{submit, ReplyFormat, Server, ServerConfig, SubmitOptions};
 use parda_trace::io::Encoding;
@@ -96,7 +96,12 @@ fn write_segmented(stream: &mut TcpStream, bytes: &[u8], rng: &mut StdRng) {
 fn expect_accept(stream: &mut TcpStream) -> u64 {
     let msg = read_msg(stream).expect("read ACCEPT");
     assert_eq!(msg.kind, MsgKind::Accept, "payload: {:?}", msg.payload);
-    u64::from_le_bytes(msg.payload.as_slice().try_into().unwrap())
+    let accept = AcceptPayload::from_bytes(&msg.payload).expect("decode ACCEPT");
+    assert_eq!(
+        accept.watermark, 0,
+        "fresh session starts at watermark zero"
+    );
+    accept.session
 }
 
 fn expect_error(stream: &mut TcpStream) -> ErrorFrame {
