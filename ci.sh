@@ -112,6 +112,30 @@ sys.exit(1 if failed else 0)
 EOF
 rm -f "$server_out"
 
+step "shared-cache smoke (400k refs; concurrent analyzer must stay cachesim-exact and hold the floors)"
+shared_out=$(mktemp)
+cargo run -q --release -p parda-bench --bin shared_cache -- \
+    --refs 400000 --runs 1 --out "$shared_out" > /dev/null
+python3 - "$shared_out" BENCH_shared_floor.json <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+gate = json.load(open(sys.argv[2]))
+rows = {r["workload"]: r for r in report["results"]}
+failed = False
+for name, row in rows.items():
+    ok = row["cachesim_exact"]
+    print(f"  {name}: cachesim_exact={row['cachesim_exact']}"
+          f" {'ok' if ok else 'DIVERGED FROM LRU SIMULATION'}")
+    failed |= not ok
+for key, floor in gate["floors"].items():
+    rps = rows[key]["refs_per_sec"]
+    ok = rps >= floor
+    print(f"  {key}: {rps} refs/s (floor {floor}) {'ok' if ok else 'REGRESSED'}")
+    failed |= not ok
+sys.exit(1 if failed else 0)
+EOF
+rm -f "$shared_out"
+
 if [[ $quick -eq 0 ]]; then
     step "approx acceptance (10M-ref zipf, shards-smax:8192 within 2% MAE; release)"
     cargo test --release -q --test approx_accuracy -- --ignored
@@ -201,6 +225,30 @@ approx = doc["stats"]["approx"]
 assert approx["mode"] == "shards", approx
 assert approx["sketch_bytes"] > 0, approx
 '
+# Thread-aware shared-cache analysis: a tagged mt-kernel trace must get
+# the identical partition recommendation offline and through the daemon's
+# tagged-session verb, and --stats=json must carry the SharedMetrics block.
+"$parda_bin" gen --kernel mt-stencil --size 48 --threads 3 \
+    --out "$smoke_dir/mt.trc"
+"$parda_bin" partition "$smoke_dir/mt.trc" --capacity 2048 \
+    > "$smoke_dir/part_offline.txt"
+"$parda_bin" partition "$smoke_dir/mt.trc" --capacity 2048 --addr "$addr" \
+    > "$smoke_dir/part_served.txt"
+if ! diff -q "$smoke_dir/part_offline.txt" "$smoke_dir/part_served.txt" > /dev/null; then
+    echo "server smoke: served partition recommendation differs from offline" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+"$parda_bin" partition "$smoke_dir/mt.trc" --capacity 2048 --stats=json \
+    | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+shared = doc["stats"]["shared"]
+assert shared["threads"] == 3, shared
+assert shared["model"] == "as-recorded", shared
+assert sum(shared["allocation"]) <= shared["capacity"] == 2048, shared
+assert shared["predicted_misses"] > 0, shared
+'
 # Sixteen concurrent sessions: the sharded core must round-trip all of
 # them at once, each reply byte-identical to the offline analyze.
 submit_pids=()
@@ -228,7 +276,7 @@ if ! wait "$serve_pid"; then
     echo "server smoke: daemon did not drain cleanly on SIGTERM" >&2
     exit 1
 fi
-grep -q "sessions opened=19 rejected=0 failed=0 completed=19" "$smoke_dir/serve.out" || {
+grep -q "sessions opened=20 rejected=0 failed=0 completed=20" "$smoke_dir/serve.out" || {
     echo "server smoke: unexpected final metrics:" >&2
     cat "$smoke_dir/serve.out" >&2
     exit 1

@@ -2,15 +2,24 @@
 
 use crate::{Args, CliError};
 use parda_core::phased::Reduction;
-use parda_core::{Analysis, ApproxMode, Degradation, FaultPolicy, Mode, PardaError, Report};
-use parda_pinsim::collect_trace;
+use parda_core::{
+    analyze_concurrent_kind, default_granularity, interleave_threads, recommend_partition,
+    shared_metrics, Analysis, ApproxMode, Degradation, FaultPolicy, InterleaveModel, Mode,
+    PardaError, Report,
+};
+use parda_obs::SharedMetrics;
+use parda_pinsim::{collect_mt_trace, collect_trace};
 use parda_server::{Server, ServerConfig, SubmitOptions};
 use parda_trace::gen::{CyclicGen, SequentialGen, UniformGen, ZipfGen};
-use parda_trace::io::{load_trace, peek_version, save_trace, save_trace_v2, Encoding};
+use parda_trace::io::{
+    load_tagged_trace, load_trace, peek_version, save_tagged_trace_v2, save_trace, save_trace_v2,
+    Encoding,
+};
 use parda_trace::spec::{SpecBenchmark, SPEC2006};
 use parda_trace::stream::FramedStream;
-use parda_trace::{load_trace_recovering, verify_trace, AddressStream, Trace};
+use parda_trace::{load_trace_recovering, verify_trace, Addr, AddressStream, Trace};
 use parda_tree::TreeKind;
+use serde::Deserialize;
 use std::io::Write;
 use std::time::{Duration, Instant};
 
@@ -26,6 +35,7 @@ pub const SWITCHES: &[&str] = &[
     "mrc",
     "approx",
     "fallback-poller",
+    "false-sharing",
 ];
 
 /// Top-level usage text.
@@ -37,6 +47,10 @@ commands:
              --spec <name> --refs <n> [--seed <s>]      SPEC CPU2006 model
              --pattern <cyclic|uniform|zipf|sequential> --footprint <m> --refs <n>
              --kernel <matmul|matmul-blocked|stencil|chase|join|triad|mergesort> --size <n>
+             --kernel <mt-stencil|mt-matmul> --size <n> [--threads <t>]
+             [--iters <i>] [--false-sharing]
+             (multi-threaded kernels write thread-tagged v2.2 traces;
+              --false-sharing packs per-thread counters on one line)
              --out <file> [--encoding <raw|delta>] [--format <v1|v2>]
              (v2 is the default: block-framed with a seekable index)
   analyze  analyze a trace file
@@ -106,6 +120,27 @@ commands:
              [--timeout <secs>] (connect + socket I/O deadlines; a hung
                           daemon exits with a stall, not a hang;
                           default 30, 0 = wait forever)
+  partition  recommend a static shared-cache partition (UCP/Soft-OLP)
+             <tagged.trc>            one thread-tagged v2.2 trace,
+                          analyzed in recorded order; --model instead
+                          re-interleaves its per-thread streams
+             <t0.trc> <t1.trc> ...   one plain trace per thread, merged
+                          under --model (default rr:1)
+             --capacity <lines>       shared-cache capacity to split
+             [--granularity <lines>]  (default capacity/64, min 1)
+             [--model <rr[:burst]|prob[:w,..][@seed]>]
+             [--tree <splay|avl|treap|vector>]
+             [--addr <host:port>]  (run the analysis on a daemon via a
+                          thread-tagged session; the daemon analyzes the
+                          stream as received — model `as-recorded` — and
+                          returns the same recommendation as offline)
+             [--stats[=json]]  (JSON: one document with the shared-stream
+                          histogram and a stats report carrying the
+                          SharedMetrics block, identical in shape offline
+                          and served; pretty is offline-only)
+             [--json]  (shared-stream histogram only)
+             [--frame-refs <n>] [--retries <n>] [--backoff <ms>]
+             [--timeout <secs>]  (server path; same semantics as submit)
   help     show this message
 
 exit codes: 0 ok, 1 usage, 2 corrupt trace, 3 i/o failure,
@@ -169,6 +204,42 @@ pub fn gen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         }
     } else if let Some(kernel) = args.get("kernel") {
         let size: usize = args.get_parsed("size", 64)?;
+        // Multi-threaded kernels produce thread-tagged streams and take a
+        // v2.2 early exit: there is no v1 layout for thread tags.
+        if kernel.starts_with("mt-") {
+            let threads: usize = args.get_parsed("threads", 4)?;
+            if threads == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            let false_sharing = args.has("false-sharing");
+            let mt = match kernel {
+                "mt-stencil" => {
+                    let iters: usize = args.get_parsed("iters", 4)?;
+                    collect_mt_trace(parda_pinsim::MtStencil2D::new(
+                        size,
+                        iters,
+                        threads,
+                        false_sharing,
+                    ))
+                }
+                "mt-matmul" => {
+                    collect_mt_trace(parda_pinsim::MtMatMul::new(size, threads, false_sharing))
+                }
+                other => return Err(format!("unknown kernel `{other}`").into()),
+            };
+            if args.get("format").is_some_and(|f| f != "v2") {
+                return Err("thread-tagged kernels write format v2.2; drop --format".into());
+            }
+            save_tagged_trace_v2(&path, &mt.interleaved, encoding).map_err(io_err)?;
+            writeln!(
+                out,
+                "wrote {} references from {} threads to {path} (v2.2 tagged)",
+                mt.interleaved.len(),
+                mt.per_thread.len()
+            )
+            .map_err(io_err)?;
+            return Ok(());
+        }
         match kernel {
             "matmul" => collect_trace(parda_pinsim::MatMul::naive(size)),
             "matmul-blocked" => {
@@ -260,8 +331,13 @@ pub fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         let report = verify_trace(path).map_err(PardaError::from)?;
         writeln!(
             out,
-            "ok: version={}.{} frames={} refs={} checksummed={}",
-            report.version, report.minor, report.frames, report.refs, report.checksummed
+            "ok: version={}.{} frames={} refs={} checksummed={} tagged={}",
+            report.version,
+            report.minor,
+            report.frames,
+            report.refs,
+            report.checksummed,
+            report.tagged
         )
         .map_err(io_err)?;
         return Ok(());
@@ -704,6 +780,218 @@ pub fn submit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         )
         .map_err(io_err)?;
         write!(out, "{}", hist.to_binned().render()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Render the shared-cache summary and partition table from a
+/// [`SharedMetrics`] block — the one rendering both the offline analysis
+/// and the parsed server reply flow through, so the two paths print
+/// identically when the recommendations agree.
+fn render_partition(m: &SharedMetrics, out: &mut dyn Write) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "threads={} model={} shared_addrs={} sharing_ratio={:.4}",
+        m.threads, m.model, m.shared_addrs, m.sharing_ratio
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "partition: capacity={} granularity={} predicted_misses={}",
+        m.capacity, m.granularity, m.predicted_misses
+    )
+    .map_err(io_err)?;
+    writeln!(out, "{:>8} {:>12} {:>8}", "thread", "refs", "alloc").map_err(io_err)?;
+    for i in 0..m.threads {
+        writeln!(
+            out,
+            "{:>8} {:>12} {:>8}",
+            i,
+            m.per_thread_refs.get(i).copied().unwrap_or(0),
+            m.allocation.get(i).copied().unwrap_or(0)
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// A probabilistic model with explicit weights needs one weight per thread
+/// — caught here so the interleaver's assertion never fires on user input.
+fn check_model_arity(model: &InterleaveModel, threads: usize) -> Result<(), CliError> {
+    if let InterleaveModel::Probabilistic { weights, .. } = model {
+        if !weights.is_empty() && weights.len() != threads {
+            return Err(format!(
+                "--model prob has {} weights for {threads} threads",
+                weights.len()
+            )
+            .into());
+        }
+    }
+    Ok(())
+}
+
+/// `parda partition`: analyze a thread-tagged shared reference stream and
+/// recommend a static cache partition, offline or on a daemon.
+pub fn partition(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut paths = Vec::new();
+    while let Some(p) = args.positional(paths.len()) {
+        paths.push(p.to_string());
+    }
+    if paths.is_empty() {
+        return Err(
+            "missing required argument: trace file(s) — one thread-tagged trace, \
+             or one plain trace per thread"
+                .into(),
+        );
+    }
+
+    let capacity: u64 = args
+        .get_optional("capacity")?
+        .ok_or("missing --capacity <lines>")?;
+    if capacity == 0 {
+        return Err("--capacity must be at least 1 line".into());
+    }
+    let granularity: u64 = args.get_parsed("granularity", default_granularity(capacity))?;
+    if granularity == 0 || granularity > capacity {
+        return Err(
+            format!("--granularity must be between 1 and the capacity ({capacity})").into(),
+        );
+    }
+    let model: Option<InterleaveModel> = args.get_optional("model")?;
+    let tree = parse_tree(args)?;
+    let stats_fmt = stats_format(args)?;
+
+    // Build the thread-tagged shared stream: either a recorded v2.2
+    // interleaving, or per-thread plain traces merged under the model.
+    let started = Instant::now();
+    let (trace, label) = if paths.len() == 1 {
+        let tagged = load_tagged_trace(&paths[0]).map_err(|e| {
+            if e.to_string().contains("not thread-tagged") {
+                CliError::Usage(format!(
+                    "`{}` is not thread-tagged: pass one v2.2 tagged trace \
+                     (gen --kernel mt-…) or one plain trace per thread",
+                    paths[0]
+                ))
+            } else {
+                CliError::Fault(PardaError::from(e))
+            }
+        })?;
+        match &model {
+            None => (tagged, "as-recorded".to_string()),
+            Some(m) => {
+                check_model_arity(m, tagged.thread_ids().len())?;
+                let per_thread = tagged.per_thread();
+                let slices: Vec<&[Addr]> = per_thread.iter().map(|(_, t)| t.as_slice()).collect();
+                (interleave_threads(&slices, m), m.to_string())
+            }
+        }
+    } else {
+        let m = model.clone().unwrap_or_else(InterleaveModel::round_robin);
+        check_model_arity(&m, paths.len())?;
+        let mut loaded = Vec::with_capacity(paths.len());
+        for p in &paths {
+            loaded.push(load_trace(p).map_err(io_err)?);
+        }
+        let slices: Vec<&[Addr]> = loaded.iter().map(|t| t.as_slice()).collect();
+        (interleave_threads(&slices, &m), m.to_string())
+    };
+
+    let threads = trace.thread_ids().len();
+    if threads == 0 {
+        return Err("partition needs at least one reference".into());
+    }
+    if capacity < granularity * threads as u64 {
+        return Err(format!(
+            "partition capacity {capacity} cannot give {threads} threads \
+             {granularity} lines each"
+        )
+        .into());
+    }
+
+    // Server path: the stream rides a thread-tagged session and the daemon
+    // runs the same concurrent analyzer; the printed recommendation comes
+    // from its reply, not a local re-analysis.
+    if let Some(addr) = args.get("addr") {
+        if matches!(stats_fmt, StatsFormat::Pretty) {
+            return Err("partition --addr supports --stats=json only (the stats \
+                        document arrives pre-rendered from the server)"
+                .into());
+        }
+        let mut opts = SubmitOptions {
+            reply: parda_server::ReplyFormat::Json,
+            ..SubmitOptions::default()
+        };
+        opts.config
+            .push(("partition".to_string(), format!("{capacity}/{granularity}")));
+        opts.config.push(("tree".to_string(), tree.name().into()));
+        opts.frame_refs = args.get_parsed("frame-refs", opts.frame_refs)?;
+        let retries: u32 = args.get_parsed("retries", 1)?;
+        if retries == 0 {
+            return Err("--retries must be at least 1".into());
+        }
+        opts.retry = parda_server::RetryPolicy::with_attempts(retries);
+        let backoff_ms: u64 = args.get_parsed("backoff", 50)?;
+        opts.retry.backoff = Duration::from_millis(backoff_ms);
+        let timeout_secs: u64 = args.get_parsed("timeout", 30)?;
+        let deadline = (timeout_secs > 0).then(|| Duration::from_secs(timeout_secs));
+        opts.retry.connect_timeout = deadline;
+        opts.retry.io_timeout = deadline;
+
+        let reply = parda_server::submit_tagged(addr, &trace, &opts)?;
+        let doc = reply
+            .stats_json
+            .ok_or_else(|| CliError::Fault(PardaError::Corrupt("server sent no stats".into())))?;
+        if matches!(stats_fmt, StatsFormat::Json) {
+            writeln!(out, "{doc}").map_err(io_err)?;
+            return Ok(());
+        }
+        if args.has("json") {
+            let json = serde_json::to_string(&reply.histogram).map_err(io_err)?;
+            writeln!(out, "{json}").map_err(io_err)?;
+            return Ok(());
+        }
+        let parsed: serde_json::Value = serde_json::from_str(doc.trim()).map_err(io_err)?;
+        let shared = parsed
+            .field("stats")
+            .and_then(|s| s.field("shared"))
+            .map_err(io_err)?;
+        let metrics = SharedMetrics::from_value(shared).map_err(io_err)?;
+        return render_partition(&metrics, out);
+    }
+
+    let analysis = analyze_concurrent_kind(&trace, tree);
+    let plan = recommend_partition(&analysis.per_thread_solo, capacity, granularity);
+    let metrics = shared_metrics(&analysis, &label, Some(&plan));
+
+    if matches!(stats_fmt, StatsFormat::Json) {
+        let report = Report {
+            mode: "concurrent".to_string(),
+            tree: tree.name().to_string(),
+            ranks: 1,
+            trace_refs: trace.len() as u64,
+            total_ns: started.elapsed().as_nanos() as u64,
+            shared: Some(metrics),
+            ..Report::default()
+        };
+        return write_stats_json(&analysis.shared, &report, out);
+    }
+    if args.has("json") {
+        let json = serde_json::to_string(&analysis.shared).map_err(io_err)?;
+        writeln!(out, "{json}").map_err(io_err)?;
+        return Ok(());
+    }
+    render_partition(&metrics, out)?;
+    if matches!(stats_fmt, StatsFormat::Pretty) {
+        let report = Report {
+            mode: "concurrent".to_string(),
+            tree: tree.name().to_string(),
+            ranks: 1,
+            trace_refs: trace.len() as u64,
+            total_ns: started.elapsed().as_nanos() as u64,
+            shared: Some(metrics),
+            ..Report::default()
+        };
+        write!(out, "{}", report.render_pretty()).map_err(io_err)?;
     }
     Ok(())
 }

@@ -11,7 +11,9 @@
 //! * `parda spec` — print the paper's Table IV benchmark parameters;
 //! * `parda compare` — run every engine, verify agreement, report timings;
 //! * `parda serve` — run the analysis daemon (std TCP, graceful drain);
-//! * `parda submit` — stream a trace to a daemon, print the reply.
+//! * `parda submit` — stream a trace to a daemon, print the reply;
+//! * `parda partition` — thread-aware shared-cache analysis and a static
+//!   partition recommendation, offline or on a daemon.
 //!
 //! Argument parsing is hand-rolled ([`Args`]) to keep the dependency
 //! surface at the workspace's approved set.
@@ -132,6 +134,7 @@ fn run_inner(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliErr
         "compare" => commands::compare(&args, out),
         "serve" => commands::serve(&args, out),
         "submit" => commands::submit(&args, out),
+        "partition" => commands::partition(&args, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", commands::USAGE).map_err(|e| CliError::Usage(e.to_string()))
         }
@@ -626,6 +629,167 @@ mod tests {
         assert_eq!(code, 3, "{out}");
         assert!(out.contains("[io]"), "{out}");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn partition_offline_matches_server_and_round_trips_mt_kernels() {
+        use parda_server::{Server, ServerConfig};
+        use serde_json::Value;
+
+        let dir = std::env::temp_dir().join("parda-cli-partition-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mt.trc");
+        let p = path.to_str().unwrap();
+
+        // gen writes a thread-tagged v2.2 trace for mt- kernels…
+        let (code, out) = run_to_string(&[
+            "gen",
+            "--kernel",
+            "mt-matmul",
+            "--size",
+            "12",
+            "--threads",
+            "3",
+            "--out",
+            p,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("3 threads"), "{out}");
+        assert!(out.contains("v2.2 tagged"), "{out}");
+
+        // …that --verify identifies as tagged.
+        let (code, out) = run_to_string(&["analyze", p, "--verify"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("version=2.2"), "{out}");
+        assert!(out.contains("tagged=true"), "{out}");
+
+        // Offline partition renders the recommendation table.
+        let (code, offline) = run_to_string(&["partition", p, "--capacity", "512"]);
+        assert_eq!(code, 0, "{offline}");
+        assert!(offline.contains("threads=3"), "{offline}");
+        assert!(offline.contains("model=as-recorded"), "{offline}");
+        assert!(offline.contains("capacity=512 granularity=8"), "{offline}");
+
+        // Acceptance criterion: the server verb returns the identical
+        // recommendation — the default renderings match byte for byte.
+        let server = Server::bind(ServerConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let stop = server.shutdown_handle();
+        let daemon = std::thread::spawn(move || server.run().unwrap());
+
+        let (code, served) = run_to_string(&["partition", p, "--capacity", "512", "--addr", &addr]);
+        assert_eq!(code, 0, "{served}");
+        assert_eq!(served, offline, "server partition must equal offline");
+
+        // --stats=json carries SharedMetrics in both paths, and the
+        // recommendation fields agree.
+        let (code, off_doc) = run_to_string(&["partition", p, "--capacity=512", "--stats=json"]);
+        assert_eq!(code, 0, "{off_doc}");
+        let (code, srv_doc) = run_to_string(&[
+            "partition",
+            p,
+            "--capacity=512",
+            "--stats=json",
+            "--addr",
+            &addr,
+        ]);
+        assert_eq!(code, 0, "{srv_doc}");
+        let off: Value = serde_json::from_str(off_doc.trim()).unwrap();
+        let srv: Value = serde_json::from_str(srv_doc.trim()).unwrap();
+        assert_eq!(
+            off.field("histogram").unwrap(),
+            srv.field("histogram").unwrap()
+        );
+        let off_shared = off.field("stats").unwrap().field("shared").unwrap();
+        let srv_shared = srv.field("stats").unwrap().field("shared").unwrap();
+        for key in ["capacity", "granularity", "allocation", "predicted_misses"] {
+            assert_eq!(
+                off_shared.field(key).unwrap(),
+                srv_shared.field(key).unwrap(),
+                "recommendation field {key} must agree offline vs server"
+            );
+        }
+        assert_eq!(
+            off_shared.field("model").unwrap(),
+            &Value::Str("as-recorded".into())
+        );
+
+        stop.shutdown();
+        daemon.join().unwrap();
+
+        // A capacity too small for one granule per thread is refused.
+        let (code, out) =
+            run_to_string(&["partition", p, "--capacity", "512", "--granularity", "256"]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("cannot give"), "{out}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn partition_merges_plain_traces_under_a_model() {
+        let dir = std::env::temp_dir().join("parda-cli-partition-plain");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p0 = dir.join("t0.trc");
+        let p1 = dir.join("t1.trc");
+        for (path, footprint) in [(&p0, "64"), (&p1, "700")] {
+            let (code, _) = run_to_string(&[
+                "gen",
+                "--pattern",
+                "zipf",
+                "--footprint",
+                footprint,
+                "--refs",
+                "8000",
+                "--out",
+                path.to_str().unwrap(),
+            ]);
+            assert_eq!(code, 0);
+        }
+        let s0 = p0.to_str().unwrap();
+        let s1 = p1.to_str().unwrap();
+
+        // Default model is lockstep round-robin.
+        let (code, out) = run_to_string(&["partition", s0, s1, "--capacity", "1024"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("threads=2"), "{out}");
+        assert!(out.contains("model=rr:1"), "{out}");
+
+        // A probabilistic model is accepted, and a wrong weight count is not.
+        let (code, out) = run_to_string(&[
+            "partition",
+            s0,
+            s1,
+            "--capacity",
+            "1024",
+            "--model",
+            "prob:3,1@7",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("model=prob:3,1@7"), "{out}");
+        let (code, out) = run_to_string(&[
+            "partition",
+            s0,
+            s1,
+            "--capacity",
+            "1024",
+            "--model",
+            "prob:1,2,3",
+        ]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("weights"), "{out}");
+
+        // A single plain trace has no thread information.
+        let (code, out) = run_to_string(&["partition", s0, "--capacity", "1024"]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("not thread-tagged"), "{out}");
+
+        // --capacity is mandatory.
+        let (code, out) = run_to_string(&["partition", s0, s1]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("--capacity"), "{out}");
+
+        std::fs::remove_file(&p0).unwrap();
+        std::fs::remove_file(&p1).unwrap();
     }
 
     #[test]

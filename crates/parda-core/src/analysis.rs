@@ -349,6 +349,7 @@ impl Analysis {
             phased: Some(phased),
             recovery: None,
             approx: None,
+            shared: None,
         };
         (hist, Some(report))
     }
@@ -398,6 +399,7 @@ impl Analysis {
             phased: None,
             recovery: None,
             approx: Some(sketch.metrics()),
+            shared: None,
         };
         (hist, Some(report))
     }
@@ -536,9 +538,21 @@ impl Analysis {
             }
             Mode::Sampled { rate_log2 } => {
                 let sw = Stopwatch::start();
-                #[allow(deprecated)] // legacy mode keeps its bit-exact shim path
-                let hist =
-                    crate::sampled::analyze_sampled::<T>(trace, SampleRate::one_in_pow2(rate_log2));
+                // Historical pow-2 spatial sampling, kept bit-exact: filter
+                // to monitored addresses, scale distances and counts by the
+                // inverse rate, no SHARDS-adj correction.
+                let rate = SampleRate::one_in_pow2(rate_log2);
+                let scale = rate.inverse();
+                let monitored: Vec<Addr> = trace
+                    .iter()
+                    .copied()
+                    .filter(|&a| rate.monitors(a))
+                    .collect();
+                let mut hist = ReuseHistogram::new();
+                crate::seq::analyze_with::<T, _>(&monitored, |_, _, distance| match distance {
+                    parda_hist::Distance::Finite(d) => hist.record_finite_n(d * scale, scale),
+                    parda_hist::Distance::Infinite => hist.record_infinite_n(scale),
+                });
                 let rm = untimed_rank_metrics(trace.len() as u64, &hist, sw.ns());
                 (hist, vec![rm], None)
             }
@@ -570,6 +584,7 @@ impl Analysis {
             phased,
             recovery: None,
             approx: None,
+            shared: None,
         };
         (hist, Some(report))
     }

@@ -15,6 +15,7 @@
 //! | §VII object-level applications | [`object::analyze_by_region`] |
 //! | §VII sampling combination | [`approx`] (SHARDS/AET sketches; legacy shim in [`sampled`]) |
 //! | §I cache sharing & partitioning | [`shared::analyze_corun`], [`shared::optimal_partition`] |
+//! | §I thread-aware shared-cache analysis | [`concurrent::analyze_concurrent`], [`concurrent::recommend_partition`] |
 //! | §VII phase detection | [`window::detect_phases`] |
 //!
 //! # Quick start
@@ -48,6 +49,7 @@
 
 pub mod analysis;
 pub mod approx;
+pub mod concurrent;
 pub mod engine;
 pub mod error;
 pub mod object;
@@ -61,6 +63,10 @@ pub mod window;
 
 pub use analysis::{Analysis, Mode};
 pub use approx::{analyze_approx, ApproxMode, ApproxSketch, SampleRate};
+pub use concurrent::{
+    analyze_concurrent, analyze_concurrent_kind, default_granularity, interleave_threads,
+    recommend_partition, shared_metrics, ConcurrentAnalysis, InterleaveModel, PartitionPlan,
+};
 pub use engine::{Engine, MissSink};
 pub use error::{FaultPolicy, PardaError};
 pub use parallel::{parda_threads_faulted, PardaConfig};

@@ -276,6 +276,7 @@ impl SessionAnalysis {
                     phased: None,
                     recovery: None,
                     approx: None,
+                    shared: None,
                 };
                 Ok((hist, Some(report)))
             }

@@ -57,6 +57,14 @@ pub fn interleave(traces: &[&[Addr]], weights: &[usize]) -> Vec<Addr> {
 
 #[inline]
 fn tag(addr: Addr, program: usize) -> Addr {
+    // Addresses carrying a non-zero top byte would collide after masking:
+    // two distinct input addresses could map to the same tagged address and
+    // silently deflate reuse distances. Real (≤ 56-bit virtual) addresses
+    // never hit this; catch synthetic ones in debug builds.
+    debug_assert!(
+        addr >> 56 == 0,
+        "address {addr:#x} uses the tag byte; interleave requires < 2^56"
+    );
     (addr & 0x00ff_ffff_ffff_ffff) | ((program as u64 + 1) << 56)
 }
 
@@ -154,6 +162,26 @@ mod tests {
         assert_eq!(untagged, vec![1, 2, 10, 3, 4, 20]);
         // Tags place the streams in distinct address spaces.
         assert_ne!(mixed[0] >> 56, mixed[2] >> 56);
+    }
+
+    #[test]
+    fn tagging_preserves_distinctness_within_56_bits() {
+        // Regression: identical low bits under different programs must stay
+        // distinct, and distinct addresses of one program must never merge.
+        let a = [0x00ff_ffff_ffff_fff0u64, 0x0000_0000_0000_fff0];
+        let b = [0x00ff_ffff_ffff_fff0u64];
+        let mixed = interleave(&[&a, &b], &[1, 1]);
+        let distinct: std::collections::HashSet<u64> = mixed.iter().copied().collect();
+        assert_eq!(distinct.len(), 3, "no tag-byte collisions: {mixed:#x?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "uses the tag byte")]
+    #[cfg(debug_assertions)]
+    fn tagging_rejects_top_byte_addresses_in_debug() {
+        let a = [0x0100_0000_0000_0000u64];
+        let b = [1u64];
+        interleave(&[&a, &b], &[1, 1]);
     }
 
     #[test]

@@ -129,6 +129,69 @@ mod tests {
         );
     }
 
+    proptest::proptest! {
+        /// A planted gross phase change is reported within one window of
+        /// its true position, whatever the window size and phase lengths.
+        #[test]
+        fn planted_transition_lands_within_one_window(
+            phase1_windows in 4usize..10,
+            phase2_windows in 4usize..10,
+            window in proptest::prop_oneof![
+                proptest::Just(250usize),
+                proptest::Just(500),
+                proptest::Just(1000),
+            ],
+        ) {
+            let cut = phase1_windows * window;
+            let mut trace: Vec<Addr> = (0..cut).map(|i| (i % 8) as Addr).collect();
+            trace.extend((0..phase2_windows * window).map(|i| 1000 + (i % 2048) as Addr));
+            let analysis = windowed_histograms::<SplayTree>(&trace, window);
+            let boundaries = detect_phases(&analysis, 0.5);
+            proptest::prop_assert!(
+                boundaries.iter().any(|&b| b.abs_diff(cut) <= window),
+                "no boundary within one window of {cut}: {boundaries:?}"
+            );
+        }
+
+        /// Stationary workloads never produce boundaries past the cold-miss
+        /// warmup window, at any threshold.
+        #[test]
+        fn stationary_trace_is_boundary_free_after_warmup(
+            period in 2usize..100,
+            windows in 3usize..12,
+            threshold in proptest::prop_oneof![
+                proptest::Just(0.3f64),
+                proptest::Just(0.5),
+                proptest::Just(0.9),
+            ],
+        ) {
+            let window = 1000usize;
+            let trace: Vec<Addr> = (0..windows * window).map(|i| (i % period) as Addr).collect();
+            let analysis = windowed_histograms::<SplayTree>(&trace, window);
+            let boundaries = detect_phases(&analysis, threshold);
+            proptest::prop_assert!(
+                boundaries.iter().all(|&b| b <= window),
+                "boundaries past warmup on a stationary trace: {boundaries:?}"
+            );
+        }
+
+        /// Raising the threshold can only remove boundaries: for any trace,
+        /// detect_phases at a higher threshold yields a subset.
+        #[test]
+        fn boundaries_are_monotone_in_threshold(
+            trace in proptest::collection::vec(0u64..400, 100..2000),
+            window in 32usize..256,
+        ) {
+            let analysis = windowed_histograms::<SplayTree>(&trace, window);
+            let loose = detect_phases(&analysis, 0.2);
+            let strict = detect_phases(&analysis, 0.7);
+            proptest::prop_assert!(
+                strict.iter().all(|b| loose.contains(b)),
+                "strict {strict:?} not a subset of loose {loose:?}"
+            );
+        }
+    }
+
     #[test]
     fn phase_transition_is_detected_at_the_right_place() {
         // Phase 1: tight loop over 8 addresses (distances ≤ 7).

@@ -25,7 +25,7 @@
 //! [`span`] emit enter/exit lines with durations to stderr; without it a
 //! span is a zero-sized no-op.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -299,6 +299,33 @@ pub struct ApproxMetrics {
     /// A-priori mean-absolute-error envelope for the miss-ratio curve,
     /// `~1/sqrt(sampled_addrs)` per the MRC survey; 0 when exact.
     pub expected_mae: f64,
+}
+
+/// Summary of one thread-aware shared-cache analysis: how the threads
+/// shared the address space, under which interleave model the shared
+/// stream was built, and the recommended static partition. Attached to
+/// [`Report::shared`] and serialized by `--stats=json` for the `partition`
+/// verb (offline and server).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SharedMetrics {
+    /// Threads analyzed.
+    pub threads: usize,
+    /// References issued per thread, in sorted-TID order.
+    pub per_thread_refs: Vec<u64>,
+    /// Distinct addresses touched by two or more threads.
+    pub shared_addrs: u64,
+    /// Fraction of distinct addresses touched by more than one thread.
+    pub sharing_ratio: f64,
+    /// Interleave model label (`rr:1`, `prob:3,1@42`, or `as-recorded`).
+    pub model: String,
+    /// Shared-cache capacity partitioned (lines).
+    pub capacity: u64,
+    /// Partition granularity (lines).
+    pub granularity: u64,
+    /// Recommended allocation per thread, in sorted-TID order.
+    pub allocation: Vec<u64>,
+    /// Total predicted misses under the recommended partition.
+    pub predicted_misses: u64,
 }
 
 /// Fixed-bucket (powers of two, nanoseconds) latency histogram: constant
@@ -684,6 +711,9 @@ pub struct Report {
     /// Sampling configuration and realized accuracy/memory, when the run
     /// used an approximate (sketch) engine. `None` for exact runs.
     pub approx: Option<ApproxMetrics>,
+    /// Thread-aware shared-cache summary and partition recommendation,
+    /// when the run analyzed a thread-tagged trace. `None` otherwise.
+    pub shared: Option<SharedMetrics>,
 }
 
 impl Report {
@@ -775,6 +805,21 @@ impl Report {
                 a.evictions,
                 a.sketch_bytes,
                 a.expected_mae,
+            ));
+        }
+        if let Some(s) = &self.shared {
+            let alloc: Vec<String> = s.allocation.iter().map(|a| a.to_string()).collect();
+            out.push_str(&format!(
+                "shared: threads={} model={} shared_addrs={} sharing_ratio={:.4} \
+                 capacity={} granularity={} alloc=[{}] predicted_misses={}\n",
+                s.threads,
+                s.model,
+                s.shared_addrs,
+                s.sharing_ratio,
+                s.capacity,
+                s.granularity,
+                alloc.join(","),
+                s.predicted_misses,
             ));
         }
         if let Some(r) = &self.recovery {
@@ -956,6 +1001,7 @@ mod tests {
             phased: None,
             recovery: None,
             approx: None,
+            shared: None,
         };
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("\"mode\":\"parda-threads\""), "{json}");
@@ -1181,6 +1227,33 @@ mod tests {
         let line = snap.render_pretty(1.0);
         assert!(line.contains("approx_sessions=1"), "{line}");
         assert!(line.contains("sketch_hwm=1024"), "{line}");
+    }
+
+    #[test]
+    fn shared_metrics_serialize_and_render() {
+        let report = Report {
+            mode: "concurrent".into(),
+            shared: Some(SharedMetrics {
+                threads: 2,
+                per_thread_refs: vec![600, 400],
+                shared_addrs: 64,
+                sharing_ratio: 0.25,
+                model: "rr:1".into(),
+                capacity: 1024,
+                granularity: 64,
+                allocation: vec![256, 768],
+                predicted_misses: 900,
+            }),
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"shared\":{"), "{json}");
+        assert!(json.contains("\"allocation\":[256,768]"), "{json}");
+        assert!(json.contains("\"model\":\"rr:1\""), "{json}");
+        let text = report.render_pretty();
+        assert!(text.contains("shared: threads=2 model=rr:1"), "{text}");
+        assert!(text.contains("alloc=[256,768]"), "{text}");
+        assert!(text.contains("predicted_misses=900"), "{text}");
     }
 
     #[test]

@@ -16,8 +16,13 @@
 //!   into a bounded [`parda_comm::pipe()`], returning the reader end exactly
 //!   like the paper's pipe between Pin and MPI rank 0.
 
+pub mod mt;
 pub mod programs;
 
+pub use mt::{
+    collect_mt_trace, collect_tagged, MtMatMul, MtProgram, MtSink, MtStencil2D, MtTrace, MtVecSink,
+    TaggedSink,
+};
 pub use programs::{
     BfsTraversal, Fft, HashJoin, MatMul, MergeSortScan, PointerChase, Stencil2D, StreamTriad,
     SyntheticProgram,

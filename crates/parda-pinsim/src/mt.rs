@@ -1,0 +1,426 @@
+//! Multi-threaded synthetic kernels.
+//!
+//! The single-threaded zoo in [`crate::programs`] models one instrumented
+//! process; these kernels model a *parallel* program hammering a shared
+//! cache: every reference is emitted with the thread that issued it, in the
+//! exact global interleaving the (deterministic, lockstep) execution
+//! produces. Threads share one address space — the same address showing up
+//! under two thread IDs is true sharing, exactly what the concurrent
+//! analysis in `parda_core::concurrent` needs to see.
+//!
+//! Two kernels, each with a sharing knob:
+//!
+//! * [`MtStencil2D`] — row-banded 5-point Jacobi. Band-boundary halo rows
+//!   are read by both neighbouring threads (true sharing).
+//! * [`MtMatMul`] — `C = A·B` with the rows of `C` banded across threads;
+//!   every thread streams the whole of `B` (true sharing).
+//!
+//! Both kernels also bump a per-thread progress counter. With
+//! `false_sharing = true` the counters are *adjacent words*, so a
+//! line-granular analysis (e.g. `parda-trace`'s cache-line transform) sees
+//! the classic false-sharing pattern of independent data on one line; with
+//! `false_sharing = false` they are padded a line apart.
+
+use crate::programs::SyntheticProgram;
+use crate::TraceSink;
+use parda_trace::{Addr, ThreadedTrace, Tid, Trace};
+
+/// Word size in bytes for generated addresses.
+const WORD: Addr = 8;
+
+/// Regions match the single-threaded zoo's layout; the counters get their
+/// own region so they never alias kernel data.
+const REGION_A: Addr = 0x1000_0000;
+const REGION_B: Addr = 0x2000_0000;
+const REGION_C: Addr = 0x3000_0000;
+const REGION_COUNTERS: Addr = 0x4000_0000;
+
+/// Padding between per-thread counters when `false_sharing` is off: one
+/// 64-byte cache line of words.
+const COUNTER_PAD_WORDS: Addr = 8;
+
+/// Receiver of a multi-threaded program's memory references: one call per
+/// reference, in global interleaved order, tagged with the issuing thread.
+pub trait MtSink {
+    /// Called once per data memory reference, in interleaved order.
+    fn emit(&mut self, tid: Tid, addr: Addr);
+}
+
+/// Collects tagged references into a [`ThreadedTrace`].
+#[derive(Default)]
+pub struct MtVecSink {
+    trace: ThreadedTrace,
+}
+
+impl MtVecSink {
+    /// Create an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume into the collected [`ThreadedTrace`].
+    pub fn into_trace(self) -> ThreadedTrace {
+        self.trace
+    }
+}
+
+impl MtSink for MtVecSink {
+    fn emit(&mut self, tid: Tid, addr: Addr) {
+        self.trace.push(tid, addr);
+    }
+}
+
+/// A deterministic multi-threaded program: emits every thread's references
+/// in a fixed lockstep interleaving.
+pub trait MtProgram {
+    /// Human-readable kernel name.
+    fn name(&self) -> &'static str;
+
+    /// Number of threads the kernel runs.
+    fn threads(&self) -> usize;
+
+    /// Exact number of references `run` will emit, all threads combined.
+    fn reference_count(&self) -> u64;
+
+    /// Execute the kernel, emitting every reference in interleaved order.
+    fn run(&mut self, sink: &mut dyn MtSink);
+}
+
+/// Everything a multi-threaded kernel run produces: the exact global
+/// interleaving plus each thread's private stream (derived from it, so the
+/// two views are consistent by construction).
+pub struct MtTrace {
+    /// The shared-cache reference stream, thread-tagged.
+    pub interleaved: ThreadedTrace,
+    /// Per-thread program-order streams, sorted by thread ID.
+    pub per_thread: Vec<(Tid, Trace)>,
+}
+
+/// Run a multi-threaded program to completion, collecting both views.
+pub fn collect_mt_trace<P: MtProgram>(mut program: P) -> MtTrace {
+    let mut sink = MtVecSink::new();
+    program.run(&mut sink);
+    let interleaved = sink.into_trace();
+    let per_thread = interleaved.per_thread();
+    MtTrace {
+        interleaved,
+        per_thread,
+    }
+}
+
+/// Per-thread progress counter address: adjacent words under
+/// `false_sharing`, a cache line apart otherwise.
+fn counter_addr(tid: usize, false_sharing: bool) -> Addr {
+    let stride = if false_sharing { 1 } else { COUNTER_PAD_WORDS };
+    REGION_COUNTERS + (tid as Addr) * stride * WORD
+}
+
+/// Contiguous band `[start, start+len)` for worker `t` of `threads` over
+/// `total` items (first `total % threads` bands get one extra).
+fn band(total: usize, threads: usize, t: usize) -> (usize, usize) {
+    let base = total / threads;
+    let extra = total % threads;
+    let len = base + usize::from(t < extra);
+    let start = t * base + t.min(extra);
+    (start, len)
+}
+
+/// Row-banded parallel 5-point Jacobi stencil (see [`crate::Stencil2D`]
+/// for the sequential pattern). Interior rows are split into contiguous
+/// bands, one per thread; threads proceed point-by-point in lockstep, and
+/// the reads of rows `i±1` at band boundaries touch the neighbouring
+/// thread's rows — inherent true sharing.
+#[derive(Clone, Debug)]
+pub struct MtStencil2D {
+    n: usize,
+    iters: usize,
+    threads: usize,
+    false_sharing: bool,
+}
+
+impl MtStencil2D {
+    /// `n × n` grid, `iters` sweeps, `threads` row bands.
+    pub fn new(n: usize, iters: usize, threads: usize, false_sharing: bool) -> Self {
+        assert!(n >= 3 && iters > 0, "grid must have interior points");
+        assert!(
+            threads >= 1 && threads <= n - 2,
+            "need at least one interior row per thread"
+        );
+        Self {
+            n,
+            iters,
+            threads,
+            false_sharing,
+        }
+    }
+}
+
+impl MtProgram for MtStencil2D {
+    fn name(&self) -> &'static str {
+        "mt-stencil2d"
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn reference_count(&self) -> u64 {
+        // 5 loads + 1 store + 1 counter bump per interior point per sweep.
+        7 * ((self.n - 2) as u64).pow(2) * self.iters as u64
+    }
+
+    fn run(&mut self, sink: &mut dyn MtSink) {
+        let n = self.n;
+        let interior = n - 2;
+        let bands: Vec<(usize, usize)> = (0..self.threads)
+            .map(|t| band(interior, self.threads, t))
+            .collect();
+        let max_points = bands.iter().map(|&(_, len)| len * interior).max().unwrap();
+        for sweep in 0..self.iters {
+            let (src, dst) = if sweep % 2 == 0 {
+                (REGION_A, REGION_B)
+            } else {
+                (REGION_B, REGION_A)
+            };
+            let at = |base: Addr, i: usize, j: usize| base + ((i * n + j) as Addr) * WORD;
+            // Lockstep: at each step every still-active thread applies the
+            // stencil to its next point, so the interleaving is exactly
+            // round-robin at point granularity.
+            for p in 0..max_points {
+                for (t, &(start, len)) in bands.iter().enumerate() {
+                    if p >= len * interior {
+                        continue;
+                    }
+                    let i = 1 + start + p / interior;
+                    let j = 1 + p % interior;
+                    let tid = t as Tid;
+                    sink.emit(tid, at(src, i, j));
+                    sink.emit(tid, at(src, i - 1, j));
+                    sink.emit(tid, at(src, i + 1, j));
+                    sink.emit(tid, at(src, i, j - 1));
+                    sink.emit(tid, at(src, i, j + 1));
+                    sink.emit(tid, at(dst, i, j));
+                    sink.emit(tid, counter_addr(t, self.false_sharing));
+                }
+            }
+        }
+    }
+}
+
+/// Parallel dense matrix multiply `C = A·B` with the rows of `C` banded
+/// across threads. Every thread streams all of `B` (true sharing of the
+/// full `n²` operand); `A` rows and `C` rows are thread-private.
+#[derive(Clone, Debug)]
+pub struct MtMatMul {
+    n: usize,
+    threads: usize,
+    false_sharing: bool,
+}
+
+impl MtMatMul {
+    /// `n × n` matrices over `threads` row bands.
+    pub fn new(n: usize, threads: usize, false_sharing: bool) -> Self {
+        assert!(n > 0, "empty matrix");
+        assert!(
+            threads >= 1 && threads <= n,
+            "need at least one row per thread"
+        );
+        Self {
+            n,
+            threads,
+            false_sharing,
+        }
+    }
+
+    fn a(&self, i: usize, k: usize) -> Addr {
+        REGION_A + ((i * self.n + k) as Addr) * WORD
+    }
+
+    fn b(&self, k: usize, j: usize) -> Addr {
+        REGION_B + ((k * self.n + j) as Addr) * WORD
+    }
+
+    fn c(&self, i: usize, j: usize) -> Addr {
+        REGION_C + ((i * self.n + j) as Addr) * WORD
+    }
+}
+
+impl MtProgram for MtMatMul {
+    fn name(&self) -> &'static str {
+        "mt-matmul"
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn reference_count(&self) -> u64 {
+        // 3 refs per inner iteration plus one counter bump per (i, j).
+        let n = self.n as u64;
+        3 * n.pow(3) + n.pow(2)
+    }
+
+    fn run(&mut self, sink: &mut dyn MtSink) {
+        let n = self.n;
+        let bands: Vec<(usize, usize)> = (0..self.threads)
+            .map(|t| band(n, self.threads, t))
+            .collect();
+        let max_steps = bands.iter().map(|&(_, len)| len * n * n).max().unwrap();
+        // Lockstep at inner-iteration granularity: step s of thread t is
+        // its (i, j, k) = (s / n², (s / n) % n, s % n) iteration.
+        for s in 0..max_steps {
+            for (t, &(start, len)) in bands.iter().enumerate() {
+                if s >= len * n * n {
+                    continue;
+                }
+                let i = start + s / (n * n);
+                let j = (s / n) % n;
+                let k = s % n;
+                let tid = t as Tid;
+                sink.emit(tid, self.a(i, k));
+                sink.emit(tid, self.b(k, j));
+                sink.emit(tid, self.c(i, j));
+                if k == n - 1 {
+                    sink.emit(tid, counter_addr(t, self.false_sharing));
+                }
+            }
+        }
+    }
+}
+
+/// Adapter running a single-threaded [`SyntheticProgram`] as thread `tid`
+/// of a multi-threaded sink — used to compose co-running solo kernels into
+/// a tagged trace.
+pub struct TaggedSink<'a> {
+    tid: Tid,
+    inner: &'a mut dyn MtSink,
+}
+
+impl<'a> TaggedSink<'a> {
+    /// Tag every reference of the wrapped sink with `tid`.
+    pub fn new(tid: Tid, inner: &'a mut dyn MtSink) -> Self {
+        Self { tid, inner }
+    }
+}
+
+impl TraceSink for TaggedSink<'_> {
+    fn emit(&mut self, addr: Addr) {
+        self.inner.emit(self.tid, addr);
+    }
+}
+
+/// Run a single-threaded program, collecting its references as thread
+/// `tid` into a fresh [`ThreadedTrace`].
+pub fn collect_tagged<P: SyntheticProgram>(mut program: P, tid: Tid) -> ThreadedTrace {
+    let mut sink = MtVecSink::new();
+    {
+        let mut tagged = TaggedSink::new(tid, &mut sink);
+        program.run(&mut tagged);
+    }
+    sink.into_trace()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn shared_addrs(t: &ThreadedTrace) -> usize {
+        let mut owners: HashMap<Addr, (Tid, bool)> = HashMap::new();
+        for (&tid, &addr) in t.tids().iter().zip(t.addrs()) {
+            owners
+                .entry(addr)
+                .and_modify(|(first, shared)| *shared |= *first != tid)
+                .or_insert((tid, false));
+        }
+        owners.values().filter(|(_, shared)| *shared).count()
+    }
+
+    #[test]
+    fn reference_counts_are_exact() {
+        for threads in [1usize, 2, 3] {
+            let p = MtStencil2D::new(12, 2, threads, false);
+            let expect = p.reference_count();
+            let got = collect_mt_trace(p);
+            assert_eq!(got.interleaved.len() as u64, expect, "stencil t={threads}");
+            let per_thread_total: usize = got.per_thread.iter().map(|(_, t)| t.len()).sum();
+            assert_eq!(per_thread_total as u64, expect);
+
+            let p = MtMatMul::new(8, threads, false);
+            let expect = p.reference_count();
+            let got = collect_mt_trace(p);
+            assert_eq!(got.interleaved.len() as u64, expect, "matmul t={threads}");
+        }
+    }
+
+    #[test]
+    fn kernels_are_deterministic() {
+        let a = collect_mt_trace(MtStencil2D::new(10, 2, 3, true));
+        let b = collect_mt_trace(MtStencil2D::new(10, 2, 3, true));
+        assert_eq!(a.interleaved, b.interleaved);
+    }
+
+    #[test]
+    fn stencil_halo_rows_are_truly_shared() {
+        // Multi-band stencil: boundary rows read by both neighbours.
+        let mt = collect_mt_trace(MtStencil2D::new(12, 1, 3, false));
+        assert!(shared_addrs(&mt.interleaved) > 0, "halo sharing missing");
+        // One band: no neighbour, no sharing.
+        let solo = collect_mt_trace(MtStencil2D::new(12, 1, 1, false));
+        assert_eq!(shared_addrs(&solo.interleaved), 0);
+    }
+
+    #[test]
+    fn matmul_shares_the_b_operand() {
+        let n = 8;
+        let mt = collect_mt_trace(MtMatMul::new(n, 2, false));
+        // Every word of B is read by both threads.
+        assert!(shared_addrs(&mt.interleaved) >= n * n);
+    }
+
+    #[test]
+    fn false_sharing_knob_packs_counters_adjacent() {
+        let packed = collect_mt_trace(MtStencil2D::new(10, 1, 2, true));
+        let padded = collect_mt_trace(MtStencil2D::new(10, 1, 2, false));
+        let counters = |t: &ThreadedTrace| -> Vec<Addr> {
+            let mut c: Vec<Addr> = t
+                .addrs()
+                .iter()
+                .copied()
+                .filter(|&a| a >= REGION_COUNTERS)
+                .collect();
+            c.sort_unstable();
+            c.dedup();
+            c
+        };
+        let packed = counters(&packed.interleaved);
+        let padded = counters(&padded.interleaved);
+        assert_eq!(packed.len(), 2);
+        assert_eq!(packed[1] - packed[0], WORD, "adjacent words");
+        assert_eq!(
+            padded[1] - padded[0],
+            COUNTER_PAD_WORDS * WORD,
+            "a line apart"
+        );
+    }
+
+    #[test]
+    fn per_thread_split_preserves_program_order() {
+        let mt = collect_mt_trace(MtMatMul::new(6, 3, false));
+        assert_eq!(mt.per_thread.len(), 3);
+        // Thread 0's solo stream must equal a 1-thread run over its band:
+        // rows 0..2 of a 6×6 matmul.
+        let (tid, solo) = &mt.per_thread[0];
+        assert_eq!(*tid, 0);
+        let reference = collect_mt_trace(MtMatMul::new(6, 1, false));
+        let expect: Vec<Addr> = reference.interleaved.addrs()[..solo.len()].to_vec();
+        assert_eq!(solo.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn tagged_sink_wraps_single_threaded_programs() {
+        let t = collect_tagged(crate::StreamTriad::new(50, 1), 4);
+        assert_eq!(t.len(), 150);
+        assert!(t.tids().iter().all(|&tid| tid == 4));
+    }
+}

@@ -25,15 +25,16 @@
 //! [`PardaError::ConnectionLost`].
 
 use crate::proto::{
-    encode_data_frame, encode_resume, hello_payload, write_msg, AcceptPayload, ErrorFrame, Message,
-    MsgKind, MAX_PAYLOAD, STATS_FORMAT_BINARY, STATS_FORMAT_JSON, TOKEN_LEN,
+    encode_data_frame, encode_resume, encode_tagged_data_frame, hello_payload, write_msg,
+    AcceptPayload, ErrorFrame, Message, MsgKind, MAX_PAYLOAD, STATS_FORMAT_BINARY,
+    STATS_FORMAT_JSON, TOKEN_LEN,
 };
 use crate::session::ReplyFormat;
 use parda_core::PardaError;
 use parda_hist::ReuseHistogram;
 use parda_obs::ClientRetryMetrics;
 use parda_trace::io::Encoding;
-use parda_trace::Addr;
+use parda_trace::{Addr, ThreadedTrace};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -398,9 +399,66 @@ fn connect(addr: &str, policy: &RetryPolicy) -> io::Result<TcpStream> {
     }))
 }
 
+/// What one submission streams: a plain address trace, or a thread-tagged
+/// one whose DATA frames carry the v2.2 tagged layout (the session must be
+/// configured `tagged=1`).
+#[derive(Clone, Copy)]
+enum Payload<'a> {
+    Plain(&'a [Addr]),
+    Tagged(&'a ThreadedTrace),
+}
+
+impl Payload<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Payload::Plain(t) => t.len(),
+            Payload::Tagged(t) => t.len(),
+        }
+    }
+
+    /// Encode the frame at `seq` (frames are `frame_refs`-reference
+    /// chunks of the trace, the last possibly short).
+    fn encode_frame(&self, seq: u64, frame_refs: usize, encoding: Encoding) -> io::Result<Vec<u8>> {
+        let start = usize::try_from(seq).unwrap_or(usize::MAX) * frame_refs;
+        let end = (start + frame_refs).min(self.len());
+        match self {
+            Payload::Plain(t) => Ok(encode_data_frame(&t[start..end], encoding)),
+            Payload::Tagged(t) => {
+                encode_tagged_data_frame(&t.addrs()[start..end], &t.tids()[start..end], encoding)
+            }
+        }
+    }
+}
+
 /// Stream `trace` to the daemon at `addr` and return its reply,
 /// reconnecting and resuming per `opts.retry`.
 pub fn submit(addr: &str, trace: &[Addr], opts: &SubmitOptions) -> Result<SubmitReply, PardaError> {
+    submit_payload(addr, Payload::Plain(trace), opts)
+}
+
+/// Stream a thread-tagged trace to the daemon and return its reply — the
+/// shared-cache histogram plus, for JSON replies, the report carrying
+/// `stats.shared` (and the partition recommendation when the CONFIG asked
+/// for one via `partition=`). Appends `tagged=1` to the CONFIG unless the
+/// caller already set it.
+pub fn submit_tagged(
+    addr: &str,
+    trace: &ThreadedTrace,
+    opts: &SubmitOptions,
+) -> Result<SubmitReply, PardaError> {
+    if opts.config.iter().any(|(k, _)| k == "tagged") {
+        return submit_payload(addr, Payload::Tagged(trace), opts);
+    }
+    let mut opts = opts.clone();
+    opts.config.push(("tagged".into(), "1".into()));
+    submit_payload(addr, Payload::Tagged(trace), &opts)
+}
+
+fn submit_payload(
+    addr: &str,
+    trace: Payload,
+    opts: &SubmitOptions,
+) -> Result<SubmitReply, PardaError> {
     let max_attempts = opts.retry.max_attempts.max(1);
     let mut st = SessionState::default();
     let mut unacked = UnackedBuf::new();
@@ -456,7 +514,7 @@ pub fn submit(addr: &str, trace: &[Addr], opts: &SubmitOptions) -> Result<Submit
 #[allow(clippy::too_many_arguments)]
 fn run_attempt(
     addr: &str,
-    trace: &[Addr],
+    trace: Payload,
     opts: &SubmitOptions,
     st: &mut SessionState,
     unacked: &mut UnackedBuf,
@@ -548,7 +606,7 @@ fn run_attempt(
     // write failure must not abort the attempt here — fall through to the
     // read phase, where a typed ERROR may be waiting.
     let frame_refs = opts.frame_refs.max(1);
-    let total_frames = trace.chunks(frame_refs).len() as u64;
+    let total_frames = (trace.len() as u64).div_ceil(frame_refs as u64);
     let mut write_err: Option<io::Error> = None;
     let mut pending: Option<Message> = None;
     let mut msgbuf = Vec::new();
@@ -556,11 +614,9 @@ fn run_attempt(
     'streaming: while seq < total_frames {
         let payload = match unacked.get(seq) {
             Some(buffered) => buffered.clone(),
-            None => {
-                let start = usize::try_from(seq).unwrap_or(usize::MAX) * frame_refs;
-                let chunk = &trace[start..(start + frame_refs).min(trace.len())];
-                encode_data_frame(chunk, opts.encoding)
-            }
+            None => trace
+                .encode_frame(seq, frame_refs, opts.encoding)
+                .map_err(|e| AttemptError::Fatal(PardaError::Io(e)))?,
         };
         msgbuf.clear();
         write_msg(&mut msgbuf, MsgKind::Data, &payload).map_err(AttemptError::Transient)?;

@@ -38,8 +38,11 @@
 
 use parda_core::PardaError;
 use parda_hash::crc32c;
-use parda_trace::io::{decode_frame_payload_into, encode_frame_payload, Encoding};
-use parda_trace::Addr;
+use parda_trace::io::{
+    decode_frame_payload_into, decode_tagged_frame_payload_into, encode_frame_payload,
+    encode_tagged_frame_payload, Encoding,
+};
+use parda_trace::{Addr, Tid};
 use std::io::{self, Read, Write};
 use std::time::Duration;
 
@@ -350,6 +353,60 @@ pub fn decode_data_frame_into(
     })
 }
 
+/// Build one thread-tagged DATA payload: the same `count | len | crc32c`
+/// inline header over the v2.2 tagged frame body (TID dictionary +
+/// bit-packed tags + encoded addresses). Sessions configured `tagged=1`
+/// exchange these instead of plain frames.
+pub fn encode_tagged_data_frame(
+    addrs: &[Addr],
+    tids: &[Tid],
+    encoding: Encoding,
+) -> io::Result<Vec<u8>> {
+    let body = encode_tagged_frame_payload(addrs, tids, encoding)?;
+    let mut out = Vec::with_capacity(DATA_HEADER_LEN + body.len());
+    out.extend_from_slice(&(addrs.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32c(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// Validate and decode one tagged DATA payload into caller-owned arenas
+/// (cleared and refilled; capacity retained). Header shape and CRC checks
+/// mirror [`decode_data_frame_into`].
+pub fn decode_tagged_data_frame_into(
+    payload: &[u8],
+    encoding: Encoding,
+    addrs: &mut Vec<Addr>,
+    tids: &mut Vec<Tid>,
+) -> Result<(), DataFrameError> {
+    if payload.len() < DATA_HEADER_LEN {
+        return Err(DataFrameError::Malformed(format!(
+            "{} bytes is shorter than the {DATA_HEADER_LEN}-byte inline header",
+            payload.len()
+        )));
+    }
+    let count = u32::from_le_bytes(payload[0..4].try_into().unwrap());
+    let len = u32::from_le_bytes(payload[4..8].try_into().unwrap());
+    let crc = u32::from_le_bytes(payload[8..12].try_into().unwrap());
+    let body = &payload[DATA_HEADER_LEN..];
+    if body.len() != len as usize {
+        return Err(DataFrameError::Malformed(format!(
+            "header claims {len} payload bytes, message carries {}",
+            body.len()
+        )));
+    }
+    if crc32c(body) != crc {
+        return Err(DataFrameError::Crc { count });
+    }
+    decode_tagged_frame_payload_into(body, encoding, count as usize, addrs, tids).map_err(|e| {
+        DataFrameError::Decode {
+            count,
+            detail: e.to_string(),
+        }
+    })
+}
+
 /// Error class byte on the wire, aligned with [`PardaError::class`] plus
 /// three server-side classes that map onto the configuration exit class.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -629,6 +686,30 @@ mod tests {
             let at = if flip_body { DATA_HEADER_LEN } else { 8 };
             bad[at] ^= 1 << bit;
             prop_assert!(decode_data_frame(&bad, Encoding::DeltaVarint).is_err());
+        }
+    }
+
+    #[test]
+    fn tagged_data_frames_round_trip_and_catch_corruption() {
+        let addrs = [0x10u64, 0x20, 0x10, 0x30, 0x20];
+        let tids = [0u32, 1, 0, 2, 1];
+        for encoding in [Encoding::Raw, Encoding::DeltaVarint] {
+            let frame = encode_tagged_data_frame(&addrs, &tids, encoding).unwrap();
+            let (mut a, mut t) = (Vec::new(), Vec::new());
+            decode_tagged_data_frame_into(&frame, encoding, &mut a, &mut t).unwrap();
+            assert_eq!(a, addrs);
+            assert_eq!(t, tids);
+
+            let mut bad = frame.clone();
+            bad[DATA_HEADER_LEN] ^= 0x08;
+            assert!(matches!(
+                decode_tagged_data_frame_into(&bad, encoding, &mut a, &mut t),
+                Err(DataFrameError::Crc { count: 5 })
+            ));
+            assert!(matches!(
+                decode_tagged_data_frame_into(&frame[..6], encoding, &mut a, &mut t),
+                Err(DataFrameError::Malformed(_))
+            ));
         }
     }
 

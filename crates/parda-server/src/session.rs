@@ -35,9 +35,9 @@
 //! O(sketch) — the shard records the high-water mark as proof.
 
 use crate::proto::{
-    decode_data_frame_into, decode_resume, encode_histogram_binary, write_msg, AcceptPayload,
-    DataFrameError, ErrorClass, ErrorFrame, MsgKind, STATS_FORMAT_BINARY, STATS_FORMAT_JSON,
-    TOKEN_LEN,
+    decode_data_frame_into, decode_resume, decode_tagged_data_frame_into, encode_histogram_binary,
+    write_msg, AcceptPayload, DataFrameError, ErrorClass, ErrorFrame, MsgKind, STATS_FORMAT_BINARY,
+    STATS_FORMAT_JSON, TOKEN_LEN,
 };
 use crate::server::ServerConfig;
 use parda_core::phased::Reduction;
@@ -45,7 +45,7 @@ use parda_core::{Analysis, ApproxMode, Mode, PardaError, SessionAnalysis};
 use parda_hist::ReuseHistogram;
 use parda_obs::{RecoveryMetrics, Report, ServerCounters};
 use parda_trace::io::Encoding;
-use parda_trace::{Addr, Degradation};
+use parda_trace::{Addr, Degradation, ThreadedTrace, Tid};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -101,6 +101,15 @@ pub struct SessionConfig {
     /// absent — every pre-approx client) inherits the server's default;
     /// an explicit `approx=exact` forces exact analysis regardless.
     pub approx: Option<ApproxMode>,
+    /// Thread-tagged session (`tagged=1`): DATA frames carry the v2.2
+    /// tagged frame layout and FIN runs the concurrent shared-cache
+    /// analyzer instead of a [`SessionAnalysis`] driver.
+    pub tagged: bool,
+    /// Partition recommendation request, `partition=<capacity>[/<gran>]`
+    /// (granularity defaults through
+    /// [`parda_core::concurrent::default_granularity`]). Requires
+    /// `tagged=1` — the per-thread solo MRCs come from the tags.
+    pub partition: Option<(u64, u64)>,
 }
 
 impl SessionConfig {
@@ -117,6 +126,8 @@ impl SessionConfig {
             degradation: default_degradation,
             reply: ReplyFormat::Binary,
             approx: None,
+            tagged: false,
+            partition: None,
         };
         let mut chunk: Option<usize> = None;
         let mut engine_name: Option<String> = None;
@@ -139,6 +150,31 @@ impl SessionConfig {
                     cfg.degradation = value.parse().map_err(|e: String| bad(&e))?;
                 }
                 "approx" => cfg.approx = Some(ApproxMode::parse(value).map_err(|e| bad(&e))?),
+                "tagged" => {
+                    cfg.tagged = match value {
+                        "1" | "true" => true,
+                        "0" | "false" => false,
+                        other => return Err(format!("config tagged={other}: expected 0|1")),
+                    }
+                }
+                "partition" => {
+                    let (cap, gran) = match value.split_once('/') {
+                        Some((c, g)) => (
+                            c.parse::<u64>().map_err(|e| bad(&e))?,
+                            g.parse::<u64>().map_err(|e| bad(&e))?,
+                        ),
+                        None => {
+                            let cap = value.parse::<u64>().map_err(|e| bad(&e))?;
+                            (cap, parda_core::concurrent::default_granularity(cap.max(1)))
+                        }
+                    };
+                    if cap == 0 || gran == 0 {
+                        return Err(format!(
+                            "config partition={value}: capacity and granularity must be positive"
+                        ));
+                    }
+                    cfg.partition = Some((cap, gran));
+                }
                 "encoding" => {
                     cfg.encoding = match value {
                         "raw" => Encoding::Raw,
@@ -168,6 +204,26 @@ impl SessionConfig {
             (Some("threads"), _) => SessionEngine::Threads,
             (Some(other), _) => return Err(format!("unknown engine `{other}` (phased|threads)")),
         };
+        if cfg.partition.is_some() && !cfg.tagged {
+            return Err("partition requires tagged=1 (per-thread MRCs come from the tags)".into());
+        }
+        if cfg.tagged {
+            // The concurrent analyzer is its own engine: exact, unbounded,
+            // single-rank. Refusing the incompatible keys beats silently
+            // ignoring what the client asked for.
+            if cfg.engine != SessionEngine::Auto {
+                return Err("tagged sessions run the concurrent analyzer (no engine/chunk)".into());
+            }
+            if cfg.approx.is_some() {
+                return Err("tagged sessions are exact (no approx)".into());
+            }
+            if cfg.bound.is_some() {
+                return Err("tagged sessions are unbounded (no bound)".into());
+            }
+            if cfg.ranks.is_some() {
+                return Err("tagged sessions are single-rank (no ranks)".into());
+            }
+        }
         Ok(cfg)
     }
 
@@ -299,6 +355,11 @@ pub(crate) struct Session {
     phase: Phase,
     cfg: Option<SessionConfig>,
     driver: Option<SessionAnalysis>,
+    /// Accumulated thread-tagged stream for `tagged=1` sessions, which
+    /// buffer and run the concurrent analyzer at FIN (no driver).
+    tagged_trace: Option<ThreadedTrace>,
+    /// Scratch TID arena for tagged frame decoding (pairs `host.arena`).
+    tid_arena: Vec<Tid>,
     guard: Option<AdmissionGuard>,
     budget: Option<u64>,
     bytes_in: u64,
@@ -326,6 +387,8 @@ impl Session {
             phase: Phase::AwaitHello,
             cfg: None,
             driver: None,
+            tagged_trace: None,
+            tid_arena: Vec::new(),
             guard: None,
             budget: None,
             bytes_in: 0,
@@ -554,7 +617,11 @@ impl Session {
     /// plus any undelivered reply (floored at 1 so even an empty session
     /// counts against the pool budget).
     pub(crate) fn orphan_bytes(&self) -> u64 {
-        let state = self.driver.as_ref().map_or(0, |d| d.state_bytes());
+        let state = self.driver.as_ref().map_or(0, |d| d.state_bytes())
+            + self
+                .tagged_trace
+                .as_ref()
+                .map_or(0, |t| t.len() as u64 * 12);
         let reply = self.final_reply.as_ref().map_or(0, |r| r.len() as u64);
         (state + reply).max(1)
     }
@@ -632,12 +699,16 @@ impl Session {
         let _ = write_msg(host.outbox, MsgKind::Accept, &accept.to_bytes());
         parda_failpoint::failpoint!("server::session");
 
-        let policy = parda_core::FaultPolicy {
-            degradation: cfg.degradation,
-            ..host.scfg.fault.clone()
-        };
-        let (builder, auto_ranks) = cfg.builder(policy, host.scfg.default_approx);
-        self.driver = Some(builder.session().auto_ranks(auto_ranks));
+        if cfg.tagged {
+            self.tagged_trace = Some(ThreadedTrace::new());
+        } else {
+            let policy = parda_core::FaultPolicy {
+                degradation: cfg.degradation,
+                ..host.scfg.fault.clone()
+            };
+            let (builder, auto_ranks) = cfg.builder(policy, host.scfg.default_approx);
+            self.driver = Some(builder.session().auto_ranks(auto_ranks));
+        }
         self.budget = host.scfg.max_session_bytes;
         self.cfg = Some(cfg);
         self.phase = Phase::Streaming;
@@ -684,7 +755,12 @@ impl Session {
         host.counters.frames_in.incr();
         host.counters.bytes_in.add(payload.len() as u64);
         let cfg = self.cfg.as_ref().expect("streaming implies config");
-        let decoded = decode_data_frame_into(payload, cfg.encoding, host.arena);
+        let (encoding, tagged) = (cfg.encoding, cfg.tagged);
+        let decoded = if tagged {
+            decode_tagged_data_frame_into(payload, encoding, host.arena, &mut self.tid_arena)
+        } else {
+            decode_data_frame_into(payload, encoding, host.arena)
+        };
         parda_failpoint::failpoint!("server::decode", {
             return self.quarantine(
                 DataFrameError::Decode {
@@ -695,6 +771,17 @@ impl Session {
             );
         });
         match decoded {
+            Ok(()) if tagged => {
+                host.counters.refs_in.add(host.arena.len() as u64);
+                let trace = self.tagged_trace.as_mut().expect("tagged implies trace");
+                for (&tid, &addr) in self.tid_arena.iter().zip(host.arena.iter()) {
+                    trace.push(tid, addr);
+                }
+                // The buffered stream is the session's analysis state:
+                // 8 address bytes + 4 TID bytes per reference.
+                self.state_bytes_hwm = self.state_bytes_hwm.max(trace.len() as u64 * 12);
+                Ok(())
+            }
             Ok(()) => {
                 host.counters.refs_in.add(host.arena.len() as u64);
                 let driver = self.driver.as_mut().expect("streaming implies driver");
@@ -730,6 +817,9 @@ impl Session {
 
     /// FIN: run any deferred analysis, queue the STATS reply.
     fn finish(&mut self, host: &mut SessionHost) {
+        if self.cfg.as_ref().is_some_and(|c| c.tagged) {
+            return self.finish_tagged(host);
+        }
         let driver = self.driver.take().expect("streaming implies driver");
         let (hist, report) = match driver.finish() {
             Ok(done) => done,
@@ -752,6 +842,87 @@ impl Session {
         // the orphaned session can requeue the reply verbatim on resume.
         let mut reply = Vec::new();
         match send_stats(&mut reply, cfg, &hist, &report) {
+            Ok(()) => {
+                host.outbox.extend_from_slice(&reply);
+                self.final_reply = Some(reply);
+                self.outcome_recorded = true;
+                self.completed = true;
+                host.counters.sessions_completed.incr();
+                self.phase = Phase::Closing;
+            }
+            Err(e) => {
+                self.abort(e, host);
+                self.phase = Phase::Draining;
+            }
+        }
+    }
+
+    /// FIN on a tagged session: run the concurrent shared-cache analyzer
+    /// over the as-received interleaving (model label `as-recorded`),
+    /// fold a partition recommendation in when one was requested, and
+    /// queue the STATS reply. The shared histogram plays the role the
+    /// exact histogram plays for plain sessions — binary replies carry
+    /// it; JSON replies add the full report with `stats.shared`.
+    fn finish_tagged(&mut self, host: &mut SessionHost) {
+        let trace = self.tagged_trace.take().expect("tagged implies trace");
+        let cfg = self.cfg.as_ref().expect("streaming implies config");
+        let tree = cfg.tree.unwrap_or(parda_tree::TreeKind::Vector);
+        let partition = cfg.partition;
+        let started = std::time::Instant::now();
+        let analysis = parda_core::concurrent::analyze_concurrent_kind(&trace, tree);
+        let plan = match partition {
+            Some((capacity, granularity)) => {
+                let threads = analysis.thread_ids.len() as u64;
+                if threads == 0 {
+                    self.abort(
+                        SessionError::new(
+                            ErrorClass::Config,
+                            "partition requested but no references were ingested",
+                        ),
+                        host,
+                    );
+                    self.phase = Phase::Draining;
+                    return;
+                }
+                if capacity < granularity.saturating_mul(threads) {
+                    self.abort(
+                        SessionError::new(
+                            ErrorClass::Config,
+                            format!(
+                                "partition capacity {capacity} cannot give {threads} \
+                                 threads {granularity} lines each"
+                            ),
+                        ),
+                        host,
+                    );
+                    self.phase = Phase::Draining;
+                    return;
+                }
+                Some(parda_core::concurrent::recommend_partition(
+                    &analysis.per_thread_solo,
+                    capacity,
+                    granularity,
+                ))
+            }
+            None => None,
+        };
+        let mut report = Report {
+            mode: "concurrent".into(),
+            tree: tree.name().into(),
+            ranks: 1,
+            trace_refs: trace.len() as u64,
+            total_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            shared: Some(parda_core::concurrent::shared_metrics(
+                &analysis,
+                "as-recorded",
+                plan.as_ref(),
+            )),
+            ..Report::default()
+        };
+        attach_recovery(&mut report, std::mem::take(&mut self.recovery));
+        let cfg = self.cfg.as_ref().expect("streaming implies config");
+        let mut reply = Vec::new();
+        match send_stats(&mut reply, cfg, &analysis.shared, &report) {
             Ok(()) => {
                 host.outbox.extend_from_slice(&reply);
                 self.final_reply = Some(reply);
@@ -918,6 +1089,49 @@ mod tests {
             SessionConfig::parse("engine=phased\nchunk=1000", Degradation::BestEffort).unwrap();
         assert_eq!(cfg.degradation, Degradation::BestEffort);
         assert_eq!(cfg.engine, SessionEngine::Phased { chunk: 1000 });
+    }
+
+    #[test]
+    fn session_config_parses_tagged_and_partition() {
+        let cfg = SessionConfig::parse("tagged=1", Degradation::Strict).unwrap();
+        assert!(cfg.tagged);
+        assert_eq!(cfg.partition, None);
+
+        let cfg = SessionConfig::parse("tagged=1\npartition=4096/64", Degradation::Strict).unwrap();
+        assert_eq!(cfg.partition, Some((4096, 64)));
+
+        // Omitted granularity resolves through the shared default.
+        let cfg = SessionConfig::parse("tagged=1\npartition=4096", Degradation::Strict).unwrap();
+        assert_eq!(
+            cfg.partition,
+            Some((4096, parda_core::concurrent::default_granularity(4096)))
+        );
+
+        // Tagged sessions may still pick a tree and wire settings.
+        let cfg = SessionConfig::parse(
+            "tagged=1\npartition=1024/8\ntree=splay\nencoding=raw\nreply=json",
+            Degradation::Strict,
+        )
+        .unwrap();
+        assert_eq!(cfg.tree, Some(parda_tree::TreeKind::Splay));
+        assert_eq!(cfg.reply, ReplyFormat::Json);
+
+        for bad in [
+            "tagged=maybe",
+            "partition=0",
+            "partition=4096/0",
+            "partition=4096",           // partition without tagged
+            "tagged=1\nengine=threads", // the concurrent analyzer is the engine
+            "tagged=1\nchunk=100",
+            "tagged=1\napprox=shards:256",
+            "tagged=1\nbound=64",
+            "tagged=1\nranks=4",
+        ] {
+            assert!(
+                SessionConfig::parse(bad, Degradation::Strict).is_err(),
+                "accepted {bad:?}"
+            );
+        }
     }
 
     #[test]

@@ -634,3 +634,113 @@ fn server_default_approx_applies_only_when_the_client_is_silent() {
     );
     assert!(metrics.sketch_bytes_hwm > 0);
 }
+
+#[test]
+fn tagged_session_partitions_like_the_offline_analyzer() {
+    use parda_core::concurrent::{
+        analyze_concurrent, interleave_threads, recommend_partition, InterleaveModel,
+    };
+    use parda_tree::VectorTree;
+
+    // Thread 0 loops over 64 lines, thread 1 over 1024 — the partition
+    // should hand each exactly its working set.
+    let t0: Vec<Addr> = (0..6400).map(|i| i % 64).collect();
+    let t1: Vec<Addr> = (0..10_240).map(|i| 100_000 + i % 1024).collect();
+    let trace = interleave_threads(&[&t0, &t1], &InterleaveModel::round_robin());
+
+    let opts = SubmitOptions {
+        config: vec![("partition".into(), "1088/64".into())],
+        reply: ReplyFormat::Json,
+        frame_refs: 1000,
+        ..SubmitOptions::default()
+    };
+    let reply = parda_server::submit_tagged(shared_addr(), &trace, &opts).expect("tagged submit");
+
+    let offline = analyze_concurrent::<VectorTree>(&trace);
+    assert_eq!(
+        reply.histogram, offline.shared,
+        "server shared histogram is bit-identical to the offline pass"
+    );
+
+    let plan = recommend_partition(&offline.per_thread_solo, 1088, 64);
+    assert_eq!(plan.allocation, vec![64, 1024]);
+    let json = reply.stats_json.expect("json reply");
+    assert!(json.contains("\"shared\":{"), "{json}");
+    assert!(json.contains("\"model\":\"as-recorded\""), "{json}");
+    let alloc: Vec<String> = plan.allocation.iter().map(|a| a.to_string()).collect();
+    assert!(
+        json.contains(&format!("\"allocation\":[{}]", alloc.join(","))),
+        "{json}"
+    );
+    assert!(
+        json.contains(&format!("\"predicted_misses\":{}", plan.predicted_misses)),
+        "{json}"
+    );
+}
+
+#[test]
+fn tagged_session_survives_disconnects_bit_identically() {
+    use parda_core::concurrent::{analyze_concurrent, interleave_threads, InterleaveModel};
+    use parda_tree::SplayTree;
+
+    let t0: Vec<Addr> = zipfish(21, 4000);
+    let t1: Vec<Addr> = zipfish(22, 4000);
+    let trace = interleave_threads(
+        &[&t0, &t1],
+        &InterleaveModel::Probabilistic {
+            weights: vec![2, 1],
+            seed: 5,
+        },
+    );
+
+    let (addr, stop, join) = private_server(ServerConfig {
+        max_sessions: 8,
+        idle_timeout: Some(Duration::from_secs(10)),
+        orphan_retention: Duration::from_secs(30),
+        ack_every: 3,
+        ..ServerConfig::default()
+    });
+    let mut opts = SubmitOptions {
+        frame_refs: 512,
+        ..SubmitOptions::default()
+    };
+    opts.retry = parda_server::RetryPolicy::with_attempts(5);
+    opts.chaos_drop_points = vec![4, 9];
+    let reply = parda_server::submit_tagged(&addr, &trace, &opts).expect("tagged resume");
+    assert_eq!(
+        reply.histogram,
+        analyze_concurrent::<SplayTree>(&trace).shared,
+        "resumed tagged session matches an unbroken offline run"
+    );
+    assert!(reply.retry.resumes >= 1, "the drops actually fired");
+    stop.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn tagged_session_rejects_bad_partition_configs() {
+    // partition without tagged is a structured config refusal.
+    let trace: Vec<Addr> = (0..100).collect();
+    let opts = SubmitOptions {
+        config: vec![("partition".into(), "1024".into())],
+        ..SubmitOptions::default()
+    };
+    match submit(shared_addr(), &trace, &opts) {
+        Err(PardaError::Config(msg)) => assert!(msg.contains("tagged"), "{msg}"),
+        other => panic!("expected config refusal, got {other:?}"),
+    }
+
+    // A capacity too small for one granule per thread fails at FIN.
+    use parda_core::concurrent::{interleave_threads, InterleaveModel};
+    let t0: Vec<Addr> = (0..50).collect();
+    let t1: Vec<Addr> = (1000..1050).collect();
+    let tagged = interleave_threads(&[&t0, &t1], &InterleaveModel::round_robin());
+    let opts = SubmitOptions {
+        config: vec![("partition".into(), "64/64".into())],
+        ..SubmitOptions::default()
+    };
+    match parda_server::submit_tagged(shared_addr(), &tagged, &opts) {
+        Err(PardaError::Config(msg)) => assert!(msg.contains("capacity"), "{msg}"),
+        other => panic!("expected capacity refusal, got {other:?}"),
+    }
+}

@@ -45,8 +45,29 @@
 //! readers verify every frame checksum before trusting the bytes, and the
 //! recovery layer in [`crate::recover`] can skip corrupt frames or resync
 //! after a destroyed footer instead of failing the whole analysis.
+//!
+//! **Version 2.2** ([`write_tagged_trace_v2`]) adds *thread tags*: every
+//! frame payload is prefixed with a compact per-frame TID block before the
+//! address block, so multi-threaded traces carry which thread issued each
+//! reference while the address encoding (and everything downstream of it)
+//! stays byte-identical:
+//!
+//! ```text
+//! tagged payload  ntids u8                          (1..=255)
+//!                 tid varint × ntids                (per-frame dictionary,
+//!                                                    first-appearance order)
+//!                 indices, ⌈log₂ ntids⌉ bits/ref    (omitted when ntids = 1)
+//!                 address block                     (raw or delta, as v2.0/2.1)
+//! ```
+//!
+//! The frame CRC32C covers the whole tagged payload. The minor version
+//! gates the layout: only minor ≥ 2 frames carry a tag block, so untagged
+//! v2.0/v2.1 files are written and parsed exactly as before, bit for bit.
+//! Address-only readers ([`read_trace`], [`decode_trace`],
+//! [`crate::stream::FramedStream`]) accept v2.2 files by skipping the tag
+//! block; [`decode_tagged_trace`] and friends recover the tags.
 
-use crate::{Addr, Trace};
+use crate::{Addr, ThreadedTrace, Tid, Trace};
 use rayon::prelude::*;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -54,9 +75,11 @@ use std::path::Path;
 pub(crate) const MAGIC: &[u8; 8] = b"PARDATRC";
 const VERSION: u32 = 1;
 pub(crate) const VERSION_V2: u32 = 2;
-/// Highest v2 minor version this reader understands. Minor 1 added the
-/// per-frame and footer-index CRC32C checksums.
+/// v2 minor that added the per-frame and footer-index CRC32C checksums.
 pub(crate) const V2_MINOR_CRC: u32 = 1;
+/// v2 minor that added per-frame thread-ID tag blocks (implies checksums).
+/// This is the highest v2 minor this reader understands.
+pub(crate) const V2_MINOR_TID: u32 = 2;
 const FOOTER_MAGIC: &[u8; 8] = b"PARDAIDX";
 
 /// References per v2 frame: big enough that per-frame overhead (8-byte
@@ -283,6 +306,157 @@ pub(crate) fn decode_frame_into(
     Ok(())
 }
 
+/// Bits per packed dictionary index for a tag block with `ntids` entries.
+#[inline]
+fn tag_index_bits(ntids: usize) -> usize {
+    debug_assert!(ntids > 1);
+    (usize::BITS - (ntids - 1).leading_zeros()) as usize
+}
+
+/// Append a v2.2 tag block for one frame's thread IDs: `ntids` u8, the
+/// per-frame TID dictionary (varints, first-appearance order), then — when
+/// the frame has more than one distinct TID — the per-reference dictionary
+/// indices packed at `⌈log₂ ntids⌉` bits each, LSB-first within bytes.
+fn encode_tag_block(tids: &[Tid], out: &mut Vec<u8>) -> io::Result<()> {
+    debug_assert!(!tids.is_empty(), "tag block requires a non-empty frame");
+    let mut dict: Vec<Tid> = Vec::new();
+    let mut index_of: parda_hash::FxHashMap<Tid, u8> = Default::default();
+    let mut indices: Vec<u8> = Vec::with_capacity(tids.len());
+    for &t in tids {
+        let idx = match index_of.get(&t) {
+            Some(&i) => i,
+            None => {
+                if dict.len() == 255 {
+                    return Err(invalid("more than 255 distinct thread IDs in one frame"));
+                }
+                let i = dict.len() as u8;
+                dict.push(t);
+                index_of.insert(t, i);
+                i
+            }
+        };
+        indices.push(idx);
+    }
+    out.push(dict.len() as u8);
+    for &t in &dict {
+        push_varint(out, u64::from(t));
+    }
+    if dict.len() > 1 {
+        let bits = tag_index_bits(dict.len());
+        let mut acc: u32 = 0;
+        let mut nbits = 0usize;
+        for &i in &indices {
+            acc |= u32::from(i) << nbits;
+            nbits += bits;
+            while nbits >= 8 {
+                out.push((acc & 0xff) as u8);
+                acc >>= 8;
+                nbits -= 8;
+            }
+        }
+        if nbits > 0 {
+            out.push((acc & 0xff) as u8);
+        }
+    }
+    Ok(())
+}
+
+/// Parse one frame's tag block into `count` thread IDs appended to `tids`
+/// (cleared first); returns the payload offset where the address block
+/// starts.
+pub(crate) fn parse_tag_block(
+    payload: &[u8],
+    count: usize,
+    tids: &mut Vec<Tid>,
+) -> io::Result<usize> {
+    let ntids = usize::from(
+        *payload
+            .first()
+            .ok_or_else(|| invalid("truncated tag block"))?,
+    );
+    if ntids == 0 {
+        return Err(invalid("tag block with zero thread IDs"));
+    }
+    let mut pos = 1usize;
+    let mut dict: Vec<Tid> = Vec::with_capacity(ntids);
+    for _ in 0..ntids {
+        let v =
+            decode_varint_slice(payload, &mut pos).map_err(|_| invalid("truncated tag block"))?;
+        dict.push(Tid::try_from(v).map_err(|_| invalid("thread ID overflows 32 bits"))?);
+    }
+    tids.clear();
+    tids.reserve(count);
+    if ntids == 1 {
+        tids.resize(count, dict[0]);
+        return Ok(pos);
+    }
+    let bits = tag_index_bits(ntids);
+    let nbytes = count
+        .checked_mul(bits)
+        .map(|b| b.div_ceil(8))
+        .ok_or_else(|| invalid("tag block index overflow"))?;
+    let idx_bytes = payload
+        .get(pos..pos + nbytes)
+        .ok_or_else(|| invalid("truncated tag block"))?;
+    let mut acc: u32 = 0;
+    let mut nbits = 0usize;
+    let mut at = 0usize;
+    let mask = (1u32 << bits) - 1;
+    for _ in 0..count {
+        while nbits < bits {
+            acc |= u32::from(idx_bytes[at]) << nbits;
+            at += 1;
+            nbits += 8;
+        }
+        let i = (acc & mask) as usize;
+        acc >>= bits;
+        nbits -= bits;
+        if i >= ntids {
+            return Err(invalid("thread index out of dictionary range"));
+        }
+        tids.push(dict[i]);
+    }
+    Ok(pos + nbytes)
+}
+
+/// For a possibly-tagged frame payload, return the address block: the whole
+/// payload when `tagged` is false, otherwise the bytes after a structurally
+/// validated (but not decoded) tag block. This is what lets every
+/// address-only reader accept v2.2 files.
+pub(crate) fn split_addr_payload(payload: &[u8], tagged: bool, count: usize) -> io::Result<&[u8]> {
+    if !tagged {
+        return Ok(payload);
+    }
+    let ntids = usize::from(
+        *payload
+            .first()
+            .ok_or_else(|| invalid("truncated tag block"))?,
+    );
+    if ntids == 0 {
+        return Err(invalid("tag block with zero thread IDs"));
+    }
+    let mut pos = 1usize;
+    for _ in 0..ntids {
+        let v =
+            decode_varint_slice(payload, &mut pos).map_err(|_| invalid("truncated tag block"))?;
+        if Tid::try_from(v).is_err() {
+            return Err(invalid("thread ID overflows 32 bits"));
+        }
+    }
+    if ntids > 1 {
+        let nbytes = count
+            .checked_mul(tag_index_bits(ntids))
+            .map(|b| b.div_ceil(8))
+            .ok_or_else(|| invalid("tag block index overflow"))?;
+        pos = pos
+            .checked_add(nbytes)
+            .ok_or_else(|| invalid("tag block index overflow"))?;
+    }
+    payload
+        .get(pos..)
+        .ok_or_else(|| invalid("truncated tag block"))
+}
+
 /// Encode one frame's payload bytes exactly as [`write_trace_v2_framed`]
 /// would lay them out inside the file (delta baseline reset per frame).
 ///
@@ -387,6 +561,12 @@ impl TraceHeader {
             16
         }
     }
+
+    /// `true` when every frame payload starts with a thread-ID tag block
+    /// (v2.2).
+    pub fn tagged(&self) -> bool {
+        self.version == VERSION_V2 && self.minor >= V2_MINOR_TID
+    }
 }
 
 pub(crate) fn parse_header(bytes: &[u8]) -> io::Result<TraceHeader> {
@@ -403,7 +583,7 @@ pub(crate) fn parse_header(bytes: &[u8]) -> io::Result<TraceHeader> {
         return Err(invalid(format!("unsupported trace version {version}")));
     }
     let minor_max = if version == VERSION_V2 {
-        V2_MINOR_CRC
+        V2_MINOR_TID
     } else {
         0
     };
@@ -433,23 +613,9 @@ pub(crate) fn validate_index(entries: &[FrameIndexEntry], header: &TraceHeader) 
         if e.offset != expect_offset {
             return Err(invalid("frame index offsets are not contiguous"));
         }
-        if e.count == 0 {
-            return Err(invalid("empty frame in index"));
-        }
-        match header.encoding {
-            Encoding::Raw => {
-                if u64::from(e.len) != u64::from(e.count) * 8 {
-                    return Err(invalid("raw frame length does not match its count"));
-                }
-            }
-            Encoding::DeltaVarint => {
-                // Every reference costs at least one byte, which also
-                // bounds total allocation by the file size.
-                if u64::from(e.count) > u64::from(e.len) {
-                    return Err(invalid("delta frame shorter than its count"));
-                }
-            }
-        }
+        // The per-encoding count/len relationship also bounds total
+        // allocation by the file size (every reference costs bytes).
+        check_frame_shape(e.count, e.len, header.encoding, header.tagged())?;
         total += u64::from(e.count);
         expect_offset += header.frame_header_len() + u64::from(e.len);
     }
@@ -665,6 +831,215 @@ pub fn write_trace_v2_framed_opts<W: Write>(
     w.flush()
 }
 
+/// Serialize a thread-tagged trace in format v2.2 with the default
+/// [`FRAME_REFS`] framing. Tagged files always carry checksums.
+pub fn write_tagged_trace_v2<W: Write>(
+    w: W,
+    trace: &ThreadedTrace,
+    encoding: Encoding,
+) -> io::Result<()> {
+    write_tagged_trace_v2_framed(w, trace, encoding, FRAME_REFS)
+}
+
+/// Serialize a thread-tagged trace in format v2.2 with an explicit frame
+/// size. Each frame payload is a tag block followed by the usual address
+/// block; the frame CRC covers both. Fails if any frame spans more than
+/// 255 distinct thread IDs.
+pub fn write_tagged_trace_v2_framed<W: Write>(
+    w: W,
+    trace: &ThreadedTrace,
+    encoding: Encoding,
+    frame_refs: usize,
+) -> io::Result<()> {
+    assert!(frame_refs > 0, "frame size must be positive");
+    let version_word = VERSION_V2 | (V2_MINOR_TID << 16);
+    let mut w = BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    w.write_all(&version_word.to_le_bytes())?;
+    w.write_all(&encoding.to_u32().to_le_bytes())?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+
+    let addr_chunks: Vec<&[Addr]> = trace.addrs().chunks(frame_refs).collect();
+    let tid_chunks: Vec<&[Tid]> = trace.tids().chunks(frame_refs).collect();
+    let frames: Vec<io::Result<(Vec<u8>, u32)>> = addr_chunks
+        .par_iter()
+        .zip(tid_chunks.par_iter())
+        .map(|(addrs, tids)| {
+            let mut buf = Vec::new();
+            encode_tag_block(tids, &mut buf)?;
+            encode_frame(addrs, encoding, &mut buf);
+            let crc = parda_hash::crc32c(&buf);
+            Ok((buf, crc))
+        })
+        .collect();
+
+    let mut entries: Vec<FrameIndexEntry> = Vec::with_capacity(frames.len());
+    let mut offset = HEADER_LEN;
+    for (chunk, frame) in addr_chunks.iter().zip(frames) {
+        let (payload, crc) = frame?;
+        let len =
+            u32::try_from(payload.len()).map_err(|_| invalid("frame payload exceeds u32 bytes"))?;
+        w.write_all(&(chunk.len() as u32).to_le_bytes())?;
+        w.write_all(&len.to_le_bytes())?;
+        w.write_all(&crc.to_le_bytes())?;
+        w.write_all(&payload)?;
+        entries.push(FrameIndexEntry {
+            offset,
+            count: chunk.len() as u32,
+            len,
+        });
+        offset += FRAME_HEADER_LEN_V21 + u64::from(len);
+    }
+    let mut index = Vec::with_capacity(entries.len() * INDEX_ENTRY_LEN as usize);
+    for e in &entries {
+        index.extend_from_slice(&e.offset.to_le_bytes());
+        index.extend_from_slice(&e.count.to_le_bytes());
+        index.extend_from_slice(&e.len.to_le_bytes());
+    }
+    w.write_all(&index)?;
+    w.write_all(&parda_hash::crc32c(&index).to_le_bytes())?;
+    w.write_all(&(entries.len() as u64).to_le_bytes())?;
+    w.write_all(FOOTER_MAGIC)?;
+    w.flush()
+}
+
+/// Deserialize a thread-tagged trace from a (possibly non-seekable)
+/// reader. Only v2.2 tagged files qualify; untagged traces are rejected
+/// rather than silently assigned a fake thread ID.
+pub fn read_tagged_trace<R: Read>(r: R) -> io::Result<ThreadedTrace> {
+    let mut r = BufReader::new(r);
+    let mut header_bytes = [0u8; HEADER_LEN as usize];
+    r.read_exact(&mut header_bytes)
+        .map_err(|e| eof_is_corruption(e, "trace header"))?;
+    let header = parse_header(&header_bytes)?;
+    if !header.tagged() {
+        return Err(invalid(
+            "trace is not thread-tagged (write it with a v2.2 tagged writer)",
+        ));
+    }
+    let count = header.count as usize;
+    let mut addrs = Vec::with_capacity(count.min(PREALLOC_CAP));
+    let mut tids = Vec::with_capacity(count.min(PREALLOC_CAP));
+    read_v2_frames_sequential(&mut r, &header, &mut addrs, Some(&mut tids))?;
+    Ok(ThreadedTrace::from_parts(addrs, tids))
+}
+
+/// Decode a complete in-memory v2.2 image, addresses and thread IDs both,
+/// with the same parallel per-frame layout as [`decode_trace`].
+pub fn decode_tagged_trace(bytes: &[u8]) -> io::Result<ThreadedTrace> {
+    let header = parse_header(bytes)?;
+    if !header.tagged() {
+        return Err(invalid(
+            "trace is not thread-tagged (write it with a v2.2 tagged writer)",
+        ));
+    }
+    let entries = parse_footer(bytes, &header)?;
+    let count = header.count as usize;
+    let mut addrs = vec![0u64; count];
+
+    let mut slices: Vec<&mut [Addr]> = Vec::with_capacity(entries.len());
+    let mut rest = addrs.as_mut_slice();
+    for e in &entries {
+        let (head, tail) = rest.split_at_mut(e.count as usize);
+        slices.push(head);
+        rest = tail;
+    }
+
+    let fh_len = header.frame_header_len() as usize;
+    let jobs: Vec<(FrameIndexEntry, &mut [Addr])> = entries.iter().copied().zip(slices).collect();
+    let results: Vec<io::Result<Vec<Tid>>> = jobs
+        .into_par_iter()
+        .map(|(e, slice)| {
+            let at = e.offset as usize;
+            let fh = &bytes[at..at + fh_len];
+            let fcount = u32::from_le_bytes(fh[..4].try_into().unwrap());
+            let flen = u32::from_le_bytes(fh[4..8].try_into().unwrap());
+            if fcount != e.count || flen != e.len {
+                return Err(invalid("frame header disagrees with index"));
+            }
+            let payload = &bytes[at + fh_len..at + fh_len + flen as usize];
+            let stored = u32::from_le_bytes(fh[8..12].try_into().unwrap());
+            if parda_hash::crc32c(payload) != stored {
+                return Err(invalid("frame CRC mismatch"));
+            }
+            let mut frame_tids = Vec::new();
+            let off = parse_tag_block(payload, e.count as usize, &mut frame_tids)?;
+            decode_frame_into(&payload[off..], header.encoding, slice)?;
+            Ok(frame_tids)
+        })
+        .collect();
+    let mut tids = Vec::with_capacity(count);
+    for r in results {
+        tids.extend_from_slice(&r?);
+    }
+    Ok(ThreadedTrace::from_parts(addrs, tids))
+}
+
+/// Write a thread-tagged trace to a file path in format v2.2.
+pub fn save_tagged_trace_v2<P: AsRef<Path>>(
+    path: P,
+    trace: &ThreadedTrace,
+    encoding: Encoding,
+) -> io::Result<()> {
+    write_tagged_trace_v2(std::fs::File::create(path)?, trace, encoding)
+}
+
+/// Read a thread-tagged trace from a file path via the parallel decoder.
+pub fn load_tagged_trace<P: AsRef<Path>>(path: P) -> io::Result<ThreadedTrace> {
+    decode_tagged_trace(&std::fs::read(path)?)
+}
+
+/// Encode one tagged frame's payload bytes exactly as
+/// [`write_tagged_trace_v2_framed`] lays them out: tag block, then address
+/// block. Public for the `parda-server` wire protocol.
+pub fn encode_tagged_frame_payload(
+    addrs: &[Addr],
+    tids: &[Tid],
+    encoding: Encoding,
+) -> io::Result<Vec<u8>> {
+    if addrs.len() != tids.len() {
+        return Err(invalid("one thread ID per reference required"));
+    }
+    if addrs.is_empty() {
+        return Err(invalid("empty tagged frame"));
+    }
+    let mut out = Vec::new();
+    encode_tag_block(tids, &mut out)?;
+    encode_frame(addrs, encoding, &mut out);
+    Ok(out)
+}
+
+/// Decode one tagged frame's payload of exactly `count` references into
+/// caller-owned buffers (cleared and refilled; capacity retained). The
+/// advertised `count` is validated against the payload size before any
+/// allocation is sized from it.
+pub fn decode_tagged_frame_payload_into(
+    payload: &[u8],
+    encoding: Encoding,
+    count: usize,
+    addrs: &mut Vec<Addr>,
+    tids: &mut Vec<Tid>,
+) -> io::Result<()> {
+    if count == 0 {
+        return Err(invalid("empty tagged frame"));
+    }
+    let plausible = match encoding {
+        // Tag block is at least 2 bytes; the address block is exact.
+        Encoding::Raw => count
+            .checked_mul(8)
+            .and_then(|b| b.checked_add(2))
+            .is_some_and(|min| min <= payload.len()),
+        Encoding::DeltaVarint => count < payload.len(),
+    };
+    if !plausible {
+        return Err(invalid("frame count does not fit its payload"));
+    }
+    let off = parse_tag_block(payload, count, tids)?;
+    addrs.clear();
+    addrs.resize(count, 0 as Addr);
+    decode_frame_into(&payload[off..], encoding, addrs)
+}
+
 /// Deserialize a trace from a reader; handles v1 and (sequentially) v2.
 pub fn read_trace<R: Read>(r: R) -> io::Result<Trace> {
     let mut r = BufReader::new(r);
@@ -675,7 +1050,7 @@ pub fn read_trace<R: Read>(r: R) -> io::Result<Trace> {
 
     let mut addrs = Vec::with_capacity(count.min(PREALLOC_CAP));
     if header.version == VERSION_V2 {
-        read_v2_frames_sequential(&mut r, &header, &mut addrs)?;
+        read_v2_frames_sequential(&mut r, &header, &mut addrs, None)?;
     } else {
         match header.encoding {
             Encoding::Raw => {
@@ -716,22 +1091,39 @@ pub fn read_trace<R: Read>(r: R) -> io::Result<Trace> {
 /// any allocation is sized from it: an adversarial `count`/`len` pair must
 /// come back as `InvalidData`, never as a multi-gigabyte `resize` or a
 /// decode panic. The encoding pins the relationship between the two fields
-/// (raw: exactly 8 bytes/ref; delta: 1..=10 bytes/ref).
-pub(crate) fn check_frame_shape(fcount: u32, flen: u32, encoding: Encoding) -> io::Result<()> {
+/// (raw: exactly 8 bytes/ref; delta: 1..=10 bytes/ref). Tagged (v2.2)
+/// frames loosen the bounds by the tag block: at least 2 bytes (`ntids`
+/// plus one dictionary varint), at most [`TAG_BLOCK_FIXED_MAX`] plus one
+/// index byte per reference.
+pub(crate) fn check_frame_shape(
+    fcount: u32,
+    flen: u32,
+    encoding: Encoding,
+    tagged: bool,
+) -> io::Result<()> {
     if fcount == 0 {
         return Err(invalid("empty frame in v2 trace"));
     }
+    // Dictionary-block size bounds: 1-byte ntids + up to 255 five-byte u32
+    // varints; the packed indices add at most one byte per reference.
+    const TAG_BLOCK_FIXED_MAX: u64 = 1 + 255 * 5;
+    let (tag_min, tag_max) = if tagged {
+        (2u64, TAG_BLOCK_FIXED_MAX + u64::from(fcount))
+    } else {
+        (0, 0)
+    };
     match encoding {
         Encoding::Raw => {
-            if u64::from(flen) != u64::from(fcount) * 8 {
+            let addr_len = u64::from(fcount) * 8;
+            if u64::from(flen) < addr_len + tag_min || u64::from(flen) > addr_len + tag_max {
                 return Err(invalid("raw frame length does not match its count"));
             }
         }
         Encoding::DeltaVarint => {
-            if u64::from(fcount) > u64::from(flen) {
+            if u64::from(flen) < u64::from(fcount) + tag_min {
                 return Err(invalid("delta frame shorter than its count"));
             }
-            if u64::from(flen) > u64::from(fcount) * 10 {
+            if u64::from(flen) > u64::from(fcount) * 10 + tag_max {
                 return Err(invalid("delta frame longer than 10 bytes per reference"));
             }
         }
@@ -741,16 +1133,21 @@ pub(crate) fn check_frame_shape(fcount: u32, flen: u32, encoding: Encoding) -> i
 
 /// Sequential v2 path for non-seekable readers (pipes): walk the inline
 /// frame headers, then read the footer and check it matches what was seen.
+/// When `tids` is given (and the file is tagged) the per-reference thread
+/// IDs are appended alongside the addresses; otherwise tag blocks are
+/// skipped.
 fn read_v2_frames_sequential<R: Read>(
     r: &mut R,
     header: &TraceHeader,
     addrs: &mut Vec<Addr>,
+    mut tids: Option<&mut Vec<Tid>>,
 ) -> io::Result<()> {
     let count = header.count as usize;
     let fh_len = header.frame_header_len() as usize;
     let mut seen: Vec<FrameIndexEntry> = Vec::new();
     let mut offset = HEADER_LEN;
     let mut payload = Vec::new();
+    let mut frame_tids: Vec<Tid> = Vec::new();
     while addrs.len() < count {
         let mut fh = [0u8; FRAME_HEADER_LEN_V21 as usize];
         let fh = &mut fh[..fh_len];
@@ -758,7 +1155,7 @@ fn read_v2_frames_sequential<R: Read>(
             .map_err(|e| eof_is_corruption(e, "frame header"))?;
         let fcount = u32::from_le_bytes(fh[..4].try_into().unwrap());
         let flen = u32::from_le_bytes(fh[4..8].try_into().unwrap());
-        check_frame_shape(fcount, flen, header.encoding)?;
+        check_frame_shape(fcount, flen, header.encoding, header.tagged())?;
         if addrs.len() + fcount as usize > count {
             return Err(invalid("frame counts exceed header count"));
         }
@@ -771,9 +1168,17 @@ fn read_v2_frames_sequential<R: Read>(
                 return Err(invalid("frame CRC mismatch"));
             }
         }
+        let addr_payload = match tids.as_deref_mut() {
+            Some(out) if header.tagged() => {
+                let off = parse_tag_block(&payload, fcount as usize, &mut frame_tids)?;
+                out.extend_from_slice(&frame_tids);
+                &payload[off..]
+            }
+            _ => split_addr_payload(&payload, header.tagged(), fcount as usize)?,
+        };
         let start = addrs.len();
         addrs.resize(start + fcount as usize, 0);
-        decode_frame_into(&payload, header.encoding, &mut addrs[start..])?;
+        decode_frame_into(addr_payload, header.encoding, &mut addrs[start..])?;
         seen.push(FrameIndexEntry {
             offset,
             count: fcount,
@@ -858,7 +1263,8 @@ pub fn decode_trace(bytes: &[u8]) -> io::Result<Trace> {
                     return Err(invalid("frame CRC mismatch"));
                 }
             }
-            decode_frame_into(payload, header.encoding, slice)
+            let addr_payload = split_addr_payload(payload, header.tagged(), e.count as usize)?;
+            decode_frame_into(addr_payload, header.encoding, slice)
         })
         .collect();
     for r in results {
@@ -1223,6 +1629,165 @@ mod tests {
                 prop_assert_eq!(&via_v2, &t);
                 prop_assert_eq!(via_v1, via_v2);
             }
+        }
+    }
+
+    fn round_trip_tagged(trace: &ThreadedTrace, encoding: Encoding, frame_refs: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_tagged_trace_v2_framed(&mut buf, trace, encoding, frame_refs).unwrap();
+        let parallel = decode_tagged_trace(&buf).unwrap();
+        let sequential = read_tagged_trace(buf.as_slice()).unwrap();
+        assert_eq!(&parallel, trace, "parallel tagged decode differs");
+        assert_eq!(&sequential, trace, "sequential tagged decode differs");
+        buf
+    }
+
+    #[test]
+    fn tagged_round_trips_across_frame_shapes() {
+        for encoding in [Encoding::Raw, Encoding::DeltaVarint] {
+            // Empty trace: zero frames, footer only.
+            let empty = ThreadedTrace::new();
+            round_trip_tagged(&empty, encoding, 8);
+            // One thread only: the per-reference index block is omitted.
+            let solo = ThreadedTrace::from_parts(vec![5, 5, 9, u64::MAX], vec![3; 4]);
+            round_trip_tagged(&solo, encoding, 8);
+            // Round-robin over enough threads to need multi-bit indices,
+            // with frames straddling the thread rotation.
+            let n = 1000u64;
+            let rr = ThreadedTrace::from_parts(
+                (0..n).map(|i| i.wrapping_mul(0x9E37_79B9)).collect(),
+                (0..n).map(|i| (i % 5) as Tid).collect(),
+            );
+            round_trip_tagged(&rr, encoding, 8);
+            round_trip_tagged(&rr, encoding, 64);
+        }
+    }
+
+    #[test]
+    fn tagged_header_carries_minor_2() {
+        let t = ThreadedTrace::from_parts(vec![1, 2, 3], vec![0, 1, 0]);
+        let buf = round_trip_tagged(&t, Encoding::Raw, 8);
+        let header = parse_header(&buf).unwrap();
+        assert_eq!((header.version, header.minor), (2, 2));
+        assert!(header.checksummed());
+        assert!(header.tagged());
+        assert_eq!(
+            peek_version(std_tmp_write("tagged-peek.trc", &buf)).unwrap(),
+            2
+        );
+    }
+
+    /// Write a byte image to a temp file and return its path.
+    fn std_tmp_write(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("parda-trace-io-test-tagged");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn untagged_readers_accept_tagged_files() {
+        let n = 500u64;
+        let t = ThreadedTrace::from_parts(
+            (0..n).map(|i| 0x1000 + i * 8).collect(),
+            (0..n).map(|i| (i % 3) as Tid).collect(),
+        );
+        for encoding in [Encoding::Raw, Encoding::DeltaVarint] {
+            let buf = round_trip_tagged(&t, encoding, 16);
+            let want = Trace::from_vec(t.addrs().to_vec());
+            assert_eq!(decode_trace(&buf).unwrap(), want);
+            assert_eq!(read_trace(buf.as_slice()).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn tagged_readers_reject_untagged_files() {
+        let t: Trace = (0..100u64).collect();
+        let mut buf = Vec::new();
+        write_trace_v2_framed(&mut buf, &t, Encoding::Raw, 16).unwrap();
+        let err = decode_tagged_trace(&buf).unwrap_err();
+        assert!(err.to_string().contains("not thread-tagged"), "{err}");
+        assert!(read_tagged_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn tagged_frame_crc_detects_tag_block_flip() {
+        let t = ThreadedTrace::from_parts(
+            (0..200u64).collect(),
+            (0..200).map(|i| (i % 4) as Tid).collect(),
+        );
+        let mut buf = Vec::new();
+        write_tagged_trace_v2_framed(&mut buf, &t, Encoding::Raw, 32).unwrap();
+        // Flip a bit inside frame 1's tag block (just past the inline
+        // header): only the CRC can catch index-block corruption.
+        let header = parse_header(&buf).unwrap();
+        let entries = parse_footer(&buf, &header).unwrap();
+        let poke = entries[1].offset as usize + FRAME_HEADER_LEN_V21 as usize + 2;
+        buf[poke] ^= 0x10;
+        let err = decode_tagged_trace(&buf).unwrap_err();
+        assert!(err.to_string().contains("CRC"), "{err}");
+        let err = decode_trace(&buf).unwrap_err();
+        assert!(err.to_string().contains("CRC"), "{err}");
+    }
+
+    #[test]
+    fn tagged_frame_rejects_too_many_threads() {
+        // 256 distinct TIDs in a single frame exceed the u8 dictionary.
+        let n = 256u64;
+        let t = ThreadedTrace::from_parts((0..n).collect(), (0..n as Tid).collect());
+        let mut buf = Vec::new();
+        let err = write_tagged_trace_v2_framed(&mut buf, &t, Encoding::Raw, 512).unwrap_err();
+        assert!(err.to_string().contains("255"), "{err}");
+        // Split across frames the same TIDs fit fine.
+        let mut ok = Vec::new();
+        write_tagged_trace_v2_framed(&mut ok, &t, Encoding::Raw, 128).unwrap();
+        assert_eq!(decode_tagged_trace(&ok).unwrap(), t);
+    }
+
+    #[test]
+    fn tagged_wire_payload_round_trips() {
+        let addrs: Vec<Addr> = (0..100u64).map(|i| i * 64).collect();
+        let tids: Vec<Tid> = (0..100).map(|i| (i % 7) as Tid).collect();
+        for encoding in [Encoding::Raw, Encoding::DeltaVarint] {
+            let payload = encode_tagged_frame_payload(&addrs, &tids, encoding).unwrap();
+            let mut got_addrs = Vec::new();
+            let mut got_tids = Vec::new();
+            decode_tagged_frame_payload_into(
+                &payload,
+                encoding,
+                addrs.len(),
+                &mut got_addrs,
+                &mut got_tids,
+            )
+            .unwrap();
+            assert_eq!(got_addrs, addrs);
+            assert_eq!(got_tids, tids);
+            // A lying count is rejected before any decode.
+            assert!(decode_tagged_frame_payload_into(
+                &payload,
+                encoding,
+                usize::MAX / 8,
+                &mut got_addrs,
+                &mut got_tids,
+            )
+            .is_err());
+        }
+    }
+
+    proptest! {
+        /// Tagged traces round-trip through the parallel and sequential
+        /// readers for any TID assignment and frame size.
+        #[test]
+        fn tagged_round_trips_any_assignment(
+            refs in proptest::collection::vec((any::<u64>(), 0u32..12), 0..300),
+            frame_refs in 1usize..70,
+            raw in any::<bool>(),
+        ) {
+            let encoding = if raw { Encoding::Raw } else { Encoding::DeltaVarint };
+            let (addrs, tids): (Vec<Addr>, Vec<Tid>) = refs.into_iter().unzip();
+            let t = ThreadedTrace::from_parts(addrs, tids);
+            round_trip_tagged(&t, encoding, frame_refs);
         }
     }
 }

@@ -36,7 +36,8 @@ pub mod xform;
 pub use lru_stack::LruStack;
 pub use parda_tree::fenwick::{self, Fenwick};
 pub use recover::{
-    decode_trace_recovering, load_trace_recovering, verify_trace, Degradation, VerifyReport,
+    decode_tagged_trace_recovering, decode_trace_recovering, load_trace_recovering, verify_trace,
+    Degradation, VerifyReport,
 };
 pub use stats::TraceStats;
 
@@ -127,6 +128,100 @@ impl std::ops::Index<usize> for Trace {
 
     fn index(&self, idx: usize) -> &Addr {
         &self.addrs[idx]
+    }
+}
+
+/// A thread ID accompanying a tagged reference.
+pub type Tid = u32;
+
+/// A thread-tagged reference trace: one thread ID per reference, in the
+/// observed global interleaving order. This is the in-memory form of a
+/// v2.2 thread-tagged trace file ([`io::write_tagged_trace_v2`]): the
+/// shared stream a multi-threaded program actually issued, with enough
+/// information to recover each thread's private stream exactly.
+///
+/// Unlike [`crate::xform`]-style address transforms, the tags are *metadata*
+/// carried next to the addresses — threads share one address space, so the
+/// same address appearing under two TIDs means true sharing, not a
+/// collision.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ThreadedTrace {
+    addrs: Vec<Addr>,
+    tids: Vec<Tid>,
+}
+
+impl ThreadedTrace {
+    /// Create an empty tagged trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap parallel address/TID vectors (must be the same length).
+    pub fn from_parts(addrs: Vec<Addr>, tids: Vec<Tid>) -> Self {
+        assert_eq!(
+            addrs.len(),
+            tids.len(),
+            "one thread ID per reference required"
+        );
+        Self { addrs, tids }
+    }
+
+    /// Number of references.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// `true` for an empty trace.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Append one reference issued by `tid`.
+    pub fn push(&mut self, tid: Tid, addr: Addr) {
+        self.addrs.push(addr);
+        self.tids.push(tid);
+    }
+
+    /// The interleaved address stream (tags stripped).
+    pub fn addrs(&self) -> &[Addr] {
+        &self.addrs
+    }
+
+    /// The per-reference thread IDs, parallel to [`ThreadedTrace::addrs`].
+    pub fn tids(&self) -> &[Tid] {
+        &self.tids
+    }
+
+    /// Distinct thread IDs, ascending.
+    pub fn thread_ids(&self) -> Vec<Tid> {
+        let mut ids: Vec<Tid> = {
+            let mut set = parda_hash::FxHashSet::default();
+            set.extend(self.tids.iter().copied());
+            set.into_iter().collect()
+        };
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Split into per-thread traces, preserving each thread's program
+    /// order. Returned pairs are sorted by thread ID.
+    pub fn per_thread(&self) -> Vec<(Tid, Trace)> {
+        let ids = self.thread_ids();
+        let mut split: Vec<(Tid, Trace)> = ids.into_iter().map(|id| (id, Trace::new())).collect();
+        let slot: parda_hash::FxHashMap<Tid, usize> = split
+            .iter()
+            .enumerate()
+            .map(|(i, (id, _))| (*id, i))
+            .collect();
+        for (&tid, &addr) in self.tids.iter().zip(&self.addrs) {
+            split[slot[&tid]].1.push(addr);
+        }
+        split
+    }
+
+    /// Consume into `(addrs, tids)`.
+    pub fn into_parts(self) -> (Vec<Addr>, Vec<Tid>) {
+        (self.addrs, self.tids)
     }
 }
 

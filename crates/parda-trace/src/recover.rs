@@ -23,10 +23,10 @@
 //! no histogram at all.
 
 use crate::io::{
-    check_frame_shape, decode_frame_into, invalid, parse_footer, parse_header, read_trace,
-    Encoding, TraceHeader, HEADER_LEN, VERSION_V2,
+    check_frame_shape, decode_frame_into, invalid, parse_footer, parse_header, parse_tag_block,
+    read_trace, split_addr_payload, Encoding, TraceHeader, HEADER_LEN, VERSION_V2,
 };
-use crate::{Addr, Trace};
+use crate::{Addr, ThreadedTrace, Tid, Trace};
 use parda_obs::RecoveryMetrics;
 use std::io::{self, Read};
 use std::path::Path;
@@ -111,43 +111,114 @@ pub fn decode_trace_recovering(
             if policy == Degradation::Strict {
                 return crate::io::decode_trace(bytes).map(|t| (t, metrics));
             }
-            let mut out: Vec<Addr> = Vec::new();
-            let fh_len = header.frame_header_len() as usize;
-            for (i, e) in entries.iter().enumerate() {
-                let at = e.offset as usize;
-                let fh = &bytes[at..at + fh_len];
-                let payload = &bytes[at + fh_len..at + fh_len + e.len as usize];
-                let fcount = u32::from_le_bytes(fh[..4].try_into().unwrap());
-                let flen = u32::from_le_bytes(fh[4..8].try_into().unwrap());
-                if fcount != e.count || flen != e.len {
-                    metrics.skip_frame(i as u64, u64::from(e.count));
-                    continue;
-                }
-                if header.checksummed() {
-                    let stored = u32::from_le_bytes(fh[8..12].try_into().unwrap());
-                    if parda_hash::crc32c(payload) != stored {
-                        metrics.crc_failures += 1;
-                        metrics.skip_frame(i as u64, u64::from(e.count));
-                        continue;
-                    }
-                }
-                let start = out.len();
-                out.resize(start + e.count as usize, 0);
-                if decode_frame_into(payload, header.encoding, &mut out[start..]).is_err() {
-                    out.truncate(start);
-                    metrics.skip_frame(i as u64, u64::from(e.count));
-                }
-            }
+            let out = lossy_walk(bytes, &header, &entries, &mut metrics, None);
             Ok((Trace::from_vec(out), metrics))
         }
         Err(_) if policy == Degradation::BestEffort => {
             metrics.resyncs = 1;
-            let out = resync_scan(bytes, &header, &mut metrics);
+            let out = resync_scan(bytes, &header, &mut metrics, None);
             metrics.refs_dropped = header.count.saturating_sub(out.len() as u64);
             Ok((Trace::from_vec(out), metrics))
         }
         Err(e) => Err(e),
     }
+}
+
+/// Decode an in-memory v2.2 thread-tagged image under a degradation
+/// policy, recovering addresses and thread IDs together. Frames whose tag
+/// block or address block fail to decode are skipped as a unit, so the two
+/// streams can never fall out of step.
+pub fn decode_tagged_trace_recovering(
+    bytes: &[u8],
+    policy: Degradation,
+) -> io::Result<(ThreadedTrace, RecoveryMetrics)> {
+    let header = parse_header(bytes)?;
+    if !header.tagged() {
+        return Err(invalid(
+            "trace is not thread-tagged (write it with a v2.2 tagged writer)",
+        ));
+    }
+    let mut metrics = RecoveryMetrics::default();
+    match parse_footer(bytes, &header) {
+        Ok(entries) => {
+            metrics.frames_total = entries.len() as u64;
+            if policy == Degradation::Strict {
+                return crate::io::decode_tagged_trace(bytes).map(|t| (t, metrics));
+            }
+            let mut tids: Vec<Tid> = Vec::new();
+            let out = lossy_walk(bytes, &header, &entries, &mut metrics, Some(&mut tids));
+            Ok((ThreadedTrace::from_parts(out, tids), metrics))
+        }
+        Err(_) if policy == Degradation::BestEffort => {
+            metrics.resyncs = 1;
+            let mut tids: Vec<Tid> = Vec::new();
+            let out = resync_scan(bytes, &header, &mut metrics, Some(&mut tids));
+            metrics.refs_dropped = header.count.saturating_sub(out.len() as u64);
+            Ok((ThreadedTrace::from_parts(out, tids), metrics))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Walk an intact footer index, decoding every frame that passes its
+/// integrity checks and skipping (with a metrics tally) the ones that
+/// don't. When `tids` is given the file's tag blocks are decoded alongside
+/// the addresses; otherwise they are skipped structurally.
+fn lossy_walk(
+    bytes: &[u8],
+    header: &TraceHeader,
+    entries: &[crate::io::FrameIndexEntry],
+    metrics: &mut RecoveryMetrics,
+    mut tids: Option<&mut Vec<Tid>>,
+) -> Vec<Addr> {
+    let mut out: Vec<Addr> = Vec::new();
+    let mut frame_tids: Vec<Tid> = Vec::new();
+    let fh_len = header.frame_header_len() as usize;
+    for (i, e) in entries.iter().enumerate() {
+        let at = e.offset as usize;
+        let fh = &bytes[at..at + fh_len];
+        let payload = &bytes[at + fh_len..at + fh_len + e.len as usize];
+        let fcount = u32::from_le_bytes(fh[..4].try_into().unwrap());
+        let flen = u32::from_le_bytes(fh[4..8].try_into().unwrap());
+        if fcount != e.count || flen != e.len {
+            metrics.skip_frame(i as u64, u64::from(e.count));
+            continue;
+        }
+        if header.checksummed() {
+            let stored = u32::from_le_bytes(fh[8..12].try_into().unwrap());
+            if parda_hash::crc32c(payload) != stored {
+                metrics.crc_failures += 1;
+                metrics.skip_frame(i as u64, u64::from(e.count));
+                continue;
+            }
+        }
+        let addr_payload = if tids.is_some() {
+            match parse_tag_block(payload, e.count as usize, &mut frame_tids) {
+                Ok(off) => &payload[off..],
+                Err(_) => {
+                    metrics.skip_frame(i as u64, u64::from(e.count));
+                    continue;
+                }
+            }
+        } else {
+            match split_addr_payload(payload, header.tagged(), e.count as usize) {
+                Ok(p) => p,
+                Err(_) => {
+                    metrics.skip_frame(i as u64, u64::from(e.count));
+                    continue;
+                }
+            }
+        };
+        let start = out.len();
+        out.resize(start + e.count as usize, 0);
+        if decode_frame_into(addr_payload, header.encoding, &mut out[start..]).is_err() {
+            out.truncate(start);
+            metrics.skip_frame(i as u64, u64::from(e.count));
+        } else if let Some(ts) = tids.as_deref_mut() {
+            ts.extend_from_slice(&frame_tids);
+        }
+    }
+    out
 }
 
 /// Load a trace from a path under a degradation policy.
@@ -220,9 +291,15 @@ fn zigzag_decode(v: u64) -> i64 {
 /// resyncs. On checksummed files a false positive needs a 1-in-2^32 CRC
 /// collision *and* a plausible header, so quarantined bytes (including the
 /// dead footer) are skipped reliably.
-fn resync_scan(bytes: &[u8], header: &TraceHeader, metrics: &mut RecoveryMetrics) -> Vec<Addr> {
+fn resync_scan(
+    bytes: &[u8],
+    header: &TraceHeader,
+    metrics: &mut RecoveryMetrics,
+    mut tids: Option<&mut Vec<Tid>>,
+) -> Vec<Addr> {
     let fh_len = header.frame_header_len() as usize;
     let mut out: Vec<Addr> = Vec::new();
+    let mut frame_tids: Vec<Tid> = Vec::new();
     let mut at = HEADER_LEN as usize;
     let mut aligned = true;
     let mut frame_idx = 0u64;
@@ -230,17 +307,29 @@ fn resync_scan(bytes: &[u8], header: &TraceHeader, metrics: &mut RecoveryMetrics
         let fh = &bytes[at..at + fh_len];
         let fcount = u32::from_le_bytes(fh[..4].try_into().unwrap());
         let flen = u32::from_le_bytes(fh[4..8].try_into().unwrap());
-        let plausible = check_frame_shape(fcount, flen, header.encoding).is_ok()
+        let plausible = check_frame_shape(fcount, flen, header.encoding, header.tagged()).is_ok()
             && u64::from(fcount) <= header.count
             && at + fh_len + flen as usize <= bytes.len();
         if plausible {
             let payload = &bytes[at + fh_len..at + fh_len + flen as usize];
             let crc_ok = !header.checksummed()
                 || u32::from_le_bytes(fh[8..12].try_into().unwrap()) == parda_hash::crc32c(payload);
-            if crc_ok {
+            let addr_payload = if !crc_ok {
+                None
+            } else if tids.is_some() {
+                parse_tag_block(payload, fcount as usize, &mut frame_tids)
+                    .ok()
+                    .map(|off| &payload[off..])
+            } else {
+                split_addr_payload(payload, header.tagged(), fcount as usize).ok()
+            };
+            if let Some(addr_payload) = addr_payload {
                 let start = out.len();
                 out.resize(start + fcount as usize, 0);
-                if decode_frame_into(payload, header.encoding, &mut out[start..]).is_ok() {
+                if decode_frame_into(addr_payload, header.encoding, &mut out[start..]).is_ok() {
+                    if let Some(ts) = tids.as_deref_mut() {
+                        ts.extend_from_slice(&frame_tids);
+                    }
                     if !aligned {
                         metrics.resyncs += 1;
                         aligned = true;
@@ -267,7 +356,7 @@ fn resync_scan(bytes: &[u8], header: &TraceHeader, metrics: &mut RecoveryMetrics
 pub struct VerifyReport {
     /// Major format version.
     pub version: u32,
-    /// Minor format version (1 = CRC-checksummed frames).
+    /// Minor format version (1 = CRC-checksummed frames, 2 = thread-tagged).
     pub minor: u32,
     /// Frames verified (0 for v1: the format has no frames).
     pub frames: u64,
@@ -277,6 +366,8 @@ pub struct VerifyReport {
     /// the file predates checksums and a full decode validation ran
     /// instead.
     pub checksummed: bool,
+    /// `true` when frames carry thread-ID tag blocks (v2.2).
+    pub tagged: bool,
 }
 
 /// Verify the integrity of every frame in a trace file without running any
@@ -295,6 +386,7 @@ pub fn verify_trace<P: AsRef<Path>>(path: P) -> io::Result<VerifyReport> {
             frames: 0,
             refs: t.len() as u64,
             checksummed: false,
+            tagged: false,
         });
     }
     let entries = parse_footer(&bytes, &header)?;
@@ -306,6 +398,7 @@ pub fn verify_trace<P: AsRef<Path>>(path: P) -> io::Result<VerifyReport> {
             frames: entries.len() as u64,
             refs: t.len() as u64,
             checksummed: false,
+            tagged: false,
         });
     }
     let fh_len = header.frame_header_len() as usize;
@@ -329,6 +422,7 @@ pub fn verify_trace<P: AsRef<Path>>(path: P) -> io::Result<VerifyReport> {
         frames: entries.len() as u64,
         refs: header.count,
         checksummed: true,
+        tagged: header.tagged(),
     })
 }
 
@@ -523,5 +617,69 @@ mod tests {
         assert!(got.len() < t.len());
         assert_eq!(m.crc_failures, 0);
         assert!(m.frames_skipped >= 1);
+    }
+
+    fn tagged_sample(n: u64, threads: u32) -> ThreadedTrace {
+        ThreadedTrace::from_parts(
+            (0..n).map(|i| i.wrapping_mul(0x9E37_79B9) >> 13).collect(),
+            (0..n).map(|i| (i % u64::from(threads)) as Tid).collect(),
+        )
+    }
+
+    #[test]
+    fn tagged_corrupt_frame_skips_addrs_and_tids_together() {
+        let t = tagged_sample(640, 4);
+        let mut buf = Vec::new();
+        crate::io::write_tagged_trace_v2_framed(&mut buf, &t, Encoding::DeltaVarint, 64).unwrap();
+        let poke = frame_payload_offset(&buf, 3) + 10;
+        buf[poke] ^= 0xFF;
+
+        assert!(decode_tagged_trace_recovering(&buf, Degradation::Strict).is_err());
+        let (got, m) = decode_tagged_trace_recovering(&buf, Degradation::Repair).unwrap();
+        // Exactly frame 3 (refs 192..256) is gone, from both streams.
+        let mut want_addrs: Vec<u64> = t.addrs()[..192].to_vec();
+        want_addrs.extend_from_slice(&t.addrs()[256..]);
+        let mut want_tids: Vec<Tid> = t.tids()[..192].to_vec();
+        want_tids.extend_from_slice(&t.tids()[256..]);
+        assert_eq!(got.addrs(), want_addrs.as_slice());
+        assert_eq!(got.tids(), want_tids.as_slice());
+        assert_eq!(m.frames_skipped, 1);
+        assert_eq!(m.refs_dropped, 64);
+    }
+
+    #[test]
+    fn tagged_destroyed_footer_resyncs_with_tids() {
+        let t = tagged_sample(640, 3);
+        let mut buf = Vec::new();
+        crate::io::write_tagged_trace_v2_framed(&mut buf, &t, Encoding::DeltaVarint, 64).unwrap();
+        let n = buf.len();
+        buf[n - 8..].copy_from_slice(b"XXXXXXXX");
+
+        let (got, m) = decode_tagged_trace_recovering(&buf, Degradation::BestEffort).unwrap();
+        assert_eq!(got, t, "resync must recover every tagged frame");
+        assert!(m.resyncs >= 1);
+    }
+
+    #[test]
+    fn tagged_recovery_rejects_untagged_files() {
+        let t = sample(100);
+        let mut buf = Vec::new();
+        write_trace_v2_framed(&mut buf, &t, Encoding::Raw, 32).unwrap();
+        assert!(decode_tagged_trace_recovering(&buf, Degradation::BestEffort).is_err());
+    }
+
+    #[test]
+    fn verify_reports_tagged_flag() {
+        let dir = std::env::temp_dir().join("parda-trace-verify-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tagged.trc");
+        let t = tagged_sample(200, 2);
+        crate::io::save_tagged_trace_v2(&path, &t, Encoding::DeltaVarint).unwrap();
+        let report = verify_trace(&path).unwrap();
+        assert!(report.tagged);
+        assert!(report.checksummed);
+        assert_eq!((report.version, report.minor), (2, 2));
+        assert_eq!(report.refs, 200);
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -27,10 +27,11 @@
 //! back to [`crate::recover::decode_trace_recovering`] for that.
 
 use crate::io::{
-    decode_frame_into, eof_is_corruption, invalid, read_header_and_index, FrameIndexEntry,
+    decode_frame_into, eof_is_corruption, invalid, parse_tag_block, read_header_and_index,
+    FrameIndexEntry,
 };
 use crate::recover::Degradation;
-use crate::{Addr, AddressStream};
+use crate::{Addr, AddressStream, Tid};
 use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
 use parda_obs::{RecoveryMetrics, Stopwatch, StreamCounters};
 use std::collections::HashMap;
@@ -68,7 +69,12 @@ impl StreamErrorHandle {
     }
 }
 
-type DecodedFrame = (u64, std::io::Result<Vec<Addr>>);
+/// A decoded frame payload: the addresses plus, for v2.2 tagged files,
+/// the per-reference thread IDs.
+type FramePayload = std::io::Result<(Vec<Addr>, Vec<Tid>)>;
+
+/// One decoded frame, keyed by sequence number.
+type DecodedFrame = (u64, FramePayload);
 
 /// Reader → decoder work item: sequence, ref count, stored CRC32C (v2.1
 /// files only), encoded payload.
@@ -77,11 +83,13 @@ type FrameJob = (u64, u32, Option<u32>, Vec<u8>);
 /// An [`AddressStream`] over a v2 trace file, decoded by background threads.
 pub struct FramedStream {
     done_rx: Option<Receiver<DecodedFrame>>,
-    pending: HashMap<u64, std::io::Result<Vec<Addr>>>,
+    pending: HashMap<u64, FramePayload>,
     next_seq: u64,
     nframes: u64,
     total_refs: u64,
+    tagged: bool,
     current: Vec<Addr>,
+    current_tids: Vec<Tid>,
     pos: usize,
     error: StreamErrorHandle,
     failed: bool,
@@ -124,6 +132,7 @@ impl FramedStream {
         let nframes = entries.len() as u64;
         let total_refs = header.count;
         let encoding = header.encoding;
+        let tagged = header.tagged();
         let frame_counts: Vec<u32> = entries.iter().map(|e| e.count).collect();
         let error = StreamErrorHandle::default();
         let recovery = Arc::new(Mutex::new(RecoveryMetrics {
@@ -167,8 +176,17 @@ impl FramedStream {
                             Err(invalid("frame CRC mismatch"))
                         }
                         _ => {
-                            let mut out = vec![0u64; count as usize];
-                            decode_frame_into(&payload, encoding, &mut out).map(|()| out)
+                            let mut tids = Vec::new();
+                            let tag = if tagged {
+                                parse_tag_block(&payload, count as usize, &mut tids)
+                            } else {
+                                Ok(0)
+                            };
+                            tag.and_then(|off| {
+                                let mut out = vec![0u64; count as usize];
+                                decode_frame_into(&payload[off..], encoding, &mut out)
+                                    .map(|()| (out, tids))
+                            })
                         }
                     };
                     parda_failpoint::failpoint!(
@@ -220,7 +238,9 @@ impl FramedStream {
             next_seq: 0,
             nframes,
             total_refs,
+            tagged,
             current: Vec::new(),
+            current_tids: Vec::new(),
             pos: 0,
             error,
             failed: false,
@@ -245,6 +265,52 @@ impl FramedStream {
     /// Number of frames in the file.
     pub fn frames(&self) -> u64 {
         self.nframes
+    }
+
+    /// `true` when the file carries thread tags (v2.2); only then do
+    /// [`FramedStream::next_tagged`] and [`FramedStream::fill_tagged`]
+    /// produce anything.
+    pub fn tagged(&self) -> bool {
+        self.tagged
+    }
+
+    /// Produce the next `(thread ID, address)` pair, or `None` at end of
+    /// stream. Panics on an untagged stream — check
+    /// [`FramedStream::tagged`] first.
+    pub fn next_tagged(&mut self) -> Option<(Tid, Addr)> {
+        assert!(self.tagged, "next_tagged on an untagged stream");
+        loop {
+            if let Some(&a) = self.current.get(self.pos) {
+                let tid = self.current_tids[self.pos];
+                self.pos += 1;
+                return Some((tid, a));
+            }
+            if !self.advance_frame() {
+                return None;
+            }
+        }
+    }
+
+    /// Append up to `n` references to the parallel `addrs`/`tids` buffers;
+    /// returns how many were produced (less than `n` only at end of
+    /// stream). Panics on an untagged stream.
+    pub fn fill_tagged(&mut self, addrs: &mut Vec<Addr>, tids: &mut Vec<Tid>, n: usize) -> usize {
+        assert!(self.tagged, "fill_tagged on an untagged stream");
+        let mut produced = 0;
+        while produced < n {
+            if self.pos >= self.current.len() {
+                if !self.advance_frame() {
+                    break;
+                }
+                continue;
+            }
+            let take = (n - produced).min(self.current.len() - self.pos);
+            addrs.extend_from_slice(&self.current[self.pos..self.pos + take]);
+            tids.extend_from_slice(&self.current_tids[self.pos..self.pos + take]);
+            self.pos += take;
+            produced += take;
+        }
+        produced
     }
 
     /// Handle for checking, after analysis, whether the stream ended early
@@ -299,8 +365,9 @@ impl FramedStream {
                 }
             };
             match result {
-                Ok(frame) => {
+                Ok((frame, tids)) => {
                     self.current = frame;
+                    self.current_tids = tids;
                     self.pos = 0;
                     self.next_seq += 1;
                     return true;
@@ -605,6 +672,50 @@ mod tests {
         assert_eq!(m.frames_skipped, 1);
         assert_eq!(m.skipped_frames, vec![9]);
         assert_eq!(m.crc_failures, 0, "v2.0 files have no CRCs to fail");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tagged_stream_yields_tids_and_plain_addrs() {
+        let n = 5000u64;
+        let t = crate::ThreadedTrace::from_parts(
+            (0..n).map(|i| i.wrapping_mul(0x9E37_79B9) >> 16).collect(),
+            (0..n).map(|i| (i % 6) as Tid).collect(),
+        );
+        for encoding in [Encoding::Raw, Encoding::DeltaVarint] {
+            let path = tmp(&format!("tagged-{encoding:?}.trc"));
+            crate::io::save_tagged_trace_v2(&path, &t, encoding).unwrap();
+
+            // Tagged consumption recovers both parallel streams.
+            let mut s = FramedStream::open_with(&path, 3).unwrap();
+            assert!(s.tagged());
+            let (mut addrs, mut tids) = (Vec::new(), Vec::new());
+            while s.fill_tagged(&mut addrs, &mut tids, 700) > 0 {}
+            assert_eq!(addrs.as_slice(), t.addrs());
+            assert_eq!(tids.as_slice(), t.tids());
+
+            // Untagged consumers see the plain interleaved address stream.
+            let s = FramedStream::open_with(&path, 3).unwrap();
+            assert_eq!(collect(s), t.addrs());
+
+            // next_tagged agrees with fill_tagged.
+            let mut s = FramedStream::open_with(&path, 2).unwrap();
+            let mut pairs = Vec::new();
+            while let Some(p) = s.next_tagged() {
+                pairs.push(p);
+            }
+            assert_eq!(pairs.len(), n as usize);
+            assert_eq!(pairs[7], (t.tids()[7], t.addrs()[7]));
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn untagged_stream_reports_not_tagged() {
+        let path = tmp("untagged-flag.trc");
+        save_trace_v2(&path, &Trace::from_vec(vec![1, 2, 3]), Encoding::Raw).unwrap();
+        let s = FramedStream::open(&path).unwrap();
+        assert!(!s.tagged());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -63,11 +63,13 @@ pub use parda_tree as tree;
 pub mod prelude {
     pub use parda_cachesim::{CacheStats, LruCache, PlruCache, SetAssociativeCache};
     pub use parda_core::approx::{analyze_approx, ApproxMode, ApproxSketch, SampleRate};
+    pub use parda_core::concurrent::{
+        analyze_concurrent, analyze_concurrent_kind, default_granularity, interleave_threads,
+        recommend_partition, shared_metrics, ConcurrentAnalysis, InterleaveModel, PartitionPlan,
+    };
     pub use parda_core::object::{analyze_by_region, RegionAnalysis, RegionMap};
     pub use parda_core::parallel::{parda_msg, parda_threads, parda_threads_faulted};
     pub use parda_core::phased::{parda_phased, parda_phased_with, Reduction};
-    #[allow(deprecated)] // legacy sampling shim stays importable through the prelude
-    pub use parda_core::sampled::analyze_sampled;
     pub use parda_core::seq::{analyze_naive, analyze_sequential, SequentialAnalyzer};
     pub use parda_core::{
         Analysis, Degradation, Engine, FaultPolicy, MissSink, Mode, PardaConfig, PardaError, Report,
